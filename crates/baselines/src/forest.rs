@@ -1,0 +1,178 @@
+//! Random forests: bootstrap-aggregated CART trees with per-split feature
+//! subsampling.
+
+use rand::Rng;
+
+use gnn4tdl_tensor::Matrix;
+
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Random-forest hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            tree: TreeConfig { max_depth: 10, min_samples_leaf: 2, max_features: None },
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+/// A fitted random forest (classification or regression depending on the
+/// constructor used).
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_outputs: usize,
+}
+
+impl RandomForest {
+    /// Fits a classification forest; `max_features` defaults to
+    /// `sqrt(num_features)` when the tree config leaves it unset.
+    pub fn fit_classifier<R: Rng>(
+        x: &Matrix,
+        y: &[usize],
+        num_classes: usize,
+        cfg: &ForestConfig,
+        rng: &mut R,
+    ) -> Self {
+        let tree_cfg = resolve_features(cfg.tree, x.cols());
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let sample = bootstrap(x.rows(), cfg.sample_fraction, rng);
+                let xs = x.gather_rows(&sample);
+                let ys: Vec<usize> = sample.iter().map(|&r| y[r]).collect();
+                DecisionTree::fit_classifier(&xs, &ys, num_classes, &tree_cfg, rng)
+            })
+            .collect();
+        Self { trees, num_outputs: num_classes }
+    }
+
+    /// Fits a regression forest.
+    pub fn fit_regressor<R: Rng>(x: &Matrix, y: &[f32], cfg: &ForestConfig, rng: &mut R) -> Self {
+        let tree_cfg = resolve_features(cfg.tree, x.cols());
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let sample = bootstrap(x.rows(), cfg.sample_fraction, rng);
+                let xs = x.gather_rows(&sample);
+                let ys: Vec<f32> = sample.iter().map(|&r| y[r]).collect();
+                DecisionTree::fit_regressor(&xs, &ys, &tree_cfg, rng)
+            })
+            .collect();
+        Self { trees, num_outputs: 1 }
+    }
+
+    /// Averaged tree outputs (`n x num_outputs`).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.num_outputs);
+        for tree in &self.trees {
+            out.axpy(1.0, &tree.predict(x));
+        }
+        out.scale(1.0 / self.trees.len().max(1) as f32)
+    }
+
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.predict(x).argmax_rows()
+    }
+
+    pub fn predict_values(&self, x: &Matrix) -> Vec<f32> {
+        self.predict(x).into_vec()
+    }
+
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn resolve_features(mut cfg: TreeConfig, num_features: usize) -> TreeConfig {
+    if cfg.max_features.is_none() {
+        cfg.max_features = Some(((num_features as f64).sqrt().ceil() as usize).max(1));
+    }
+    cfg
+}
+
+fn bootstrap<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
+    let size = ((n as f64 * fraction).round() as usize).max(1);
+    (0..size).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classifies_separable_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let c = i % 2;
+            let base = if c == 0 { -1.0 } else { 1.0 };
+            rows.push(vec![base + rng.gen_range(-0.3f32..0.3), rng.gen_range(-1.0f32..1.0)]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let forest = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 10, ..Default::default() }, &mut rng);
+        assert_eq!(forest.num_trees(), 10);
+        let pred = forest.predict_classes(&x);
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / 200.0;
+        assert!(acc > 0.95, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::uniform(100, 3, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..100).map(|i| i % 3).collect();
+        let forest = RandomForest::fit_classifier(&x, &y, 3, &ForestConfig { n_trees: 5, ..Default::default() }, &mut rng);
+        let probs = forest.predict(&x);
+        for r in 0..probs.rows() {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+            assert!(probs.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn regression_beats_mean_predictor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a]);
+            y.push(if a > 0.0 { 2.0 } else { -2.0 });
+        }
+        let x = Matrix::from_rows(&rows);
+        let forest = RandomForest::fit_regressor(&x, &y, &ForestConfig { n_trees: 10, ..Default::default() }, &mut rng);
+        let pred = forest.predict_values(&x);
+        let mse: f32 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / n as f32;
+        assert!(mse < 1.0, "forest regression mse {mse}");
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        // With heavy label noise, a big forest's training-set probability
+        // estimates should be closer to 0.5 than a single tree's.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::uniform(200, 4, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..200).map(|_| rng.gen_range(0..2)).collect();
+        let small = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 1, ..Default::default() }, &mut rng);
+        let big = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 40, ..Default::default() }, &mut rng);
+        let spread = |m: &Matrix| -> f32 {
+            (0..m.rows()).map(|r| (m.get(r, 0) - 0.5).abs()).sum::<f32>() / m.rows() as f32
+        };
+        let xs = Matrix::uniform(100, 4, 0.0, 1.0, &mut rng);
+        assert!(spread(&big.predict(&xs)) < spread(&small.predict(&xs)));
+    }
+}

@@ -1,0 +1,250 @@
+//! Gradient-boosted decision trees: squared loss for regression, logistic
+//! loss for binary classification, one-vs-rest for multi-class — the
+//! tree-based comparator the survey's open-problems section centers on.
+
+use rand::Rng;
+
+use gnn4tdl_tensor::Matrix;
+
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// GBDT hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GbdtConfig {
+    pub n_rounds: usize,
+    pub learning_rate: f32,
+    pub tree: TreeConfig,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 100,
+            learning_rate: 0.1,
+            tree: TreeConfig { max_depth: 4, min_samples_leaf: 4, max_features: None },
+        }
+    }
+}
+
+/// A boosted ensemble predicting a single real score.
+pub struct GbdtRegressor {
+    base: f32,
+    trees: Vec<DecisionTree>,
+    learning_rate: f32,
+}
+
+impl GbdtRegressor {
+    /// Fits on squared loss: each round fits residuals.
+    pub fn fit<R: Rng>(x: &Matrix, y: &[f32], cfg: &GbdtConfig, rng: &mut R) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut pred = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+        for _ in 0..cfg.n_rounds {
+            let residual: Vec<f32> = y.iter().zip(&pred).map(|(&t, &p)| t - p).collect();
+            let tree = DecisionTree::fit_regressor(x, &residual, &cfg.tree, rng);
+            let update = tree.predict_values(x);
+            for (p, u) in pred.iter_mut().zip(&update) {
+                *p += cfg.learning_rate * u;
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, learning_rate: cfg.learning_rate }
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        let mut pred = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            let update = tree.predict_values(x);
+            for (p, u) in pred.iter_mut().zip(&update) {
+                *p += self.learning_rate * u;
+            }
+        }
+        pred
+    }
+
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Boosted binary classifier on the logistic loss (scores are logits).
+pub struct GbdtBinaryClassifier {
+    inner: GbdtScores,
+}
+
+struct GbdtScores {
+    base: f32,
+    trees: Vec<DecisionTree>,
+    learning_rate: f32,
+}
+
+impl GbdtScores {
+    /// Logistic-loss boosting: each round fits the negative gradient
+    /// `y - sigmoid(f)`.
+    fn fit<R: Rng>(x: &Matrix, y01: &[f32], cfg: &GbdtConfig, rng: &mut R) -> Self {
+        let pos = y01.iter().sum::<f32>() / y01.len() as f32;
+        let base = (pos.clamp(1e-4, 1.0 - 1e-4) / (1.0 - pos.clamp(1e-4, 1.0 - 1e-4))).ln();
+        let mut score = vec![base; y01.len()];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+        for _ in 0..cfg.n_rounds {
+            let grad: Vec<f32> = y01
+                .iter()
+                .zip(&score)
+                .map(|(&t, &f)| t - 1.0 / (1.0 + (-f).exp()))
+                .collect();
+            let tree = DecisionTree::fit_regressor(x, &grad, &cfg.tree, rng);
+            let update = tree.predict_values(x);
+            for (sc, u) in score.iter_mut().zip(&update) {
+                *sc += cfg.learning_rate * u;
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, learning_rate: cfg.learning_rate }
+    }
+
+    fn scores(&self, x: &Matrix) -> Vec<f32> {
+        let mut score = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            let update = tree.predict_values(x);
+            for (sc, u) in score.iter_mut().zip(&update) {
+                *sc += self.learning_rate * u;
+            }
+        }
+        score
+    }
+}
+
+impl GbdtBinaryClassifier {
+    pub fn fit<R: Rng>(x: &Matrix, y: &[usize], cfg: &GbdtConfig, rng: &mut R) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/label mismatch");
+        assert!(y.iter().all(|&c| c < 2), "binary classifier needs labels in {{0,1}}");
+        let y01: Vec<f32> = y.iter().map(|&c| c as f32).collect();
+        Self { inner: GbdtScores::fit(x, &y01, cfg, rng) }
+    }
+
+    /// Positive-class probability per row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        self.inner.scores(x).into_iter().map(|f| 1.0 / (1.0 + (-f).exp())).collect()
+    }
+
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x).into_iter().map(|p| usize::from(p >= 0.5)).collect()
+    }
+}
+
+/// One-vs-rest multi-class GBDT.
+pub struct GbdtClassifier {
+    per_class: Vec<GbdtScores>,
+}
+
+impl GbdtClassifier {
+    pub fn fit<R: Rng>(x: &Matrix, y: &[usize], num_classes: usize, cfg: &GbdtConfig, rng: &mut R) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        let per_class = (0..num_classes)
+            .map(|c| {
+                let y01: Vec<f32> = y.iter().map(|&t| if t == c { 1.0 } else { 0.0 }).collect();
+                GbdtScores::fit(x, &y01, cfg, rng)
+            })
+            .collect();
+        Self { per_class }
+    }
+
+    /// Per-class scores (`n x C`, unnormalized logits).
+    pub fn predict_scores(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.per_class.len());
+        for (c, model) in self.per_class.iter().enumerate() {
+            for (r, s) in model.scores(x).into_iter().enumerate() {
+                out.set(r, c, s);
+            }
+        }
+        out
+    }
+
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_scores(x).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regressor_fits_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 400;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![a]);
+            y.push(a * a); // smooth nonlinear target
+        }
+        let x = Matrix::from_rows(&rows);
+        let model = GbdtRegressor::fit(&x, &y, &GbdtConfig::default(), &mut rng);
+        let pred = model.predict(&x);
+        let mse: f32 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / n as f32;
+        assert!(mse < 0.05, "gbdt regression mse {mse}");
+        assert_eq!(model.num_trees(), 100);
+    }
+
+    #[test]
+    fn binary_classifier_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 400;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(usize::from((a > 0.0) == (b > 0.0)));
+        }
+        let x = Matrix::from_rows(&rows);
+        let model = GbdtBinaryClassifier::fit(&x, &y, &GbdtConfig::default(), &mut rng);
+        let pred = model.predict_classes(&x);
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / n as f64;
+        assert!(acc > 0.95, "gbdt xor accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::uniform(50, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let model = GbdtBinaryClassifier::fit(&x, &y, &GbdtConfig { n_rounds: 20, ..Default::default() }, &mut rng);
+        for p in model.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 300;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            rows.push(vec![c as f32 + rng.gen_range(-0.2f32..0.2)]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let model = GbdtClassifier::fit(&x, &y, 3, &GbdtConfig { n_rounds: 30, ..Default::default() }, &mut rng);
+        let pred = model.predict_classes(&x);
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / n as f64;
+        assert!(acc > 0.95, "multiclass acc {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "binary classifier needs labels")]
+    fn binary_rejects_multiclass_labels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::zeros(3, 1);
+        GbdtBinaryClassifier::fit(&x, &[0, 1, 2], &GbdtConfig::default(), &mut rng);
+    }
+}

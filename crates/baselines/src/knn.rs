@@ -1,0 +1,173 @@
+//! k-nearest-neighbor prediction and distance-based anomaly scores — the
+//! classical local methods LUNAR generalizes.
+
+use gnn4tdl_tensor::Matrix;
+
+/// k-nearest-neighbor classifier/regressor over a stored training set.
+pub struct KnnModel {
+    x: Matrix,
+    labels: Option<Vec<usize>>,
+    values: Option<Vec<f32>>,
+    num_classes: usize,
+    k: usize,
+}
+
+impl KnnModel {
+    pub fn classifier(x: Matrix, labels: Vec<usize>, num_classes: usize, k: usize) -> Self {
+        assert_eq!(x.rows(), labels.len(), "row/label mismatch");
+        assert!(k >= 1, "k must be positive");
+        Self { x, labels: Some(labels), values: None, num_classes, k }
+    }
+
+    pub fn regressor(x: Matrix, values: Vec<f32>, k: usize) -> Self {
+        assert_eq!(x.rows(), values.len(), "row/value mismatch");
+        assert!(k >= 1, "k must be positive");
+        Self { x, labels: None, values: Some(values), num_classes: 0, k }
+    }
+
+    fn neighbors(&self, q: &Matrix, row: usize) -> Vec<usize> {
+        let mut dists: Vec<(usize, f32)> = (0..self.x.rows())
+            .map(|r| (r, Matrix::row_distance(q, row, &self.x, r)))
+            .collect();
+        let take = self.k.min(dists.len());
+        dists.select_nth_unstable_by(take - 1, |a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        dists[..take].iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Majority vote among the k nearest training rows.
+    pub fn predict_classes(&self, q: &Matrix) -> Vec<usize> {
+        let labels = self.labels.as_ref().expect("not a classifier");
+        (0..q.rows())
+            .map(|row| {
+                let mut counts = vec![0usize; self.num_classes];
+                for r in self.neighbors(q, row) {
+                    counts[labels[r]] += 1;
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Mean of the k nearest training targets.
+    pub fn predict_values(&self, q: &Matrix) -> Vec<f32> {
+        let values = self.values.as_ref().expect("not a regressor");
+        (0..q.rows())
+            .map(|row| {
+                let neigh = self.neighbors(q, row);
+                neigh.iter().map(|&r| values[r]).sum::<f32>() / neigh.len() as f32
+            })
+            .collect()
+    }
+}
+
+/// Mean distance to the k nearest *other* rows — the classical kNN anomaly
+/// score (higher = more anomalous).
+pub fn knn_anomaly_scores(x: &Matrix, k: usize) -> Vec<f32> {
+    assert!(k >= 1, "k must be positive");
+    let n = x.rows();
+    let mut scores = Vec::with_capacity(n);
+    let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i != j {
+                dists.push(Matrix::row_distance(x, i, x, j));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let take = k.min(dists.len());
+        scores.push(dists[..take].iter().sum::<f32>() / take.max(1) as f32);
+    }
+    scores
+}
+
+/// A simplified local-outlier-factor score: the ratio of a point's mean kNN
+/// distance to the mean kNN distance of its neighbors (≈1 for inliers,
+/// larger for outliers).
+pub fn lof_scores(x: &Matrix, k: usize) -> Vec<f32> {
+    let base = knn_anomaly_scores(x, k);
+    let n = x.rows();
+    let mut scores = Vec::with_capacity(n);
+    let mut dists: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i != j {
+                dists.push((j, Matrix::row_distance(x, i, x, j)));
+            }
+        }
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let take = k.min(dists.len());
+        let neigh_mean: f32 =
+            dists[..take].iter().map(|&(j, _)| base[j]).sum::<f32>() / take.max(1) as f32;
+        scores.push(if neigh_mean > 1e-9 { base[i] / neigh_mean } else { 1.0 });
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_votes_correctly() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![1.0], vec![1.1]]);
+        let model = KnnModel::classifier(x, vec![0, 0, 1, 1], 2, 2);
+        let q = Matrix::from_rows(&[vec![0.05], vec![1.05]]);
+        assert_eq!(model.predict_classes(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn regressor_averages() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0]]);
+        let model = KnnModel::regressor(x, vec![1.0, 3.0, 100.0], 2);
+        let q = Matrix::from_rows(&[vec![0.05]]);
+        assert_eq!(model.predict_values(&q), vec![2.0]);
+    }
+
+    #[test]
+    fn anomaly_scores_rank_outlier_highest() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0], // outlier
+        ]);
+        let scores = knn_anomaly_scores(&x, 2);
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 3);
+    }
+
+    #[test]
+    fn lof_near_one_for_uniform_cluster() {
+        let x = Matrix::from_rows(&[
+            vec![0.0], vec![0.1], vec![0.2], vec![0.3], vec![0.4], vec![9.0],
+        ]);
+        let scores = lof_scores(&x, 2);
+        // inliers near 1
+        for &s in &scores[..5] {
+            assert!(s < 2.0, "inlier LOF too high: {s}");
+        }
+        assert!(scores[5] > 2.0, "outlier LOF too low: {}", scores[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a classifier")]
+    fn regressor_rejects_class_prediction() {
+        let x = Matrix::zeros(2, 1);
+        let model = KnnModel::regressor(x.clone(), vec![1.0, 2.0], 1);
+        model.predict_classes(&x);
+    }
+}

@@ -1,0 +1,23 @@
+//! # gnn4tdl-baselines
+//!
+//! Classical tabular learners the survey compares GNN methods against:
+//! CART decision trees, random forests, gradient-boosted trees (the
+//! tree-based comparators of the open-problems discussion), k-nearest
+//! neighbors with kNN/LOF anomaly scores, multinomial logistic regression,
+//! and factorization machines for CTR.
+
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates read better in numeric kernels
+
+pub mod fm;
+pub mod forest;
+pub mod gbdt;
+pub mod knn;
+pub mod logreg;
+pub mod tree;
+
+pub use fm::{FactorizationMachine, FmConfig};
+pub use forest::{ForestConfig, RandomForest};
+pub use gbdt::{GbdtBinaryClassifier, GbdtClassifier, GbdtConfig, GbdtRegressor};
+pub use knn::{knn_anomaly_scores, lof_scores, KnnModel};
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use tree::{DecisionTree, TreeConfig};

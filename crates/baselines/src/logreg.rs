@@ -1,0 +1,149 @@
+//! Multinomial logistic regression — the "wide" linear baseline for the CTR
+//! and why-GNN experiments.
+
+use gnn4tdl_tensor::Matrix;
+
+/// Logistic-regression hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LogRegConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    pub l2: f32,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self { epochs: 300, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+/// Fitted multinomial logistic regression.
+pub struct LogisticRegression {
+    /// `d x C` weights.
+    w: Matrix,
+    /// `1 x C` bias.
+    b: Matrix,
+}
+
+impl LogisticRegression {
+    /// Full-batch gradient descent on the softmax cross-entropy.
+    pub fn fit(x: &Matrix, y: &[usize], num_classes: usize, cfg: &LogRegConfig) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/label mismatch");
+        assert!(num_classes >= 2, "need at least two classes");
+        let n = x.rows();
+        let d = x.cols();
+        let mut w = Matrix::zeros(d, num_classes);
+        let mut b = Matrix::zeros(1, num_classes);
+        let xt = x.transpose();
+        for _ in 0..cfg.epochs {
+            let probs = softmax_rows(&logits(x, &w, &b));
+            // grad_logits = (probs - onehot) / n
+            let mut grad_logits = probs;
+            for (r, &label) in y.iter().enumerate() {
+                grad_logits.set(r, label, grad_logits.get(r, label) - 1.0);
+            }
+            let grad_logits = grad_logits.scale(1.0 / n as f32);
+            let mut grad_w = xt.matmul(&grad_logits);
+            if cfg.l2 > 0.0 {
+                grad_w.axpy(cfg.l2, &w);
+            }
+            let grad_b = grad_logits.col_means().scale(n as f32); // column sums
+            w.axpy(-cfg.lr, &grad_w);
+            b.axpy(-cfg.lr, &grad_b);
+        }
+        Self { w, b }
+    }
+
+    /// Class-probability matrix `n x C`.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&logits(x, &self.w, &self.b))
+    }
+
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x).argmax_rows()
+    }
+
+    /// Positive-class probability for binary problems.
+    pub fn predict_positive(&self, x: &Matrix) -> Vec<f32> {
+        let p = self.predict_proba(x);
+        (0..p.rows()).map(|r| p.get(r, 1)).collect()
+    }
+}
+
+fn logits(x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = x.matmul(w);
+    for r in 0..out.rows() {
+        for (o, &bb) in out.row_mut(r).iter_mut().zip(b.data()) {
+            *o += bb;
+        }
+    }
+    out
+}
+
+fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in out.row_mut(r).iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in out.row_mut(r) {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_linear_data() {
+        let x = Matrix::from_rows(&[
+            vec![-1.0], vec![-0.8], vec![-0.9], vec![0.8], vec![1.0], vec![0.9],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let model = LogisticRegression::fit(&x, &y, 2, &LogRegConfig::default());
+        assert_eq!(model.predict_classes(&x), y);
+        let p = model.predict_positive(&x);
+        assert!(p[0] < 0.2 && p[5] > 0.8);
+    }
+
+    #[test]
+    fn fails_on_xor_as_expected() {
+        // the canonical result: linear models are at chance on XOR
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0],
+        ]);
+        let y = vec![0, 0, 1, 1];
+        let model = LogisticRegression::fit(&x, &y, 2, &LogRegConfig::default());
+        let pred = model.predict_classes(&x);
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(acc <= 3, "a linear model must not solve XOR, got {acc}/4");
+    }
+
+    #[test]
+    fn multiclass_probabilities_valid() {
+        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
+        let y = vec![0, 1, 2];
+        let model = LogisticRegression::fit(&x, &y, 3, &LogRegConfig { epochs: 50, ..Default::default() });
+        let p = model.predict_proba(&x);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let x = Matrix::from_rows(&[vec![-1.0], vec![1.0]]);
+        let y = vec![0, 1];
+        let free = LogisticRegression::fit(&x, &y, 2, &LogRegConfig { l2: 0.0, ..Default::default() });
+        let reg = LogisticRegression::fit(&x, &y, 2, &LogRegConfig { l2: 1.0, ..Default::default() });
+        assert!(reg.w.frobenius_norm() < free.w.frobenius_norm());
+    }
+}

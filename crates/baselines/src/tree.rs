@@ -1,0 +1,439 @@
+//! CART decision trees: classification (Gini) and regression (variance
+//! reduction), with depth/leaf-size controls and optional per-split feature
+//! subsampling for forest use.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use gnn4tdl_tensor::Matrix;
+
+/// Hyperparameters shared by classification and regression trees.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` = all (CART), `Some(k)` =
+    /// random subset of size `k` (random forest behaviour).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_leaf: 2, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf { value: Vec<f32> },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+}
+
+/// A fitted CART tree. For classification the leaf value is a class
+/// probability vector; for regression a single mean.
+///
+/// ```
+/// use gnn4tdl_baselines::{DecisionTree, TreeConfig};
+/// use gnn4tdl_tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.8], vec![1.0]]);
+/// let y = vec![0, 0, 1, 1];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let cfg = TreeConfig { min_samples_leaf: 1, ..Default::default() };
+/// let tree = DecisionTree::fit_classifier(&x, &y, 2, &cfg, &mut rng);
+/// assert_eq!(tree.predict_classes(&x), y);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_outputs: usize,
+}
+
+/// Split quality objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Objective {
+    Gini { classes: usize },
+    Variance,
+}
+
+impl DecisionTree {
+    /// Fits a classification tree on integer labels.
+    pub fn fit_classifier<R: Rng>(
+        x: &Matrix,
+        y: &[usize],
+        num_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/label mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        let targets: Vec<f32> = y.iter().map(|&c| c as f32).collect();
+        Self::fit(x, &targets, Objective::Gini { classes: num_classes }, cfg, rng)
+    }
+
+    /// Fits a regression tree.
+    pub fn fit_regressor<R: Rng>(x: &Matrix, y: &[f32], cfg: &TreeConfig, rng: &mut R) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        Self::fit(x, y, Objective::Variance, cfg, rng)
+    }
+
+    fn fit<R: Rng>(x: &Matrix, y: &[f32], obj: Objective, cfg: &TreeConfig, rng: &mut R) -> Self {
+        let num_outputs = match obj {
+            Objective::Gini { classes } => classes,
+            Objective::Variance => 1,
+        };
+        let mut tree = Self { nodes: Vec::new(), num_outputs };
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        tree.grow(x, y, obj, cfg, rows, 0, rng);
+        tree
+    }
+
+    fn leaf_value(&self, y: &[f32], rows: &[usize], obj: Objective) -> Vec<f32> {
+        match obj {
+            Objective::Gini { classes } => {
+                let mut counts = vec![0f32; classes];
+                for &r in rows {
+                    counts[y[r] as usize] += 1.0;
+                }
+                let total: f32 = counts.iter().sum();
+                counts.iter().map(|&c| c / total.max(1.0)).collect()
+            }
+            Objective::Variance => {
+                let mean = rows.iter().map(|&r| y[r]).sum::<f32>() / rows.len().max(1) as f32;
+                vec![mean]
+            }
+        }
+    }
+
+    /// Grows a subtree over `rows`, returning the new node's index.
+    #[allow(clippy::too_many_arguments)]
+    fn grow<R: Rng>(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        obj: Objective,
+        cfg: &TreeConfig,
+        rows: Vec<usize>,
+        depth: usize,
+        rng: &mut R,
+    ) -> usize {
+        let make_leaf = depth >= cfg.max_depth
+            || rows.len() < 2 * cfg.min_samples_leaf
+            || is_pure(y, &rows, obj);
+        if !make_leaf {
+            if let Some((feature, threshold)) = self.best_split(x, y, obj, cfg, &rows, rng) {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| x.get(r, feature) <= threshold);
+                if left_rows.len() >= cfg.min_samples_leaf && right_rows.len() >= cfg.min_samples_leaf {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: Vec::new() }); // placeholder
+                    let left = self.grow(x, y, obj, cfg, left_rows, depth + 1, rng);
+                    let right = self.grow(x, y, obj, cfg, right_rows, depth + 1, rng);
+                    self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                    return idx;
+                }
+            }
+        }
+        let idx = self.nodes.len();
+        let value = self.leaf_value(y, &rows, obj);
+        self.nodes.push(Node::Leaf { value });
+        idx
+    }
+
+    /// Exhaustive best split over (possibly subsampled) features, scanning
+    /// sorted values with running statistics.
+    fn best_split<R: Rng>(
+        &self,
+        x: &Matrix,
+        y: &[f32],
+        obj: Objective,
+        cfg: &TreeConfig,
+        rows: &[usize],
+        rng: &mut R,
+    ) -> Option<(usize, f32)> {
+        let mut features: Vec<usize> = (0..x.cols()).collect();
+        if let Some(k) = cfg.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(features.len()));
+        }
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, score)
+        let mut order: Vec<usize> = Vec::with_capacity(rows.len());
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(rows);
+            order.sort_by(|&a, &b| {
+                x.get(a, f).partial_cmp(&x.get(b, f)).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let score_fn = SplitScanner::new(y, &order, obj);
+            if let Some((threshold, score)) = score_fn.scan(x, f, &order, cfg.min_samples_leaf) {
+                if best.as_ref().is_none_or(|&(_, _, s)| score < s) {
+                    best = Some((f, threshold, score));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// Per-row predictions: `n x num_outputs` (class probabilities or mean).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.num_outputs);
+        for r in 0..x.rows() {
+            let mut idx = 0usize;
+            loop {
+                match &self.nodes[idx] {
+                    Node::Leaf { value } => {
+                        out.row_mut(r).copy_from_slice(value);
+                        break;
+                    }
+                    Node::Split { feature, threshold, left, right } => {
+                        idx = if x.get(r, *feature) <= *threshold { *left } else { *right };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicted class per row (classification trees).
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.predict(x).argmax_rows()
+    }
+
+    /// Predicted value per row (regression trees).
+    pub fn predict_values(&self, x: &Matrix) -> Vec<f32> {
+        self.predict(x).into_vec()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+fn is_pure(y: &[f32], rows: &[usize], obj: Objective) -> bool {
+    match obj {
+        Objective::Gini { .. } => rows.windows(2).all(|_| true) && {
+            let first = y[rows[0]];
+            rows.iter().all(|&r| y[r] == first)
+        },
+        Objective::Variance => {
+            let first = y[rows[0]];
+            rows.iter().all(|&r| (y[r] - first).abs() < 1e-12)
+        }
+    }
+}
+
+/// Running-statistics scanner for split scoring: returns the threshold with
+/// the lowest weighted impurity (Gini) or SSE (variance).
+struct SplitScanner<'a> {
+    y: &'a [f32],
+    obj: Objective,
+    // classification state
+    total_counts: Vec<f64>,
+    // regression state
+    total_sum: f64,
+    total_sq: f64,
+    n: f64,
+}
+
+impl<'a> SplitScanner<'a> {
+    fn new(y: &'a [f32], order: &[usize], obj: Objective) -> Self {
+        let mut total_counts = Vec::new();
+        let mut total_sum = 0f64;
+        let mut total_sq = 0f64;
+        match obj {
+            Objective::Gini { classes } => {
+                total_counts = vec![0f64; classes];
+                for &r in order {
+                    total_counts[y[r] as usize] += 1.0;
+                }
+            }
+            Objective::Variance => {
+                for &r in order {
+                    total_sum += y[r] as f64;
+                    total_sq += (y[r] as f64) * (y[r] as f64);
+                }
+            }
+        }
+        Self { y, obj, total_counts, total_sum, total_sq, n: order.len() as f64 }
+    }
+
+    fn scan(&self, x: &Matrix, feature: usize, order: &[usize], min_leaf: usize) -> Option<(f32, f64)> {
+        let n = order.len();
+        let mut best: Option<(f32, f64)> = None;
+        match self.obj {
+            Objective::Gini { classes } => {
+                let mut left_counts = vec![0f64; classes];
+                let mut left_n = 0f64;
+                for i in 0..n - 1 {
+                    let r = order[i];
+                    left_counts[self.y[r] as usize] += 1.0;
+                    left_n += 1.0;
+                    let v = x.get(r, feature);
+                    let v_next = x.get(order[i + 1], feature);
+                    if v == v_next || i + 1 < min_leaf || n - i - 1 < min_leaf {
+                        continue;
+                    }
+                    let right_n = self.n - left_n;
+                    let gini = |counts: &[f64], total: f64| -> f64 {
+                        if total == 0.0 {
+                            return 0.0;
+                        }
+                        1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+                    };
+                    let right_counts: Vec<f64> = self
+                        .total_counts
+                        .iter()
+                        .zip(&left_counts)
+                        .map(|(&t, &l)| t - l)
+                        .collect();
+                    let score = left_n * gini(&left_counts, left_n) + right_n * gini(&right_counts, right_n);
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some(((v + v_next) / 2.0, score));
+                    }
+                }
+            }
+            Objective::Variance => {
+                let mut left_sum = 0f64;
+                let mut left_sq = 0f64;
+                let mut left_n = 0f64;
+                for i in 0..n - 1 {
+                    let r = order[i];
+                    left_sum += self.y[r] as f64;
+                    left_sq += (self.y[r] as f64) * (self.y[r] as f64);
+                    left_n += 1.0;
+                    let v = x.get(r, feature);
+                    let v_next = x.get(order[i + 1], feature);
+                    if v == v_next || i + 1 < min_leaf || n - i - 1 < min_leaf {
+                        continue;
+                    }
+                    let right_n = self.n - left_n;
+                    let right_sum = self.total_sum - left_sum;
+                    let right_sq = self.total_sq - left_sq;
+                    let sse_left = left_sq - left_sum * left_sum / left_n;
+                    let sse_right = right_sq - right_sum * right_sum / right_n;
+                    let score = sse_left + sse_right;
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some(((v + v_next) / 2.0, score));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_axis_aligned_boundary_exactly() {
+        let x = Matrix::from_rows(&[
+            vec![0.1], vec![0.2], vec![0.3], vec![0.7], vec![0.8], vec![0.9],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        assert_eq!(tree.predict_classes(&x), y);
+        // generalizes across the boundary
+        let test = Matrix::from_rows(&[vec![0.05], vec![0.95]]);
+        assert_eq!(tree.predict_classes(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn fits_xor_with_depth_two() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+        ]);
+        let y = vec![0, 1, 1, 0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        assert_eq!(tree.predict_classes(&x), y);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::uniform(200, 3, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        assert!(tree.depth() <= 2, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_rows(&[
+            vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0],
+        ]);
+        let y = vec![5.0, 5.0, 5.0, -3.0, -3.0, -3.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = DecisionTree::fit_regressor(&x, &y, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let pred = tree.predict_values(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-5, "pred {p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn leaf_probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::uniform(100, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..100).map(|i| i % 3).collect();
+        let tree = DecisionTree::fit_classifier(&x, &y, 3, &TreeConfig::default(), &mut rng);
+        let probs = tree.predict(&x);
+        for r in 0..probs.rows() {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn irrelevant_features_are_ignored() {
+        // informative feature 0 + pure noise feature 1
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 300;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let informative = if i % 2 == 0 { 0.2 } else { 0.8 };
+            rows.push(vec![informative, rng.gen_range(0.0f32..1.0)]);
+            y.push(i % 2);
+        }
+        let x = Matrix::from_rows(&rows);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 1, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        // root split must be on the informative feature
+        if let Node::Split { feature, .. } = &tree.nodes[0] {
+            assert_eq!(*feature, 0);
+        } else {
+            panic!("expected a split at the root");
+        }
+        assert_eq!(tree.predict_classes(&x), y);
+    }
+}

@@ -1,0 +1,70 @@
+//! Classical-baseline fit cost: trees, forests, GBDT, FM, logistic
+//! regression on a fixed workload (the comparators of E10/E12/E15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gnn4tdl_baselines::{
+    DecisionTree, FactorizationMachine, FmConfig, ForestConfig, GbdtBinaryClassifier, GbdtConfig,
+    LogRegConfig, LogisticRegression, RandomForest, TreeConfig,
+};
+use gnn4tdl_data::encode_all;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = gaussian_clusters(
+        &ClustersConfig { n: 500, informative: 16, classes: 2, ..Default::default() },
+        &mut rng,
+    );
+    let enc = encode_all(&data.table);
+    let labels = data.target.labels().to_vec();
+
+    let mut group = c.benchmark_group("baseline_fit_500x16");
+    group.sample_size(10);
+    group.bench_function("decision_tree_d8", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(1);
+            black_box(DecisionTree::fit_classifier(&enc.features, &labels, 2, &TreeConfig::default(), &mut r))
+        })
+    });
+    group.bench_function("random_forest_50", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            black_box(RandomForest::fit_classifier(&enc.features, &labels, 2, &ForestConfig::default(), &mut r))
+        })
+    });
+    group.bench_function("gbdt_100rounds", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            black_box(GbdtBinaryClassifier::fit(&enc.features, &labels, &GbdtConfig::default(), &mut r))
+        })
+    });
+    group.bench_function("factorization_machine", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(4);
+            black_box(FactorizationMachine::fit(
+                &enc.features,
+                &labels,
+                &FmConfig { epochs: 50, ..Default::default() },
+                &mut r,
+            ))
+        })
+    });
+    group.bench_function("logistic_regression", |b| {
+        b.iter(|| {
+            black_box(LogisticRegression::fit(
+                &enc.features,
+                &labels,
+                2,
+                &LogRegConfig { epochs: 100, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

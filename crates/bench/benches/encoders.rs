@@ -1,0 +1,76 @@
+//! Forward+backward throughput per encoder architecture (Table 5's cost
+//! column): one full training step on a fixed 500-node kNN graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use gnn4tdl_construct::{build_instance_graph, same_value_multiplex, EdgeRule, Similarity};
+use gnn4tdl_data::synth::{fraud_network, gaussian_clusters, ClustersConfig, FraudConfig};
+use gnn4tdl_data::encode_all;
+use gnn4tdl_nn::{GatModel, GcnModel, GinModel, MlpModel, NodeModel, RgcnModel, SageModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn step(model: &dyn NodeModel, store: &ParamStore, x: &Matrix, labels: &Rc<Vec<usize>>) {
+    let mut s = Session::train(store, 0);
+    let xv = s.input(x.clone());
+    let emb = model.forward(&mut s, xv);
+    let loss = s.tape.softmax_cross_entropy(emb, Rc::clone(labels), None);
+    black_box(s.backward(loss));
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = gaussian_clusters(
+        &ClustersConfig { n: 500, informative: 16, classes: 3, ..Default::default() },
+        &mut rng,
+    );
+    let enc = encode_all(&data.table);
+    let graph = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 8 });
+    let labels = Rc::new(data.target.labels().to_vec());
+    let dims = [enc.features.cols(), 32, 3];
+
+    let mut group = c.benchmark_group("encoder_train_step_500n");
+    {
+        let mut store = ParamStore::new();
+        let m = MlpModel::new(&mut store, &dims, 0.0, &mut rng);
+        group.bench_function("mlp", |b| b.iter(|| step(&m, &store, &enc.features, &labels)));
+    }
+    {
+        let mut store = ParamStore::new();
+        let m = GcnModel::new(&mut store, &graph, &dims, 0.0, &mut rng);
+        group.bench_function("gcn", |b| b.iter(|| step(&m, &store, &enc.features, &labels)));
+    }
+    {
+        let mut store = ParamStore::new();
+        let m = SageModel::new(&mut store, &graph, &dims, 0.0, &mut rng);
+        group.bench_function("sage", |b| b.iter(|| step(&m, &store, &enc.features, &labels)));
+    }
+    {
+        let mut store = ParamStore::new();
+        let m = GinModel::new(&mut store, &graph, &dims, 0.0, &mut rng);
+        group.bench_function("gin", |b| b.iter(|| step(&m, &store, &enc.features, &labels)));
+    }
+    {
+        let mut store = ParamStore::new();
+        let m = GatModel::new(&mut store, &graph, &dims, 2, 0.0, &mut rng);
+        group.bench_function("gat_2heads", |b| b.iter(|| step(&m, &store, &enc.features, &labels)));
+    }
+    group.finish();
+
+    // relational model on the fraud multiplex
+    let fraud = fraud_network(&FraudConfig { n: 500, ..Default::default() }, &mut rng);
+    let fenc = encode_all(&fraud.dataset.table);
+    let mg = same_value_multiplex(&fraud.dataset.table, 100);
+    let flabels = Rc::new(fraud.dataset.target.labels().to_vec());
+    let mut store = ParamStore::new();
+    let m = RgcnModel::new(&mut store, &mg, &[fenc.features.cols(), 32, 2], 0.0, &mut rng);
+    c.bench_function("rgcn_train_step_500n", |b| {
+        b.iter(|| step(&m, &store, &fenc.features, &flabels))
+    });
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

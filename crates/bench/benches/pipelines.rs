@@ -1,0 +1,73 @@
+//! End-to-end pipeline cost per formulation (the harness behind every
+//! experiment table): full fit on a small fixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gnn4tdl::{fit_pipeline, EncoderSpec, GraphSpec, PipelineConfig};
+use gnn4tdl_bench::workloads::{clusters, fraud};
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_train::TrainConfig;
+
+fn quick_cfg(graph: GraphSpec, encoder: EncoderSpec) -> PipelineConfig {
+    PipelineConfig {
+        graph,
+        encoder,
+        hidden: 16,
+        train: TrainConfig { epochs: 20, patience: 0, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let w = clusters(0, 200, 0, 1.0);
+    let (wf, _) = fraud(1, 200);
+
+    let mut group = c.benchmark_group("fit_pipeline_200n_20epochs");
+    group.sample_size(10);
+    group.bench_function("mlp", |b| {
+        b.iter(|| black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::None, EncoderSpec::Mlp))))
+    });
+    group.bench_function("knn_gcn", |b| {
+        b.iter(|| {
+            black_box(fit_pipeline(
+                &w.dataset,
+                &w.split,
+                &quick_cfg(
+                    GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
+                    EncoderSpec::Gcn,
+                ),
+            ))
+        })
+    });
+    group.bench_function("bipartite", |b| {
+        b.iter(|| black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::Bipartite, EncoderSpec::Gcn))))
+    });
+    group.bench_function("hypergraph", |b| {
+        b.iter(|| {
+            black_box(fit_pipeline(
+                &w.dataset,
+                &w.split,
+                &quick_cfg(GraphSpec::Hypergraph { numeric_bins: 6 }, EncoderSpec::Gcn),
+            ))
+        })
+    });
+    group.bench_function("multiplex_fraud", |b| {
+        b.iter(|| {
+            black_box(fit_pipeline(
+                &wf.dataset,
+                &wf.split,
+                &quick_cfg(GraphSpec::Multiplex { max_group: 100 }, EncoderSpec::Gcn),
+            ))
+        })
+    });
+    group.bench_function("neural_gsl", |b| {
+        b.iter(|| {
+            black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::NeuralGsl { k: 6 }, EncoderSpec::Gcn)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

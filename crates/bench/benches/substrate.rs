@@ -1,0 +1,104 @@
+//! Microbenchmarks for the numeric substrate: dense/sparse products, a full
+//! autodiff train step, and graph construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use gnn4tdl_construct::{build_instance_graph, bipartite_from_table, hypergraph_from_table, EdgeRule, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::encode_all;
+use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Matrix::randn(256, 256, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(256, 256, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_256", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // ~10 edges per row sparse matrix
+    let n = 2000;
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        for _ in 0..10 {
+            use rand::Rng;
+            triplets.push((r, rng.gen_range(0..n), 1.0f32));
+        }
+    }
+    let a = CsrMatrix::from_triplets(n, n, &triplets);
+    let x = Matrix::randn(n, 32, 0.0, 1.0, &mut rng);
+    c.bench_function("spmm_2000x2000_deg10_d32", |bench| {
+        bench.iter(|| black_box(a.spmm(&x)));
+    });
+}
+
+fn bench_autodiff_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 500;
+    let x0 = Matrix::randn(n, 16, 0.0, 1.0, &mut rng);
+    let w0 = Matrix::randn(16, 32, 0.0, 0.1, &mut rng);
+    let w1 = Matrix::randn(32, 3, 0.0, 0.1, &mut rng);
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        use rand::Rng;
+        for _ in 0..8 {
+            triplets.push((r, rng.gen_range(0..n), 1.0f32));
+        }
+    }
+    let adj = Rc::new(SpAdj::new(CsrMatrix::from_triplets(n, n, &triplets).row_normalized()));
+    let labels = Rc::new((0..n).map(|i| i % 3).collect::<Vec<usize>>());
+    c.bench_function("gcn_forward_backward_500n", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(x0.clone());
+            let w1v = tape.param(w0.clone());
+            let w2v = tape.param(w1.clone());
+            let agg = tape.spmm(&adj, x);
+            let h = tape.matmul(agg, w1v);
+            let h = tape.relu(h);
+            let agg2 = tape.spmm(&adj, h);
+            let logits = tape.matmul(agg2, w2v);
+            let loss = tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            black_box(tape.backward(loss));
+        });
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = gaussian_clusters(&ClustersConfig { n: 500, informative: 16, ..Default::default() }, &mut rng);
+    let enc = encode_all(&data.table);
+    c.bench_function("knn_graph_500x16_k10", |bench| {
+        bench.iter(|| {
+            black_box(build_instance_graph(
+                &enc.features,
+                Similarity::Euclidean,
+                EdgeRule::Knn { k: 10 },
+            ))
+        });
+    });
+    c.bench_function("bipartite_from_table_500x16", |bench| {
+        bench.iter_batched(
+            || data.table.clone(),
+            |t| black_box(bipartite_from_table(&t)),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("hypergraph_from_table_500x16", |bench| {
+        bench.iter_batched(
+            || data.table.clone(),
+            |t| black_box(hypergraph_from_table(&t, 8)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_autodiff_step, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment runner: `experiments [all | E01 | E02 | ...] [--json DIR]`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gnn4tdl_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json_dir = it.next().map(PathBuf::from);
+        } else {
+            wanted.push(arg);
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: experiments [all | E01..E16 ...] [--json DIR]");
+        eprintln!("available experiments:");
+        for (id, _) in experiments::all() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+    let run_all = wanted.iter().any(|w| w.eq_ignore_ascii_case("all"));
+    let suite = experiments::all();
+    let mut ran = 0usize;
+    let t0 = Instant::now();
+    for (id, runner) in suite {
+        if !run_all && !wanted.iter().any(|w| w.eq_ignore_ascii_case(id)) {
+            continue;
+        }
+        let t = Instant::now();
+        let reports = runner();
+        for report in &reports {
+            report.print();
+            if let Some(dir) = &json_dir {
+                report.save_json(dir).expect("write report json");
+            }
+        }
+        println!("[{id} finished in {:.1}s]\n", t.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {wanted:?}");
+        std::process::exit(2);
+    }
+    println!("ran {ran} experiment group(s) in {:.1}s", t0.elapsed().as_secs_f64());
+}

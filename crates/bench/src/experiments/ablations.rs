@@ -1,0 +1,310 @@
+//! E16 — Table 6: ablations of specialized-GNN design choices:
+//! distance preservation (LUNAR), feature-relation modeling (multiplex vs
+//! flattened), and missing-value-aware construction (GNN4MV).
+
+use gnn4tdl::zoo::{lunar_scores, LunarConfig};
+use gnn4tdl::{classification_on, fit_pipeline, test_classification, GraphSpec, PipelineConfig};
+use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+use gnn4tdl_data::metrics::roc_auc;
+use gnn4tdl_data::synth::inject_mcar;
+use gnn4tdl_data::table::ColumnData;
+use gnn4tdl_data::{encode_all, Featurizer, Split};
+use gnn4tdl_graph::Graph;
+use gnn4tdl_nn::{Linear, NodeModel, SageModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamStore};
+use gnn4tdl_train::{Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+use crate::report::{Cell, Report};
+use crate::workloads::{anomalies, fraud};
+
+/// Ablation A (distance preservation, LUNAR row of Table 6): the same
+/// GNN-over-kNN-graph detector with distance-vector inputs vs raw
+/// coordinates. Expected shape: distance inputs win — they directly encode
+/// local density, which coordinates only encode implicitly.
+fn distance_preservation() -> Vec<Vec<Cell>> {
+    let dataset = anomalies(170, 3.5);
+    let enc = encode_all(&dataset.table);
+    let labels = dataset.target.labels();
+    // with distance features (the LUNAR design)
+    let with_dist = lunar_scores(&enc.features, &LunarConfig { epochs: 100, ..Default::default() });
+    // without: identical protocol, but node inputs are raw coordinates
+    let without = lunar_like_raw_inputs(&enc.features, 10, 100, 0);
+    vec![
+        vec![
+            Cell::from("distance preservation (LUNAR)"),
+            Cell::from("kNN-distance node inputs"),
+            Cell::from(roc_auc(&with_dist, labels)),
+        ],
+        vec![
+            Cell::from("distance preservation (LUNAR)"),
+            Cell::from("raw-coordinate node inputs"),
+            Cell::from(roc_auc(&without, labels)),
+        ],
+    ]
+}
+
+/// The LUNAR protocol with raw coordinates instead of distance vectors.
+fn lunar_like_raw_inputs(features: &Matrix, k: usize, epochs: usize, seed: u64) -> Vec<f32> {
+    use rand::Rng;
+    let n = features.rows();
+    let d = features.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_neg = n;
+    let mut lo = vec![f32::INFINITY; d];
+    let mut hi = vec![f32::NEG_INFINITY; d];
+    for r in 0..n {
+        for (c, &v) in features.row(r).iter().enumerate() {
+            lo[c] = lo[c].min(v);
+            hi[c] = hi[c].max(v);
+        }
+    }
+    let mut all = Matrix::zeros(n + n_neg, d);
+    for r in 0..n {
+        all.row_mut(r).copy_from_slice(features.row(r));
+    }
+    for r in 0..n_neg {
+        for c in 0..d {
+            let span = (hi[c] - lo[c]).max(1e-6);
+            all.set(n + r, c, rng.gen_range((lo[c] - 0.1 * span)..(hi[c] + 0.1 * span)));
+        }
+    }
+    let graph = build_instance_graph(&all, Similarity::Euclidean, EdgeRule::Knn { k });
+    let targets = Rc::new(Matrix::col_vector(
+        &(0..n + n_neg).map(|r| if r < n { 0.0 } else { 1.0 }).collect::<Vec<f32>>(),
+    ));
+    let mut store = ParamStore::new();
+    let encoder = SageModel::new(&mut store, &graph, &[d, 32, 32], 0.0, &mut rng);
+    let head = Linear::new(&mut store, "head", 32, 1, &mut rng);
+    let mut opt = Adam::new(0.01, 1e-5);
+    for epoch in 0..epochs {
+        let mut s = Session::train(&store, seed.wrapping_add(epoch as u64));
+        let x = s.input(all.clone());
+        let emb = encoder.forward(&mut s, x);
+        let logit = head.forward(&mut s, emb);
+        let loss = s.tape.bce_with_logits(logit, Rc::clone(&targets), None);
+        let grads = s.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    let mut s = Session::eval(&store);
+    let x = s.input(all);
+    let emb = encoder.forward(&mut s, x);
+    let logit = head.forward(&mut s, emb);
+    let sig = s.tape.sigmoid(logit);
+    let scores = s.tape.value(sig);
+    (0..n).map(|r| scores.get(r, 0)).collect()
+}
+
+/// Ablation B (feature-relation modeling, TabGNN row): layered multiplex
+/// relations vs the same edges flattened into one graph. Expected shape:
+/// keeping relations separate wins, because per-relation weights let the
+/// model discount the uninformative merchant relation.
+fn relation_modeling() -> Vec<Vec<Cell>> {
+    let (w, _) = fraud(171, 800);
+    let multiplex_cfg = PipelineConfig {
+        graph: GraphSpec::Multiplex { max_group: 100 },
+        hidden: 24,
+        train: gnn4tdl_train::TrainConfig { epochs: 120, patience: 25, ..Default::default() },
+        ..Default::default()
+    };
+    let rm = fit_pipeline(&w.dataset, &w.split, &multiplex_cfg);
+    let m_multi = test_classification(&rm.predictions, &w.dataset.target, &w.split);
+
+    // flattened: same same-value edges, single homogeneous graph + GCN
+    let mg = gnn4tdl_construct::same_value_multiplex(&w.dataset.table, 100);
+    let flat: Graph = mg.flatten();
+    let labels = w.dataset.target.labels().to_vec();
+    let enc = Featurizer::fit(&w.dataset.table, &w.split.train).encode(&w.dataset.table);
+    let (m_flat, _) = train_gcn_on_graph(&flat, &enc.features, &labels, &w.split, 172);
+    vec![
+        vec![
+            Cell::from("feature-relation modeling (TabGNN)"),
+            Cell::from("multiplex (per-relation weights)"),
+            Cell::from(m_multi.auc),
+        ],
+        vec![
+            Cell::from("feature-relation modeling (TabGNN)"),
+            Cell::from("flattened single graph"),
+            Cell::from(m_flat),
+        ],
+    ]
+}
+
+/// Returns `(auc, accuracy)` of a GCN trained on the given fixed graph —
+/// AUC is only meaningful for binary labels (it is 0.5 otherwise).
+fn train_gcn_on_graph(graph: &Graph, features: &Matrix, labels: &[usize], split: &Split, seed: u64) -> (f64, f64) {
+    use gnn4tdl_nn::GcnModel;
+    use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    let encoder = GcnModel::new(&mut store, graph, &[features.cols(), 24, 24], 0.2, &mut rng);
+    let model = SupervisedModel::new(&mut store, 0, encoder, num_classes, &mut rng);
+    let task = NodeTask::classification(features.clone(), labels.to_vec(), num_classes, split.clone());
+    fit(&model, &mut store, &task, &[], &TrainConfig { epochs: 120, patience: 25, ..Default::default() });
+    let logits = predict(&model, &store, features);
+    let m = classification_on(&logits, labels, num_classes, &split.test);
+    (m.auc, m.accuracy)
+}
+
+/// Ablation C (missing-value awareness, GNN4MV row): under 40% MCAR with
+/// distractor features, build the kNN graph in a *task-driven metric space*
+/// (Fisher-weighted, observed-dims-only distances guided by the labeled
+/// rows — GNN4MV's supervised construction) vs zero-imputed unweighted
+/// distances. Expected shape: the supervised metric yields a more
+/// homophilic graph and better accuracy.
+fn missing_aware_construction() -> Vec<Vec<Cell>> {
+    use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+    let mut rng = StdRng::seed_from_u64(174);
+    let dataset = gaussian_clusters(
+        &ClustersConfig {
+            n: 350,
+            informative: 6,
+            noise_features: 12,
+            classes: 3,
+            cluster_std: 1.0,
+            center_scale: 4.0,
+        },
+        &mut rng,
+    );
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng)
+        .with_label_fraction(0.3, &mut rng);
+    let mut w = crate::workloads::Workload { dataset, split };
+    inject_mcar(&mut w.dataset.table, 0.5, &mut rng);
+    let labels = w.dataset.target.labels().to_vec();
+    let enc = Featurizer::fit(&w.dataset.table, &w.split.train).encode(&w.dataset.table);
+
+    // naive: zero-imputed encoded features straight into kNN
+    let naive = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 8 });
+    let (_, naive_acc) = train_gcn_on_graph(&naive, &enc.features, &labels, &w.split, 175);
+
+    // task-driven: Fisher-score feature weights from the labeled rows,
+    // distance over commonly observed dimensions only
+    let weights = fisher_weights(&w.dataset.table, &labels, &w.split.train);
+    let aware = task_metric_knn(&w.dataset.table, &weights, 8);
+    let (_, aware_acc) = train_gcn_on_graph(&aware, &enc.features, &labels, &w.split, 176);
+
+    vec![
+        vec![
+            Cell::from("missing-value awareness (GNN4MV)"),
+            Cell::from(format!("task-driven metric kNN (homophily {:.3})", aware.edge_homophily(&labels))),
+            Cell::from(aware_acc),
+        ],
+        vec![
+            Cell::from("missing-value awareness (GNN4MV)"),
+            Cell::from(format!("zero-imputed kNN (homophily {:.3})", naive.edge_homophily(&labels))),
+            Cell::from(naive_acc),
+        ],
+    ]
+}
+
+/// Per-numeric-column Fisher score (between-class variance over
+/// within-class variance) estimated on observed entries of labeled rows.
+fn fisher_weights(table: &gnn4tdl_data::Table, labels: &[usize], train_rows: &[usize]) -> Vec<f32> {
+    let numeric = table.numeric_columns();
+    let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut weights = Vec::with_capacity(numeric.len());
+    for &ci in &numeric {
+        let col = table.column(ci);
+        let ColumnData::Numeric(values) = &col.data else { unreachable!() };
+        let mut sums = vec![0f64; num_classes];
+        let mut sqs = vec![0f64; num_classes];
+        let mut counts = vec![0usize; num_classes];
+        for &r in train_rows {
+            if !col.missing[r] {
+                let y = labels[r];
+                sums[y] += values[r] as f64;
+                sqs[y] += (values[r] as f64).powi(2);
+                counts[y] += 1;
+            }
+        }
+        let total_n: usize = counts.iter().sum();
+        if total_n < num_classes * 2 {
+            weights.push(1.0);
+            continue;
+        }
+        let grand = sums.iter().sum::<f64>() / total_n as f64;
+        let mut between = 0f64;
+        let mut within = 0f64;
+        for c in 0..num_classes {
+            if counts[c] == 0 {
+                continue;
+            }
+            let mean_c = sums[c] / counts[c] as f64;
+            between += counts[c] as f64 * (mean_c - grand).powi(2);
+            within += sqs[c] - counts[c] as f64 * mean_c * mean_c;
+        }
+        weights.push(if within > 1e-9 { (between / within) as f32 } else { 1.0 });
+    }
+    weights
+}
+
+/// kNN over Fisher-weighted distances computed only on dimensions both rows
+/// observe.
+fn task_metric_knn(table: &gnn4tdl_data::Table, weights: &[f32], k: usize) -> Graph {
+    let n = table.num_rows();
+    let numeric = table.numeric_columns();
+    assert_eq!(numeric.len(), weights.len(), "one weight per numeric column");
+    let mut std_cols: Vec<Vec<f32>> = Vec::new();
+    for &ci in &numeric {
+        let col = table.column(ci);
+        let mean = col.observed_mean().unwrap_or(0.0);
+        let std = col.observed_std().unwrap_or(1.0).max(1e-6);
+        if let ColumnData::Numeric(v) = &col.data {
+            std_cols.push(v.iter().map(|&x| (x - mean) / std).collect());
+        }
+    }
+    let distance = |a: usize, b: usize| -> f32 {
+        let mut sum = 0.0;
+        let mut wsum = 0.0f32;
+        for (j, &ci) in numeric.iter().enumerate() {
+            let col = table.column(ci);
+            if !col.missing[a] && !col.missing[b] {
+                let d = std_cols[j][a] - std_cols[j][b];
+                sum += weights[j] * d * d;
+                wsum += weights[j];
+            }
+        }
+        if wsum <= 1e-9 {
+            f32::INFINITY
+        } else {
+            (sum / wsum).sqrt()
+        }
+    };
+    let mut edges = Vec::with_capacity(n * k);
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        scored.clear();
+        for j in 0..n {
+            if i != j {
+                scored.push((j, distance(i, j)));
+            }
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(j, _) in scored.iter().take(k) {
+            edges.push((i, j, 1.0));
+        }
+    }
+    Graph::from_weighted_edges(n, &edges, true)
+}
+
+/// E16: all three ablations in one table.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "E16",
+        "Table 6 ablations: specialized design choices on vs off",
+        &["design", "variant", "score"],
+    );
+    for row in distance_preservation() {
+        report.row(row);
+    }
+    for row in relation_modeling() {
+        report.row(row);
+    }
+    for row in missing_aware_construction() {
+        report.row(row);
+    }
+    report
+}

@@ -1,0 +1,43 @@
+//! The experiment suite: one module per paper artifact (table/figure/
+//! section), each producing [`crate::report::Report`]s.
+
+pub mod ablations;
+pub mod apps;
+pub mod construction;
+pub mod encoders_exp;
+pub mod formulations;
+pub mod knowledge;
+pub mod pipeline_exp;
+pub mod robustness;
+pub mod scalability;
+pub mod training_plans_exp;
+pub mod trees_exp;
+pub mod why_gnn;
+
+#[allow(clippy::type_complexity)]
+use crate::report::Report;
+
+/// Every experiment id with its runner, in paper order.
+pub fn all() -> Vec<(&'static str, fn() -> Vec<Report>)> {
+    vec![
+        ("E01", || vec![pipeline_exp::run()]),
+        ("E02", || vec![formulations::run_e02()]),
+        ("E03", || vec![construction::run_e03()]),
+        ("E04", || vec![construction::run_e04()]),
+        ("E05", || vec![encoders_exp::run()]),
+        ("E06", || vec![training_plans_exp::run_e06()]),
+        ("E07", || vec![training_plans_exp::run_e07()]),
+        ("E08", || vec![formulations::run_e08()]),
+        ("E09", why_gnn::run_all),
+        ("E10", || vec![trees_exp::run_classification(), trees_exp::run_regression()]),
+        ("E11", || vec![apps::run_e11()]),
+        ("E12", || vec![apps::run_e12()]),
+        ("E13", || vec![apps::run_e13()]),
+        ("E14", || vec![apps::run_e14()]),
+        ("E15", || vec![apps::run_e15()]),
+        ("E16", || vec![ablations::run()]),
+        ("E17", || vec![robustness::run_structure_noise(), robustness::run_label_noise()]),
+        ("E18", || vec![scalability::run()]),
+        ("E19", || vec![knowledge::run_plato(), knowledge::run_retrieval()]),
+    ]
+}

@@ -1,0 +1,55 @@
+//! E18 — Section 6 "Scaling GNNs to Large Tabular Data": wall-clock cost of
+//! construction + training per formulation as rows grow.
+//!
+//! Expected shape: kNN construction grows quadratically (brute force);
+//! bipartite/multiplex/hypergraph construction grows linearly in cells;
+//! per-epoch training cost tracks edge count, with the hypergraph staying
+//! the most compact formulation — the survey's "compact formulation" point.
+
+use gnn4tdl::{fit_pipeline, EncoderSpec, GraphSpec, PipelineConfig};
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_train::TrainConfig;
+
+use crate::report::{Cell, Report};
+use crate::workloads::fraud;
+
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "E18",
+        "Sec 6 scalability: construction + training wall-clock vs rows (fraud workload)",
+        &["formulation", "n", "edges", "construct_ms", "train_ms_30epochs"],
+    );
+    let train = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+    for &n in &[250usize, 500, 1000, 2000] {
+        let (w, _) = fraud(190, n);
+        let specs = [
+            (
+                "knn instance graph",
+                GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
+                EncoderSpec::Gcn,
+            ),
+            ("bipartite", GraphSpec::Bipartite, EncoderSpec::Gcn),
+            ("multiplex same-value", GraphSpec::Multiplex { max_group: 400 }, EncoderSpec::Gcn),
+            ("hypergraph", GraphSpec::Hypergraph { numeric_bins: 8 }, EncoderSpec::Gcn),
+            ("mlp (no graph)", GraphSpec::None, EncoderSpec::Mlp),
+        ];
+        for (name, graph, encoder) in specs {
+            let cfg = PipelineConfig {
+                graph,
+                encoder,
+                hidden: 16,
+                train: train.clone(),
+                ..Default::default()
+            };
+            let r = fit_pipeline(&w.dataset, &w.split, &cfg);
+            report.row(vec![
+                Cell::from(name),
+                Cell::from(n),
+                Cell::from(r.graph_edges),
+                Cell::from(r.construction_ms),
+                Cell::from(r.training_ms),
+            ]);
+        }
+    }
+    report
+}

@@ -1,0 +1,145 @@
+//! E10 — Open problems / Grinsztajn: trees vs neural models on non-smooth
+//! boundaries and under irrelevant features.
+
+use gnn4tdl::{fit_pipeline, test_classification, test_regression, EncoderSpec, GraphSpec, PipelineConfig};
+use gnn4tdl_baselines::{ForestConfig, GbdtClassifier, GbdtConfig, GbdtRegressor, RandomForest};
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_data::metrics::{accuracy, rmse};
+use gnn4tdl_data::synth::{checkerboard, pad_irrelevant, rings, step_regression};
+use gnn4tdl_data::{encode_all, Dataset, Split};
+use gnn4tdl_train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{Cell, Report};
+
+fn neural_acc(dataset: &Dataset, split: &Split, graph: GraphSpec, encoder: EncoderSpec) -> f64 {
+    let cfg = PipelineConfig {
+        graph,
+        encoder,
+        hidden: 32,
+        train: TrainConfig { epochs: 150, patience: 30, ..Default::default() },
+        ..Default::default()
+    };
+    let r = fit_pipeline(dataset, split, &cfg);
+    test_classification(&r.predictions, &dataset.target, split).accuracy
+}
+
+fn tree_acc(dataset: &Dataset, split: &Split, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let enc = encode_all(&dataset.table);
+    let labels = dataset.target.labels();
+    let tx = enc.features.gather_rows(&split.train);
+    let ty: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+    let ex = enc.features.gather_rows(&split.test);
+    let et: Vec<usize> = split.test.iter().map(|&i| labels[i]).collect();
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let gbdt = GbdtClassifier::fit(&tx, &ty, k, &GbdtConfig::default(), &mut rng);
+    let forest = RandomForest::fit_classifier(&tx, &ty, k, &ForestConfig::default(), &mut rng);
+    (
+        accuracy(&gbdt.predict_classes(&ex), &et),
+        accuracy(&forest.predict_classes(&ex), &et),
+    )
+}
+
+/// E10a: classification on non-smooth boundaries × irrelevant feature
+/// padding. Expected shape: trees stay near-perfect as irrelevant features
+/// grow; neural models degrade (the Grinsztajn finding the survey's open
+/// problem builds on).
+pub fn run_classification() -> Report {
+    let mut report = Report::new(
+        "E10a",
+        "Open problems: trees vs neural on non-smooth boundaries x irrelevant features",
+        &["dataset", "irrelevant", "gbdt", "random_forest", "mlp", "knn_gcn", "bgnn_hybrid"],
+    );
+    let mut rng = StdRng::seed_from_u64(100);
+    let bases = [
+        ("checkerboard 4x4", checkerboard(900, 4, 0.02, &mut rng)),
+        ("rings x3", rings(900, 3, 0.08, &mut rng)),
+    ];
+    for (name, base) in bases {
+        for irrelevant in [0usize, 8, 32] {
+            let dataset = if irrelevant == 0 { base.clone() } else { pad_irrelevant(&base, irrelevant, &mut rng) };
+            let mut srng = StdRng::seed_from_u64(101);
+            let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut srng);
+            let (gbdt, forest) = tree_acc(&dataset, &split, 102);
+            let mlp = neural_acc(&dataset, &split, GraphSpec::None, EncoderSpec::Mlp);
+            let gcn = neural_acc(
+                &dataset,
+                &split,
+                GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
+                EncoderSpec::Gcn,
+            );
+            // boost-then-convolve hybrid (the survey's tree-ability direction)
+            let enc = encode_all(&dataset.table);
+            let logits = gnn4tdl::zoo::bgnn_classify(
+                &enc.features,
+                dataset.target.labels(),
+                2,
+                &split,
+                &gnn4tdl::zoo::BgnnConfig::default(),
+            );
+            let preds = logits.argmax_rows();
+            let p: Vec<usize> = split.test.iter().map(|&i| preds[i]).collect();
+            let t: Vec<usize> = split.test.iter().map(|&i| dataset.target.labels()[i]).collect();
+            let bgnn = accuracy(&p, &t);
+            report.row(vec![
+                Cell::from(name),
+                Cell::from(irrelevant),
+                Cell::from(gbdt),
+                Cell::from(forest),
+                Cell::from(mlp),
+                Cell::from(gcn),
+                Cell::from(bgnn),
+            ]);
+        }
+    }
+    report
+}
+
+/// E10b: step-function regression — piecewise-constant targets. Expected
+/// shape: boosted trees fit the steps almost exactly; smooth neural models
+/// blur the jumps and carry higher RMSE.
+pub fn run_regression() -> Report {
+    let mut report = Report::new(
+        "E10b",
+        "Open problems: step-function regression (test RMSE, lower is better)",
+        &["model", "rmse"],
+    );
+    let mut rng = StdRng::seed_from_u64(110);
+    let dataset = step_regression(900, 6, 0.1, &mut rng);
+    let split = Split::random(900, 0.5, 0.2, &mut rng);
+    let enc = encode_all(&dataset.table);
+    let values = dataset.target.values();
+    let tx = enc.features.gather_rows(&split.train);
+    let ty: Vec<f32> = split.train.iter().map(|&i| values[i]).collect();
+    let ex = enc.features.gather_rows(&split.test);
+    let et: Vec<f32> = split.test.iter().map(|&i| values[i]).collect();
+
+    let gbdt = GbdtRegressor::fit(&tx, &ty, &GbdtConfig::default(), &mut rng);
+    report.row(vec![Cell::from("GBDT"), Cell::from(rmse(&gbdt.predict(&ex), &et))]);
+
+    let forest = RandomForest::fit_regressor(&tx, &ty, &ForestConfig::default(), &mut rng);
+    report.row(vec![Cell::from("random forest"), Cell::from(rmse(&forest.predict_values(&ex), &et))]);
+
+    for (name, graph, encoder) in [
+        ("MLP", GraphSpec::None, EncoderSpec::Mlp),
+        (
+            "kNN+SAGE",
+            GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
+            EncoderSpec::Sage,
+        ),
+    ] {
+        let cfg = PipelineConfig {
+            graph,
+            encoder,
+            hidden: 32,
+            train: TrainConfig { epochs: 200, patience: 30, ..Default::default() },
+            ..Default::default()
+        };
+        let r = fit_pipeline(&dataset, &split, &cfg);
+        let m = test_regression(&r.predictions, &dataset.target, &split);
+        report.row(vec![Cell::from(name), Cell::from(m.rmse)]);
+    }
+    report
+}

@@ -1,0 +1,17 @@
+//! # gnn4tdl-bench
+//!
+//! The experiment harness reproducing every table and figure of the survey
+//! as an empirical study (see DESIGN.md's experiment index), plus criterion
+//! microbenchmarks over the hot paths.
+//!
+//! Run everything with:
+//! ```text
+//! cargo run --release -p gnn4tdl-bench --bin experiments -- all
+//! ```
+
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates read better in numeric kernels
+#![allow(clippy::type_complexity)] // index loops over matrix coordinates read better in numeric kernels
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,128 @@
+//! Shared, seeded workload constructors for the experiment suite.
+
+use gnn4tdl_data::synth::{
+    anomaly_mixture, ctr_synthetic, ehr_synthetic, fraud_network, gaussian_clusters,
+    parity_fields, AnomalyConfig, ClustersConfig, CtrConfig, CtrData, EhrConfig, EhrData,
+    FraudConfig, FraudData, ParityConfig,
+};
+use gnn4tdl_data::{Dataset, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dataset with its split, ready for the pipeline.
+pub struct Workload {
+    pub dataset: Dataset,
+    pub split: Split,
+}
+
+/// Medium-difficulty Gaussian clusters with optional noise dims and label
+/// fraction.
+pub fn clusters(seed: u64, n: usize, noise_features: usize, label_fraction: f64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = gaussian_clusters(
+        &ClustersConfig {
+            n,
+            informative: 8,
+            noise_features,
+            classes: 3,
+            cluster_std: 1.0,
+            center_scale: 3.0,
+        },
+        &mut rng,
+    );
+    let mut split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    if label_fraction < 1.0 {
+        split = split.with_label_fraction(label_fraction, &mut rng);
+    }
+    Workload { dataset, split }
+}
+
+/// Parity (XOR) fields: pure feature-interaction signal.
+pub fn parity(seed: u64, n: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = parity_fields(&ParityConfig { n, fields: 6, order: 2, label_noise: 0.02 }, &mut rng);
+    let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut rng);
+    Workload { dataset, split }
+}
+
+/// Fraud network with rings sharing devices.
+pub fn fraud(seed: u64, n: usize) -> (Workload, FraudData) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = fraud_network(&FraudConfig { n, ..Default::default() }, &mut rng);
+    let split = Split::stratified(data.dataset.target.labels(), 0.4, 0.2, &mut rng);
+    (Workload { dataset: data.dataset.clone(), split }, data)
+}
+
+/// Synthetic EHR with module-driven risk.
+pub fn ehr(seed: u64, patients: usize, label_fraction: f64) -> (Workload, EhrData) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ehr_synthetic(&EhrConfig { patients, ..Default::default() }, &mut rng);
+    let mut split = Split::stratified(data.dataset.target.labels(), 0.4, 0.2, &mut rng);
+    if label_fraction < 1.0 {
+        split = split.with_label_fraction(label_fraction, &mut rng);
+    }
+    (Workload { dataset: data.dataset.clone(), split }, data)
+}
+
+/// CTR data with a configurable interaction strength.
+pub fn ctr(seed: u64, n: usize, first_order: f32, interaction: f32) -> (Workload, CtrData) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ctr_synthetic(
+        &CtrConfig {
+            n,
+            fields: 6,
+            cardinality: 8,
+            first_order_scale: first_order,
+            interaction_scale: interaction,
+            interacting_pairs: 5,
+        },
+        &mut rng,
+    );
+    let split = Split::stratified(data.dataset.target.labels(), 0.5, 0.2, &mut rng);
+    (Workload { dataset: data.dataset.clone(), split }, data)
+}
+
+/// Anomaly mixture with a difficulty knob (smaller range = harder).
+pub fn anomalies(seed: u64, outlier_range: f32) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    anomaly_mixture(
+        &AnomalyConfig {
+            inliers: 450,
+            outliers: 50,
+            dims: 8,
+            clusters: 3,
+            cluster_std: 0.6,
+            outlier_range,
+        },
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = clusters(1, 100, 0, 1.0);
+        let b = clusters(1, 100, 0, 1.0);
+        assert_eq!(a.dataset.target.labels(), b.dataset.target.labels());
+        assert_eq!(a.split.train, b.split.train);
+    }
+
+    #[test]
+    fn label_fraction_applies() {
+        let full = clusters(2, 200, 0, 1.0);
+        let scarce = clusters(2, 200, 0, 0.1);
+        assert_eq!(scarce.split.train.len(), (full.split.train.len() as f64 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn all_constructors_build() {
+        assert!(parity(0, 100).dataset.num_rows() == 100);
+        assert!(fraud(0, 200).0.dataset.num_rows() == 200);
+        assert!(ehr(0, 100, 0.5).0.dataset.num_rows() == 100);
+        assert!(ctr(0, 200, 0.3, 1.0).0.dataset.num_rows() == 200);
+        assert!(anomalies(0, 5.0).num_rows() == 500);
+    }
+}

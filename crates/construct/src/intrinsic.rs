@@ -1,0 +1,226 @@
+//! Intrinsic-structure graph construction (survey Section 4.2.1): the table
+//! itself defines the edges — instances connect to their features (bipartite),
+//! to their categorical values (heterogeneous), or co-occur in hyperedges.
+
+use gnn4tdl_data::table::{ColumnData, Table};
+use gnn4tdl_graph::{BipartiteGraph, HeteroGraph, Hypergraph, NodeTypeId};
+
+/// GRAPE-style bipartite construction: instance nodes on the left; on the
+/// right one node per numeric column and one node per (categorical column,
+/// value) pair. Numeric edges are weighted by the standardized cell value,
+/// categorical edges by 1. Missing cells create no edge.
+pub fn bipartite_from_table(table: &Table) -> (BipartiteGraph, Vec<String>) {
+    let n = table.num_rows();
+    let mut right_names = Vec::new();
+    let mut edges = Vec::new();
+    for col in table.columns() {
+        match &col.data {
+            ColumnData::Numeric(values) => {
+                let mean = col.observed_mean().unwrap_or(0.0);
+                let std = col.observed_std().unwrap_or(1.0).max(1e-6);
+                let node = right_names.len();
+                right_names.push(col.name.clone());
+                for (i, (&v, &missing)) in values.iter().zip(&col.missing).enumerate() {
+                    if !missing {
+                        edges.push((i, node, (v - mean) / std));
+                    }
+                }
+            }
+            ColumnData::Categorical { codes, cardinality } => {
+                let base = right_names.len();
+                for v in 0..*cardinality {
+                    right_names.push(format!("{}={}", col.name, v));
+                }
+                for (i, (&c, &missing)) in codes.iter().zip(&col.missing).enumerate() {
+                    if !missing {
+                        edges.push((i, base + c as usize, 1.0));
+                    }
+                }
+            }
+        }
+    }
+    (BipartiteGraph::from_edges(n, right_names.len(), &edges), right_names)
+}
+
+/// PET/HCL-style hypergraph: nodes are distinct (categorical column, value)
+/// pairs — numeric columns are discretized into `numeric_bins` equal-width
+/// bins over observed values — and every instance is a hyperedge joining its
+/// value nodes.
+pub fn hypergraph_from_table(table: &Table, numeric_bins: usize) -> (Hypergraph, Vec<String>) {
+    assert!(numeric_bins >= 1, "need at least one bin");
+    let n = table.num_rows();
+    let mut node_names = Vec::new();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for col in table.columns() {
+        match &col.data {
+            ColumnData::Numeric(values) => {
+                let (lo, hi) = observed_range(values, &col.missing);
+                let base = node_names.len();
+                for b in 0..numeric_bins {
+                    node_names.push(format!("{}#bin{}", col.name, b));
+                }
+                let width = ((hi - lo) / numeric_bins as f32).max(1e-9);
+                for (i, (&v, &missing)) in values.iter().zip(&col.missing).enumerate() {
+                    if !missing {
+                        let b = (((v - lo) / width) as usize).min(numeric_bins - 1);
+                        members[i].push(base + b);
+                    }
+                }
+            }
+            ColumnData::Categorical { codes, cardinality } => {
+                let base = node_names.len();
+                for v in 0..*cardinality {
+                    node_names.push(format!("{}={}", col.name, v));
+                }
+                for (i, (&c, &missing)) in codes.iter().zip(&col.missing).enumerate() {
+                    if !missing {
+                        members[i].push(base + c as usize);
+                    }
+                }
+            }
+        }
+    }
+    (Hypergraph::from_members(node_names.len(), &members), node_names)
+}
+
+/// Handles into the heterogeneous graph produced by
+/// [`hetero_from_categorical`].
+#[derive(Clone, Debug)]
+pub struct HeteroHandles {
+    pub instances: NodeTypeId,
+    /// `(table column index, value node type)` per categorical column.
+    pub value_types: Vec<(usize, NodeTypeId)>,
+}
+
+/// Entity-node heterogeneous construction (GME/xFraud/GraphFC style):
+/// instances are one node type; each categorical column contributes a node
+/// type whose nodes are the column's values, linked by a `has_<column>`
+/// relation. Numeric columns stay as instance features (not nodes).
+pub fn hetero_from_categorical(table: &Table) -> (HeteroGraph, HeteroHandles) {
+    let mut g = HeteroGraph::new();
+    let instances = g.add_node_type("instance", table.num_rows());
+    let mut value_types = Vec::new();
+    for ci in table.categorical_columns() {
+        let col = table.column(ci);
+        let ColumnData::Categorical { codes, cardinality } = &col.data else { unreachable!() };
+        let vt = g.add_node_type(col.name.clone(), *cardinality as usize);
+        let edges: Vec<(usize, usize, f32)> = codes
+            .iter()
+            .zip(&col.missing)
+            .enumerate()
+            .filter(|(_, (_, &missing))| !missing)
+            .map(|(i, (&c, _))| (i, c as usize, 1.0))
+            .collect();
+        g.add_edge_type(format!("has_{}", col.name), instances, vt, &edges);
+        value_types.push((ci, vt));
+    }
+    (g, HeteroHandles { instances, value_types })
+}
+
+fn observed_range(values: &[f32], missing: &[bool]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for (&v, &m) in values.iter().zip(missing) {
+        if !m {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_data::table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::numeric("x", vec![1.0, 2.0, 3.0]),
+            Column::categorical("c", vec![0, 1, 0], 2),
+        ])
+    }
+
+    #[test]
+    fn bipartite_layout() {
+        let (g, names) = bipartite_from_table(&table());
+        assert_eq!(g.num_left(), 3);
+        assert_eq!(g.num_right(), 3); // x, c=0, c=1
+        assert_eq!(names, vec!["x", "c=0", "c=1"]);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn bipartite_numeric_weights_standardized() {
+        let (g, _) = bipartite_from_table(&table());
+        let edges = g.edges();
+        let w: Vec<f32> = edges.iter().filter(|&&(_, j, _)| j == 0).map(|&(_, _, w)| w).collect();
+        let mean: f32 = w.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn bipartite_skips_missing() {
+        let mut t = table();
+        t.columns_mut()[0].missing[1] = true;
+        t.columns_mut()[1].missing[2] = true;
+        let (g, _) = bipartite_from_table(&t);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn hypergraph_structure() {
+        let (h, names) = hypergraph_from_table(&table(), 2);
+        // 2 bins for x + 2 values for c = 4 nodes; 3 hyperedges
+        assert_eq!(h.num_nodes(), 4);
+        assert_eq!(h.num_hyperedges(), 3);
+        assert_eq!(names.len(), 4);
+        // every instance joins exactly 2 nodes (one per column)
+        for e in 0..3 {
+            assert_eq!(h.edge_degree(e), 2);
+        }
+    }
+
+    #[test]
+    fn hypergraph_bins_extremes_separately() {
+        let (h, _) = hypergraph_from_table(&table(), 2);
+        // x=1 in bin0, x=3 in bin1
+        let m0 = h.edge_members(0);
+        let m2 = h.edge_members(2);
+        assert_ne!(m0[0], m2[0]);
+    }
+
+    #[test]
+    fn hetero_instances_and_value_types() {
+        let (g, handles) = hetero_from_categorical(&table());
+        assert_eq!(g.node_count(handles.instances), 3);
+        assert_eq!(handles.value_types.len(), 1);
+        let (_, vt) = handles.value_types[0];
+        assert_eq!(g.node_count(vt), 2);
+        assert_eq!(g.num_edge_types(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn hetero_skips_missing_cells() {
+        let mut t = table();
+        t.columns_mut()[1].missing[0] = true;
+        let (g, _) = hetero_from_categorical(&t);
+        let e = g.edge_type_ids().next().unwrap();
+        assert_eq!(g.edge_count(e), 2);
+    }
+
+    #[test]
+    fn constant_numeric_column_single_bin_ok() {
+        let t = Table::new(vec![Column::numeric("k", vec![2.0, 2.0])]);
+        let (h, _) = hypergraph_from_table(&t, 3);
+        assert_eq!(h.num_hyperedges(), 2);
+        // both rows land in the same bin node
+        assert_eq!(h.edge_members(0), h.edge_members(1));
+    }
+}

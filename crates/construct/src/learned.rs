@@ -1,0 +1,155 @@
+//! Learning-based graph structure learning components (survey Section 4.2.3).
+//!
+//! Three sub-families, mirroring Table 4:
+//! - **Metric-based** (IDGL/DGM/EGG-GAE): a kernel over (possibly learned)
+//!   embeddings produces weighted edges — [`metric_graph`]. The iterative
+//!   "embed, rebuild, retrain" loop lives in the core crate's model zoo.
+//! - **Neural** (SLAPS/TabGSL): an edge scorer network re-weights candidate
+//!   edges end-to-end; candidate generation lives here
+//!   ([`candidate_edges`]), the scorer is a layer in `gnn4tdl-nn`.
+//! - **Direct** (LDS/Table2Graph): the adjacency itself is a trainable
+//!   parameter; [`sparsify_dense`] converts the learned dense matrix back to
+//!   a discrete graph for inspection and two-stage use.
+
+use gnn4tdl_graph::Graph;
+use gnn4tdl_tensor::Matrix;
+
+use crate::rule::knn_edges;
+use crate::similarity::Similarity;
+
+/// Metric-based construction: kNN in the embedding space with kernel
+/// similarity as the edge weight (rather than weight 1). Returns an
+/// undirected weighted graph.
+pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Graph {
+    let mut edges = knn_edges(embedding, similarity, k);
+    for e in &mut edges {
+        let w = similarity.between(embedding, e.0, embedding, e.1);
+        // Map similarity to a positive weight: kernels are already >= 0,
+        // euclidean/cosine/inner-product may be negative.
+        e.2 = match similarity {
+            Similarity::Gaussian { .. } => w.max(1e-6),
+            Similarity::Cosine => (w + 1.0) / 2.0 + 1e-6,
+            Similarity::Euclidean => 1.0 / (1.0 + (-w)) .max(1e-6), // -w = distance
+            Similarity::InnerProduct => w.exp().min(1e6),
+        };
+    }
+    Graph::from_weighted_edges(embedding.rows(), &edges, true)
+}
+
+/// Candidate edge set for neural edge scoring: the union of kNN edges under
+/// the given similarity, symmetrized and deduplicated, as `(src, dst)` pairs
+/// (both directions present).
+pub fn candidate_edges(features: &Matrix, k: usize) -> Vec<(usize, usize)> {
+    let base = knn_edges(features, Similarity::Euclidean, k);
+    let mut set = std::collections::BTreeSet::new();
+    for (u, v, _) in base {
+        set.insert((u, v));
+        set.insert((v, u));
+    }
+    set.into_iter().collect()
+}
+
+/// Converts a learned dense adjacency (e.g. a row-softmaxed parameter) into
+/// a discrete graph by keeping the top `k` entries per row (self-entries
+/// skipped). Weights are preserved.
+pub fn sparsify_dense(dense: &Matrix, k: usize) -> Graph {
+    assert_eq!(dense.rows(), dense.cols(), "adjacency must be square");
+    let n = dense.rows();
+    let mut edges = Vec::with_capacity(n * k);
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        scored.clear();
+        for j in 0..n {
+            if i != j {
+                scored.push((j, dense.get(i, j)));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(j, w) in scored.iter().take(k) {
+            if w > 0.0 {
+                edges.push((i, j, w));
+            }
+        }
+    }
+    Graph::from_weighted_edges(n, &edges, false)
+}
+
+/// Graph recovery quality against a planted partition: the fraction of
+/// edges that connect nodes of the same ground-truth group. Used by the
+/// GSL experiments to score how well a learner recovered the latent
+/// structure.
+pub fn planted_edge_precision(graph: &Graph, groups: &[usize]) -> f64 {
+    graph.edge_homophily(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![5.0, 5.0],
+            vec![5.2, 5.1],
+            vec![5.1, 5.2],
+        ]);
+        (x, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn metric_graph_weights_positive_and_cluster_aligned() {
+        let (x, groups) = blobs();
+        // Cosine is scale-invariant, so only distance-aware metrics are
+        // expected to recover the planted blobs here.
+        for sim in [Similarity::Gaussian { sigma: 1.0 }, Similarity::Euclidean] {
+            let g = metric_graph(&x, sim, 2);
+            assert!(planted_edge_precision(&g, &groups) > 0.99, "{} failed", sim.name());
+        }
+        for sim in [
+            Similarity::Gaussian { sigma: 1.0 },
+            Similarity::Cosine,
+            Similarity::Euclidean,
+        ] {
+            let g = metric_graph(&x, sim, 2);
+            for u in 0..6 {
+                for (_, w) in g.neighbors(u) {
+                    assert!(w > 0.0, "{} produced non-positive weight", sim.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_edges_symmetric_unique() {
+        let (x, _) = blobs();
+        let cands = candidate_edges(&x, 2);
+        let set: std::collections::BTreeSet<_> = cands.iter().copied().collect();
+        assert_eq!(set.len(), cands.len(), "duplicates present");
+        for &(u, v) in &cands {
+            assert!(set.contains(&(v, u)), "missing reverse of ({u},{v})");
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn sparsify_keeps_top_k() {
+        let dense = Matrix::from_rows(&[
+            vec![0.0, 0.9, 0.1],
+            vec![0.8, 0.0, 0.2],
+            vec![0.5, 0.4, 0.0],
+        ]);
+        let g = sparsify_dense(&dense, 1);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.neighbors(0).any(|(v, w)| v == 1 && (w - 0.9).abs() < 1e-6));
+        assert!(g.neighbors(2).any(|(v, _)| v == 0));
+    }
+
+    #[test]
+    fn sparsify_drops_zero_weights() {
+        let dense = Matrix::zeros(3, 3);
+        let g = sparsify_dense(&dense, 2);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gnn4tdl-construct
+//!
+//! Graph construction for tabular data, covering the survey's Section 4.2
+//! taxonomy: intrinsic structure (bipartite / heterogeneous / hypergraph),
+//! rule-based criteria (kNN, thresholding, fully-connected, same feature
+//! value) over pluggable similarity measures, and the components of
+//! learning-based graph structure learning (metric kernels, candidate edges,
+//! dense-adjacency sparsification).
+
+pub mod intrinsic;
+pub mod learned;
+pub mod other;
+pub mod rule;
+pub mod similarity;
+
+pub use intrinsic::{bipartite_from_table, hetero_from_categorical, hypergraph_from_table, HeteroHandles};
+pub use learned::{candidate_edges, metric_graph, planted_edge_precision, sparsify_dense};
+pub use other::{correlation_prior, retrieval_hypergraph, FeaturePrior};
+pub use rule::{build_instance_graph, knn_distances, knn_edges, same_value_graph, same_value_multiplex, EdgeRule};
+pub use similarity::{pearson, Similarity};

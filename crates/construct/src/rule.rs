@@ -1,0 +1,234 @@
+//! Rule-based graph construction (survey Section 4.2.2 / Table 3): kNN,
+//! thresholding, fully-connected, and same-feature-value edge criteria.
+
+use gnn4tdl_graph::{Graph, MultiplexGraph};
+use gnn4tdl_tensor::Matrix;
+
+use crate::similarity::Similarity;
+use gnn4tdl_data::table::{ColumnData, Table};
+
+/// The edge-creation criterion of a rule-based constructor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeRule {
+    /// Connect each node to its `k` most similar nodes (LUNAR, LSTM-GNN,
+    /// GNN4MV).
+    Knn { k: usize },
+    /// Connect pairs whose similarity exceeds `tau` (GINN, GAEOD).
+    Threshold { tau: f32 },
+    /// Connect every pair (Fi-GNN, SGANM).
+    FullyConnected,
+}
+
+/// Builds an instance graph from encoded features with a similarity measure
+/// and an edge rule. Edges are undirected; kNN is made symmetric by
+/// mirroring.
+pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: EdgeRule) -> Graph {
+    let n = features.rows();
+    match rule {
+        EdgeRule::FullyConnected => Graph::complete(n),
+        EdgeRule::Knn { k } => {
+            let edges = knn_edges(features, similarity, k);
+            Graph::from_weighted_edges(n, &edges, true)
+        }
+        EdgeRule::Threshold { tau } => {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let s = similarity.between(features, i, features, j);
+                    if s >= tau {
+                        edges.push((i, j, 1.0));
+                    }
+                }
+            }
+            Graph::from_weighted_edges(n, &edges, true)
+        }
+    }
+}
+
+/// kNN edge list `(i, neighbor, weight=1)` excluding self matches.
+pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(usize, usize, f32)> {
+    let n = features.rows();
+    let mut edges = Vec::with_capacity(n * k);
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        scored.clear();
+        for j in 0..n {
+            if i != j {
+                scored.push((j, similarity.between(features, i, features, j)));
+            }
+        }
+        let take = k.min(scored.len());
+        if take == 0 {
+            continue;
+        }
+        // partial selection of the top-k by similarity
+        let pivot = take - 1;
+        scored.select_nth_unstable_by(pivot, |a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &(j, _) in &scored[..take] {
+            edges.push((i, j, 1.0));
+        }
+    }
+    edges
+}
+
+/// kNN distances: for each row, the distances to its k nearest neighbors in
+/// ascending order (Euclidean). LUNAR's input representation.
+pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
+    let n = features.rows();
+    let mut out = Vec::with_capacity(n);
+    let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i != j {
+                dists.push(Matrix::row_distance(features, i, features, j));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out.push(dists.iter().copied().take(k).collect());
+    }
+    out
+}
+
+/// Same-feature-value construction for one categorical column: connects all
+/// instance pairs sharing a value (TabGNN/WPN). Values with more than
+/// `max_group` members are skipped to avoid quadratic blowup on
+/// uninformative high-frequency values.
+pub fn same_value_graph(table: &Table, column: usize, max_group: usize) -> Graph {
+    let col = table.column(column);
+    let ColumnData::Categorical { codes, cardinality } = &col.data else {
+        panic!("same_value_graph requires a categorical column, got numeric {:?}", col.name);
+    };
+    let n = table.num_rows();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); *cardinality as usize];
+    for (i, (&c, &missing)) in codes.iter().zip(&col.missing).enumerate() {
+        if !missing {
+            groups[c as usize].push(i);
+        }
+    }
+    let mut edges = Vec::new();
+    for members in &groups {
+        if members.len() < 2 || members.len() > max_group {
+            continue;
+        }
+        for (a, &u) in members.iter().enumerate() {
+            for &v in &members[a + 1..] {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    Graph::from_weighted_edges(n, &edges, true)
+}
+
+/// TabGNN-style multiplex graph: one same-value layer per categorical column.
+pub fn same_value_multiplex(table: &Table, max_group: usize) -> MultiplexGraph {
+    let mut mg = MultiplexGraph::new(table.num_rows());
+    for ci in table.categorical_columns() {
+        let layer = same_value_graph(table, ci, max_group);
+        mg.add_layer(table.column(ci).name.clone(), layer);
+    }
+    mg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_data::table::Column;
+
+    fn features() -> Matrix {
+        // two tight pairs far apart
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ])
+    }
+
+    #[test]
+    fn knn_connects_nearest() {
+        let g = build_instance_graph(&features(), Similarity::Euclidean, EdgeRule::Knn { k: 1 });
+        assert!(g.neighbors(0).any(|(v, _)| v == 1));
+        assert!(g.neighbors(2).any(|(v, _)| v == 3));
+        assert!(!g.neighbors(0).any(|(v, _)| v == 2));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn knn_k_bounds_degree() {
+        let g = build_instance_graph(&features(), Similarity::Euclidean, EdgeRule::Knn { k: 2 });
+        // with symmetrization degree can exceed k but not n-1
+        for u in 0..4 {
+            assert!(g.degree(u) <= 3);
+            assert!(g.degree(u) >= 2);
+        }
+    }
+
+    #[test]
+    fn threshold_rule_sparsifies() {
+        let f = features();
+        let dense = build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.5 });
+        let sparse = build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.999 });
+        assert!(dense.num_edges() >= sparse.num_edges());
+        // tau 0.5 keeps only the tight pairs
+        assert_eq!(dense.num_edges(), 4);
+    }
+
+    #[test]
+    fn fully_connected_is_complete() {
+        let g = build_instance_graph(&features(), Similarity::Euclidean, EdgeRule::FullyConnected);
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn knn_distances_sorted_ascending() {
+        let d = knn_distances(&features(), 3);
+        assert_eq!(d.len(), 4);
+        for row in &d {
+            assert_eq!(row.len(), 3);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert!((d[0][0] - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn same_value_connects_groups() {
+        let t = Table::new(vec![Column::categorical("city", vec![0, 0, 1, 1, 1], 2)]);
+        let g = same_value_graph(&t, 0, 100);
+        assert!(g.neighbors(0).any(|(v, _)| v == 1));
+        assert_eq!(g.degree(2), 2); // connected to 3 and 4
+        assert!(!g.neighbors(0).any(|(v, _)| v == 2));
+    }
+
+    #[test]
+    fn same_value_respects_max_group_and_missing() {
+        let mut t = Table::new(vec![Column::categorical("c", vec![0, 0, 0, 1, 1], 2)]);
+        t.columns_mut()[0].missing[4] = true;
+        let g = same_value_graph(&t, 0, 2);
+        // group 0 has 3 members > max_group 2 -> skipped; group 1 has 1 observed member
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a categorical column")]
+    fn same_value_numeric_panics() {
+        let t = Table::new(vec![Column::numeric("x", vec![1.0])]);
+        same_value_graph(&t, 0, 10);
+    }
+
+    #[test]
+    fn multiplex_has_layer_per_categorical() {
+        let t = Table::new(vec![
+            Column::numeric("x", vec![1.0, 2.0]),
+            Column::categorical("a", vec![0, 0], 1),
+            Column::categorical("b", vec![0, 1], 2),
+        ]);
+        let mg = same_value_multiplex(&t, 100);
+        assert_eq!(mg.num_layers(), 2);
+        assert_eq!(mg.layer_name(0), "a");
+        assert_eq!(mg.layer(0).num_edges(), 2);
+        assert_eq!(mg.layer(1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Pairwise similarity / distance measures used by rule-based and
+//! metric-based graph construction (survey Table 3's "Similarity" column).
+
+use gnn4tdl_tensor::Matrix;
+
+/// Similarity measure between feature rows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Similarity {
+    /// Negative Euclidean distance (larger = more similar).
+    Euclidean,
+    /// Cosine similarity.
+    Cosine,
+    /// Gaussian (RBF) kernel `exp(-||a-b||^2 / (2 sigma^2))`.
+    Gaussian { sigma: f32 },
+    /// Inner product.
+    InnerProduct,
+}
+
+impl Similarity {
+    /// Similarity between rows `i` of `a` and `j` of `b`.
+    pub fn between(&self, a: &Matrix, i: usize, b: &Matrix, j: usize) -> f32 {
+        let (x, y) = (a.row(i), b.row(j));
+        match *self {
+            Similarity::Euclidean => -euclidean(x, y),
+            Similarity::Cosine => cosine(x, y),
+            Similarity::Gaussian { sigma } => {
+                let d = euclidean(x, y);
+                (-d * d / (2.0 * sigma * sigma)).exp()
+            }
+            Similarity::InnerProduct => dot(x, y),
+        }
+    }
+
+    /// Full pairwise similarity matrix of the rows of `x` (symmetric).
+    pub fn pairwise(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let s = self.between(x, i, x, j);
+                out.set(i, j, s);
+                out.set(j, i, s);
+            }
+        }
+        out
+    }
+
+    /// A human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Similarity::Euclidean => "euclidean",
+            Similarity::Cosine => "cosine",
+            Similarity::Gaussian { .. } => "gaussian",
+            Similarity::InnerProduct => "inner_product",
+        }
+    }
+}
+
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+fn euclidean(x: &[f32], y: &[f32]) -> f32 {
+    x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>().sqrt()
+}
+
+fn cosine(x: &[f32], y: &[f32]) -> f32 {
+    let nx = dot(x, x).sqrt();
+    let ny = dot(y, y).sqrt();
+    if nx < 1e-12 || ny < 1e-12 {
+        0.0
+    } else {
+        dot(x, y) / (nx * ny)
+    }
+}
+
+/// Pearson correlation between two equal-length slices; used to build
+/// feature graphs from column correlations (IGNNet-style).
+pub fn pearson(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len() as f32;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f32>() / n;
+    let my = y.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 0.0]])
+    }
+
+    #[test]
+    fn euclidean_orders_by_distance() {
+        let x = m();
+        let s = Similarity::Euclidean;
+        // row0 closer to row2 than to row1
+        assert!(s.between(&x, 0, &x, 2) > s.between(&x, 0, &x, 1));
+        assert_eq!(s.between(&x, 0, &x, 0), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let x = m();
+        let s = Similarity::Cosine;
+        assert!((s.between(&x, 0, &x, 2) - 1.0).abs() < 1e-6);
+        assert!(s.between(&x, 0, &x, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_in_unit_interval_and_peaked_at_self() {
+        let x = m();
+        let s = Similarity::Gaussian { sigma: 1.0 };
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = s.between(&x, i, &x, j);
+                assert!((0.0..=1.0).contains(&v));
+            }
+            assert!((s.between(&x, i, &x, i) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pairwise_is_symmetric() {
+        let x = m();
+        for s in [Similarity::Euclidean, Similarity::Cosine, Similarity::Gaussian { sigma: 2.0 }, Similarity::InnerProduct] {
+            let p = s.pairwise(&x);
+            assert!(p.max_abs_diff(&p.transpose()) < 1e-6, "{} not symmetric", s.name());
+        }
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-6);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&[1.0, 1.0], &[0.0, 5.0]), 0.0); // zero variance in x
+    }
+}

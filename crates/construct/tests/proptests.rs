@@ -1,0 +1,89 @@
+//! Property-based tests: graph-construction invariants over random feature
+//! matrices and tables.
+
+use proptest::prelude::*;
+
+use gnn4tdl_construct::{
+    build_instance_graph, candidate_edges, knn_distances, same_value_graph, EdgeRule, Similarity,
+};
+use gnn4tdl_data::table::{Column, Table};
+use gnn4tdl_tensor::Matrix;
+
+fn features() -> impl Strategy<Value = Matrix> {
+    (4usize..20, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-5.0f32..5.0, n * d).prop_map(move |data| Matrix::from_vec(n, d, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knn_graph_is_symmetric_with_bounded_degree(x in features(), k in 1usize..5) {
+        let g = build_instance_graph(&x, Similarity::Euclidean, EdgeRule::Knn { k });
+        prop_assert!(g.is_symmetric());
+        let n = g.num_nodes();
+        for u in 0..n {
+            // out-degree is capped at k per node, but in-degree is not (a
+            // hub can be the nearest neighbor of everyone), so after
+            // symmetrization only the trivial n-1 bound holds
+            prop_assert!(g.degree(u) < n);
+            prop_assert!(g.degree(u) >= 1, "node {u} isolated despite k >= 1");
+            prop_assert!(!g.neighbors(u).any(|(v, _)| v == u), "self loop at {u}");
+        }
+    }
+
+    #[test]
+    fn threshold_edges_monotone_in_tau(x in features()) {
+        let sim = Similarity::Gaussian { sigma: 2.0 };
+        let loose = build_instance_graph(&x, sim, EdgeRule::Threshold { tau: 0.2 });
+        let tight = build_instance_graph(&x, sim, EdgeRule::Threshold { tau: 0.8 });
+        prop_assert!(tight.num_edges() <= loose.num_edges());
+    }
+
+    #[test]
+    fn fully_connected_has_exact_edge_count(x in features()) {
+        let g = build_instance_graph(&x, Similarity::Euclidean, EdgeRule::FullyConnected);
+        let n = g.num_nodes();
+        prop_assert_eq!(g.num_edges(), n * (n - 1));
+    }
+
+    #[test]
+    fn knn_distances_sorted_and_nonnegative(x in features(), k in 1usize..5) {
+        for row in knn_distances(&x, k) {
+            prop_assert!(row.iter().all(|&d| d >= 0.0));
+            prop_assert!(row.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn candidate_edges_closed_under_reversal(x in features(), k in 1usize..4) {
+        let cands = candidate_edges(&x, k);
+        let set: std::collections::BTreeSet<_> = cands.iter().copied().collect();
+        for &(u, v) in &cands {
+            prop_assert!(set.contains(&(v, u)));
+        }
+    }
+
+    #[test]
+    fn same_value_graph_edges_iff_shared_value(
+        codes in proptest::collection::vec(0u32..4, 3..30),
+    ) {
+        let n = codes.len();
+        let table = Table::new(vec![Column::categorical("c", codes.clone(), 4)]);
+        let g = same_value_graph(&table, 0, n + 1);
+        for u in 0..n {
+            for (v, _) in g.neighbors(u) {
+                prop_assert_eq!(codes[u], codes[v], "edge between different values");
+            }
+        }
+        // every same-value pair is connected (groups under the cap)
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if codes[u] == codes[v] {
+                    prop_assert!(g.neighbors(u).any(|(w, _)| w == v), "missing edge {u}-{v}");
+                }
+            }
+        }
+    }
+}

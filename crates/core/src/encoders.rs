@@ -1,0 +1,156 @@
+//! Adapters that make bipartite and hypergraph formulations look like
+//! ordinary node encoders, so the pipeline and trainer can treat every
+//! formulation uniformly.
+
+use rand::Rng;
+
+use gnn4tdl_graph::{BipartiteGraph, Hypergraph};
+use gnn4tdl_nn::{BipartiteModel, HyperModel, Linear, NodeModel, Session};
+use gnn4tdl_tensor::{init, ParamId, ParamStore, Var};
+
+/// GRAPE-style encoder: instances and feature nodes exchange messages over
+/// the bipartite instance-feature graph; the instance embeddings come out.
+///
+/// Instance nodes start from the (encoded) row features projected to the
+/// hidden width; feature nodes start from a learnable identity embedding —
+/// the "one-hot feature id" initialization of GRAPE/FATE, made trainable.
+#[derive(Clone, Debug)]
+pub struct GrapeEncoder {
+    proj_inst: Linear,
+    feat_embedding: ParamId,
+    model: BipartiteModel,
+    out_dim: usize,
+}
+
+impl GrapeEncoder {
+    /// `layers` rounds of bipartite message passing at width `hidden`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &BipartiteGraph,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(layers >= 1, "need at least one message-passing round");
+        let proj_inst = Linear::new(store, "grape.proj_inst", in_dim, hidden, rng);
+        let feat_embedding =
+            store.add("grape.feat_embedding", init::normal_scaled(graph.num_right(), hidden, 0.2, rng));
+        let dims: Vec<usize> = std::iter::repeat_n(hidden, layers + 1).collect();
+        let model = BipartiteModel::new(store, graph, &dims, dropout, rng);
+        Self { proj_inst, feat_embedding, model, out_dim: hidden }
+    }
+
+    /// Instance *and* feature embeddings (imputation needs both).
+    pub fn forward_pair(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {
+        let hi0 = self.proj_inst.forward(s, x);
+        let hi0 = s.tape.relu(hi0);
+        let hf0 = s.p(self.feat_embedding);
+        self.model.forward_pair(s, hi0, hf0)
+    }
+}
+
+impl NodeModel for GrapeEncoder {
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        self.forward_pair(s, x).0
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Hypergraph encoder: value nodes carry learnable embeddings; two-phase
+/// message passing produces hyperedge (= table row) embeddings.
+#[derive(Clone, Debug)]
+pub struct HyperEncoder {
+    node_embedding: ParamId,
+    model: HyperModel,
+    out_dim: usize,
+}
+
+impl HyperEncoder {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &Hypergraph,
+        hidden: usize,
+        layers: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(layers >= 1, "need at least one message-passing round");
+        let node_embedding =
+            store.add("hyper.node_embedding", init::normal_scaled(graph.num_nodes(), hidden, 0.2, rng));
+        let dims: Vec<usize> = std::iter::repeat_n(hidden, layers + 1).collect();
+        let model = HyperModel::new(store, graph, &dims, dropout, rng);
+        Self { node_embedding, model, out_dim: hidden }
+    }
+}
+
+impl NodeModel for HyperEncoder {
+    /// `x` is used only for a row-count sanity check — instance identity
+    /// comes from hyperedge membership.
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        let n_rows = s.tape.value(x).rows();
+        let h0 = s.p(self.node_embedding);
+        let (_, edges) = self.model.forward_pair(s, h0);
+        assert_eq!(
+            s.tape.value(edges).rows(),
+            n_rows,
+            "hyperedge count must equal the number of table rows"
+        );
+        edges
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grape_encoder_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = BipartiteGraph::from_edges(4, 3, &[(0, 0, 1.0), (1, 1, 0.5), (2, 2, -1.0), (3, 0, 2.0)]);
+        let enc = GrapeEncoder::new(&mut store, &g, 5, 8, 2, 0.0, &mut rng);
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::full(4, 5, 0.3));
+        let y = enc.forward(&mut s, x);
+        assert_eq!(s.tape.value(y).shape(), (4, 8));
+        let (hi, hf) = enc.forward_pair(&mut s, x);
+        assert_eq!(s.tape.value(hi).shape(), (4, 8));
+        assert_eq!(s.tape.value(hf).shape(), (3, 8));
+    }
+
+    #[test]
+    fn hyper_encoder_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Hypergraph::from_members(5, &[vec![0, 1], vec![2, 3, 4], vec![0, 4]]);
+        let enc = HyperEncoder::new(&mut store, &g, 6, 1, 0.0, &mut rng);
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::zeros(3, 2));
+        let y = enc.forward(&mut s, x);
+        assert_eq!(s.tape.value(y).shape(), (3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "hyperedge count")]
+    fn hyper_encoder_row_mismatch_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Hypergraph::from_members(4, &[vec![0, 1], vec![2, 3]]);
+        let enc = HyperEncoder::new(&mut store, &g, 4, 1, 0.0, &mut rng);
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::zeros(5, 1)); // wrong row count
+        enc.forward(&mut s, x);
+    }
+}

@@ -1,0 +1,138 @@
+//! Split-aware evaluation of fitted pipelines.
+
+use gnn4tdl_data::metrics;
+use gnn4tdl_data::{Split, Target};
+use gnn4tdl_tensor::Matrix;
+
+/// Classification metrics on one split partition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClsMetrics {
+    pub accuracy: f64,
+    pub macro_f1: f64,
+    /// Binary: ROC-AUC of the positive class. Multiclass: macro-averaged
+    /// one-vs-rest ROC-AUC over classes present in the ground truth.
+    pub auc: f64,
+}
+
+/// Regression metrics on one split partition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegMetrics {
+    pub rmse: f64,
+    pub mae: f64,
+    pub r2: f64,
+}
+
+/// Evaluates classification logits (`n x C`) on the given rows.
+pub fn classification_on(logits: &Matrix, labels: &[usize], num_classes: usize, rows: &[usize]) -> ClsMetrics {
+    let preds = logits.argmax_rows();
+    let p: Vec<usize> = rows.iter().map(|&i| preds[i]).collect();
+    let t: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
+    let auc = if num_classes == 2 {
+        // positive-class margin as the ranking score
+        let scores: Vec<f32> = rows.iter().map(|&i| logits.get(i, 1) - logits.get(i, 0)).collect();
+        metrics::roc_auc(&scores, &t)
+    } else {
+        // macro one-vs-rest AUC over classes present in the ground truth
+        let mut sum = 0.0;
+        let mut present = 0usize;
+        for c in 0..num_classes {
+            if !t.iter().any(|&y| y == c) || t.iter().all(|&y| y == c) {
+                continue;
+            }
+            let scores: Vec<f32> = rows.iter().map(|&i| logits.get(i, c)).collect();
+            let binary: Vec<usize> = t.iter().map(|&y| usize::from(y == c)).collect();
+            sum += metrics::roc_auc(&scores, &binary);
+            present += 1;
+        }
+        if present == 0 { 0.5 } else { sum / present as f64 }
+    };
+    ClsMetrics {
+        accuracy: metrics::accuracy(&p, &t),
+        macro_f1: metrics::macro_f1(&p, &t, num_classes),
+        auc,
+    }
+}
+
+/// Evaluates regression predictions (`n x 1`) on the given rows.
+pub fn regression_on(pred: &Matrix, truth: &[f32], rows: &[usize]) -> RegMetrics {
+    let p: Vec<f32> = rows.iter().map(|&i| pred.get(i, 0)).collect();
+    let t: Vec<f32> = rows.iter().map(|&i| truth[i]).collect();
+    RegMetrics { rmse: metrics::rmse(&p, &t), mae: metrics::mae(&p, &t), r2: metrics::r2(&p, &t) }
+}
+
+/// Convenience: test-split metrics for a classification target.
+pub fn test_classification(pred: &Matrix, target: &Target, split: &Split) -> ClsMetrics {
+    match target {
+        Target::Classification { labels, num_classes } => {
+            classification_on(pred, labels, *num_classes, &split.test)
+        }
+        Target::Regression(_) => panic!("classification metrics on a regression target"),
+    }
+}
+
+/// Convenience: test-split metrics for a regression target.
+pub fn test_regression(pred: &Matrix, target: &Target, split: &Split) -> RegMetrics {
+    match target {
+        Target::Regression(values) => regression_on(pred, values, &split.test),
+        Target::Classification { .. } => panic!("regression metrics on a classification target"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_metrics_on_subset() {
+        let logits = Matrix::from_rows(&[
+            vec![2.0, 0.0], // -> 0
+            vec![0.0, 2.0], // -> 1
+            vec![2.0, 0.0], // -> 0
+            vec![0.0, 2.0], // -> 1
+        ]);
+        let labels = vec![0, 1, 1, 1];
+        let m = classification_on(&logits, &labels, 2, &[0, 1, 2, 3]);
+        assert!((m.accuracy - 0.75).abs() < 1e-9);
+        assert!(m.auc > 0.5);
+        // restricted to the correct rows only
+        let m2 = classification_on(&logits, &labels, 2, &[0, 1]);
+        assert_eq!(m2.accuracy, 1.0);
+    }
+
+    #[test]
+    fn multiclass_macro_auc() {
+        // perfectly ranked 3-class logits -> macro OVR AUC = 1
+        let logits = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+            vec![2.5, 0.5, 0.0],
+        ]);
+        let labels = vec![0, 1, 2, 0];
+        let m = classification_on(&logits, &labels, 3, &[0, 1, 2, 3]);
+        assert!((m.auc - 1.0).abs() < 1e-9, "macro AUC {}", m.auc);
+        // uniform logits -> ties everywhere -> 0.5
+        let flat = Matrix::zeros(4, 3);
+        let m2 = classification_on(&flat, &labels, 3, &[0, 1, 2, 3]);
+        assert!((m2.auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_metrics_on_subset() {
+        let pred = Matrix::col_vector(&[1.0, 2.0, 10.0]);
+        let truth = vec![1.0, 2.0, 3.0];
+        let m = regression_on(&pred, &truth, &[0, 1]);
+        assert!(m.rmse < 1e-9);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+        let m2 = regression_on(&pred, &truth, &[2]);
+        assert!((m2.mae - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "classification metrics on a regression target")]
+    fn wrong_target_kind_panics() {
+        let pred = Matrix::zeros(1, 1);
+        let split = Split { train: vec![], val: vec![], test: vec![0] };
+        test_classification(&pred, &Target::Regression(vec![1.0]), &split);
+    }
+}

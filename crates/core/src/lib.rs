@@ -1,0 +1,44 @@
+//! # gnn4tdl
+//!
+//! Graph Neural Networks for Tabular Data Learning — a from-scratch Rust
+//! implementation of the GNN4TDL pipeline described in "Graph Neural
+//! Networks for Tabular Data Learning" (ICDE 2023; extended survey with
+//! taxonomy & directions).
+//!
+//! The crate composes the workspace substrates into the survey's four-phase
+//! pipeline:
+//!
+//! 1. **Graph formulation** ([`pipeline::GraphSpec`]) — instance graphs,
+//!    feature graphs, bipartite, multiplex, hypergraphs, or none.
+//! 2. **Graph construction** — intrinsic / rule-based / learning-based,
+//!    from `gnn4tdl-construct`.
+//! 3. **Representation learning** ([`pipeline::EncoderSpec`]) — GCN,
+//!    GraphSAGE, GIN, GAT, relational GCN, bipartite and hypergraph message
+//!    passing, from `gnn4tdl-nn`.
+//! 4. **Training plans** — auxiliary tasks and strategies from
+//!    `gnn4tdl-train`.
+//!
+//! The one-call entry point is [`pipeline::fit_pipeline`]; application-level
+//! reference models (LUNAR anomaly detection, GRAPE imputation) live in
+//! [`zoo`].
+
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates read better in numeric kernels
+
+pub mod encoders;
+pub mod eval;
+pub mod pipeline;
+pub mod zoo;
+
+pub use encoders::{GrapeEncoder, HyperEncoder};
+
+/// One-stop imports for downstream users:
+/// `use gnn4tdl::prelude::*;`
+pub mod prelude {
+    pub use crate::eval::{test_classification, test_regression, ClsMetrics, RegMetrics};
+    pub use crate::pipeline::{fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineResult};
+    pub use gnn4tdl_construct::{EdgeRule, Similarity};
+    pub use gnn4tdl_data::{Dataset, Split, Table, Target};
+    pub use gnn4tdl_train::{Strategy, TrainConfig};
+}
+pub use eval::{classification_on, regression_on, test_classification, test_regression, ClsMetrics, RegMetrics};
+pub use pipeline::{fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineResult};

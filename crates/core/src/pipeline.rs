@@ -1,0 +1,465 @@
+//! The GNN4TDL pipeline (survey Figure 1): graph formulation →
+//! graph construction → representation learning → training plan, as one
+//! configurable, timed fit call.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn4tdl_construct::{
+    bipartite_from_table, build_instance_graph, candidate_edges, hetero_from_categorical,
+    hypergraph_from_table, metric_graph, same_value_multiplex, EdgeRule, Similarity,
+};
+use gnn4tdl_data::{Dataset, Encoded, Featurizer, Split, Target};
+use gnn4tdl_graph::Graph;
+use gnn4tdl_nn::{
+    DirectGslModel, FeatureGraphModel, GatModel, GcnModel, GinModel, HeteroModel, MlpModel,
+    NeuralGslModel, NodeModel, RgcnModel, SageModel,
+};
+use gnn4tdl_tensor::{Matrix, ParamStore};
+use gnn4tdl_train::{
+    embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport,
+    SupervisedModel, TrainConfig,
+};
+
+use crate::encoders::{GrapeEncoder, HyperEncoder};
+
+/// Graph formulation + construction choice (survey Sections 4.1 & 4.2).
+#[derive(Clone, Debug)]
+pub enum GraphSpec {
+    /// No graph: the MLP deep-tabular baseline.
+    None,
+    /// Homogeneous instance graph built by a rule over a similarity measure
+    /// (kNN / threshold / fully-connected).
+    Rule { similarity: Similarity, rule: EdgeRule },
+    /// Metric-based graph structure learning (IDGL/DGM): iterate
+    /// embed → rebuild-kNN-kernel-graph → retrain, `rounds` times.
+    MetricLearned { k: usize, similarity: Similarity, rounds: usize, inner_epochs: usize },
+    /// Neural GSL (SLAPS/TabGSL): candidate kNN edges re-weighted end-to-end
+    /// by an edge scorer.
+    NeuralGsl { k: usize },
+    /// Direct GSL (LDS/Table2Graph): the dense adjacency is a parameter.
+    DirectGsl,
+    /// Fi-GNN-style feature graph over the categorical columns
+    /// (fully-connected fields).
+    FeatureGraph { emb_dim: usize },
+    /// T2G-Former/Table2Graph-style feature graph with a *learned* shared
+    /// field-interaction matrix.
+    FeatureGraphLearned { emb_dim: usize },
+    /// GRAPE-style bipartite instance-feature graph.
+    Bipartite,
+    /// TabGNN-style multiplex same-value graph over categorical columns.
+    Multiplex { max_group: usize },
+    /// PET/HCL-style hypergraph over feature values.
+    Hypergraph { numeric_bins: usize },
+    /// HAN-lite general heterogeneous graph: categorical values become typed
+    /// entity nodes, with semantic attention over relations.
+    EntityHetero { rounds: usize },
+}
+
+impl GraphSpec {
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphSpec::None => "none",
+            GraphSpec::Rule { .. } => "rule",
+            GraphSpec::MetricLearned { .. } => "metric_gsl",
+            GraphSpec::NeuralGsl { .. } => "neural_gsl",
+            GraphSpec::DirectGsl => "direct_gsl",
+            GraphSpec::FeatureGraph { .. } => "feature_graph",
+            GraphSpec::FeatureGraphLearned { .. } => "feature_graph_learned",
+            GraphSpec::Bipartite => "bipartite",
+            GraphSpec::Multiplex { .. } => "multiplex",
+            GraphSpec::Hypergraph { .. } => "hypergraph",
+            GraphSpec::EntityHetero { .. } => "entity_hetero",
+        }
+    }
+}
+
+/// Encoder choice for homogeneous instance graphs (survey Table 5). Ignored
+/// by formulations with a dedicated architecture (feature graph, bipartite,
+/// multiplex, hypergraph, GSL variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncoderSpec {
+    Mlp,
+    Gcn,
+    Sage,
+    Gin,
+    Gat { heads: usize },
+}
+
+impl EncoderSpec {
+    pub fn name(&self) -> &'static str {
+        match self {
+            EncoderSpec::Mlp => "mlp",
+            EncoderSpec::Gcn => "gcn",
+            EncoderSpec::Sage => "sage",
+            EncoderSpec::Gin => "gin",
+            EncoderSpec::Gat { .. } => "gat",
+        }
+    }
+}
+
+/// Auxiliary-task choice (survey Table 7), instantiated against the fitted
+/// encoder's dimensions at build time.
+#[derive(Clone, Copy, Debug)]
+pub enum AuxSpec {
+    FeatureReconstruction { weight: f32 },
+    Denoising { weight: f32, corrupt_p: f32 },
+    Contrastive { weight: f32, temperature: f32, corrupt_p: f32 },
+    /// Laplacian smoothness over the constructed instance graph (falls back
+    /// to a kNN-5 graph when the formulation has no instance graph).
+    GraphSmoothness { weight: f32 },
+}
+
+/// Full pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    pub graph: GraphSpec,
+    pub encoder: EncoderSpec,
+    pub hidden: usize,
+    /// Message-passing depth (graph layers) / MLP hidden layers.
+    pub layers: usize,
+    pub dropout: f32,
+    /// Applies PairNorm between GCN layers (oversmoothing mitigation;
+    /// only honored by [`EncoderSpec::Gcn`]).
+    pub pair_norm: bool,
+    /// Class-balanced loss weighting (PC-GNN-style imbalance handling;
+    /// classification targets only).
+    pub class_balanced: bool,
+    pub aux: Vec<AuxSpec>,
+    pub strategy: Strategy,
+    pub train: TrainConfig,
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            graph: GraphSpec::Rule {
+                similarity: Similarity::Euclidean,
+                rule: EdgeRule::Knn { k: 5 },
+            },
+            encoder: EncoderSpec::Gcn,
+            hidden: 32,
+            layers: 2,
+            dropout: 0.2,
+            pair_norm: false,
+            class_balanced: false,
+            aux: Vec::new(),
+            strategy: Strategy::EndToEnd,
+            train: TrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Everything a fitted pipeline reports.
+pub struct PipelineResult {
+    /// `n x C` logits (classification) or `n x 1` values (regression) for
+    /// every row of the dataset.
+    pub predictions: Matrix,
+    pub strategy_report: StrategyReport,
+    /// Milliseconds spent building the graph.
+    pub construction_ms: f64,
+    /// Milliseconds spent training.
+    pub training_ms: f64,
+    /// Directed edges in the constructed graph (0 for the MLP baseline).
+    pub graph_edges: usize,
+    /// Edge homophily of the constructed instance graph, when one exists.
+    pub graph_homophily: Option<f64>,
+}
+
+/// Fits the full pipeline on a dataset and split.
+///
+/// ```
+/// use gnn4tdl::prelude::*;
+/// use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = gaussian_clusters(&ClustersConfig { n: 60, ..Default::default() }, &mut rng);
+/// let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
+/// let cfg = PipelineConfig {
+///     train: TrainConfig { epochs: 10, patience: 0, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let result = fit_pipeline(&data, &split, &cfg);
+/// assert_eq!(result.predictions.rows(), 60);
+/// ```
+pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> PipelineResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let featurizer = Featurizer::fit(&dataset.table, &split.train);
+    let encoded = featurizer.encode(&dataset.table);
+    let in_dim = encoded.features.cols();
+    let out_dim = match &dataset.target {
+        Target::Classification { num_classes, .. } => *num_classes,
+        Target::Regression(_) => 1,
+    };
+    let task = match &dataset.target {
+        Target::Classification { labels, num_classes } => {
+            let t = NodeTask::classification(
+                encoded.features.clone(),
+                labels.to_vec(),
+                *num_classes,
+                split.clone(),
+            );
+            if cfg.class_balanced {
+                t.with_class_balanced_weights()
+            } else {
+                t
+            }
+        }
+        Target::Regression(values) => {
+            NodeTask::regression(encoded.features.clone(), values.to_vec(), split.clone())
+        }
+    };
+    let labels_for_homophily: Option<&[usize]> = match &dataset.target {
+        Target::Classification { labels, .. } => Some(labels),
+        Target::Regression(_) => None,
+    };
+
+    let mut store = ParamStore::new();
+    let t0 = Instant::now();
+
+    // Phase 1+2: graph formulation & construction (and the encoder that the
+    // formulation dictates).
+    let n = dataset.num_rows();
+    let mut graph_edges = 0usize;
+    let mut graph_homophily = None;
+    let mut instance_graph: Option<Graph> = None;
+
+    enum Built {
+        Node(Box<dyn NodeModel>),
+        /// Metric GSL needs the iterative loop; carry its parameters.
+        Metric { k: usize, similarity: Similarity, rounds: usize, inner_epochs: usize },
+    }
+
+    let built: Built = match &cfg.graph {
+        GraphSpec::None => {
+            let dims = mlp_dims(in_dim, cfg.hidden, cfg.layers);
+            Built::Node(Box::new(MlpModel::new(&mut store, &dims, cfg.dropout, &mut rng)))
+        }
+        GraphSpec::Rule { similarity, rule } => {
+            let g = build_instance_graph(&encoded.features, *similarity, *rule);
+            graph_edges = g.num_edges();
+            if let Some(labels) = labels_for_homophily {
+                graph_homophily = Some(g.edge_homophily(labels));
+            }
+            let model = build_homogeneous(&mut store, &g, cfg, in_dim, &mut rng);
+            instance_graph = Some(g);
+            Built::Node(model)
+        }
+        GraphSpec::MetricLearned { k, similarity, rounds, inner_epochs } => {
+            Built::Metric { k: *k, similarity: *similarity, rounds: *rounds, inner_epochs: *inner_epochs }
+        }
+        GraphSpec::NeuralGsl { k } => {
+            let cands = candidate_edges(&encoded.features, *k);
+            graph_edges = cands.len();
+            Built::Node(Box::new(NeuralGslModel::new(
+                &mut store, n, &cands, in_dim, cfg.hidden, cfg.hidden, &mut rng,
+            )))
+        }
+        GraphSpec::DirectGsl => {
+            graph_edges = n * n;
+            Built::Node(Box::new(DirectGslModel::new(
+                &mut store, n, in_dim, cfg.hidden, cfg.hidden, &mut rng,
+            )))
+        }
+        GraphSpec::FeatureGraph { emb_dim } => {
+            let model = FeatureGraphModel::new(
+                &mut store, &dataset.table, *emb_dim, cfg.layers, cfg.hidden, cfg.dropout, &mut rng,
+            );
+            let fields = model.num_fields();
+            graph_edges = n * fields * fields;
+            Built::Node(Box::new(model))
+        }
+        GraphSpec::FeatureGraphLearned { emb_dim } => {
+            let model = FeatureGraphModel::with_adjacency(
+                &mut store,
+                &dataset.table,
+                *emb_dim,
+                cfg.layers,
+                cfg.hidden,
+                cfg.dropout,
+                gnn4tdl_nn::FieldAdjacency::Learned,
+                &mut rng,
+            );
+            let fields = model.num_fields();
+            graph_edges = n * fields * fields;
+            Built::Node(Box::new(model))
+        }
+        GraphSpec::Bipartite => {
+            let (g, _) = bipartite_from_table(&dataset.table);
+            graph_edges = g.num_edges();
+            Built::Node(Box::new(GrapeEncoder::new(
+                &mut store, &g, in_dim, cfg.hidden, cfg.layers, cfg.dropout, &mut rng,
+            )))
+        }
+        GraphSpec::Multiplex { max_group } => {
+            let mg = same_value_multiplex(&dataset.table, *max_group);
+            assert!(mg.num_layers() > 0, "multiplex formulation needs categorical columns");
+            graph_edges = mg.total_edges();
+            if let Some(labels) = labels_for_homophily {
+                graph_homophily = Some(mg.flatten().edge_homophily(labels));
+            }
+            let dims = gnn_dims(in_dim, cfg.hidden, cfg.layers);
+            Built::Node(Box::new(RgcnModel::new(&mut store, &mg, &dims, cfg.dropout, &mut rng)))
+        }
+        GraphSpec::Hypergraph { numeric_bins } => {
+            let (hg, _) = hypergraph_from_table(&dataset.table, *numeric_bins);
+            graph_edges = hg.num_memberships();
+            Built::Node(Box::new(HyperEncoder::new(
+                &mut store, &hg, cfg.hidden, cfg.layers, cfg.dropout, &mut rng,
+            )))
+        }
+        GraphSpec::EntityHetero { rounds } => {
+            let (hg, handles) = hetero_from_categorical(&dataset.table);
+            assert!(
+                !handles.value_types.is_empty(),
+                "entity-hetero formulation needs categorical columns"
+            );
+            graph_edges = hg.edge_type_ids().map(|e| hg.edge_count(e)).sum();
+            Built::Node(Box::new(HeteroModel::new(
+                &mut store, &hg, handles.instances, in_dim, cfg.hidden, *rounds, &mut rng,
+            )))
+        }
+    };
+    let construction_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 3+4: representation learning under the training plan.
+    let t1 = Instant::now();
+    let (predictions, strategy_report) = match built {
+        Built::Node(encoder) => {
+            let start = 0; // all params so far belong to the encoder
+            let model = SupervisedModel::new(&mut store, start, encoder, out_dim, &mut rng);
+            let aux = build_aux(&mut store, cfg, &model, &encoded, instance_graph.as_ref(), &mut rng);
+            let report = run_strategy(cfg.strategy, &model, &mut store, &task, &aux, &cfg.train);
+            (predict(&model, &store, &task.features), report)
+        }
+        Built::Metric { k, similarity, rounds, inner_epochs } => {
+            fit_metric_gsl(
+                &mut store, &task, &encoded, cfg, in_dim, out_dim, k, similarity, rounds,
+                inner_epochs, &mut rng,
+            )
+        }
+    };
+    let training_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    PipelineResult {
+        predictions,
+        strategy_report,
+        construction_ms,
+        training_ms,
+        graph_edges,
+        graph_homophily,
+    }
+}
+
+/// IDGL/DGM-style iterative metric GSL: alternate training a GCN and
+/// rebuilding the kernel-weighted kNN graph from the learned embeddings.
+#[allow(clippy::too_many_arguments)]
+fn fit_metric_gsl(
+    store: &mut ParamStore,
+    task: &NodeTask,
+    encoded: &Encoded,
+    cfg: &PipelineConfig,
+    in_dim: usize,
+    out_dim: usize,
+    k: usize,
+    similarity: Similarity,
+    rounds: usize,
+    inner_epochs: usize,
+    rng: &mut StdRng,
+) -> (Matrix, StrategyReport) {
+    assert!(rounds >= 1, "metric GSL needs at least one round");
+    let dims = gnn_dims(in_dim, cfg.hidden, cfg.layers);
+    let g0 = metric_graph(&encoded.features, similarity, k);
+    let encoder = GcnModel::new(store, &g0, &dims, cfg.dropout, rng);
+    let mut model = SupervisedModel::new(store, 0, encoder, out_dim, rng);
+    let mut phases = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let inner_cfg = TrainConfig { epochs: inner_epochs, ..cfg.train.clone() };
+        let report = fit(&model, store, task, &[], &inner_cfg);
+        phases.push(report);
+        if round + 1 < rounds {
+            let emb = embed(&model, store, &task.features);
+            let g = metric_graph(&emb, similarity, k);
+            let rebound = model.encoder.rebind(&g);
+            model = model.with_encoder(rebound);
+        }
+    }
+    (predict(&model, store, &task.features), StrategyReport { phases })
+}
+
+fn build_homogeneous(
+    store: &mut ParamStore,
+    g: &Graph,
+    cfg: &PipelineConfig,
+    in_dim: usize,
+    rng: &mut StdRng,
+) -> Box<dyn NodeModel> {
+    let dims = gnn_dims(in_dim, cfg.hidden, cfg.layers);
+    match cfg.encoder {
+        EncoderSpec::Mlp => Box::new(MlpModel::new(store, &dims, cfg.dropout, rng)),
+        EncoderSpec::Gcn => {
+            let mut m = GcnModel::new(store, g, &dims, cfg.dropout, rng);
+            if cfg.pair_norm {
+                m = m.with_pair_norm();
+            }
+            Box::new(m)
+        }
+        EncoderSpec::Sage => Box::new(SageModel::new(store, g, &dims, cfg.dropout, rng)),
+        EncoderSpec::Gin => Box::new(GinModel::new(store, g, &dims, cfg.dropout, rng)),
+        EncoderSpec::Gat { heads } => Box::new(GatModel::new(store, g, &dims, heads, cfg.dropout, rng)),
+    }
+}
+
+fn build_aux<E: NodeModel>(
+    store: &mut ParamStore,
+    cfg: &PipelineConfig,
+    model: &SupervisedModel<E>,
+    encoded: &Encoded,
+    instance_graph: Option<&Graph>,
+    rng: &mut StdRng,
+) -> Vec<AuxTask> {
+    let emb_dim = model.embedding_dim();
+    let feat_dim = encoded.features.cols();
+    cfg.aux
+        .iter()
+        .map(|spec| match *spec {
+            AuxSpec::FeatureReconstruction { weight } => {
+                AuxTask::feature_reconstruction(store, emb_dim, feat_dim, weight, rng)
+            }
+            AuxSpec::Denoising { weight, corrupt_p } => {
+                AuxTask::denoising_autoencoder(store, emb_dim, feat_dim, weight, corrupt_p, rng)
+            }
+            AuxSpec::Contrastive { weight, temperature, corrupt_p } => {
+                AuxTask::contrastive(store, emb_dim, weight, temperature, corrupt_p, rng)
+            }
+            AuxSpec::GraphSmoothness { weight } => {
+                let edges = match instance_graph {
+                    Some(g) => g.edge_index(false),
+                    None => build_instance_graph(
+                        &encoded.features,
+                        Similarity::Euclidean,
+                        EdgeRule::Knn { k: 5 },
+                    )
+                    .edge_index(false),
+                };
+                AuxTask::graph_smoothness(edges.src, edges.dst, weight)
+            }
+        })
+        .collect()
+}
+
+/// `[in, hidden x layers]` (the trainer's head maps hidden -> out).
+fn gnn_dims(in_dim: usize, hidden: usize, layers: usize) -> Vec<usize> {
+    let mut dims = vec![in_dim];
+    dims.extend(std::iter::repeat_n(hidden, layers.max(1)));
+    dims
+}
+
+fn mlp_dims(in_dim: usize, hidden: usize, layers: usize) -> Vec<usize> {
+    gnn_dims(in_dim, hidden, layers)
+}

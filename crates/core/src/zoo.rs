@@ -1,0 +1,819 @@
+//! Application-level reference models from the survey: LUNAR-style anomaly
+//! detection and GRAPE-style missing-data imputation. Both are built from
+//! the workspace substrate and exercised by the Section-5 experiments.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+use gnn4tdl_construct::intrinsic::bipartite_from_table;
+use gnn4tdl_data::table::{ColumnData, Table};
+use gnn4tdl_nn::{EdgeValueDecoder, Linear, Mlp, NodeModel, SageModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamStore};
+use gnn4tdl_train::{Adam, Optimizer};
+
+use crate::encoders::GrapeEncoder;
+
+/// LUNAR hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LunarConfig {
+    /// Neighbors whose distances form the node representation and the graph.
+    pub k: usize,
+    pub hidden: usize,
+    pub epochs: usize,
+    /// Synthetic negatives per real point.
+    pub negative_ratio: f64,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for LunarConfig {
+    fn default() -> Self {
+        Self { k: 10, hidden: 32, epochs: 120, negative_ratio: 1.0, lr: 0.01, seed: 0 }
+    }
+}
+
+/// LUNAR-style learnable local outlier detection: real points plus uniform
+/// synthetic negatives are embedded by their k-nearest-real-neighbor
+/// distance vectors; a GNN over the joint kNN graph learns to score
+/// "negative-ness", which at inference is the anomaly score of real points.
+///
+/// Returns one score per input row (higher = more anomalous).
+pub fn lunar_scores(features: &Matrix, cfg: &LunarConfig) -> Vec<f32> {
+    let n = features.rows();
+    let d = features.cols();
+    assert!(n > cfg.k, "need more rows than k");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Synthetic negatives: uniform over the (slightly inflated) bounding box.
+    let n_neg = ((n as f64 * cfg.negative_ratio).round() as usize).max(1);
+    let mut lo = vec![f32::INFINITY; d];
+    let mut hi = vec![f32::NEG_INFINITY; d];
+    for r in 0..n {
+        for (c, &v) in features.row(r).iter().enumerate() {
+            lo[c] = lo[c].min(v);
+            hi[c] = hi[c].max(v);
+        }
+    }
+    let mut all = Matrix::zeros(n + n_neg, d);
+    for r in 0..n {
+        all.row_mut(r).copy_from_slice(features.row(r));
+    }
+    for r in 0..n_neg {
+        for c in 0..d {
+            let span = (hi[c] - lo[c]).max(1e-6);
+            all.set(n + r, c, rng.gen_range((lo[c] - 0.1 * span)..(hi[c] + 0.1 * span)));
+        }
+    }
+
+    // Node representation: sorted distances to the k nearest *real* points.
+    let mut node_feat = Matrix::zeros(n + n_neg, cfg.k);
+    {
+        // distances from every (real + negative) point to the real set
+        let mut dists: Vec<f32> = Vec::with_capacity(n);
+        for r in 0..n + n_neg {
+            dists.clear();
+            for j in 0..n {
+                if j == r {
+                    continue; // real points skip themselves
+                }
+                dists.push(Matrix::row_distance(&all, r, features, j));
+            }
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            for (c, &v) in dists.iter().take(cfg.k).enumerate() {
+                node_feat.set(r, c, v);
+            }
+        }
+    }
+
+    // kNN graph over the joint set (euclidean on raw coordinates).
+    let graph = build_instance_graph(&all, Similarity::Euclidean, EdgeRule::Knn { k: cfg.k });
+
+    // Targets: 0 for real rows, 1 for negatives.
+    let targets = Rc::new(Matrix::col_vector(
+        &(0..n + n_neg).map(|r| if r < n { 0.0 } else { 1.0 }).collect::<Vec<f32>>(),
+    ));
+
+    let mut store = ParamStore::new();
+    let encoder = SageModel::new(&mut store, &graph, &[cfg.k, cfg.hidden, cfg.hidden], 0.0, &mut rng);
+    let head = Linear::new(&mut store, "lunar.head", cfg.hidden, 1, &mut rng);
+    let mut opt = Adam::new(cfg.lr, 1e-5);
+    for epoch in 0..cfg.epochs {
+        let mut s = Session::train(&store, cfg.seed.wrapping_add(epoch as u64));
+        let x = s.input(node_feat.clone());
+        let emb = encoder.forward(&mut s, x);
+        let logit = head.forward(&mut s, emb);
+        let loss = s.tape.bce_with_logits(logit, Rc::clone(&targets), None);
+        let grads = s.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+
+    let mut s = Session::eval(&store);
+    let x = s.input(node_feat);
+    let emb = encoder.forward(&mut s, x);
+    let logit = head.forward(&mut s, emb);
+    let sig = s.tape.sigmoid(logit);
+    let scores = s.tape.value(sig);
+    (0..n).map(|r| scores.get(r, 0)).collect()
+}
+
+/// GRAPE imputation hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GrapeImputeConfig {
+    pub hidden: usize,
+    pub layers: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for GrapeImputeConfig {
+    fn default() -> Self {
+        Self { hidden: 32, layers: 2, epochs: 150, lr: 0.01, seed: 0 }
+    }
+}
+
+/// GRAPE-style missing-value imputation: the table becomes a bipartite
+/// instance-feature graph whose *observed* cells are training edges. An
+/// edge-value decoder regresses numeric cell values, and a link scorer
+/// (trained with sampled negatives) predicts which instance-value edge
+/// should exist for categorical cells — the survey's "impute missing values
+/// by link prediction" use of bipartite graphs.
+///
+/// Returns a copy of the table with every missing cell filled and its
+/// missing flag cleared.
+pub fn grape_impute(table: &Table, cfg: &GrapeImputeConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (graph, right_names) = bipartite_from_table(table);
+    let n = table.num_rows();
+
+    // Instance input: standardized observed cell values (0 where missing)
+    // concatenated with the observed-cell indicator pattern. Values must be
+    // visible to the encoder so correlated columns can inform each other —
+    // this plays the role of GRAPE's edge-value message features.
+    let ncols = table.num_columns();
+    let mut inst_init = Matrix::zeros(n, ncols * 2);
+    for (ci, col) in table.columns().iter().enumerate() {
+        match &col.data {
+            ColumnData::Numeric(values) => {
+                let mean = col.observed_mean().unwrap_or(0.0);
+                let std = col.observed_std().unwrap_or(1.0).max(1e-6);
+                for r in 0..n {
+                    if !col.missing[r] {
+                        inst_init.set(r, ci, (values[r] - mean) / std);
+                        inst_init.set(r, ncols + ci, 1.0);
+                    }
+                }
+            }
+            ColumnData::Categorical { codes, cardinality } => {
+                let denom = (*cardinality as f32 - 1.0).max(1.0);
+                for r in 0..n {
+                    if !col.missing[r] {
+                        inst_init.set(r, ci, codes[r] as f32 / denom);
+                        inst_init.set(r, ncols + ci, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Observed numeric edges as (instance, right-node, standardized value).
+    // Numeric right-node index = position among right names matching the
+    // column name exactly (categorical nodes are "name=value").
+    let mut numeric_right = Vec::new(); // (column index, right node)
+    for (ci, col) in table.columns().iter().enumerate() {
+        if col.is_numeric() {
+            let node = right_names
+                .iter()
+                .position(|nm| nm == &col.name)
+                .expect("numeric column must have a right node");
+            numeric_right.push((ci, node));
+        }
+    }
+    let mut train_pairs = Vec::new();
+    let mut train_values = Vec::new();
+    let mut stats = Vec::new(); // (mean, std) per numeric column order
+    for &(ci, node) in &numeric_right {
+        let col = table.column(ci);
+        let mean = col.observed_mean().unwrap_or(0.0);
+        let std = col.observed_std().unwrap_or(1.0).max(1e-6);
+        stats.push((mean, std));
+        if let ColumnData::Numeric(values) = &col.data {
+            for r in 0..n {
+                if !col.missing[r] {
+                    train_pairs.push((r, node));
+                    train_values.push((values[r] - mean) / std);
+                }
+            }
+        }
+    }
+
+    // Categorical link-prediction training data: for every observed
+    // categorical cell, the active value node is a positive and one other
+    // value of the same column is a negative.
+    let mut cat_nodes: Vec<(usize, usize, u32)> = Vec::new(); // (column, base right node, cardinality)
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for (ci, col) in table.columns().iter().enumerate() {
+            if let ColumnData::Categorical { cardinality, .. } = &col.data {
+                let base = right_names
+                    .iter()
+                    .position(|nm| nm.starts_with(&format!("{}=", col.name)))
+                    .expect("categorical column must have value nodes");
+                if seen.insert(ci) {
+                    cat_nodes.push((ci, base, *cardinality));
+                }
+            }
+        }
+    }
+    let mut link_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut link_targets: Vec<f32> = Vec::new();
+    for &(ci, base, cardinality) in &cat_nodes {
+        let col = table.column(ci);
+        let ColumnData::Categorical { codes, .. } = &col.data else { unreachable!() };
+        for r in 0..n {
+            if col.missing[r] || cardinality < 2 {
+                continue;
+            }
+            link_pairs.push((r, base + codes[r] as usize));
+            link_targets.push(1.0);
+            let neg = (codes[r] + 1 + (rng.gen::<u32>() % (cardinality - 1))) % cardinality;
+            link_pairs.push((r, base + neg as usize));
+            link_targets.push(0.0);
+        }
+    }
+
+    let mut store = ParamStore::new();
+    let encoder = GrapeEncoder::new(
+        &mut store, &graph, ncols * 2, cfg.hidden, cfg.layers, 0.0, &mut rng,
+    );
+    let decoder = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
+    let link_scorer = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
+    let target = Rc::new(Matrix::col_vector(&train_values));
+    let link_target = Rc::new(Matrix::col_vector(&link_targets));
+    let mut opt = Adam::new(cfg.lr, 1e-5);
+    if !train_pairs.is_empty() || !link_pairs.is_empty() {
+        for epoch in 0..cfg.epochs {
+            let mut s = Session::train(&store, cfg.seed.wrapping_add(epoch as u64));
+            let x = s.input(inst_init.clone());
+            let (hi, hf) = encoder.forward_pair(&mut s, x);
+            let mut loss = s.input(Matrix::zeros(1, 1));
+            if !train_pairs.is_empty() {
+                let pred = decoder.forward(&mut s, hi, hf, &train_pairs);
+                let mse = s.tape.mse_loss(pred, Rc::clone(&target), None);
+                loss = s.tape.add(loss, mse);
+            }
+            if !link_pairs.is_empty() {
+                let logits = link_scorer.forward(&mut s, hi, hf, &link_pairs);
+                let bce = s.tape.bce_with_logits(logits, Rc::clone(&link_target), None);
+                let scaled = s.tape.scale(bce, 0.5);
+                loss = s.tape.add(loss, scaled);
+            }
+            let grads = s.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+    }
+
+    // Decode missing numeric cells.
+    let mut out = table.clone();
+    let mut missing_pairs = Vec::new(); // (row, right node, column, stat index)
+    for (si, &(ci, node)) in numeric_right.iter().enumerate() {
+        for r in 0..n {
+            if table.column(ci).missing[r] {
+                missing_pairs.push((r, node, ci, si));
+            }
+        }
+    }
+    if !missing_pairs.is_empty() && !train_pairs.is_empty() {
+        let mut s = Session::eval(&store);
+        let x = s.input(inst_init.clone());
+        let (hi, hf) = encoder.forward_pair(&mut s, x);
+        let pairs: Vec<(usize, usize)> = missing_pairs.iter().map(|&(r, nd, _, _)| (r, nd)).collect();
+        let pred = decoder.forward(&mut s, hi, hf, &pairs);
+        let values = s.tape.value(pred).clone();
+        for (k, &(r, _, ci, si)) in missing_pairs.iter().enumerate() {
+            let (mean, std) = stats[si];
+            let col = &mut out.columns_mut()[ci];
+            if let ColumnData::Numeric(v) = &mut col.data {
+                v[r] = values.get(k, 0) * std + mean;
+            }
+            col.missing[r] = false;
+        }
+    }
+    // Categorical cells: impute by link prediction — argmax score over the
+    // column's value nodes.
+    let mut cat_missing: Vec<(usize, usize, usize, u32)> = Vec::new(); // (row, col, base, cardinality)
+    for &(ci, base, cardinality) in &cat_nodes {
+        for r in 0..n {
+            if table.column(ci).missing[r] {
+                cat_missing.push((r, ci, base, cardinality));
+            }
+        }
+    }
+    if !cat_missing.is_empty() && !link_pairs.is_empty() {
+        let mut pairs = Vec::new();
+        for &(r, _, base, cardinality) in &cat_missing {
+            for v in 0..cardinality as usize {
+                pairs.push((r, base + v));
+            }
+        }
+        let mut s = Session::eval(&store);
+        let x = s.input(inst_init);
+        let (hi, hf) = encoder.forward_pair(&mut s, x);
+        let logits = link_scorer.forward(&mut s, hi, hf, &pairs);
+        let scores = s.tape.value(logits).clone();
+        let mut cursor = 0usize;
+        for &(r, ci, _, cardinality) in &cat_missing {
+            let mut best = 0u32;
+            let mut best_score = f32::NEG_INFINITY;
+            for v in 0..cardinality {
+                let sc = scores.get(cursor, 0);
+                cursor += 1;
+                if sc > best_score {
+                    best_score = sc;
+                    best = v;
+                }
+            }
+            let col = &mut out.columns_mut()[ci];
+            if let ColumnData::Categorical { codes, .. } = &mut col.data {
+                codes[r] = best;
+            }
+            col.missing[r] = false;
+        }
+    }
+    // Anything left (degenerate columns): classical fallback.
+    gnn4tdl_data::mean_mode_impute(&mut out);
+    out
+}
+
+/// Dispatch-friendly wrapper: mean-imputation baseline with the same
+/// signature as [`grape_impute`].
+pub fn mean_impute(table: &Table) -> Table {
+    let mut out = table.clone();
+    gnn4tdl_data::mean_mode_impute(&mut out);
+    out
+}
+
+/// kNN imputation baseline: fills missing numeric cells with the mean of the
+/// k nearest rows (by observed-feature distance) that observe the cell.
+pub fn knn_impute(table: &Table, k: usize) -> Table {
+    assert!(k >= 1, "k must be positive");
+    let n = table.num_rows();
+    // distance over commonly observed numeric cells, standardized
+    let numeric: Vec<usize> = table.numeric_columns();
+    let mut std_cols: Vec<Vec<f32>> = Vec::with_capacity(numeric.len());
+    for &ci in &numeric {
+        let col = table.column(ci);
+        let mean = col.observed_mean().unwrap_or(0.0);
+        let std = col.observed_std().unwrap_or(1.0).max(1e-6);
+        if let ColumnData::Numeric(v) = &col.data {
+            std_cols.push(v.iter().map(|&x| (x - mean) / std).collect());
+        }
+    }
+    let distance = |a: usize, b: usize| -> f32 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (j, &ci) in numeric.iter().enumerate() {
+            let col = table.column(ci);
+            if !col.missing[a] && !col.missing[b] {
+                let d = std_cols[j][a] - std_cols[j][b];
+                sum += d * d;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f32::INFINITY
+        } else {
+            (sum / count as f32).sqrt()
+        }
+    };
+
+    let mut out = table.clone();
+    for (j, &ci) in numeric.iter().enumerate() {
+        let col = table.column(ci);
+        let missing_rows: Vec<usize> = (0..n).filter(|&r| col.missing[r]).collect();
+        for &r in &missing_rows {
+            let mut cands: Vec<(f32, usize)> = (0..n)
+                .filter(|&other| other != r && !col.missing[other])
+                .map(|other| (distance(r, other), other))
+                .collect();
+            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let take = k.min(cands.len());
+            if take == 0 {
+                continue;
+            }
+            let fill: f32 = cands[..take]
+                .iter()
+                .map(|&(_, other)| match &table.column(ci).data {
+                    ColumnData::Numeric(v) => v[other],
+                    _ => unreachable!(),
+                })
+                .sum::<f32>()
+                / take as f32;
+            let ocol = &mut out.columns_mut()[ci];
+            if let ColumnData::Numeric(v) = &mut ocol.data {
+                v[r] = fill;
+            }
+            ocol.missing[r] = false;
+            let _ = j;
+        }
+    }
+    gnn4tdl_data::mean_mode_impute(&mut out);
+    out
+}
+
+/// Feature-reconstruction "autoencoder" anomaly baseline: trains an MLP to
+/// reconstruct rows and scores each row by reconstruction error.
+pub fn reconstruction_scores(features: &Matrix, hidden: usize, epochs: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = features.cols();
+    let mut store = ParamStore::new();
+    let ae = Mlp::new(
+        &mut store,
+        "ae",
+        &[d, hidden, 2, hidden, d],
+        gnn4tdl_nn::Activation::Relu,
+        0.0,
+        &mut rng,
+    );
+    let target = Rc::new(features.clone());
+    let mut opt = Adam::new(0.01, 0.0);
+    for epoch in 0..epochs {
+        let mut s = Session::train(&store, seed.wrapping_add(epoch as u64));
+        let x = s.input(features.clone());
+        let recon = ae.forward(&mut s, x);
+        let loss = s.tape.mse_loss(recon, Rc::clone(&target), None);
+        let grads = s.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    let mut s = Session::eval(&store);
+    let x = s.input(features.clone());
+    let recon = ae.forward(&mut s, x);
+    let rv = s.tape.value(recon);
+    (0..features.rows())
+        .map(|r| {
+            rv.row(r)
+                .iter()
+                .zip(features.row(r))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_data::metrics::roc_auc;
+    use gnn4tdl_data::synth::{anomaly_mixture, inject_mcar, AnomalyConfig};
+    use gnn4tdl_data::{encode_all, Column};
+
+    #[test]
+    fn lunar_detects_planted_outliers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = anomaly_mixture(
+            &AnomalyConfig { inliers: 150, outliers: 20, dims: 4, ..Default::default() },
+            &mut rng,
+        );
+        let enc = encode_all(&data.table);
+        let scores = lunar_scores(&enc.features, &LunarConfig { epochs: 60, ..Default::default() });
+        let auc = roc_auc(&scores, data.target.labels());
+        assert!(auc > 0.85, "LUNAR AUC too low: {auc}");
+    }
+
+    #[test]
+    fn grape_impute_fills_all_missing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut table = Table::new(vec![
+            Column::numeric("a", (0..60).map(|i| i as f32 / 10.0).collect()),
+            Column::numeric("b", (0..60).map(|i| (i as f32 / 10.0) * 2.0 + 1.0).collect()),
+        ]);
+        inject_mcar(&mut table, 0.2, &mut rng);
+        assert!(table.num_missing() > 0);
+        let imputed = grape_impute(&table, &GrapeImputeConfig { epochs: 80, ..Default::default() });
+        assert_eq!(imputed.num_missing(), 0);
+        assert_eq!(imputed.num_rows(), 60);
+    }
+
+    #[test]
+    fn grape_beats_mean_on_correlated_columns() {
+        // b = 2a + 1 exactly; GRAPE can exploit the correlation via the
+        // bipartite structure, mean imputation cannot.
+        let mut rng = StdRng::seed_from_u64(2);
+        let truth: Vec<f32> = (0..80).map(|i| (i as f32 / 8.0) * 2.0 + 1.0).collect();
+        let mut table = Table::new(vec![
+            Column::numeric("a", (0..80).map(|i| i as f32 / 8.0).collect()),
+            Column::numeric("b", truth.clone()),
+        ]);
+        // hide 25% of b only
+        for r in 0..80 {
+            if rng.gen_bool(0.25) {
+                table.columns_mut()[1].missing[r] = true;
+            }
+        }
+        let missing_rows: Vec<usize> = (0..80).filter(|&r| table.column(1).missing[r]).collect();
+        assert!(!missing_rows.is_empty());
+        let rmse = |t: &Table| -> f64 {
+            if let ColumnData::Numeric(v) = &t.column(1).data {
+                let se: f64 = missing_rows
+                    .iter()
+                    .map(|&r| ((v[r] - truth[r]) as f64).powi(2))
+                    .sum();
+                (se / missing_rows.len() as f64).sqrt()
+            } else {
+                unreachable!()
+            }
+        };
+        let mean_t = mean_impute(&table);
+        let grape_t = grape_impute(&table, &GrapeImputeConfig { epochs: 200, ..Default::default() });
+        let (m, g) = (rmse(&mean_t), rmse(&grape_t));
+        assert!(g < m, "GRAPE ({g:.3}) should beat mean imputation ({m:.3})");
+    }
+
+    #[test]
+    fn grape_imputes_categorical_cells_by_link_prediction() {
+        // category is perfectly predictable from the numeric column
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 80;
+        let numeric: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { -2.0 } else { 2.0 } ).collect();
+        let codes: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let mut table = Table::new(vec![
+            Column::numeric("x", numeric),
+            gnn4tdl_data::Column::categorical("c", codes.clone(), 2),
+        ]);
+        let mut hidden_rows = Vec::new();
+        for r in 0..n {
+            if rng.gen_bool(0.25) {
+                table.columns_mut()[1].missing[r] = true;
+                hidden_rows.push(r);
+            }
+        }
+        assert!(!hidden_rows.is_empty());
+        let imputed = grape_impute(&table, &GrapeImputeConfig { epochs: 200, ..Default::default() });
+        assert_eq!(imputed.num_missing(), 0);
+        if let ColumnData::Categorical { codes: got, .. } = &imputed.column(1).data {
+            let correct = hidden_rows.iter().filter(|&&r| got[r] == codes[r]).count();
+            let acc = correct as f64 / hidden_rows.len() as f64;
+            assert!(acc > 0.8, "categorical link imputation accuracy {acc}");
+        } else {
+            panic!("expected categorical column");
+        }
+    }
+
+    #[test]
+    fn knn_impute_uses_neighbors() {
+        // two clusters with distinct b values; a missing b should take its
+        // own cluster's value, not the global mean
+        let mut table = Table::new(vec![
+            Column::numeric("a", vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2]),
+            Column::numeric("b", vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0]),
+        ]);
+        table.columns_mut()[1].missing[0] = true;
+        let out = knn_impute(&table, 2);
+        if let ColumnData::Numeric(v) = &out.column(1).data {
+            assert!((v[0] - 1.0).abs() < 1e-5, "expected cluster value, got {}", v[0]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_scores_flag_outliers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = anomaly_mixture(
+            &AnomalyConfig { inliers: 120, outliers: 15, dims: 4, ..Default::default() },
+            &mut rng,
+        );
+        let enc = encode_all(&data.table);
+        let scores = reconstruction_scores(&enc.features, 16, 150, 0);
+        let auc = roc_auc(&scores, data.target.labels());
+        assert!(auc > 0.6, "AE baseline AUC too low: {auc}");
+    }
+}
+
+/// BGNN hyperparameters ("boost then convolve", Ivanov & Prokhorenkova —
+/// the survey's tree-ability direction).
+#[derive(Clone, Copy, Debug)]
+pub struct BgnnConfig {
+    pub gbdt_rounds: usize,
+    pub knn_k: usize,
+    pub hidden: usize,
+    pub epochs: usize,
+    pub seed: u64,
+}
+
+impl Default for BgnnConfig {
+    fn default() -> Self {
+        Self { gbdt_rounds: 60, knn_k: 8, hidden: 24, epochs: 120, seed: 0 }
+    }
+}
+
+/// Boost-then-convolve hybrid: a GBDT is fitted on the training rows, its
+/// per-class scores are appended to the node features, and a GCN over the
+/// kNN instance graph refines them. Marries the trees' non-smooth fitting
+/// with the graph's instance-correlation smoothing.
+///
+/// Returns `n x C` logits for every row.
+pub fn bgnn_classify(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    split: &gnn4tdl_data::Split,
+    cfg: &BgnnConfig,
+) -> Matrix {
+    use gnn4tdl_baselines::{GbdtClassifier, GbdtConfig};
+    use gnn4tdl_nn::GcnModel;
+    use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // stage 1: boost on the labeled rows only
+    let train_x = features.gather_rows(&split.train);
+    let train_y: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+    let gbdt = GbdtClassifier::fit(
+        &train_x,
+        &train_y,
+        num_classes,
+        &GbdtConfig { n_rounds: cfg.gbdt_rounds, ..Default::default() },
+        &mut rng,
+    );
+    let scores = gbdt.predict_scores(features); // n x C
+    let augmented = features.hcat(&scores);
+
+    // stage 2: convolve over the kNN graph of the *original* features
+    let graph = build_instance_graph(features, Similarity::Euclidean, EdgeRule::Knn { k: cfg.knn_k });
+    let mut store = ParamStore::new();
+    let encoder = GcnModel::new(
+        &mut store,
+        &graph,
+        &[augmented.cols(), cfg.hidden, cfg.hidden],
+        0.2,
+        &mut rng,
+    );
+    let model = SupervisedModel::new(&mut store, 0, encoder, num_classes, &mut rng);
+    let task = NodeTask::classification(augmented.clone(), labels.to_vec(), num_classes, split.clone());
+    fit(&model, &mut store, &task, &[], &TrainConfig { epochs: cfg.epochs, patience: 25, ..Default::default() });
+    predict(&model, &store, &augmented)
+}
+
+#[cfg(test)]
+mod bgnn_tests {
+    use super::*;
+    use gnn4tdl_data::metrics::accuracy;
+    use gnn4tdl_data::synth::{checkerboard, pad_irrelevant};
+    use gnn4tdl_data::{encode_all, Split};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bgnn_handles_nonsmooth_boundary() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = checkerboard(400, 2, 0.0, &mut rng);
+        let dataset = pad_irrelevant(&base, 4, &mut rng);
+        let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut rng);
+        let enc = encode_all(&dataset.table);
+        let logits = bgnn_classify(
+            &enc.features,
+            dataset.target.labels(),
+            2,
+            &split,
+            &BgnnConfig { epochs: 80, ..Default::default() },
+        );
+        let preds = logits.argmax_rows();
+        let p: Vec<usize> = split.test.iter().map(|&i| preds[i]).collect();
+        let t: Vec<usize> = split.test.iter().map(|&i| dataset.target.labels()[i]).collect();
+        let acc = accuracy(&p, &t);
+        assert!(acc > 0.8, "BGNN accuracy on 2x2 checkerboard: {acc}");
+    }
+}
+
+/// PLATO hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PlatoConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    /// Strength of the knowledge-prior weight regularizer.
+    pub prior_weight: f32,
+    pub seed: u64,
+}
+
+impl Default for PlatoConfig {
+    fn default() -> Self {
+        Self { hidden: 16, epochs: 200, lr: 0.01, prior_weight: 1.0, seed: 0 }
+    }
+}
+
+/// PLATO-style knowledge-regularized MLP: first-layer weight rows of
+/// features that the knowledge prior declares related are pulled together
+/// (`loss += λ Σ_(a,b)∈KG mean((W_a - W_b)^2)`), shrinking the effective
+/// dimensionality on high-dimensional low-sample tables.
+///
+/// Returns `n x num_classes` logits for every row. Pass an empty prior for
+/// the unregularized baseline.
+pub fn plato_mlp(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    split: &gnn4tdl_data::Split,
+    prior: &gnn4tdl_construct::FeaturePrior,
+    cfg: &PlatoConfig,
+) -> Matrix {
+    use gnn4tdl_nn::Linear;
+    use gnn4tdl_train::Adam;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let d = features.cols();
+    let mut store = ParamStore::new();
+    let l1 = Linear::new(&mut store, "plato.l1", d, cfg.hidden, &mut rng);
+    let l2 = Linear::new(&mut store, "plato.l2", cfg.hidden, num_classes, &mut rng);
+    let train_mask = Rc::new(split.train_mask(features.rows()));
+    let labels_rc = Rc::new(labels.to_vec());
+    let (src, dst): (Vec<usize>, Vec<usize>) = prior.edges().iter().copied().unzip();
+    let src = Rc::new(src);
+    let dst = Rc::new(dst);
+
+    let mut opt = Adam::new(cfg.lr, 1e-4);
+    for epoch in 0..cfg.epochs {
+        let mut s = Session::train(&store, cfg.seed.wrapping_add(epoch as u64));
+        let x = s.input(features.clone());
+        let h = l1.forward(&mut s, x);
+        let h = s.tape.relu(h);
+        let logits = l2.forward(&mut s, h);
+        let mut loss = s.tape.softmax_cross_entropy(
+            logits,
+            Rc::clone(&labels_rc),
+            Some(Rc::clone(&train_mask)),
+        );
+        if !src.is_empty() && cfg.prior_weight > 0.0 {
+            // tie first-layer rows of prior-adjacent features
+            let w = s.p(l1.weight_id());
+            let wa = s.tape.gather_rows(w, Rc::clone(&src));
+            let wb = s.tape.gather_rows(w, Rc::clone(&dst));
+            let diff = s.tape.sub(wa, wb);
+            let sq = s.tape.square(diff);
+            let reg = s.tape.mean_all(sq);
+            let scaled = s.tape.scale(reg, cfg.prior_weight);
+            loss = s.tape.add(loss, scaled);
+        }
+        let grads = s.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    let mut s = Session::eval(&store);
+    let x = s.input(features.clone());
+    let h = l1.forward(&mut s, x);
+    let h = s.tape.relu(h);
+    let logits = l2.forward(&mut s, h);
+    s.tape.value(logits).clone()
+}
+
+#[cfg(test)]
+mod plato_tests {
+    use super::*;
+    use gnn4tdl_construct::FeaturePrior;
+    use gnn4tdl_data::metrics::accuracy;
+    use gnn4tdl_data::synth::{grouped_features, GroupedConfig};
+    use gnn4tdl_data::{encode_all, Split};
+    use rand::SeedableRng;
+
+    #[test]
+    fn knowledge_prior_beats_plain_mlp_in_high_dim_low_n() {
+        let mut test_acc = |prior_weight: f32, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = grouped_features(&GroupedConfig::default(), &mut rng);
+            let enc = encode_all(&data.dataset.table);
+            let split = Split::stratified(data.dataset.target.labels(), 0.5, 0.2, &mut rng);
+            // the true knowledge graph: chain within each feature group
+            let mut edges = Vec::new();
+            for j in 1..data.feature_group.len() {
+                if data.feature_group[j] == data.feature_group[j - 1] {
+                    edges.push((j - 1, j));
+                }
+            }
+            let prior = FeaturePrior::new(edges);
+            let logits = plato_mlp(
+                &enc.features,
+                data.dataset.target.labels(),
+                2,
+                &split,
+                &prior,
+                &PlatoConfig { prior_weight, epochs: 150, ..Default::default() },
+            );
+            let preds = logits.argmax_rows();
+            let p: Vec<usize> = split.test.iter().map(|&i| preds[i]).collect();
+            let t: Vec<usize> = split.test.iter().map(|&i| data.dataset.target.labels()[i]).collect();
+            accuracy(&p, &t)
+        };
+        let mut with_prior = 0.0;
+        let mut without = 0.0;
+        for seed in 0..3 {
+            with_prior += test_acc(3.0, seed);
+            without += test_acc(0.0, seed);
+        }
+        assert!(
+            with_prior > without,
+            "KG regularization should win in high-dim low-n: {:.3} vs {:.3}",
+            with_prior / 3.0,
+            without / 3.0
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Dependency-free CSV reading and writing for [`Table`]s.
+//!
+//! The reader handles quoted fields (RFC-4180 quoting with embedded commas,
+//! quotes, and newlines), infers column types (numeric if every non-missing
+//! cell parses as `f32`, categorical otherwise), and treats empty cells and
+//! a configurable missing token as missing values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::table::{Column, ColumnData, Table};
+
+/// CSV parsing options.
+#[derive(Clone, Debug)]
+pub struct CsvOptions {
+    pub delimiter: char,
+    /// Cell contents (besides the empty string) treated as missing.
+    pub missing_tokens: Vec<String>,
+    /// Columns with at most this many distinct non-numeric values become
+    /// categorical; beyond it parsing fails (free-text columns are not
+    /// meaningful tabular features).
+    pub max_cardinality: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            missing_tokens: vec!["NA".into(), "na".into(), "null".into(), "NaN".into(), "?".into()],
+            max_cardinality: 1024,
+        }
+    }
+}
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(io::Error),
+    /// Row `row` has `got` fields, the header has `want`.
+    RaggedRow { row: usize, got: usize, want: usize },
+    /// No header / no data.
+    Empty,
+    /// A categorical column exceeded `max_cardinality`.
+    TooManyCategories { column: String, count: usize },
+    /// Unterminated quoted field.
+    UnterminatedQuote { row: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::RaggedRow { row, got, want } => {
+                write!(f, "row {row} has {got} fields, expected {want}")
+            }
+            CsvError::Empty => write!(f, "csv has no header row"),
+            CsvError::TooManyCategories { column, count } => {
+                write!(f, "column {column} has {count} distinct values; not a usable categorical")
+            }
+            CsvError::UnterminatedQuote { row } => write!(f, "unterminated quote in row {row}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A table plus the category dictionaries recovered from the file.
+#[derive(Debug)]
+pub struct CsvTable {
+    pub table: Table,
+    /// For each categorical column: `(column name, value strings by code)`.
+    pub dictionaries: Vec<(String, Vec<String>)>,
+}
+
+/// Parses CSV text into a [`Table`] with inferred column types.
+///
+/// ```
+/// use gnn4tdl_data::{read_csv_str, CsvOptions};
+/// let parsed = read_csv_str("age,city\n30,paris\n25,tokyo\n", &CsvOptions::default()).unwrap();
+/// assert_eq!(parsed.table.num_rows(), 2);
+/// assert_eq!(parsed.table.numeric_columns(), vec![0]);
+/// assert_eq!(parsed.table.categorical_columns(), vec![1]);
+/// ```
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<CsvTable, CsvError> {
+    let rows = split_records(text, opts.delimiter)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    let width = header.len();
+    let mut cells: Vec<Vec<Option<String>>> = vec![Vec::new(); width];
+    for (ri, row) in it.enumerate() {
+        if row.len() == 1 && row[0].is_empty() {
+            continue; // trailing blank line
+        }
+        if row.len() != width {
+            return Err(CsvError::RaggedRow { row: ri + 2, got: row.len(), want: width });
+        }
+        for (ci, cell) in row.into_iter().enumerate() {
+            let missing = cell.is_empty() || opts.missing_tokens.iter().any(|t| t == &cell);
+            cells[ci].push(if missing { None } else { Some(cell) });
+        }
+    }
+
+    let mut columns = Vec::with_capacity(width);
+    let mut dictionaries = Vec::new();
+    for (name, col_cells) in header.into_iter().zip(cells) {
+        let numeric = col_cells
+            .iter()
+            .flatten()
+            .all(|c| c.trim().parse::<f32>().is_ok());
+        let has_observed = col_cells.iter().any(Option::is_some);
+        if numeric && has_observed {
+            let mut values = Vec::with_capacity(col_cells.len());
+            let mut missing = Vec::with_capacity(col_cells.len());
+            for cell in &col_cells {
+                match cell {
+                    Some(c) => {
+                        values.push(c.trim().parse::<f32>().expect("checked"));
+                        missing.push(false);
+                    }
+                    None => {
+                        values.push(0.0);
+                        missing.push(true);
+                    }
+                }
+            }
+            columns.push(Column { name, data: ColumnData::Numeric(values), missing });
+        } else {
+            let mut dict: BTreeMap<String, u32> = BTreeMap::new();
+            let mut codes = Vec::with_capacity(col_cells.len());
+            let mut missing = Vec::with_capacity(col_cells.len());
+            for cell in &col_cells {
+                match cell {
+                    Some(c) => {
+                        let next = dict.len() as u32;
+                        let code = *dict.entry(c.clone()).or_insert(next);
+                        codes.push(code);
+                        missing.push(false);
+                    }
+                    None => {
+                        codes.push(0);
+                        missing.push(true);
+                    }
+                }
+            }
+            if dict.len() > opts.max_cardinality {
+                return Err(CsvError::TooManyCategories { column: name, count: dict.len() });
+            }
+            let cardinality = dict.len().max(1) as u32;
+            let mut by_code = vec![String::new(); cardinality as usize];
+            for (value, code) in &dict {
+                by_code[*code as usize] = value.clone();
+            }
+            dictionaries.push((name.clone(), by_code));
+            columns.push(Column { name, data: ColumnData::Categorical { codes, cardinality }, missing });
+        }
+    }
+    Ok(CsvTable { table: Table::new(columns), dictionaries })
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv(path: &Path, opts: &CsvOptions) -> Result<CsvTable, CsvError> {
+    let text = fs::read_to_string(path)?;
+    read_csv_str(&text, opts)
+}
+
+/// Serializes a table back to CSV text. Missing cells render empty;
+/// categorical codes render through `dictionaries` when a matching column
+/// name is present, otherwise as their integer code.
+pub fn write_csv_str(table: &Table, dictionaries: &[(String, Vec<String>)]) -> String {
+    let dict_for = |name: &str| dictionaries.iter().find(|(n, _)| n == name).map(|(_, d)| d);
+    let mut out = String::new();
+    let header: Vec<&str> = table.columns().iter().map(|c| c.name.as_str()).collect();
+    let _ = writeln!(out, "{}", header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    for r in 0..table.num_rows() {
+        let mut fields = Vec::with_capacity(table.num_columns());
+        for col in table.columns() {
+            if col.missing[r] {
+                fields.push(String::new());
+                continue;
+            }
+            match &col.data {
+                ColumnData::Numeric(v) => fields.push(format!("{}", v[r])),
+                ColumnData::Categorical { codes, .. } => {
+                    let rendered = dict_for(&col.name)
+                        .and_then(|d| d.get(codes[r] as usize))
+                        .cloned()
+                        .unwrap_or_else(|| codes[r].to_string());
+                    fields.push(quote(&rendered));
+                }
+            }
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv(table: &Table, dictionaries: &[(String, Vec<String>)], path: &Path) -> io::Result<()> {
+    fs::write(path, write_csv_str(table, dictionaries))
+}
+
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits CSV text into records of fields, honoring RFC-4180 quoting.
+fn split_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut row_for_error = 1usize;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                '\r' => {} // swallow; `\n` terminates the record
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    row_for_error += 1;
+                }
+                d if d == delimiter => record.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { row: row_for_error });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> CsvOptions {
+        CsvOptions::default()
+    }
+
+    #[test]
+    fn parses_mixed_types() {
+        let csv = "age,city,income\n25,paris,50000\n30,tokyo,60000\n22,paris,45000\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        let t = &parsed.table;
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.numeric_columns(), vec![0, 2]);
+        assert_eq!(t.categorical_columns(), vec![1]);
+        let (name, dict) = &parsed.dictionaries[0];
+        assert_eq!(name, "city");
+        assert_eq!(dict, &vec!["paris".to_string(), "tokyo".to_string()]);
+    }
+
+    #[test]
+    fn missing_tokens_and_empty_cells() {
+        let csv = "x,c\n1.5,a\n,b\nNA,a\n2.5,?\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        let t = &parsed.table;
+        assert_eq!(t.column(0).num_missing(), 2);
+        assert_eq!(t.column(1).num_missing(), 1);
+        assert!((t.column(0).observed_mean().unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name,score\n\"Smith, John\",1\n\"say \"\"hi\"\"\",2\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        let (_, dict) = &parsed.dictionaries[0];
+        assert!(dict.contains(&"Smith, John".to_string()));
+        assert!(dict.contains(&"say \"hi\"".to_string()));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let csv = "note,v\n\"line1\nline2\",3\nplain,4\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        assert_eq!(parsed.table.num_rows(), 2);
+        let (_, dict) = &parsed.dictionaries[0];
+        assert!(dict.contains(&"line1\nline2".to_string()));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = read_csv_str("a,b\n1,2\n3\n", &opts()).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { row: 3, got: 1, want: 2 }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = read_csv_str("a\n\"oops\n", &opts()).unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn round_trip_preserves_table() {
+        let csv = "x,c\n1.5,red\n2.5,blue\n,red\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        let text = write_csv_str(&parsed.table, &parsed.dictionaries);
+        let again = read_csv_str(&text, &opts()).unwrap();
+        assert_eq!(again.table.num_rows(), parsed.table.num_rows());
+        assert_eq!(
+            again.table.column(0).observed_mean(),
+            parsed.table.column(0).observed_mean()
+        );
+        if let (ColumnData::Categorical { codes: a, .. }, ColumnData::Categorical { codes: b, .. }) =
+            (&again.table.column(1).data, &parsed.table.column(1).data)
+        {
+            // dictionaries are order-dependent but consistent per file
+            assert_eq!(a.len(), b.len());
+        }
+        assert_eq!(again.table.column(0).num_missing(), 1);
+    }
+
+    #[test]
+    fn file_io_round_trip() {
+        let dir = std::env::temp_dir().join("gnn4tdl_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let csv = "x,c\n1,alpha\n2,beta\n";
+        std::fs::write(&path, csv).unwrap();
+        let parsed = read_csv(&path, &opts()).unwrap();
+        let out = dir.join("out.csv");
+        write_csv(&parsed.table, &parsed.dictionaries, &out).unwrap();
+        let again = read_csv(&out, &opts()).unwrap();
+        assert_eq!(again.table.num_rows(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let csv = "a;b\n1;x\n2;y\n";
+        let parsed = read_csv_str(csv, &CsvOptions { delimiter: ';', ..opts() }).unwrap();
+        assert_eq!(parsed.table.num_columns(), 2);
+        assert_eq!(parsed.table.numeric_columns(), vec![0]);
+    }
+
+    #[test]
+    fn all_missing_column_is_categorical_placeholder() {
+        let csv = "x,y\n,1\n,2\n";
+        let parsed = read_csv_str(csv, &opts()).unwrap();
+        assert_eq!(parsed.table.column(0).num_missing(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! # gnn4tdl-data
+//!
+//! Tabular datasets for the GNN4TDL workspace: typed tables with missing-
+//! value tracking, leakage-free preprocessing into dense feature matrices,
+//! train/val/test splits with semi-supervised label masks, evaluation
+//! metrics, and deterministic synthetic workload generators covering every
+//! application domain in the survey (fraud, CTR, EHR, anomaly detection,
+//! imputation, regression, non-smooth tree workloads).
+
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates read better in numeric kernels
+
+pub mod io;
+pub mod metrics;
+pub mod preprocess;
+pub mod split;
+pub mod synth;
+pub mod table;
+
+pub use io::{read_csv, read_csv_str, write_csv, write_csv_str, CsvError, CsvOptions, CsvTable};
+pub use preprocess::{encode_all, mean_mode_impute, Encoded, Featurizer};
+pub use split::Split;
+pub use table::{Column, ColumnData, Dataset, Table, Target};

@@ -1,0 +1,214 @@
+//! Evaluation metrics for classification, regression, and anomaly ranking.
+
+/// Fraction of exact label matches.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1 over classes present in the ground truth.
+pub fn macro_f1(pred: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        if p == t {
+            tp[t] += 1;
+        } else {
+            fp[p] += 1;
+            fnn[t] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..num_classes {
+        if tp[c] + fnn[c] == 0 {
+            continue; // class absent from ground truth
+        }
+        present += 1;
+        let precision = if tp[c] + fp[c] > 0 { tp[c] as f64 / (tp[c] + fp[c]) as f64 } else { 0.0 };
+        let recall = tp[c] as f64 / (tp[c] + fnn[c]) as f64;
+        if precision + recall > 0.0 {
+            sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        sum / present as f64
+    }
+}
+
+/// Area under the ROC curve for binary labels against real-valued scores.
+/// Computed via the rank statistic with midrank tie handling.
+pub fn roc_auc(scores: &[f32], truth: &[usize]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t == 1).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // midranks
+    let mut ranks = vec![0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t == 1)
+        .map(|(k, _)| ranks[k])
+        .sum();
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision (area under the precision-recall curve, step-wise).
+pub fn average_precision(scores: &[f32], truth: &[usize]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t == 1).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut sum = 0.0;
+    for (rank, &k) in order.iter().enumerate() {
+        if truth[k] == 1 {
+            tp += 1;
+            sum += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / n_pos as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t) as f64).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(&p, &t)| ((p - t) as f64).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R^2 (1 is perfect; 0 matches the mean
+/// predictor; negative is worse than the mean).
+pub fn r2(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = truth.iter().map(|&t| t as f64).sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| ((t - p) as f64).powi(2)).sum();
+    let ss_tot: f64 = truth.iter().map(|&t| (t as f64 - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_degenerate() {
+        assert!((macro_f1(&[0, 1, 2], &[0, 1, 2], 3) - 1.0).abs() < 1e-9);
+        // predicting all-0 against balanced binary truth:
+        // class0: p=0.5, r=1 -> f1=2/3; class1: f1=0 -> macro 1/3
+        let f1 = macro_f1(&[0, 0, 0, 0], &[0, 0, 1, 1], 2);
+        assert!((f1 - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let f1 = macro_f1(&[0, 0], &[0, 0], 5);
+        assert!((f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let truth = vec![0, 0, 1, 1];
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth) - 1.0).abs() < 1e-9);
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth) - 0.0).abs() < 1e-9);
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &truth) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_known_partial_value() {
+        // one inversion among 2x2: AUC = 3/4
+        let auc = roc_auc(&[0.1, 0.8, 0.7, 0.9], &[0, 0, 1, 1]);
+        assert!((auc - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn average_precision_known() {
+        // ranked: pos, neg, pos -> AP = (1/1 + 2/3)/2
+        let ap = average_precision(&[0.9, 0.8, 0.7], &[1, 0, 1]);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let pred = [1.0f32, 2.0, 3.0];
+        let truth = [1.0f32, 2.0, 5.0];
+        assert!((rmse(&pred, &truth) - (4.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert!((mae(&pred, &truth) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r2(&truth, &truth) - 1.0).abs() < 1e-9);
+        assert!(r2(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let truth = [1.0f32, 3.0];
+        let pred = [2.0f32, 2.0];
+        assert!(r2(&pred, &truth).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Feature-matrix assembly: standardization, one-hot encoding, missing masks.
+//!
+//! [`Featurizer`] fits column statistics on training rows only (no leakage)
+//! and encodes the whole table into a dense `n x d` matrix plus an
+//! observed-entry mask. The three "feature usage" modes of the survey's
+//! Table 9 all start here: initial node vectors, edge-construction inputs,
+//! and feature-node identities.
+
+use gnn4tdl_tensor::Matrix;
+
+use crate::table::{ColumnData, Table};
+
+/// Where each table column landed in the encoded feature matrix.
+#[derive(Clone, Debug)]
+pub struct ColumnSpan {
+    pub column: usize,
+    pub name: String,
+    /// Half-open range of encoded feature indices.
+    pub start: usize,
+    pub end: usize,
+    pub categorical: bool,
+}
+
+/// Fitted preprocessing state.
+#[derive(Clone, Debug)]
+pub struct Featurizer {
+    /// Per-numeric-column (mean, std) fitted on training rows.
+    stats: Vec<Option<(f32, f32)>>,
+    spans: Vec<ColumnSpan>,
+    dim: usize,
+}
+
+/// Encoded features plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Encoded {
+    /// `n x d` dense features.
+    pub features: Matrix,
+    /// `n x d` mask: 1 where the underlying cell was observed, 0 where
+    /// missing (all encoded positions of a missing cell get 0).
+    pub observed: Matrix,
+    /// Encoded feature names (`col` or `col=value`).
+    pub names: Vec<String>,
+}
+
+impl Featurizer {
+    /// Fits standardization statistics using only `fit_rows` (pass all rows
+    /// for unsupervised settings). Categorical columns are one-hot encoded
+    /// with their declared cardinality.
+    pub fn fit(table: &Table, fit_rows: &[usize]) -> Self {
+        let mut stats = Vec::with_capacity(table.num_columns());
+        let mut spans = Vec::with_capacity(table.num_columns());
+        let mut dim = 0usize;
+        for (ci, col) in table.columns().iter().enumerate() {
+            match &col.data {
+                ColumnData::Numeric(values) => {
+                    let mut sum = 0.0f64;
+                    let mut n = 0usize;
+                    for &r in fit_rows {
+                        if !col.missing[r] {
+                            sum += values[r] as f64;
+                            n += 1;
+                        }
+                    }
+                    let mean = if n > 0 { (sum / n as f64) as f32 } else { 0.0 };
+                    let mut var = 0.0f64;
+                    for &r in fit_rows {
+                        if !col.missing[r] {
+                            let d = values[r] - mean;
+                            var += (d * d) as f64;
+                        }
+                    }
+                    let std = if n > 0 { ((var / n as f64) as f32).sqrt() } else { 1.0 };
+                    stats.push(Some((mean, if std > 1e-8 { std } else { 1.0 })));
+                    spans.push(ColumnSpan {
+                        column: ci,
+                        name: col.name.clone(),
+                        start: dim,
+                        end: dim + 1,
+                        categorical: false,
+                    });
+                    dim += 1;
+                }
+                ColumnData::Categorical { cardinality, .. } => {
+                    stats.push(None);
+                    let width = *cardinality as usize;
+                    spans.push(ColumnSpan {
+                        column: ci,
+                        name: col.name.clone(),
+                        start: dim,
+                        end: dim + width,
+                        categorical: true,
+                    });
+                    dim += width;
+                }
+            }
+        }
+        Self { stats, spans, dim }
+    }
+
+    /// Encoded feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn spans(&self) -> &[ColumnSpan] {
+        &self.spans
+    }
+
+    /// Encodes every row of `table` (which must share the fitted schema).
+    /// Missing numeric cells encode to 0 (the standardized mean) and missing
+    /// categorical cells to an all-zero one-hot; both are zeroed in the
+    /// observed mask.
+    pub fn encode(&self, table: &Table) -> Encoded {
+        assert_eq!(table.num_columns(), self.spans.len(), "schema mismatch");
+        let n = table.num_rows();
+        let mut features = Matrix::zeros(n, self.dim);
+        let mut observed = Matrix::zeros(n, self.dim);
+        let mut names = vec![String::new(); self.dim];
+
+        for (span, stat) in self.spans.iter().zip(&self.stats) {
+            let col = table.column(span.column);
+            match &col.data {
+                ColumnData::Numeric(values) => {
+                    let (mean, std) = stat.expect("numeric column must have stats");
+                    names[span.start] = span.name.clone();
+                    for r in 0..n {
+                        if col.missing[r] {
+                            continue;
+                        }
+                        features.set(r, span.start, (values[r] - mean) / std);
+                        observed.set(r, span.start, 1.0);
+                    }
+                }
+                ColumnData::Categorical { codes, cardinality } => {
+                    assert_eq!(span.end - span.start, *cardinality as usize, "cardinality drift");
+                    for k in 0..*cardinality as usize {
+                        names[span.start + k] = format!("{}={}", span.name, k);
+                    }
+                    for r in 0..n {
+                        if col.missing[r] {
+                            continue;
+                        }
+                        features.set(r, span.start + codes[r] as usize, 1.0);
+                        for k in span.start..span.end {
+                            observed.set(r, k, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+        Encoded { features, observed, names }
+    }
+}
+
+/// Convenience: fit on all rows and encode in one call.
+pub fn encode_all(table: &Table) -> Encoded {
+    let rows: Vec<usize> = (0..table.num_rows()).collect();
+    Featurizer::fit(table, &rows).encode(table)
+}
+
+/// Mean-imputes missing numeric cells and mode-imputes missing categorical
+/// cells in place — the classical baseline the survey's imputation section
+/// compares GNN imputation against.
+pub fn mean_mode_impute(table: &mut Table) {
+    for col in table.columns_mut() {
+        let fill_num = col.observed_mean().unwrap_or(0.0);
+        let fill_cat = col.observed_mode().unwrap_or(0);
+        match &mut col.data {
+            ColumnData::Numeric(values) => {
+                for (v, m) in values.iter_mut().zip(&mut col.missing) {
+                    if *m {
+                        *v = fill_num;
+                        *m = false;
+                    }
+                }
+            }
+            ColumnData::Categorical { codes, .. } => {
+                for (c, m) in codes.iter_mut().zip(&mut col.missing) {
+                    if *m {
+                        *c = fill_cat;
+                        *m = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]),
+            Column::categorical("c", vec![0, 1, 2, 1], 3),
+        ])
+    }
+
+    #[test]
+    fn encode_shapes_and_names() {
+        let t = sample();
+        let enc = encode_all(&t);
+        assert_eq!(enc.features.shape(), (4, 4));
+        assert_eq!(enc.names, vec!["x", "c=0", "c=1", "c=2"]);
+        assert!(enc.observed.data().iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn numeric_standardized_to_zero_mean_unit_std() {
+        let t = sample();
+        let enc = encode_all(&t);
+        let col: Vec<f32> = (0..4).map(|r| enc.features.get(r, 0)).collect();
+        let mean: f32 = col.iter().sum::<f32>() / 4.0;
+        let std: f32 = (col.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 4.0).sqrt();
+        assert!(mean.abs() < 1e-6);
+        assert!((std - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let t = sample();
+        let enc = encode_all(&t);
+        for r in 0..4 {
+            let s: f32 = (1..4).map(|c| enc.features.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(enc.features.get(2, 3), 1.0); // row 2 has code 2
+    }
+
+    #[test]
+    fn fit_rows_only_no_leakage() {
+        let t = sample();
+        // Fit on the first two rows: mean 1.5, std 0.5.
+        let f = Featurizer::fit(&t, &[0, 1]);
+        let enc = f.encode(&t);
+        assert!((enc.features.get(0, 0) + 1.0).abs() < 1e-6);
+        assert!((enc.features.get(3, 0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_cells_encode_zero_and_mask() {
+        let mut t = sample();
+        t.columns_mut()[0].missing[1] = true;
+        t.columns_mut()[1].missing[2] = true;
+        let enc = encode_all(&t);
+        assert_eq!(enc.features.get(1, 0), 0.0);
+        assert_eq!(enc.observed.get(1, 0), 0.0);
+        for c in 1..4 {
+            assert_eq!(enc.features.get(2, c), 0.0);
+            assert_eq!(enc.observed.get(2, c), 0.0);
+        }
+        // other cells remain observed
+        assert_eq!(enc.observed.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let t = Table::new(vec![Column::numeric("k", vec![5.0, 5.0, 5.0])]);
+        let enc = encode_all(&t);
+        assert!(enc.features.all_finite());
+        assert!(enc.features.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mean_mode_impute_fills_everything() {
+        let mut t = sample();
+        t.columns_mut()[0].missing[0] = true;
+        t.columns_mut()[1].missing[3] = true;
+        mean_mode_impute(&mut t);
+        assert_eq!(t.num_missing(), 0);
+        if let ColumnData::Numeric(v) = &t.column(0).data {
+            assert!((v[0] - 3.0).abs() < 1e-6); // mean of 2,3,4
+        }
+        if let ColumnData::Categorical { codes, .. } = &t.column(1).data {
+            // observed codes 0,1,2 -> mode is the smallest most-frequent (all tie => 0)
+            assert!(codes[3] <= 2);
+        }
+    }
+}

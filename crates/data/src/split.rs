@@ -1,0 +1,177 @@
+//! Train/validation/test splits and semi-supervised label masks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Disjoint row-index sets for training, early stopping, and testing.
+///
+/// ```
+/// use gnn4tdl_data::Split;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let split = Split::random(10, 0.6, 0.2, &mut rng);
+/// assert_eq!(split.train.len() + split.val.len() + split.test.len(), 10);
+/// split.validate(10).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Uniform random split by fractions (test gets the remainder).
+    ///
+    /// # Panics
+    /// Panics if `train_frac + val_frac > 1`.
+    pub fn random<R: Rng>(n: usize, train_frac: f64, val_frac: f64, rng: &mut R) -> Self {
+        assert!(train_frac + val_frac <= 1.0 + 1e-9, "fractions exceed 1");
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let train = idx[..n_train.min(n)].to_vec();
+        let val = idx[n_train.min(n)..(n_train + n_val).min(n)].to_vec();
+        let test = idx[(n_train + n_val).min(n)..].to_vec();
+        Self { train, val, test }
+    }
+
+    /// Stratified split: each class contributes proportionally to every
+    /// partition, preserving class balance in imbalanced tasks (fraud).
+    pub fn stratified<R: Rng>(labels: &[usize], train_frac: f64, val_frac: f64, rng: &mut R) -> Self {
+        assert!(train_frac + val_frac <= 1.0 + 1e-9, "fractions exceed 1");
+        let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for (i, &y) in labels.iter().enumerate() {
+            by_class[y].push(i);
+        }
+        let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+        for mut members in by_class {
+            members.shuffle(rng);
+            let n = members.len();
+            let n_train = (n as f64 * train_frac).round() as usize;
+            let n_val = (n as f64 * val_frac).round() as usize;
+            split.train.extend(&members[..n_train.min(n)]);
+            split.val.extend(&members[n_train.min(n)..(n_train + n_val).min(n)]);
+            split.test.extend(&members[(n_train + n_val).min(n)..]);
+        }
+        split.train.sort_unstable();
+        split.val.sort_unstable();
+        split.test.sort_unstable();
+        split
+    }
+
+    /// Subsamples the training set to a fraction of its size (at least one
+    /// row), simulating label scarcity for semi-supervised experiments.
+    pub fn with_label_fraction<R: Rng>(&self, fraction: f64, rng: &mut R) -> Split {
+        let mut train = self.train.clone();
+        train.shuffle(rng);
+        let keep = ((train.len() as f64 * fraction).round() as usize).max(1).min(train.len());
+        train.truncate(keep);
+        train.sort_unstable();
+        Split { train, val: self.val.clone(), test: self.test.clone() }
+    }
+
+    /// A 0/1 mask over all `n` rows with 1 at training rows — the
+    /// semi-supervised loss mask for transductive GNN training.
+    pub fn train_mask(&self, n: usize) -> Vec<f32> {
+        index_mask(&self.train, n)
+    }
+
+    pub fn val_mask(&self, n: usize) -> Vec<f32> {
+        index_mask(&self.val, n)
+    }
+
+    pub fn test_mask(&self, n: usize) -> Vec<f32> {
+        index_mask(&self.test, n)
+    }
+
+    /// Checks the three sets are disjoint and within bounds.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        let mut seen = vec![false; n];
+        for (name, set) in [("train", &self.train), ("val", &self.val), ("test", &self.test)] {
+            for &i in set {
+                if i >= n {
+                    return Err(format!("{name} index {i} out of bounds"));
+                }
+                if seen[i] {
+                    return Err(format!("index {i} appears in multiple sets"));
+                }
+                seen[i] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn index_mask(index: &[usize], n: usize) -> Vec<f32> {
+    let mut mask = vec![0.0; n];
+    for &i in index {
+        mask[i] = 1.0;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_split_partitions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Split::random(100, 0.6, 0.2, &mut rng);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        s.validate(100).unwrap();
+    }
+
+    #[test]
+    fn stratified_preserves_balance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 90 of class 0, 10 of class 1.
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 90)).collect();
+        let s = Split::stratified(&labels, 0.5, 0.2, &mut rng);
+        s.validate(100).unwrap();
+        let train_pos = s.train.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(train_pos, 5);
+        let test_pos = s.test.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(test_pos, 3);
+    }
+
+    #[test]
+    fn label_fraction_shrinks_train_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Split::random(100, 0.6, 0.2, &mut rng);
+        let small = s.with_label_fraction(0.1, &mut rng);
+        assert_eq!(small.train.len(), 6);
+        assert_eq!(small.val.len(), 20);
+        assert_eq!(small.test.len(), 20);
+        assert!(small.train.iter().all(|i| s.train.contains(i)));
+    }
+
+    #[test]
+    fn label_fraction_keeps_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Split::random(10, 0.5, 0.2, &mut rng);
+        let tiny = s.with_label_fraction(0.0001, &mut rng);
+        assert_eq!(tiny.train.len(), 1);
+    }
+
+    #[test]
+    fn masks_mark_exactly_the_indices() {
+        let s = Split { train: vec![0, 2], val: vec![1], test: vec![3] };
+        assert_eq!(s.train_mask(4), vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(s.val_mask(4), vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(s.test_mask(4), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn validate_detects_overlap() {
+        let s = Split { train: vec![0, 1], val: vec![1], test: vec![] };
+        assert!(s.validate(2).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Anomaly-detection mixtures: dense inlier clusters plus uniform outliers
+//! (the LUNAR evaluation setting). Label 1 marks anomalies.
+
+use rand::Rng;
+
+use crate::table::{Column, Dataset, Table, Target};
+
+/// Parameters for [`anomaly_mixture`].
+#[derive(Clone, Debug)]
+pub struct AnomalyConfig {
+    pub inliers: usize,
+    pub outliers: usize,
+    pub dims: usize,
+    /// Inlier cluster count.
+    pub clusters: usize,
+    /// Inlier cluster standard deviation.
+    pub cluster_std: f32,
+    /// Outliers are uniform in `[-range, range]^dims`.
+    pub outlier_range: f32,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self { inliers: 450, outliers: 50, dims: 6, clusters: 3, cluster_std: 0.5, outlier_range: 6.0 }
+    }
+}
+
+/// Generates the anomaly mixture; rows are shuffled inliers + outliers.
+pub fn anomaly_mixture<R: Rng>(cfg: &AnomalyConfig, rng: &mut R) -> Dataset {
+    let centers: Vec<Vec<f32>> = (0..cfg.clusters)
+        .map(|_| (0..cfg.dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+        .collect();
+    let n = cfg.inliers + cfg.outliers;
+    let mut rows: Vec<(Vec<f32>, usize)> = Vec::with_capacity(n);
+    for _ in 0..cfg.inliers {
+        let c = rng.gen_range(0..cfg.clusters);
+        let x = (0..cfg.dims)
+            .map(|j| centers[c][j] + cfg.cluster_std * super::clusters::gaussian(rng))
+            .collect();
+        rows.push((x, 0));
+    }
+    for _ in 0..cfg.outliers {
+        let x = (0..cfg.dims).map(|_| rng.gen_range(-cfg.outlier_range..cfg.outlier_range)).collect();
+        rows.push((x, 1));
+    }
+    // Fisher-Yates shuffle.
+    for i in (1..rows.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        rows.swap(i, j);
+    }
+
+    let mut columns: Vec<Vec<f32>> = vec![Vec::with_capacity(n); cfg.dims];
+    let mut labels = Vec::with_capacity(n);
+    for (x, y) in rows {
+        for (col, v) in columns.iter_mut().zip(&x) {
+            col.push(*v);
+        }
+        labels.push(y);
+    }
+    let cols = columns
+        .into_iter()
+        .enumerate()
+        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
+        .collect();
+    Dataset::new(
+        format!("anomaly(inliers={},outliers={})", cfg.inliers, cfg.outliers),
+        Table::new(cols),
+        Target::Classification { labels, num_classes: 2 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = anomaly_mixture(&AnomalyConfig::default(), &mut rng);
+        assert_eq!(d.num_rows(), 500);
+        assert_eq!(d.target.labels().iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn outliers_are_far_from_inlier_mass_on_average() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = anomaly_mixture(&AnomalyConfig::default(), &mut rng);
+        let enc = crate::preprocess::encode_all(&d.table);
+        let labels = d.target.labels();
+        // mean norm of standardized features should be larger for outliers
+        let mut norm = [0f64; 2];
+        let mut cnt = [0usize; 2];
+        for r in 0..d.num_rows() {
+            let n: f32 = enc.features.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            norm[labels[r]] += n as f64;
+            cnt[labels[r]] += 1;
+        }
+        let mean_in = norm[0] / cnt[0] as f64;
+        let mean_out = norm[1] / cnt[1] as f64;
+        assert!(mean_out > mean_in, "outliers should be farther out: {mean_out} vs {mean_in}");
+    }
+
+    #[test]
+    fn rows_are_shuffled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = anomaly_mixture(&AnomalyConfig::default(), &mut rng);
+        // anomalies must not all sit at the tail
+        let labels = d.target.labels();
+        let head_anomalies: usize = labels[..250].iter().sum();
+        assert!(head_anomalies > 5, "expected shuffled anomalies, got {head_anomalies} in first half");
+    }
+}

@@ -1,0 +1,157 @@
+//! Gaussian-cluster classification: the "instance correlation" workload.
+//!
+//! Instances drawn from `k` Gaussian blobs share their blob's label, so
+//! similar instances genuinely carry each other's label information — the
+//! property the survey says instance graphs exploit. Optional distractor
+//! dimensions are pure noise, matching the survey's observation that
+//! irrelevant features hurt naive graph construction.
+
+use rand::Rng;
+
+use crate::table::{Column, Dataset, Table, Target};
+
+/// Parameters for [`gaussian_clusters`].
+#[derive(Clone, Debug)]
+pub struct ClustersConfig {
+    /// Total rows.
+    pub n: usize,
+    /// Informative dimensions (cluster centers differ here).
+    pub informative: usize,
+    /// Pure-noise dimensions appended after the informative ones.
+    pub noise_features: usize,
+    /// Number of clusters = number of classes.
+    pub classes: usize,
+    /// Within-cluster standard deviation.
+    pub cluster_std: f32,
+    /// Distance of cluster centers from the origin.
+    pub center_scale: f32,
+}
+
+impl Default for ClustersConfig {
+    fn default() -> Self {
+        Self { n: 600, informative: 8, noise_features: 0, classes: 3, cluster_std: 1.0, center_scale: 3.0 }
+    }
+}
+
+/// Generates the cluster dataset. Rows are grouped round-robin over classes
+/// so every class has `n / classes` (±1) members.
+pub fn gaussian_clusters<R: Rng>(cfg: &ClustersConfig, rng: &mut R) -> Dataset {
+    assert!(cfg.classes >= 2, "need at least two clusters");
+    assert!(cfg.informative >= 1, "need at least one informative dimension");
+    // Random unit-ish centers scaled out from the origin.
+    let centers: Vec<Vec<f32>> = (0..cfg.classes)
+        .map(|_| {
+            let v: Vec<f32> = (0..cfg.informative).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.into_iter().map(|x| x / norm * cfg.center_scale).collect()
+        })
+        .collect();
+
+    let d = cfg.informative + cfg.noise_features;
+    let mut columns: Vec<Vec<f32>> = vec![Vec::with_capacity(cfg.n); d];
+    let mut labels = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let y = i % cfg.classes;
+        labels.push(y);
+        for j in 0..cfg.informative {
+            columns[j].push(centers[y][j] + gaussian(rng) * cfg.cluster_std);
+        }
+        for j in cfg.informative..d {
+            columns[j].push(gaussian(rng) * cfg.cluster_std);
+        }
+    }
+
+    let cols = columns
+        .into_iter()
+        .enumerate()
+        .map(|(j, v)| {
+            let kind = if j < cfg.informative { "f" } else { "noise" };
+            Column::numeric(format!("{kind}{j}"), v)
+        })
+        .collect();
+    Dataset::new(
+        format!("clusters(n={},d={},k={})", cfg.n, d, cfg.classes),
+        Table::new(cols),
+        Target::Classification { labels, num_classes: cfg.classes },
+    )
+}
+
+/// Standard normal sample via Box-Muller.
+pub(crate) fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_balance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = gaussian_clusters(&ClustersConfig { n: 90, classes: 3, ..Default::default() }, &mut rng);
+        assert_eq!(d.num_rows(), 90);
+        assert_eq!(d.table.num_columns(), 8);
+        let labels = d.target.labels();
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&y| y == c).count(), 30);
+        }
+    }
+
+    #[test]
+    fn clusters_are_separable_by_centroid_distance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = ClustersConfig { n: 300, cluster_std: 0.3, center_scale: 5.0, ..Default::default() };
+        let d = gaussian_clusters(&cfg, &mut rng);
+        // within-class variance should be much smaller than between-class.
+        let labels = d.target.labels();
+        let enc = crate::preprocess::encode_all(&d.table);
+        let mut centroids = vec![vec![0f32; enc.features.cols()]; 3];
+        let mut counts = [0usize; 3];
+        for r in 0..d.num_rows() {
+            counts[labels[r]] += 1;
+            for c in 0..enc.features.cols() {
+                centroids[labels[r]][c] += enc.features.get(r, c);
+            }
+        }
+        for (cent, &n) in centroids.iter_mut().zip(&counts) {
+            for x in cent.iter_mut() {
+                *x /= n as f32;
+            }
+        }
+        let between: f32 = (0..enc.features.cols()).map(|c| (centroids[0][c] - centroids[1][c]).powi(2)).sum::<f32>().sqrt();
+        assert!(between > 1.0, "centroids too close: {between}");
+    }
+
+    #[test]
+    fn noise_features_are_uninformative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = ClustersConfig { n: 400, informative: 4, noise_features: 4, classes: 2, ..Default::default() };
+        let d = gaussian_clusters(&cfg, &mut rng);
+        assert_eq!(d.table.num_columns(), 8);
+        assert!(d.table.column(7).name.starts_with("noise"));
+        // noise column class-conditional means should be near zero.
+        let labels = d.target.labels();
+        if let crate::table::ColumnData::Numeric(v) = &d.table.column(7).data {
+            let m0: f32 = v.iter().zip(labels).filter(|(_, &y)| y == 0).map(|(x, _)| x).sum::<f32>() / 200.0;
+            let m1: f32 = v.iter().zip(labels).filter(|(_, &y)| y == 1).map(|(x, _)| x).sum::<f32>() / 200.0;
+            assert!((m0 - m1).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ClustersConfig::default();
+        let a = gaussian_clusters(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = gaussian_clusters(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.target.labels(), b.target.labels());
+        if let (crate::table::ColumnData::Numeric(x), crate::table::ColumnData::Numeric(y)) =
+            (&a.table.column(0).data, &b.table.column(0).data)
+        {
+            assert_eq!(x, y);
+        }
+    }
+}

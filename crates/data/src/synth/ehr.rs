@@ -1,0 +1,150 @@
+//! Synthetic electronic-health-record data: patients carrying sparse sets of
+//! diagnosis codes, with the outcome driven by latent disease modules (code
+//! co-occurrence clusters) — the structure patient–code bipartite /
+//! heterogeneous GNNs (GCT, MedGraph, HSGNN) exploit.
+
+use rand::Rng;
+
+use crate::table::{Column, Dataset, Table, Target};
+
+/// Parameters for [`ehr_synthetic`].
+#[derive(Clone, Debug)]
+pub struct EhrConfig {
+    pub patients: usize,
+    /// Distinct diagnosis codes.
+    pub codes: usize,
+    /// Latent disease modules; each groups a subset of codes.
+    pub modules: usize,
+    /// Codes drawn per patient from their module.
+    pub codes_per_patient: usize,
+    /// Probability a drawn code is replaced by a uniformly random one
+    /// (comorbidity noise).
+    pub noise: f64,
+    /// Modules whose patients are labeled high-risk.
+    pub risky_modules: usize,
+}
+
+impl Default for EhrConfig {
+    fn default() -> Self {
+        Self { patients: 800, codes: 60, modules: 4, codes_per_patient: 5, noise: 0.15, risky_modules: 2 }
+    }
+}
+
+/// The generated EHR task plus the raw code sets for graph construction.
+#[derive(Clone, Debug)]
+pub struct EhrData {
+    /// Table has one binary numeric column per code (`code{k}` in {0,1}).
+    pub dataset: Dataset,
+    /// Code set per patient (sorted, deduplicated).
+    pub codes_per_patient: Vec<Vec<usize>>,
+    /// Module id per patient.
+    pub module: Vec<usize>,
+}
+
+/// Generates the EHR dataset. The label is 1 iff the patient's latent module
+/// is one of the `risky_modules`; individual codes overlap between modules,
+/// so code *combinations* (not single codes) determine risk.
+pub fn ehr_synthetic<R: Rng>(cfg: &EhrConfig, rng: &mut R) -> EhrData {
+    assert!(cfg.modules >= 2 && cfg.risky_modules < cfg.modules, "invalid module counts");
+    assert!(cfg.codes >= cfg.modules * 2, "need enough codes for modules");
+    // Each module owns an overlapping window of the code space.
+    let window = cfg.codes / cfg.modules + cfg.codes / (2 * cfg.modules);
+    let module_codes: Vec<Vec<usize>> = (0..cfg.modules)
+        .map(|m| {
+            let start = m * cfg.codes / cfg.modules;
+            (0..window).map(|k| (start + k) % cfg.codes).collect()
+        })
+        .collect();
+
+    let mut codes_per_patient = Vec::with_capacity(cfg.patients);
+    let mut module = Vec::with_capacity(cfg.patients);
+    let mut labels = Vec::with_capacity(cfg.patients);
+    for _ in 0..cfg.patients {
+        let m = rng.gen_range(0..cfg.modules);
+        module.push(m);
+        labels.push(usize::from(m < cfg.risky_modules));
+        let mut set = Vec::with_capacity(cfg.codes_per_patient);
+        for _ in 0..cfg.codes_per_patient {
+            let code = if rng.gen_bool(cfg.noise) {
+                rng.gen_range(0..cfg.codes)
+            } else {
+                module_codes[m][rng.gen_range(0..module_codes[m].len())]
+            };
+            set.push(code);
+        }
+        set.sort_unstable();
+        set.dedup();
+        codes_per_patient.push(set);
+    }
+
+    // Binary indicator columns.
+    let mut columns = Vec::with_capacity(cfg.codes);
+    for k in 0..cfg.codes {
+        let v: Vec<f32> = codes_per_patient
+            .iter()
+            .map(|set| if set.binary_search(&k).is_ok() { 1.0 } else { 0.0 })
+            .collect();
+        columns.push(Column::numeric(format!("code{k}"), v));
+    }
+
+    let dataset = Dataset::new(
+        format!("ehr(patients={},codes={})", cfg.patients, cfg.codes),
+        Table::new(columns),
+        Target::Classification { labels, num_classes: 2 },
+    );
+    EhrData { dataset, codes_per_patient, module }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = ehr_synthetic(&EhrConfig::default(), &mut rng);
+        assert_eq!(data.dataset.num_rows(), 800);
+        assert_eq!(data.dataset.table.num_columns(), 60);
+        assert_eq!(data.codes_per_patient.len(), 800);
+    }
+
+    #[test]
+    fn code_sets_match_indicator_columns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = ehr_synthetic(&EhrConfig { patients: 50, ..Default::default() }, &mut rng);
+        for (p, set) in data.codes_per_patient.iter().enumerate() {
+            for &c in set {
+                if let crate::table::ColumnData::Numeric(v) = &data.dataset.table.column(c).data {
+                    assert_eq!(v[p], 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_follow_modules() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EhrConfig::default();
+        let data = ehr_synthetic(&cfg, &mut rng);
+        for (m, &y) in data.module.iter().zip(data.dataset.target.labels()) {
+            assert_eq!(y, usize::from(*m < cfg.risky_modules));
+        }
+    }
+
+    #[test]
+    fn module_codes_overlap() {
+        // overlapping windows: some codes appear in patients of different modules
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = ehr_synthetic(&EhrConfig { patients: 2000, noise: 0.0, ..Default::default() }, &mut rng);
+        let mut seen_in_module = vec![[false; 4]; 60];
+        for (p, set) in data.codes_per_patient.iter().enumerate() {
+            for &c in set {
+                seen_in_module[c][data.module[p]] = true;
+            }
+        }
+        let shared = seen_in_module.iter().filter(|m| m.iter().filter(|&&b| b).count() >= 2).count();
+        assert!(shared > 10, "expected overlapping code ownership, got {shared}");
+    }
+}

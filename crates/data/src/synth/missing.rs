@@ -1,0 +1,115 @@
+//! Missingness injection: MCAR and MAR mechanisms for the imputation
+//! experiments (Section 5.4 of the survey).
+
+use rand::Rng;
+
+use crate::table::{ColumnData, Table};
+
+/// Marks each cell missing independently with probability `rate`
+/// (missing completely at random).
+pub fn inject_mcar<R: Rng>(table: &mut Table, rate: f64, rng: &mut R) {
+    assert!((0.0..1.0).contains(&rate), "rate must be in [0,1)");
+    for col in table.columns_mut() {
+        for m in &mut col.missing {
+            if !*m && rng.gen_bool(rate) {
+                *m = true;
+            }
+        }
+    }
+}
+
+/// Missing at random: cells of every column other than `driver` go missing
+/// with probability `2 * rate * sigmoid(driver_value)` — rows with high
+/// driver values lose more data, so missingness correlates with observed
+/// data (but not with the missing values themselves).
+///
+/// # Panics
+/// Panics if `driver` is not a numeric column.
+pub fn inject_mar<R: Rng>(table: &mut Table, rate: f64, driver: usize, rng: &mut R) {
+    assert!((0.0..0.5).contains(&rate), "rate must be in [0,0.5)");
+    let driver_vals: Vec<f32> = match &table.column(driver).data {
+        ColumnData::Numeric(v) => v.clone(),
+        _ => panic!("MAR driver column must be numeric"),
+    };
+    // standardize driver so the sigmoid is calibrated
+    let mean: f32 = driver_vals.iter().sum::<f32>() / driver_vals.len().max(1) as f32;
+    let std: f32 = (driver_vals.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        / driver_vals.len().max(1) as f32)
+        .sqrt()
+        .max(1e-6);
+    for (ci, col) in table.columns_mut().iter_mut().enumerate() {
+        if ci == driver {
+            continue;
+        }
+        for (r, m) in col.missing.iter_mut().enumerate() {
+            let z = (driver_vals[r] - mean) / std;
+            let p = 2.0 * rate * (1.0 / (1.0 + (-z as f64).exp()));
+            if !*m && rng.gen_bool(p.min(0.999)) {
+                *m = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize, rng: &mut StdRng) -> Table {
+        use rand::Rng as _;
+        Table::new(vec![
+            Column::numeric("a", (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()),
+            Column::numeric("b", (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()),
+            Column::categorical("c", (0..n).map(|_| rng.gen_range(0u32..3)).collect(), 3),
+        ])
+    }
+
+    #[test]
+    fn mcar_rate_is_approximately_honored() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = table(3000, &mut rng);
+        inject_mcar(&mut t, 0.3, &mut rng);
+        assert!((t.missing_rate() - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn mar_spares_the_driver_and_targets_high_driver_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = table(4000, &mut rng);
+        inject_mar(&mut t, 0.3, 0, &mut rng);
+        assert_eq!(t.column(0).num_missing(), 0);
+        // rows with driver above median should be missing more often
+        let driver: Vec<f32> = match &t.column(0).data {
+            ColumnData::Numeric(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        let mut sorted = driver.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let (mut hi, mut lo, mut hi_n, mut lo_n) = (0usize, 0usize, 0usize, 0usize);
+        for (r, &d) in driver.iter().enumerate() {
+            let miss = usize::from(t.column(1).missing[r]);
+            if d > median {
+                hi += miss;
+                hi_n += 1;
+            } else {
+                lo += miss;
+                lo_n += 1;
+            }
+        }
+        let hi_rate = hi as f64 / hi_n as f64;
+        let lo_rate = lo as f64 / lo_n as f64;
+        assert!(hi_rate > lo_rate + 0.05, "MAR skew missing: hi {hi_rate} lo {lo_rate}");
+    }
+
+    #[test]
+    fn mcar_zero_rate_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = table(100, &mut rng);
+        inject_mcar(&mut t, 0.0, &mut rng);
+        assert_eq!(t.num_missing(), 0);
+    }
+}

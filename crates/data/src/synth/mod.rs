@@ -1,0 +1,24 @@
+//! Deterministic synthetic workload generators, one per data property or
+//! application domain the survey discusses.
+
+pub mod anomaly;
+pub mod clusters;
+pub mod ctr;
+pub mod ehr;
+pub mod fraud;
+pub mod grouped;
+pub mod interactions;
+pub mod missing;
+pub mod nonsmooth;
+pub mod regression;
+
+pub use anomaly::{anomaly_mixture, AnomalyConfig};
+pub use clusters::{gaussian_clusters, ClustersConfig};
+pub use ctr::{ctr_synthetic, CtrConfig, CtrData};
+pub use ehr::{ehr_synthetic, EhrConfig, EhrData};
+pub use fraud::{fraud_network, FraudConfig, FraudData};
+pub use grouped::{grouped_features, GroupedConfig, GroupedData};
+pub use interactions::{continuous_xor, parity_fields, ParityConfig};
+pub use missing::{inject_mar, inject_mcar};
+pub use nonsmooth::{checkerboard, pad_irrelevant, rings, step_regression};
+pub use regression::{clustered_regression, friedman1};

@@ -1,0 +1,161 @@
+//! Non-smooth decision boundaries and irrelevant-feature padding — the
+//! workloads behind the survey's open problem "obtaining the ability of
+//! tree-based models" (Grinsztajn et al.: trees win on irregular patterns
+//! and are insulated from irrelevant features).
+
+use rand::Rng;
+
+use crate::table::{Column, Dataset, Table, Target};
+#[cfg(test)]
+use crate::table::ColumnData;
+
+/// Checkerboard classification in 2D: label alternates over a `cells x
+/// cells` grid on `[-1, 1]^2`. Axis-aligned and piecewise constant —
+/// tailor-made for trees, hostile to smooth models.
+pub fn checkerboard<R: Rng>(n: usize, cells: usize, label_noise: f64, rng: &mut R) -> Dataset {
+    assert!(cells >= 2, "need at least a 2x2 board");
+    let mut x1 = Vec::with_capacity(n);
+    let mut x2 = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f32 = rng.gen_range(-1.0..1.0);
+        let b: f32 = rng.gen_range(-1.0..1.0);
+        let ca = (((a + 1.0) / 2.0 * cells as f32) as usize).min(cells - 1);
+        let cb = (((b + 1.0) / 2.0 * cells as f32) as usize).min(cells - 1);
+        let mut y = (ca + cb) % 2;
+        if rng.gen_bool(label_noise) {
+            y = 1 - y;
+        }
+        x1.push(a);
+        x2.push(b);
+        labels.push(y);
+    }
+    Dataset::new(
+        format!("checkerboard(n={n},cells={cells})"),
+        Table::new(vec![Column::numeric("x1", x1), Column::numeric("x2", x2)]),
+        Target::Classification { labels, num_classes: 2 },
+    )
+}
+
+/// Concentric rings in 2D: class = ring index parity. Radially non-linear
+/// but smooth-ish; separates kernel-style methods from linear ones.
+pub fn rings<R: Rng>(n: usize, num_rings: usize, ring_width: f32, rng: &mut R) -> Dataset {
+    assert!(num_rings >= 2, "need at least two rings");
+    let mut x1 = Vec::with_capacity(n);
+    let mut x2 = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let ring = i % num_rings;
+        let radius = (ring + 1) as f32 + ring_width * super::clusters::gaussian(rng);
+        let theta = rng.gen_range(0.0f32..2.0 * std::f32::consts::PI);
+        x1.push(radius * theta.cos());
+        x2.push(radius * theta.sin());
+        labels.push(ring % 2);
+    }
+    Dataset::new(
+        format!("rings(n={n},rings={num_rings})"),
+        Table::new(vec![Column::numeric("x1", x1), Column::numeric("x2", x2)]),
+        Target::Classification { labels, num_classes: 2 },
+    )
+}
+
+/// Piecewise-constant step regression on one informative input: `y` jumps at
+/// irregular thresholds. The canonical "non-smooth target" trees fit and
+/// smooth nets blur.
+pub fn step_regression<R: Rng>(n: usize, steps: usize, noise_std: f32, rng: &mut R) -> Dataset {
+    assert!(steps >= 2, "need at least two steps");
+    // Irregular thresholds and levels.
+    let mut thresholds: Vec<f32> = (0..steps - 1).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let levels: Vec<f32> = (0..steps).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f32 = rng.gen_range(-1.0..1.0);
+        let step = thresholds.iter().take_while(|&&t| a > t).count();
+        x.push(a);
+        y.push(levels[step] + noise_std * super::clusters::gaussian(rng));
+    }
+    Dataset::new(
+        format!("step_regression(n={n},steps={steps})"),
+        Table::new(vec![Column::numeric("x", x)]),
+        Target::Regression(y),
+    )
+}
+
+/// Appends `k` pure-noise numeric columns to a dataset — the irrelevant-
+/// feature robustness probe.
+pub fn pad_irrelevant<R: Rng>(dataset: &Dataset, k: usize, rng: &mut R) -> Dataset {
+    let n = dataset.num_rows();
+    let mut columns: Vec<Column> = dataset.table.columns().to_vec();
+    for j in 0..k {
+        let v: Vec<f32> = (0..n).map(|_| super::clusters::gaussian(rng)).collect();
+        columns.push(Column::numeric(format!("irrelevant{j}"), v));
+    }
+    Dataset::new(
+        format!("{}+irrelevant{k}", dataset.name),
+        Table::new(columns),
+        dataset.target.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkerboard_label_matches_grid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = checkerboard(500, 4, 0.0, &mut rng);
+        let labels = d.target.labels();
+        for r in 0..500 {
+            let (a, b) = match (&d.table.column(0).data, &d.table.column(1).data) {
+                (ColumnData::Numeric(x1), ColumnData::Numeric(x2)) => (x1[r], x2[r]),
+                _ => unreachable!(),
+            };
+            let ca = (((a + 1.0) / 2.0 * 4.0) as usize).min(3);
+            let cb = (((b + 1.0) / 2.0 * 4.0) as usize).min(3);
+            assert_eq!(labels[r], (ca + cb) % 2);
+        }
+    }
+
+    #[test]
+    fn rings_radius_encodes_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = rings(300, 3, 0.05, &mut rng);
+        let labels = d.target.labels();
+        for r in 0..300 {
+            let (a, b) = match (&d.table.column(0).data, &d.table.column(1).data) {
+                (ColumnData::Numeric(x1), ColumnData::Numeric(x2)) => (x1[r], x2[r]),
+                _ => unreachable!(),
+            };
+            let radius = (a * a + b * b).sqrt();
+            let ring = (radius.round() as usize).clamp(1, 3) - 1;
+            assert_eq!(labels[r], ring % 2, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn step_regression_is_piecewise_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = step_regression(2000, 5, 0.0, &mut rng);
+        // noiseless: the number of distinct y values equals the step count
+        let mut vals: Vec<f32> = d.target.values().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        assert!(vals.len() <= 5, "expected at most 5 levels, got {}", vals.len());
+        assert!(vals.len() >= 2);
+    }
+
+    #[test]
+    fn pad_irrelevant_extends_columns_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = checkerboard(100, 2, 0.0, &mut rng);
+        let padded = pad_irrelevant(&base, 8, &mut rng);
+        assert_eq!(padded.table.num_columns(), 10);
+        assert_eq!(padded.num_rows(), 100);
+        assert_eq!(padded.target.labels(), base.target.labels());
+    }
+}

@@ -1,0 +1,126 @@
+//! Regression workloads: the classical Friedman #1 benchmark plus a linear
+//! task with instance-correlated residual structure.
+
+use rand::Rng;
+
+use crate::table::{Column, Dataset, Table, Target};
+
+/// Friedman #1: `y = 10 sin(pi x1 x2) + 20 (x3 - 0.5)^2 + 10 x4 + 5 x5 + e`,
+/// with `x_j ~ U(0,1)` and `noise_features` extra uninformative inputs.
+pub fn friedman1<R: Rng>(n: usize, noise_features: usize, noise_std: f32, rng: &mut R) -> Dataset {
+    let d = 5 + noise_features;
+    let mut columns: Vec<Vec<f32>> = vec![Vec::with_capacity(n); d];
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f32> = (0..d).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let target = 10.0 * (std::f32::consts::PI * x[0] * x[1]).sin()
+            + 20.0 * (x[2] - 0.5) * (x[2] - 0.5)
+            + 10.0 * x[3]
+            + 5.0 * x[4]
+            + noise_std * super::clusters::gaussian(rng);
+        y.push(target);
+        for (col, v) in columns.iter_mut().zip(&x) {
+            col.push(*v);
+        }
+    }
+    let cols = columns
+        .into_iter()
+        .enumerate()
+        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
+        .collect();
+    Dataset::new(
+        format!("friedman1(n={n},noise_features={noise_features})"),
+        Table::new(cols),
+        Target::Regression(y),
+    )
+}
+
+/// Clustered regression: rows belong to latent groups; the target is a
+/// group-level offset plus a linear term, so models exploiting instance
+/// correlation (neighbors share the group offset) beat row-wise models.
+pub fn clustered_regression<R: Rng>(n: usize, groups: usize, dims: usize, noise_std: f32, rng: &mut R) -> Dataset {
+    let centers: Vec<Vec<f32>> = (0..groups)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+        .collect();
+    let offsets: Vec<f32> = (0..groups).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+    let weights: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    let mut columns: Vec<Vec<f32>> = vec![Vec::with_capacity(n); dims];
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = i % groups;
+        let x: Vec<f32> = (0..dims)
+            .map(|j| centers[g][j] + 0.5 * super::clusters::gaussian(rng))
+            .collect();
+        let lin: f32 = x.iter().zip(&weights).map(|(&a, &w)| a * w).sum();
+        y.push(offsets[g] + 0.3 * lin + noise_std * super::clusters::gaussian(rng));
+        for (col, v) in columns.iter_mut().zip(&x) {
+            col.push(*v);
+        }
+    }
+    let cols = columns
+        .into_iter()
+        .enumerate()
+        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
+        .collect();
+    Dataset::new(
+        format!("clustered_regression(n={n},groups={groups})"),
+        Table::new(cols),
+        Target::Regression(y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn friedman_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = friedman1(500, 3, 1.0, &mut rng);
+        assert_eq!(d.num_rows(), 500);
+        assert_eq!(d.table.num_columns(), 8);
+        let y = d.target.values();
+        let mean: f32 = y.iter().sum::<f32>() / y.len() as f32;
+        // theoretical mean is ~14.4
+        assert!((mean - 14.4).abs() < 1.5, "unexpected mean {mean}");
+    }
+
+    #[test]
+    fn friedman_noiseless_is_deterministic_function_of_x() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = friedman1(50, 0, 0.0, &mut rng);
+        let y = d.target.values();
+        for r in 0..50 {
+            let x: Vec<f32> = (0..5)
+                .map(|j| match &d.table.column(j).data {
+                    crate::table::ColumnData::Numeric(v) => v[r],
+                    _ => unreachable!(),
+                })
+                .collect();
+            let want = 10.0 * (std::f32::consts::PI * x[0] * x[1]).sin()
+                + 20.0 * (x[2] - 0.5) * (x[2] - 0.5)
+                + 10.0 * x[3]
+                + 5.0 * x[4];
+            assert!((y[r] - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clustered_groups_have_distinct_offsets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = clustered_regression(600, 3, 4, 0.1, &mut rng);
+        let y = d.target.values();
+        let mut means = [0f64; 3];
+        for (i, &v) in y.iter().enumerate() {
+            means[i % 3] += v as f64;
+        }
+        for m in &mut means {
+            *m /= 200.0;
+        }
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max) - means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.0, "group offsets too close: {means:?}");
+    }
+}

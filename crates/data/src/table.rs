@@ -1,0 +1,375 @@
+//! Tabular datasets: typed columns, targets, and missing-value tracking.
+//!
+//! A [`Table`] is a collection of named columns over the same rows; each
+//! column is numeric or categorical and carries a per-row missingness flag.
+//! A [`Dataset`] pairs a table with a supervised [`Target`] (binary/
+//! multi-class classification or regression), matching the problem statement
+//! of the survey's Section 2.1.
+
+/// Storage for one column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// Continuous values. Missing entries hold an arbitrary placeholder and
+    /// are flagged in [`Column::missing`].
+    Numeric(Vec<f32>),
+    /// Category codes in `0..cardinality`.
+    Categorical { codes: Vec<u32>, cardinality: u32 },
+}
+
+/// A named column with missingness flags.
+#[derive(Clone, Debug)]
+pub struct Column {
+    pub name: String,
+    pub data: ColumnData,
+    /// `missing[i]` marks row `i` as unobserved for this column.
+    pub missing: Vec<bool>,
+}
+
+impl Column {
+    /// A fully observed numeric column.
+    pub fn numeric(name: impl Into<String>, values: Vec<f32>) -> Self {
+        let missing = vec![false; values.len()];
+        Self { name: name.into(), data: ColumnData::Numeric(values), missing }
+    }
+
+    /// A fully observed categorical column.
+    ///
+    /// # Panics
+    /// Panics if any code is out of range.
+    pub fn categorical(name: impl Into<String>, codes: Vec<u32>, cardinality: u32) -> Self {
+        assert!(codes.iter().all(|&c| c < cardinality), "category code out of range");
+        let missing = vec![false; codes.len()];
+        Self { name: name.into(), data: ColumnData::Categorical { codes, cardinality }, missing }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.data, ColumnData::Numeric(_))
+    }
+
+    pub fn is_categorical(&self) -> bool {
+        matches!(self.data, ColumnData::Categorical { .. })
+    }
+
+    /// Number of missing entries.
+    pub fn num_missing(&self) -> usize {
+        self.missing.iter().filter(|&&m| m).count()
+    }
+
+    /// Mean over observed numeric entries; `None` for categorical columns or
+    /// when everything is missing.
+    pub fn observed_mean(&self) -> Option<f32> {
+        match &self.data {
+            ColumnData::Numeric(v) => {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for (x, &m) in v.iter().zip(&self.missing) {
+                    if !m {
+                        sum += x;
+                        n += 1;
+                    }
+                }
+                (n > 0).then(|| sum / n as f32)
+            }
+            ColumnData::Categorical { .. } => None,
+        }
+    }
+
+    /// Std over observed numeric entries (population), `None` as above.
+    pub fn observed_std(&self) -> Option<f32> {
+        let mean = self.observed_mean()?;
+        if let ColumnData::Numeric(v) = &self.data {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (x, &m) in v.iter().zip(&self.missing) {
+                if !m {
+                    sum += (x - mean) * (x - mean);
+                    n += 1;
+                }
+            }
+            (n > 0).then(|| (sum / n as f32).sqrt())
+        } else {
+            None
+        }
+    }
+
+    /// Most frequent observed category; `None` for numeric columns or when
+    /// everything is missing.
+    pub fn observed_mode(&self) -> Option<u32> {
+        if let ColumnData::Categorical { codes, cardinality } = &self.data {
+            let mut counts = vec![0usize; *cardinality as usize];
+            for (&c, &m) in codes.iter().zip(&self.missing) {
+                if !m {
+                    counts[c as usize] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .max_by_key(|&(_, &n)| n)
+                .map(|(c, _)| c as u32)
+        } else {
+            None
+        }
+    }
+}
+
+/// A table of equally-sized columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    pub fn new(columns: Vec<Column>) -> Self {
+        let n_rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(c.len(), n_rows, "column {} row-count mismatch", c.name);
+            assert_eq!(c.missing.len(), n_rows, "column {} missing-mask mismatch", c.name);
+        }
+        Self { columns, n_rows }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn columns_mut(&mut self) -> &mut [Column] {
+        &mut self.columns
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Finds a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Indices of numeric columns.
+    pub fn numeric_columns(&self) -> Vec<usize> {
+        (0..self.columns.len()).filter(|&i| self.columns[i].is_numeric()).collect()
+    }
+
+    /// Indices of categorical columns.
+    pub fn categorical_columns(&self) -> Vec<usize> {
+        (0..self.columns.len()).filter(|&i| self.columns[i].is_categorical()).collect()
+    }
+
+    /// Total missing cells across all columns.
+    pub fn num_missing(&self) -> usize {
+        self.columns.iter().map(Column::num_missing).sum()
+    }
+
+    /// Fraction of missing cells.
+    pub fn missing_rate(&self) -> f64 {
+        let total = self.n_rows * self.columns.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.num_missing() as f64 / total as f64
+        }
+    }
+
+    /// A new table restricted to the given rows (indices may repeat).
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let data = match &c.data {
+                    ColumnData::Numeric(v) => ColumnData::Numeric(rows.iter().map(|&r| v[r]).collect()),
+                    ColumnData::Categorical { codes, cardinality } => ColumnData::Categorical {
+                        codes: rows.iter().map(|&r| codes[r]).collect(),
+                        cardinality: *cardinality,
+                    },
+                };
+                let missing = rows.iter().map(|&r| c.missing[r]).collect();
+                Column { name: c.name.clone(), data, missing }
+            })
+            .collect();
+        Table::new(columns)
+    }
+}
+
+/// Supervised target of a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    /// Integer class labels in `0..num_classes`.
+    Classification { labels: Vec<usize>, num_classes: usize },
+    /// Real-valued target.
+    Regression(Vec<f32>),
+}
+
+impl Target {
+    pub fn len(&self) -> usize {
+        match self {
+            Target::Classification { labels, .. } => labels.len(),
+            Target::Regression(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Class labels, panicking for regression targets.
+    pub fn labels(&self) -> &[usize] {
+        match self {
+            Target::Classification { labels, .. } => labels,
+            Target::Regression(_) => panic!("regression target has no class labels"),
+        }
+    }
+
+    /// Number of classes, panicking for regression targets.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            Target::Classification { num_classes, .. } => *num_classes,
+            Target::Regression(_) => panic!("regression target has no classes"),
+        }
+    }
+
+    /// Regression values, panicking for classification targets.
+    pub fn values(&self) -> &[f32] {
+        match self {
+            Target::Regression(v) => v,
+            Target::Classification { .. } => panic!("classification target has no regression values"),
+        }
+    }
+
+    pub fn is_classification(&self) -> bool {
+        matches!(self, Target::Classification { .. })
+    }
+}
+
+/// A table with its supervised target.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub table: Table,
+    pub target: Target,
+    /// Human-readable provenance string (generator + parameters).
+    pub name: String,
+}
+
+impl Dataset {
+    pub fn new(name: impl Into<String>, table: Table, target: Target) -> Self {
+        assert_eq!(table.num_rows(), target.len(), "target length must match rows");
+        Self { table, target, name: name.into() }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::new(vec![
+            Column::numeric("age", vec![20.0, 30.0, 40.0, 50.0]),
+            Column::categorical("city", vec![0, 1, 0, 2], 3),
+        ])
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.numeric_columns(), vec![0]);
+        assert_eq!(t.categorical_columns(), vec![1]);
+        assert!(t.column_by_name("city").is_some());
+        assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row-count mismatch")]
+    fn ragged_table_panics() {
+        Table::new(vec![
+            Column::numeric("a", vec![1.0]),
+            Column::numeric("b", vec![1.0, 2.0]),
+        ]);
+    }
+
+    #[test]
+    fn observed_statistics_skip_missing() {
+        let mut c = Column::numeric("x", vec![1.0, 2.0, 100.0]);
+        c.missing[2] = true;
+        assert_eq!(c.observed_mean(), Some(1.5));
+        assert_eq!(c.num_missing(), 1);
+        assert!((c.observed_std().unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_mode_skips_missing() {
+        let mut c = Column::categorical("c", vec![0, 0, 1, 1, 1], 2);
+        c.missing[2] = true;
+        c.missing[3] = true;
+        c.missing[4] = true;
+        assert_eq!(c.observed_mode(), Some(0));
+    }
+
+    #[test]
+    fn select_rows_permutes() {
+        let t = sample_table();
+        let s = t.select_rows(&[3, 0, 0]);
+        assert_eq!(s.num_rows(), 3);
+        if let ColumnData::Numeric(v) = &s.column(0).data {
+            assert_eq!(v, &vec![50.0, 20.0, 20.0]);
+        } else {
+            panic!("expected numeric");
+        }
+    }
+
+    #[test]
+    fn missing_rate() {
+        let mut t = sample_table();
+        t.columns_mut()[0].missing[0] = true;
+        t.columns_mut()[1].missing[1] = true;
+        assert!((t.missing_rate() - 2.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_target_consistency() {
+        let t = sample_table();
+        let d = Dataset::new("toy", t, Target::Classification { labels: vec![0, 1, 0, 1], num_classes: 2 });
+        assert_eq!(d.num_rows(), 4);
+        assert_eq!(d.target.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn dataset_length_mismatch_panics() {
+        let t = sample_table();
+        Dataset::new("bad", t, Target::Regression(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no class labels")]
+    fn regression_labels_panics() {
+        Target::Regression(vec![1.0]).labels();
+    }
+}

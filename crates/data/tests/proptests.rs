@@ -1,0 +1,122 @@
+//! Property-based tests: metric bounds and invariances, split partition
+//! laws, preprocessing invariants.
+
+use proptest::prelude::*;
+
+use gnn4tdl_data::metrics::{accuracy, average_precision, macro_f1, mae, r2, rmse, roc_auc};
+use gnn4tdl_data::preprocess::encode_all;
+use gnn4tdl_data::table::{Column, Table};
+use gnn4tdl_data::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accuracy_and_f1_bounded(
+        pred in proptest::collection::vec(0usize..4, 1..100),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<usize> = pred.iter().map(|_| rng.gen_range(0..4)).collect();
+        let acc = accuracy(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let f1 = macro_f1(&pred, &truth, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        // perfect predictions are perfect under both
+        prop_assert_eq!(accuracy(&truth, &truth), 1.0);
+        prop_assert!((macro_f1(&truth, &truth, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_bounds_and_score_shift_invariance(
+        scores in proptest::collection::vec(-5.0f32..5.0, 2..80),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<usize> = scores.iter().map(|_| rng.gen_range(0..2)).collect();
+        let auc = roc_auc(&scores, &truth);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // AUC is rank-based: adding a constant cannot change it
+        let shifted: Vec<f32> = scores.iter().map(|&s| s + 2.5).collect();
+        prop_assert!((roc_auc(&shifted, &truth) - auc).abs() < 1e-9);
+        // complementing the scores flips it
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        prop_assert!((roc_auc(&negated, &truth) - (1.0 - auc)).abs() < 1e-9);
+        let ap = average_precision(&scores, &truth);
+        prop_assert!((0.0..=1.0).contains(&ap));
+    }
+
+    #[test]
+    fn regression_metrics_properties(
+        truth in proptest::collection::vec(-10.0f32..10.0, 1..60),
+        noise in proptest::collection::vec(-1.0f32..1.0, 60),
+    ) {
+        let pred: Vec<f32> = truth.iter().zip(&noise).map(|(&t, &n)| t + n).collect();
+        prop_assert!(rmse(&truth, &truth) < 1e-9);
+        prop_assert!(mae(&truth, &truth) < 1e-9);
+        prop_assert!(rmse(&pred, &truth) >= mae(&pred, &truth) - 1e-6, "RMSE >= MAE");
+        prop_assert!(r2(&truth, &truth) > 0.9999);
+    }
+
+    #[test]
+    fn random_split_is_a_partition(
+        n in 3usize..300,
+        train_pct in 10u32..70,
+        val_pct in 5u32..25,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = Split::random(n, train_pct as f64 / 100.0, val_pct as f64 / 100.0, &mut rng);
+        split.validate(n).unwrap();
+        prop_assert_eq!(split.train.len() + split.val.len() + split.test.len(), n);
+    }
+
+    #[test]
+    fn stratified_split_is_a_partition_preserving_classes(
+        n in 10usize..200,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let split = Split::stratified(&labels, 0.5, 0.2, &mut rng);
+        split.validate(n).unwrap();
+        prop_assert_eq!(split.train.len() + split.val.len() + split.test.len(), n);
+    }
+
+    #[test]
+    fn encoding_is_finite_and_mask_consistent(
+        values in proptest::collection::vec(-100.0f32..100.0, 2..50),
+        codes_seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let n = values.len();
+        let mut rng = StdRng::seed_from_u64(codes_seed);
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let mut table = Table::new(vec![
+            Column::numeric("x", values),
+            Column::categorical("c", codes, 3),
+        ]);
+        // random missingness
+        for col in table.columns_mut() {
+            for m in &mut col.missing {
+                if rng.gen_bool(0.2) {
+                    *m = true;
+                }
+            }
+        }
+        let enc = encode_all(&table);
+        prop_assert!(enc.features.all_finite());
+        prop_assert_eq!(enc.features.shape(), enc.observed.shape());
+        // masked-out entries are exactly zero
+        for i in 0..enc.features.len() {
+            if enc.observed.data()[i] == 0.0 {
+                prop_assert_eq!(enc.features.data()[i], 0.0);
+            }
+        }
+    }
+}

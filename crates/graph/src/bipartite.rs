@@ -1,0 +1,175 @@
+//! Bipartite instance-feature graphs (GRAPE/FATE/IGRM formulation).
+//!
+//! Rows of the table are one node set ("left"), feature columns the other
+//! ("right"); an observed cell `(i, j)` with value `v` becomes the weighted
+//! edge `i -(v)- j`. Missing cells simply have no edge, which is how the
+//! survey says bipartite formulations tackle missing values natively.
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, SpAdj};
+
+/// A weighted bipartite graph with `n_left` instance nodes and `n_right`
+/// feature nodes.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    /// `n_left x n_right`: edges from instances to features.
+    left_to_right: CsrMatrix,
+    /// `n_right x n_left`: transposed view for the reverse direction.
+    right_to_left: CsrMatrix,
+}
+
+impl BipartiteGraph {
+    /// Builds from `(instance, feature, weight)` triplets.
+    pub fn from_edges(n_left: usize, n_right: usize, edges: &[(usize, usize, f32)]) -> Self {
+        let left_to_right = CsrMatrix::from_triplets(n_left, n_right, edges);
+        let right_to_left = left_to_right.transpose();
+        Self { left_to_right, right_to_left }
+    }
+
+    pub fn num_left(&self) -> usize {
+        self.left_to_right.rows()
+    }
+
+    pub fn num_right(&self) -> usize {
+        self.left_to_right.cols()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.left_to_right.nnz()
+    }
+
+    /// Incidence from instances to features.
+    pub fn left_to_right(&self) -> &CsrMatrix {
+        &self.left_to_right
+    }
+
+    /// Incidence from features to instances.
+    pub fn right_to_left(&self) -> &CsrMatrix {
+        &self.right_to_left
+    }
+
+    /// Mean-normalized operator aggregating feature-node embeddings into
+    /// instance nodes. Normalization is by *edge count*, not weight sum:
+    /// cell values can be negative (standardized numerics), so weight-sum
+    /// normalization would divide by near-zero sums and explode.
+    pub fn agg_right_to_left(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(count_normalized(&self.left_to_right)))
+    }
+
+    /// Mean-normalized operator aggregating instance-node embeddings into
+    /// feature nodes (count-normalized, see [`Self::agg_right_to_left`]).
+    pub fn agg_left_to_right(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(count_normalized(&self.right_to_left)))
+    }
+
+    /// Weighted (non-normalized) aggregation instances <- features, where
+    /// each message is scaled by the observed cell value (GRAPE uses edge
+    /// weights as features of the message).
+    pub fn weighted_right_to_left(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.left_to_right.clone()))
+    }
+
+    /// Weighted aggregation features <- instances.
+    pub fn weighted_left_to_right(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.right_to_left.clone()))
+    }
+
+    /// Flat edge arrays `(instance, feature, weight)`.
+    pub fn edges(&self) -> Vec<(usize, usize, f32)> {
+        self.left_to_right.to_triplets()
+    }
+
+    /// Observed-cell fraction: `nnz / (n_left * n_right)`.
+    pub fn density(&self) -> f64 {
+        let total = self.num_left() * self.num_right();
+        if total == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / total as f64
+        }
+    }
+
+    /// One-hop instance proximity `B B^T` (shared-feature counts weighted by
+    /// cell values), the "efficient instance proximity" use of bipartite
+    /// graphs in the survey. Dense output; intended for small n.
+    pub fn instance_proximity(&self) -> gnn4tdl_tensor::Matrix {
+        let b = self.left_to_right.to_dense();
+        b.matmul(&b.transpose())
+    }
+}
+
+/// Replaces each stored weight with `1 / row_edge_count`: an unweighted
+/// mean over the row's neighbors regardless of the (possibly negative)
+/// stored values.
+fn count_normalized(m: &CsrMatrix) -> CsrMatrix {
+    let mut out = m.clone();
+    for r in 0..m.rows() {
+        let deg = m.row_nnz(r);
+        if deg == 0 {
+            continue;
+        }
+        let inv = 1.0 / deg as f32;
+        let (start, end) = (m.indptr()[r], m.indptr()[r + 1]);
+        for v in &mut out.values_mut()[start..end] {
+            *v = inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        // 3 instances, 2 features; instance 1 is missing feature 1.
+        BipartiteGraph::from_edges(
+            3,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (2, 0, 1.0), (2, 1, 1.0)],
+        )
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let g = sample();
+        assert_eq!(g.num_left(), 3);
+        assert_eq!(g.num_right(), 2);
+        assert_eq!(g.num_edges(), 5);
+        assert!((g.density() - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transposed_view_consistent() {
+        let g = sample();
+        let fwd = g.left_to_right().to_dense();
+        let rev = g.right_to_left().to_dense();
+        assert!(fwd.transpose().max_abs_diff(&rev) < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_row_sums() {
+        let g = sample();
+        for s in g.agg_right_to_left().matrix().row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        for s in g.agg_left_to_right().matrix().row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn missing_cell_has_no_edge() {
+        let g = sample();
+        assert!(!g.edges().iter().any(|&(i, j, _)| i == 1 && j == 1));
+    }
+
+    #[test]
+    fn proximity_counts_shared_features() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let p = g.instance_proximity();
+        assert_eq!(p.get(0, 1), 1.0); // share feature 0
+        assert_eq!(p.get(1, 1), 2.0); // self overlap
+    }
+}

@@ -1,0 +1,207 @@
+//! General heterogeneous graphs: typed nodes and typed relations.
+//!
+//! The formulation for EHR graphs (patients/diagnosis codes), CTR graphs
+//! (users/ads/brands), fraud graphs (transactions/devices/addresses), and
+//! relational databases (rows typed by table, foreign keys as relations).
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, SpAdj};
+
+/// Handle to a node type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeTypeId(usize);
+
+/// Handle to an edge (relation) type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeTypeId(usize);
+
+#[derive(Clone, Debug)]
+struct EdgeType {
+    name: String,
+    src: NodeTypeId,
+    dst: NodeTypeId,
+    adj: CsrMatrix,
+}
+
+/// A heterogeneous graph with named node and edge types.
+#[derive(Clone, Debug, Default)]
+pub struct HeteroGraph {
+    node_type_names: Vec<String>,
+    node_type_counts: Vec<usize>,
+    edge_types: Vec<EdgeType>,
+}
+
+impl HeteroGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node type with `count` nodes.
+    pub fn add_node_type(&mut self, name: impl Into<String>, count: usize) -> NodeTypeId {
+        self.node_type_names.push(name.into());
+        self.node_type_counts.push(count);
+        NodeTypeId(self.node_type_names.len() - 1)
+    }
+
+    /// Registers a relation `src --name--> dst` from weighted edges (indices
+    /// local to each node type).
+    pub fn add_edge_type(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeTypeId,
+        dst: NodeTypeId,
+        edges: &[(usize, usize, f32)],
+    ) -> EdgeTypeId {
+        let adj = CsrMatrix::from_triplets(self.node_type_counts[src.0], self.node_type_counts[dst.0], edges);
+        self.edge_types.push(EdgeType { name: name.into(), src, dst, adj });
+        EdgeTypeId(self.edge_types.len() - 1)
+    }
+
+    pub fn num_node_types(&self) -> usize {
+        self.node_type_names.len()
+    }
+
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    pub fn node_count(&self, t: NodeTypeId) -> usize {
+        self.node_type_counts[t.0]
+    }
+
+    pub fn node_type_name(&self, t: NodeTypeId) -> &str {
+        &self.node_type_names[t.0]
+    }
+
+    pub fn edge_type_name(&self, e: EdgeTypeId) -> &str {
+        &self.edge_types[e.0].name
+    }
+
+    pub fn edge_endpoints(&self, e: EdgeTypeId) -> (NodeTypeId, NodeTypeId) {
+        (self.edge_types[e.0].src, self.edge_types[e.0].dst)
+    }
+
+    pub fn edge_adjacency(&self, e: EdgeTypeId) -> &CsrMatrix {
+        &self.edge_types[e.0].adj
+    }
+
+    pub fn edge_count(&self, e: EdgeTypeId) -> usize {
+        self.edge_types[e.0].adj.nnz()
+    }
+
+    /// All edge type ids.
+    pub fn edge_type_ids(&self) -> impl Iterator<Item = EdgeTypeId> {
+        (0..self.edge_types.len()).map(EdgeTypeId)
+    }
+
+    /// Relation ids incoming to a node type (used by RGCN-style layers that
+    /// aggregate per destination type).
+    pub fn relations_into(&self, dst: NodeTypeId) -> Vec<EdgeTypeId> {
+        self.edge_types
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dst == dst)
+            .map(|(i, _)| EdgeTypeId(i))
+            .collect()
+    }
+
+    /// Mean-normalized message operator for relation `e`, aggregating source
+    /// embeddings into destination nodes (rows are destinations). Packaged
+    /// with the transpose for autodiff.
+    pub fn mean_agg(&self, e: EdgeTypeId) -> Rc<SpAdj> {
+        // adjacency is src x dst; messages flow src -> dst so we need the
+        // dst x src view, row-normalized over each destination's sources.
+        Rc::new(SpAdj::new(self.edge_types[e.0].adj.transpose().row_normalized()))
+    }
+
+    /// Mean-normalized operator in the reverse direction (dst -> src).
+    pub fn mean_agg_reverse(&self, e: EdgeTypeId) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.edge_types[e.0].adj.row_normalized()))
+    }
+
+    /// Checks internal consistency (adjacency shapes match node counts).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.edge_types.iter().enumerate() {
+            let (r, c) = e.adj.shape();
+            if r != self.node_type_counts[e.src.0] || c != self.node_type_counts[e.dst.0] {
+                return Err(format!("edge type {i} ({}) shape mismatch", e.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ehr() -> (HeteroGraph, NodeTypeId, NodeTypeId, EdgeTypeId) {
+        let mut g = HeteroGraph::new();
+        let patients = g.add_node_type("patient", 3);
+        let codes = g.add_node_type("diagnosis_code", 2);
+        let has = g.add_edge_type(
+            "has_code",
+            patients,
+            codes,
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)],
+        );
+        (g, patients, codes, has)
+    }
+
+    #[test]
+    fn structure() {
+        let (g, p, c, e) = ehr();
+        assert_eq!(g.num_node_types(), 2);
+        assert_eq!(g.num_edge_types(), 1);
+        assert_eq!(g.node_count(p), 3);
+        assert_eq!(g.node_count(c), 2);
+        assert_eq!(g.edge_count(e), 4);
+        assert_eq!(g.node_type_name(p), "patient");
+        assert_eq!(g.edge_type_name(e), "has_code");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn mean_agg_shapes_and_sums() {
+        let (g, _, c, e) = ehr();
+        let agg = g.mean_agg(e); // codes <- patients
+        assert_eq!(agg.matrix().rows(), g.node_count(c));
+        for s in agg.matrix().row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        let rev = g.mean_agg_reverse(e); // patients <- codes
+        assert_eq!(rev.matrix().rows(), 3);
+    }
+
+    #[test]
+    fn mean_agg_reverse_values() {
+        let (g, _, _, e) = ehr();
+        // patient 0 has codes 0 and 1 -> each contributes 1/2
+        let rev = g.mean_agg_reverse(e);
+        let d = rev.matrix().to_dense();
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(0, 1) - 0.5).abs() < 1e-6);
+        // patient 2 has only code 1 -> weight 1
+        assert!((d.get(2, 1) - 1.0).abs() < 1e-6);
+        assert_eq!(d.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn edge_endpoints_and_names() {
+        let (g, p, c, e) = ehr();
+        assert_eq!(g.edge_endpoints(e), (p, c));
+        assert_eq!(g.edge_type_ids().count(), 1);
+    }
+
+    #[test]
+    fn relations_into_filters_by_destination() {
+        let mut g = HeteroGraph::new();
+        let a = g.add_node_type("a", 2);
+        let b = g.add_node_type("b", 2);
+        let e1 = g.add_edge_type("ab", a, b, &[(0, 0, 1.0)]);
+        let e2 = g.add_edge_type("ba", b, a, &[(1, 1, 1.0)]);
+        assert_eq!(g.relations_into(b), vec![e1]);
+        assert_eq!(g.relations_into(a), vec![e2]);
+    }
+}

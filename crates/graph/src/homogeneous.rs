@@ -1,0 +1,359 @@
+//! Homogeneous graphs: the instance-graph and feature-graph formulations.
+//!
+//! A [`Graph`] is a node set plus a weighted edge set stored as CSR. It
+//! provides the normalized operators GNN layers consume ([`Graph::gcn_adj`],
+//! [`Graph::mean_adj`]) and the flat edge arrays attention layers consume
+//! ([`Graph::edge_index`]).
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, SpAdj};
+
+/// A weighted homogeneous graph over `n` nodes.
+///
+/// ```
+/// use gnn4tdl_graph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)], true);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_symmetric());
+/// // ready-to-use GCN operator with self-loops
+/// assert_eq!(g.gcn_adj().matrix().rows(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: CsrMatrix,
+}
+
+/// Flat edge arrays for edge-centric (attention) message passing.
+///
+/// Edge `i` goes `src[i] -> dst[i]` with weight `weight[i]`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeIndex {
+    pub src: Vec<usize>,
+    pub dst: Vec<usize>,
+    pub weight: Vec<f32>,
+}
+
+impl EdgeIndex {
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+impl Graph {
+    /// Builds a graph from weighted edges. With `undirected`, each edge is
+    /// mirrored. Duplicate edges have their weights summed.
+    pub fn from_weighted_edges(n: usize, edges: &[(usize, usize, f32)], undirected: bool) -> Self {
+        let mut triplets = Vec::with_capacity(if undirected { edges.len() * 2 } else { edges.len() });
+        for &(u, v, w) in edges {
+            triplets.push((u, v, w));
+            if undirected && u != v {
+                triplets.push((v, u, w));
+            }
+        }
+        Self { adj: CsrMatrix::from_triplets(n, n, &triplets) }
+    }
+
+    /// Builds an unweighted graph (all edge weights 1).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)], undirected: bool) -> Self {
+        let weighted: Vec<(usize, usize, f32)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Self::from_weighted_edges(n, &weighted, undirected)
+    }
+
+    /// Wraps an existing adjacency matrix.
+    pub fn from_adjacency(adj: CsrMatrix) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        Self { adj }
+    }
+
+    /// A graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self { adj: CsrMatrix::empty(n, n) }
+    }
+
+    /// The complete graph on `n` nodes (no self-loops). The survey's
+    /// "fully-connected" rule (Fi-GNN, GCN-Int).
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    edges.push((u, v, 1.0));
+                }
+            }
+        }
+        Self::from_weighted_edges(n, &edges, false)
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of stored directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Out-neighbors of node `u` with weights.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.adj.row_iter(u)
+    }
+
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj.row_nnz(u)
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// GCN operator: `D^-1/2 (A + I) D^-1/2`, packaged with its transpose for
+    /// autodiff. This is the standard Kipf-Welling propagation matrix.
+    pub fn gcn_adj(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.adj.with_self_loops(1.0).sym_normalized()))
+    }
+
+    /// Mean-aggregation operator `D^-1 A` (no self-loops) for
+    /// GraphSAGE-style layers.
+    pub fn mean_adj(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.adj.row_normalized()))
+    }
+
+    /// Sum-aggregation operator `A` as-is, for GIN layers.
+    pub fn sum_adj(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.adj.clone()))
+    }
+
+    /// Flat `(src, dst, weight)` arrays, with optional self-loops appended —
+    /// attention layers (GAT) want self-loops so isolated nodes still get a
+    /// well-defined softmax.
+    pub fn edge_index(&self, add_self_loops: bool) -> EdgeIndex {
+        let mut out = EdgeIndex {
+            src: Vec::with_capacity(self.num_edges()),
+            dst: Vec::with_capacity(self.num_edges()),
+            weight: Vec::with_capacity(self.num_edges()),
+        };
+        for u in 0..self.num_nodes() {
+            for (v, w) in self.adj.row_iter(u) {
+                out.src.push(u);
+                out.dst.push(v);
+                out.weight.push(w);
+            }
+        }
+        if add_self_loops {
+            for u in 0..self.num_nodes() {
+                out.src.push(u);
+                out.dst.push(u);
+                out.weight.push(1.0);
+            }
+        }
+        out
+    }
+
+    /// Edge homophily: the fraction of edges whose endpoints share a label.
+    /// The survey's homophilic-test criterion for node-type selection.
+    pub fn edge_homophily(&self, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), self.num_nodes(), "label count mismatch");
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..self.num_nodes() {
+            for (v, _) in self.adj.row_iter(u) {
+                if u == v {
+                    continue;
+                }
+                total += 1;
+                if labels[u] == labels[v] {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// Connected components over the undirected closure; returns a component
+    /// id per node and the number of components.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_nodes();
+        let undirected = {
+            let t = self.adj.transpose();
+            let mut triplets = self.adj.to_triplets();
+            triplets.extend(t.to_triplets());
+            CsrMatrix::from_triplets(n, n, &triplets)
+        };
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for (v, _) in undirected.row_iter(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next)
+    }
+
+    /// The induced subgraph on `nodes` (local ids follow the given order).
+    /// Edges between retained nodes survive with their weights; everything
+    /// else is dropped. Used by inductive workflows that train on a node
+    /// subset before rebinding to the full graph.
+    pub fn subgraph(&self, nodes: &[usize]) -> Graph {
+        let mut local = vec![usize::MAX; self.num_nodes()];
+        for (li, &g) in nodes.iter().enumerate() {
+            assert!(g < self.num_nodes(), "subgraph node {g} out of range");
+            local[g] = li;
+        }
+        let mut edges = Vec::new();
+        for &g in nodes {
+            for (v, w) in self.neighbors(g) {
+                if local[v] != usize::MAX {
+                    edges.push((local[g], local[v], w));
+                }
+            }
+        }
+        Graph::from_weighted_edges(nodes.len(), &edges, false)
+    }
+
+    /// True if for every stored edge `(u, v)` the reverse `(v, u)` is stored.
+    pub fn is_symmetric(&self) -> bool {
+        let t = self.adj.transpose();
+        self.adj
+            .to_triplets()
+            .iter()
+            .all(|&(u, v, w)| t.row_iter(u).any(|(c, tw)| c == v && (tw - w).abs() < 1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)], true)
+    }
+
+    #[test]
+    fn from_edges_undirected_mirrors() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_symmetric());
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = Graph::complete(4);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_symmetric());
+        assert!((g.mean_degree() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcn_adj_rows_known_values() {
+        let g = path3();
+        let a = g.gcn_adj();
+        let d = a.matrix().to_dense();
+        // degrees with self loops: 2, 3, 2
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(0, 1) - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+        assert!((d.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_adj_rows_sum_to_one() {
+        let g = path3();
+        let sums = g.mean_adj().matrix().row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edge_index_with_self_loops() {
+        let g = path3();
+        let ei = g.edge_index(true);
+        assert_eq!(ei.len(), 4 + 3);
+        // the last three are self loops
+        assert_eq!(&ei.src[4..], &[0, 1, 2]);
+        assert_eq!(&ei.dst[4..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn homophily_extremes() {
+        let g = path3();
+        assert!((g.edge_homophily(&[0, 0, 0]) - 1.0).abs() < 1e-9);
+        assert!((g.edge_homophily(&[0, 1, 0]) - 0.0).abs() < 1e-9);
+        // mixed: edges (0,1),(1,0) different, (1,2),(2,1) same
+        assert!((g.edge_homophily(&[0, 1, 1]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)], true);
+        let (comp, n) = g.connected_components();
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(g.num_edges(), 0);
+        let (_, n) = g.connected_components();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_weighted_edges(5, &[(0, 1, 2.0), (1, 2, 1.0), (3, 4, 1.0)], true);
+        let sub = g.subgraph(&[1, 0, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        // only (0,1)<->(1,0) survives; local ids: 1 -> 0, 0 -> 1
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.neighbors(0).any(|(v, w)| v == 1 && (w - 2.0).abs() < 1e-6));
+        assert_eq!(sub.degree(2), 0); // node 3 lost its only partner (4)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subgraph_rejects_bad_nodes() {
+        Graph::empty(2).subgraph(&[0, 5]);
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = Graph::from_weighted_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)], false);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0).next(), Some((1, 3.0)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Hypergraphs: hyperedges joining any number of nodes (HCL/HyTrel/PET).
+//!
+//! In the tabular formulation, distinct feature values are nodes and every
+//! instance (row) is a hyperedge joining its values. Message passing is the
+//! standard two-phase clique-expansion-free scheme: node -> hyperedge
+//! aggregation, then hyperedge -> node aggregation, each mean-normalized.
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, SpAdj};
+
+/// A hypergraph stored as an incidence matrix (`edges x nodes`).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    /// `num_edges x num_nodes` incidence.
+    incidence: CsrMatrix,
+    /// `num_nodes x num_edges` transposed incidence.
+    incidence_t: CsrMatrix,
+}
+
+impl Hypergraph {
+    /// Builds from a membership list: `members[e]` is the node set of
+    /// hyperedge `e`.
+    pub fn from_members(num_nodes: usize, members: &[Vec<usize>]) -> Self {
+        let mut triplets = Vec::new();
+        for (e, nodes) in members.iter().enumerate() {
+            for &v in nodes {
+                assert!(v < num_nodes, "hyperedge {e} references node {v} >= {num_nodes}");
+                triplets.push((e, v, 1.0));
+            }
+        }
+        let incidence = CsrMatrix::from_triplets(members.len(), num_nodes, &triplets);
+        let incidence_t = incidence.transpose();
+        Self { incidence, incidence_t }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.incidence.cols()
+    }
+
+    pub fn num_hyperedges(&self) -> usize {
+        self.incidence.rows()
+    }
+
+    /// Total node-edge memberships.
+    pub fn num_memberships(&self) -> usize {
+        self.incidence.nnz()
+    }
+
+    /// Nodes of hyperedge `e`.
+    pub fn edge_members(&self, e: usize) -> Vec<usize> {
+        self.incidence.row_iter(e).map(|(v, _)| v).collect()
+    }
+
+    /// Hyperedges containing node `v`.
+    pub fn node_memberships(&self, v: usize) -> Vec<usize> {
+        self.incidence_t.row_iter(v).map(|(e, _)| e).collect()
+    }
+
+    /// Hyperedge cardinality (number of member nodes).
+    pub fn edge_degree(&self, e: usize) -> usize {
+        self.incidence.row_nnz(e)
+    }
+
+    /// Node degree (number of incident hyperedges).
+    pub fn node_degree(&self, v: usize) -> usize {
+        self.incidence_t.row_nnz(v)
+    }
+
+    /// Mean-normalized node -> hyperedge aggregation operator
+    /// (`edges x nodes`, rows sum to 1).
+    pub fn agg_nodes_to_edges(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.incidence.row_normalized()))
+    }
+
+    /// Mean-normalized hyperedge -> node aggregation operator
+    /// (`nodes x edges`, rows sum to 1).
+    pub fn agg_edges_to_nodes(&self) -> Rc<SpAdj> {
+        Rc::new(SpAdj::new(self.incidence_t.row_normalized()))
+    }
+
+    /// Clique expansion: the homogeneous graph connecting every pair of
+    /// nodes co-occurring in a hyperedge, weighted by co-occurrence count.
+    /// Used to compare hypergraph message passing with its pairwise
+    /// approximation.
+    pub fn clique_expansion(&self) -> crate::homogeneous::Graph {
+        let mut edges = Vec::new();
+        for e in 0..self.num_hyperedges() {
+            let members = self.edge_members(e);
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    edges.push((u, v, 1.0));
+                }
+            }
+        }
+        crate::homogeneous::Graph::from_weighted_edges(self.num_nodes(), &edges, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        // 5 nodes; edges: {0,1,2}, {2,3}, {3,4}
+        Hypergraph::from_members(5, &[vec![0, 1, 2], vec![2, 3], vec![3, 4]])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let h = sample();
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_hyperedges(), 3);
+        assert_eq!(h.num_memberships(), 7);
+        assert_eq!(h.edge_degree(0), 3);
+        assert_eq!(h.node_degree(2), 2);
+        assert_eq!(h.node_degree(3), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let h = sample();
+        assert_eq!(h.edge_members(1), vec![2, 3]);
+        assert_eq!(h.node_memberships(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn aggregation_operators_normalized() {
+        let h = sample();
+        for s in h.agg_nodes_to_edges().matrix().row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        for s in h.agg_edges_to_nodes().matrix().row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(h.agg_nodes_to_edges().matrix().shape(), (3, 5));
+        assert_eq!(h.agg_edges_to_nodes().matrix().shape(), (5, 3));
+    }
+
+    #[test]
+    fn clique_expansion_connects_co_members() {
+        let h = sample();
+        let g = h.clique_expansion();
+        // {0,1,2} yields 3 undirected pairs, {2,3} and {3,4} one each -> 5*2 directed
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.neighbors(0).any(|(v, _)| v == 2));
+        assert!(!g.neighbors(0).any(|(v, _)| v == 3));
+    }
+
+    #[test]
+    fn clique_expansion_weights_count_co_occurrences() {
+        // nodes 0,1 co-occur in two hyperedges -> weight 2 on that edge
+        let h = Hypergraph::from_members(3, &[vec![0, 1], vec![0, 1, 2]]);
+        let g = h.clique_expansion();
+        let w01 = g.neighbors(0).find(|&(v, _)| v == 1).map(|(_, w)| w).unwrap();
+        assert_eq!(w01, 2.0);
+        let w02 = g.neighbors(0).find(|&(v, _)| v == 2).map(|(_, w)| w).unwrap();
+        assert_eq!(w02, 1.0);
+    }
+
+    #[test]
+    fn empty_hyperedge_is_allowed_and_inert() {
+        let h = Hypergraph::from_members(2, &[vec![], vec![0, 1]]);
+        assert_eq!(h.edge_degree(0), 0);
+        // its aggregation row is all zeros (no members to average)
+        let agg = h.agg_nodes_to_edges();
+        assert_eq!(agg.matrix().row_nnz(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references node")]
+    fn out_of_range_member_panics() {
+        Hypergraph::from_members(2, &[vec![0, 5]]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # gnn4tdl-graph
+//!
+//! Graph data structures for every formulation in the GNN4TDL taxonomy:
+//! homogeneous instance/feature graphs, bipartite instance-feature graphs,
+//! multiplex (multi-relational) graphs, general heterogeneous graphs, and
+//! hypergraphs. Each type exposes the normalized sparse operators GNN layers
+//! consume.
+
+pub mod bipartite;
+pub mod heterogeneous;
+pub mod homogeneous;
+pub mod hypergraph;
+pub mod multiplex;
+pub mod stats;
+
+pub use bipartite::BipartiteGraph;
+pub use heterogeneous::{EdgeTypeId, HeteroGraph, NodeTypeId};
+pub use homogeneous::{EdgeIndex, Graph};
+pub use hypergraph::Hypergraph;
+pub use multiplex::MultiplexGraph;
+pub use stats::{clustering_coefficient, degree_stats, density, per_class_homophily, DegreeStats};

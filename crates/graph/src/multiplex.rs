@@ -1,0 +1,115 @@
+//! Multiplex (multi-relational) graphs: one node set, many edge layers.
+//!
+//! The TabGNN/AMG formulation: every (categorical) feature induces a relation
+//! layer connecting instances that share a value. Relational GNNs aggregate
+//! per layer and combine.
+
+use crate::homogeneous::Graph;
+
+/// A layered multiplex graph: all layers share the same node set.
+#[derive(Clone, Debug)]
+pub struct MultiplexGraph {
+    num_nodes: usize,
+    layers: Vec<Graph>,
+    names: Vec<String>,
+}
+
+impl MultiplexGraph {
+    pub fn new(num_nodes: usize) -> Self {
+        Self { num_nodes, layers: Vec::new(), names: Vec::new() }
+    }
+
+    /// Adds a relation layer.
+    ///
+    /// # Panics
+    /// Panics if the layer's node count differs from the multiplex node set.
+    pub fn add_layer(&mut self, name: impl Into<String>, graph: Graph) {
+        assert_eq!(graph.num_nodes(), self.num_nodes, "layer node-count mismatch");
+        self.layers.push(graph);
+        self.names.push(name.into());
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn layer(&self, i: usize) -> &Graph {
+        &self.layers[i]
+    }
+
+    pub fn layer_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    pub fn layers(&self) -> impl Iterator<Item = (&str, &Graph)> {
+        self.names.iter().map(String::as_str).zip(&self.layers)
+    }
+
+    /// Collapses all layers into one homogeneous graph by summing edge
+    /// weights — the "flattened" multi-relational graph the survey contrasts
+    /// with the layered multiplex view.
+    pub fn flatten(&self) -> Graph {
+        let mut triplets = Vec::new();
+        for layer in &self.layers {
+            triplets.extend(layer.adjacency().to_triplets());
+        }
+        Graph::from_weighted_edges(self.num_nodes, &triplets, false)
+    }
+
+    /// Total directed edges across layers.
+    pub fn total_edges(&self) -> usize {
+        self.layers.iter().map(Graph::num_edges).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiplexGraph {
+        let mut m = MultiplexGraph::new(4);
+        m.add_layer("same_city", Graph::from_edges(4, &[(0, 1), (2, 3)], true));
+        m.add_layer("same_device", Graph::from_edges(4, &[(0, 2)], true));
+        m
+    }
+
+    #[test]
+    fn layers_and_counts() {
+        let m = sample();
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.layer_name(0), "same_city");
+        assert_eq!(m.total_edges(), 4 + 2);
+        assert_eq!(m.layer(1).num_edges(), 2);
+    }
+
+    #[test]
+    fn flatten_merges_layers() {
+        let m = sample();
+        let flat = m.flatten();
+        assert_eq!(flat.num_nodes(), 4);
+        // edges: (0,1),(1,0),(2,3),(3,2),(0,2),(2,0)
+        assert_eq!(flat.num_edges(), 6);
+        let (_, n_comp) = flat.connected_components();
+        assert_eq!(n_comp, 1);
+    }
+
+    #[test]
+    fn flatten_sums_duplicate_weights() {
+        let mut m = MultiplexGraph::new(2);
+        m.add_layer("a", Graph::from_edges(2, &[(0, 1)], false));
+        m.add_layer("b", Graph::from_edges(2, &[(0, 1)], false));
+        let flat = m.flatten();
+        assert_eq!(flat.neighbors(0).next(), Some((1, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "node-count mismatch")]
+    fn mismatched_layer_panics() {
+        let mut m = MultiplexGraph::new(3);
+        m.add_layer("bad", Graph::empty(4));
+    }
+}

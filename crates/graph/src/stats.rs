@@ -1,0 +1,158 @@
+//! Graph-quality diagnostics used by the construction experiments: degree
+//! statistics, density, clustering coefficient, and per-class homophily.
+
+use crate::homogeneous::Graph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub isolated: usize,
+}
+
+/// Degree distribution summary.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    let mut isolated = 0usize;
+    for u in 0..n {
+        let d = graph.degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats { min, max, mean: total as f64 / n as f64, isolated }
+}
+
+/// Edge density: stored directed edges over `n * (n - 1)` possible.
+pub fn density(graph: &Graph) -> f64 {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    graph.num_edges() as f64 / (n * (n - 1)) as f64
+}
+
+/// Global clustering coefficient: the average, over nodes with degree ≥ 2,
+/// of the fraction of neighbor pairs that are themselves connected.
+/// Treats the graph as undirected support.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let n = graph.num_nodes();
+    let neighbor_sets: Vec<std::collections::BTreeSet<usize>> = (0..n)
+        .map(|u| graph.neighbors(u).map(|(v, _)| v).filter(|&v| v != u).collect())
+        .collect();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for u in 0..n {
+        let neigh: Vec<usize> = neighbor_sets[u].iter().copied().collect();
+        if neigh.len() < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        let mut pairs = 0usize;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                pairs += 1;
+                if neighbor_sets[a].contains(&b) {
+                    closed += 1;
+                }
+            }
+        }
+        total += closed as f64 / pairs as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Per-class edge homophily: for each class, the fraction of edges incident
+/// to its nodes that connect to the same class. Reveals when a construction
+/// serves some classes but not others (imbalanced fraud graphs).
+pub fn per_class_homophily(graph: &Graph, labels: &[usize], num_classes: usize) -> Vec<f64> {
+    assert_eq!(labels.len(), graph.num_nodes(), "label count mismatch");
+    let mut same = vec![0usize; num_classes];
+    let mut total = vec![0usize; num_classes];
+    for u in 0..graph.num_nodes() {
+        for (v, _) in graph.neighbors(u) {
+            if u == v {
+                continue;
+            }
+            total[labels[u]] += 1;
+            if labels[u] == labels[v] {
+                same[labels[u]] += 1;
+            }
+        }
+    }
+    (0..num_classes)
+        .map(|c| if total[c] == 0 { 0.0 } else { same[c] as f64 / total[c] as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolate() -> Graph {
+        // triangle 0-1-2 plus isolated node 3
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)], true)
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let s = degree_stats(&triangle_plus_isolate());
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 6.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_of_triangle() {
+        let g = triangle_plus_isolate();
+        assert!((density(&g) - 6.0 / 12.0).abs() < 1e-9);
+        assert_eq!(density(&Graph::empty(1)), 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        assert!((clustering_coefficient(&triangle_plus_isolate()) - 1.0).abs() < 1e-9);
+        // path graph has no triangles
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)], true);
+        assert_eq!(clustering_coefficient(&path), 0.0);
+        // complete graph K4 is fully clustered
+        assert!((clustering_coefficient(&Graph::complete(4)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_homophily_asymmetry() {
+        // star: hub of class 0 connected to three class-1 leaves, plus one
+        // class-1 pair
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (4, 5)], true);
+        let labels = vec![0, 1, 1, 1, 1, 1];
+        let h = per_class_homophily(&g, &labels, 2);
+        assert_eq!(h[0], 0.0); // hub only touches the other class
+        // class 1: leaves have 3 cross edges, pair has 2 same edges -> 2/5
+        assert!((h[1] - 2.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = Graph::empty(3);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        let h = per_class_homophily(&g, &[0, 1, 0], 2);
+        assert_eq!(h, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Fi-GNN-style feature-graph encoder: each instance is its own
+//! fully-connected graph over its categorical fields; field values are
+//! embedded, message passing runs on a batched block-diagonal graph, and a
+//! mean readout produces the instance representation.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use gnn4tdl_data::table::{ColumnData, Table};
+use gnn4tdl_tensor::{init, CsrMatrix, Matrix, ParamId, ParamStore, SpAdj, Var};
+
+use crate::conv::NodeModel;
+use crate::linear::Linear;
+use crate::readout::{segment_readout, Readout};
+use crate::session::Session;
+
+/// How field-to-field edges are weighted inside each instance's graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldAdjacency {
+    /// Uniform fully-connected (the Fi-GNN default).
+    FullyConnected,
+    /// A learnable shared `fields x fields` relation matrix, softmax-
+    /// normalized per destination field — the T2G-Former/Table2Graph idea of
+    /// *estimating* which fields should interact.
+    Learned,
+}
+
+/// Batched feature-graph encoder over the categorical columns of a table.
+///
+/// Numeric columns are ignored (Fi-GNN's setting is multi-field categorical
+/// data); use a hybrid model from the core crate when numeric features
+/// matter.
+#[derive(Clone, Debug)]
+pub struct FeatureGraphModel {
+    /// Embedding table over all (column, value) pairs, `total_values x emb`.
+    embedding: ParamId,
+    /// Flat embedding row index per (instance, field) node.
+    node_value: Rc<Vec<usize>>,
+    /// Block-diagonal fully-connected adjacency with self-loops, normalized.
+    adj: Rc<SpAdj>,
+    /// Instance id per node for the readout.
+    segment: Rc<Vec<usize>>,
+    n: usize,
+    fields: usize,
+    layers: Vec<Linear>,
+    head: Linear,
+    out_dim: usize,
+    dropout: f32,
+    readout: Readout,
+    /// Learned field-pair scores (`fields^2 x 1`), present for
+    /// [`FieldAdjacency::Learned`].
+    pair_scores: Option<ParamId>,
+    /// Field-pair index per batched edge (learned adjacency only).
+    edge_pair: Rc<Vec<usize>>,
+    /// Edge endpoints for the learned-adjacency path.
+    edge_src: Rc<Vec<usize>>,
+    edge_dst: Rc<Vec<usize>>,
+}
+
+impl FeatureGraphModel {
+    /// Builds the batched graph from the table's categorical columns.
+    ///
+    /// # Panics
+    /// Panics if the table has fewer than two categorical columns.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        table: &Table,
+        emb_dim: usize,
+        gnn_layers: usize,
+        out_dim: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_adjacency(store, table, emb_dim, gnn_layers, out_dim, dropout, FieldAdjacency::FullyConnected, rng)
+    }
+
+    /// Builds with an explicit field-adjacency mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_adjacency<R: Rng>(
+        store: &mut ParamStore,
+        table: &Table,
+        emb_dim: usize,
+        gnn_layers: usize,
+        out_dim: usize,
+        dropout: f32,
+        adjacency: FieldAdjacency,
+        rng: &mut R,
+    ) -> Self {
+        let cat_cols = table.categorical_columns();
+        assert!(cat_cols.len() >= 2, "feature graph needs at least two categorical columns");
+        let n = table.num_rows();
+        let fields = cat_cols.len();
+
+        // (column, value) -> embedding row.
+        let mut offsets = Vec::with_capacity(fields);
+        let mut total = 0usize;
+        for &ci in &cat_cols {
+            offsets.push(total);
+            if let ColumnData::Categorical { cardinality, .. } = &table.column(ci).data {
+                total += *cardinality as usize;
+            }
+        }
+        let embedding = store.add("figraph.embedding", init::normal_scaled(total, emb_dim, 0.2, rng));
+
+        let mut node_value = Vec::with_capacity(n * fields);
+        for i in 0..n {
+            for (f, &ci) in cat_cols.iter().enumerate() {
+                let ColumnData::Categorical { codes, .. } = &table.column(ci).data else { unreachable!() };
+                // Missing cells fall back to value 0 of the field: the
+                // embedding still exists, and the model learns around it.
+                let code = if table.column(ci).missing[i] { 0 } else { codes[i] as usize };
+                node_value.push(offsets[f] + code);
+            }
+        }
+
+        // Block-diagonal complete graph with self-loops, row-normalized.
+        let mut triplets = Vec::with_capacity(n * fields * fields);
+        for i in 0..n {
+            let base = i * fields;
+            for a in 0..fields {
+                for b in 0..fields {
+                    triplets.push((base + a, base + b, 1.0));
+                }
+            }
+        }
+        let adj = Rc::new(SpAdj::new(
+            CsrMatrix::from_triplets(n * fields, n * fields, &triplets).row_normalized(),
+        ));
+
+        let segment: Vec<usize> = (0..n * fields).map(|k| k / fields).collect();
+
+        // learned-adjacency bookkeeping: one batched edge per ordered field
+        // pair per instance, plus a shared pair-score table
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_pair = Vec::new();
+        let pair_scores = if adjacency == FieldAdjacency::Learned {
+            edge_src.reserve(n * fields * fields);
+            edge_dst.reserve(n * fields * fields);
+            edge_pair.reserve(n * fields * fields);
+            for i in 0..n {
+                let base = i * fields;
+                for a in 0..fields {
+                    for b in 0..fields {
+                        edge_src.push(base + a);
+                        edge_dst.push(base + b);
+                        edge_pair.push(a * fields + b);
+                    }
+                }
+            }
+            Some(store.add("figraph.pair_scores", init::normal_scaled(fields * fields, 1, 0.1, rng)))
+        } else {
+            None
+        };
+
+        let layers = (0..gnn_layers)
+            .map(|l| Linear::new(store, &format!("figraph.l{l}"), emb_dim, emb_dim, rng))
+            .collect();
+        let head = Linear::new(store, "figraph.head", emb_dim, out_dim, rng);
+
+        Self {
+            embedding,
+            node_value: Rc::new(node_value),
+            adj,
+            segment: Rc::new(segment),
+            n,
+            fields,
+            layers,
+            head,
+            out_dim,
+            dropout,
+            readout: Readout::Mean,
+            pair_scores,
+            edge_pair: Rc::new(edge_pair),
+            edge_src: Rc::new(edge_src),
+            edge_dst: Rc::new(edge_dst),
+        }
+    }
+
+    /// The learned field-interaction weights as a `fields x fields` matrix
+    /// (row = destination field), for inspection. Uniform for the
+    /// fully-connected mode.
+    pub fn learned_field_adjacency(&self, store: &ParamStore) -> Matrix {
+        match self.pair_scores {
+            None => Matrix::full(self.fields, self.fields, 1.0 / self.fields as f32),
+            Some(id) => {
+                // replicate the forward-pass softmax on one instance block
+                let scores = store.get(id);
+                let mut out = Matrix::zeros(self.fields, self.fields);
+                for b in 0..self.fields {
+                    let mut exps = Vec::with_capacity(self.fields);
+                    let mut max = f32::NEG_INFINITY;
+                    for a in 0..self.fields {
+                        max = max.max(scores.get(a * self.fields + b, 0));
+                    }
+                    let mut sum = 0.0;
+                    for a in 0..self.fields {
+                        let e = (scores.get(a * self.fields + b, 0) - max).exp();
+                        exps.push(e);
+                        sum += e;
+                    }
+                    for a in 0..self.fields {
+                        out.set(b, a, exps[a] / sum);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.fields
+    }
+}
+
+impl NodeModel for FeatureGraphModel {
+    /// `x` is unused (field identities come from the embedded codes); pass
+    /// any matrix with `n` rows — the API keeps the common encoder shape.
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        assert_eq!(s.tape.value(x).rows(), self.n, "row-count mismatch with construction table");
+        let table = s.p(self.embedding);
+        let mut h = s.tape.gather_rows(table, Rc::clone(&self.node_value)); // (n*fields) x emb
+        for layer in &self.layers {
+            let agg = match self.pair_scores {
+                None => s.tape.spmm(&self.adj, h),
+                Some(id) => {
+                    // shared learned field adjacency: per-edge scores gathered
+                    // by field-pair id, softmaxed per destination node
+                    let scores = s.p(id);
+                    let raw = s.tape.gather_rows(scores, Rc::clone(&self.edge_pair));
+                    let alpha = s.tape.segment_softmax(raw, Rc::clone(&self.edge_dst), self.n * self.fields);
+                    let messages = s.tape.gather_rows(h, Rc::clone(&self.edge_src));
+                    let weighted = s.tape.mul_col(messages, alpha);
+                    s.tape.scatter_add_rows(weighted, Rc::clone(&self.edge_dst), self.n * self.fields)
+                }
+            };
+            let z = layer.forward(s, agg);
+            let z = s.tape.relu(z);
+            let z = s.dropout(z, self.dropout);
+            // residual connection keeps field identity alive across rounds
+            h = s.tape.add(h, z);
+        }
+        let pooled = segment_readout(s, h, &self.segment, self.n, self.readout);
+        self.head.forward(s, pooled)
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_data::table::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::categorical("f0", vec![0, 1, 0, 1], 2),
+            Column::categorical("f1", vec![0, 0, 1, 1], 2),
+            Column::numeric("ignored", vec![1.0, 2.0, 3.0, 4.0]),
+        ])
+    }
+
+    #[test]
+    fn shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = FeatureGraphModel::new(&mut store, &table(), 6, 2, 2, 0.0, &mut rng);
+        assert_eq!(m.num_fields(), 2);
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::zeros(4, 1));
+        let y = m.forward(&mut s, x);
+        assert_eq!(s.tape.value(y).shape(), (4, 2));
+        assert!(s.tape.value(y).all_finite());
+    }
+
+    #[test]
+    fn learns_xor_of_two_fields() {
+        // label = f0 XOR f1: impossible for first-order models, learnable
+        // by the feature-interaction graph.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = table();
+        let m = FeatureGraphModel::new(&mut store, &t, 8, 2, 2, 0.0, &mut rng);
+        let labels = Rc::new(vec![0usize, 1, 1, 0]);
+        let x0 = Matrix::zeros(4, 1);
+        let eval_acc = |store: &ParamStore| {
+            let mut s = Session::eval(store);
+            let x = s.input(x0.clone());
+            let logits = m.forward(&mut s, x);
+            let pred = s.tape.value(logits).argmax_rows();
+            pred.iter().zip(labels.iter()).filter(|(p, t)| p == t).count()
+        };
+        for step in 0..300 {
+            let mut s = Session::train(&store, step);
+            let x = s.input(x0.clone());
+            let logits = m.forward(&mut s, x);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            for (id, gr) in s.backward(loss) {
+                store.get_mut(id).axpy(-0.3, &gr);
+            }
+        }
+        assert_eq!(eval_acc(&store), 4, "feature graph failed to fit XOR");
+    }
+
+    #[test]
+    fn learned_adjacency_learns_xor_and_emphasizes_interacting_pair() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        // add a third, irrelevant field
+        let t = Table::new(vec![
+            Column::categorical("f0", vec![0, 1, 0, 1, 0, 1, 0, 1], 2),
+            Column::categorical("f1", vec![0, 0, 1, 1, 0, 0, 1, 1], 2),
+            Column::categorical("noise", vec![0, 1, 1, 0, 1, 0, 0, 1], 2),
+        ]);
+        let m = FeatureGraphModel::with_adjacency(
+            &mut store, &t, 8, 2, 2, 0.0, FieldAdjacency::Learned, &mut rng,
+        );
+        let labels = Rc::new(vec![0usize, 1, 1, 0, 0, 1, 1, 0]);
+        let x0 = Matrix::zeros(8, 1);
+        for step in 0..300 {
+            let mut s = Session::train(&store, step);
+            let x = s.input(x0.clone());
+            let logits = m.forward(&mut s, x);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            for (id, gr) in s.backward(loss) {
+                store.get_mut(id).axpy(-0.3, &gr);
+            }
+        }
+        let mut s = Session::eval(&store);
+        let x = s.input(x0);
+        let logits = m.forward(&mut s, x);
+        let preds = s.tape.value(logits).argmax_rows();
+        let correct = preds.iter().zip(labels.iter()).filter(|(p, t)| p == t).count();
+        assert_eq!(correct, 8, "learned-adjacency feature graph failed XOR");
+        let adj = m.learned_field_adjacency(&store);
+        assert_eq!(adj.shape(), (3, 3));
+        // each destination row is a distribution
+        for r in 0..3 {
+            let sum: f32 = adj.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two categorical")]
+    fn needs_two_categoricals() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Table::new(vec![Column::categorical("only", vec![0, 1], 2)]);
+        FeatureGraphModel::new(&mut store, &t, 4, 1, 2, 0.0, &mut rng);
+    }
+}

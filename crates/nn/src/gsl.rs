@@ -1,0 +1,252 @@
+//! Learning-based graph structure learning models (survey Table 4):
+//! the neural edge scorer (SLAPS/TabGSL family) and the direct learnable
+//! adjacency (LDS/Table2Graph family). The metric-based family is the
+//! iterative embed-and-rebuild loop composed in the core crate.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use gnn4tdl_tensor::{init, Matrix, ParamId, ParamStore, Var};
+
+use crate::conv::NodeModel;
+use crate::linear::{Activation, Linear, Mlp};
+use crate::session::Session;
+
+/// Neural GSL: scores fixed candidate edges with an MLP over endpoint
+/// embeddings, normalizes scores per destination with segment softmax, and
+/// aggregates — the adjacency is *learned end-to-end* with the task loss.
+#[derive(Clone, Debug)]
+pub struct NeuralGslModel {
+    src: Rc<Vec<usize>>,
+    dst: Rc<Vec<usize>>,
+    n: usize,
+    embed: Mlp,
+    scorer: Mlp,
+    combine: Linear,
+    out_dim: usize,
+}
+
+impl NeuralGslModel {
+    /// `candidates` are directed `(src, dst)` pairs (include both directions
+    /// and self-loops for best behaviour); `dims = [in, hidden, out]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        n: usize,
+        candidates: &[(usize, usize)],
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "need candidate edges");
+        let mut src = Vec::with_capacity(candidates.len() + n);
+        let mut dst = Vec::with_capacity(candidates.len() + n);
+        for &(u, v) in candidates {
+            assert!(u < n && v < n, "candidate out of range");
+            src.push(u);
+            dst.push(v);
+        }
+        // always include self-loops so isolated rows stay well-defined
+        for u in 0..n {
+            src.push(u);
+            dst.push(u);
+        }
+        let embed = Mlp::new(store, "gsl.embed", &[in_dim, hidden, hidden], Activation::Relu, 0.0, rng);
+        let scorer = Mlp::new(store, "gsl.score", &[hidden * 2, hidden, 1], Activation::Relu, 0.0, rng);
+        let combine = Linear::new(store, "gsl.combine", hidden * 2, out_dim, rng);
+        Self { src: Rc::new(src), dst: Rc::new(dst), n, embed, scorer, combine, out_dim }
+    }
+
+    /// The learned edge weights (post-softmax) for inspection/sparsification;
+    /// returns `(src, dst, weight)` including the implicit self-loops.
+    pub fn learned_edges(&self, store: &ParamStore, x: &Matrix) -> Vec<(usize, usize, f32)> {
+        let mut s = Session::eval(store);
+        let xv = s.input(x.clone());
+        let (_, alpha) = self.attention(&mut s, xv);
+        let w = s.tape.value(alpha);
+        self.src
+            .iter()
+            .zip(self.dst.iter())
+            .enumerate()
+            .map(|(e, (&u, &v))| (u, v, w.get(e, 0)))
+            .collect()
+    }
+
+    fn attention(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {
+        let z = self.embed.forward(s, x);
+        let zu = s.tape.gather_rows(z, Rc::clone(&self.src));
+        let zv = s.tape.gather_rows(z, Rc::clone(&self.dst));
+        let cat = s.tape.concat_cols(zu, zv);
+        let raw = self.scorer.forward(s, cat);
+        let alpha = s.tape.segment_softmax(raw, Rc::clone(&self.dst), self.n);
+        (z, alpha)
+    }
+}
+
+impl NodeModel for NeuralGslModel {
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        let (z, alpha) = self.attention(s, x);
+        let messages = s.tape.gather_rows(z, Rc::clone(&self.src));
+        let weighted = s.tape.mul_col(messages, alpha);
+        let agg = s.tape.scatter_add_rows(weighted, Rc::clone(&self.dst), self.n);
+        let cat = s.tape.concat_cols(z, agg);
+        self.combine.forward(s, cat)
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Direct GSL: the `n x n` adjacency is itself a parameter, row-softmaxed
+/// into a stochastic propagation matrix and used densely. Quadratic in `n`,
+/// as the survey notes — intended for small tables.
+#[derive(Clone, Debug)]
+pub struct DirectGslModel {
+    adjacency: ParamId,
+    l1: Linear,
+    l2: Linear,
+    out_dim: usize,
+}
+
+impl DirectGslModel {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        n: usize,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let adjacency = store.add("direct.adj", init::normal_scaled(n, n, 0.1, rng));
+        // each layer sees [own features ; learned-adjacency aggregation], so
+        // the model is useful even while the adjacency is still uniform
+        let l1 = Linear::new(store, "direct.l1", in_dim * 2, hidden, rng);
+        let l2 = Linear::new(store, "direct.l2", hidden * 2, out_dim, rng);
+        Self { adjacency, l1, l2, out_dim }
+    }
+
+    /// The adjacency parameter's id (bi-level training updates it on the
+    /// validation objective while the weights update on the training one).
+    pub fn adjacency_id(&self) -> ParamId {
+        self.adjacency
+    }
+
+    /// The learned (row-softmaxed) dense adjacency.
+    pub fn learned_adjacency(&self, store: &ParamStore) -> Matrix {
+        let mut s = Session::eval(store);
+        let a = s.p(self.adjacency);
+        let soft = s.tape.softmax_rows(a);
+        s.tape.value(soft).clone()
+    }
+}
+
+impl NodeModel for DirectGslModel {
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        let a = s.p(self.adjacency);
+        let soft = s.tape.softmax_rows(a);
+        let agg1 = s.tape.matmul(soft, x);
+        let in1 = s.tape.concat_cols(x, agg1);
+        let h1 = self.l1.forward(s, in1);
+        let h1 = s.tape.relu(h1);
+        let agg2 = s.tape.matmul(soft, h1);
+        let in2 = s.tape.concat_cols(h1, agg2);
+        self.l2.forward(s, in2)
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn neural_gsl_shapes_and_weights() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cands = vec![(0, 1), (1, 0), (1, 2), (2, 1)];
+        let m = NeuralGslModel::new(&mut store, 3, &cands, 4, 8, 2, &mut rng);
+        let x = Matrix::full(3, 4, 0.5);
+        let mut s = Session::eval(&store);
+        let xv = s.input(x.clone());
+        let y = m.forward(&mut s, xv);
+        assert_eq!(s.tape.value(y).shape(), (3, 2));
+        // learned weights sum to 1 per destination
+        let edges = m.learned_edges(&store, &x);
+        let mut per_dst = [0f32; 3];
+        for &(_, v, w) in &edges {
+            per_dst[v] += w;
+        }
+        for w in per_dst {
+            assert!((w - 1.0).abs() < 1e-5, "softmax mass {w}");
+        }
+    }
+
+    #[test]
+    fn neural_gsl_learns_to_separate() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands = vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (2, 1)];
+        let m = NeuralGslModel::new(&mut store, 4, &cands, 2, 8, 2, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.9, -0.1]]);
+        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let eval = |store: &ParamStore| {
+            let mut s = Session::eval(store);
+            let xv = s.input(x.clone());
+            let logits = m.forward(&mut s, xv);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            s.tape.value(loss).get(0, 0)
+        };
+        let before = eval(&store);
+        for step in 0..60 {
+            let mut s = Session::train(&store, step);
+            let xv = s.input(x.clone());
+            let logits = m.forward(&mut s, xv);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            for (id, gr) in s.backward(loss) {
+                store.get_mut(id).axpy(-0.1, &gr);
+            }
+        }
+        assert!(eval(&store) < before * 0.5);
+    }
+
+    #[test]
+    fn direct_gsl_adjacency_is_stochastic() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DirectGslModel::new(&mut store, 5, 3, 8, 2, &mut rng);
+        let a = m.learned_adjacency(&store);
+        assert_eq!(a.shape(), (5, 5));
+        for r in 0..5 {
+            let s: f32 = a.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn direct_gsl_trains_adjacency() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DirectGslModel::new(&mut store, 4, 2, 8, 2, &mut rng);
+        let before_adj = m.learned_adjacency(&store);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.9, -0.1]]);
+        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        for step in 0..40 {
+            let mut s = Session::train(&store, step);
+            let xv = s.input(x.clone());
+            let logits = m.forward(&mut s, xv);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            for (id, gr) in s.backward(loss) {
+                store.get_mut(id).axpy(-0.2, &gr);
+            }
+        }
+        let after_adj = m.learned_adjacency(&store);
+        assert!(before_adj.max_abs_diff(&after_adj) > 1e-4, "adjacency never moved");
+    }
+}

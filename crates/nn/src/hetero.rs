@@ -1,0 +1,239 @@
+//! HAN-lite heterogeneous GNN over entity-value graphs: instances exchange
+//! messages with categorical-value entity nodes through typed relations,
+//! and a semantic (relation-level) attention learns which relations matter
+//! — the simplified essence of HAN's two-level attention (node-level
+//! attention degenerates to a mean because each relation's neighborhood is
+//! single-typed here).
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use gnn4tdl_graph::{EdgeTypeId, HeteroGraph, NodeTypeId};
+use gnn4tdl_tensor::{init, Matrix, ParamId, ParamStore, SpAdj, Var};
+
+use crate::conv::NodeModel;
+use crate::linear::Linear;
+use crate::session::Session;
+
+struct RelationBlock {
+    /// entity <- instance aggregation.
+    ent_from_inst: Rc<SpAdj>,
+    /// instance <- entity aggregation.
+    inst_from_ent: Rc<SpAdj>,
+    /// Updates entity state from aggregated instance state.
+    ent_lin: Linear,
+    /// Maps aggregated entity state into an instance message.
+    msg_lin: Linear,
+    /// Learnable embedding table for this relation's entity nodes.
+    ent_embedding: ParamId,
+}
+
+/// Heterogeneous encoder for graphs built by
+/// `gnn4tdl_construct::hetero_from_categorical`: one relation per
+/// categorical column, entity nodes per value.
+pub struct HeteroModel {
+    proj_inst: Linear,
+    self_lin: Linear,
+    relations: Vec<RelationBlock>,
+    /// Semantic attention: score_r = mean(tanh(msg_r) q).
+    att_q: ParamId,
+    rounds: usize,
+    hidden: usize,
+}
+
+impl HeteroModel {
+    /// Builds from the heterogeneous graph; `instances` is the instance node
+    /// type, every relation out of it is used.
+    ///
+    /// # Panics
+    /// Panics if the graph has no relations out of `instances`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &HeteroGraph,
+        instances: NodeTypeId,
+        in_dim: usize,
+        hidden: usize,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(rounds >= 1, "need at least one round");
+        let edge_types: Vec<EdgeTypeId> = graph
+            .edge_type_ids()
+            .filter(|&e| graph.edge_endpoints(e).0 == instances)
+            .collect();
+        assert!(!edge_types.is_empty(), "no relations out of the instance type");
+        let proj_inst = Linear::new(store, "hetero.proj", in_dim, hidden, rng);
+        let self_lin = Linear::new(store, "hetero.self", hidden, hidden, rng);
+        let relations = edge_types
+            .iter()
+            .map(|&e| {
+                let (_, ent_type) = graph.edge_endpoints(e);
+                let name = graph.edge_type_name(e).to_string();
+                RelationBlock {
+                    ent_from_inst: graph.mean_agg(e),
+                    inst_from_ent: graph.mean_agg_reverse(e),
+                    ent_lin: Linear::new(store, &format!("hetero.{name}.ent"), hidden * 2, hidden, rng),
+                    msg_lin: Linear::new(store, &format!("hetero.{name}.msg"), hidden, hidden, rng),
+                    ent_embedding: store.add(
+                        format!("hetero.{name}.embedding"),
+                        init::normal_scaled(graph.node_count(ent_type), hidden, 0.2, rng),
+                    ),
+                }
+            })
+            .collect();
+        let att_q = store.add("hetero.att_q", init::normal_scaled(hidden, 1, 0.2, rng));
+        Self { proj_inst, self_lin, relations, att_q, rounds, hidden }
+    }
+
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The semantic attention weights over relations for the current
+    /// parameters (diagnostic; eval mode).
+    pub fn relation_attention(&self, store: &ParamStore, x: &Matrix) -> Vec<f32> {
+        let mut s = Session::eval(store);
+        let xv = s.input(x.clone());
+        let (_, beta) = self.forward_with_attention(&mut s, xv);
+        let b = s.tape.value(beta);
+        (0..b.cols()).map(|c| b.get(0, c)).collect()
+    }
+
+    fn forward_with_attention(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {
+        let n = s.tape.value(x).rows();
+        let mut h_inst = self.proj_inst.forward(s, x);
+        h_inst = s.tape.relu(h_inst);
+        let mut h_ents: Vec<Var> = self.relations.iter().map(|r| s.p(r.ent_embedding)).collect();
+        let ones = s.input(Matrix::full(n, 1, 1.0));
+        let mut beta_out = None;
+        for _ in 0..self.rounds {
+            // entity update: see the instances pointing at each entity
+            let mut messages = Vec::with_capacity(self.relations.len());
+            let mut scores = Vec::with_capacity(self.relations.len());
+            for (r, rel) in self.relations.iter().enumerate() {
+                let inst_agg = s.tape.spmm(&rel.ent_from_inst, h_inst);
+                let cat = s.tape.concat_cols(h_ents[r], inst_agg);
+                let upd = rel.ent_lin.forward(s, cat);
+                h_ents[r] = s.tape.relu(upd);
+                // instance-bound message
+                let ent_agg = s.tape.spmm(&rel.inst_from_ent, h_ents[r]);
+                let msg = rel.msg_lin.forward(s, ent_agg);
+                let msg = s.tape.relu(msg);
+                // semantic score: mean over instances of tanh(msg) q
+                let t = s.tape.tanh(msg);
+                let q = s.p(self.att_q);
+                let per_node = s.tape.matmul(t, q); // n x 1
+                let score = s.tape.mean_all(per_node); // 1 x 1
+                messages.push(msg);
+                scores.push(score);
+            }
+            // softmax over relation scores
+            let mut stacked = scores[0];
+            for &sc in &scores[1..] {
+                stacked = s.tape.concat_cols(stacked, sc);
+            }
+            let beta = s.tape.softmax_rows(stacked); // 1 x R
+            beta_out = Some(beta);
+            // weighted sum of relation messages + self path
+            let mut acc = self.self_lin.forward(s, h_inst);
+            for (r, &msg) in messages.iter().enumerate() {
+                // broadcast beta_r to a column: ones(n x 1) * beta[0, r]
+                let beta_t = s.tape.transpose(beta); // R x 1
+                let idx = Rc::new(vec![r]);
+                let beta_r = s.tape.gather_rows(beta_t, idx); // 1 x 1
+                let col = s.tape.matmul(ones, beta_r); // n x 1
+                let weighted = s.tape.mul_col(msg, col);
+                acc = s.tape.add(acc, weighted);
+            }
+            h_inst = s.tape.relu(acc);
+        }
+        (h_inst, beta_out.expect("at least one round"))
+    }
+}
+
+impl NodeModel for HeteroModel {
+    fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        self.forward_with_attention(s, x).0
+    }
+
+    fn out_dim(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> (HeteroGraph, NodeTypeId) {
+        let mut g = HeteroGraph::new();
+        let inst = g.add_node_type("instance", 4);
+        let dev = g.add_node_type("device", 2);
+        let merch = g.add_node_type("merchant", 3);
+        g.add_edge_type("has_device", inst, dev, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0), (3, 1, 1.0)]);
+        g.add_edge_type("has_merchant", inst, merch, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 0, 1.0)]);
+        (g, inst)
+    }
+
+    #[test]
+    fn shapes_and_attention_simplex() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (g, inst) = graph();
+        let m = HeteroModel::new(&mut store, &g, inst, 3, 8, 2, &mut rng);
+        assert_eq!(m.num_relations(), 2);
+        let x = Matrix::full(4, 3, 0.5);
+        let mut s = Session::eval(&store);
+        let xv = s.input(x.clone());
+        let y = m.forward(&mut s, xv);
+        assert_eq!(s.tape.value(y).shape(), (4, 8));
+        let att = m.relation_attention(&store, &x);
+        assert_eq!(att.len(), 2);
+        assert!((att.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(att.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn learns_device_driven_labels_and_attends_to_device() {
+        // label = device id; merchant is noise. After training, the device
+        // relation should carry more attention than the merchant relation.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, inst) = graph();
+        let m = HeteroModel::new(&mut store, &g, inst, 2, 8, 2, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
+        let x = Matrix::full(4, 2, 1.0); // features carry nothing
+        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let mut opt_losses = Vec::new();
+        for step in 0..150 {
+            let mut s = Session::train(&store, step);
+            let xv = s.input(x.clone());
+            let emb = m.forward(&mut s, xv);
+            let logits = head.forward(&mut s, emb);
+            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            opt_losses.push(s.tape.value(loss).get(0, 0));
+            for (id, gr) in s.backward(loss) {
+                store.get_mut(id).axpy(-0.1, &gr);
+            }
+        }
+        assert!(opt_losses.last().unwrap() < &0.2, "did not fit: {:?}", opt_losses.last());
+        let att = m.relation_attention(&store, &x);
+        assert!(
+            att[0] > att[1],
+            "device relation should dominate attention: {att:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no relations")]
+    fn no_relations_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = HeteroGraph::new();
+        let inst = g.add_node_type("instance", 2);
+        HeteroModel::new(&mut store, &g, inst, 2, 4, 1, &mut rng);
+    }
+}

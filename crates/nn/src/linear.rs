@@ -1,0 +1,197 @@
+//! Dense layers: [`Linear`] and [`Mlp`], the building blocks every encoder
+//! shares (and the survey's baseline deep-tabular model).
+
+use rand::Rng;
+
+use gnn4tdl_tensor::{init, Matrix, ParamId, ParamStore, Var};
+
+use crate::session::Session;
+
+/// Activation functions applied between layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    /// Leaky ReLU with slope 0.2.
+    LeakyRelu,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    pub fn apply(self, s: &mut Session<'_>, x: Var) -> Var {
+        match self {
+            Activation::Relu => s.tape.relu(x),
+            Activation::Tanh => s.tape.tanh(x),
+            Activation::LeakyRelu => s.tape.leaky_relu(x, 0.2),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Affine map `x W + b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Glorot-initialized linear layer with bias.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let w = store.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, rng));
+        let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self { w, b: Some(b), in_dim, out_dim }
+    }
+
+    /// Linear layer without bias (used where several branches sum before a
+    /// shared bias, e.g. GraphSAGE's self/neighbor paths).
+    pub fn new_no_bias<R: Rng>(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let w = store.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, rng));
+        Self { w, b: None, in_dim, out_dim }
+    }
+
+    pub fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        let w = s.p(self.w);
+        let h = s.tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bias = s.p(b);
+                s.tape.add_row(h, bias)
+            }
+            None => h,
+        }
+    }
+
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+}
+
+/// A multilayer perceptron with a shared hidden activation and optional
+/// dropout between layers. The final layer has no activation (logits).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    dropout: f32,
+}
+
+impl Mlp {
+    /// `dims` is the full chain `[in, hidden..., out]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers, activation, dropout }
+    }
+
+    pub fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(s, h);
+            if i < last {
+                h = self.activation.apply(s, h);
+                h = s.dropout(h, self.dropout);
+            }
+        }
+        h
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "lin", 4, 3, &mut rng);
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::zeros(5, 4));
+        let y = lin.forward(&mut s, x);
+        assert_eq!(s.tape.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn linear_zero_input_outputs_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, "lin", 2, 2, &mut rng);
+        // set bias to a known value
+        let bias_id = store.ids().nth(1).unwrap();
+        store.set(bias_id, Matrix::from_rows(&[vec![1.5, -2.0]]));
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::zeros(3, 2));
+        let y = lin.forward(&mut s, x);
+        for r in 0..3 {
+            assert_eq!(s.tape.value(y).row(r), &[1.5, -2.0]);
+        }
+    }
+
+    #[test]
+    fn mlp_learns_sign_task() {
+        // single step sanity: loss decreases under manual gradient descent
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&mut store, "mlp", &[2, 8, 2], Activation::Relu, 0.0, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        let labels = std::rc::Rc::new(vec![0usize, 1, 0, 1]);
+
+        let loss_value = |store: &ParamStore| {
+            let mut s = Session::eval(store);
+            let xv = s.input(x.clone());
+            let logits = mlp.forward(&mut s, xv);
+            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            s.tape.value(loss).get(0, 0)
+        };
+        let before = loss_value(&store);
+        for step in 0..50 {
+            let mut s = Session::train(&store, step);
+            let xv = s.input(x.clone());
+            let logits = mlp.forward(&mut s, xv);
+            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let grads = s.backward(loss);
+            for (id, g) in grads {
+                store.get_mut(id).axpy(-0.5, &g);
+            }
+        }
+        let after = loss_value(&store);
+        assert!(after < before * 0.5, "loss did not decrease: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_needs_two_dims() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        Mlp::new(&mut store, "bad", &[4], Activation::Relu, 0.0, &mut rng);
+    }
+}

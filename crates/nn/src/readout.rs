@@ -1,0 +1,140 @@
+//! Graph-level readout (survey Section 2.3): permutation-invariant pooling
+//! of node embeddings into segment (graph/instance) representations —
+//! what feature-graph models use to turn per-field embeddings into one
+//! instance vector.
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{Matrix, Var};
+
+use crate::session::Session;
+
+/// Pooling function for segment readout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Readout {
+    /// Mean over segment members.
+    Mean,
+    /// Sum over segment members.
+    Sum,
+    /// Element-wise max over segment members.
+    Max,
+}
+
+impl Readout {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Readout::Mean => "mean",
+            Readout::Sum => "sum",
+            Readout::Max => "max",
+        }
+    }
+}
+
+/// Pools rows of `h` into `n_segments` outputs according to `segment`
+/// membership. All three variants are differentiable tape ops.
+pub fn segment_readout(
+    s: &mut Session<'_>,
+    h: Var,
+    segment: &Rc<Vec<usize>>,
+    n_segments: usize,
+    readout: Readout,
+) -> Var {
+    match readout {
+        Readout::Sum => s.tape.scatter_add_rows(h, Rc::clone(segment), n_segments),
+        Readout::Max => s.tape.scatter_max_rows(h, Rc::clone(segment), n_segments),
+        Readout::Mean => {
+            let summed = s.tape.scatter_add_rows(h, Rc::clone(segment), n_segments);
+            let mut counts = vec![0f32; n_segments];
+            for &g in segment.iter() {
+                counts[g] += 1.0;
+            }
+            let inv: Vec<f32> = counts.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
+            let col = s.input(Matrix::col_vector(&inv));
+            s.tape.mul_col(summed, col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_tensor::ParamStore;
+
+    fn setup() -> (ParamStore, Matrix, Rc<Vec<usize>>) {
+        let store = ParamStore::new();
+        let h = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, -6.0],
+        ]);
+        let segment = Rc::new(vec![0usize, 0, 1]);
+        (store, h, segment)
+    }
+
+    #[test]
+    fn sum_readout() {
+        let (store, h, seg) = setup();
+        let mut s = Session::eval(&store);
+        let hv = s.input(h);
+        let out = segment_readout(&mut s, hv, &seg, 2, Readout::Sum);
+        let v = s.tape.value(out);
+        assert_eq!(v.row(0), &[4.0, 6.0]);
+        assert_eq!(v.row(1), &[5.0, -6.0]);
+    }
+
+    #[test]
+    fn mean_readout_divides_by_segment_size() {
+        let (store, h, seg) = setup();
+        let mut s = Session::eval(&store);
+        let hv = s.input(h);
+        let out = segment_readout(&mut s, hv, &seg, 2, Readout::Mean);
+        let v = s.tape.value(out);
+        assert_eq!(v.row(0), &[2.0, 3.0]);
+        assert_eq!(v.row(1), &[5.0, -6.0]);
+    }
+
+    #[test]
+    fn max_readout_elementwise() {
+        let (store, h, seg) = setup();
+        let mut s = Session::eval(&store);
+        let hv = s.input(h);
+        let out = segment_readout(&mut s, hv, &seg, 2, Readout::Max);
+        let v = s.tape.value(out);
+        assert_eq!(v.row(0), &[3.0, 4.0]);
+        assert_eq!(v.row(1), &[5.0, -6.0]);
+    }
+
+    #[test]
+    fn empty_segment_is_zero_for_all_readouts() {
+        let (store, h, _) = setup();
+        let seg = Rc::new(vec![0usize, 0, 0]); // segment 1 empty
+        for r in [Readout::Mean, Readout::Sum, Readout::Max] {
+            let mut s = Session::eval(&store);
+            let hv = s.input(h.clone());
+            let out = segment_readout(&mut s, hv, &seg, 2, r);
+            assert_eq!(s.tape.value(out).row(1), &[0.0, 0.0], "{} readout", r.name());
+        }
+    }
+
+    #[test]
+    fn readout_is_permutation_invariant() {
+        // permuting members within a segment leaves the pooled value alone
+        let (store, _, _) = setup();
+        let seg = Rc::new(vec![0usize, 0, 0]);
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let b = Matrix::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]);
+        for r in [Readout::Mean, Readout::Sum, Readout::Max] {
+            let mut s1 = Session::eval(&store);
+            let h1 = s1.input(a.clone());
+            let o1 = segment_readout(&mut s1, h1, &seg, 1, r);
+            let mut s2 = Session::eval(&store);
+            let h2 = s2.input(b.clone());
+            let o2 = segment_readout(&mut s2, h2, &seg, 1, r);
+            assert!(
+                s1.tape.value(o1).max_abs_diff(s2.tape.value(o2)) < 1e-6,
+                "{} readout not permutation invariant",
+                r.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Forward-pass sessions: bind a [`ParamStore`] to a fresh autodiff tape.
+//!
+//! A [`Session`] is created per training/evaluation step. Layers request
+//! their parameters with [`Session::p`], which lazily injects the current
+//! value as a trainable tape leaf (or a constant in evaluation mode, saving
+//! backward work). Dropout is a no-op outside training.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn4tdl_tensor::{init, Gradients, Matrix, ParamId, ParamStore, Tape, Var};
+
+/// One forward (and optionally backward) pass over a model.
+pub struct Session<'s> {
+    pub tape: Tape,
+    store: &'s ParamStore,
+    bound: Vec<Option<Var>>,
+    bound_ids: Vec<(ParamId, Var)>,
+    rng: StdRng,
+    training: bool,
+}
+
+impl<'s> Session<'s> {
+    /// Training-mode session; `seed` drives dropout masks.
+    pub fn train(store: &'s ParamStore, seed: u64) -> Self {
+        Self::new(store, seed, true)
+    }
+
+    /// Evaluation-mode session: dropout disabled, parameters inserted as
+    /// constants so backward never runs over them.
+    pub fn eval(store: &'s ParamStore) -> Self {
+        Self::new(store, 0, false)
+    }
+
+    fn new(store: &'s ParamStore, seed: u64, training: bool) -> Self {
+        Self {
+            tape: Tape::new(),
+            store,
+            bound: vec![None; store.len()],
+            bound_ids: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            training,
+        }
+    }
+
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// The tape variable for a parameter, binding it on first use.
+    pub fn p(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bound[id.index()] {
+            return v;
+        }
+        let value = self.store.get(id).clone();
+        let v = if self.training { self.tape.param(value) } else { self.tape.constant(value) };
+        self.bound[id.index()] = Some(v);
+        self.bound_ids.push((id, v));
+        v
+    }
+
+    /// Inserts input data as a constant.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.tape.constant(value)
+    }
+
+    /// Inverted dropout; identity when not training or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32) -> Var {
+        if !self.training || p == 0.0 {
+            return x;
+        }
+        let len = self.tape.value(x).len();
+        let mask = Rc::new(init::dropout_mask(len, p, &mut self.rng));
+        self.tape.dropout(x, mask)
+    }
+
+    /// Runs backward from `loss` and returns `(ParamId, gradient)` pairs for
+    /// every bound parameter that received a gradient.
+    pub fn backward(&mut self, loss: Var) -> Vec<(ParamId, Matrix)> {
+        let mut grads: Gradients = self.tape.backward(loss);
+        let mut out = Vec::new();
+        for &(id, var) in &self.bound_ids {
+            if let Some(g) = grads.take(var) {
+                out.push((id, g));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_bound_once() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 2.0));
+        let mut s = Session::train(&store, 0);
+        let a = s.p(w);
+        let b = s.p(w);
+        assert_eq!(a, b);
+        assert_eq!(s.tape.len(), 1);
+    }
+
+    #[test]
+    fn backward_returns_param_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 3.0));
+        let mut s = Session::train(&store, 0);
+        let wv = s.p(w);
+        let sq = s.tape.square(wv);
+        let loss = s.tape.sum_all(sq);
+        let grads = s.backward(loss);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+        assert!((grads[0].1.get(0, 0) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_mode_params_get_no_grad() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 3.0));
+        let mut s = Session::eval(&store);
+        let wv = s.p(w);
+        let sq = s.tape.square(wv);
+        let loss = s.tape.sum_all(sq);
+        let grads = s.backward(loss);
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn dropout_noop_in_eval() {
+        let store = ParamStore::new();
+        let mut s = Session::eval(&store);
+        let x = s.input(Matrix::full(2, 2, 1.0));
+        let d = s.dropout(x, 0.9);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn dropout_active_in_train() {
+        let store = ParamStore::new();
+        let mut s = Session::train(&store, 7);
+        let x = s.input(Matrix::full(10, 10, 1.0));
+        let d = s.dropout(x, 0.5);
+        assert_ne!(d, x);
+        let v = s.tape.value(d);
+        let zeros = v.data().iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros > 10, "expected some dropped entries, got {zeros}");
+    }
+}

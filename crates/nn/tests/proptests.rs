@@ -1,0 +1,121 @@
+//! Property-based robustness tests: every encoder must produce finite,
+//! correctly-shaped output on arbitrary graphs (including graphs with
+//! isolated nodes, self-loops, and duplicate edges) and arbitrary feature
+//! values — the survey's structural-noise robustness concern at the layer
+//! level.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn4tdl_graph::Graph;
+use gnn4tdl_nn::{
+    GatModel, GcnModel, GgnnModel, GinModel, NodeModel, SageAggregator, SageModel, Session,
+};
+use gnn4tdl_tensor::{Matrix, ParamStore};
+
+#[derive(Clone, Debug)]
+struct Case {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    features: Vec<f32>,
+    d: usize,
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (3usize..12, 1usize..5).prop_flat_map(|(n, d)| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 3));
+        let features = proptest::collection::vec(-10.0f32..10.0, n * d);
+        (edges, features).prop_map(move |(edges, features)| Case { n, edges, features, d })
+    })
+}
+
+fn run_encoder(build: impl FnOnce(&mut ParamStore, &Graph, usize, &mut StdRng) -> Box<dyn NodeModel>, c: &Case) -> Matrix {
+    let graph = Graph::from_edges(c.n, &c.edges, true);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = build(&mut store, &graph, c.d, &mut rng);
+    let mut s = Session::eval(&store);
+    let x = s.input(Matrix::from_vec(c.n, c.d, c.features.clone()));
+    let y = model.forward(&mut s, x);
+    s.tape.value(y).clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gcn_is_total_on_arbitrary_graphs(c in case()) {
+        let out = run_encoder(
+            |store, g, d, rng| Box::new(GcnModel::new(store, g, &[d, 4, 3], 0.0, rng)),
+            &c,
+        );
+        prop_assert_eq!(out.shape(), (c.n, 3));
+        prop_assert!(out.all_finite());
+    }
+
+    #[test]
+    fn sage_both_aggregators_are_total(c in case()) {
+        for agg in [SageAggregator::Mean, SageAggregator::MaxPool] {
+            let out = run_encoder(
+                |store, g, d, rng| {
+                    Box::new(SageModel::with_aggregator(store, g, &[d, 4, 3], 0.0, agg, rng))
+                },
+                &c,
+            );
+            prop_assert_eq!(out.shape(), (c.n, 3));
+            prop_assert!(out.all_finite(), "{agg:?} produced non-finite values");
+        }
+    }
+
+    #[test]
+    fn gin_is_total_on_arbitrary_graphs(c in case()) {
+        let out = run_encoder(
+            |store, g, d, rng| Box::new(GinModel::new(store, g, &[d, 4, 3], 0.0, rng)),
+            &c,
+        );
+        prop_assert_eq!(out.shape(), (c.n, 3));
+        prop_assert!(out.all_finite());
+    }
+
+    #[test]
+    fn gat_is_total_on_arbitrary_graphs(c in case()) {
+        let out = run_encoder(
+            |store, g, d, rng| Box::new(GatModel::new(store, g, &[d, 4, 3], 2, 0.0, rng)),
+            &c,
+        );
+        prop_assert_eq!(out.shape(), (c.n, 3));
+        prop_assert!(out.all_finite());
+    }
+
+    #[test]
+    fn ggnn_is_total_and_bounded(c in case()) {
+        let out = run_encoder(
+            |store, g, d, rng| Box::new(GgnnModel::new(store, g, d, 4, 3, 0.0, rng)),
+            &c,
+        );
+        prop_assert_eq!(out.shape(), (c.n, 4));
+        prop_assert!(out.all_finite());
+        // GRU interpolation of tanh candidates keeps the state in (-1, 1)
+        prop_assert!(out.data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn one_train_step_keeps_params_finite(c in case()) {
+        use std::rc::Rc;
+        let graph = Graph::from_edges(c.n, &c.edges, true);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let model = GcnModel::new(&mut store, &graph, &[c.d, 4, 2], 0.0, &mut rng);
+        let labels = Rc::new((0..c.n).map(|i| i % 2).collect::<Vec<usize>>());
+        let mut s = Session::train(&store, 0);
+        let x = s.input(Matrix::from_vec(c.n, c.d, c.features.clone()));
+        let y = model.forward(&mut s, x);
+        let loss = s.tape.softmax_cross_entropy(y, labels, None);
+        for (id, g) in s.backward(loss) {
+            prop_assert!(g.all_finite(), "non-finite gradient");
+            store.get_mut(id).axpy(-0.01, &g);
+            prop_assert!(store.get(id).all_finite(), "non-finite parameter after step");
+        }
+    }
+}

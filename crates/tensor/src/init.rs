@@ -1,0 +1,89 @@
+//! Weight initializers and stochastic masks.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for linear and GNN weight
+/// matrices.
+pub fn glorot_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`. Preferred in
+/// front of ReLU activations.
+pub fn he_normal<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::randn(fan_in, fan_out, 0.0, std, rng)
+}
+
+/// Small-scale normal initialization used for attention vectors and
+/// embedding tables.
+pub fn normal_scaled<R: Rng>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+    Matrix::randn(rows, cols, 0.0, std, rng)
+}
+
+/// Samples an inverted-dropout mask: each entry is `0` with probability `p`
+/// and `1/(1-p)` otherwise, so expected activation scale is preserved.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1)`.
+pub fn dropout_mask<R: Rng>(len: usize, p: f32, rng: &mut R) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+    if p == 0.0 {
+        return vec![1.0; len];
+    }
+    let keep = 1.0 / (1.0 - p);
+    (0..len).map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = glorot_uniform(64, 32, &mut rng);
+        let a = (6.0 / 96.0f32).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+        assert_eq!(w.shape(), (64, 32));
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_normal(100, 100, &mut rng);
+        let std = (w.data().iter().map(|&x| x * x).sum::<f32>() / w.len() as f32).sqrt();
+        assert!((std - (0.02f32).sqrt()).abs() < 0.02);
+    }
+
+    #[test]
+    fn dropout_mask_rate_and_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mask = dropout_mask(10_000, 0.3, &mut rng);
+        let zeros = mask.iter().filter(|&&x| x == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!(mask.iter().all(|&x| x == 0.0 || (x - 1.0 / 0.7).abs() < 1e-6));
+        // expected value preserved
+        let mean: f32 = mask.iter().sum::<f32>() / mask.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(dropout_mask(16, 0.0, &mut rng).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_invalid_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        dropout_mask(4, 1.0, &mut rng);
+    }
+}

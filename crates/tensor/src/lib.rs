@@ -1,0 +1,19 @@
+//! # gnn4tdl-tensor
+//!
+//! Dense matrices, CSR sparse matrices, and a reverse-mode autodiff tape —
+//! the numeric substrate for the `gnn4tdl` workspace (a from-scratch Rust
+//! reproduction of the GNN-for-Tabular-Data-Learning pipeline).
+//!
+//! Everything is CPU `f32`; determinism comes from explicit `rand` RNGs
+//! threaded through every stochastic routine.
+
+pub mod init;
+pub mod matrix;
+pub mod params;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use params::{ParamId, ParamStore};
+pub use sparse::CsrMatrix;
+pub use tape::{Gradients, SpAdj, Tape, Var};

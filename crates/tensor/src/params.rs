@@ -1,0 +1,298 @@
+//! Named parameter storage shared across training steps.
+//!
+//! Training is functional: each step builds a fresh [`crate::tape::Tape`] and
+//! injects the current parameter values as leaves. The [`ParamStore`] owns the
+//! canonical values between steps; optimizers mutate it in place using the
+//! gradients read back from the tape.
+
+use crate::matrix::Matrix;
+
+/// Stable handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns all trainable matrices of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle. Names are for debugging
+    /// and need not be unique, though unique names make reports readable.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    pub fn set(&mut self, id: ParamId, value: Matrix) {
+        assert_eq!(
+            self.values[id.0].shape(),
+            value.shape(),
+            "parameter {} shape change",
+            self.names[id.0]
+        );
+        self.values[id.0] = value;
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// The id of the parameter at a given registration index. Indices are
+    /// stable (parameters are never removed), so callers can diff
+    /// [`ParamStore::len`] before/after building a module to collect the
+    /// module's parameter group.
+    pub fn id_at(&self, index: usize) -> ParamId {
+        assert!(index < self.values.len(), "parameter index out of range");
+        ParamId(index)
+    }
+
+    /// Ids registered at or after `start` (a prior [`ParamStore::len`]).
+    pub fn ids_since(&self, start: usize) -> Vec<ParamId> {
+        (start..self.values.len()).map(ParamId).collect()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Sum of squared weights (for L2 regularization reporting).
+    pub fn l2_norm_squared(&self) -> f32 {
+        self.values
+            .iter()
+            .map(|m| m.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum()
+    }
+
+    /// Deep copy of all parameter values (used by two-stage training to
+    /// snapshot the best model under early stopping).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.values.clone()
+    }
+
+    /// Restores values from a snapshot taken on the same store layout.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot layout mismatch");
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            assert_eq!(v.shape(), s.shape(), "snapshot shape mismatch");
+            *v = s.clone();
+        }
+    }
+
+    /// Serializes all parameters to a self-describing little-endian binary
+    /// format (`GTDL` magic, version, then name/shape/data per parameter).
+    /// Models are reconstructed by building the same architecture (which
+    /// re-registers identically-shaped parameters) and calling
+    /// [`ParamStore::load_bytes`].
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"GTDL");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u64).to_le_bytes());
+        for (value, name) in self.values.iter().zip(&self.names) {
+            let name_bytes = name.as_bytes();
+            out.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(name_bytes);
+            out.extend_from_slice(&(value.rows() as u64).to_le_bytes());
+            out.extend_from_slice(&(value.cols() as u64).to_le_bytes());
+            for &x in value.data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Saves to a file (see [`ParamStore::save_bytes`]).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.save_bytes())
+    }
+
+    /// Loads parameter values serialized by [`ParamStore::save_bytes`] into
+    /// this store. The store must already contain the same parameters in the
+    /// same order with the same names and shapes (build the model first).
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = *cur + n;
+            if end > bytes.len() {
+                return Err("truncated parameter file".into());
+            }
+            let s = &bytes[*cur..end];
+            *cur = end;
+            Ok(s)
+        };
+        if take(&mut cur, 4)? != b"GTDL" {
+            return Err("bad magic; not a gnn4tdl parameter file".into());
+        }
+        let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap());
+        if version != 1 {
+            return Err(format!("unsupported version {version}"));
+        }
+        let count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap()) as usize;
+        if count != self.values.len() {
+            return Err(format!("file has {count} parameters, store has {}", self.values.len()));
+        }
+        for i in 0..count {
+            let name_len = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut cur, name_len)?)
+                .map_err(|_| "invalid utf8 in parameter name".to_string())?
+                .to_string();
+            if name != self.names[i] {
+                return Err(format!("parameter {i} name mismatch: file '{name}', store '{}'", self.names[i]));
+            }
+            let rows = u64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap()) as usize;
+            let cols = u64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap()) as usize;
+            if (rows, cols) != self.values[i].shape() {
+                return Err(format!(
+                    "parameter '{name}' shape mismatch: file {rows}x{cols}, store {:?}",
+                    self.values[i].shape()
+                ));
+            }
+            let raw = take(&mut cur, rows * cols * 4)?;
+            let data: Vec<f32> = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            self.values[i] = Matrix::from_vec(rows, cols, data);
+        }
+        if cur != bytes.len() {
+            return Err("trailing bytes in parameter file".into());
+        }
+        Ok(())
+    }
+
+    /// Loads from a file (see [`ParamStore::load_bytes`]).
+    pub fn load(&mut self, path: &std::path::Path) -> Result<(), String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read failed: {e}"))?;
+        self.load_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        let b = store.add("b", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.num_weights(), 9);
+        store.set(b, Matrix::full(1, 3, 2.0));
+        assert_eq!(store.get(b).data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_shape_change_panics() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        store.set(w, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(2, 2, 1.0));
+        let snap = store.snapshot();
+        store.get_mut(w).data_mut()[0] = 42.0;
+        store.restore(&snap);
+        assert_eq!(store.get(w).data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::from_rows(&[vec![1.5, -2.25], vec![0.0, 4.0]]));
+        store.add("b", Matrix::from_rows(&[vec![0.125]]));
+        let bytes = store.save_bytes();
+
+        let mut fresh = ParamStore::new();
+        let w = fresh.add("w", Matrix::zeros(2, 2));
+        let b = fresh.add("b", Matrix::zeros(1, 1));
+        fresh.load_bytes(&bytes).unwrap();
+        assert_eq!(fresh.get(w).data(), &[1.5, -2.25, 0.0, 4.0]);
+        assert_eq!(fresh.get(b).data(), &[0.125]);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_layout() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::zeros(2, 2));
+        let bytes = store.save_bytes();
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.add("v", Matrix::zeros(2, 2));
+        assert!(wrong_name.load_bytes(&bytes).unwrap_err().contains("name mismatch"));
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("w", Matrix::zeros(2, 3));
+        assert!(wrong_shape.load_bytes(&bytes).unwrap_err().contains("shape mismatch"));
+
+        let mut wrong_count = ParamStore::new();
+        wrong_count.add("w", Matrix::zeros(2, 2));
+        wrong_count.add("extra", Matrix::zeros(1, 1));
+        assert!(wrong_count.load_bytes(&bytes).unwrap_err().contains("parameters"));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::zeros(1, 1));
+        assert!(store.load_bytes(b"nope").is_err());
+        assert!(store.load_bytes(b"GTDL").is_err()); // truncated
+    }
+
+    #[test]
+    fn l2_norm() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::full(1, 2, 3.0));
+        assert_eq!(store.l2_norm_squared(), 18.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Compressed sparse row (CSR) matrices for graph message passing.
+//!
+//! GNN aggregation is `A * H` where `A` is a (normalized) adjacency matrix and
+//! `H` is a dense feature matrix. Adjacencies from tabular graphs are sparse,
+//! so SpMM with a CSR layout is the hot path of the whole workspace.
+
+use crate::matrix::Matrix;
+
+/// A CSR sparse matrix of `f32`.
+///
+/// Invariants: `indptr.len() == rows + 1`, `indptr` is non-decreasing,
+/// `indices.len() == values.len() == indptr[rows]`, every column index is
+/// `< cols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from COO triplets. Duplicate entries are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        // Counting sort by row.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr_tmp = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0usize; triplets.len()];
+        let mut values = vec![0f32; triplets.len()];
+        for &(r, c, v) in triplets {
+            let pos = cursor[r];
+            indices[pos] = c;
+            values[pos] = v;
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_indptr = vec![0usize; rows + 1];
+        let mut out_indices = Vec::with_capacity(indices.len());
+        let mut out_values = Vec::with_capacity(values.len());
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        for r in 0..rows {
+            let (start, end) = (indptr_tmp[r], indptr_tmp[r + 1]);
+            scratch.clear();
+            scratch.extend(indices[start..end].iter().copied().zip(values[start..end].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for &(c, v) in &scratch {
+                if c == last_col {
+                    *out_values.last_mut().expect("dup after first") += v;
+                } else {
+                    out_indices.push(c);
+                    out_values.push(v);
+                    last_col = c;
+                }
+            }
+            out_indptr[r + 1] = out_indices.len();
+        }
+        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }
+    }
+
+    /// Builds directly from CSR components (validated).
+    pub fn from_parts(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<usize>, values: Vec<f32>) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminal");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert!(indices.iter().all(|&c| c < cols), "column index out of bounds");
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// An empty matrix with no stored entries.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// The identity as CSR.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Iterates over the `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+        self.indices[start..end].iter().copied().zip(self.values[start..end].iter().copied())
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Dense sparse-dense product `self * dense`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm shape mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for (c, v) in self.row_iter(r) {
+                let src = dense.row(c);
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse-vector product `self * v` for a dense vector.
+    pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, v.len(), "spmv shape mismatch");
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(c, val)| val * v[c]).sum())
+            .collect()
+    }
+
+    /// Transposed matrix as a new CSR.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let pos = cursor[c];
+                indices[pos] = r;
+                values[pos] = v;
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Materializes as dense (tests & tiny graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+
+    /// Out-degree (row sums of absolute support, i.e. stored entry count).
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Row sums of values.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| self.row_iter(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Returns a copy with each row's values scaled to sum to 1 (rows with
+    /// zero sum are left untouched). This is the random-walk normalization
+    /// `D^-1 A` used by mean-aggregation GNNs.
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let s: f32 = self.values[start..end].iter().sum();
+            if s != 0.0 {
+                let inv = 1.0 / s;
+                for v in &mut out.values[start..end] {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Symmetric GCN normalization `D^-1/2 (A) D^-1/2` over value row-sums.
+    ///
+    /// Only valid for square matrices; degrees are computed from value sums
+    /// of each row (callers typically pass an adjacency with self-loops
+    /// already added).
+    pub fn sym_normalized(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "sym_normalized requires a square matrix");
+        let sums = self.row_sums();
+        let inv_sqrt: Vec<f32> = sums
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            for k in start..end {
+                out.values[k] *= inv_sqrt[r] * inv_sqrt[self.indices[k]];
+            }
+        }
+        out
+    }
+
+    /// Adds self-loops with the given weight, returning a new matrix. If a
+    /// diagonal entry already exists, the weight is added to it.
+    pub fn with_self_loops(&self, weight: f32) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "self-loops require a square matrix");
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.nnz() + self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                triplets.push((r, c, v));
+            }
+            triplets.push((r, r, weight));
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// The COO edge list `(row, col, value)` of stored entries.
+    pub fn to_triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.push((r, c, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_triplets_layout() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.indptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.indices(), &[0, 2, 0, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.values(), &[3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_out_of_bounds_panics() {
+        CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.5], vec![3.0, -1.0]]);
+        let got = m.spmm(&x);
+        let want = m.to_dense().matmul(&x);
+        assert!(got.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let v = vec![1.0, -2.0, 0.5];
+        let got = m.spmv(&v);
+        assert_eq!(got, vec![2.0, 0.0, -5.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        assert!(t.to_dense().max_abs_diff(&m.to_dense().transpose()) < 1e-6);
+        assert_eq!(t.shape(), (3, 3));
+    }
+
+    #[test]
+    fn row_normalized_sums_to_one() {
+        let m = sample().row_normalized();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-6);
+        assert_eq!(sums[1], 0.0); // empty row untouched
+        assert!((sums[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sym_normalized_is_symmetric_for_symmetric_input() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        )
+        .with_self_loops(1.0)
+        .sym_normalized();
+        let d = m.to_dense();
+        assert!(d.max_abs_diff(&d.transpose()) < 1e-6);
+        // Known value for path graph with self loops: entry (0,1) = 1/sqrt(2*3).
+        assert!((d.get(0, 1) - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_self_loops_adds_diagonal() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 1, 2.0)]).with_self_loops(1.0);
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(CsrMatrix::identity(2).spmm(&x).max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = sample();
+        let again = CsrMatrix::from_triplets(3, 3, &m.to_triplets());
+        assert_eq!(m, again);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the tensor substrate: algebraic identities on
+//! random matrices, CSR/dense agreement, and finite-difference gradient
+//! checks on randomly-shaped composite functions.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape};
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f32)>> {
+    proptest::collection::vec((0..n, 0..n, -2.0f32..2.0), 0..(n * 3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        let back = m.transpose().transpose();
+        prop_assert!(back.max_abs_diff(&m) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(5),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::randn(a.cols(), 4, 0.0, 1.0, &mut rng);
+        let c = Matrix::randn(a.cols(), 4, 0.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_dense(t in triplets(6)) {
+        let m = CsrMatrix::from_triplets(6, 6, &t);
+        let again = CsrMatrix::from_triplets(6, 6, &m.to_triplets());
+        prop_assert!(m.to_dense().max_abs_diff(&again.to_dense()) < 1e-6);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(t in triplets(6), x in small_matrix(6)) {
+        // make the dense rhs compatible: 6 rows
+        let mut data = Vec::with_capacity(6 * x.cols());
+        for r in 0..6 {
+            if r < x.rows() {
+                data.extend_from_slice(x.row(r));
+            } else {
+                data.extend(std::iter::repeat_n(0.0, x.cols()));
+            }
+        }
+        let rhs = Matrix::from_vec(6, x.cols(), data);
+        let m = CsrMatrix::from_triplets(6, 6, &t);
+        let sparse = m.spmm(&rhs);
+        let dense = m.to_dense().matmul(&rhs);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-3);
+    }
+
+    #[test]
+    fn csr_transpose_agrees_with_dense(t in triplets(5)) {
+        let m = CsrMatrix::from_triplets(5, 5, &t);
+        prop_assert!(m.transpose().to_dense().max_abs_diff(&m.to_dense().transpose()) < 1e-6);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(t in triplets(5)) {
+        // positive weights so sums are meaningful
+        let pos: Vec<(usize, usize, f32)> = t.into_iter().map(|(r, c, v)| (r, c, v.abs() + 0.1)).collect();
+        let m = CsrMatrix::from_triplets(5, 5, &pos).row_normalized();
+        for (r, s) in m.row_sums().into_iter().enumerate() {
+            if m.row_nnz(r) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            } else {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_random_composite(
+        x in small_matrix(4),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Matrix::randn(x.cols(), 3, 0.0, 0.5, &mut rng);
+        let run = |input: &Matrix| -> (f32, Option<Matrix>) {
+            let mut tape = Tape::new();
+            let xv = tape.param(input.clone());
+            let wv = tape.constant(w.clone());
+            let h = tape.matmul(xv, wv);
+            let t = tape.tanh(h);
+            let sq = tape.square(t);
+            let loss = tape.mean_all(sq);
+            let value = tape.value(loss).get(0, 0);
+            let grads = tape.backward(loss);
+            (value, grads.get(xv).cloned())
+        };
+        let (_, grad) = run(&x);
+        let grad = grad.expect("grad exists");
+        // spot-check one random coordinate with central differences
+        let idx = (seed as usize) % x.len();
+        let eps = 2e-2f32;
+        let mut plus = x.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = x.clone();
+        minus.data_mut()[idx] -= eps;
+        let numeric = (run(&plus).0 - run(&minus).0) / (2.0 * eps);
+        let analytic = grad.data()[idx];
+        prop_assert!(
+            (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+            "idx {idx}: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn spmm_gradient_matches_dense_path(t in triplets(4), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        let csr = CsrMatrix::from_triplets(4, 4, &t);
+        let adj = Rc::new(SpAdj::new(csr.clone()));
+
+        // sparse path
+        let mut tape_s = Tape::new();
+        let xs = tape_s.param(x.clone());
+        let hs = tape_s.spmm(&adj, xs);
+        let qs = tape_s.square(hs);
+        let ls = tape_s.sum_all(qs);
+        let gs = tape_s.backward(ls);
+
+        // dense path: constant dense A, matmul
+        let mut tape_d = Tape::new();
+        let xd = tape_d.param(x.clone());
+        let ad = tape_d.constant(csr.to_dense());
+        let hd = tape_d.matmul(ad, xd);
+        let qd = tape_d.square(hd);
+        let ld = tape_d.sum_all(qd);
+        let gd = tape_d.backward(ld);
+
+        match (gs.get(xs), gd.get(xd)) {
+            (Some(a), Some(b)) => prop_assert!(a.max_abs_diff(b) < 1e-3),
+            (a, b) => prop_assert!(a.is_none() == b.is_none()),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Auxiliary learning tasks (survey Table 7): feature reconstruction,
+//! denoising autoencoding, contrastive learning, and graph (smoothness)
+//! regularization. Each contributes a weighted loss term alongside the main
+//! task; the trainer sums them.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gnn4tdl_nn::{Activation, Linear, Mlp, NodeModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamStore, Var};
+
+/// An auxiliary task attached to an encoder.
+pub enum AuxTask {
+    /// Reconstruct the input features from the embedding (GINN/GRAPE/ALLG).
+    /// Acts as a regularizer preserving input information.
+    FeatureReconstruction { decoder: Mlp, weight: f32 },
+    /// Reconstruct *clean* features from an embedding of corrupted input
+    /// (SLAPS/HES-GSL). `corrupt_p` is the probability of zeroing a cell.
+    DenoisingAutoencoder { decoder: Mlp, weight: f32, corrupt_p: f32 },
+    /// InfoNCE between clean and corrupted views (SUBLIME/TabGSL): each
+    /// instance must recognize its own corrupted view among all others.
+    Contrastive { projector: Linear, weight: f32, temperature: f32, corrupt_p: f32 },
+    /// Laplacian smoothness over a fixed edge set (IDGL/MST-GRA): penalizes
+    /// embedding distance across edges.
+    GraphSmoothness { src: Rc<Vec<usize>>, dst: Rc<Vec<usize>>, weight: f32 },
+}
+
+impl AuxTask {
+    pub fn feature_reconstruction<R: Rng>(
+        store: &mut ParamStore,
+        emb_dim: usize,
+        feat_dim: usize,
+        weight: f32,
+        rng: &mut R,
+    ) -> Self {
+        let decoder = Mlp::new(store, "aux.recon", &[emb_dim, emb_dim, feat_dim], Activation::Relu, 0.0, rng);
+        AuxTask::FeatureReconstruction { decoder, weight }
+    }
+
+    pub fn denoising_autoencoder<R: Rng>(
+        store: &mut ParamStore,
+        emb_dim: usize,
+        feat_dim: usize,
+        weight: f32,
+        corrupt_p: f32,
+        rng: &mut R,
+    ) -> Self {
+        let decoder = Mlp::new(store, "aux.dae", &[emb_dim, emb_dim, feat_dim], Activation::Relu, 0.0, rng);
+        AuxTask::DenoisingAutoencoder { decoder, weight, corrupt_p }
+    }
+
+    pub fn contrastive<R: Rng>(
+        store: &mut ParamStore,
+        emb_dim: usize,
+        weight: f32,
+        temperature: f32,
+        corrupt_p: f32,
+        rng: &mut R,
+    ) -> Self {
+        let projector = Linear::new(store, "aux.proj", emb_dim, emb_dim, rng);
+        AuxTask::Contrastive { projector, weight, temperature, corrupt_p }
+    }
+
+    pub fn graph_smoothness(src: Vec<usize>, dst: Vec<usize>, weight: f32) -> Self {
+        assert_eq!(src.len(), dst.len(), "edge endpoint mismatch");
+        AuxTask::GraphSmoothness { src: Rc::new(src), dst: Rc::new(dst), weight }
+    }
+
+    /// A short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuxTask::FeatureReconstruction { .. } => "feature_reconstruction",
+            AuxTask::DenoisingAutoencoder { .. } => "denoising_autoencoder",
+            AuxTask::Contrastive { .. } => "contrastive",
+            AuxTask::GraphSmoothness { .. } => "graph_smoothness",
+        }
+    }
+
+    pub fn weight(&self) -> f32 {
+        match self {
+            AuxTask::FeatureReconstruction { weight, .. }
+            | AuxTask::DenoisingAutoencoder { weight, .. }
+            | AuxTask::Contrastive { weight, .. }
+            | AuxTask::GraphSmoothness { weight, .. } => *weight,
+        }
+    }
+
+    /// Re-weights the task (used by the alternating strategy, which treats
+    /// auxiliary weights as meta-parameters adapted to the main task).
+    pub fn set_weight(&mut self, new_weight: f32) {
+        match self {
+            AuxTask::FeatureReconstruction { weight, .. }
+            | AuxTask::DenoisingAutoencoder { weight, .. }
+            | AuxTask::Contrastive { weight, .. }
+            | AuxTask::GraphSmoothness { weight, .. } => *weight = new_weight,
+        }
+    }
+
+    /// Computes this task's *weighted* loss term.
+    ///
+    /// `encoder` may be invoked again on corrupted views; `x` is the clean
+    /// input var already on the tape, `features` the clean input matrix,
+    /// `emb` the clean embedding, `rng` drives corruption masks.
+    pub fn loss<E: NodeModel>(
+        &self,
+        s: &mut Session<'_>,
+        encoder: &E,
+        x: Var,
+        features: &Rc<Matrix>,
+        emb: Var,
+        rng: &mut StdRng,
+    ) -> Var {
+        match self {
+            AuxTask::FeatureReconstruction { decoder, weight } => {
+                let recon = decoder.forward(s, emb);
+                let loss = s.tape.mse_loss(recon, Rc::clone(features), None);
+                s.tape.scale(loss, *weight)
+            }
+            AuxTask::DenoisingAutoencoder { decoder, weight, corrupt_p } => {
+                let mask = corruption_mask(features.len(), *corrupt_p, rng);
+                let corrupted = s.tape.dropout(x, mask);
+                let emb_c = encoder.forward(s, corrupted);
+                let recon = decoder.forward(s, emb_c);
+                let loss = s.tape.mse_loss(recon, Rc::clone(features), None);
+                s.tape.scale(loss, *weight)
+            }
+            AuxTask::Contrastive { projector, weight, temperature, corrupt_p } => {
+                let n = features.rows();
+                let mask = corruption_mask(features.len(), *corrupt_p, rng);
+                let corrupted = s.tape.dropout(x, mask);
+                let emb_c = encoder.forward(s, corrupted);
+                let z1 = projector.forward(s, emb);
+                let z2 = projector.forward(s, emb_c);
+                let z2t = s.tape.transpose(z2);
+                let sims = s.tape.matmul(z1, z2t); // n x n
+                let logits = s.tape.scale(sims, 1.0 / temperature.max(1e-6));
+                let labels: Rc<Vec<usize>> = Rc::new((0..n).collect());
+                let loss = s.tape.softmax_cross_entropy(logits, labels, None);
+                s.tape.scale(loss, *weight)
+            }
+            AuxTask::GraphSmoothness { src, dst, weight } => {
+                if src.is_empty() {
+                    let zero = s.input(Matrix::zeros(1, 1));
+                    return zero;
+                }
+                let hu = s.tape.gather_rows(emb, Rc::clone(src));
+                let hv = s.tape.gather_rows(emb, Rc::clone(dst));
+                let diff = s.tape.sub(hu, hv);
+                let sq = s.tape.square(diff);
+                let loss = s.tape.mean_all(sq);
+                s.tape.scale(loss, *weight)
+            }
+        }
+    }
+}
+
+/// A 0/1 keep-mask (no inverted-dropout rescaling: corruption should look
+/// like genuinely missing data, not a scaled activation).
+fn corruption_mask(len: usize, p: f32, rng: &mut StdRng) -> Rc<Vec<f32>> {
+    Rc::new((0..len).map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 }).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_nn::MlpModel;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, MlpModel, Rc<Matrix>) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = MlpModel::new(&mut store, &[3, 6, 4], 0.0, &mut rng);
+        let features = Rc::new(Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.5],
+            vec![0.0, 1.0, -0.5],
+            vec![0.5, 0.5, 0.0],
+        ]));
+        (store, enc, features)
+    }
+
+    fn loss_value(task: &AuxTask, store: &ParamStore, enc: &MlpModel, features: &Rc<Matrix>) -> f32 {
+        let mut s = Session::eval(store);
+        let x = s.input(features.as_ref().clone());
+        let emb = enc.forward(&mut s, x);
+        let mut rng = StdRng::seed_from_u64(42);
+        let loss = task.loss(&mut s, enc, x, features, emb, &mut rng);
+        s.tape.value(loss).get(0, 0)
+    }
+
+    #[test]
+    fn reconstruction_loss_positive_and_weighted() {
+        let (mut store, enc, features) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t1 = AuxTask::feature_reconstruction(&mut store, 4, 3, 1.0, &mut rng);
+        let l1 = loss_value(&t1, &store, &enc, &features);
+        assert!(l1 > 0.0);
+        // same decoder weights scaled task
+        if let AuxTask::FeatureReconstruction { decoder, .. } = t1 {
+            let t2 = AuxTask::FeatureReconstruction { decoder, weight: 2.0 };
+            let l2 = loss_value(&t2, &store, &enc, &features);
+            assert!((l2 - 2.0 * l1).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn denoising_loss_positive() {
+        let (mut store, enc, features) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = AuxTask::denoising_autoencoder(&mut store, 4, 3, 1.0, 0.3, &mut rng);
+        assert!(loss_value(&t, &store, &enc, &features) > 0.0);
+        assert_eq!(t.name(), "denoising_autoencoder");
+    }
+
+    #[test]
+    fn contrastive_loss_is_finite_and_near_log_n_at_init() {
+        let (mut store, enc, features) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = AuxTask::contrastive(&mut store, 4, 1.0, 0.5, 0.2, &mut rng);
+        let l = loss_value(&t, &store, &enc, &features);
+        assert!(l.is_finite());
+        // with 3 rows, untrained similarity ~ uniform -> loss near ln(3)
+        assert!((l - 3.0f32.ln()).abs() < 1.0, "unexpected contrastive loss {l}");
+    }
+
+    #[test]
+    fn smoothness_zero_for_identical_embeddings() {
+        let (store, enc, _) = setup();
+        let features = Rc::new(Matrix::from_rows(&[vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]));
+        let t = AuxTask::graph_smoothness(vec![0], vec![1], 1.0);
+        let l = loss_value(&t, &store, &enc, &features);
+        assert!(l.abs() < 1e-10, "identical rows must have zero smoothness, got {l}");
+    }
+
+    #[test]
+    fn smoothness_positive_for_distinct_embeddings() {
+        let (store, enc, features) = setup();
+        let t = AuxTask::graph_smoothness(vec![0, 1], vec![1, 2], 1.0);
+        assert!(loss_value(&t, &store, &enc, &features) > 0.0);
+    }
+
+    #[test]
+    fn smoothness_empty_edges_is_zero() {
+        let (store, enc, features) = setup();
+        let t = AuxTask::graph_smoothness(vec![], vec![], 1.0);
+        assert_eq!(loss_value(&t, &store, &enc, &features), 0.0);
+    }
+}

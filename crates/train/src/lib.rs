@@ -1,0 +1,23 @@
+//! # gnn4tdl-train
+//!
+//! Training infrastructure for GNN-based tabular data learning: SGD/Adam
+//! optimizers, a full-batch transductive trainer with early stopping, the
+//! survey's auxiliary learning tasks (feature reconstruction, denoising
+//! autoencoding, contrastive learning, graph regularization), and its
+//! training strategies (end-to-end, two-stage, pretrain-finetune).
+
+pub mod adversarial;
+pub mod aux;
+pub mod link;
+pub mod optim;
+pub mod strategy;
+pub mod task;
+pub mod trainer;
+
+pub use adversarial::{fit_adversarial, AdversarialConfig};
+pub use aux::AuxTask;
+pub use link::{fit_link_prediction, score_links, LinkConfig, LinkPredictor};
+pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
+pub use strategy::{run as run_strategy, Strategy, StrategyReport};
+pub use task::{embed, predict, NodeTask, SupervisedModel, TaskTarget};
+pub use trainer::{fit, fit_weighted, EpochStats, TrainConfig, TrainReport};

@@ -1,0 +1,204 @@
+//! Link-level tasks (survey Section 2.4): link prediction over node
+//! embeddings with negative sampling — the mechanism behind bipartite
+//! missing-value imputation ("predict whether an instance-feature link
+//! should exist") and the graph-completion self-supervised task.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gnn4tdl_nn::{Activation, Mlp, NodeModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamStore, Var};
+
+use crate::optim::{Adam, Optimizer};
+
+/// An MLP scorer over concatenated endpoint embeddings:
+/// `score(u, v) = MLP([h_u ; h_v])`, trained with BCE-with-logits.
+pub struct LinkPredictor {
+    scorer: Mlp,
+}
+
+impl LinkPredictor {
+    pub fn new<R: Rng>(store: &mut ParamStore, emb_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let scorer = Mlp::new(store, "link.scorer", &[emb_dim * 2, hidden, 1], Activation::Relu, 0.0, rng);
+        Self { scorer }
+    }
+
+    /// Logits for each `(u, v)` pair given node embeddings on the tape.
+    pub fn forward(&self, s: &mut Session<'_>, emb: Var, pairs: &[(usize, usize)]) -> Var {
+        let us: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(u, _)| u).collect());
+        let vs: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(_, v)| v).collect());
+        let hu = s.tape.gather_rows(emb, us);
+        let hv = s.tape.gather_rows(emb, vs);
+        let cat = s.tape.concat_cols(hu, hv);
+        self.scorer.forward(s, cat)
+    }
+}
+
+/// Configuration for [`fit_link_prediction`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    pub hidden: usize,
+    /// Random negative pairs sampled per positive edge each epoch.
+    pub negatives_per_positive: usize,
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self { epochs: 150, lr: 0.01, hidden: 32, negatives_per_positive: 1, seed: 0 }
+    }
+}
+
+/// Trains an encoder + link predictor to distinguish the given positive
+/// edges from random negatives (graph completion). Returns the predictor;
+/// the encoder's parameters are trained in place in `store`.
+///
+/// `positives` should not contain self-pairs; negatives are resampled each
+/// epoch and collisions with positives are tolerated (they are rare and act
+/// as label noise).
+pub fn fit_link_prediction<E: NodeModel>(
+    encoder: &E,
+    store: &mut ParamStore,
+    features: &Matrix,
+    positives: &[(usize, usize)],
+    cfg: &LinkConfig,
+) -> LinkPredictor {
+    assert!(!positives.is_empty(), "need positive edges");
+    let n = features.rows();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let predictor = LinkPredictor::new(store, encoder.out_dim(), cfg.hidden, &mut rng);
+    let mut opt = Adam::new(cfg.lr, 1e-5);
+    for epoch in 0..cfg.epochs {
+        // pairs: all positives + fresh negatives
+        let mut pairs: Vec<(usize, usize)> = positives.to_vec();
+        let mut targets: Vec<f32> = vec![1.0; positives.len()];
+        for _ in 0..positives.len() * cfg.negatives_per_positive {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                pairs.push((u, v));
+                targets.push(0.0);
+            }
+        }
+        let target = Rc::new(Matrix::col_vector(&targets));
+        let mut s = Session::train(store, cfg.seed.wrapping_add(epoch as u64));
+        let x = s.input(features.clone());
+        let emb = encoder.forward(&mut s, x);
+        let logits = predictor.forward(&mut s, emb, &pairs);
+        let loss = s.tape.bce_with_logits(logits, target, None);
+        let grads = s.backward(loss);
+        opt.step(store, &grads);
+    }
+    predictor
+}
+
+/// Scores arbitrary pairs with a trained encoder + predictor
+/// (probabilities via sigmoid).
+pub fn score_links<E: NodeModel>(
+    encoder: &E,
+    predictor: &LinkPredictor,
+    store: &ParamStore,
+    features: &Matrix,
+    pairs: &[(usize, usize)],
+) -> Vec<f32> {
+    let mut s = Session::eval(store);
+    let x = s.input(features.clone());
+    let emb = encoder.forward(&mut s, x);
+    let logits = predictor.forward(&mut s, emb, pairs);
+    let sig = s.tape.sigmoid(logits);
+    let v = s.tape.value(sig);
+    (0..pairs.len()).map(|i| v.get(i, 0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+    use gnn4tdl_data::metrics::roc_auc;
+    use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+    use gnn4tdl_data::encode_all;
+    use gnn4tdl_nn::SageModel;
+
+    #[test]
+    fn link_predictor_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lp = LinkPredictor::new(&mut store, 8, 16, &mut rng);
+        let mut s = Session::eval(&store);
+        let emb = s.input(Matrix::full(5, 8, 0.3));
+        let logits = lp.forward(&mut s, emb, &[(0, 1), (2, 4)]);
+        assert_eq!(s.tape.value(logits).shape(), (2, 1));
+    }
+
+    #[test]
+    fn learns_to_complete_a_cluster_graph() {
+        // positives: kNN edges inside planted clusters; held-out positives
+        // should outscore random cross-cluster negatives.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = gaussian_clusters(
+            &ClustersConfig { n: 120, informative: 6, classes: 3, cluster_std: 0.5, ..Default::default() },
+            &mut rng,
+        );
+        let enc = encode_all(&data.table);
+        let graph = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 5 });
+        let all_edges: Vec<(usize, usize)> = graph
+            .edge_index(false)
+            .src
+            .iter()
+            .zip(&graph.edge_index(false).dst)
+            .map(|(&u, &v)| (u, v))
+            .filter(|&(u, v)| u < v)
+            .collect();
+        // hold out 20% of edges
+        let held_out: Vec<(usize, usize)> = all_edges.iter().copied().step_by(5).collect();
+        let train_edges: Vec<(usize, usize)> =
+            all_edges.iter().copied().enumerate().filter(|(i, _)| i % 5 != 0).map(|(_, e)| e).collect();
+
+        let mut store = ParamStore::new();
+        let encoder = SageModel::new(
+            &mut store,
+            &graph,
+            &[enc.features.cols(), 16, 16],
+            0.0,
+            &mut rng,
+        );
+        let predictor = fit_link_prediction(
+            &encoder,
+            &mut store,
+            &enc.features,
+            &train_edges,
+            &LinkConfig { epochs: 80, ..Default::default() },
+        );
+
+        // evaluate: held-out positives vs equal number of label-crossing pairs
+        let labels = data.target.labels();
+        let mut negatives = Vec::new();
+        let mut u = 0usize;
+        while negatives.len() < held_out.len() {
+            let v = (u * 7 + 13) % 120;
+            if labels[u % 120] != labels[v] && u % 120 != v {
+                negatives.push((u % 120, v));
+            }
+            u += 1;
+        }
+        let mut pairs = held_out.clone();
+        pairs.extend(&negatives);
+        let truth: Vec<usize> = (0..pairs.len()).map(|i| usize::from(i < held_out.len())).collect();
+        let scores = score_links(&encoder, &predictor, &store, &enc.features, &pairs);
+        let auc = roc_auc(&scores, &truth);
+        assert!(auc > 0.85, "link prediction AUC too low: {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need positive edges")]
+    fn empty_positives_panic() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = gnn4tdl_nn::MlpModel::new(&mut store, &[2, 4], 0.0, &mut rng);
+        fit_link_prediction(&enc, &mut store, &Matrix::zeros(3, 2), &[], &LinkConfig::default());
+    }
+}

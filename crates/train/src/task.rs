@@ -1,0 +1,311 @@
+//! Supervised node-level tasks and the encoder+head model wrapper.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use gnn4tdl_data::Split;
+use gnn4tdl_nn::{Linear, NodeModel, Session};
+use gnn4tdl_tensor::{Matrix, ParamId, ParamStore, Var};
+
+/// The supervised target of a node-level tabular task.
+#[derive(Clone)]
+pub enum TaskTarget {
+    Classification { labels: Rc<Vec<usize>>, num_classes: usize },
+    /// `n x 1` regression values.
+    Regression { values: Rc<Matrix> },
+}
+
+impl TaskTarget {
+    /// Output width the prediction head needs.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            TaskTarget::Classification { num_classes, .. } => *num_classes,
+            TaskTarget::Regression { .. } => 1,
+        }
+    }
+}
+
+/// A transductive node-level task: all rows share one graph/feature matrix,
+/// supervision is masked to the training split.
+#[derive(Clone)]
+pub struct NodeTask {
+    pub features: Matrix,
+    pub target: TaskTarget,
+    pub split: Split,
+    /// Optional per-row loss weights multiplied into every mask — the
+    /// PC-GNN-style imbalance handling (up-weight the minority class).
+    pub row_weights: Option<Vec<f32>>,
+}
+
+impl NodeTask {
+    pub fn classification(features: Matrix, labels: Vec<usize>, num_classes: usize, split: Split) -> Self {
+        assert_eq!(features.rows(), labels.len(), "label count mismatch");
+        split.validate(features.rows()).expect("invalid split");
+        Self {
+            features,
+            target: TaskTarget::Classification { labels: Rc::new(labels), num_classes },
+            split,
+            row_weights: None,
+        }
+    }
+
+    /// Class-balanced reweighting: each training row's loss is scaled by
+    /// `n_train / (num_classes * n_train_of_its_class)`, so every class
+    /// contributes equally to the objective regardless of prevalence.
+    pub fn with_class_balanced_weights(mut self) -> Self {
+        let TaskTarget::Classification { labels, num_classes } = &self.target else {
+            panic!("class balancing requires a classification target");
+        };
+        let mut counts = vec![0usize; *num_classes];
+        for &i in &self.split.train {
+            counts[labels[i]] += 1;
+        }
+        let n_train = self.split.train.len() as f32;
+        let weights: Vec<f32> = labels
+            .iter()
+            .map(|&y| {
+                if counts[y] == 0 {
+                    1.0
+                } else {
+                    n_train / (*num_classes as f32 * counts[y] as f32)
+                }
+            })
+            .collect();
+        self.row_weights = Some(weights);
+        self
+    }
+
+    pub fn regression(features: Matrix, values: Vec<f32>, split: Split) -> Self {
+        assert_eq!(features.rows(), values.len(), "value count mismatch");
+        split.validate(features.rows()).expect("invalid split");
+        Self {
+            features,
+            target: TaskTarget::Regression { values: Rc::new(Matrix::col_vector(&values)) },
+            split,
+            row_weights: None,
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// The task loss over rows selected by `mask` (scaled by the per-row
+    /// weights when set).
+    pub fn loss(&self, s: &mut Session<'_>, output: Var, mut mask: Vec<f32>) -> Var {
+        if let Some(weights) = &self.row_weights {
+            for (m, &w) in mask.iter_mut().zip(weights) {
+                *m *= w;
+            }
+        }
+        match &self.target {
+            TaskTarget::Classification { labels, .. } => {
+                s.tape.softmax_cross_entropy(output, Rc::clone(labels), Some(Rc::new(mask)))
+            }
+            TaskTarget::Regression { values } => {
+                s.tape.mse_loss(output, Rc::clone(values), Some(Rc::new(mask)))
+            }
+        }
+    }
+
+    pub fn train_loss(&self, s: &mut Session<'_>, output: Var) -> Var {
+        self.loss(s, output, self.split.train_mask(self.num_rows()))
+    }
+
+    pub fn val_loss(&self, s: &mut Session<'_>, output: Var) -> Var {
+        self.loss(s, output, self.split.val_mask(self.num_rows()))
+    }
+}
+
+/// An encoder with a linear prediction head, tracking which parameters
+/// belong to which part (training strategies freeze groups).
+pub struct SupervisedModel<E: NodeModel> {
+    pub encoder: E,
+    pub head: Linear,
+    encoder_params: Vec<ParamId>,
+    head_params: Vec<ParamId>,
+}
+
+impl<E: NodeModel> SupervisedModel<E> {
+    /// Wraps an encoder whose parameters were registered starting at
+    /// `encoder_start` (the store length captured before building it) and
+    /// attaches a fresh linear head.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        encoder_start: usize,
+        encoder: E,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let head_start = store.len();
+        let head = Linear::new(store, "head", encoder.out_dim(), out_dim, rng);
+        let encoder_params = (encoder_start..head_start).map(|i| store.id_at(i)).collect();
+        let head_params = store.ids_since(head_start);
+        Self { encoder, head, encoder_params, head_params }
+    }
+
+    /// Forward pass producing `(embedding, output)`.
+    pub fn forward(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {
+        let emb = self.encoder.forward(s, x);
+        let out = self.head.forward(s, emb);
+        (emb, out)
+    }
+
+    pub fn encoder_params(&self) -> &[ParamId] {
+        &self.encoder_params
+    }
+
+    pub fn head_params(&self) -> &[ParamId] {
+        &self.head_params
+    }
+
+    pub fn embedding_dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+
+    /// Swaps the encoder while keeping the head and parameter-group
+    /// bookkeeping — used by iterative graph structure learning, where the
+    /// encoder is rebound to a freshly built graph between rounds (the
+    /// parameters live in the store and are shared across rebinds).
+    pub fn with_encoder(self, encoder: E) -> Self {
+        assert_eq!(encoder.out_dim(), self.head.in_dim, "encoder width change");
+        Self { encoder, ..self }
+    }
+}
+
+/// Evaluation-mode forward pass returning the raw output matrix (logits for
+/// classification, values for regression).
+pub fn predict<E: NodeModel>(model: &SupervisedModel<E>, store: &ParamStore, features: &Matrix) -> Matrix {
+    let mut s = Session::eval(store);
+    let x = s.input(features.clone());
+    let (_, out) = model.forward(&mut s, x);
+    s.tape.value(out).clone()
+}
+
+/// Evaluation-mode embeddings.
+pub fn embed<E: NodeModel>(model: &SupervisedModel<E>, store: &ParamStore, features: &Matrix) -> Matrix {
+    let mut s = Session::eval(store);
+    let x = s.input(features.clone());
+    let (emb, _) = model.forward(&mut s, x);
+    s.tape.value(emb).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl_nn::MlpModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn split4() -> Split {
+        Split { train: vec![0, 1], val: vec![2], test: vec![3] }
+    }
+
+    #[test]
+    fn model_tracks_param_groups() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[4, 8, 6], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        // encoder: 2 layers x (w, b) = 4 params; head: 2 params
+        assert_eq!(model.encoder_params().len(), 4);
+        assert_eq!(model.head_params().len(), 2);
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn predict_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[2, 4], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        let out = predict(&model, &store, &Matrix::zeros(5, 2));
+        assert_eq!(out.shape(), (5, 3));
+        let emb = embed(&model, &store, &Matrix::zeros(5, 2));
+        assert_eq!(emb.shape(), (5, 4));
+    }
+
+    #[test]
+    fn task_losses_masked_by_split() {
+        let features = Matrix::zeros(4, 2);
+        let task = NodeTask::classification(features, vec![0, 1, 0, 1], 2, split4());
+        let store = ParamStore::new();
+        let mut s = Session::eval(&store);
+        // logits favoring class 0 everywhere
+        let logits = s.input(Matrix::from_rows(&[
+            vec![5.0, 0.0],
+            vec![5.0, 0.0],
+            vec![5.0, 0.0],
+            vec![5.0, 0.0],
+        ]));
+        let tl = task.train_loss(&mut s, logits);
+        let vl = task.val_loss(&mut s, logits);
+        // train rows: one correct (0), one wrong (1) -> loss ~ 2.5
+        let t = s.tape.value(tl).get(0, 0);
+        let v = s.tape.value(vl).get(0, 0);
+        assert!(t > 2.0 && t < 3.0, "train loss {t}");
+        // val row 2 has label 0 -> tiny loss
+        assert!(v < 0.1, "val loss {v}");
+    }
+
+    #[test]
+    fn regression_task_loss() {
+        let features = Matrix::zeros(4, 1);
+        let task = NodeTask::regression(features, vec![1.0, 2.0, 3.0, 4.0], split4());
+        let store = ParamStore::new();
+        let mut s = Session::eval(&store);
+        let pred = s.input(Matrix::col_vector(&[1.0, 2.0, 0.0, 0.0]));
+        let tl = task.train_loss(&mut s, pred);
+        assert!(s.tape.value(tl).get(0, 0) < 1e-9);
+        let vl = task.val_loss(&mut s, pred);
+        assert!((s.tape.value(vl).get(0, 0) - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn class_balanced_weights_equalize_classes() {
+        // 3 rows of class 0, 1 row of class 1 in train
+        let features = Matrix::zeros(4, 1);
+        let split = Split { train: vec![0, 1, 2, 3], val: vec![], test: vec![] };
+        let task = NodeTask::classification(features, vec![0, 0, 0, 1], 2, split)
+            .with_class_balanced_weights();
+        let w = task.row_weights.as_ref().unwrap();
+        // class 0: 4 / (2*3) = 2/3; class 1: 4 / (2*1) = 2
+        assert!((w[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((w[3] - 2.0).abs() < 1e-6);
+        // total weighted mass is still n_train
+        let total: f32 = w.iter().sum();
+        assert!((total - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_loss_differs_from_unweighted() {
+        let features = Matrix::zeros(4, 1);
+        let split = Split { train: vec![0, 1, 2, 3], val: vec![], test: vec![] };
+        let plain = NodeTask::classification(features.clone(), vec![0, 0, 0, 1], 2, split.clone());
+        let balanced = plain.clone().with_class_balanced_weights();
+        let store = ParamStore::new();
+        let logits = Matrix::from_rows(&[
+            vec![2.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 0.0], // wrong for the minority row
+        ]);
+        let mut s1 = Session::eval(&store);
+        let l1 = s1.input(logits.clone());
+        let lp = plain.train_loss(&mut s1, l1);
+        let mut s2 = Session::eval(&store);
+        let l2 = s2.input(logits);
+        let lb = balanced.train_loss(&mut s2, l2);
+        // the balanced loss punishes the minority mistake harder
+        assert!(s2.tape.value(lb).get(0, 0) > s1.tape.value(lp).get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatched_labels_panic() {
+        NodeTask::classification(Matrix::zeros(3, 1), vec![0, 1], 2, Split { train: vec![], val: vec![], test: vec![] });
+    }
+}

@@ -1,0 +1,292 @@
+//! The training loop: full-batch transductive optimization with early
+//! stopping on validation loss and best-snapshot restore.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn4tdl_nn::{NodeModel, Session};
+use gnn4tdl_tensor::{ParamId, ParamStore};
+
+use crate::aux::AuxTask;
+use crate::optim::OptimizerKind;
+use crate::task::{NodeTask, SupervisedModel};
+
+/// Training hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub optimizer: OptimizerKind,
+    pub weight_decay: f32,
+    /// Early-stopping patience in epochs; 0 disables early stopping.
+    pub patience: usize,
+    /// Seed for dropout and corruption masks.
+    pub seed: u64,
+    /// When set, only these parameters are updated (others are frozen).
+    pub trainable: Option<Vec<ParamId>>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            optimizer: OptimizerKind::Adam { lr: 0.01 },
+            weight_decay: 5e-4,
+            patience: 30,
+            seed: 0,
+            trainable: None,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    pub train_loss: f32,
+    pub val_loss: f32,
+}
+
+/// Outcome of one fitting phase.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    pub history: Vec<EpochStats>,
+    pub best_epoch: usize,
+    pub best_val_loss: f32,
+}
+
+impl TrainReport {
+    pub fn epochs_run(&self) -> usize {
+        self.history.len()
+    }
+
+    pub fn final_train_loss(&self) -> f32 {
+        self.history.last().map_or(f32::NAN, |e| e.train_loss)
+    }
+}
+
+/// Fits `model` on `task` with auxiliary tasks, weighting the main loss by
+/// `main_weight` (0 trains purely self-supervised — the first phase of
+/// two-stage / pretrain-finetune strategies).
+///
+/// Early stopping watches the *validation main loss* when `main_weight > 0`,
+/// otherwise the training objective itself.
+pub fn fit_weighted<E: NodeModel>(
+    model: &SupervisedModel<E>,
+    store: &mut ParamStore,
+    task: &NodeTask,
+    aux: &[AuxTask],
+    cfg: &TrainConfig,
+    main_weight: f32,
+) -> TrainReport {
+    assert!(main_weight > 0.0 || !aux.is_empty(), "nothing to optimize");
+    let mut optimizer = cfg.optimizer.build(cfg.weight_decay);
+    let mut corrupt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+    let features = Rc::new(task.features.clone());
+    let allowed: Option<HashSet<usize>> =
+        cfg.trainable.as_ref().map(|ids| ids.iter().map(|id| id.index()).collect());
+
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_val = f32::INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_snapshot = store.snapshot();
+    let mut bad_epochs = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        let mut s = Session::train(store, cfg.seed.wrapping_add(epoch as u64));
+        let x = s.input(task.features.clone());
+        let (emb, out) = model.forward(&mut s, x);
+
+        let mut total = if main_weight > 0.0 {
+            let main = task.train_loss(&mut s, out);
+            s.tape.scale(main, main_weight)
+        } else {
+            s.input(gnn4tdl_tensor::Matrix::zeros(1, 1))
+        };
+        for a in aux {
+            let al = a.loss(&mut s, &model.encoder, x, &features, emb, &mut corrupt_rng);
+            total = s.tape.add(total, al);
+        }
+        let train_loss = s.tape.value(total).get(0, 0);
+        let mut grads = s.backward(total);
+        if let Some(allowed) = &allowed {
+            grads.retain(|(id, _)| allowed.contains(&id.index()));
+        }
+        optimizer.step(store, &grads);
+
+        // validation pass (clean, eval mode)
+        let val_loss = {
+            let mut sv = Session::eval(store);
+            let xv = sv.input(task.features.clone());
+            let (emb_v, out_v) = model.forward(&mut sv, xv);
+            if main_weight > 0.0 && !task.split.val.is_empty() {
+                let vl = task.val_loss(&mut sv, out_v);
+                sv.tape.value(vl).get(0, 0)
+            } else {
+                // self-supervised phases: track the training objective
+                let mut total_v = sv.input(gnn4tdl_tensor::Matrix::zeros(1, 1));
+                let mut rng_v = StdRng::seed_from_u64(cfg.seed ^ 0x51ed_270b);
+                for a in aux {
+                    let al = a.loss(&mut sv, &model.encoder, xv, &features, emb_v, &mut rng_v);
+                    total_v = sv.tape.add(total_v, al);
+                }
+                sv.tape.value(total_v).get(0, 0)
+            }
+        };
+
+        history.push(EpochStats { train_loss, val_loss });
+        if val_loss < best_val - 1e-6 {
+            best_val = val_loss;
+            best_epoch = epoch;
+            best_snapshot = store.snapshot();
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if cfg.patience > 0 && bad_epochs >= cfg.patience {
+                break;
+            }
+        }
+    }
+    store.restore(&best_snapshot);
+    TrainReport { history, best_epoch, best_val_loss: best_val }
+}
+
+/// Standard supervised fit (main loss weight 1).
+pub fn fit<E: NodeModel>(
+    model: &SupervisedModel<E>,
+    store: &mut ParamStore,
+    task: &NodeTask,
+    aux: &[AuxTask],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    fit_weighted(model, store, task, aux, cfg, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::predict;
+    use gnn4tdl_data::metrics::accuracy;
+    use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+    use gnn4tdl_data::{encode_all, Split};
+    use gnn4tdl_nn::MlpModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster_task(seed: u64) -> NodeTask {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = gaussian_clusters(
+            &ClustersConfig { n: 150, informative: 6, classes: 3, cluster_std: 0.6, ..Default::default() },
+            &mut rng,
+        );
+        let enc = encode_all(&data.table);
+        let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
+        NodeTask::classification(enc.features, data.target.labels().to_vec(), 3, split)
+    }
+
+    #[test]
+    fn fit_learns_clusters() {
+        let task = cluster_task(0);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[task.features.cols(), 16], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        let cfg = TrainConfig { epochs: 150, patience: 30, ..Default::default() };
+        let report = fit(&model, &mut store, &task, &[], &cfg);
+        assert!(report.epochs_run() > 5);
+        let logits = predict(&model, &store, &task.features);
+        let preds = logits.argmax_rows();
+        let labels = match &task.target {
+            crate::task::TaskTarget::Classification { labels, .. } => labels.clone(),
+            _ => unreachable!(),
+        };
+        let test_pred: Vec<usize> = task.split.test.iter().map(|&i| preds[i]).collect();
+        let test_true: Vec<usize> = task.split.test.iter().map(|&i| labels[i]).collect();
+        let acc = accuracy(&test_pred, &test_true);
+        assert!(acc > 0.85, "test accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best() {
+        let task = cluster_task(2);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[task.features.cols(), 8], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        // aggressive learning rate makes validation loss oscillate, so the
+        // patience window closes well before the epoch budget.
+        let cfg = TrainConfig {
+            epochs: 2000,
+            patience: 5,
+            optimizer: OptimizerKind::Adam { lr: 0.1 },
+            ..Default::default()
+        };
+        let report = fit(&model, &mut store, &task, &[], &cfg);
+        assert!(report.epochs_run() < 2000, "early stopping never triggered");
+        // restored parameters reproduce the best validation loss
+        let mut sv = Session::eval(&store);
+        let xv = sv.input(task.features.clone());
+        let (_, out) = model.forward(&mut sv, xv);
+        let vl = task.val_loss(&mut sv, out);
+        let val = sv.tape.value(vl).get(0, 0);
+        assert!((val - report.best_val_loss).abs() < 1e-4, "{val} vs {}", report.best_val_loss);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let task = cluster_task(4);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[task.features.cols(), 8], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        let frozen_before: Vec<_> = model.encoder_params().iter().map(|&id| store.get(id).clone()).collect();
+        let cfg = TrainConfig {
+            epochs: 20,
+            patience: 0,
+            trainable: Some(model.head_params().to_vec()),
+            ..Default::default()
+        };
+        fit(&model, &mut store, &task, &[], &cfg);
+        for (id, before) in model.encoder_params().iter().zip(&frozen_before) {
+            assert!(store.get(*id).max_abs_diff(before) < 1e-9, "frozen param moved");
+        }
+    }
+
+    #[test]
+    fn unsupervised_phase_runs_without_main_loss() {
+        let task = cluster_task(6);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[task.features.cols(), 8], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        let aux = vec![crate::aux::AuxTask::feature_reconstruction(
+            &mut store,
+            8,
+            task.features.cols(),
+            1.0,
+            &mut rng,
+        )];
+        let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+        let report = fit_weighted(&model, &mut store, &task, &aux, &cfg, 0.0);
+        let first = report.history.first().unwrap().train_loss;
+        let last = report.final_train_loss();
+        assert!(last < first, "reconstruction loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to optimize")]
+    fn zero_weight_without_aux_panics() {
+        let task = cluster_task(8);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let start = store.len();
+        let enc = MlpModel::new(&mut store, &[task.features.cols(), 8], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        fit_weighted(&model, &mut store, &task, &[], &TrainConfig::default(), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fraud detection over a multi-relational transaction network
+//! (survey Section 5.5 / TabGNN / CARE-GNN setting).
+//!
+//! ```text
+//! cargo run --release --example fraud_detection
+//! ```
+//!
+//! Fraud rings reuse a small device pool, so the "same device" relation is
+//! highly informative while per-transaction features are weak. The multiplex
+//! relational GNN should clearly beat both a flat kNN-graph GCN and the MLP.
+
+use gnn4tdl::{fit_pipeline, test_classification, EncoderSpec, GraphSpec, PipelineConfig};
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_data::synth::{fraud_network, FraudConfig};
+use gnn4tdl_data::Split;
+use gnn4tdl_train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let fraud = fraud_network(&FraudConfig { n: 1200, ..Default::default() }, &mut rng);
+    let dataset = fraud.dataset;
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    let fraud_rate = dataset.target.labels().iter().sum::<usize>() as f64 / dataset.num_rows() as f64;
+    println!("dataset: {} (fraud rate {:.1}%)", dataset.name, 100.0 * fraud_rate);
+
+    let train = TrainConfig { epochs: 150, patience: 30, ..Default::default() };
+    let configs = [
+        (
+            "multiplex RGCN (same-device & same-merchant relations)",
+            PipelineConfig {
+                graph: GraphSpec::Multiplex { max_group: 100 },
+                hidden: 32,
+                train: train.clone(),
+                ..Default::default()
+            },
+        ),
+        (
+            "GCN on kNN feature graph",
+            PipelineConfig {
+                graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
+                encoder: EncoderSpec::Gcn,
+                hidden: 32,
+                train: train.clone(),
+                ..Default::default()
+            },
+        ),
+        (
+            "MLP (no graph)",
+            PipelineConfig {
+                graph: GraphSpec::None,
+                encoder: EncoderSpec::Mlp,
+                hidden: 32,
+                train,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    println!("\n{:<55} {:>8} {:>8} {:>8}", "model", "AUC", "F1", "acc");
+    for (name, cfg) in configs {
+        let result = fit_pipeline(&dataset, &split, &cfg);
+        let m = test_classification(&result.predictions, &dataset.target, &split);
+        println!("{name:<55} {:>8.3} {:>8.3} {:>8.3}", m.auc, m.macro_f1, m.accuracy);
+    }
+}

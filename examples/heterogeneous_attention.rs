@@ -1,0 +1,73 @@
+//! Heterogeneous-graph attention interpretability (survey Section 4.3.2,
+//! HAN/HGT): which relation does the model learn to trust?
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_attention
+//! ```
+//!
+//! The fraud workload has two entity relations: shared *device* (fraud rings
+//! reuse devices — highly informative) and shared *merchant* (uninformative
+//! noise). The HAN-lite model's semantic attention should concentrate on the
+//! device relation after training.
+
+use gnn4tdl_construct::hetero_from_categorical;
+use gnn4tdl::classification_on;
+use gnn4tdl_data::synth::{fraud_network, FraudConfig};
+use gnn4tdl_data::{Featurizer, Split};
+use gnn4tdl_nn::HeteroModel;
+use gnn4tdl_tensor::ParamStore;
+use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let fraud = fraud_network(&FraudConfig { n: 800, ..Default::default() }, &mut rng);
+    let dataset = fraud.dataset;
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    let enc = Featurizer::fit(&dataset.table, &split.train).encode(&dataset.table);
+    let labels = dataset.target.labels().to_vec();
+
+    let (graph, handles) = hetero_from_categorical(&dataset.table);
+    println!(
+        "heterogeneous graph: {} node types, {} relations",
+        graph.num_node_types(),
+        graph.num_edge_types()
+    );
+    for e in graph.edge_type_ids() {
+        println!("  relation '{}' with {} edges", graph.edge_type_name(e), graph.edge_count(e));
+    }
+
+    let mut store = ParamStore::new();
+    let encoder = HeteroModel::new(
+        &mut store,
+        &graph,
+        handles.instances,
+        enc.features.cols(),
+        32,
+        2,
+        &mut rng,
+    );
+    println!(
+        "\nattention before training: {:?}",
+        rounded(&encoder.relation_attention(&store, &enc.features))
+    );
+
+    let model = SupervisedModel::new(&mut store, 0, encoder, 2, &mut rng);
+    let task = NodeTask::classification(enc.features.clone(), labels.clone(), 2, split.clone());
+    fit(&model, &mut store, &task, &[], &TrainConfig { epochs: 150, patience: 30, ..Default::default() });
+
+    let att = model.encoder.relation_attention(&store, &enc.features);
+    println!("attention after training:  {:?}", rounded(&att));
+    let logits = predict(&model, &store, &enc.features);
+    let m = classification_on(&logits, &labels, 2, &split.test);
+    println!("\ntest AUC {:.3}, macro-F1 {:.3}", m.auc, m.macro_f1);
+    println!(
+        "relation ranking: {}",
+        if att[0] > att[1] { "device > merchant (informative relation wins)" } else { "merchant > device" }
+    );
+}
+
+fn rounded(v: &[f32]) -> Vec<f32> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the GNN4TDL pipeline of the survey's Figure 1, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic tabular classification task, walks it through
+//! graph formulation → construction → representation learning → training,
+//! and compares against the graph-free MLP baseline.
+
+use gnn4tdl::{fit_pipeline, test_classification, EncoderSpec, GraphSpec, PipelineConfig};
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::Split;
+use gnn4tdl_train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A tabular dataset: 600 rows, 16 numeric features, 3 classes, with
+    //    latent instance correlation (rows from the same cluster share a
+    //    label) — exactly the structure the survey says GNNs exploit.
+    let dataset = gaussian_clusters(
+        &ClustersConfig { n: 600, informative: 16, classes: 3, cluster_std: 1.3, ..Default::default() },
+        &mut rng,
+    );
+    // Keep labels scarce: the survey's semi-supervised setting,
+    // where the graph propagates supervision to unlabeled instances.
+    let split = Split::stratified(dataset.target.labels(), 0.3, 0.2, &mut rng)
+        .with_label_fraction(0.2, &mut rng);
+    println!("labeled training rows: {}", split.train.len());
+    println!("dataset: {} ({} rows, {} columns)", dataset.name, dataset.num_rows(), dataset.table.num_columns());
+
+    // 2. Configure the pipeline: kNN instance graph + 2-layer GCN, trained
+    //    end-to-end with early stopping.
+    let gnn_cfg = PipelineConfig {
+        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 10 } },
+        encoder: EncoderSpec::Gcn,
+        hidden: 32,
+        layers: 2,
+        train: TrainConfig { epochs: 200, patience: 30, ..Default::default() },
+        ..Default::default()
+    };
+
+    // 3. Fit and evaluate.
+    let result = fit_pipeline(&dataset, &split, &gnn_cfg);
+    let metrics = test_classification(&result.predictions, &dataset.target, &split);
+    println!(
+        "\n[GCN on kNN instance graph]\n  graph: {} edges, homophily {:.3}\n  construction: {:.1} ms, training: {:.1} ms\n  test accuracy {:.3}, macro-F1 {:.3}",
+        result.graph_edges,
+        result.graph_homophily.unwrap_or(f64::NAN),
+        result.construction_ms,
+        result.training_ms,
+        metrics.accuracy,
+        metrics.macro_f1,
+    );
+
+    // 4. The graph-free deep-tabular baseline for contrast.
+    let mlp_cfg = PipelineConfig { graph: GraphSpec::None, encoder: EncoderSpec::Mlp, ..gnn_cfg };
+    let mlp_result = fit_pipeline(&dataset, &split, &mlp_cfg);
+    let mlp_metrics = test_classification(&mlp_result.predictions, &dataset.target, &split);
+    println!(
+        "\n[MLP baseline]\n  training: {:.1} ms\n  test accuracy {:.3}, macro-F1 {:.3}",
+        mlp_result.training_ms, mlp_metrics.accuracy, mlp_metrics.macro_f1,
+    );
+
+    println!(
+        "\nGCN - MLP accuracy gap: {:+.3}",
+        metrics.accuracy - mlp_metrics.accuracy
+    );
+}

@@ -1,0 +1,2 @@
+//! Re-exports for integration tests and examples.
+pub use gnn4tdl as core;

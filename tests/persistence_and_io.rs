@@ -1,0 +1,108 @@
+//! Integration tests for downstream-adoption paths: CSV in, pipeline fit,
+//! parameter save/load round trip with identical predictions.
+
+use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+use gnn4tdl_data::{read_csv_str, CsvOptions, Dataset, Split, Target};
+use gnn4tdl_nn::GcnModel;
+use gnn4tdl_tensor::ParamStore;
+use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
+use gnn4tdl::{fit_pipeline, test_classification, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small but learnable CSV: label 1 iff x > 0 (with a categorical column).
+fn make_csv(n: usize) -> String {
+    let mut out = String::from("x,color,label\n");
+    for i in 0..n {
+        let x = (i as f32 / n as f32) * 4.0 - 2.0;
+        let color = ["red", "green", "blue"][i % 3];
+        let label = usize::from(x > 0.0);
+        out.push_str(&format!("{x},{color},{label}\n"));
+    }
+    out
+}
+
+#[test]
+fn csv_to_pipeline_end_to_end() {
+    let parsed = read_csv_str(&make_csv(120), &CsvOptions::default()).unwrap();
+    // pull the label column out of the table
+    let label_col = parsed
+        .table
+        .columns()
+        .iter()
+        .position(|c| c.name == "label")
+        .unwrap();
+    let labels: Vec<usize> = match &parsed.table.column(label_col).data {
+        gnn4tdl_data::ColumnData::Numeric(v) => v.iter().map(|&x| x as usize).collect(),
+        _ => panic!("label parsed as categorical"),
+    };
+    let feature_cols: Vec<gnn4tdl_data::Column> = parsed
+        .table
+        .columns()
+        .iter()
+        .filter(|c| c.name != "label")
+        .cloned()
+        .collect();
+    let table = gnn4tdl_data::Table::new(feature_cols);
+    let dataset = Dataset::new("csv", table, Target::Classification { labels, num_classes: 2 });
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut rng);
+    let cfg = PipelineConfig {
+        train: TrainConfig { epochs: 80, patience: 20, ..Default::default() },
+        ..Default::default()
+    };
+    let result = fit_pipeline(&dataset, &split, &cfg);
+    let m = test_classification(&result.predictions, &dataset.target, &split);
+    assert!(m.accuracy > 0.9, "CSV-loaded task should be easy: {:.3}", m.accuracy);
+}
+
+#[test]
+fn trained_model_round_trips_through_parameter_file() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = gnn4tdl_data::synth::gaussian_clusters(
+        &gnn4tdl_data::synth::ClustersConfig { n: 120, classes: 3, ..Default::default() },
+        &mut rng,
+    );
+    let enc = gnn4tdl_data::encode_all(&data.table);
+    let graph = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 6 });
+    let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
+    let task = NodeTask::classification(enc.features.clone(), data.target.labels().to_vec(), 3, split);
+
+    // train
+    let mut store = ParamStore::new();
+    let mut model_rng = StdRng::seed_from_u64(2);
+    let encoder = GcnModel::new(&mut store, &graph, &[enc.features.cols(), 16, 16], 0.2, &mut model_rng);
+    let model = SupervisedModel::new(&mut store, 0, encoder, 3, &mut model_rng);
+    fit(&model, &mut store, &task, &[], &TrainConfig { epochs: 50, patience: 0, ..Default::default() });
+    let before = predict(&model, &store, &enc.features);
+    let bytes = store.save_bytes();
+
+    // rebuild the identical architecture (same construction order) and load
+    let mut fresh_store = ParamStore::new();
+    let mut fresh_rng = StdRng::seed_from_u64(999); // different init, will be overwritten
+    let fresh_encoder =
+        GcnModel::new(&mut fresh_store, &graph, &[enc.features.cols(), 16, 16], 0.2, &mut fresh_rng);
+    let fresh_model = SupervisedModel::new(&mut fresh_store, 0, fresh_encoder, 3, &mut fresh_rng);
+    fresh_store.load_bytes(&bytes).unwrap();
+    let after = predict(&fresh_model, &fresh_store, &enc.features);
+
+    assert!(before.max_abs_diff(&after) < 1e-6, "loaded model must predict identically");
+}
+
+#[test]
+fn parameter_file_survives_disk() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    store.add("w", gnn4tdl_tensor::Matrix::randn(4, 4, 0.0, 1.0, &mut rng));
+    let dir = std::env::temp_dir().join("gnn4tdl_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.gtdl");
+    store.save(&path).unwrap();
+
+    let mut fresh = ParamStore::new();
+    fresh.add("w", gnn4tdl_tensor::Matrix::zeros(4, 4));
+    fresh.load(&path).unwrap();
+    assert!(fresh.get(fresh.id_at(0)).max_abs_diff(store.get(store.id_at(0))) < 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
