@@ -36,11 +36,7 @@ impl FactorizationMachine {
         assert_eq!(x.rows(), y.len(), "row/label mismatch");
         assert!(y.iter().all(|&c| c < 2), "FM is a binary classifier");
         let (n, d) = x.shape();
-        let mut model = Self {
-            w0: 0.0,
-            w: vec![0.0; d],
-            v: Matrix::randn(d, cfg.factors, 0.0, 0.05, rng),
-        };
+        let mut model = Self { w0: 0.0, w: vec![0.0; d], v: Matrix::randn(d, cfg.factors, 0.0, 0.05, rng) };
         let k = cfg.factors;
         for _ in 0..cfg.epochs {
             // forward: score_r and cached per-factor sums s_rf = sum_i v_if x_ri
@@ -169,7 +165,12 @@ mod tests {
             y.push(usize::from(a == b));
         }
         let x = Matrix::from_rows(&rows);
-        let model = FactorizationMachine::fit(&x, &y, &FmConfig { epochs: 600, lr: 0.3, ..Default::default() }, &mut rng);
+        let model = FactorizationMachine::fit(
+            &x,
+            &y,
+            &FmConfig { epochs: 600, lr: 0.3, ..Default::default() },
+            &mut rng,
+        );
         let pred = model.predict_classes(&x);
         let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / n as f64;
         assert!(acc > 0.9, "FM should learn the pairwise rule, got {acc}");
@@ -180,7 +181,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let x = Matrix::uniform(30, 5, 0.0, 1.0, &mut rng);
         let y: Vec<usize> = (0..30).map(|i| i % 2).collect();
-        let model = FactorizationMachine::fit(&x, &y, &FmConfig { epochs: 10, ..Default::default() }, &mut rng);
+        let model =
+            FactorizationMachine::fit(&x, &y, &FmConfig { epochs: 10, ..Default::default() }, &mut rng);
         for p in model.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }

@@ -1,9 +1,10 @@
 //! Random forests: bootstrap-aggregated CART trees with per-split feature
 //! subsampling.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use gnn4tdl_tensor::Matrix;
+use gnn4tdl_tensor::{parallel, Matrix};
 
 use crate::tree::{DecisionTree, TreeConfig};
 
@@ -44,28 +45,31 @@ impl RandomForest {
         rng: &mut R,
     ) -> Self {
         let tree_cfg = resolve_features(cfg.tree, x.cols());
-        let trees = (0..cfg.n_trees)
-            .map(|_| {
-                let sample = bootstrap(x.rows(), cfg.sample_fraction, rng);
-                let xs = x.gather_rows(&sample);
-                let ys: Vec<usize> = sample.iter().map(|&r| y[r]).collect();
-                DecisionTree::fit_classifier(&xs, &ys, num_classes, &tree_cfg, rng)
-            })
-            .collect();
+        // One seed per tree, drawn sequentially from the caller's RNG; each
+        // tree then fits from its own private stream, so the forest is
+        // identical for any worker count.
+        let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| rng.gen()).collect();
+        let trees = parallel::par_map(&seeds, |_, &seed| {
+            let mut tree_rng = StdRng::seed_from_u64(seed);
+            let sample = bootstrap(x.rows(), cfg.sample_fraction, &mut tree_rng);
+            let xs = x.gather_rows(&sample);
+            let ys: Vec<usize> = sample.iter().map(|&r| y[r]).collect();
+            DecisionTree::fit_classifier(&xs, &ys, num_classes, &tree_cfg, &mut tree_rng)
+        });
         Self { trees, num_outputs: num_classes }
     }
 
     /// Fits a regression forest.
     pub fn fit_regressor<R: Rng>(x: &Matrix, y: &[f32], cfg: &ForestConfig, rng: &mut R) -> Self {
         let tree_cfg = resolve_features(cfg.tree, x.cols());
-        let trees = (0..cfg.n_trees)
-            .map(|_| {
-                let sample = bootstrap(x.rows(), cfg.sample_fraction, rng);
-                let xs = x.gather_rows(&sample);
-                let ys: Vec<f32> = sample.iter().map(|&r| y[r]).collect();
-                DecisionTree::fit_regressor(&xs, &ys, &tree_cfg, rng)
-            })
-            .collect();
+        let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| rng.gen()).collect();
+        let trees = parallel::par_map(&seeds, |_, &seed| {
+            let mut tree_rng = StdRng::seed_from_u64(seed);
+            let sample = bootstrap(x.rows(), cfg.sample_fraction, &mut tree_rng);
+            let xs = x.gather_rows(&sample);
+            let ys: Vec<f32> = sample.iter().map(|&r| y[r]).collect();
+            DecisionTree::fit_regressor(&xs, &ys, &tree_cfg, &mut tree_rng)
+        });
         Self { trees, num_outputs: 1 }
     }
 
@@ -121,7 +125,13 @@ mod tests {
             y.push(c);
         }
         let x = Matrix::from_rows(&rows);
-        let forest = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 10, ..Default::default() }, &mut rng);
+        let forest = RandomForest::fit_classifier(
+            &x,
+            &y,
+            2,
+            &ForestConfig { n_trees: 10, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(forest.num_trees(), 10);
         let pred = forest.predict_classes(&x);
         let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / 200.0;
@@ -133,7 +143,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let x = Matrix::uniform(100, 3, 0.0, 1.0, &mut rng);
         let y: Vec<usize> = (0..100).map(|i| i % 3).collect();
-        let forest = RandomForest::fit_classifier(&x, &y, 3, &ForestConfig { n_trees: 5, ..Default::default() }, &mut rng);
+        let forest = RandomForest::fit_classifier(
+            &x,
+            &y,
+            3,
+            &ForestConfig { n_trees: 5, ..Default::default() },
+            &mut rng,
+        );
         let probs = forest.predict(&x);
         for r in 0..probs.rows() {
             let s: f32 = probs.row(r).iter().sum();
@@ -154,7 +170,12 @@ mod tests {
             y.push(if a > 0.0 { 2.0 } else { -2.0 });
         }
         let x = Matrix::from_rows(&rows);
-        let forest = RandomForest::fit_regressor(&x, &y, &ForestConfig { n_trees: 10, ..Default::default() }, &mut rng);
+        let forest = RandomForest::fit_regressor(
+            &x,
+            &y,
+            &ForestConfig { n_trees: 10, ..Default::default() },
+            &mut rng,
+        );
         let pred = forest.predict_values(&x);
         let mse: f32 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / n as f32;
         assert!(mse < 1.0, "forest regression mse {mse}");
@@ -167,8 +188,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let x = Matrix::uniform(200, 4, 0.0, 1.0, &mut rng);
         let y: Vec<usize> = (0..200).map(|_| rng.gen_range(0..2)).collect();
-        let small = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 1, ..Default::default() }, &mut rng);
-        let big = RandomForest::fit_classifier(&x, &y, 2, &ForestConfig { n_trees: 40, ..Default::default() }, &mut rng);
+        let small = RandomForest::fit_classifier(
+            &x,
+            &y,
+            2,
+            &ForestConfig { n_trees: 1, ..Default::default() },
+            &mut rng,
+        );
+        let big = RandomForest::fit_classifier(
+            &x,
+            &y,
+            2,
+            &ForestConfig { n_trees: 40, ..Default::default() },
+            &mut rng,
+        );
         let spread = |m: &Matrix| -> f32 {
             (0..m.rows()).map(|r| (m.get(r, 0) - 0.5).abs()).sum::<f32>() / m.rows() as f32
         };

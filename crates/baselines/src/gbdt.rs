@@ -89,11 +89,8 @@ impl GbdtScores {
         let mut score = vec![base; y01.len()];
         let mut trees = Vec::with_capacity(cfg.n_rounds);
         for _ in 0..cfg.n_rounds {
-            let grad: Vec<f32> = y01
-                .iter()
-                .zip(&score)
-                .map(|(&t, &f)| t - 1.0 / (1.0 + (-f).exp()))
-                .collect();
+            let grad: Vec<f32> =
+                y01.iter().zip(&score).map(|(&t, &f)| t - 1.0 / (1.0 + (-f).exp())).collect();
             let tree = DecisionTree::fit_regressor(x, &grad, &cfg.tree, rng);
             let update = tree.predict_values(x);
             for (sc, u) in score.iter_mut().zip(&update) {
@@ -216,7 +213,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let x = Matrix::uniform(50, 2, 0.0, 1.0, &mut rng);
         let y: Vec<usize> = (0..50).map(|i| i % 2).collect();
-        let model = GbdtBinaryClassifier::fit(&x, &y, &GbdtConfig { n_rounds: 20, ..Default::default() }, &mut rng);
+        let model =
+            GbdtBinaryClassifier::fit(&x, &y, &GbdtConfig { n_rounds: 20, ..Default::default() }, &mut rng);
         for p in model.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -234,7 +232,8 @@ mod tests {
             y.push(c);
         }
         let x = Matrix::from_rows(&rows);
-        let model = GbdtClassifier::fit(&x, &y, 3, &GbdtConfig { n_rounds: 30, ..Default::default() }, &mut rng);
+        let model =
+            GbdtClassifier::fit(&x, &y, 3, &GbdtConfig { n_rounds: 30, ..Default::default() }, &mut rng);
         let pred = model.predict_classes(&x);
         let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / n as f64;
         assert!(acc > 0.95, "multiclass acc {acc}");

@@ -26,9 +26,8 @@ impl KnnModel {
     }
 
     fn neighbors(&self, q: &Matrix, row: usize) -> Vec<usize> {
-        let mut dists: Vec<(usize, f32)> = (0..self.x.rows())
-            .map(|r| (r, Matrix::row_distance(q, row, &self.x, r)))
-            .collect();
+        let mut dists: Vec<(usize, f32)> =
+            (0..self.x.rows()).map(|r| (r, Matrix::row_distance(q, row, &self.x, r))).collect();
         let take = self.k.min(dists.len());
         dists.select_nth_unstable_by(take - 1, |a, b| {
             a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
@@ -45,14 +44,24 @@ impl KnnModel {
                 for r in self.neighbors(q, row) {
                     counts[labels[r]] += 1;
                 }
-                counts
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(_, &c)| c)
-                    .map(|(c, _)| c)
-                    .unwrap_or(0)
+                counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap_or(0)
             })
             .collect()
+    }
+
+    /// Neighbor vote fractions (`q.rows() x num_classes`).
+    pub fn predict_proba(&self, q: &Matrix) -> Matrix {
+        let labels = self.labels.as_ref().expect("not a classifier");
+        let mut out = Matrix::zeros(q.rows(), self.num_classes);
+        for row in 0..q.rows() {
+            let neigh = self.neighbors(q, row);
+            let w = 1.0 / neigh.len() as f32;
+            for r in neigh {
+                let c = labels[r];
+                out.set(row, c, out.get(row, c) + w);
+            }
+        }
+        out
     }
 
     /// Mean of the k nearest training targets.
@@ -105,8 +114,7 @@ pub fn lof_scores(x: &Matrix, k: usize) -> Vec<f32> {
         }
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let take = k.min(dists.len());
-        let neigh_mean: f32 =
-            dists[..take].iter().map(|&(j, _)| base[j]).sum::<f32>() / take.max(1) as f32;
+        let neigh_mean: f32 = dists[..take].iter().map(|&(j, _)| base[j]).sum::<f32>() / take.max(1) as f32;
         scores.push(if neigh_mean > 1e-9 { base[i] / neigh_mean } else { 1.0 });
     }
     scores
@@ -141,20 +149,13 @@ mod tests {
             vec![5.0, 5.0], // outlier
         ]);
         let scores = knn_anomaly_scores(&x, 2);
-        let max_idx = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx = scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 3);
     }
 
     #[test]
     fn lof_near_one_for_uniform_cluster() {
-        let x = Matrix::from_rows(&[
-            vec![0.0], vec![0.1], vec![0.2], vec![0.3], vec![0.4], vec![9.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![0.3], vec![0.4], vec![9.0]]);
         let scores = lof_scores(&x, 2);
         // inliers near 1
         for &s in &scores[..5] {

@@ -103,9 +103,7 @@ mod tests {
 
     #[test]
     fn separates_linear_data() {
-        let x = Matrix::from_rows(&[
-            vec![-1.0], vec![-0.8], vec![-0.9], vec![0.8], vec![1.0], vec![0.9],
-        ]);
+        let x = Matrix::from_rows(&[vec![-1.0], vec![-0.8], vec![-0.9], vec![0.8], vec![1.0], vec![0.9]]);
         let y = vec![0, 0, 0, 1, 1, 1];
         let model = LogisticRegression::fit(&x, &y, 2, &LogRegConfig::default());
         assert_eq!(model.predict_classes(&x), y);
@@ -116,9 +114,7 @@ mod tests {
     #[test]
     fn fails_on_xor_as_expected() {
         // the canonical result: linear models are at chance on XOR
-        let x = Matrix::from_rows(&[
-            vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0]]);
         let y = vec![0, 0, 1, 1];
         let model = LogisticRegression::fit(&x, &y, 2, &LogRegConfig::default());
         let pred = model.predict_classes(&x);

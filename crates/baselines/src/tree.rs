@@ -118,9 +118,8 @@ impl DecisionTree {
         depth: usize,
         rng: &mut R,
     ) -> usize {
-        let make_leaf = depth >= cfg.max_depth
-            || rows.len() < 2 * cfg.min_samples_leaf
-            || is_pure(y, &rows, obj);
+        let make_leaf =
+            depth >= cfg.max_depth || rows.len() < 2 * cfg.min_samples_leaf || is_pure(y, &rows, obj);
         if !make_leaf {
             if let Some((feature, threshold)) = self.best_split(x, y, obj, cfg, &rows, rng) {
                 let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
@@ -162,9 +161,8 @@ impl DecisionTree {
         for &f in &features {
             order.clear();
             order.extend_from_slice(rows);
-            order.sort_by(|&a, &b| {
-                x.get(a, f).partial_cmp(&x.get(b, f)).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            order
+                .sort_by(|&a, &b| x.get(a, f).partial_cmp(&x.get(b, f)).unwrap_or(std::cmp::Ordering::Equal));
             let score_fn = SplitScanner::new(y, &order, obj);
             if let Some((threshold, score)) = score_fn.scan(x, f, &order, cfg.min_samples_leaf) {
                 if best.as_ref().is_none_or(|&(_, _, s)| score < s) {
@@ -227,10 +225,12 @@ impl DecisionTree {
 
 fn is_pure(y: &[f32], rows: &[usize], obj: Objective) -> bool {
     match obj {
-        Objective::Gini { .. } => rows.windows(2).all(|_| true) && {
-            let first = y[rows[0]];
-            rows.iter().all(|&r| y[r] == first)
-        },
+        Objective::Gini { .. } => {
+            rows.windows(2).all(|_| true) && {
+                let first = y[rows[0]];
+                rows.iter().all(|&r| y[r] == first)
+            }
+        }
         Objective::Variance => {
             let first = y[rows[0]];
             rows.iter().all(|&r| (y[r] - first).abs() < 1e-12)
@@ -296,12 +296,8 @@ impl<'a> SplitScanner<'a> {
                         }
                         1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
                     };
-                    let right_counts: Vec<f64> = self
-                        .total_counts
-                        .iter()
-                        .zip(&left_counts)
-                        .map(|(&t, &l)| t - l)
-                        .collect();
+                    let right_counts: Vec<f64> =
+                        self.total_counts.iter().zip(&left_counts).map(|(&t, &l)| t - l).collect();
                     let score = left_n * gini(&left_counts, left_n) + right_n * gini(&right_counts, right_n);
                     if best.is_none_or(|(_, s)| score < s) {
                         best = Some(((v + v_next) / 2.0, score));
@@ -346,12 +342,16 @@ mod tests {
 
     #[test]
     fn fits_axis_aligned_boundary_exactly() {
-        let x = Matrix::from_rows(&[
-            vec![0.1], vec![0.2], vec![0.3], vec![0.7], vec![0.8], vec![0.9],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3], vec![0.7], vec![0.8], vec![0.9]]);
         let y = vec![0, 0, 0, 1, 1, 1];
         let mut rng = StdRng::seed_from_u64(0);
-        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(tree.predict_classes(&x), y);
         // generalizes across the boundary
         let test = Matrix::from_rows(&[vec![0.05], vec![0.95]]);
@@ -360,12 +360,16 @@ mod tests {
 
     #[test]
     fn fits_xor_with_depth_two() {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = vec![0, 1, 1, 0];
         let mut rng = StdRng::seed_from_u64(1);
-        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(tree.predict_classes(&x), y);
     }
 
@@ -374,18 +378,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let x = Matrix::uniform(200, 3, 0.0, 1.0, &mut rng);
         let y: Vec<usize> = (0..200).map(|i| i % 2).collect();
-        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         assert!(tree.depth() <= 2, "depth {}", tree.depth());
     }
 
     #[test]
     fn regression_tree_fits_step_function() {
-        let x = Matrix::from_rows(&[
-            vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0]]);
         let y = vec![5.0, 5.0, 5.0, -3.0, -3.0, -3.0];
         let mut rng = StdRng::seed_from_u64(3);
-        let tree = DecisionTree::fit_regressor(&x, &y, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_regressor(
+            &x,
+            &y,
+            &TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         let pred = tree.predict_values(&x);
         for (p, t) in pred.iter().zip(&y) {
             assert!((p - t).abs() < 1e-5, "pred {p} vs {t}");
@@ -410,7 +423,13 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         let y = vec![1, 1, 1];
         let mut rng = StdRng::seed_from_u64(5);
-        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(tree.num_nodes(), 1);
     }
 
@@ -427,7 +446,13 @@ mod tests {
             y.push(i % 2);
         }
         let x = Matrix::from_rows(&rows);
-        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig { max_depth: 1, min_samples_leaf: 1, ..Default::default() }, &mut rng);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { max_depth: 1, min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
         // root split must be on the informative feature
         if let Node::Split { feature, .. } = &tree.nodes[0] {
             assert_eq!(*feature, 0);

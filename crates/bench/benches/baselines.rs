@@ -33,7 +33,13 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("random_forest_50", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(2);
-            black_box(RandomForest::fit_classifier(&enc.features, &labels, 2, &ForestConfig::default(), &mut r))
+            black_box(RandomForest::fit_classifier(
+                &enc.features,
+                &labels,
+                2,
+                &ForestConfig::default(),
+                &mut r,
+            ))
         })
     });
     group.bench_function("gbdt_100rounds", |b| {

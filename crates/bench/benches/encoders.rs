@@ -6,8 +6,8 @@ use std::hint::black_box;
 use std::rc::Rc;
 
 use gnn4tdl_construct::{build_instance_graph, same_value_multiplex, EdgeRule, Similarity};
-use gnn4tdl_data::synth::{fraud_network, gaussian_clusters, ClustersConfig, FraudConfig};
 use gnn4tdl_data::encode_all;
+use gnn4tdl_data::synth::{fraud_network, gaussian_clusters, ClustersConfig, FraudConfig};
 use gnn4tdl_nn::{GatModel, GcnModel, GinModel, MlpModel, NodeModel, RgcnModel, SageModel, Session};
 use gnn4tdl_tensor::{Matrix, ParamStore};
 use rand::rngs::StdRng;
@@ -67,9 +67,7 @@ fn bench_encoders(c: &mut Criterion) {
     let flabels = Rc::new(fraud.dataset.target.labels().to_vec());
     let mut store = ParamStore::new();
     let m = RgcnModel::new(&mut store, &mg, &[fenc.features.cols(), 32, 2], 0.0, &mut rng);
-    c.bench_function("rgcn_train_step_500n", |b| {
-        b.iter(|| step(&m, &store, &fenc.features, &flabels))
-    });
+    c.bench_function("rgcn_train_step_500n", |b| b.iter(|| step(&m, &store, &fenc.features, &flabels)));
 }
 
 criterion_group!(benches, bench_encoders);

@@ -1,0 +1,163 @@
+//! Parallel-substrate benchmarks: the same kernel pinned to 1 worker vs the
+//! machine's full parallelism, for the three hot paths the substrate backs
+//! (dense matmul, CSR SpMM, kNN graph construction).
+//!
+//! Besides the per-case criterion timings, a `parallel_speedup` report is
+//! saved to `target/bench-reports/parallel_speedup.json` with the measured
+//! speedups, so harness scripts can assert on them without parsing bench
+//! output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+use gnn4tdl_tensor::{parallel, CsrMatrix, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_pair(n: usize) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(11);
+    (Matrix::randn(n, n, 0.0, 1.0, &mut rng), Matrix::randn(n, n, 0.0, 1.0, &mut rng))
+}
+
+fn sparse_pair(n: usize, degree: usize, d: usize) -> (CsrMatrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut triplets = Vec::with_capacity(n * degree);
+    for r in 0..n {
+        for _ in 0..degree {
+            triplets.push((r, rng.gen_range(0..n), 1.0f32));
+        }
+    }
+    (CsrMatrix::from_triplets(n, n, &triplets), Matrix::randn(n, d, 0.0, 1.0, &mut rng))
+}
+
+fn knn_features(n: usize, d: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(13);
+    Matrix::randn(n, d, 0.0, 1.0, &mut rng)
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let (a, b) = dense_pair(384);
+    let mut group = c.benchmark_group("matmul_384");
+    group.sample_size(10);
+    group.bench_function("threads_1", |bench| {
+        bench.iter(|| parallel::with_threads(1, || black_box(a.matmul(&b))));
+    });
+    group.bench_function("threads_max", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+    group.finish();
+}
+
+fn bench_spmm_threads(c: &mut Criterion) {
+    let (a, x) = sparse_pair(4000, 16, 64);
+    let mut group = c.benchmark_group("spmm_4000_deg16_d64");
+    group.sample_size(10);
+    group.bench_function("threads_1", |bench| {
+        bench.iter(|| parallel::with_threads(1, || black_box(a.spmm(&x))));
+    });
+    group.bench_function("threads_max", |bench| {
+        bench.iter(|| black_box(a.spmm(&x)));
+    });
+    group.finish();
+}
+
+fn bench_knn_threads(c: &mut Criterion) {
+    let features = knn_features(1500, 16);
+    let mut group = c.benchmark_group("knn_1500x16_k10");
+    group.sample_size(10);
+    group.bench_function("threads_1", |bench| {
+        bench.iter(|| {
+            parallel::with_threads(1, || {
+                black_box(build_instance_graph(&features, Similarity::Euclidean, EdgeRule::Knn { k: 10 }))
+            })
+        });
+    });
+    group.bench_function("threads_max", |bench| {
+        bench.iter(|| {
+            black_box(build_instance_graph(&features, Similarity::Euclidean, EdgeRule::Knn { k: 10 }))
+        });
+    });
+    group.finish();
+}
+
+/// Median seconds per call over `reps` runs at a pinned worker count.
+fn median_secs(threads: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        parallel::with_threads(threads, &mut f);
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn speedup_report(c: &mut Criterion) {
+    // criterion passes every registered function a Criterion; this one
+    // measures directly and writes the speedup table.
+    let _ = c;
+    let workers = parallel::current_threads();
+    let mut report = Report::new(
+        "parallel_speedup",
+        format!("substrate speedup: 1 thread vs {workers} threads"),
+        &["kernel", "seq_ms", "par_ms", "speedup", "threads"],
+    );
+    let reps = 7;
+
+    let (a, b) = dense_pair(384);
+    let seq = median_secs(1, reps, || {
+        black_box(a.matmul(&b));
+    });
+    let par = median_secs(workers, reps, || {
+        black_box(a.matmul(&b));
+    });
+    report.row(vec![
+        Cell::from("matmul_384"),
+        Cell::from(seq * 1e3),
+        Cell::from(par * 1e3),
+        Cell::from(seq / par),
+        Cell::from(workers),
+    ]);
+
+    let (sp, x) = sparse_pair(4000, 16, 64);
+    let seq = median_secs(1, reps, || {
+        black_box(sp.spmm(&x));
+    });
+    let par = median_secs(workers, reps, || {
+        black_box(sp.spmm(&x));
+    });
+    report.row(vec![
+        Cell::from("spmm_4000_deg16_d64"),
+        Cell::from(seq * 1e3),
+        Cell::from(par * 1e3),
+        Cell::from(seq / par),
+        Cell::from(workers),
+    ]);
+
+    let features = knn_features(1500, 16);
+    let seq = median_secs(1, reps, || {
+        black_box(build_instance_graph(&features, Similarity::Euclidean, EdgeRule::Knn { k: 10 }));
+    });
+    let par = median_secs(workers, reps, || {
+        black_box(build_instance_graph(&features, Similarity::Euclidean, EdgeRule::Knn { k: 10 }));
+    });
+    report.row(vec![
+        Cell::from("knn_1500x16_k10"),
+        Cell::from(seq * 1e3),
+        Cell::from(par * 1e3),
+        Cell::from(seq / par),
+        Cell::from(workers),
+    ]);
+
+    report.print();
+    // cargo runs benches with the package dir as CWD; anchor the report to
+    // the workspace target/ so the documented path holds.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
+    report.save_json(&dir).expect("write parallel_speedup.json");
+}
+
+criterion_group!(benches, bench_matmul_threads, bench_spmm_threads, bench_knn_threads, speedup_report);
+criterion_main!(benches);

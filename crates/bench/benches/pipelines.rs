@@ -26,7 +26,9 @@ fn bench_pipelines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_pipeline_200n_20epochs");
     group.sample_size(10);
     group.bench_function("mlp", |b| {
-        b.iter(|| black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::None, EncoderSpec::Mlp))))
+        b.iter(|| {
+            black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::None, EncoderSpec::Mlp)))
+        })
     });
     group.bench_function("knn_gcn", |b| {
         b.iter(|| {
@@ -41,7 +43,9 @@ fn bench_pipelines(c: &mut Criterion) {
         })
     });
     group.bench_function("bipartite", |b| {
-        b.iter(|| black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::Bipartite, EncoderSpec::Gcn))))
+        b.iter(|| {
+            black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::Bipartite, EncoderSpec::Gcn)))
+        })
     });
     group.bench_function("hypergraph", |b| {
         b.iter(|| {
@@ -63,7 +67,11 @@ fn bench_pipelines(c: &mut Criterion) {
     });
     group.bench_function("neural_gsl", |b| {
         b.iter(|| {
-            black_box(fit_pipeline(&w.dataset, &w.split, &quick_cfg(GraphSpec::NeuralGsl { k: 6 }, EncoderSpec::Gcn)))
+            black_box(fit_pipeline(
+                &w.dataset,
+                &w.split,
+                &quick_cfg(GraphSpec::NeuralGsl { k: 6 }, EncoderSpec::Gcn),
+            ))
         })
     });
     group.finish();

@@ -5,9 +5,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::rc::Rc;
 
-use gnn4tdl_construct::{build_instance_graph, bipartite_from_table, hypergraph_from_table, EdgeRule, Similarity};
-use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_construct::{
+    bipartite_from_table, build_instance_graph, hypergraph_from_table, EdgeRule, Similarity,
+};
 use gnn4tdl_data::encode_all;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
 use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,11 +79,7 @@ fn bench_construction(c: &mut Criterion) {
     let enc = encode_all(&data.table);
     c.bench_function("knn_graph_500x16_k10", |bench| {
         bench.iter(|| {
-            black_box(build_instance_graph(
-                &enc.features,
-                Similarity::Euclidean,
-                EdgeRule::Knn { k: 10 },
-            ))
+            black_box(build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 10 }))
         });
     });
     c.bench_function("bipartite_from_table_500x16", |bench| {

@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use gnn4tdl_bench::experiments;
+use gnn4tdl_tensor::parallel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,27 +27,33 @@ fn main() {
         std::process::exit(2);
     }
     let run_all = wanted.iter().any(|w| w.eq_ignore_ascii_case("all"));
-    let suite = experiments::all();
-    let mut ran = 0usize;
+    let selected: Vec<_> = experiments::all()
+        .into_iter()
+        .filter(|(id, _)| run_all || wanted.iter().any(|w| w.eq_ignore_ascii_case(id)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matched {wanted:?}");
+        std::process::exit(2);
+    }
     let t0 = Instant::now();
-    for (id, runner) in suite {
-        if !run_all && !wanted.iter().any(|w| w.eq_ignore_ascii_case(id)) {
-            continue;
-        }
+    // Experiment groups are independent and internally seeded, so they fan
+    // out across workers; each group runs its kernels single-threaded
+    // (avoiding oversubscription) and its reports stay bit-identical to a
+    // sequential run. Results print in suite order afterwards.
+    let results = parallel::par_map(&selected, |_, (_, runner)| {
         let t = Instant::now();
-        let reports = runner();
+        let reports = parallel::with_threads(1, runner);
+        (reports, t.elapsed().as_secs_f64())
+    });
+    let ran = results.len();
+    for ((id, _), (reports, secs)) in selected.iter().zip(results) {
         for report in &reports {
             report.print();
             if let Some(dir) = &json_dir {
                 report.save_json(dir).expect("write report json");
             }
         }
-        println!("[{id} finished in {:.1}s]\n", t.elapsed().as_secs_f64());
-        ran += 1;
-    }
-    if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}");
-        std::process::exit(2);
+        println!("[{id} finished in {secs:.1}s]\n");
     }
     println!("ran {ran} experiment group(s) in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -134,7 +134,13 @@ fn relation_modeling() -> Vec<Vec<Cell>> {
 
 /// Returns `(auc, accuracy)` of a GCN trained on the given fixed graph —
 /// AUC is only meaningful for binary labels (it is 0.5 otherwise).
-fn train_gcn_on_graph(graph: &Graph, features: &Matrix, labels: &[usize], split: &Split, seed: u64) -> (f64, f64) {
+fn train_gcn_on_graph(
+    graph: &Graph,
+    features: &Matrix,
+    labels: &[usize],
+    split: &Split,
+    seed: u64,
+) -> (f64, f64) {
     use gnn4tdl_nn::GcnModel;
     use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -169,8 +175,8 @@ fn missing_aware_construction() -> Vec<Vec<Cell>> {
         },
         &mut rng,
     );
-    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng)
-        .with_label_fraction(0.3, &mut rng);
+    let split =
+        Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng).with_label_fraction(0.3, &mut rng);
     let mut w = crate::workloads::Workload { dataset, split };
     inject_mcar(&mut w.dataset.table, 0.5, &mut rng);
     let labels = w.dataset.target.labels().to_vec();

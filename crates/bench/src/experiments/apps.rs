@@ -1,9 +1,15 @@
 //! E11–E15 — Section 5 application studies: anomaly detection, CTR,
 //! missing-data imputation, medical prediction, financial fraud.
 
-use gnn4tdl::zoo::{grape_impute, knn_impute, lunar_scores, mean_impute, reconstruction_scores, GrapeImputeConfig, LunarConfig};
+use gnn4tdl::zoo::{
+    grape_impute, knn_impute, lunar_scores, mean_impute, reconstruction_scores, GrapeImputeConfig,
+    LunarConfig,
+};
 use gnn4tdl::{fit_pipeline, test_classification, EncoderSpec, GraphSpec, PipelineConfig};
-use gnn4tdl_baselines::{knn_anomaly_scores, lof_scores, FactorizationMachine, FmConfig, GbdtBinaryClassifier, GbdtConfig, LogRegConfig, LogisticRegression};
+use gnn4tdl_baselines::{
+    knn_anomaly_scores, lof_scores, FactorizationMachine, FmConfig, GbdtBinaryClassifier, GbdtConfig,
+    LogRegConfig, LogisticRegression,
+};
 use gnn4tdl_construct::{EdgeRule, Similarity};
 use gnn4tdl_data::metrics::roc_auc;
 use gnn4tdl_data::synth::{gaussian_clusters, inject_mar, inject_mcar, ClustersConfig};
@@ -67,14 +73,13 @@ pub fn run_e12() -> Report {
         &["model", "no_interactions", "weak_x1", "strong_x2"],
     );
     let settings = [(0.5f32, 0.0f32), (0.3, 1.0), (0.3, 2.0)];
-    let workloads: Vec<_> = settings
-        .iter()
-        .enumerate()
-        .map(|(i, &(fo, ix))| ctr(130 + i as u64, 2500, fo, ix))
-        .collect();
+    let workloads: Vec<_> =
+        settings.iter().enumerate().map(|(i, &(fo, ix))| ctr(130 + i as u64, 2500, fo, ix)).collect();
 
     // feature-graph GNNs via the pipeline: fully-connected and learned fields
-    for (label, learned) in [("feature-graph GNN (Fi-GNN style)", false), ("feature-graph GNN (T2G learned fields)", true)] {
+    for (label, learned) in
+        [("feature-graph GNN (Fi-GNN style)", false), ("feature-graph GNN (T2G learned fields)", true)]
+    {
         let mut cells = vec![Cell::from(label)];
         for (w, _) in &workloads {
             let graph = if learned {
@@ -86,7 +91,12 @@ pub fn run_e12() -> Report {
                 graph,
                 hidden: 32,
                 layers: 3,
-                train: gnn4tdl_train::TrainConfig { epochs: 300, patience: 40, weight_decay: 1e-4, ..Default::default() },
+                train: gnn4tdl_train::TrainConfig {
+                    epochs: 300,
+                    patience: 40,
+                    weight_decay: 1e-4,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let r = fit_pipeline(&w.dataset, &w.split, &cfg);
@@ -96,13 +106,21 @@ pub fn run_e12() -> Report {
     }
 
     // classical baselines on one-hot encodings
-    let classic: Vec<(&str, Box<dyn Fn(&gnn4tdl_tensor::Matrix, &[usize], &gnn4tdl_tensor::Matrix) -> Vec<f32>>)> = vec![
+    let classic: Vec<(
+        &str,
+        Box<dyn Fn(&gnn4tdl_tensor::Matrix, &[usize], &gnn4tdl_tensor::Matrix) -> Vec<f32>>,
+    )> = vec![
         (
             "factorization machine",
             Box::new(|tx, ty, ex| {
                 let mut rng = StdRng::seed_from_u64(7);
-                FactorizationMachine::fit(tx, ty, &FmConfig { factors: 12, epochs: 300, lr: 0.1, ..Default::default() }, &mut rng)
-                    .predict_proba(ex)
+                FactorizationMachine::fit(
+                    tx,
+                    ty,
+                    &FmConfig { factors: 12, epochs: 300, lr: 0.1, ..Default::default() },
+                    &mut rng,
+                )
+                .predict_proba(ex)
             }),
         ),
         (
@@ -114,7 +132,9 @@ pub fn run_e12() -> Report {
         ),
         (
             "logistic regression (wide)",
-            Box::new(|tx, ty, ex| LogisticRegression::fit(tx, ty, 2, &LogRegConfig::default()).predict_positive(ex)),
+            Box::new(|tx, ty, ex| {
+                LogisticRegression::fit(tx, ty, 2, &LogRegConfig::default()).predict_positive(ex)
+            }),
         ),
     ];
     for (name, fit_score) in classic {
@@ -178,13 +198,7 @@ pub fn run_e13() -> Report {
         (se / n.max(1) as f64).sqrt()
     };
 
-    for (mechanism, rate) in [
-        ("MCAR", 0.1),
-        ("MCAR", 0.3),
-        ("MCAR", 0.5),
-        ("MCAR", 0.7),
-        ("MAR", 0.3),
-    ] {
+    for (mechanism, rate) in [("MCAR", 0.1), ("MCAR", 0.3), ("MCAR", 0.5), ("MCAR", 0.7), ("MAR", 0.3)] {
         let mut corrupted = dataset.table.clone();
         if mechanism == "MCAR" {
             inject_mcar(&mut corrupted, rate, &mut rng);
@@ -195,7 +209,13 @@ pub fn run_e13() -> Report {
         let methods: Vec<(&str, Table)> = vec![
             ("mean", mean_impute(&corrupted)),
             ("knn-5", knn_impute(&corrupted, 5)),
-            ("GRAPE", grape_impute(&corrupted, &GrapeImputeConfig { epochs: 300, hidden: 48, lr: 0.005, ..Default::default() })),
+            (
+                "GRAPE",
+                grape_impute(
+                    &corrupted,
+                    &GrapeImputeConfig { epochs: 300, hidden: 48, lr: 0.005, ..Default::default() },
+                ),
+            ),
         ];
         for (name, imputed) in methods {
             let rmse = impute_rmse(&dataset.table, &corrupted, &imputed);

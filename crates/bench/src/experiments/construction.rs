@@ -3,7 +3,7 @@
 
 use gnn4tdl::{fit_pipeline, test_classification, EncoderSpec, GraphSpec, PipelineConfig};
 use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
-use gnn4tdl_data::{Featurizer};
+use gnn4tdl_data::Featurizer;
 use gnn4tdl_train::TrainConfig;
 
 use crate::report::{Cell, Report};
@@ -23,11 +23,7 @@ pub fn run_e03() -> Report {
     let enc = Featurizer::fit(&w.dataset.table, &w.split.train).encode(&w.dataset.table);
     let labels = w.dataset.target.labels();
 
-    let sims = [
-        Similarity::Euclidean,
-        Similarity::Cosine,
-        Similarity::Gaussian { sigma: 2.0 },
-    ];
+    let sims = [Similarity::Euclidean, Similarity::Cosine, Similarity::Gaussian { sigma: 2.0 }];
     let mut cases: Vec<(String, Similarity, EdgeRule)> = Vec::new();
     for sim in sims {
         for k in [3usize, 10, 30] {
@@ -35,8 +31,16 @@ pub fn run_e03() -> Report {
         }
     }
     // threshold sweeps only make sense per similarity scale
-    cases.push(("threshold t=0.6".into(), Similarity::Gaussian { sigma: 2.0 }, EdgeRule::Threshold { tau: 0.6 }));
-    cases.push(("threshold t=0.3".into(), Similarity::Gaussian { sigma: 2.0 }, EdgeRule::Threshold { tau: 0.3 }));
+    cases.push((
+        "threshold t=0.6".into(),
+        Similarity::Gaussian { sigma: 2.0 },
+        EdgeRule::Threshold { tau: 0.6 },
+    ));
+    cases.push((
+        "threshold t=0.3".into(),
+        Similarity::Gaussian { sigma: 2.0 },
+        EdgeRule::Threshold { tau: 0.3 },
+    ));
     cases.push(("fully-connected".into(), Similarity::Euclidean, EdgeRule::FullyConnected));
 
     for (name, sim, rule) in cases {

@@ -47,12 +47,7 @@ pub fn run() -> Report {
         }
         let rf = fit_pipeline(&wf.dataset, &wf.split, &cfg);
         let mf = test_classification(&rf.predictions, &wf.dataset.target, &wf.split);
-        report.row(vec![
-            Cell::from(name),
-            Cell::from(acc / 3.0),
-            Cell::from(mf.auc),
-            Cell::from(ms / 3.0),
-        ]);
+        report.row(vec![Cell::from(name), Cell::from(acc / 3.0), Cell::from(mf.auc), Cell::from(ms / 3.0)]);
     }
     // encoders outside the pipeline's EncoderSpec: GGNN and max-pool SAGE
     for extra in ["GGNN (gated updates)", "GraphSAGE (max-pool)"] {
@@ -67,7 +62,8 @@ pub fn run() -> Report {
             let mut store = ParamStore::new();
             let t0 = std::time::Instant::now();
             let acc_run = {
-                let task = NodeTask::classification(enc.features.clone(), labels.clone(), 3, wc.split.clone());
+                let task =
+                    NodeTask::classification(enc.features.clone(), labels.clone(), 3, wc.split.clone());
                 let cfg = TrainConfig { epochs: 120, patience: 25, ..Default::default() };
                 let logits = if extra.starts_with("GGNN") {
                     let m = GgnnModel::new(&mut store, &graph, enc.features.cols(), 24, 2, 0.2, &mut rng);
@@ -76,8 +72,12 @@ pub fn run() -> Report {
                     predict(&model, &store, &enc.features)
                 } else {
                     let m = SageModel::with_aggregator(
-                        &mut store, &graph, &[enc.features.cols(), 24, 24], 0.2,
-                        SageAggregator::MaxPool, &mut rng,
+                        &mut store,
+                        &graph,
+                        &[enc.features.cols(), 24, 24],
+                        0.2,
+                        SageAggregator::MaxPool,
+                        &mut rng,
                     );
                     let model = SupervisedModel::new(&mut store, 0, m, 3, &mut rng);
                     fit(&model, &mut store, &task, &[], &cfg);

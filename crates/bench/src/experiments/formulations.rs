@@ -40,8 +40,7 @@ pub fn run_e02() -> Report {
     let wp = parity(11, 700);
     let (wf, _) = fraud(12, 700);
 
-    let instance =
-        || GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } };
+    let instance = || GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } };
     let rows: Vec<(&str, Box<dyn Fn() -> GraphSpec>)> = vec![
         ("homogeneous instance graph", Box::new(instance)),
         ("homogeneous feature graph", Box::new(|| GraphSpec::FeatureGraph { emb_dim: 10 })),

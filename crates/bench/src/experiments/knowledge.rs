@@ -2,8 +2,8 @@
 //! retrieval-based construction (PET): the two "other" methods of the
 //! construction taxonomy.
 
-use gnn4tdl::zoo::{plato_mlp, PlatoConfig};
 use gnn4tdl::classification_on;
+use gnn4tdl::zoo::{plato_mlp, PlatoConfig};
 use gnn4tdl_construct::{correlation_prior, retrieval_hypergraph, FeaturePrior, Similarity};
 use gnn4tdl_data::synth::{grouped_features, GroupedConfig};
 use gnn4tdl_data::{encode_all, Split};

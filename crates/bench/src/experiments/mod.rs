@@ -14,7 +14,6 @@ pub mod training_plans_exp;
 pub mod trees_exp;
 pub mod why_gnn;
 
-#[allow(clippy::type_complexity)]
 use crate::report::Report;
 
 /// Every experiment id with its runner, in paper order.

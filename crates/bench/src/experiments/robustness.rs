@@ -36,12 +36,7 @@ fn add_random_edges(graph: &Graph, fraction: f64, rng: &mut StdRng) -> Graph {
     Graph::from_weighted_edges(n, &edges, false)
 }
 
-fn fit_encoder_on(
-    w: &Workload,
-    graph: &Graph,
-    encoder: &str,
-    seed: u64,
-) -> f64 {
+fn fit_encoder_on(w: &Workload, graph: &Graph, encoder: &str, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let enc = Featurizer::fit(&w.dataset.table, &w.split.train).encode(&w.dataset.table);
     let labels = w.dataset.target.labels().to_vec();
@@ -77,7 +72,8 @@ pub fn run_structure_noise() -> Report {
             for seed in 0..3u64 {
                 let w = clusters(180 + seed, 350, 0, 0.05);
                 let enc = Featurizer::fit(&w.dataset.table, &w.split.train).encode(&w.dataset.table);
-                let clean = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 8 });
+                let clean =
+                    build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 8 });
                 let mut rng = StdRng::seed_from_u64(181 + seed);
                 let noisy = add_random_edges(&clean, fraction, &mut rng);
                 acc += fit_encoder_on(&w, &noisy, encoder, 182 + seed);

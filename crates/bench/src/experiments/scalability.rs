@@ -34,13 +34,8 @@ pub fn run() -> Report {
             ("mlp (no graph)", GraphSpec::None, EncoderSpec::Mlp),
         ];
         for (name, graph, encoder) in specs {
-            let cfg = PipelineConfig {
-                graph,
-                encoder,
-                hidden: 16,
-                train: train.clone(),
-                ..Default::default()
-            };
+            let cfg =
+                PipelineConfig { graph, encoder, hidden: 16, train: train.clone(), ..Default::default() };
             let r = fit_pipeline(&w.dataset, &w.split, &cfg);
             report.row(vec![
                 Cell::from(name),

@@ -88,8 +88,8 @@ pub fn run_e07() -> Report {
     // adversarial (GINN-style) strategy: not a PipelineConfig plan (it owns
     // its own GAN loop), run directly on the same workload
     {
-        use gnn4tdl_construct::build_instance_graph;
         use gnn4tdl::classification_on;
+        use gnn4tdl_construct::build_instance_graph;
         use gnn4tdl_data::Featurizer;
         use gnn4tdl_nn::GcnModel;
         use gnn4tdl_tensor::ParamStore;
@@ -107,7 +107,12 @@ pub fn run_e07() -> Report {
             let encoder = GcnModel::new(&mut store, &graph, &[enc.features.cols(), 24, 24], 0.2, &mut rng);
             let model = SupervisedModel::new(&mut store, 0, encoder, 3, &mut rng);
             let task = NodeTask::classification(enc.features.clone(), labels.clone(), 3, w.split.clone());
-            fit_adversarial(&model, &mut store, &task, &AdversarialConfig { epochs: 120, seed, ..Default::default() });
+            fit_adversarial(
+                &model,
+                &mut store,
+                &task,
+                &AdversarialConfig { epochs: 120, seed, ..Default::default() },
+            );
             let logits = gnn4tdl_train::predict(&model, &store, &enc.features);
             acc += classification_on(&logits, &labels, 3, &w.split.test).accuracy;
         }

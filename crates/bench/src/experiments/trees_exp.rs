@@ -36,10 +36,7 @@ fn tree_acc(dataset: &Dataset, split: &Split, seed: u64) -> (f64, f64) {
     let k = labels.iter().copied().max().unwrap_or(0) + 1;
     let gbdt = GbdtClassifier::fit(&tx, &ty, k, &GbdtConfig::default(), &mut rng);
     let forest = RandomForest::fit_classifier(&tx, &ty, k, &ForestConfig::default(), &mut rng);
-    (
-        accuracy(&gbdt.predict_classes(&ex), &et),
-        accuracy(&forest.predict_classes(&ex), &et),
-    )
+    (accuracy(&gbdt.predict_classes(&ex), &et), accuracy(&forest.predict_classes(&ex), &et))
 }
 
 /// E10a: classification on non-smooth boundaries × irrelevant feature
@@ -59,7 +56,8 @@ pub fn run_classification() -> Report {
     ];
     for (name, base) in bases {
         for irrelevant in [0usize, 8, 32] {
-            let dataset = if irrelevant == 0 { base.clone() } else { pad_irrelevant(&base, irrelevant, &mut rng) };
+            let dataset =
+                if irrelevant == 0 { base.clone() } else { pad_irrelevant(&base, irrelevant, &mut rng) };
             let mut srng = StdRng::seed_from_u64(101);
             let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut srng);
             let (gbdt, forest) = tree_acc(&dataset, &split, 102);

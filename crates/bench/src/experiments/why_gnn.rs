@@ -175,8 +175,18 @@ pub fn run_d() -> Report {
                 ..Default::default()
             };
             let m_cfg = PipelineConfig { graph: GraphSpec::None, encoder: EncoderSpec::Mlp, ..g_cfg.clone() };
-            gcn += test_classification(&fit_pipeline(&w.dataset, &w.split, &g_cfg).predictions, &w.dataset.target, &w.split).accuracy;
-            mlp += test_classification(&fit_pipeline(&w.dataset, &w.split, &m_cfg).predictions, &w.dataset.target, &w.split).accuracy;
+            gcn += test_classification(
+                &fit_pipeline(&w.dataset, &w.split, &g_cfg).predictions,
+                &w.dataset.target,
+                &w.split,
+            )
+            .accuracy;
+            mlp += test_classification(
+                &fit_pipeline(&w.dataset, &w.split, &m_cfg).predictions,
+                &w.dataset.target,
+                &w.split,
+            )
+            .accuracy;
         }
         gcn /= 3.0;
         mlp /= 3.0;
@@ -229,7 +239,10 @@ pub fn run_e() -> Report {
     let preds = logits.argmax_rows();
     let p: Vec<usize> = w.split.test.iter().map(|&i| preds[i]).collect();
     let t: Vec<usize> = w.split.test.iter().map(|&i| labels[i]).collect();
-    report.row(vec![Cell::from("inductive (test rows unseen in training graph)"), Cell::from(accuracy(&p, &t))]);
+    report.row(vec![
+        Cell::from("inductive (test rows unseen in training graph)"),
+        Cell::from(accuracy(&p, &t)),
+    ]);
 
     // --- transductive ceiling via the pipeline
     let cfg = PipelineConfig {

@@ -6,11 +6,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
-
-/// One cell value.
-#[derive(Clone, Debug, Serialize)]
-#[serde(untagged)]
+/// One cell value. Serialized untagged: text as a JSON string, numbers bare.
+#[derive(Clone, Debug)]
 pub enum Cell {
     Text(String),
     Float(f64),
@@ -49,10 +46,48 @@ impl Cell {
             Cell::Int(v) => v.to_string(),
         }
     }
+
+    fn to_json(&self) -> String {
+        match self {
+            Cell::Text(s) => json_string(s),
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            Cell::Float(v) if !v.is_finite() => "null".to_string(),
+            Cell::Float(v) => {
+                let s = format!("{v}");
+                // keep floats recognizably float-typed on round-trip
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Cell::Int(v) => v.to_string(),
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A named experiment table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     pub id: String,
     pub title: String,
@@ -104,11 +139,8 @@ impl Report {
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         for row in rendered {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(c, s)| format!("{s:>width$}", width = widths[c]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(c, s)| format!("{s:>width$}", width = widths[c])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out
@@ -119,11 +151,36 @@ impl Report {
         println!("{}", self.to_text());
     }
 
+    /// Serializes to pretty-printed JSON (hand-rolled; the build environment
+    /// has no registry access for serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let cols: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        let _ = writeln!(out, "  \"columns\": [{}],", cols.join(", "));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let cells: Vec<String> = row.iter().map(Cell::to_json).collect();
+            let _ = write!(out, "\n    [{}]", cells.join(", "));
+        }
+        if self.rows.is_empty() {
+            out.push_str("]\n}");
+        } else {
+            out.push_str("\n  ]\n}");
+        }
+        out
+    }
+
     /// Writes `<dir>/<id>.json`.
     pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+        fs::write(path, self.to_json())
     }
 }
 
@@ -161,8 +218,21 @@ mod tests {
     fn json_round_trip() {
         let mut r = Report::new("e99", "json", &["k", "v"]);
         r.row(vec![Cell::from("x"), Cell::from(1usize)]);
-        let s = serde_json::to_string(&r).unwrap();
+        r.row(vec![Cell::from("quo\"te"), Cell::from(0.25)]);
+        let s = r.to_json();
         assert!(s.contains("\"e99\""));
         assert!(s.contains("\"x\""));
+        assert!(s.contains("[\"x\", 1]"));
+        assert!(s.contains("\\\""));
+        assert!(s.contains("0.25"));
+    }
+
+    #[test]
+    fn json_handles_non_finite_and_empty() {
+        let mut r = Report::new("nf", "nan", &["v"]);
+        r.row(vec![Cell::from(f64::NAN)]);
+        assert!(r.to_json().contains("null"));
+        let empty = Report::new("e", "none", &["a"]);
+        assert!(empty.to_json().contains("\"rows\": []"));
     }
 }

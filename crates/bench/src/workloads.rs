@@ -1,9 +1,9 @@
 //! Shared, seeded workload constructors for the experiment suite.
 
 use gnn4tdl_data::synth::{
-    anomaly_mixture, ctr_synthetic, ehr_synthetic, fraud_network, gaussian_clusters,
-    parity_fields, AnomalyConfig, ClustersConfig, CtrConfig, CtrData, EhrConfig, EhrData,
-    FraudConfig, FraudData, ParityConfig,
+    anomaly_mixture, ctr_synthetic, ehr_synthetic, fraud_network, gaussian_clusters, parity_fields,
+    AnomalyConfig, ClustersConfig, CtrConfig, CtrData, EhrConfig, EhrData, FraudConfig, FraudData,
+    ParityConfig,
 };
 use gnn4tdl_data::{Dataset, Split};
 use rand::rngs::StdRng;
@@ -86,14 +86,7 @@ pub fn ctr(seed: u64, n: usize, first_order: f32, interaction: f32) -> (Workload
 pub fn anomalies(seed: u64, outlier_range: f32) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     anomaly_mixture(
-        &AnomalyConfig {
-            inliers: 450,
-            outliers: 50,
-            dims: 8,
-            clusters: 3,
-            cluster_std: 0.6,
-            outlier_range,
-        },
+        &AnomalyConfig { inliers: 450, outliers: 50, dims: 8, clusters: 3, cluster_std: 0.6, outlier_range },
         &mut rng,
     )
 }

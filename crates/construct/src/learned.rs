@@ -29,7 +29,7 @@ pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Gra
         e.2 = match similarity {
             Similarity::Gaussian { .. } => w.max(1e-6),
             Similarity::Cosine => (w + 1.0) / 2.0 + 1e-6,
-            Similarity::Euclidean => 1.0 / (1.0 + (-w)) .max(1e-6), // -w = distance
+            Similarity::Euclidean => 1.0 / (1.0 + (-w)).max(1e-6), // -w = distance
             Similarity::InnerProduct => w.exp().min(1e6),
         };
     }
@@ -107,11 +107,7 @@ mod tests {
             let g = metric_graph(&x, sim, 2);
             assert!(planted_edge_precision(&g, &groups) > 0.99, "{} failed", sim.name());
         }
-        for sim in [
-            Similarity::Gaussian { sigma: 1.0 },
-            Similarity::Cosine,
-            Similarity::Euclidean,
-        ] {
+        for sim in [Similarity::Gaussian { sigma: 1.0 }, Similarity::Cosine, Similarity::Euclidean] {
             let g = metric_graph(&x, sim, 2);
             for u in 0..6 {
                 for (_, w) in g.neighbors(u) {
@@ -135,11 +131,7 @@ mod tests {
 
     #[test]
     fn sparsify_keeps_top_k() {
-        let dense = Matrix::from_rows(&[
-            vec![0.0, 0.9, 0.1],
-            vec![0.8, 0.0, 0.2],
-            vec![0.5, 0.4, 0.0],
-        ]);
+        let dense = Matrix::from_rows(&[vec![0.0, 0.9, 0.1], vec![0.8, 0.0, 0.2], vec![0.5, 0.4, 0.0]]);
         let g = sparsify_dense(&dense, 1);
         assert_eq!(g.num_edges(), 3);
         assert!(g.neighbors(0).any(|(v, w)| v == 1 && (w - 0.9).abs() < 1e-6));

@@ -16,5 +16,7 @@ pub mod similarity;
 pub use intrinsic::{bipartite_from_table, hetero_from_categorical, hypergraph_from_table, HeteroHandles};
 pub use learned::{candidate_edges, metric_graph, planted_edge_precision, sparsify_dense};
 pub use other::{correlation_prior, retrieval_hypergraph, FeaturePrior};
-pub use rule::{build_instance_graph, knn_distances, knn_edges, same_value_graph, same_value_multiplex, EdgeRule};
+pub use rule::{
+    build_instance_graph, knn_distances, knn_edges, same_value_graph, same_value_multiplex, EdgeRule,
+};
 pub use similarity::{pearson, Similarity};

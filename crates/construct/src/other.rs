@@ -70,8 +70,7 @@ impl FeaturePrior {
 
     /// The prior as a homogeneous feature graph over `num_features` nodes.
     pub fn to_feature_graph(&self, num_features: usize) -> Graph {
-        let weighted: Vec<(usize, usize, f32)> =
-            self.edges.iter().map(|&(a, b)| (a, b, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f32)> = self.edges.iter().map(|&(a, b)| (a, b, 1.0)).collect();
         Graph::from_weighted_edges(num_features, &weighted, true)
     }
 
@@ -82,11 +81,7 @@ impl FeaturePrior {
         if self.edges.is_empty() {
             return 0.0;
         }
-        let same = self
-            .edges
-            .iter()
-            .filter(|&&(a, b)| groups.get(a) == groups.get(b))
-            .count();
+        let same = self.edges.iter().filter(|&&(a, b)| groups.get(a) == groups.get(b)).count();
         same as f64 / self.edges.len() as f64
     }
 }

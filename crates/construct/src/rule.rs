@@ -2,7 +2,15 @@
 //! thresholding, fully-connected, and same-feature-value edge criteria.
 
 use gnn4tdl_graph::{Graph, MultiplexGraph};
-use gnn4tdl_tensor::Matrix;
+use gnn4tdl_tensor::{parallel, Matrix};
+
+/// Splits `0..n` into row blocks of ~`per_block` similarity evaluations,
+/// sized from `n` only so block boundaries (and with them the flattened
+/// edge order) never depend on the worker count.
+fn row_blocks(n: usize, per_block: usize) -> Vec<(usize, usize)> {
+    let rows_per_block = per_block.div_ceil(n.max(1)).clamp(1, n.max(1));
+    (0..n).step_by(rows_per_block).map(|r0| (r0, (r0 + rows_per_block).min(n))).collect()
+}
 
 use crate::similarity::Similarity;
 use gnn4tdl_data::table::{ColumnData, Table};
@@ -31,15 +39,20 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
             Graph::from_weighted_edges(n, &edges, true)
         }
         EdgeRule::Threshold { tau } => {
-            let mut edges = Vec::new();
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let s = similarity.between(features, i, features, j);
-                    if s >= tau {
-                        edges.push((i, j, 1.0));
+            let blocks = row_blocks(n, 1 << 14);
+            let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
+                let mut edges = Vec::new();
+                for i in r0..r1 {
+                    for j in (i + 1)..n {
+                        let s = similarity.between(features, i, features, j);
+                        if s >= tau {
+                            edges.push((i, j, 1.0));
+                        }
                     }
                 }
-            }
+                edges
+            });
+            let edges: Vec<(usize, usize, f32)> = per_block.into_iter().flatten().collect();
             Graph::from_weighted_edges(n, &edges, true)
         }
     }
@@ -48,48 +61,56 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
 /// kNN edge list `(i, neighbor, weight=1)` excluding self matches.
 pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(usize, usize, f32)> {
     let n = features.rows();
-    let mut edges = Vec::with_capacity(n * k);
-    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
-    for i in 0..n {
-        scored.clear();
-        for j in 0..n {
-            if i != j {
-                scored.push((j, similarity.between(features, i, features, j)));
+    let blocks = row_blocks(n, 1 << 14);
+    let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
+        let mut edges = Vec::with_capacity((r1 - r0) * k);
+        let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+        for i in r0..r1 {
+            scored.clear();
+            for j in 0..n {
+                if i != j {
+                    scored.push((j, similarity.between(features, i, features, j)));
+                }
+            }
+            let take = k.min(scored.len());
+            if take == 0 {
+                continue;
+            }
+            // partial selection of the top-k by similarity
+            let pivot = take - 1;
+            scored.select_nth_unstable_by(pivot, |a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &(j, _) in &scored[..take] {
+                edges.push((i, j, 1.0));
             }
         }
-        let take = k.min(scored.len());
-        if take == 0 {
-            continue;
-        }
-        // partial selection of the top-k by similarity
-        let pivot = take - 1;
-        scored.select_nth_unstable_by(pivot, |a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        for &(j, _) in &scored[..take] {
-            edges.push((i, j, 1.0));
-        }
-    }
-    edges
+        edges
+    });
+    per_block.into_iter().flatten().collect()
 }
 
 /// kNN distances: for each row, the distances to its k nearest neighbors in
 /// ascending order (Euclidean). LUNAR's input representation.
 pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
     let n = features.rows();
-    let mut out = Vec::with_capacity(n);
-    let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
-    for i in 0..n {
-        dists.clear();
-        for j in 0..n {
-            if i != j {
-                dists.push(Matrix::row_distance(features, i, features, j));
+    let blocks = row_blocks(n, 1 << 14);
+    let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
+        let mut out = Vec::with_capacity(r1 - r0);
+        let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
+        for i in r0..r1 {
+            dists.clear();
+            for j in 0..n {
+                if i != j {
+                    dists.push(Matrix::row_distance(features, i, features, j));
+                }
             }
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            out.push(dists.iter().copied().take(k).collect::<Vec<f32>>());
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        out.push(dists.iter().copied().take(k).collect());
-    }
-    out
+        out
+    });
+    per_block.into_iter().flatten().collect()
 }
 
 /// Same-feature-value construction for one categorical column: connects all
@@ -139,12 +160,7 @@ mod tests {
 
     fn features() -> Matrix {
         // two tight pairs far apart
-        Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.1, 0.0],
-            vec![5.0, 5.0],
-            vec![5.1, 5.0],
-        ])
+        Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]])
     }
 
     #[test]
@@ -169,8 +185,10 @@ mod tests {
     #[test]
     fn threshold_rule_sparsifies() {
         let f = features();
-        let dense = build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.5 });
-        let sparse = build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.999 });
+        let dense =
+            build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.5 });
+        let sparse =
+            build_instance_graph(&f, Similarity::Gaussian { sigma: 1.0 }, EdgeRule::Threshold { tau: 0.999 });
         assert!(dense.num_edges() >= sparse.num_edges());
         // tau 0.5 keeps only the tight pairs
         assert_eq!(dense.num_edges(), 4);

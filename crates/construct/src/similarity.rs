@@ -1,7 +1,7 @@
 //! Pairwise similarity / distance measures used by rule-based and
 //! metric-based graph construction (survey Table 3's "Similarity" column).
 
-use gnn4tdl_tensor::Matrix;
+use gnn4tdl_tensor::{parallel, Matrix};
 
 /// Similarity measure between feature rows.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,16 +32,25 @@ impl Similarity {
     }
 
     /// Full pairwise similarity matrix of the rows of `x` (symmetric).
+    ///
+    /// Each output row is computed in full rather than mirroring the upper
+    /// triangle: every measure here is built from `(a-b)*(a-b)` and `a*b`,
+    /// which are exactly commutative in IEEE arithmetic, so the matrix is
+    /// still exactly symmetric — and rows can be computed independently in
+    /// parallel with no thread-count-dependent ordering.
     pub fn pairwise(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
         let mut out = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let s = self.between(x, i, x, j);
-                out.set(i, j, s);
-                out.set(j, i, s);
+        // Row blocks sized from n only (~16k similarity evaluations each).
+        let block_rows = (1usize << 14).div_ceil(n.max(1)).clamp(1, n.max(1));
+        parallel::par_chunks_mut(out.data_mut(), block_rows * n, |blk, chunk| {
+            for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = blk * block_rows + local;
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = self.between(x, i, x, j);
+                }
             }
-        }
+        });
         out
     }
 
@@ -140,7 +149,12 @@ mod tests {
     #[test]
     fn pairwise_is_symmetric() {
         let x = m();
-        for s in [Similarity::Euclidean, Similarity::Cosine, Similarity::Gaussian { sigma: 2.0 }, Similarity::InnerProduct] {
+        for s in [
+            Similarity::Euclidean,
+            Similarity::Cosine,
+            Similarity::Gaussian { sigma: 2.0 },
+            Similarity::InnerProduct,
+        ] {
             let p = s.pairwise(&x);
             assert!(p.max_abs_diff(&p.transpose()) < 1e-6, "{} not symmetric", s.name());
         }

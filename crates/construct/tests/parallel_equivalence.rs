@@ -1,0 +1,77 @@
+//! Graph construction must be bit-for-bit identical for every worker count:
+//! the same edges, in the same order, with the same weights.
+
+use gnn4tdl_construct::{build_instance_graph, knn_distances, knn_edges, EdgeRule, Similarity};
+use gnn4tdl_tensor::{parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn thread_counts() -> [usize; 3] {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    [1, 2, avail]
+}
+
+fn features(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::randn(n, d, 0.0, 1.0, &mut rng)
+}
+
+#[test]
+fn pairwise_similarity_is_thread_invariant() {
+    let x = features(173, 9, 0);
+    for similarity in [Similarity::Euclidean, Similarity::Cosine, Similarity::Gaussian { sigma: 1.5 }] {
+        let seq = parallel::with_threads(1, || similarity.pairwise(&x));
+        for threads in thread_counts() {
+            let par = parallel::with_threads(threads, || similarity.pairwise(&x));
+            assert_eq!(par.data(), seq.data(), "{similarity:?} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn knn_edge_lists_are_thread_invariant() {
+    let x = features(200, 6, 1);
+    for k in [1, 5, 12] {
+        let seq = parallel::with_threads(1, || knn_edges(&x, Similarity::Euclidean, k));
+        for threads in thread_counts() {
+            let par = parallel::with_threads(threads, || knn_edges(&x, Similarity::Euclidean, k));
+            assert_eq!(par, seq, "k={k} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn knn_distances_are_thread_invariant() {
+    let x = features(150, 4, 2);
+    let seq = parallel::with_threads(1, || knn_distances(&x, 7));
+    for threads in thread_counts() {
+        let par = parallel::with_threads(threads, || knn_distances(&x, 7));
+        assert_eq!(par, seq, "at {threads} threads");
+    }
+}
+
+#[test]
+fn built_graphs_are_thread_invariant() {
+    let x = features(160, 8, 3);
+    for rule in [EdgeRule::Knn { k: 6 }, EdgeRule::Threshold { tau: 0.2 }] {
+        let seq = parallel::with_threads(1, || {
+            let g = build_instance_graph(&x, Similarity::Euclidean, rule);
+            (
+                g.adjacency().indptr().to_vec(),
+                g.adjacency().indices().to_vec(),
+                g.adjacency().values().to_vec(),
+            )
+        });
+        for threads in thread_counts() {
+            let par = parallel::with_threads(threads, || {
+                let g = build_instance_graph(&x, Similarity::Euclidean, rule);
+                (
+                    g.adjacency().indptr().to_vec(),
+                    g.adjacency().indices().to_vec(),
+                    g.adjacency().values().to_vec(),
+                )
+            });
+            assert_eq!(par, seq, "{rule:?} at {threads} threads");
+        }
+    }
+}

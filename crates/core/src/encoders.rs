@@ -95,11 +95,7 @@ impl NodeModel for HyperEncoder {
         let n_rows = s.tape.value(x).rows();
         let h0 = s.p(self.node_embedding);
         let (_, edges) = self.model.forward_pair(s, h0);
-        assert_eq!(
-            s.tape.value(edges).rows(),
-            n_rows,
-            "hyperedge count must equal the number of table rows"
-        );
+        assert_eq!(s.tape.value(edges).rows(), n_rows, "hyperedge count must equal the number of table rows");
         edges
     }
 

@@ -23,7 +23,12 @@ pub struct RegMetrics {
 }
 
 /// Evaluates classification logits (`n x C`) on the given rows.
-pub fn classification_on(logits: &Matrix, labels: &[usize], num_classes: usize, rows: &[usize]) -> ClsMetrics {
+pub fn classification_on(
+    logits: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    rows: &[usize],
+) -> ClsMetrics {
     let preds = logits.argmax_rows();
     let p: Vec<usize> = rows.iter().map(|&i| preds[i]).collect();
     let t: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
@@ -36,7 +41,7 @@ pub fn classification_on(logits: &Matrix, labels: &[usize], num_classes: usize, 
         let mut sum = 0.0;
         let mut present = 0usize;
         for c in 0..num_classes {
-            if !t.iter().any(|&y| y == c) || t.iter().all(|&y| y == c) {
+            if !t.contains(&c) || t.iter().all(|&y| y == c) {
                 continue;
             }
             let scores: Vec<f32> = rows.iter().map(|&i| logits.get(i, c)).collect();
@@ -44,13 +49,13 @@ pub fn classification_on(logits: &Matrix, labels: &[usize], num_classes: usize, 
             sum += metrics::roc_auc(&scores, &binary);
             present += 1;
         }
-        if present == 0 { 0.5 } else { sum / present as f64 }
+        if present == 0 {
+            0.5
+        } else {
+            sum / present as f64
+        }
     };
-    ClsMetrics {
-        accuracy: metrics::accuracy(&p, &t),
-        macro_f1: metrics::macro_f1(&p, &t, num_classes),
-        auc,
-    }
+    ClsMetrics { accuracy: metrics::accuracy(&p, &t), macro_f1: metrics::macro_f1(&p, &t, num_classes), auc }
 }
 
 /// Evaluates regression predictions (`n x 1`) on the given rows.

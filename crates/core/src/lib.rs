@@ -27,6 +27,7 @@
 pub mod encoders;
 pub mod eval;
 pub mod pipeline;
+pub mod predictor;
 pub mod zoo;
 
 pub use encoders::{GrapeEncoder, HyperEncoder};
@@ -35,10 +36,23 @@ pub use encoders::{GrapeEncoder, HyperEncoder};
 /// `use gnn4tdl::prelude::*;`
 pub mod prelude {
     pub use crate::eval::{test_classification, test_regression, ClsMetrics, RegMetrics};
-    pub use crate::pipeline::{fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineResult};
+    pub use crate::pipeline::{
+        fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineConfigBuilder, PipelineResult,
+    };
+    pub use crate::predictor::{
+        ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,
+    };
+    pub use gnn4tdl_baselines::{ForestConfig, GbdtConfig, LogRegConfig, TreeConfig};
     pub use gnn4tdl_construct::{EdgeRule, Similarity};
     pub use gnn4tdl_data::{Dataset, Split, Table, Target};
     pub use gnn4tdl_train::{Strategy, TrainConfig};
 }
-pub use eval::{classification_on, regression_on, test_classification, test_regression, ClsMetrics, RegMetrics};
-pub use pipeline::{fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineResult};
+pub use eval::{
+    classification_on, regression_on, test_classification, test_regression, ClsMetrics, RegMetrics,
+};
+pub use pipeline::{
+    fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineConfigBuilder, PipelineResult,
+};
+pub use predictor::{
+    ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,
+};

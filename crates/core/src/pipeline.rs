@@ -14,13 +14,13 @@ use gnn4tdl_construct::{
 use gnn4tdl_data::{Dataset, Encoded, Featurizer, Split, Target};
 use gnn4tdl_graph::Graph;
 use gnn4tdl_nn::{
-    DirectGslModel, FeatureGraphModel, GatModel, GcnModel, GinModel, HeteroModel, MlpModel,
-    NeuralGslModel, NodeModel, RgcnModel, SageModel,
+    DirectGslModel, FeatureGraphModel, GatModel, GcnModel, GinModel, HeteroModel, MlpModel, NeuralGslModel,
+    NodeModel, RgcnModel, SageModel,
 };
 use gnn4tdl_tensor::{Matrix, ParamStore};
 use gnn4tdl_train::{
-    embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport,
-    SupervisedModel, TrainConfig,
+    embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport, SupervisedModel,
+    TrainConfig,
 };
 
 use crate::encoders::{GrapeEncoder, HyperEncoder};
@@ -104,12 +104,23 @@ impl EncoderSpec {
 /// encoder's dimensions at build time.
 #[derive(Clone, Copy, Debug)]
 pub enum AuxSpec {
-    FeatureReconstruction { weight: f32 },
-    Denoising { weight: f32, corrupt_p: f32 },
-    Contrastive { weight: f32, temperature: f32, corrupt_p: f32 },
+    FeatureReconstruction {
+        weight: f32,
+    },
+    Denoising {
+        weight: f32,
+        corrupt_p: f32,
+    },
+    Contrastive {
+        weight: f32,
+        temperature: f32,
+        corrupt_p: f32,
+    },
     /// Laplacian smoothness over the constructed instance graph (falls back
     /// to a kNN-5 graph when the formulation has no instance graph).
-    GraphSmoothness { weight: f32 },
+    GraphSmoothness {
+        weight: f32,
+    },
 }
 
 /// Full pipeline configuration.
@@ -136,10 +147,7 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
-            graph: GraphSpec::Rule {
-                similarity: Similarity::Euclidean,
-                rule: EdgeRule::Knn { k: 5 },
-            },
+            graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 5 } },
             encoder: EncoderSpec::Gcn,
             hidden: 32,
             layers: 2,
@@ -151,6 +159,92 @@ impl Default for PipelineConfig {
             train: TrainConfig::default(),
             seed: 0,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Starts a builder from the graph formulation (the one choice with no
+    /// sensible universal default); every other knob starts at its
+    /// [`Default`] value.
+    ///
+    /// ```
+    /// use gnn4tdl::prelude::*;
+    ///
+    /// let cfg = PipelineConfig::builder(GraphSpec::Rule {
+    ///     similarity: Similarity::Cosine,
+    ///     rule: EdgeRule::Knn { k: 10 },
+    /// })
+    /// .encoder(EncoderSpec::Sage)
+    /// .hidden(64)
+    /// .seed(7)
+    /// .build();
+    /// assert_eq!(cfg.hidden, 64);
+    /// ```
+    pub fn builder(graph: GraphSpec) -> PipelineConfigBuilder {
+        PipelineConfigBuilder { cfg: PipelineConfig { graph, ..Default::default() } }
+    }
+}
+
+/// Chainable builder returned by [`PipelineConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    pub fn encoder(mut self, encoder: EncoderSpec) -> Self {
+        self.cfg.encoder = encoder;
+        self
+    }
+
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        self.cfg.hidden = hidden;
+        self
+    }
+
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.cfg.layers = layers;
+        self
+    }
+
+    pub fn dropout(mut self, dropout: f32) -> Self {
+        self.cfg.dropout = dropout;
+        self
+    }
+
+    pub fn pair_norm(mut self, on: bool) -> Self {
+        self.cfg.pair_norm = on;
+        self
+    }
+
+    pub fn class_balanced(mut self, on: bool) -> Self {
+        self.cfg.class_balanced = on;
+        self
+    }
+
+    /// Appends one auxiliary task (call repeatedly to stack several).
+    pub fn aux(mut self, aux: AuxSpec) -> Self {
+        self.cfg.aux.push(aux);
+        self
+    }
+
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> PipelineConfig {
+        self.cfg
     }
 }
 
@@ -232,7 +326,12 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
     enum Built {
         Node(Box<dyn NodeModel>),
         /// Metric GSL needs the iterative loop; carry its parameters.
-        Metric { k: usize, similarity: Similarity, rounds: usize, inner_epochs: usize },
+        Metric {
+            k: usize,
+            similarity: Similarity,
+            rounds: usize,
+            inner_epochs: usize,
+        },
     }
 
     let built: Built = match &cfg.graph {
@@ -268,7 +367,13 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
         }
         GraphSpec::FeatureGraph { emb_dim } => {
             let model = FeatureGraphModel::new(
-                &mut store, &dataset.table, *emb_dim, cfg.layers, cfg.hidden, cfg.dropout, &mut rng,
+                &mut store,
+                &dataset.table,
+                *emb_dim,
+                cfg.layers,
+                cfg.hidden,
+                cfg.dropout,
+                &mut rng,
             );
             let fields = model.num_fields();
             graph_edges = n * fields * fields;
@@ -293,7 +398,13 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             let (g, _) = bipartite_from_table(&dataset.table);
             graph_edges = g.num_edges();
             Built::Node(Box::new(GrapeEncoder::new(
-                &mut store, &g, in_dim, cfg.hidden, cfg.layers, cfg.dropout, &mut rng,
+                &mut store,
+                &g,
+                in_dim,
+                cfg.hidden,
+                cfg.layers,
+                cfg.dropout,
+                &mut rng,
             )))
         }
         GraphSpec::Multiplex { max_group } => {
@@ -310,18 +421,26 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             let (hg, _) = hypergraph_from_table(&dataset.table, *numeric_bins);
             graph_edges = hg.num_memberships();
             Built::Node(Box::new(HyperEncoder::new(
-                &mut store, &hg, cfg.hidden, cfg.layers, cfg.dropout, &mut rng,
+                &mut store,
+                &hg,
+                cfg.hidden,
+                cfg.layers,
+                cfg.dropout,
+                &mut rng,
             )))
         }
         GraphSpec::EntityHetero { rounds } => {
             let (hg, handles) = hetero_from_categorical(&dataset.table);
-            assert!(
-                !handles.value_types.is_empty(),
-                "entity-hetero formulation needs categorical columns"
-            );
+            assert!(!handles.value_types.is_empty(), "entity-hetero formulation needs categorical columns");
             graph_edges = hg.edge_type_ids().map(|e| hg.edge_count(e)).sum();
             Built::Node(Box::new(HeteroModel::new(
-                &mut store, &hg, handles.instances, in_dim, cfg.hidden, *rounds, &mut rng,
+                &mut store,
+                &hg,
+                handles.instances,
+                in_dim,
+                cfg.hidden,
+                *rounds,
+                &mut rng,
             )))
         }
     };
@@ -337,12 +456,19 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             let report = run_strategy(cfg.strategy, &model, &mut store, &task, &aux, &cfg.train);
             (predict(&model, &store, &task.features), report)
         }
-        Built::Metric { k, similarity, rounds, inner_epochs } => {
-            fit_metric_gsl(
-                &mut store, &task, &encoded, cfg, in_dim, out_dim, k, similarity, rounds,
-                inner_epochs, &mut rng,
-            )
-        }
+        Built::Metric { k, similarity, rounds, inner_epochs } => fit_metric_gsl(
+            &mut store,
+            &task,
+            &encoded,
+            cfg,
+            in_dim,
+            out_dim,
+            k,
+            similarity,
+            rounds,
+            inner_epochs,
+            &mut rng,
+        ),
     };
     let training_ms = t1.elapsed().as_secs_f64() * 1e3;
 
@@ -440,12 +566,10 @@ fn build_aux<E: NodeModel>(
             AuxSpec::GraphSmoothness { weight } => {
                 let edges = match instance_graph {
                     Some(g) => g.edge_index(false),
-                    None => build_instance_graph(
-                        &encoded.features,
-                        Similarity::Euclidean,
-                        EdgeRule::Knn { k: 5 },
-                    )
-                    .edge_index(false),
+                    None => {
+                        build_instance_graph(&encoded.features, Similarity::Euclidean, EdgeRule::Knn { k: 5 })
+                            .edge_index(false)
+                    }
                 };
                 AuxTask::graph_smoothness(edges.src, edges.dst, weight)
             }

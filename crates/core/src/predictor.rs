@@ -1,0 +1,489 @@
+//! A unified fit/predict interface over the GNN pipeline and the classical
+//! baselines.
+//!
+//! Everything in this workspace is evaluated transductively: a model sees
+//! one [`Dataset`] plus a [`Split`], fits on the training rows (transductive
+//! models like the GNN pipeline may also read the *features* of the other
+//! rows), and is then queried by row index. [`Predictor`] captures exactly
+//! that contract, so a `Box<dyn Predictor>` can hold a full GNN pipeline or
+//! a decision tree interchangeably:
+//!
+//! ```
+//! use gnn4tdl::prelude::*;
+//! use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let dataset = gaussian_clusters(&ClustersConfig { n: 90, ..Default::default() }, &mut rng);
+//! let split = Split::stratified(dataset.target.labels(), 0.6, 0.2, &mut rng);
+//!
+//! let mut models: Vec<Box<dyn Predictor>> = vec![
+//!     Box::new(GnnPredictor::new(
+//!         PipelineConfig::builder(GraphSpec::Rule {
+//!             similarity: Similarity::Euclidean,
+//!             rule: EdgeRule::Knn { k: 5 },
+//!         })
+//!         .seed(0)
+//!         .build(),
+//!     )),
+//!     Box::new(TreePredictor::new(TreeConfig::default(), 0)),
+//! ];
+//! for model in &mut models {
+//!     model.fit(&dataset, &split);
+//!     let proba = model.predict_proba(&split.test);
+//!     assert_eq!(proba.rows(), split.test.len());
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn4tdl_baselines::{
+    DecisionTree, ForestConfig, GbdtClassifier, GbdtConfig, GbdtRegressor, KnnModel, LogRegConfig,
+    LogisticRegression, RandomForest, TreeConfig,
+};
+use gnn4tdl_data::{Dataset, Featurizer, Split, Target};
+use gnn4tdl_tensor::Matrix;
+
+use crate::pipeline::{fit_pipeline, PipelineConfig, PipelineResult};
+
+/// A model that fits on one dataset/split and predicts by row index.
+///
+/// `rows` in the query methods index into the dataset passed to [`fit`]
+/// (typically `&split.test`); calling either query method before `fit`
+/// panics. The trait is object-safe, so heterogeneous model zoos can be
+/// held as `Vec<Box<dyn Predictor>>`.
+///
+/// [`fit`]: Predictor::fit
+pub trait Predictor {
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Fits on `split.train`. Transductive models may additionally use the
+    /// features (never the labels) of the validation/test rows.
+    fn fit(&mut self, dataset: &Dataset, split: &Split);
+
+    /// Hard output per row: the class index (as `f32`) for classification
+    /// targets, the predicted value for regression targets.
+    fn predict(&self, rows: &[usize]) -> Vec<f32>;
+
+    /// Score matrix: `rows.len() x num_classes` probabilities for
+    /// classification, `rows.len() x 1` values for regression.
+    fn predict_proba(&self, rows: &[usize]) -> Matrix;
+}
+
+/// Row-wise numerically-stable softmax.
+fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Hard predictions from a score matrix (argmax for classification, the
+/// single column for regression).
+fn hard_from_scores(scores: &Matrix, classify: bool) -> Vec<f32> {
+    if classify {
+        scores.argmax_rows().iter().map(|&c| c as f32).collect()
+    } else {
+        (0..scores.rows()).map(|r| scores.get(r, 0)).collect()
+    }
+}
+
+/// Encoded full-table features shared by the featurized baselines.
+struct TabularFit {
+    features: Matrix,
+    classify: bool,
+}
+
+fn featurize(dataset: &Dataset, split: &Split) -> TabularFit {
+    let featurizer = Featurizer::fit(&dataset.table, &split.train);
+    let encoded = featurizer.encode(&dataset.table);
+    TabularFit {
+        features: encoded.features,
+        classify: matches!(dataset.target, Target::Classification { .. }),
+    }
+}
+
+fn train_labels(target: &Target, rows: &[usize]) -> (Vec<usize>, usize) {
+    match target {
+        Target::Classification { labels, num_classes } => {
+            (rows.iter().map(|&r| labels[r]).collect(), *num_classes)
+        }
+        Target::Regression(_) => panic!("classification fit on a regression target"),
+    }
+}
+
+fn train_values(target: &Target, rows: &[usize]) -> Vec<f32> {
+    match target {
+        Target::Regression(values) => rows.iter().map(|&r| values[r]).collect(),
+        Target::Classification { .. } => panic!("regression fit on a classification target"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GNN pipeline
+// ---------------------------------------------------------------------------
+
+/// [`Predictor`] over the full GNN4TDL pipeline ([`fit_pipeline`]). The
+/// pipeline is transductive, so `fit` trains once and caches per-row logits
+/// (classification) or values (regression) for the whole dataset.
+pub struct GnnPredictor {
+    cfg: PipelineConfig,
+    fitted: Option<(PipelineResult, bool)>,
+}
+
+impl GnnPredictor {
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Self { cfg, fitted: None }
+    }
+
+    /// The underlying pipeline result (graph stats, timings, ...), once fit.
+    pub fn result(&self) -> Option<&PipelineResult> {
+        self.fitted.as_ref().map(|(res, _)| res)
+    }
+
+    fn scores(&self) -> (&Matrix, bool) {
+        let (res, classify) = self.fitted.as_ref().expect("GnnPredictor queried before fit");
+        (&res.predictions, *classify)
+    }
+}
+
+impl Predictor for GnnPredictor {
+    fn name(&self) -> &'static str {
+        "gnn_pipeline"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let classify = matches!(dataset.target, Target::Classification { .. });
+        self.fitted = Some((fit_pipeline(dataset, split, &self.cfg), classify));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        let (scores, classify) = self.scores();
+        hard_from_scores(&scores.gather_rows(rows), classify)
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (scores, classify) = self.scores();
+        let picked = scores.gather_rows(rows);
+        if classify {
+            softmax_rows(&picked)
+        } else {
+            picked
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classical baselines
+// ---------------------------------------------------------------------------
+
+/// Multinomial logistic regression as a [`Predictor`] (classification only).
+pub struct LogRegPredictor {
+    cfg: LogRegConfig,
+    fitted: Option<(TabularFit, LogisticRegression)>,
+}
+
+impl LogRegPredictor {
+    pub fn new(cfg: LogRegConfig) -> Self {
+        Self { cfg, fitted: None }
+    }
+}
+
+impl Predictor for LogRegPredictor {
+    fn name(&self) -> &'static str {
+        "logreg"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let tab = featurize(dataset, split);
+        let (y, num_classes) = train_labels(&dataset.target, &split.train);
+        let x = tab.features.gather_rows(&split.train);
+        let model = LogisticRegression::fit(&x, &y, num_classes, &self.cfg);
+        self.fitted = Some((tab, model));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        hard_from_scores(&self.predict_proba(rows), true)
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (tab, model) = self.fitted.as_ref().expect("LogRegPredictor queried before fit");
+        model.predict_proba(&tab.features.gather_rows(rows))
+    }
+}
+
+/// k-nearest neighbors as a [`Predictor`] (classification or regression).
+pub struct KnnPredictor {
+    k: usize,
+    fitted: Option<(TabularFit, KnnModel)>,
+}
+
+impl KnnPredictor {
+    pub fn new(k: usize) -> Self {
+        Self { k, fitted: None }
+    }
+}
+
+impl Predictor for KnnPredictor {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let tab = featurize(dataset, split);
+        let x = tab.features.gather_rows(&split.train);
+        let model = if tab.classify {
+            let (y, num_classes) = train_labels(&dataset.target, &split.train);
+            KnnModel::classifier(x, y, num_classes, self.k)
+        } else {
+            KnnModel::regressor(x, train_values(&dataset.target, &split.train), self.k)
+        };
+        self.fitted = Some((tab, model));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        let (tab, model) = self.fitted.as_ref().expect("KnnPredictor queried before fit");
+        let q = tab.features.gather_rows(rows);
+        if tab.classify {
+            // argmax of the vote fractions, so hard and soft predictions
+            // break ties the same way
+            hard_from_scores(&model.predict_proba(&q), true)
+        } else {
+            model.predict_values(&q)
+        }
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (tab, model) = self.fitted.as_ref().expect("KnnPredictor queried before fit");
+        let q = tab.features.gather_rows(rows);
+        if tab.classify {
+            model.predict_proba(&q)
+        } else {
+            Matrix::col_vector(&model.predict_values(&q))
+        }
+    }
+}
+
+/// A single CART tree as a [`Predictor`] (classification or regression).
+pub struct TreePredictor {
+    cfg: TreeConfig,
+    seed: u64,
+    fitted: Option<(TabularFit, DecisionTree)>,
+}
+
+impl TreePredictor {
+    pub fn new(cfg: TreeConfig, seed: u64) -> Self {
+        Self { cfg, seed, fitted: None }
+    }
+}
+
+impl Predictor for TreePredictor {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let tab = featurize(dataset, split);
+        let x = tab.features.gather_rows(&split.train);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = if tab.classify {
+            let (y, num_classes) = train_labels(&dataset.target, &split.train);
+            DecisionTree::fit_classifier(&x, &y, num_classes, &self.cfg, &mut rng)
+        } else {
+            let y = train_values(&dataset.target, &split.train);
+            DecisionTree::fit_regressor(&x, &y, &self.cfg, &mut rng)
+        };
+        self.fitted = Some((tab, model));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        let classify = self.fitted.as_ref().expect("TreePredictor queried before fit").0.classify;
+        hard_from_scores(&self.predict_proba(rows), classify)
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (tab, model) = self.fitted.as_ref().expect("TreePredictor queried before fit");
+        model.predict(&tab.features.gather_rows(rows))
+    }
+}
+
+/// A random forest as a [`Predictor`] (classification or regression).
+pub struct ForestPredictor {
+    cfg: ForestConfig,
+    seed: u64,
+    fitted: Option<(TabularFit, RandomForest)>,
+}
+
+impl ForestPredictor {
+    pub fn new(cfg: ForestConfig, seed: u64) -> Self {
+        Self { cfg, seed, fitted: None }
+    }
+}
+
+impl Predictor for ForestPredictor {
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let tab = featurize(dataset, split);
+        let x = tab.features.gather_rows(&split.train);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = if tab.classify {
+            let (y, num_classes) = train_labels(&dataset.target, &split.train);
+            RandomForest::fit_classifier(&x, &y, num_classes, &self.cfg, &mut rng)
+        } else {
+            let y = train_values(&dataset.target, &split.train);
+            RandomForest::fit_regressor(&x, &y, &self.cfg, &mut rng)
+        };
+        self.fitted = Some((tab, model));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        let classify = self.fitted.as_ref().expect("ForestPredictor queried before fit").0.classify;
+        hard_from_scores(&self.predict_proba(rows), classify)
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (tab, model) = self.fitted.as_ref().expect("ForestPredictor queried before fit");
+        model.predict(&tab.features.gather_rows(rows))
+    }
+}
+
+enum GbdtFit {
+    Classifier(GbdtClassifier),
+    Regressor(GbdtRegressor),
+}
+
+/// Gradient-boosted trees as a [`Predictor`] (classification or regression).
+pub struct GbdtPredictor {
+    cfg: GbdtConfig,
+    seed: u64,
+    fitted: Option<(TabularFit, GbdtFit)>,
+}
+
+impl GbdtPredictor {
+    pub fn new(cfg: GbdtConfig, seed: u64) -> Self {
+        Self { cfg, seed, fitted: None }
+    }
+}
+
+impl Predictor for GbdtPredictor {
+    fn name(&self) -> &'static str {
+        "gbdt"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let tab = featurize(dataset, split);
+        let x = tab.features.gather_rows(&split.train);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = if tab.classify {
+            let (y, num_classes) = train_labels(&dataset.target, &split.train);
+            GbdtFit::Classifier(GbdtClassifier::fit(&x, &y, num_classes, &self.cfg, &mut rng))
+        } else {
+            let y = train_values(&dataset.target, &split.train);
+            GbdtFit::Regressor(GbdtRegressor::fit(&x, &y, &self.cfg, &mut rng))
+        };
+        self.fitted = Some((tab, model));
+    }
+
+    fn predict(&self, rows: &[usize]) -> Vec<f32> {
+        let classify = self.fitted.as_ref().expect("GbdtPredictor queried before fit").0.classify;
+        hard_from_scores(&self.predict_proba(rows), classify)
+    }
+
+    fn predict_proba(&self, rows: &[usize]) -> Matrix {
+        let (tab, model) = self.fitted.as_ref().expect("GbdtPredictor queried before fit");
+        let q = tab.features.gather_rows(rows);
+        match model {
+            GbdtFit::Classifier(m) => softmax_rows(&m.predict_scores(&q)),
+            GbdtFit::Regressor(m) => Matrix::col_vector(&m.predict(&q)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GraphSpec;
+    use gnn4tdl_construct::{EdgeRule, Similarity};
+    use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Dataset, Split) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = ClustersConfig { n: 90, ..Default::default() };
+        let dataset = gaussian_clusters(&cfg, &mut rng);
+        let split = Split::stratified(dataset.target.labels(), 0.6, 0.2, &mut rng);
+        (dataset, split)
+    }
+
+    #[test]
+    fn boxed_predictors_fit_and_score() {
+        let (dataset, split) = toy();
+        let num_classes = match &dataset.target {
+            Target::Classification { num_classes, .. } => *num_classes,
+            Target::Regression(_) => unreachable!(),
+        };
+        let mut models: Vec<Box<dyn Predictor>> = vec![
+            Box::new(GnnPredictor::new(
+                PipelineConfig::builder(GraphSpec::Rule {
+                    similarity: Similarity::Euclidean,
+                    rule: EdgeRule::Knn { k: 5 },
+                })
+                .seed(0)
+                .build(),
+            )),
+            Box::new(LogRegPredictor::new(LogRegConfig::default())),
+            Box::new(KnnPredictor::new(5)),
+            Box::new(TreePredictor::new(TreeConfig::default(), 0)),
+            Box::new(ForestPredictor::new(ForestConfig { n_trees: 5, ..Default::default() }, 0)),
+            Box::new(GbdtPredictor::new(GbdtConfig { n_rounds: 5, ..Default::default() }, 0)),
+        ];
+        for model in &mut models {
+            model.fit(&dataset, &split);
+            let hard = model.predict(&split.test);
+            assert_eq!(hard.len(), split.test.len(), "{}", model.name());
+            let proba = model.predict_proba(&split.test);
+            assert_eq!(proba.shape(), (split.test.len(), num_classes), "{}", model.name());
+            let argmax = proba.argmax_rows();
+            for r in 0..proba.rows() {
+                let s: f32 = proba.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "{} row sum {s}", model.name());
+                assert_eq!(argmax[r] as f32, hard[r], "{} hard/proba mismatch", model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn regression_predictors_return_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dataset = gnn4tdl_data::synth::friedman1(80, 0, 0.1, &mut rng);
+        let split = Split::random(dataset.table.num_rows(), 0.6, 0.2, &mut rng);
+        let mut models: Vec<Box<dyn Predictor>> = vec![
+            Box::new(KnnPredictor::new(3)),
+            Box::new(TreePredictor::new(TreeConfig::default(), 0)),
+            Box::new(ForestPredictor::new(ForestConfig { n_trees: 5, ..Default::default() }, 0)),
+            Box::new(GbdtPredictor::new(GbdtConfig { n_rounds: 10, ..Default::default() }, 0)),
+        ];
+        for model in &mut models {
+            model.fit(&dataset, &split);
+            let proba = model.predict_proba(&split.test);
+            assert_eq!(proba.shape(), (split.test.len(), 1), "{}", model.name());
+            assert_eq!(model.predict(&split.test), proba.into_vec(), "{}", model.name());
+        }
+    }
+}

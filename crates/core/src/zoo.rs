@@ -7,8 +7,8 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
 use gnn4tdl_construct::intrinsic::bipartite_from_table;
+use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
 use gnn4tdl_data::table::{ColumnData, Table};
 use gnn4tdl_nn::{EdgeValueDecoder, Linear, Mlp, NodeModel, SageModel, Session};
 use gnn4tdl_tensor::{Matrix, ParamStore};
@@ -246,9 +246,7 @@ pub fn grape_impute(table: &Table, cfg: &GrapeImputeConfig) -> Table {
     }
 
     let mut store = ParamStore::new();
-    let encoder = GrapeEncoder::new(
-        &mut store, &graph, ncols * 2, cfg.hidden, cfg.layers, 0.0, &mut rng,
-    );
+    let encoder = GrapeEncoder::new(&mut store, &graph, ncols * 2, cfg.hidden, cfg.layers, 0.0, &mut rng);
     let decoder = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
     let link_scorer = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
     let target = Rc::new(Matrix::col_vector(&train_values));
@@ -430,14 +428,8 @@ pub fn reconstruction_scores(features: &Matrix, hidden: usize, epochs: usize, se
     let mut rng = StdRng::seed_from_u64(seed);
     let d = features.cols();
     let mut store = ParamStore::new();
-    let ae = Mlp::new(
-        &mut store,
-        "ae",
-        &[d, hidden, 2, hidden, d],
-        gnn4tdl_nn::Activation::Relu,
-        0.0,
-        &mut rng,
-    );
+    let ae =
+        Mlp::new(&mut store, "ae", &[d, hidden, 2, hidden, d], gnn4tdl_nn::Activation::Relu, 0.0, &mut rng);
     let target = Rc::new(features.clone());
     let mut opt = Adam::new(0.01, 0.0);
     for epoch in 0..epochs {
@@ -453,13 +445,7 @@ pub fn reconstruction_scores(features: &Matrix, hidden: usize, epochs: usize, se
     let recon = ae.forward(&mut s, x);
     let rv = s.tape.value(recon);
     (0..features.rows())
-        .map(|r| {
-            rv.row(r)
-                .iter()
-                .zip(features.row(r))
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum::<f32>()
-        })
+        .map(|r| rv.row(r).iter().zip(features.row(r)).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>())
         .collect()
 }
 
@@ -517,10 +503,7 @@ mod tests {
         assert!(!missing_rows.is_empty());
         let rmse = |t: &Table| -> f64 {
             if let ColumnData::Numeric(v) = &t.column(1).data {
-                let se: f64 = missing_rows
-                    .iter()
-                    .map(|&r| ((v[r] - truth[r]) as f64).powi(2))
-                    .sum();
+                let se: f64 = missing_rows.iter().map(|&r| ((v[r] - truth[r]) as f64).powi(2)).sum();
                 (se / missing_rows.len() as f64).sqrt()
             } else {
                 unreachable!()
@@ -537,7 +520,7 @@ mod tests {
         // category is perfectly predictable from the numeric column
         let mut rng = StdRng::seed_from_u64(5);
         let n = 80;
-        let numeric: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { -2.0 } else { 2.0 } ).collect();
+        let numeric: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { -2.0 } else { 2.0 }).collect();
         let codes: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
         let mut table = Table::new(vec![
             Column::numeric("x", numeric),
@@ -642,16 +625,17 @@ pub fn bgnn_classify(
     // stage 2: convolve over the kNN graph of the *original* features
     let graph = build_instance_graph(features, Similarity::Euclidean, EdgeRule::Knn { k: cfg.knn_k });
     let mut store = ParamStore::new();
-    let encoder = GcnModel::new(
-        &mut store,
-        &graph,
-        &[augmented.cols(), cfg.hidden, cfg.hidden],
-        0.2,
-        &mut rng,
-    );
+    let encoder =
+        GcnModel::new(&mut store, &graph, &[augmented.cols(), cfg.hidden, cfg.hidden], 0.2, &mut rng);
     let model = SupervisedModel::new(&mut store, 0, encoder, num_classes, &mut rng);
     let task = NodeTask::classification(augmented.clone(), labels.to_vec(), num_classes, split.clone());
-    fit(&model, &mut store, &task, &[], &TrainConfig { epochs: cfg.epochs, patience: 25, ..Default::default() });
+    fit(
+        &model,
+        &mut store,
+        &task,
+        &[],
+        &TrainConfig { epochs: cfg.epochs, patience: 25, ..Default::default() },
+    );
     predict(&model, &store, &augmented)
 }
 
@@ -739,11 +723,8 @@ pub fn plato_mlp(
         let h = l1.forward(&mut s, x);
         let h = s.tape.relu(h);
         let logits = l2.forward(&mut s, h);
-        let mut loss = s.tape.softmax_cross_entropy(
-            logits,
-            Rc::clone(&labels_rc),
-            Some(Rc::clone(&train_mask)),
-        );
+        let mut loss =
+            s.tape.softmax_cross_entropy(logits, Rc::clone(&labels_rc), Some(Rc::clone(&train_mask)));
         if !src.is_empty() && cfg.prior_weight > 0.0 {
             // tie first-layer rows of prior-adjacent features
             let w = s.p(l1.weight_id());
@@ -777,7 +758,7 @@ mod plato_tests {
 
     #[test]
     fn knowledge_prior_beats_plain_mlp_in_high_dim_low_n() {
-        let mut test_acc = |prior_weight: f32, seed: u64| -> f64 {
+        let test_acc = |prior_weight: f32, seed: u64| -> f64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let data = grouped_features(&GroupedConfig::default(), &mut rng);
             let enc = encode_all(&data.dataset.table);

@@ -40,13 +40,22 @@ impl Default for CsvOptions {
 pub enum CsvError {
     Io(io::Error),
     /// Row `row` has `got` fields, the header has `want`.
-    RaggedRow { row: usize, got: usize, want: usize },
+    RaggedRow {
+        row: usize,
+        got: usize,
+        want: usize,
+    },
     /// No header / no data.
     Empty,
     /// A categorical column exceeded `max_cardinality`.
-    TooManyCategories { column: String, count: usize },
+    TooManyCategories {
+        column: String,
+        count: usize,
+    },
     /// Unterminated quoted field.
-    UnterminatedQuote { row: usize },
+    UnterminatedQuote {
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -112,10 +121,7 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<CsvTable, CsvError>
     let mut columns = Vec::with_capacity(width);
     let mut dictionaries = Vec::new();
     for (name, col_cells) in header.into_iter().zip(cells) {
-        let numeric = col_cells
-            .iter()
-            .flatten()
-            .all(|c| c.trim().parse::<f32>().is_ok());
+        let numeric = col_cells.iter().flatten().all(|c| c.trim().parse::<f32>().is_ok());
         let has_observed = col_cells.iter().any(Option::is_some);
         if numeric && has_observed {
             let mut values = Vec::with_capacity(col_cells.len());
@@ -329,10 +335,7 @@ mod tests {
         let text = write_csv_str(&parsed.table, &parsed.dictionaries);
         let again = read_csv_str(&text, &opts()).unwrap();
         assert_eq!(again.table.num_rows(), parsed.table.num_rows());
-        assert_eq!(
-            again.table.column(0).observed_mean(),
-            parsed.table.column(0).observed_mean()
-        );
+        assert_eq!(again.table.column(0).observed_mean(), parsed.table.column(0).observed_mean());
         if let (ColumnData::Categorical { codes: a, .. }, ColumnData::Categorical { codes: b, .. }) =
             (&again.table.column(1).data, &parsed.table.column(1).data)
         {

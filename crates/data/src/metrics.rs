@@ -69,12 +69,7 @@ pub fn roc_auc(scores: &[f32], truth: &[usize]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = truth
-        .iter()
-        .enumerate()
-        .filter(|&(_, &t)| t == 1)
-        .map(|(k, _)| ranks[k])
-        .sum();
+    let rank_sum_pos: f64 = truth.iter().enumerate().filter(|&(_, &t)| t == 1).map(|(k, _)| ranks[k]).sum();
     (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 
@@ -104,12 +99,8 @@ pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let mse: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(&p, &t)| ((p - t) as f64).powi(2))
-        .sum::<f64>()
-        / pred.len() as f64;
+    let mse: f64 =
+        pred.iter().zip(truth).map(|(&p, &t)| ((p - t) as f64).powi(2)).sum::<f64>() / pred.len() as f64;
     mse.sqrt()
 }
 

@@ -27,16 +27,14 @@ impl Default for AnomalyConfig {
 
 /// Generates the anomaly mixture; rows are shuffled inliers + outliers.
 pub fn anomaly_mixture<R: Rng>(cfg: &AnomalyConfig, rng: &mut R) -> Dataset {
-    let centers: Vec<Vec<f32>> = (0..cfg.clusters)
-        .map(|_| (0..cfg.dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f32>> =
+        (0..cfg.clusters).map(|_| (0..cfg.dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect()).collect();
     let n = cfg.inliers + cfg.outliers;
     let mut rows: Vec<(Vec<f32>, usize)> = Vec::with_capacity(n);
     for _ in 0..cfg.inliers {
         let c = rng.gen_range(0..cfg.clusters);
-        let x = (0..cfg.dims)
-            .map(|j| centers[c][j] + cfg.cluster_std * super::clusters::gaussian(rng))
-            .collect();
+        let x =
+            (0..cfg.dims).map(|j| centers[c][j] + cfg.cluster_std * super::clusters::gaussian(rng)).collect();
         rows.push((x, 0));
     }
     for _ in 0..cfg.outliers {
@@ -57,11 +55,7 @@ pub fn anomaly_mixture<R: Rng>(cfg: &AnomalyConfig, rng: &mut R) -> Dataset {
         }
         labels.push(y);
     }
-    let cols = columns
-        .into_iter()
-        .enumerate()
-        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
-        .collect();
+    let cols = columns.into_iter().enumerate().map(|(j, v)| Column::numeric(format!("x{j}"), v)).collect();
     Dataset::new(
         format!("anomaly(inliers={},outliers={})", cfg.inliers, cfg.outliers),
         Table::new(cols),

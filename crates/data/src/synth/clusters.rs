@@ -122,14 +122,16 @@ mod tests {
                 *x /= n as f32;
             }
         }
-        let between: f32 = (0..enc.features.cols()).map(|c| (centroids[0][c] - centroids[1][c]).powi(2)).sum::<f32>().sqrt();
+        let between: f32 =
+            (0..enc.features.cols()).map(|c| (centroids[0][c] - centroids[1][c]).powi(2)).sum::<f32>().sqrt();
         assert!(between > 1.0, "centroids too close: {between}");
     }
 
     #[test]
     fn noise_features_are_uninformative() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = ClustersConfig { n: 400, informative: 4, noise_features: 4, classes: 2, ..Default::default() };
+        let cfg =
+            ClustersConfig { n: 400, informative: 4, noise_features: 4, classes: 2, ..Default::default() };
         let d = gaussian_clusters(&cfg, &mut rng);
         assert_eq!(d.table.num_columns(), 8);
         assert!(d.table.column(7).name.starts_with("noise"));

@@ -26,7 +26,14 @@ pub struct CtrConfig {
 
 impl Default for CtrConfig {
     fn default() -> Self {
-        Self { n: 2000, fields: 6, cardinality: 8, first_order_scale: 0.4, interaction_scale: 2.0, interacting_pairs: 4 }
+        Self {
+            n: 2000,
+            fields: 6,
+            cardinality: 8,
+            first_order_scale: 0.4,
+            interaction_scale: 2.0,
+            interacting_pairs: 4,
+        }
     }
 }
 
@@ -52,9 +59,8 @@ pub fn ctr_synthetic<R: Rng>(cfg: &CtrConfig, rng: &mut R) -> CtrData {
         .map(|_| (0..card).map(|_| cfg.first_order_scale * super::clusters::gaussian(rng)).collect())
         .collect();
     // Choose interacting field pairs.
-    let mut all_pairs: Vec<(usize, usize)> = (0..cfg.fields)
-        .flat_map(|f| ((f + 1)..cfg.fields).map(move |g| (f, g)))
-        .collect();
+    let mut all_pairs: Vec<(usize, usize)> =
+        (0..cfg.fields).flat_map(|f| ((f + 1)..cfg.fields).map(move |g| (f, g))).collect();
     // Fisher-Yates-style partial shuffle for determinism.
     for i in 0..all_pairs.len() {
         let j = rng.gen_range(i..all_pairs.len());
@@ -133,10 +139,13 @@ mod tests {
         let data = ctr_synthetic(&cfg, &mut rng);
         let labels = data.dataset.target.labels();
         // Marginal click rate per value of field 0 should hover near global rate.
-        if let crate::table::ColumnData::Categorical { codes, cardinality } = &data.dataset.table.column(0).data {
+        if let crate::table::ColumnData::Categorical { codes, cardinality } =
+            &data.dataset.table.column(0).data
+        {
             let global = labels.iter().sum::<usize>() as f64 / labels.len() as f64;
             for v in 0..*cardinality {
-                let rows: Vec<usize> = codes.iter().enumerate().filter(|(_, &c)| c == v).map(|(i, _)| i).collect();
+                let rows: Vec<usize> =
+                    codes.iter().enumerate().filter(|(_, &c)| c == v).map(|(i, _)| i).collect();
                 let rate = rows.iter().map(|&i| labels[i]).sum::<usize>() as f64 / rows.len() as f64;
                 assert!((rate - global).abs() < 0.12, "field0={v} marginal leaks: {rate} vs {global}");
             }

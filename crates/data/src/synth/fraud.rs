@@ -84,11 +84,8 @@ pub fn fraud_network<R: Rng>(cfg: &FraudConfig, rng: &mut R) -> FraudData {
         }
     }
 
-    let mut columns: Vec<Column> = numeric
-        .into_iter()
-        .enumerate()
-        .map(|(j, v)| Column::numeric(format!("amount{j}"), v))
-        .collect();
+    let mut columns: Vec<Column> =
+        numeric.into_iter().enumerate().map(|(j, v)| Column::numeric(format!("amount{j}"), v)).collect();
     columns.push(Column::categorical("device", device, total_devices as u32));
     columns.push(Column::categorical("merchant", merchant, cfg.merchants as u32));
 

@@ -44,9 +44,8 @@ pub struct GroupedData {
 pub fn grouped_features<R: Rng>(cfg: &GroupedConfig, rng: &mut R) -> GroupedData {
     assert!(cfg.groups >= 2, "need at least two groups");
     let d = cfg.groups * cfg.features_per_group;
-    let group_weights: Vec<f32> = (0..cfg.groups)
-        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
-        .collect();
+    let group_weights: Vec<f32> =
+        (0..cfg.groups).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
 
     let mut columns: Vec<Vec<f32>> = vec![Vec::with_capacity(cfg.n); d];
     let mut labels = Vec::with_capacity(cfg.n);
@@ -101,10 +100,8 @@ mod tests {
     #[test]
     fn within_group_features_are_correlated() {
         let mut rng = StdRng::seed_from_u64(1);
-        let data = grouped_features(
-            &GroupedConfig { n: 500, feature_noise: 0.5, ..Default::default() },
-            &mut rng,
-        );
+        let data =
+            grouped_features(&GroupedConfig { n: 500, feature_noise: 0.5, ..Default::default() }, &mut rng);
         let col = |j: usize| -> Vec<f32> {
             match &data.dataset.table.column(j).data {
                 crate::table::ColumnData::Numeric(v) => v.clone(),
@@ -130,10 +127,8 @@ mod tests {
     #[test]
     fn labels_depend_on_group_signals() {
         let mut rng = StdRng::seed_from_u64(2);
-        let data = grouped_features(
-            &GroupedConfig { n: 2000, feature_noise: 0.2, ..Default::default() },
-            &mut rng,
-        );
+        let data =
+            grouped_features(&GroupedConfig { n: 2000, feature_noise: 0.2, ..Default::default() }, &mut rng);
         // group-mean features predict the label well: use group 0's mean sign
         // alignment with its weight as a sanity signal
         let labels = data.dataset.target.labels();

@@ -49,11 +49,8 @@ pub fn parity_fields<R: Rng>(cfg: &ParityConfig, rng: &mut R) -> Dataset {
         }
         labels.push(y);
     }
-    let columns = codes
-        .into_iter()
-        .enumerate()
-        .map(|(j, c)| Column::categorical(format!("field{j}"), c, 2))
-        .collect();
+    let columns =
+        codes.into_iter().enumerate().map(|(j, c)| Column::categorical(format!("field{j}"), c, 2)).collect();
     Dataset::new(
         format!("parity(n={},fields={},order={})", cfg.n, cfg.fields, cfg.order),
         Table::new(columns),

@@ -5,9 +5,9 @@
 
 use rand::Rng;
 
-use crate::table::{Column, Dataset, Table, Target};
 #[cfg(test)]
 use crate::table::ColumnData;
+use crate::table::{Column, Dataset, Table, Target};
 
 /// Checkerboard classification in 2D: label alternates over a `cells x
 /// cells` grid on `[-1, 1]^2`. Axis-aligned and piecewise constant —
@@ -92,11 +92,7 @@ pub fn pad_irrelevant<R: Rng>(dataset: &Dataset, k: usize, rng: &mut R) -> Datas
         let v: Vec<f32> = (0..n).map(|_| super::clusters::gaussian(rng)).collect();
         columns.push(Column::numeric(format!("irrelevant{j}"), v));
     }
-    Dataset::new(
-        format!("{}+irrelevant{k}", dataset.name),
-        Table::new(columns),
-        dataset.target.clone(),
-    )
+    Dataset::new(format!("{}+irrelevant{k}", dataset.name), Table::new(columns), dataset.target.clone())
 }
 
 #[cfg(test)]

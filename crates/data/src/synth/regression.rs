@@ -23,11 +23,7 @@ pub fn friedman1<R: Rng>(n: usize, noise_features: usize, noise_std: f32, rng: &
             col.push(*v);
         }
     }
-    let cols = columns
-        .into_iter()
-        .enumerate()
-        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
-        .collect();
+    let cols = columns.into_iter().enumerate().map(|(j, v)| Column::numeric(format!("x{j}"), v)).collect();
     Dataset::new(
         format!("friedman1(n={n},noise_features={noise_features})"),
         Table::new(cols),
@@ -38,10 +34,15 @@ pub fn friedman1<R: Rng>(n: usize, noise_features: usize, noise_std: f32, rng: &
 /// Clustered regression: rows belong to latent groups; the target is a
 /// group-level offset plus a linear term, so models exploiting instance
 /// correlation (neighbors share the group offset) beat row-wise models.
-pub fn clustered_regression<R: Rng>(n: usize, groups: usize, dims: usize, noise_std: f32, rng: &mut R) -> Dataset {
-    let centers: Vec<Vec<f32>> = (0..groups)
-        .map(|_| (0..dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
-        .collect();
+pub fn clustered_regression<R: Rng>(
+    n: usize,
+    groups: usize,
+    dims: usize,
+    noise_std: f32,
+    rng: &mut R,
+) -> Dataset {
+    let centers: Vec<Vec<f32>> =
+        (0..groups).map(|_| (0..dims).map(|_| rng.gen_range(-3.0f32..3.0)).collect()).collect();
     let offsets: Vec<f32> = (0..groups).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
     let weights: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
 
@@ -49,20 +50,14 @@ pub fn clustered_regression<R: Rng>(n: usize, groups: usize, dims: usize, noise_
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
         let g = i % groups;
-        let x: Vec<f32> = (0..dims)
-            .map(|j| centers[g][j] + 0.5 * super::clusters::gaussian(rng))
-            .collect();
+        let x: Vec<f32> = (0..dims).map(|j| centers[g][j] + 0.5 * super::clusters::gaussian(rng)).collect();
         let lin: f32 = x.iter().zip(&weights).map(|(&a, &w)| a * w).sum();
         y.push(offsets[g] + 0.3 * lin + noise_std * super::clusters::gaussian(rng));
         for (col, v) in columns.iter_mut().zip(&x) {
             col.push(*v);
         }
     }
-    let cols = columns
-        .into_iter()
-        .enumerate()
-        .map(|(j, v)| Column::numeric(format!("x{j}"), v))
-        .collect();
+    let cols = columns.into_iter().enumerate().map(|(j, v)| Column::numeric(format!("x{j}"), v)).collect();
     Dataset::new(
         format!("clustered_regression(n={n},groups={groups})"),
         Table::new(cols),
@@ -120,7 +115,8 @@ mod tests {
         for m in &mut means {
             *m /= 200.0;
         }
-        let spread = means.iter().cloned().fold(f64::MIN, f64::max) - means.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            means.iter().cloned().fold(f64::MIN, f64::max) - means.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 1.0, "group offsets too close: {means:?}");
     }
 }

@@ -113,12 +113,7 @@ impl Column {
                     counts[c as usize] += 1;
                 }
             }
-            counts
-                .iter()
-                .enumerate()
-                .filter(|&(_, &n)| n > 0)
-                .max_by_key(|&(_, &n)| n)
-                .map(|(c, _)| c as u32)
+            counts.iter().enumerate().filter(|&(_, &n)| n > 0).max_by_key(|&(_, &n)| n).map(|(c, _)| c as u32)
         } else {
             None
         }
@@ -308,10 +303,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "row-count mismatch")]
     fn ragged_table_panics() {
-        Table::new(vec![
-            Column::numeric("a", vec![1.0]),
-            Column::numeric("b", vec![1.0, 2.0]),
-        ]);
+        Table::new(vec![Column::numeric("a", vec![1.0]), Column::numeric("b", vec![1.0, 2.0])]);
     }
 
     #[test]

@@ -124,11 +124,7 @@ mod tests {
 
     fn sample() -> BipartiteGraph {
         // 3 instances, 2 features; instance 1 is missing feature 1.
-        BipartiteGraph::from_edges(
-            3,
-            2,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (2, 0, 1.0), (2, 1, 1.0)],
-        )
+        BipartiteGraph::from_edges(3, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (2, 0, 1.0), (2, 1, 1.0)])
     }
 
     #[test]

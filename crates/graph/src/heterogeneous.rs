@@ -98,12 +98,7 @@ impl HeteroGraph {
     /// Relation ids incoming to a node type (used by RGCN-style layers that
     /// aggregate per destination type).
     pub fn relations_into(&self, dst: NodeTypeId) -> Vec<EdgeTypeId> {
-        self.edge_types
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.dst == dst)
-            .map(|(i, _)| EdgeTypeId(i))
-            .collect()
+        self.edge_types.iter().enumerate().filter(|(_, e)| e.dst == dst).map(|(i, _)| EdgeTypeId(i)).collect()
     }
 
     /// Mean-normalized message operator for relation `e`, aggregating source

@@ -48,9 +48,8 @@ pub fn density(graph: &Graph) -> f64 {
 /// Treats the graph as undirected support.
 pub fn clustering_coefficient(graph: &Graph) -> f64 {
     let n = graph.num_nodes();
-    let neighbor_sets: Vec<std::collections::BTreeSet<usize>> = (0..n)
-        .map(|u| graph.neighbors(u).map(|(v, _)| v).filter(|&v| v != u).collect())
-        .collect();
+    let neighbor_sets: Vec<std::collections::BTreeSet<usize>> =
+        (0..n).map(|u| graph.neighbors(u).map(|(v, _)| v).filter(|&v| v != u).collect()).collect();
     let mut total = 0.0;
     let mut counted = 0usize;
     for u in 0..n {
@@ -96,9 +95,7 @@ pub fn per_class_homophily(graph: &Graph, labels: &[usize], num_classes: usize) 
             }
         }
     }
-    (0..num_classes)
-        .map(|c| if total[c] == 0 { 0.0 } else { same[c] as f64 / total[c] as f64 })
-        .collect()
+    (0..num_classes).map(|c| if total[c] == 0 { 0.0 } else { same[c] as f64 / total[c] as f64 }).collect()
 }
 
 #[cfg(test)]
@@ -144,7 +141,7 @@ mod tests {
         let labels = vec![0, 1, 1, 1, 1, 1];
         let h = per_class_homophily(&g, &labels, 2);
         assert_eq!(h[0], 0.0); // hub only touches the other class
-        // class 1: leaves have 3 cross edges, pair has 2 same edges -> 2/5
+                               // class 1: leaves have 3 cross edges, pair has 2 same edges -> 2/5
         assert!((h[1] - 2.0 / 5.0).abs() < 1e-9);
     }
 

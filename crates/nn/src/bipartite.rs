@@ -103,13 +103,7 @@ impl EdgeValueDecoder {
 
     /// Predicts one value per `(instance, feature)` pair; returns an
     /// `|pairs| x 1` matrix.
-    pub fn forward(
-        &self,
-        s: &mut Session<'_>,
-        h_inst: Var,
-        h_feat: Var,
-        pairs: &[(usize, usize)],
-    ) -> Var {
+    pub fn forward(&self, s: &mut Session<'_>, h_inst: Var, h_feat: Var, pairs: &[(usize, usize)]) -> Var {
         let inst_idx: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(i, _)| i).collect());
         let feat_idx: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(_, j)| j).collect());
         let hi = s.tape.gather_rows(h_inst, inst_idx);

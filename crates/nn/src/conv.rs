@@ -46,7 +46,13 @@ pub struct GcnModel {
 impl GcnModel {
     /// `dims = [in, hidden..., out]`; uses the graph's symmetric-normalized
     /// operator with self-loops.
-    pub fn new<R: Rng>(store: &mut ParamStore, graph: &Graph, dims: &[usize], dropout: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &Graph,
+        dims: &[usize],
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
         assert!(dims.len() >= 2, "GCN needs at least one layer");
         let layers = dims
             .windows(2)
@@ -66,7 +72,12 @@ impl GcnModel {
 
     /// Same parameters over a different graph (inductive evaluation).
     pub fn rebind(&self, graph: &Graph) -> Self {
-        Self { adj: graph.gcn_adj(), layers: self.layers.clone(), dropout: self.dropout, pair_norm: self.pair_norm }
+        Self {
+            adj: graph.gcn_adj(),
+            layers: self.layers.clone(),
+            dropout: self.dropout,
+            pair_norm: self.pair_norm,
+        }
     }
 }
 
@@ -140,7 +151,13 @@ pub struct SageModel {
 
 impl SageModel {
     /// Mean-aggregation GraphSAGE.
-    pub fn new<R: Rng>(store: &mut ParamStore, graph: &Graph, dims: &[usize], dropout: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &Graph,
+        dims: &[usize],
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
         Self::with_aggregator(store, graph, dims, dropout, SageAggregator::Mean, rng)
     }
 
@@ -237,12 +254,20 @@ pub struct GinModel {
 impl GinModel {
     /// One GIN layer per `dims` window; each layer's MLP has a single hidden
     /// layer of the output width.
-    pub fn new<R: Rng>(store: &mut ParamStore, graph: &Graph, dims: &[usize], dropout: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        graph: &Graph,
+        dims: &[usize],
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
         assert!(dims.len() >= 2, "GIN needs at least one layer");
         let mlps = dims
             .windows(2)
             .enumerate()
-            .map(|(i, w)| Mlp::new(store, &format!("gin.mlp{i}"), &[w[0], w[1], w[1]], Activation::Relu, 0.0, rng))
+            .map(|(i, w)| {
+                Mlp::new(store, &format!("gin.mlp{i}"), &[w[0], w[1], w[1]], Activation::Relu, 0.0, rng)
+            })
             .collect();
         Self { adj: graph.sum_adj(), mlps, dropout }
     }
@@ -341,7 +366,8 @@ mod tests {
         let mean = SageModel::with_aggregator(&mut store_a, &g, &[3, 4], 0.0, SageAggregator::Mean, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(21); // same init for shared layers
         let mut store_b = ParamStore::new();
-        let maxp = SageModel::with_aggregator(&mut store_b, &g, &[3, 4], 0.0, SageAggregator::MaxPool, &mut rng2);
+        let maxp =
+            SageModel::with_aggregator(&mut store_b, &g, &[3, 4], 0.0, SageAggregator::MaxPool, &mut rng2);
         assert_eq!(maxp.aggregator(), SageAggregator::MaxPool);
         let x = Matrix::from_rows(&[
             vec![1.0, 0.0, 0.0],
@@ -365,7 +391,8 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(22);
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)], true);
-        let m = SageModel::with_aggregator(&mut store, &g, &[2, 8, 2], 0.0, SageAggregator::MaxPool, &mut rng);
+        let m =
+            SageModel::with_aggregator(&mut store, &g, &[2, 8, 2], 0.0, SageAggregator::MaxPool, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.1], vec![0.9, 0.0], vec![-1.0, 0.2], vec![-0.8, 0.1]]);
         let labels = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
@@ -486,8 +513,12 @@ mod tests {
             }
             let mut s = Session::eval(&store);
             let x = s.input(Matrix::from_rows(&[
-                vec![1.0, 0.0], vec![0.9, 0.1], vec![0.5, 0.5],
-                vec![0.1, 0.9], vec![0.0, 1.0], vec![-0.5, 1.2],
+                vec![1.0, 0.0],
+                vec![0.9, 0.1],
+                vec![0.5, 0.5],
+                vec![0.1, 0.9],
+                vec![0.0, 1.0],
+                vec![-0.5, 1.2],
             ]));
             let y = m.forward(&mut s, x);
             let v = s.tape.value(y);

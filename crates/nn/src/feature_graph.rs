@@ -72,7 +72,16 @@ impl FeatureGraphModel {
         dropout: f32,
         rng: &mut R,
     ) -> Self {
-        Self::with_adjacency(store, table, emb_dim, gnn_layers, out_dim, dropout, FieldAdjacency::FullyConnected, rng)
+        Self::with_adjacency(
+            store,
+            table,
+            emb_dim,
+            gnn_layers,
+            out_dim,
+            dropout,
+            FieldAdjacency::FullyConnected,
+            rng,
+        )
     }
 
     /// Builds with an explicit field-adjacency mode.
@@ -124,9 +133,8 @@ impl FeatureGraphModel {
                 }
             }
         }
-        let adj = Rc::new(SpAdj::new(
-            CsrMatrix::from_triplets(n * fields, n * fields, &triplets).row_normalized(),
-        ));
+        let adj =
+            Rc::new(SpAdj::new(CsrMatrix::from_triplets(n * fields, n * fields, &triplets).row_normalized()));
 
         let segment: Vec<usize> = (0..n * fields).map(|k| k / fields).collect();
 
@@ -318,7 +326,14 @@ mod tests {
             Column::categorical("noise", vec![0, 1, 1, 0, 1, 0, 0, 1], 2),
         ]);
         let m = FeatureGraphModel::with_adjacency(
-            &mut store, &t, 8, 2, 2, 0.0, FieldAdjacency::Learned, &mut rng,
+            &mut store,
+            &t,
+            8,
+            2,
+            2,
+            0.0,
+            FieldAdjacency::Learned,
+            &mut rng,
         );
         let labels = Rc::new(vec![0usize, 1, 1, 0, 0, 1, 1, 0]);
         let x0 = Matrix::zeros(8, 1);

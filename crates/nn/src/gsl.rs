@@ -65,12 +65,7 @@ impl NeuralGslModel {
         let xv = s.input(x.clone());
         let (_, alpha) = self.attention(&mut s, xv);
         let w = s.tape.value(alpha);
-        self.src
-            .iter()
-            .zip(self.dst.iter())
-            .enumerate()
-            .map(|(e, (&u, &v))| (u, v, w.get(e, 0)))
-            .collect()
+        self.src.iter().zip(self.dst.iter()).enumerate().map(|(e, (&u, &v))| (u, v, w.get(e, 0))).collect()
     }
 
     fn attention(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {

@@ -58,10 +58,8 @@ impl HeteroModel {
         rng: &mut R,
     ) -> Self {
         assert!(rounds >= 1, "need at least one round");
-        let edge_types: Vec<EdgeTypeId> = graph
-            .edge_type_ids()
-            .filter(|&e| graph.edge_endpoints(e).0 == instances)
-            .collect();
+        let edge_types: Vec<EdgeTypeId> =
+            graph.edge_type_ids().filter(|&e| graph.edge_endpoints(e).0 == instances).collect();
         assert!(!edge_types.is_empty(), "no relations out of the instance type");
         let proj_inst = Linear::new(store, "hetero.proj", in_dim, hidden, rng);
         let self_lin = Linear::new(store, "hetero.self", hidden, hidden, rng);
@@ -221,10 +219,7 @@ mod tests {
         }
         assert!(opt_losses.last().unwrap() < &0.2, "did not fit: {:?}", opt_losses.last());
         let att = m.relation_attention(&store, &x);
-        assert!(
-            att[0] > att[1],
-            "device relation should dominate attention: {att:?}"
-        );
+        assert!(att[0] > att[1], "device relation should dominate attention: {att:?}");
     }
 
     #[test]

@@ -113,12 +113,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = HyperModel::new(&mut store, &hypergraph(), &[2, 4], 0.0, &mut rng);
         let mut s = Session::eval(&store);
-        let x = s.input(Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-            vec![-1.0, 0.5],
-        ]));
+        let x =
+            s.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![-1.0, 0.5]]));
         let (_, edges) = m.forward_pair(&mut s, x);
         let v = s.tape.value(edges);
         let diff: f32 = (0..4).map(|c| (v.get(0, c) - v.get(1, c)).abs()).sum();

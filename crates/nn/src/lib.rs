@@ -27,9 +27,9 @@ pub mod session;
 
 pub use bipartite::{BipartiteModel, EdgeValueDecoder};
 pub use conv::{pair_norm, GcnModel, GinModel, MlpModel, NodeModel, SageAggregator, SageModel};
-pub use ggnn::GgnnModel;
 pub use feature_graph::{FeatureGraphModel, FieldAdjacency};
 pub use gat::GatModel;
+pub use ggnn::GgnnModel;
 pub use gsl::{DirectGslModel, NeuralGslModel};
 pub use hetero::HeteroModel;
 pub use hyper::HyperModel;

@@ -40,7 +40,13 @@ pub struct Linear {
 
 impl Linear {
     /// Glorot-initialized linear layer with bias.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         let w = store.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, rng));
         let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
         Self { w, b: Some(b), in_dim, out_dim }
@@ -48,7 +54,13 @@ impl Linear {
 
     /// Linear layer without bias (used where several branches sum before a
     /// shared bias, e.g. GraphSAGE's self/neighbor paths).
-    pub fn new_no_bias<R: Rng>(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new_no_bias<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         let w = store.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, rng));
         Self { w, b: None, in_dim, out_dim }
     }

@@ -62,11 +62,7 @@ mod tests {
 
     fn setup() -> (ParamStore, Matrix, Rc<Vec<usize>>) {
         let store = ParamStore::new();
-        let h = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, -6.0],
-        ]);
+        let h = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, -6.0]]);
         let segment = Rc::new(vec![0usize, 0, 1]);
         (store, h, segment)
     }

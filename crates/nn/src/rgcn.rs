@@ -125,12 +125,7 @@ mod tests {
         let mut s = Session::eval(&store);
         // nodes 0 and 2 share features, as do their neighbors 1 and 3; the
         // only difference is *which relation* carries the message.
-        let x = s.input(Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ]));
+        let x = s.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]]));
         let y = m.forward(&mut s, x);
         let v = s.tape.value(y);
         let diff: f32 = (0..2).map(|c| (v.get(0, c) - v.get(2, c)).abs()).sum();

@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gnn4tdl_graph::Graph;
-use gnn4tdl_nn::{
-    GatModel, GcnModel, GgnnModel, GinModel, NodeModel, SageAggregator, SageModel, Session,
-};
+use gnn4tdl_nn::{GatModel, GcnModel, GgnnModel, GinModel, NodeModel, SageAggregator, SageModel, Session};
 use gnn4tdl_tensor::{Matrix, ParamStore};
 
 #[derive(Clone, Debug)]
@@ -30,7 +28,10 @@ fn case() -> impl Strategy<Value = Case> {
     })
 }
 
-fn run_encoder(build: impl FnOnce(&mut ParamStore, &Graph, usize, &mut StdRng) -> Box<dyn NodeModel>, c: &Case) -> Matrix {
+fn run_encoder(
+    build: impl FnOnce(&mut ParamStore, &Graph, usize, &mut StdRng) -> Box<dyn NodeModel>,
+    c: &Case,
+) -> Matrix {
     let graph = Graph::from_edges(c.n, &c.edges, true);
     let mut rng = StdRng::seed_from_u64(7);
     let mut store = ParamStore::new();

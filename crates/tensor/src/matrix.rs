@@ -8,6 +8,30 @@
 
 use rand::Rng;
 
+use crate::parallel;
+
+/// Elements per chunk for parallel elementwise loops. Chunk boundaries are
+/// fixed by this constant (never by worker count), so results are identical
+/// for any thread count; inputs smaller than one chunk stay sequential.
+const ELEM_CHUNK: usize = 1 << 14;
+
+/// Elements per partial in parallel reductions. Partials are combined in
+/// chunk order, fixing the reduction tree independent of worker count.
+const REDUCE_CHUNK: usize = 4096;
+
+/// Rows per partial in column-wise reductions.
+const COL_ROW_CHUNK: usize = 128;
+
+/// Sum of `f(x)` over a slice with a fixed chunked reduction order.
+fn par_reduce_sum(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
+    if data.len() <= REDUCE_CHUNK {
+        return data.iter().map(|&x| f(x)).sum();
+    }
+    let chunks: Vec<&[f32]> = data.chunks(REDUCE_CHUNK).collect();
+    let partials = parallel::par_map(&chunks, |_, chunk| chunk.iter().map(|&x| f(x)).sum::<f32>());
+    partials.into_iter().sum()
+}
+
 /// A dense row-major matrix of `f32`.
 ///
 /// ```
@@ -57,7 +81,15 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape {}x{} needs {} elements, got {}", rows, cols, rows * cols, data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "shape {}x{} needs {} elements, got {}",
+            rows,
+            cols,
+            rows * cols,
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -179,11 +211,18 @@ impl Matrix {
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        let src = &self.data;
+        // Output rows per block, sized so a block is ~16k element copies.
+        let block = (1usize << 14).div_ceil(rows.max(1)).max(1);
+        parallel::par_chunks_mut(&mut out.data, block * rows, |blk, chunk| {
+            for (local, out_row) in chunk.chunks_mut(rows).enumerate() {
+                let c = blk * block + local;
+                for (r, o) in out_row.iter_mut().enumerate() {
+                    *o = src[r * cols + c];
+                }
             }
-        }
+        });
         out
     }
 
@@ -202,19 +241,27 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (a_data, a_cols) = (&self.data, self.cols);
+        let b_data = &other.data;
+        // Row blocks sized from the shapes only (~32k flops per block), so
+        // chunking — and with it every per-row reduction order — is
+        // independent of the worker count.
+        let block_rows = (1usize << 15).div_ceil((self.cols * n).max(1)).clamp(1, self.rows.max(1));
+        parallel::par_chunks_mut(&mut out.data, block_rows * n, |blk, chunk| {
+            for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = blk * block_rows + local;
+                let a_row = &a_data[i * a_cols..(i + 1) * a_cols];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -230,33 +277,59 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
     }
 
+    /// Parallel elementwise binary op (the closure must be `Sync`, unlike
+    /// [`Self::zip_map`] which stays sequential for arbitrary closures).
+    fn par_zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let (a, b) = (&self.data, &other.data);
+        parallel::par_chunks_mut(&mut out.data, ELEM_CHUNK, |i, chunk| {
+            let off = i * ELEM_CHUNK;
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[off + k], b[off + k]);
+            }
+        });
+        out
+    }
+
     pub fn add(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a + b)
+        self.par_zip(other, |a, b| a + b)
     }
 
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a - b)
+        self.par_zip(other, |a, b| a - b)
     }
 
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a * b)
+        self.par_zip(other, |a, b| a * b)
     }
 
     pub fn scale(&self, s: f32) -> Matrix {
-        self.map(|a| a * s)
+        let mut out = self.clone();
+        parallel::par_chunks_mut(&mut out.data, ELEM_CHUNK, |_, chunk| {
+            for o in chunk.iter_mut() {
+                *o *= s;
+            }
+        });
+        out
     }
 
     /// In-place `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let b = &other.data;
+        parallel::par_chunks_mut(&mut self.data, ELEM_CHUNK, |i, chunk| {
+            let off = i * ELEM_CHUNK;
+            for (k, a) in chunk.iter_mut().enumerate() {
+                *a += alpha * b[off + k];
+            }
+        });
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (fixed chunked reduction order; see
+    /// [`REDUCE_CHUNK`]).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        par_reduce_sum(&self.data, |x| x)
     }
 
     /// Mean of all elements (0 for empty matrices).
@@ -268,45 +341,66 @@ impl Matrix {
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (fixed chunked reduction order).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+        par_reduce_sum(&self.data, |x| x * x).sqrt()
+    }
+
+    /// Per-column partial sums of `f(row)` over fixed row blocks, combined
+    /// in block order — the shared kernel behind the column reductions.
+    fn col_reduce(&self, f: impl Fn(&[f32], &mut [f32]) + Sync) -> Vec<f32> {
+        let ranges: Vec<(usize, usize)> = (0..self.rows)
+            .step_by(COL_ROW_CHUNK)
+            .map(|r0| (r0, (r0 + COL_ROW_CHUNK).min(self.rows)))
+            .collect();
+        let partials = parallel::par_map(&ranges, |_, &(r0, r1)| {
+            let mut acc = vec![0.0f32; self.cols];
+            for r in r0..r1 {
+                f(self.row(r), &mut acc);
+            }
+            acc
+        });
+        let mut total = vec![0.0f32; self.cols];
+        for partial in partials {
+            for (t, p) in total.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+        total
     }
 
     /// Per-column mean as a 1xC matrix.
     pub fn col_means(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+        let mut sums = self.col_reduce(|row, acc| {
+            for (o, &v) in acc.iter_mut().zip(row) {
                 *o += v;
             }
-        }
+        });
         if self.rows > 0 {
             let inv = 1.0 / self.rows as f32;
-            for o in &mut out.data {
+            for o in &mut sums {
                 *o *= inv;
             }
         }
-        out
+        Matrix { rows: 1, cols: self.cols, data: sums }
     }
 
     /// Per-column (population) standard deviation as a 1xC matrix.
     pub fn col_stds(&self) -> Matrix {
         let means = self.col_means();
-        let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                let d = self.get(r, c) - means.data[c];
-                out.data[c] += d * d;
+        let mut sq = self.col_reduce(|row, acc| {
+            for ((o, &v), &m) in acc.iter_mut().zip(row).zip(&means.data) {
+                let d = v - m;
+                *o += d * d;
             }
-        }
+        });
         if self.rows > 0 {
             let inv = 1.0 / self.rows as f32;
-            for o in &mut out.data {
+            for o in &mut sq {
                 *o = (*o * inv).sqrt();
             }
         }
-        out
+        Matrix { rows: 1, cols: self.cols, data: sq }
     }
 
     /// Index of the maximum value in each row.
@@ -355,12 +449,7 @@ impl Matrix {
     /// Euclidean distance between two rows of (possibly different) matrices.
     pub fn row_distance(a: &Matrix, i: usize, b: &Matrix, j: usize) -> f32 {
         debug_assert_eq!(a.cols, b.cols);
-        a.row(i)
-            .iter()
-            .zip(b.row(j))
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum::<f32>()
-            .sqrt()
+        a.row(i).iter().zip(b.row(j)).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
     }
 
     /// True if all entries are finite.
@@ -371,19 +460,15 @@ impl Matrix {
     /// Max absolute difference against another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn zeros_and_shape() {

@@ -1,0 +1,315 @@
+//! Dependency-free parallel compute substrate built on `std::thread::scope`.
+//!
+//! Every primitive here is **deterministic by construction**: work is split
+//! into chunks whose boundaries depend only on the input size (never on the
+//! thread count), each chunk is computed exactly as the sequential code
+//! would, and chunks write disjoint regions. Threads only change *which
+//! worker* computes a chunk, so results are bit-for-bit identical for any
+//! thread count — including 1, which simply runs the sequential fallback.
+//!
+//! # Thread-count resolution
+//!
+//! [`current_threads`] resolves the worker count with this precedence:
+//!
+//! 1. a scoped override installed by [`with_threads`] (thread-local, so
+//!    parallel-running tests cannot race each other),
+//! 2. a process-wide default installed by [`set_threads`],
+//! 3. the `GNN4TDL_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Setting any of these to `1` forces fully sequential execution — the
+//! deterministic single-thread mode required for reproducing experiment
+//! outputs bit-for-bit (which, by the design above, match the parallel
+//! outputs anyway).
+//!
+//! # Pool lifecycle
+//!
+//! There is no persistent pool: workers are scoped threads that live only
+//! for one primitive call. On Linux a thread spawn is ~10µs, far below the
+//! per-call work of the kernels this substrate backs (matmul, SpMM, all-pairs
+//! similarity, per-tree fitting); call sites keep a sequential fast path for
+//! inputs too small to amortize it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 = unset.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped worker-count override; 0 = unset.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of workers parallel primitives will use right now.
+pub fn current_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(value) = std::env::var("GNN4TDL_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Installs a process-wide worker count (`0` clears it, restoring the
+/// `GNN4TDL_THREADS` / `available_parallelism` default).
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the worker count forced to `n` on this thread only.
+///
+/// The override nests and is restored even if `f` panics. Being
+/// thread-local, concurrent tests exercising different thread counts
+/// cannot interfere with one another.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Applies `f(chunk_index, chunk)` over `data` split into chunks of
+/// `chunk_len` (last chunk may be shorter).
+///
+/// Chunk boundaries depend only on `data.len()` and `chunk_len`, so the
+/// result is identical for any worker count. Workers claim chunks from a
+/// shared queue, which load-balances uneven chunks (e.g. sparse rows).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = current_threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("chunk queue poisoned").next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Like [`par_chunks_mut`] but with explicit, possibly uneven part
+/// boundaries: `bounds` must start at 0, end at `data.len()`, and be
+/// non-decreasing. Part `i` is `data[bounds[i]..bounds[i + 1]]`.
+///
+/// Used where disjoint output regions have data-dependent sizes, e.g. the
+/// per-column spans of a CSR transpose.
+pub fn par_parts_mut<T, F>(data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_parts = bounds.len().saturating_sub(1);
+    if n_parts == 0 {
+        return;
+    }
+    assert_eq!(bounds[0], 0, "part bounds must start at 0");
+    assert_eq!(bounds[n_parts], data.len(), "part bounds must end at data.len()");
+    let workers = current_threads().min(n_parts);
+    if workers <= 1 {
+        let mut rest = data;
+        for i in 0..n_parts {
+            let (part, tail) = rest.split_at_mut(bounds[i + 1] - bounds[i]);
+            f(i, part);
+            rest = tail;
+        }
+        return;
+    }
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(n_parts);
+    let mut rest = data;
+    for i in 0..n_parts {
+        let (part, tail) = rest.split_at_mut(bounds[i + 1] - bounds[i]);
+        parts.push((i, part));
+        rest = tail;
+    }
+    let queue = Mutex::new(parts.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("part queue poisoned").next();
+                match next {
+                    Some((i, part)) => f(i, part),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f(index, item)` over `items`, preserving order in the output.
+///
+/// Each item is computed independently; worker count only affects which
+/// thread computes which item.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = current_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let queue = Mutex::new(out.iter_mut().zip(items).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("item queue poisoned").next();
+                match next {
+                    Some((i, (slot, item))) => *slot = Some(f(i, item)),
+                    None => break,
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+}
+
+/// Runs two closures, possibly concurrently, returning both results.
+pub fn par_join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_indices_cover_data_once() {
+        for threads in [1, 2, 5] {
+            with_threads(threads, || {
+                let mut data = vec![0u32; 103];
+                par_chunks_mut(&mut data, 10, |i, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v += 1 + i as u32;
+                    }
+                });
+                for (k, v) in data.iter().enumerate() {
+                    assert_eq!(*v, 1 + (k / 10) as u32);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn uneven_parts_get_their_own_spans() {
+        for threads in [1, 3] {
+            with_threads(threads, || {
+                let mut data = vec![0usize; 20];
+                let bounds = [0usize, 7, 7, 12, 20];
+                par_parts_mut(&mut data, &bounds, |i, part| {
+                    for v in part.iter_mut() {
+                        *v = i + 1;
+                    }
+                });
+                assert!(data[..7].iter().all(|&v| v == 1));
+                assert!(data[7..12].iter().all(|&v| v == 3));
+                assert!(data[12..].iter().all(|&v| v == 4));
+            });
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1, 4] {
+            let out = with_threads(threads, || par_map(&items, |i, &x| i * 1000 + x));
+            let expect: Vec<usize> = (0..57).map(|i| i * 1000 + i).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for threads in [1, 2] {
+            let (a, b) = with_threads(threads, || par_join(|| 6 * 7, || "ok".to_string()));
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        with_threads(5, || {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_threads(2, || panic!("boom"));
+            }));
+            assert!(caught.is_err());
+            assert_eq!(current_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_threads(2, || {
+                let mut data = vec![0u8; 16];
+                par_chunks_mut(&mut data, 4, |i, _| {
+                    if i == 2 {
+                        panic!("worker failure");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -46,12 +46,7 @@ impl ParamStore {
     }
 
     pub fn set(&mut self, id: ParamId, value: Matrix) {
-        assert_eq!(
-            self.values[id.0].shape(),
-            value.shape(),
-            "parameter {} shape change",
-            self.names[id.0]
-        );
+        assert_eq!(self.values[id.0].shape(), value.shape(), "parameter {} shape change", self.names[id.0]);
         self.values[id.0] = value;
     }
 
@@ -69,11 +64,7 @@ impl ParamStore {
 
     /// Iterates over `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.values
-            .iter()
-            .zip(&self.names)
-            .enumerate()
-            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+        self.values.iter().zip(&self.names).enumerate().map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
     }
 
     /// All parameter ids.
@@ -102,10 +93,7 @@ impl ParamStore {
 
     /// Sum of squared weights (for L2 regularization reporting).
     pub fn l2_norm_squared(&self) -> f32 {
-        self.values
-            .iter()
-            .map(|m| m.data().iter().map(|&x| x * x).sum::<f32>())
-            .sum()
+        self.values.iter().map(|m| m.data().iter().map(|&x| x * x).sum::<f32>()).sum()
     }
 
     /// Deep copy of all parameter values (used by two-stage training to
@@ -193,10 +181,8 @@ impl ParamStore {
                 ));
             }
             let raw = take(&mut cur, rows * cols * 4)?;
-            let data: Vec<f32> = raw
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
+            let data: Vec<f32> =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
             self.values[i] = Matrix::from_vec(rows, cols, data);
         }
         if cur != bytes.len() {

@@ -5,6 +5,17 @@
 //! so SpMM with a CSR layout is the hot path of the whole workspace.
 
 use crate::matrix::Matrix;
+use crate::parallel;
+
+/// Input rows per block in the parallel transpose. Fixed (never derived from
+/// the worker count) so entry placement is identical for any thread count.
+const TRANSPOSE_ROW_BLOCK: usize = 2048;
+
+/// Raw pointer wrapper for scatters whose write positions are provably
+/// disjoint across workers (see [`CsrMatrix::transpose`]).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// A CSR sparse matrix of `f32`.
 ///
@@ -70,7 +81,13 @@ impl CsrMatrix {
     }
 
     /// Builds directly from CSR components (validated).
-    pub fn from_parts(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<usize>, values: Vec<f32>) -> Self {
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length");
         assert_eq!(indices.len(), values.len(), "indices/values length");
         assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminal");
@@ -86,13 +103,7 @@ impl CsrMatrix {
 
     /// The identity as CSR.
     pub fn identity(n: usize) -> Self {
-        Self {
-            rows: n,
-            cols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n).collect(),
-            values: vec![1.0; n],
-        }
+        Self { rows: n, cols: n, indptr: (0..=n).collect(), indices: (0..n).collect(), values: vec![1.0; n] }
     }
 
     pub fn rows(&self) -> usize {
@@ -155,28 +166,113 @@ impl CsrMatrix {
         );
         let d = dense.cols();
         let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
-            for (c, v) in self.row_iter(r) {
-                let src = dense.row(c);
-                for (o, &s) in out_row.iter_mut().zip(src) {
-                    *o += v * s;
+        // Output-row blocks sized from the shapes only; each row accumulates
+        // its entries in CSR order exactly as the sequential loop would.
+        let block_rows = (1usize << 12).div_ceil(d.max(1)).clamp(1, self.rows.max(1));
+        parallel::par_chunks_mut(out.data_mut(), block_rows * d, |blk, chunk| {
+            for (local, out_row) in chunk.chunks_mut(d).enumerate() {
+                let r = blk * block_rows + local;
+                for (c, v) in self.row_iter(r) {
+                    let src = dense.row(c);
+                    for (o, &s) in out_row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Sparse-vector product `self * v` for a dense vector.
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv shape mismatch");
-        (0..self.rows)
-            .map(|r| self.row_iter(r).map(|(c, val)| val * v[c]).sum())
-            .collect()
+        let mut out = vec![0.0f32; self.rows];
+        parallel::par_chunks_mut(&mut out, 1 << 12, |blk, chunk| {
+            for (local, o) in chunk.iter_mut().enumerate() {
+                let r = blk * (1 << 12) + local;
+                *o = self.row_iter(r).map(|(c, val)| val * v[c]).sum();
+            }
+        });
+        out
     }
 
     /// Transposed matrix as a new CSR.
+    ///
+    /// Parallel counting sort over fixed input-row blocks: per-block column
+    /// histograms are prefix-combined into per-block cursors, then each
+    /// block scatters its own entries. Entries within an output row land in
+    /// input-row order — the exact placement of the sequential scatter —
+    /// and nothing depends on the worker count.
     pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let nblocks = self.rows.div_ceil(TRANSPOSE_ROW_BLOCK).max(1);
+        if nblocks == 1 || parallel::current_threads() == 1 {
+            return self.transpose_sequential();
+        }
+        let block_rows = |b: usize| {
+            let r0 = b * TRANSPOSE_ROW_BLOCK;
+            (r0, (r0 + TRANSPOSE_ROW_BLOCK).min(self.rows))
+        };
+        let blocks: Vec<usize> = (0..nblocks).collect();
+        let hists = parallel::par_map(&blocks, |_, &b| {
+            let (r0, r1) = block_rows(b);
+            let mut hist = vec![0usize; self.cols];
+            for k in self.indptr[r0]..self.indptr[r1] {
+                hist[self.indices[k]] += 1;
+            }
+            hist
+        });
+        let mut indptr = vec![0usize; self.cols + 1];
+        for hist in &hists {
+            for (c, &n) in hist.iter().enumerate() {
+                indptr[c + 1] += n;
+            }
+        }
+        for c in 0..self.cols {
+            indptr[c + 1] += indptr[c];
+        }
+        // cursors[b][c]: first output position block b writes in column c.
+        let mut running = indptr[..self.cols].to_vec();
+        let cursors: Vec<Vec<usize>> = hists
+            .iter()
+            .map(|hist| {
+                let snapshot = running.clone();
+                for (r, &n) in running.iter_mut().zip(hist) {
+                    *r += n;
+                }
+                snapshot
+            })
+            .collect();
+        let mut indices = vec![0usize; nnz];
+        let mut values = vec![0f32; nnz];
+        let idx_ptr = SendPtr(indices.as_mut_ptr());
+        let val_ptr = SendPtr(values.as_mut_ptr());
+        parallel::par_map(&blocks, |_, &b| {
+            // Capture the Send+Sync wrappers, not their raw-pointer fields
+            // (edition 2021 closures capture disjoint fields by default).
+            let (idx_ptr, val_ptr) = (&idx_ptr, &val_ptr);
+            let (r0, r1) = block_rows(b);
+            let mut cursor = cursors[b].clone();
+            for r in r0..r1 {
+                for (c, v) in self.row_iter(r) {
+                    let pos = cursor[c];
+                    cursor[c] += 1;
+                    // SAFETY: block b writes column c only in
+                    // [cursors[b][c], cursors[b][c] + hists[b][c]); these
+                    // ranges partition [0, nnz) across blocks, so no two
+                    // workers ever touch the same position.
+                    unsafe {
+                        *idx_ptr.0.add(pos) = r;
+                        *val_ptr.0.add(pos) = v;
+                    }
+                }
+            }
+        });
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Single-threaded counting-sort transpose (also the small-input path).
+    fn transpose_sequential(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
         for &c in &self.indices {
             counts[c + 1] += 1;
@@ -246,10 +342,7 @@ impl CsrMatrix {
     pub fn sym_normalized(&self) -> CsrMatrix {
         assert_eq!(self.rows, self.cols, "sym_normalized requires a square matrix");
         let sums = self.row_sums();
-        let inv_sqrt: Vec<f32> = sums
-            .iter()
-            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
-            .collect();
+        let inv_sqrt: Vec<f32> = sums.iter().map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 }).collect();
         let mut out = self.clone();
         for r in 0..self.rows {
             let (start, end) = (self.indptr[r], self.indptr[r + 1]);
@@ -355,13 +448,9 @@ mod tests {
 
     #[test]
     fn sym_normalized_is_symmetric_for_symmetric_input() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        )
-        .with_self_loops(1.0)
-        .sym_normalized();
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+            .with_self_loops(1.0)
+            .sym_normalized();
         let d = m.to_dense();
         assert!(d.max_abs_diff(&d.transpose()) < 1e-6);
         // Known value for path graph with self loops: entry (0,1) = 1/sqrt(2*3).

@@ -92,13 +92,24 @@ enum Op {
     /// Row gather: `out[i] = in[index[i]]`.
     GatherRows(usize, Rc<Vec<usize>>),
     /// Row scatter-add: `out[index[i]] += in[i]`.
-    ScatterAddRows { src: usize, index: Rc<Vec<usize>> },
+    ScatterAddRows {
+        src: usize,
+        index: Rc<Vec<usize>>,
+    },
     /// Row scatter-max: `out[index[i]] = max(out[index[i]], in[i])` per
     /// column; rows receiving nothing are 0. Gradients route to the argmax.
-    ScatterMaxRows { src: usize, index: Rc<Vec<usize>>, out_rows: usize },
+    ScatterMaxRows {
+        src: usize,
+        index: Rc<Vec<usize>>,
+        out_rows: usize,
+    },
     /// Per-column softmax within segments: entries sharing `seg[i]` form one
     /// softmax group (GAT attention over edges grouped by destination).
-    SegmentSoftmax { src: usize, seg: Rc<Vec<usize>>, n_seg: usize },
+    SegmentSoftmax {
+        src: usize,
+        seg: Rc<Vec<usize>>,
+        n_seg: usize,
+    },
     /// Row-wise softmax (dense attention / direct graph structure learning).
     SoftmaxRows(usize),
     ConcatCols(usize, usize),
@@ -114,11 +125,23 @@ enum Op {
     /// Row sums: `n x d -> n x 1`.
     RowSum(usize),
     /// Mean softmax cross-entropy over (optionally masked) rows.
-    SoftmaxCrossEntropy { logits: usize, labels: Rc<Vec<usize>>, mask: Option<Rc<Vec<f32>>> },
+    SoftmaxCrossEntropy {
+        logits: usize,
+        labels: Rc<Vec<usize>>,
+        mask: Option<Rc<Vec<f32>>>,
+    },
     /// Mean binary cross-entropy with logits over (optionally masked) entries.
-    BceWithLogits { logits: usize, targets: Rc<Matrix>, mask: Option<Rc<Vec<f32>>> },
+    BceWithLogits {
+        logits: usize,
+        targets: Rc<Matrix>,
+        mask: Option<Rc<Vec<f32>>>,
+    },
     /// Mean squared error over (optionally masked) entries.
-    MseLoss { pred: usize, target: Rc<Matrix>, mask: Option<Rc<Vec<f32>>> },
+    MseLoss {
+        pred: usize,
+        target: Rc<Matrix>,
+        mask: Option<Rc<Vec<f32>>>,
+    },
 }
 
 struct Node {
@@ -583,8 +606,17 @@ impl Tape {
                 acc(*b, g.mul(val(*a)));
             }
             Op::MatMul(a, b) => {
-                acc(*a, g.matmul(&val(*b).transpose()));
-                acc(*b, val(*a).transpose().matmul(g));
+                // The two gradient products are independent; each is itself
+                // a deterministic parallel matmul, so joining them changes
+                // nothing about the result.
+                // Borrow the operand matrices directly: closures sent to
+                // other threads must not capture the tape itself (it holds
+                // non-Sync `Rc<SpAdj>` handles).
+                let (va, vb) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                let (ga, gb) =
+                    crate::parallel::par_join(|| g.matmul(&vb.transpose()), || va.transpose().matmul(g));
+                acc(*a, ga);
+                acc(*b, gb);
             }
             Op::SpMM(adj, h) => {
                 acc(*h, adj.transpose_matrix().spmm(g));
@@ -782,9 +814,7 @@ impl Tape {
             Op::SoftmaxCrossEntropy { logits, labels, mask } => {
                 let lv = val(*logits);
                 let (probs, _) = row_softmax(lv);
-                let weight: f32 = mask
-                    .as_ref()
-                    .map_or(labels.len() as f32, |m| m.iter().sum());
+                let weight: f32 = mask.as_ref().map_or(labels.len() as f32, |m| m.iter().sum());
                 let scale = if weight > 0.0 { g.get(0, 0) / weight } else { 0.0 };
                 let mut gl = Matrix::zeros(lv.rows(), lv.cols());
                 for (r, &y) in labels.iter().enumerate() {
@@ -886,12 +916,7 @@ mod tests {
 
     /// Central finite-difference gradient check for a scalar-valued function
     /// of one leaf matrix.
-    fn grad_check(
-        shape: (usize, usize),
-        seed: u64,
-        f: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn grad_check(shape: (usize, usize), seed: u64, f: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         let mut rng = StdRng::seed_from_u64(seed);
         let x0 = Matrix::randn(shape.0, shape.1, 0.0, 1.0, &mut rng);
 
@@ -926,32 +951,47 @@ mod tests {
 
     #[test]
     fn grad_sum_of_square() {
-        grad_check((3, 2), 1, |t, x| {
-            let s = t.square(x);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (3, 2),
+            1,
+            |t, x| {
+                let s = t.square(x);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_matmul_chain() {
-        grad_check((3, 4), 2, |t, x| {
-            let mut rng = StdRng::seed_from_u64(99);
-            let w = t.constant(Matrix::randn(4, 2, 0.0, 1.0, &mut rng));
-            let h = t.matmul(x, w);
-            let r = t.tanh(h);
-            t.mean_all(r)
-        }, 1e-2);
+        grad_check(
+            (3, 4),
+            2,
+            |t, x| {
+                let mut rng = StdRng::seed_from_u64(99);
+                let w = t.constant(Matrix::randn(4, 2, 0.0, 1.0, &mut rng));
+                let h = t.matmul(x, w);
+                let r = t.tanh(h);
+                t.mean_all(r)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_matmul_rhs() {
-        grad_check((4, 3), 3, |t, x| {
-            let mut rng = StdRng::seed_from_u64(98);
-            let a = t.constant(Matrix::randn(2, 4, 0.0, 1.0, &mut rng));
-            let h = t.matmul(a, x);
-            let s = t.square(h);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (4, 3),
+            3,
+            |t, x| {
+                let mut rng = StdRng::seed_from_u64(98);
+                let a = t.constant(Matrix::randn(2, 4, 0.0, 1.0, &mut rng));
+                let h = t.matmul(a, x);
+                let s = t.square(h);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -961,72 +1001,112 @@ mod tests {
             3,
             &[(0, 1, 0.5), (1, 0, 0.5), (1, 2, 1.5), (2, 2, 1.0)],
         )));
-        grad_check((3, 2), 4, move |t, x| {
-            let h = t.spmm(&adj, x);
-            let s = t.square(h);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (3, 2),
+            4,
+            move |t, x| {
+                let h = t.spmm(&adj, x);
+                let s = t.square(h);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_pointwise_nonlinearities() {
-        grad_check((2, 3), 5, |t, x| {
-            let a = t.sigmoid(x);
-            let b = t.tanh(a);
-            let c = t.leaky_relu(b, 0.1);
-            t.mean_all(c)
-        }, 1e-2);
-        grad_check((2, 3), 6, |t, x| {
-            let a = t.exp(x);
-            let b = t.log(a, 1e-6);
-            t.sum_all(b)
-        }, 1e-2);
+        grad_check(
+            (2, 3),
+            5,
+            |t, x| {
+                let a = t.sigmoid(x);
+                let b = t.tanh(a);
+                let c = t.leaky_relu(b, 0.1);
+                t.mean_all(c)
+            },
+            1e-2,
+        );
+        grad_check(
+            (2, 3),
+            6,
+            |t, x| {
+                let a = t.exp(x);
+                let b = t.log(a, 1e-6);
+                t.sum_all(b)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_broadcasts() {
-        grad_check((3, 2), 7, |t, x| {
-            let mut rng = StdRng::seed_from_u64(97);
-            let bias = t.constant(Matrix::randn(1, 2, 0.0, 1.0, &mut rng));
-            let col = t.constant(Matrix::randn(3, 1, 0.0, 1.0, &mut rng));
-            let a = t.add_row(x, bias);
-            let b = t.mul_col(a, col);
-            t.sum_all(b)
-        }, 1e-2);
+        grad_check(
+            (3, 2),
+            7,
+            |t, x| {
+                let mut rng = StdRng::seed_from_u64(97);
+                let bias = t.constant(Matrix::randn(1, 2, 0.0, 1.0, &mut rng));
+                let col = t.constant(Matrix::randn(3, 1, 0.0, 1.0, &mut rng));
+                let a = t.add_row(x, bias);
+                let b = t.mul_col(a, col);
+                t.sum_all(b)
+            },
+            1e-2,
+        );
         // bias gradient
-        grad_check((1, 4), 8, |t, bias| {
-            let mut rng = StdRng::seed_from_u64(96);
-            let a = t.constant(Matrix::randn(5, 4, 0.0, 1.0, &mut rng));
-            let h = t.add_row(a, bias);
-            let s = t.square(h);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (1, 4),
+            8,
+            |t, bias| {
+                let mut rng = StdRng::seed_from_u64(96);
+                let a = t.constant(Matrix::randn(5, 4, 0.0, 1.0, &mut rng));
+                let h = t.add_row(a, bias);
+                let s = t.square(h);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
         // column-scale gradient
-        grad_check((5, 1), 9, |t, col| {
-            let mut rng = StdRng::seed_from_u64(95);
-            let a = t.constant(Matrix::randn(5, 3, 0.0, 1.0, &mut rng));
-            let h = t.mul_col(a, col);
-            let s = t.square(h);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (5, 1),
+            9,
+            |t, col| {
+                let mut rng = StdRng::seed_from_u64(95);
+                let a = t.constant(Matrix::randn(5, 3, 0.0, 1.0, &mut rng));
+                let h = t.mul_col(a, col);
+                let s = t.square(h);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_gather_scatter() {
         let index = Rc::new(vec![0usize, 2, 2, 1]);
-        grad_check((3, 2), 10, {
-            let index = Rc::clone(&index);
+        grad_check(
+            (3, 2),
+            10,
+            {
+                let index = Rc::clone(&index);
+                move |t, x| {
+                    let g = t.gather_rows(x, Rc::clone(&index));
+                    let s = t.square(g);
+                    t.sum_all(s)
+                }
+            },
+            1e-2,
+        );
+        grad_check(
+            (4, 2),
+            11,
             move |t, x| {
-                let g = t.gather_rows(x, Rc::clone(&index));
-                let s = t.square(g);
-                t.sum_all(s)
-            }
-        }, 1e-2);
-        grad_check((4, 2), 11, move |t, x| {
-            let s = t.scatter_add_rows(x, Rc::clone(&index), 3);
-            let q = t.square(s);
-            t.sum_all(q)
-        }, 1e-2);
+                let s = t.scatter_add_rows(x, Rc::clone(&index), 3);
+                let q = t.square(s);
+                t.sum_all(q)
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -1084,75 +1164,117 @@ mod tests {
     #[test]
     fn grad_segment_softmax() {
         let seg = Rc::new(vec![0usize, 0, 1, 1, 1]);
-        grad_check((5, 1), 12, move |t, x| {
-            let a = t.segment_softmax(x, Rc::clone(&seg), 2);
-            let s = t.square(a);
-            t.sum_all(s)
-        }, 2e-2);
+        grad_check(
+            (5, 1),
+            12,
+            move |t, x| {
+                let a = t.segment_softmax(x, Rc::clone(&seg), 2);
+                let s = t.square(a);
+                t.sum_all(s)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_softmax_rows() {
-        grad_check((3, 4), 13, |t, x| {
-            let p = t.softmax_rows(x);
-            let s = t.square(p);
-            t.sum_all(s)
-        }, 2e-2);
+        grad_check(
+            (3, 4),
+            13,
+            |t, x| {
+                let p = t.softmax_rows(x);
+                let s = t.square(p);
+                t.sum_all(s)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_concat_and_transpose() {
-        grad_check((3, 2), 14, |t, x| {
-            let xt = t.transpose(x);
-            let back = t.transpose(xt);
-            let c = t.concat_cols(x, back);
-            let s = t.square(c);
-            t.mean_all(s)
-        }, 1e-2);
+        grad_check(
+            (3, 2),
+            14,
+            |t, x| {
+                let xt = t.transpose(x);
+                let back = t.transpose(xt);
+                let c = t.concat_cols(x, back);
+                let s = t.square(c);
+                t.mean_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_reductions() {
-        grad_check((4, 3), 15, |t, x| {
-            let m = t.mean_rows(x);
-            let s = t.square(m);
-            t.sum_all(s)
-        }, 1e-2);
-        grad_check((4, 3), 16, |t, x| {
-            let m = t.row_sum(x);
-            let s = t.square(m);
-            t.mean_all(s)
-        }, 1e-2);
-        grad_check((4, 3), 17, |t, x| {
-            let m = t.sum_rows(x);
-            let s = t.square(m);
-            t.sum_all(s)
-        }, 1e-2);
+        grad_check(
+            (4, 3),
+            15,
+            |t, x| {
+                let m = t.mean_rows(x);
+                let s = t.square(m);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+        grad_check(
+            (4, 3),
+            16,
+            |t, x| {
+                let m = t.row_sum(x);
+                let s = t.square(m);
+                t.mean_all(s)
+            },
+            1e-2,
+        );
+        grad_check(
+            (4, 3),
+            17,
+            |t, x| {
+                let m = t.sum_rows(x);
+                let s = t.square(m);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_softmax_cross_entropy() {
         let labels = Rc::new(vec![0usize, 2, 1]);
-        grad_check((3, 3), 18, {
-            let labels = Rc::clone(&labels);
-            move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), None)
-        }, 2e-2);
+        grad_check(
+            (3, 3),
+            18,
+            {
+                let labels = Rc::clone(&labels);
+                move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), None)
+            },
+            2e-2,
+        );
         // masked variant: only rows 0 and 2 count
         let mask = Rc::new(vec![1.0f32, 0.0, 1.0]);
-        grad_check((3, 3), 19, move |t, x| {
-            t.softmax_cross_entropy(x, Rc::clone(&labels), Some(Rc::clone(&mask)))
-        }, 2e-2);
+        grad_check(
+            (3, 3),
+            19,
+            move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), Some(Rc::clone(&mask))),
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_bce_and_mse() {
         let targets = Rc::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]));
-        grad_check((2, 2), 20, {
-            let targets = Rc::clone(&targets);
-            move |t, x| t.bce_with_logits(x, Rc::clone(&targets), None)
-        }, 2e-2);
-        grad_check((2, 2), 21, move |t, x| t.mse_loss(x, Rc::clone(&targets), None)
-        , 1e-2);
+        grad_check(
+            (2, 2),
+            20,
+            {
+                let targets = Rc::clone(&targets);
+                move |t, x| t.bce_with_logits(x, Rc::clone(&targets), None)
+            },
+            2e-2,
+        );
+        grad_check((2, 2), 21, move |t, x| t.mse_loss(x, Rc::clone(&targets), None), 1e-2);
     }
 
     #[test]
@@ -1215,12 +1337,7 @@ mod tests {
     #[test]
     fn segment_softmax_sums_to_one_per_segment() {
         let mut tape = Tape::new();
-        let x = tape.constant(Matrix::from_rows(&[
-            vec![1.0],
-            vec![2.0],
-            vec![0.5],
-            vec![-1.0],
-        ]));
+        let x = tape.constant(Matrix::from_rows(&[vec![1.0], vec![2.0], vec![0.5], vec![-1.0]]));
         let seg = Rc::new(vec![0usize, 0, 1, 1]);
         let a = tape.segment_softmax(x, seg, 2);
         let v = tape.value(a);

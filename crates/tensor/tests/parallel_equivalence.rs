@@ -1,0 +1,138 @@
+//! Parallel kernels must produce results *bit-for-bit identical* to the
+//! sequential code, for every worker count. These tests pin that contract
+//! with exact f32 equality (no tolerances): chunk boundaries depend only on
+//! input sizes, and every chunk runs the same reduction order as the
+//! original sequential loops.
+
+use gnn4tdl_tensor::{parallel, CsrMatrix, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 1, 2, and whatever the host reports — the counts the ISSUE contract
+/// names. Duplicates are harmless.
+fn thread_counts() -> [usize; 3] {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    [1, 2, avail]
+}
+
+/// Runs `f` under each thread count and asserts all results are exactly
+/// equal to the single-threaded one.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let baseline = parallel::with_threads(1, &f);
+    for threads in thread_counts() {
+        let got = parallel::with_threads(threads, &f);
+        assert_eq!(got, baseline, "result changed at {threads} threads");
+    }
+}
+
+fn random_csr(rows: usize, cols: usize, degree: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        for _ in 0..degree {
+            triplets.push((r, rng.gen_range(0..cols), rng.gen_range(-1.0f32..1.0)));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets)
+}
+
+#[test]
+fn matmul_is_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(1);
+    // sizes straddling the parallel row-block threshold, incl. odd shapes
+    for (m, k, n) in [(1, 1, 1), (3, 17, 5), (64, 32, 48), (257, 64, 129)] {
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+        assert_thread_invariant(|| a.matmul(&b).into_vec());
+    }
+}
+
+#[test]
+fn dense_transpose_and_elementwise_are_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Matrix::randn(123, 67, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(123, 67, 0.0, 1.0, &mut rng);
+    assert_thread_invariant(|| a.transpose().into_vec());
+    assert_thread_invariant(|| a.add(&b).into_vec());
+    assert_thread_invariant(|| a.sub(&b).into_vec());
+    assert_thread_invariant(|| a.mul(&b).into_vec());
+    assert_thread_invariant(|| a.scale(0.37).into_vec());
+    assert_thread_invariant(|| {
+        let mut c = a.clone();
+        c.axpy(-1.5, &b);
+        c.into_vec()
+    });
+}
+
+#[test]
+fn reductions_are_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // large enough to cross the parallel-reduction threshold
+    let a = Matrix::randn(300, 40, 0.0, 1.0, &mut rng);
+    assert_thread_invariant(|| a.sum());
+    assert_thread_invariant(|| a.frobenius_norm());
+    assert_thread_invariant(|| a.col_means().into_vec());
+    assert_thread_invariant(|| a.col_stds().into_vec());
+}
+
+#[test]
+fn spmm_spmv_and_csr_transpose_are_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let sp = random_csr(500, 300, 7, 5);
+    let x = Matrix::randn(300, 24, 0.0, 1.0, &mut rng);
+    let v: Vec<f32> = (0..300).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    assert_thread_invariant(|| sp.spmm(&x).into_vec());
+    assert_thread_invariant(|| sp.spmv(&v));
+    assert_thread_invariant(|| {
+        let t = sp.transpose();
+        (t.indptr().to_vec(), t.indices().to_vec(), t.values().to_vec())
+    });
+}
+
+#[test]
+fn env_var_forces_thread_count() {
+    // No with_threads / set_threads override active on this thread, so the
+    // env var is the first resolver hit. (Other tests use thread-local
+    // overrides only, and results are thread-count-invariant anyway.)
+    std::env::set_var("GNN4TDL_THREADS", "3");
+    assert_eq!(parallel::current_threads(), 3);
+    std::env::remove_var("GNN4TDL_THREADS");
+}
+
+proptest! {
+    #[test]
+    fn matmul_thread_invariant_over_random_shapes(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+        let seq = parallel::with_threads(1, || a.matmul(&b));
+        for threads in thread_counts() {
+            let par = parallel::with_threads(threads, || a.matmul(&b));
+            prop_assert_eq!(par.data(), seq.data());
+        }
+    }
+
+    #[test]
+    fn spmm_thread_invariant_over_random_shapes(
+        rows in 1usize..60,
+        cols in 1usize..60,
+        degree in 1usize..6,
+        d in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(rows, cols, degree, seed ^ 0xABCD);
+        let x = Matrix::randn(cols, d, 0.0, 1.0, &mut rng);
+        let seq = parallel::with_threads(1, || sp.spmm(&x));
+        for threads in thread_counts() {
+            let par = parallel::with_threads(threads, || sp.spmm(&x));
+            prop_assert_eq!(par.data(), seq.data());
+        }
+    }
+}

@@ -151,7 +151,12 @@ mod tests {
         let mut store = ParamStore::new();
         let encoder = MlpModel::new(&mut store, &[enc.features.cols(), 16], 0.0, &mut rng);
         let model = SupervisedModel::new(&mut store, 0, encoder, 3, &mut rng);
-        let report = fit_adversarial(&model, &mut store, &task, &AdversarialConfig { epochs: 100, ..Default::default() });
+        let report = fit_adversarial(
+            &model,
+            &mut store,
+            &task,
+            &AdversarialConfig { epochs: 100, ..Default::default() },
+        );
         assert_eq!(report.history.len(), 100);
         assert!(report.history.iter().all(|e| e.train_loss.is_finite()));
 

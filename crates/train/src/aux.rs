@@ -172,11 +172,8 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let enc = MlpModel::new(&mut store, &[3, 6, 4], 0.0, &mut rng);
-        let features = Rc::new(Matrix::from_rows(&[
-            vec![1.0, 0.0, 0.5],
-            vec![0.0, 1.0, -0.5],
-            vec![0.5, 0.5, 0.0],
-        ]));
+        let features =
+            Rc::new(Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.0, 1.0, -0.5], vec![0.5, 0.5, 0.0]]));
         (store, enc, features)
     }
 

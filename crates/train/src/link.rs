@@ -118,9 +118,9 @@ pub fn score_links<E: NodeModel>(
 mod tests {
     use super::*;
     use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
+    use gnn4tdl_data::encode_all;
     use gnn4tdl_data::metrics::roc_auc;
     use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
-    use gnn4tdl_data::encode_all;
     use gnn4tdl_nn::SageModel;
 
     #[test]
@@ -159,13 +159,7 @@ mod tests {
             all_edges.iter().copied().enumerate().filter(|(i, _)| i % 5 != 0).map(|(_, e)| e).collect();
 
         let mut store = ParamStore::new();
-        let encoder = SageModel::new(
-            &mut store,
-            &graph,
-            &[enc.features.cols(), 16, 16],
-            0.0,
-            &mut rng,
-        );
+        let encoder = SageModel::new(&mut store, &graph, &[enc.features.cols(), 16, 16], 0.0, &mut rng);
         let predictor = fit_link_prediction(
             &encoder,
             &mut store,

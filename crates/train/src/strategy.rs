@@ -184,7 +184,8 @@ mod tests {
     fn pretrain_finetune_two_phases() {
         let (task, mut store, model, aux) = setup(2);
         let cfg = TrainConfig { epochs: 80, ..Default::default() };
-        let report = run(Strategy::PretrainFinetune { pretrain_epochs: 30 }, &model, &mut store, &task, &aux, &cfg);
+        let report =
+            run(Strategy::PretrainFinetune { pretrain_epochs: 30 }, &model, &mut store, &task, &aux, &cfg);
         assert_eq!(report.phases.len(), 2);
         assert!(test_accuracy(&task, &store, &model) > 0.8);
         // phase 1 is self-supervised: its objective fell

@@ -11,9 +11,14 @@ use gnn4tdl_tensor::{Matrix, ParamId, ParamStore, Var};
 /// The supervised target of a node-level tabular task.
 #[derive(Clone)]
 pub enum TaskTarget {
-    Classification { labels: Rc<Vec<usize>>, num_classes: usize },
+    Classification {
+        labels: Rc<Vec<usize>>,
+        num_classes: usize,
+    },
     /// `n x 1` regression values.
-    Regression { values: Rc<Matrix> },
+    Regression {
+        values: Rc<Matrix>,
+    },
 }
 
 impl TaskTarget {
@@ -64,13 +69,7 @@ impl NodeTask {
         let n_train = self.split.train.len() as f32;
         let weights: Vec<f32> = labels
             .iter()
-            .map(|&y| {
-                if counts[y] == 0 {
-                    1.0
-                } else {
-                    n_train / (*num_classes as f32 * counts[y] as f32)
-                }
-            })
+            .map(|&y| if counts[y] == 0 { 1.0 } else { n_train / (*num_classes as f32 * counts[y] as f32) })
             .collect();
         self.row_weights = Some(weights);
         self
@@ -235,12 +234,8 @@ mod tests {
         let store = ParamStore::new();
         let mut s = Session::eval(&store);
         // logits favoring class 0 everywhere
-        let logits = s.input(Matrix::from_rows(&[
-            vec![5.0, 0.0],
-            vec![5.0, 0.0],
-            vec![5.0, 0.0],
-            vec![5.0, 0.0],
-        ]));
+        let logits =
+            s.input(Matrix::from_rows(&[vec![5.0, 0.0], vec![5.0, 0.0], vec![5.0, 0.0], vec![5.0, 0.0]]));
         let tl = task.train_loss(&mut s, logits);
         let vl = task.val_loss(&mut s, logits);
         // train rows: one correct (0), one wrong (1) -> loss ~ 2.5
@@ -269,8 +264,8 @@ mod tests {
         // 3 rows of class 0, 1 row of class 1 in train
         let features = Matrix::zeros(4, 1);
         let split = Split { train: vec![0, 1, 2, 3], val: vec![], test: vec![] };
-        let task = NodeTask::classification(features, vec![0, 0, 0, 1], 2, split)
-            .with_class_balanced_weights();
+        let task =
+            NodeTask::classification(features, vec![0, 0, 0, 1], 2, split).with_class_balanced_weights();
         let w = task.row_weights.as_ref().unwrap();
         // class 0: 4 / (2*3) = 2/3; class 1: 4 / (2*1) = 2
         assert!((w[0] - 2.0 / 3.0).abs() < 1e-6);
@@ -306,6 +301,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "label count mismatch")]
     fn mismatched_labels_panic() {
-        NodeTask::classification(Matrix::zeros(3, 1), vec![0, 1], 2, Split { train: vec![], val: vec![], test: vec![] });
+        NodeTask::classification(
+            Matrix::zeros(3, 1),
+            vec![0, 1],
+            2,
+            Split { train: vec![], val: vec![], test: vec![] },
+        );
     }
 }

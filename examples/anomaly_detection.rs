@@ -7,9 +7,9 @@
 
 use gnn4tdl::zoo::{lunar_scores, reconstruction_scores, LunarConfig};
 use gnn4tdl_baselines::{knn_anomaly_scores, lof_scores};
+use gnn4tdl_data::encode_all;
 use gnn4tdl_data::metrics::{average_precision, roc_auc};
 use gnn4tdl_data::synth::{anomaly_mixture, AnomalyConfig};
-use gnn4tdl_data::encode_all;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,10 +31,6 @@ fn main() {
     ];
     println!("{:<22} {:>8} {:>8}", "method", "ROC-AUC", "AP");
     for (name, scores) in scored {
-        println!(
-            "{name:<22} {:>8.3} {:>8.3}",
-            roc_auc(&scores, labels),
-            average_precision(&scores, labels)
-        );
+        println!("{name:<22} {:>8.3} {:>8.3}", roc_auc(&scores, labels), average_precision(&scores, labels));
     }
 }

@@ -11,7 +11,7 @@
 
 use gnn4tdl::{fit_pipeline, test_classification, GraphSpec, PipelineConfig};
 use gnn4tdl_construct::{EdgeRule, Similarity};
-use gnn4tdl_data::{read_csv, CsvOptions, ColumnData, Dataset, Split, Table, Target};
+use gnn4tdl_data::{read_csv, ColumnData, CsvOptions, Dataset, Split, Table, Target};
 use gnn4tdl_train::TrainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +28,7 @@ fn demo_csv() -> PathBuf {
         let class = rng.gen_range(0..2usize);
         let income = if class == 0 { 30.0 } else { 70.0 } + rng.gen_range(-15.0f32..15.0);
         let age = if class == 0 { 30.0 } else { 45.0 } + rng.gen_range(-10.0f32..10.0);
-        let city = ["north", "south", "east", "west"][rng.gen_range(0..4)];
+        let city = ["north", "south", "east", "west"][rng.gen_range(0..4usize)];
         // sprinkle missing cells
         if rng.gen_bool(0.05) {
             text.push_str(&format!(",{age},{city},{class}\n"));
@@ -58,8 +58,7 @@ fn main() {
         ColumnData::Categorical { codes, .. } => codes.iter().map(|&c| c as usize).collect(),
     };
     let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-    let features: Vec<gnn4tdl_data::Column> =
-        parsed.table.columns()[..label_idx].to_vec();
+    let features: Vec<gnn4tdl_data::Column> = parsed.table.columns()[..label_idx].to_vec();
     let dataset = Dataset::new(
         path.file_name().map(|f| f.to_string_lossy().into_owned()).unwrap_or_default(),
         Table::new(features),
@@ -68,19 +67,17 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(0);
     let split = Split::stratified(dataset.target.labels(), 0.6, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-        train: TrainConfig { epochs: 150, patience: 25, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 8 },
+    })
+    .train(TrainConfig { epochs: 150, patience: 25, ..Default::default() })
+    .build();
     let result = fit_pipeline(&dataset, &split, &cfg);
     let m = test_classification(&result.predictions, &dataset.target, &split);
     println!(
         "\nkNN+GCN pipeline: {} graph edges, test accuracy {:.3}, macro-F1 {:.3}",
         result.graph_edges, m.accuracy, m.macro_f1
     );
-    println!(
-        "construction {:.1} ms, training {:.1} ms",
-        result.construction_ms, result.training_ms
-    );
+    println!("construction {:.1} ms, training {:.1} ms", result.construction_ms, result.training_ms);
 }

@@ -17,7 +17,14 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let ctr = ctr_synthetic(
-        &CtrConfig { n: 3000, fields: 6, cardinality: 8, first_order_scale: 0.3, interaction_scale: 2.0, interacting_pairs: 5 },
+        &CtrConfig {
+            n: 3000,
+            fields: 6,
+            cardinality: 8,
+            first_order_scale: 0.3,
+            interaction_scale: 2.0,
+            interacting_pairs: 5,
+        },
         &mut rng,
     );
     let dataset = ctr.dataset;
@@ -36,13 +43,11 @@ fn main() {
     println!("{:<34} {:>8.3}", "Bayes optimal (ceiling)", roc_auc(&bayes, &test_labels));
 
     // Fi-GNN-style feature graph through the pipeline.
-    let fignn_cfg = PipelineConfig {
-        graph: GraphSpec::FeatureGraph { emb_dim: 12 },
-        hidden: 24,
-        layers: 2,
-        train: TrainConfig { epochs: 150, patience: 25, ..Default::default() },
-        ..Default::default()
-    };
+    let fignn_cfg = PipelineConfig::builder(GraphSpec::FeatureGraph { emb_dim: 12 })
+        .hidden(24)
+        .layers(2)
+        .train(TrainConfig { epochs: 150, patience: 25, ..Default::default() })
+        .build();
     let result = fit_pipeline(&dataset, &split, &fignn_cfg);
     let m = test_classification(&result.predictions, &dataset.target, &split);
     println!("{:<34} {:>8.3}", "Fi-GNN-style feature graph", m.auc);
@@ -53,9 +58,18 @@ fn main() {
     let train_y: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
     let test_x = enc.features.gather_rows(&split.test);
 
-    let fm = FactorizationMachine::fit(&train_x, &train_y, &FmConfig { factors: 12, epochs: 300, lr: 0.1, ..Default::default() }, &mut rng);
+    let fm = FactorizationMachine::fit(
+        &train_x,
+        &train_y,
+        &FmConfig { factors: 12, epochs: 300, lr: 0.1, ..Default::default() },
+        &mut rng,
+    );
     println!("{:<34} {:>8.3}", "factorization machine", roc_auc(&fm.predict_proba(&test_x), &test_labels));
 
     let lr = LogisticRegression::fit(&train_x, &train_y, 2, &LogRegConfig::default());
-    println!("{:<34} {:>8.3}", "logistic regression (wide)", roc_auc(&lr.predict_positive(&test_x), &test_labels));
+    println!(
+        "{:<34} {:>8.3}",
+        "logistic regression (wide)",
+        roc_auc(&lr.predict_positive(&test_x), &test_labels)
+    );
 }

@@ -29,32 +29,29 @@ fn main() {
     let configs = [
         (
             "multiplex RGCN (same-device & same-merchant relations)",
-            PipelineConfig {
-                graph: GraphSpec::Multiplex { max_group: 100 },
-                hidden: 32,
-                train: train.clone(),
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::Multiplex { max_group: 100 })
+                .hidden(32)
+                .train(train.clone())
+                .build(),
         ),
         (
             "GCN on kNN feature graph",
-            PipelineConfig {
-                graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-                encoder: EncoderSpec::Gcn,
-                hidden: 32,
-                train: train.clone(),
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::Rule {
+                similarity: Similarity::Euclidean,
+                rule: EdgeRule::Knn { k: 8 },
+            })
+            .encoder(EncoderSpec::Gcn)
+            .hidden(32)
+            .train(train.clone())
+            .build(),
         ),
         (
             "MLP (no graph)",
-            PipelineConfig {
-                graph: GraphSpec::None,
-                encoder: EncoderSpec::Mlp,
-                hidden: 32,
-                train,
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::None)
+                .encoder(EncoderSpec::Mlp)
+                .hidden(32)
+                .train(train)
+                .build(),
         ),
     ];
 

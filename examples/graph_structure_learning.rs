@@ -54,12 +54,10 @@ fn main() {
     println!("{:<42} {:>8} {:>10} {:>12}", "constructor", "acc", "homophily", "train ms");
     for (name, graph) in configs {
         let encoder = if matches!(graph, GraphSpec::None) { EncoderSpec::Mlp } else { EncoderSpec::Gcn };
-        let cfg = PipelineConfig { graph, encoder, hidden: 32, train: train.clone(), ..Default::default() };
+        let cfg = PipelineConfig::builder(graph).encoder(encoder).hidden(32).train(train.clone()).build();
         let result = fit_pipeline(&dataset, &split, &cfg);
         let m = test_classification(&result.predictions, &dataset.target, &split);
-        let hom = result
-            .graph_homophily
-            .map_or_else(|| "-".to_string(), |h| format!("{h:.3}"));
+        let hom = result.graph_homophily.map_or_else(|| "-".to_string(), |h| format!("{h:.3}"));
         println!("{name:<42} {:>8.3} {hom:>10} {:>12.0}", m.accuracy, result.training_ms);
     }
 }

@@ -10,8 +10,8 @@
 //! noise). The HAN-lite model's semantic attention should concentrate on the
 //! device relation after training.
 
-use gnn4tdl_construct::hetero_from_categorical;
 use gnn4tdl::classification_on;
+use gnn4tdl_construct::hetero_from_categorical;
 use gnn4tdl_data::synth::{fraud_network, FraudConfig};
 use gnn4tdl_data::{Featurizer, Split};
 use gnn4tdl_nn::HeteroModel;
@@ -39,15 +39,8 @@ fn main() {
     }
 
     let mut store = ParamStore::new();
-    let encoder = HeteroModel::new(
-        &mut store,
-        &graph,
-        handles.instances,
-        enc.features.cols(),
-        32,
-        2,
-        &mut rng,
-    );
+    let encoder =
+        HeteroModel::new(&mut store, &graph, handles.instances, enc.features.cols(), 32, 2, &mut rng);
     println!(
         "\nattention before training: {:?}",
         rounded(&encoder.relation_attention(&store, &enc.features))

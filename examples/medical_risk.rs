@@ -16,13 +16,20 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(23);
     let ehr = ehr_synthetic(
-        &EhrConfig { patients: 800, codes: 60, modules: 4, codes_per_patient: 5, noise: 0.2, risky_modules: 2 },
+        &EhrConfig {
+            patients: 800,
+            codes: 60,
+            modules: 4,
+            codes_per_patient: 5,
+            noise: 0.2,
+            risky_modules: 2,
+        },
         &mut rng,
     );
     let dataset = ehr.dataset;
     // scarce supervision: labels are expensive in medicine
-    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng)
-        .with_label_fraction(0.25, &mut rng);
+    let split =
+        Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng).with_label_fraction(0.25, &mut rng);
     println!(
         "dataset: {} ({} train labels of {} patients)",
         dataset.name,
@@ -34,31 +41,22 @@ fn main() {
     let configs = [
         (
             "bipartite patient-code GNN (GRAPE/MedGraph style)",
-            PipelineConfig {
-                graph: GraphSpec::Bipartite,
-                hidden: 32,
-                train: train.clone(),
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::Bipartite).hidden(32).train(train.clone()).build(),
         ),
         (
             "hypergraph over code values (HCL style)",
-            PipelineConfig {
-                graph: GraphSpec::Hypergraph { numeric_bins: 2 },
-                hidden: 32,
-                train: train.clone(),
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::Hypergraph { numeric_bins: 2 })
+                .hidden(32)
+                .train(train.clone())
+                .build(),
         ),
         (
             "MLP on code indicators",
-            PipelineConfig {
-                graph: GraphSpec::None,
-                encoder: EncoderSpec::Mlp,
-                hidden: 32,
-                train,
-                ..Default::default()
-            },
+            PipelineConfig::builder(GraphSpec::None)
+                .encoder(EncoderSpec::Mlp)
+                .hidden(32)
+                .train(train)
+                .build(),
         ),
     ];
 

@@ -36,12 +36,10 @@ fn imputation_rmse(truth: &Table, corrupted: &Table, imputed: &Table) -> f64 {
 
 fn downstream_accuracy(dataset: &Dataset, imputed: Table, split: &Split) -> f64 {
     let d = Dataset::new(dataset.name.clone(), imputed, dataset.target.clone());
-    let cfg = PipelineConfig {
-        graph: GraphSpec::None,
-        encoder: EncoderSpec::Mlp,
-        train: TrainConfig { epochs: 120, patience: 25, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::None)
+        .encoder(EncoderSpec::Mlp)
+        .train(TrainConfig { epochs: 120, patience: 25, ..Default::default() })
+        .build();
     let result = fit_pipeline(&d, split, &cfg);
     test_classification(&result.predictions, &d.target, split).accuracy
 }
@@ -61,10 +59,7 @@ fn main() {
         let methods: [(&str, Table); 3] = [
             ("mean", mean_impute(&corrupted)),
             ("knn", knn_impute(&corrupted, 5)),
-            (
-                "GRAPE",
-                grape_impute(&corrupted, &GrapeImputeConfig { epochs: 150, ..Default::default() }),
-            ),
+            ("GRAPE", grape_impute(&corrupted, &GrapeImputeConfig { epochs: 150, ..Default::default() })),
         ];
         for (name, imputed) in methods {
             let rmse = imputation_rmse(&dataset.table, &corrupted, &imputed);

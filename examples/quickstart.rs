@@ -6,13 +6,12 @@
 //!
 //! Builds a synthetic tabular classification task, walks it through
 //! graph formulation → construction → representation learning → training,
-//! and compares against the graph-free MLP baseline.
+//! compares against the graph-free MLP baseline, and then runs the same
+//! task through the unified [`Predictor`] interface so a GNN pipeline and a
+//! decision tree can be swapped behind one `Box<dyn Predictor>`.
 
-use gnn4tdl::{fit_pipeline, test_classification, EncoderSpec, GraphSpec, PipelineConfig};
-use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl::prelude::*;
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
-use gnn4tdl_data::Split;
-use gnn4tdl_train::TrainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,21 +27,27 @@ fn main() {
     );
     // Keep labels scarce: the survey's semi-supervised setting,
     // where the graph propagates supervision to unlabeled instances.
-    let split = Split::stratified(dataset.target.labels(), 0.3, 0.2, &mut rng)
-        .with_label_fraction(0.2, &mut rng);
+    let split =
+        Split::stratified(dataset.target.labels(), 0.3, 0.2, &mut rng).with_label_fraction(0.2, &mut rng);
     println!("labeled training rows: {}", split.train.len());
-    println!("dataset: {} ({} rows, {} columns)", dataset.name, dataset.num_rows(), dataset.table.num_columns());
+    println!(
+        "dataset: {} ({} rows, {} columns)",
+        dataset.name,
+        dataset.num_rows(),
+        dataset.table.num_columns()
+    );
 
     // 2. Configure the pipeline: kNN instance graph + 2-layer GCN, trained
     //    end-to-end with early stopping.
-    let gnn_cfg = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 10 } },
-        encoder: EncoderSpec::Gcn,
-        hidden: 32,
-        layers: 2,
-        train: TrainConfig { epochs: 200, patience: 30, ..Default::default() },
-        ..Default::default()
-    };
+    let gnn_cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 10 },
+    })
+    .encoder(EncoderSpec::Gcn)
+    .hidden(32)
+    .layers(2)
+    .train(TrainConfig { epochs: 200, patience: 30, ..Default::default() })
+    .build();
 
     // 3. Fit and evaluate.
     let result = fit_pipeline(&dataset, &split, &gnn_cfg);
@@ -57,7 +62,9 @@ fn main() {
         metrics.macro_f1,
     );
 
-    // 4. The graph-free deep-tabular baseline for contrast.
+    // 4. The graph-free deep-tabular baseline for contrast. The old
+    //    struct-literal configuration style still works alongside the
+    //    builder.
     let mlp_cfg = PipelineConfig { graph: GraphSpec::None, encoder: EncoderSpec::Mlp, ..gnn_cfg };
     let mlp_result = fit_pipeline(&dataset, &split, &mlp_cfg);
     let mlp_metrics = test_classification(&mlp_result.predictions, &dataset.target, &split);
@@ -66,8 +73,34 @@ fn main() {
         mlp_result.training_ms, mlp_metrics.accuracy, mlp_metrics.macro_f1,
     );
 
-    println!(
-        "\nGCN - MLP accuracy gap: {:+.3}",
-        metrics.accuracy - mlp_metrics.accuracy
-    );
+    println!("\nGCN - MLP accuracy gap: {:+.3}", metrics.accuracy - mlp_metrics.accuracy);
+
+    // 5. The same comparison through the unified fit/predict interface: a
+    //    full GNN pipeline and a CART tree behind one trait object.
+    println!("\n[Predictor interface]");
+    let mut models: Vec<Box<dyn Predictor>> = vec![
+        Box::new(GnnPredictor::new(
+            PipelineConfig::builder(GraphSpec::Rule {
+                similarity: Similarity::Euclidean,
+                rule: EdgeRule::Knn { k: 10 },
+            })
+            .train(TrainConfig { epochs: 200, patience: 30, ..Default::default() })
+            .build(),
+        )),
+        Box::new(TreePredictor::new(TreeConfig::default(), 7)),
+    ];
+    let labels = dataset.target.labels().to_vec();
+    for model in &mut models {
+        model.fit(&dataset, &split);
+        let hard = model.predict(&split.test);
+        let correct = split.test.iter().zip(&hard).filter(|(&row, &pred)| labels[row] as f32 == pred).count();
+        let proba = model.predict_proba(&split.test);
+        println!(
+            "  {:<12} test accuracy {:.3}  (proba matrix {}x{})",
+            model.name(),
+            correct as f64 / split.test.len() as f64,
+            proba.rows(),
+            proba.cols(),
+        );
+    }
 }

@@ -20,8 +20,8 @@ fn main() {
         &mut rng,
     );
     // 8% of rows labeled: the regime where auxiliary supervision matters
-    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng)
-        .with_label_fraction(0.08, &mut rng);
+    let split =
+        Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng).with_label_fraction(0.08, &mut rng);
     println!(
         "dataset: {} — {} labeled training rows of {}",
         dataset.name,
@@ -29,12 +29,13 @@ fn main() {
         dataset.num_rows()
     );
 
-    let base = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-        hidden: 32,
-        train: TrainConfig { epochs: 150, patience: 30, ..Default::default() },
-        ..Default::default()
-    };
+    let base = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 8 },
+    })
+    .hidden(32)
+    .train(TrainConfig { epochs: 150, patience: 30, ..Default::default() })
+    .build();
 
     println!("\n-- Table 7: auxiliary tasks (end-to-end) --");
     println!("{:<28} {:>8}", "auxiliary task", "acc");
@@ -67,11 +68,6 @@ fn main() {
         };
         let r = fit_pipeline(&dataset, &split, &cfg);
         let m = test_classification(&r.predictions, &dataset.target, &split);
-        println!(
-            "{:<28} {:>8.3} {:>8}",
-            strategy.name(),
-            m.accuracy,
-            r.strategy_report.phases.len()
-        );
+        println!("{:<28} {:>8.3} {:>8}", strategy.name(), m.accuracy, r.strategy_report.phases.len());
     }
 }

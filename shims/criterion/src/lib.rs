@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Measures wall-clock time per iteration (median of samples after a short
+//! warm-up) and prints one line per benchmark. Also appends machine-readable
+//! JSON lines to `target/bench-results.jsonl` so harness scripts can collect
+//! speedup numbers without parsing human output. No statistical analysis,
+//! plots, or comparison with saved baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized; ignored by this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, warm_up: Duration::from_millis(300), measure: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { config: self.clone(), result_ns: None };
+        f(&mut b);
+        report(id, b.result_ns);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement_time(d);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    config: Criterion,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, tracking cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size samples so the whole measurement fits the time budget.
+        let samples = self.config.sample_size;
+        let iters_per_sample = ((self.config.measure.as_secs_f64() / samples as f64 / per_iter.max(1e-9))
+            as u64)
+            .clamp(1, 1_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result_ns = Some(times[times.len() / 2]);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let samples = self.config.sample_size;
+        // Warm-up once to fault in caches.
+        std_black_box(routine(setup()));
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result_ns = Some(times[times.len() / 2]);
+    }
+}
+
+fn report(id: &str, ns: Option<f64>) {
+    let Some(ns) = ns else {
+        println!("{id:<48} [no measurement taken]");
+        return;
+    };
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{id:<48} time: {human}/iter");
+    append_jsonl(id, ns);
+}
+
+fn append_jsonl(id: &str, ns: f64) {
+    use std::io::Write as _;
+    let dir = std::path::Path::new("target");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    if let Ok(mut f) =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join("bench-results.jsonl"))
+    {
+        let _ = writeln!(f, "{{\"id\":\"{escaped}\",\"ns_per_iter\":{ns}}}");
+    }
+}
+
+/// `criterion_group!(name, target...)` — a function running each target
+/// against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

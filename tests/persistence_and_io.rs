@@ -1,12 +1,12 @@
 //! Integration tests for downstream-adoption paths: CSV in, pipeline fit,
 //! parameter save/load round trip with identical predictions.
 
+use gnn4tdl::{fit_pipeline, test_classification, GraphSpec, PipelineConfig};
 use gnn4tdl_construct::{build_instance_graph, EdgeRule, Similarity};
 use gnn4tdl_data::{read_csv_str, CsvOptions, Dataset, Split, Target};
 use gnn4tdl_nn::GcnModel;
 use gnn4tdl_tensor::ParamStore;
 use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
-use gnn4tdl::{fit_pipeline, test_classification, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,32 +26,24 @@ fn make_csv(n: usize) -> String {
 fn csv_to_pipeline_end_to_end() {
     let parsed = read_csv_str(&make_csv(120), &CsvOptions::default()).unwrap();
     // pull the label column out of the table
-    let label_col = parsed
-        .table
-        .columns()
-        .iter()
-        .position(|c| c.name == "label")
-        .unwrap();
+    let label_col = parsed.table.columns().iter().position(|c| c.name == "label").unwrap();
     let labels: Vec<usize> = match &parsed.table.column(label_col).data {
         gnn4tdl_data::ColumnData::Numeric(v) => v.iter().map(|&x| x as usize).collect(),
         _ => panic!("label parsed as categorical"),
     };
-    let feature_cols: Vec<gnn4tdl_data::Column> = parsed
-        .table
-        .columns()
-        .iter()
-        .filter(|c| c.name != "label")
-        .cloned()
-        .collect();
+    let feature_cols: Vec<gnn4tdl_data::Column> =
+        parsed.table.columns().iter().filter(|c| c.name != "label").cloned().collect();
     let table = gnn4tdl_data::Table::new(feature_cols);
     let dataset = Dataset::new("csv", table, Target::Classification { labels, num_classes: 2 });
 
     let mut rng = StdRng::seed_from_u64(0);
     let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        train: TrainConfig { epochs: 80, patience: 20, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 5 },
+    })
+    .train(TrainConfig { epochs: 80, patience: 20, ..Default::default() })
+    .build();
     let result = fit_pipeline(&dataset, &split, &cfg);
     let m = test_classification(&result.predictions, &dataset.target, &split);
     assert!(m.accuracy > 0.9, "CSV-loaded task should be easy: {:.3}", m.accuracy);

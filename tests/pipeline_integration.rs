@@ -4,7 +4,9 @@
 
 use gnn4tdl::{fit_pipeline, test_classification, test_regression, EncoderSpec, GraphSpec, PipelineConfig};
 use gnn4tdl_construct::{EdgeRule, Similarity};
-use gnn4tdl_data::synth::{ctr_synthetic, fraud_network, gaussian_clusters, ClustersConfig, CtrConfig, FraudConfig};
+use gnn4tdl_data::synth::{
+    ctr_synthetic, fraud_network, gaussian_clusters, ClustersConfig, CtrConfig, FraudConfig,
+};
 use gnn4tdl_data::{Dataset, Split};
 use gnn4tdl_train::{OptimizerKind, TrainConfig};
 use rand::rngs::StdRng;
@@ -32,12 +34,13 @@ fn quick_train() -> TrainConfig {
 #[test]
 fn gcn_on_knn_graph_learns_clusters() {
     let (data, split) = cluster_dataset(0, 240);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-        encoder: EncoderSpec::Gcn,
-        train: quick_train(),
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 8 },
+    })
+    .encoder(EncoderSpec::Gcn)
+    .train(quick_train())
+    .build();
     let result = fit_pipeline(&data, &split, &cfg);
     let m = test_classification(&result.predictions, &data.target, &split);
     assert!(m.accuracy > 0.85, "GCN accuracy {:.3}", m.accuracy);
@@ -55,20 +58,16 @@ fn every_homogeneous_encoder_fits() {
         EncoderSpec::Gin,
         EncoderSpec::Gat { heads: 2 },
     ] {
-        let cfg = PipelineConfig {
-            graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 6 } },
-            encoder,
-            train: TrainConfig { epochs: 60, patience: 0, ..quick_train() },
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder(GraphSpec::Rule {
+            similarity: Similarity::Euclidean,
+            rule: EdgeRule::Knn { k: 6 },
+        })
+        .encoder(encoder)
+        .train(TrainConfig { epochs: 60, patience: 0, ..quick_train() })
+        .build();
         let result = fit_pipeline(&data, &split, &cfg);
         let m = test_classification(&result.predictions, &data.target, &split);
-        assert!(
-            m.accuracy > 0.6,
-            "{} accuracy too low: {:.3}",
-            encoder.name(),
-            m.accuracy
-        );
+        assert!(m.accuracy > 0.6, "{} accuracy too low: {:.3}", encoder.name(), m.accuracy);
         assert!(result.predictions.all_finite());
     }
 }
@@ -87,11 +86,9 @@ fn learned_graph_specs_fit() {
         GraphSpec::DirectGsl,
     ] {
         let name = graph.name();
-        let cfg = PipelineConfig {
-            graph,
-            train: TrainConfig { epochs: 60, patience: 0, ..quick_train() },
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder(graph)
+            .train(TrainConfig { epochs: 60, patience: 0, ..quick_train() })
+            .build();
         let result = fit_pipeline(&data, &split, &cfg);
         let m = test_classification(&result.predictions, &data.target, &split);
         assert!(m.accuracy > 0.6, "{name} accuracy {:.3}", m.accuracy);
@@ -111,12 +108,10 @@ fn categorical_formulations_fit_on_ctr_data() {
         GraphSpec::Hypergraph { numeric_bins: 4 },
     ] {
         let name = graph.name();
-        let cfg = PipelineConfig {
-            graph,
-            hidden: 16,
-            train: TrainConfig { epochs: 50, patience: 0, ..quick_train() },
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder(graph)
+            .hidden(16)
+            .train(TrainConfig { epochs: 50, patience: 0, ..quick_train() })
+            .build();
         let result = fit_pipeline(&data, &split, &cfg);
         let m = test_classification(&result.predictions, &data.target, &split);
         // label noise bounds achievable accuracy; just require better than
@@ -133,12 +128,10 @@ fn multiplex_exploits_fraud_rings() {
     let fraud = fraud_network(&FraudConfig { n: 400, ..Default::default() }, &mut rng);
     let data = fraud.dataset;
     let split = Split::stratified(data.target.labels(), 0.4, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::Multiplex { max_group: 100 },
-        hidden: 16,
-        train: quick_train(),
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Multiplex { max_group: 100 })
+        .hidden(16)
+        .train(quick_train())
+        .build();
     let result = fit_pipeline(&data, &split, &cfg);
     let m = test_classification(&result.predictions, &data.target, &split);
     assert!(m.auc > 0.8, "multiplex fraud AUC {:.3}", m.auc);
@@ -151,12 +144,13 @@ fn regression_pipeline_works() {
     let mut rng = StdRng::seed_from_u64(5);
     let data = gnn4tdl_data::synth::clustered_regression(240, 3, 6, 0.3, &mut rng);
     let split = Split::random(240, 0.5, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-        encoder: EncoderSpec::Sage,
-        train: quick_train(),
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 8 },
+    })
+    .encoder(EncoderSpec::Sage)
+    .train(quick_train())
+    .build();
     let result = fit_pipeline(&data, &split, &cfg);
     let m = test_regression(&result.predictions, &data.target, &split);
     assert!(m.r2 > 0.5, "regression R2 {:.3}", m.r2);
@@ -165,6 +159,7 @@ fn regression_pipeline_works() {
 #[test]
 fn pipeline_is_deterministic_given_seed() {
     let (data, split) = cluster_dataset(6, 100);
+    // struct-literal configuration stays supported alongside the builder
     let cfg = PipelineConfig {
         train: TrainConfig { epochs: 30, patience: 0, ..quick_train() },
         seed: 42,
@@ -178,10 +173,12 @@ fn pipeline_is_deterministic_given_seed() {
 #[test]
 fn timings_are_recorded() {
     let (data, split) = cluster_dataset(7, 80);
-    let cfg = PipelineConfig {
-        train: TrainConfig { epochs: 10, patience: 0, ..quick_train() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 5 },
+    })
+    .train(TrainConfig { epochs: 10, patience: 0, ..quick_train() })
+    .build();
     let result = fit_pipeline(&data, &split, &cfg);
     assert!(result.construction_ms >= 0.0);
     assert!(result.training_ms > 0.0);
@@ -194,17 +191,12 @@ fn entity_hetero_and_learned_feature_graph_fit() {
     let fraud = fraud_network(&FraudConfig { n: 300, ..Default::default() }, &mut rng);
     let data = fraud.dataset;
     let split = Split::stratified(data.target.labels(), 0.4, 0.2, &mut rng);
-    for graph in [
-        GraphSpec::EntityHetero { rounds: 2 },
-        GraphSpec::FeatureGraphLearned { emb_dim: 8 },
-    ] {
+    for graph in [GraphSpec::EntityHetero { rounds: 2 }, GraphSpec::FeatureGraphLearned { emb_dim: 8 }] {
         let name = graph.name();
-        let cfg = PipelineConfig {
-            graph,
-            hidden: 16,
-            train: TrainConfig { epochs: 60, patience: 0, ..quick_train() },
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder(graph)
+            .hidden(16)
+            .train(TrainConfig { epochs: 60, patience: 0, ..quick_train() })
+            .build();
         let result = fit_pipeline(&data, &split, &cfg);
         let m = test_classification(&result.predictions, &data.target, &split);
         assert!(m.accuracy > 0.6, "{name} accuracy {:.3}", m.accuracy);
@@ -216,17 +208,15 @@ fn entity_hetero_and_learned_feature_graph_fit() {
 fn prelude_is_usable() {
     use gnn4tdl::prelude::*;
     let mut rng = StdRng::seed_from_u64(9);
-    let data = gaussian_clusters(
-        &ClustersConfig { n: 90, classes: 3, ..Default::default() },
-        &mut rng,
-    );
+    let data = gaussian_clusters(&ClustersConfig { n: 90, classes: 3, ..Default::default() }, &mut rng);
     let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 5 } },
-        encoder: EncoderSpec::Sage,
-        train: TrainConfig { epochs: 40, patience: 0, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 5 },
+    })
+    .encoder(EncoderSpec::Sage)
+    .train(TrainConfig { epochs: 40, patience: 0, ..Default::default() })
+    .build();
     let result = fit_pipeline(&data, &split, &cfg);
     let metrics: ClsMetrics = test_classification(&result.predictions, &data.target, &split);
     assert!(metrics.accuracy > 0.5);
@@ -252,18 +242,13 @@ fn feature_graph_handles_graph_level_regression() {
         let target = if a != b { 2.0 } else { -1.0 } + rng.gen_range(-0.1f32..0.1);
         y.push(target);
     }
-    let table = Table::new(vec![
-        Column::categorical("f0", f0, 2),
-        Column::categorical("f1", f1, 2),
-    ]);
+    let table = Table::new(vec![Column::categorical("f0", f0, 2), Column::categorical("f1", f1, 2)]);
     let data = Dataset::new("fg_regression", table, Target::Regression(y));
     let split = Split::random(n, 0.6, 0.2, &mut rng);
-    let cfg = PipelineConfig {
-        graph: GraphSpec::FeatureGraph { emb_dim: 8 },
-        hidden: 16,
-        train: TrainConfig { epochs: 150, patience: 25, ..quick_train() },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder(GraphSpec::FeatureGraph { emb_dim: 8 })
+        .hidden(16)
+        .train(TrainConfig { epochs: 150, patience: 25, ..quick_train() })
+        .build();
     let result = fit_pipeline(&data, &split, &cfg);
     let m = test_regression(&result.predictions, &data.target, &split);
     assert!(m.r2 > 0.8, "feature-graph regression R2 {:.3}", m.r2);

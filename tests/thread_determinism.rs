@@ -1,0 +1,60 @@
+//! End-to-end thread-count determinism: a seeded experiment must produce
+//! bit-for-bit identical outputs whether it runs fully sequentially
+//! (`GNN4TDL_THREADS=1` / `with_threads(1)`) or across all available
+//! workers.
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_tensor::parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset_and_split(seed: u64) -> (Dataset, Split) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = gaussian_clusters(
+        &ClustersConfig { n: 150, informative: 8, classes: 3, cluster_std: 0.9, ..Default::default() },
+        &mut rng,
+    );
+    let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
+    (data, split)
+}
+
+#[test]
+fn seeded_pipeline_is_bit_identical_across_thread_counts() {
+    let (data, split) = dataset_and_split(0);
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 6 },
+    })
+    .train(TrainConfig { epochs: 40, patience: 0, ..Default::default() })
+    .seed(123)
+    .build();
+
+    let sequential = parallel::with_threads(1, || fit_pipeline(&data, &split, &cfg));
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [2, avail] {
+        let parallel_run = parallel::with_threads(threads, || fit_pipeline(&data, &split, &cfg));
+        assert_eq!(
+            parallel_run.predictions.data(),
+            sequential.predictions.data(),
+            "pipeline predictions diverged at {threads} threads"
+        );
+        assert_eq!(parallel_run.graph_edges, sequential.graph_edges);
+    }
+}
+
+#[test]
+fn seeded_forest_is_bit_identical_across_thread_counts() {
+    let (data, split) = dataset_and_split(1);
+    let fit_forest = || {
+        let mut model = ForestPredictor::new(ForestConfig { n_trees: 12, ..Default::default() }, 7);
+        model.fit(&data, &split);
+        model.predict_proba(&split.test).into_vec()
+    };
+    let sequential = parallel::with_threads(1, fit_forest);
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [2, avail] {
+        let parallel_run = parallel::with_threads(threads, fit_forest);
+        assert_eq!(parallel_run, sequential, "forest probabilities diverged at {threads} threads");
+    }
+}

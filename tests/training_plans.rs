@@ -15,22 +15,24 @@ fn label_scarce(seed: u64) -> (Dataset, Split) {
         &ClustersConfig { n: 200, informative: 8, classes: 3, cluster_std: 0.9, ..Default::default() },
         &mut rng,
     );
-    let split = Split::stratified(data.target.labels(), 0.4, 0.2, &mut rng).with_label_fraction(0.15, &mut rng);
+    let split =
+        Split::stratified(data.target.labels(), 0.4, 0.2, &mut rng).with_label_fraction(0.15, &mut rng);
     (data, split)
 }
 
 fn base_cfg() -> PipelineConfig {
-    PipelineConfig {
-        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 8 } },
-        encoder: EncoderSpec::Gcn,
-        train: TrainConfig {
-            epochs: 100,
-            patience: 25,
-            optimizer: OptimizerKind::Adam { lr: 0.01 },
-            ..Default::default()
-        },
+    PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 8 },
+    })
+    .encoder(EncoderSpec::Gcn)
+    .train(TrainConfig {
+        epochs: 100,
+        patience: 25,
+        optimizer: OptimizerKind::Adam { lr: 0.01 },
         ..Default::default()
-    }
+    })
+    .build()
 }
 
 #[test]
@@ -54,10 +56,7 @@ fn every_aux_task_runs_through_pipeline() {
 fn aux_tasks_can_be_stacked() {
     let (data, split) = label_scarce(1);
     let cfg = PipelineConfig {
-        aux: vec![
-            AuxSpec::FeatureReconstruction { weight: 0.3 },
-            AuxSpec::GraphSmoothness { weight: 0.1 },
-        ],
+        aux: vec![AuxSpec::FeatureReconstruction { weight: 0.3 }, AuxSpec::GraphSmoothness { weight: 0.1 }],
         ..base_cfg()
     };
     let result = fit_pipeline(&data, &split, &cfg);
@@ -95,8 +94,12 @@ fn semi_supervised_gcn_beats_mlp_when_labels_are_scarce() {
         let (data, split) = label_scarce(100 + seed);
         let gcn_cfg = base_cfg();
         let mlp_cfg = PipelineConfig { graph: GraphSpec::None, encoder: EncoderSpec::Mlp, ..base_cfg() };
-        gcn_total += test_classification(&fit_pipeline(&data, &split, &gcn_cfg).predictions, &data.target, &split).accuracy;
-        mlp_total += test_classification(&fit_pipeline(&data, &split, &mlp_cfg).predictions, &data.target, &split).accuracy;
+        gcn_total +=
+            test_classification(&fit_pipeline(&data, &split, &gcn_cfg).predictions, &data.target, &split)
+                .accuracy;
+        mlp_total +=
+            test_classification(&fit_pipeline(&data, &split, &mlp_cfg).predictions, &data.target, &split)
+                .accuracy;
     }
     assert!(
         gcn_total > mlp_total,
