@@ -1,10 +1,18 @@
 //! Experiment runner: `experiments [all | E01 | E02 | ...] [--json DIR]`.
+//!
+//! Tracing is **on by default** here (the binary exists to measure things):
+//! each experiment group gets a fresh observability ledger and writes a
+//! per-experiment `RunReport` sidecar to `target/obs-reports/<id>.json`
+//! (`GNN4TDL_OBS_DIR` overrides the directory). Set `GNN4TDL_TRACE=0` to
+//! opt out and restore the parallel fan-out across experiment groups —
+//! with tracing on, groups run sequentially so their metrics don't
+//! interleave in the shared registry.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use gnn4tdl_bench::experiments;
-use gnn4tdl_tensor::parallel;
+use gnn4tdl_tensor::{obs, parallel};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,16 +43,46 @@ fn main() {
         eprintln!("no experiment matched {wanted:?}");
         std::process::exit(2);
     }
+    // Profiling is this binary's job: trace unless explicitly opted out.
+    let trace = !matches!(std::env::var("GNN4TDL_TRACE").as_deref(), Ok("0") | Ok("false") | Ok("off"));
+    if trace {
+        obs::enable();
+    } else {
+        obs::disable();
+    }
     let t0 = Instant::now();
-    // Experiment groups are independent and internally seeded, so they fan
-    // out across workers; each group runs its kernels single-threaded
-    // (avoiding oversubscription) and its reports stay bit-identical to a
-    // sequential run. Results print in suite order afterwards.
-    let results = parallel::par_map(&selected, |_, (_, runner)| {
-        let t = Instant::now();
-        let reports = parallel::with_threads(1, runner);
-        (reports, t.elapsed().as_secs_f64())
-    });
+    let results = if trace {
+        // Sequential: the observability registry is process-wide, so running
+        // groups one at a time keeps each sidecar attributable to its
+        // experiment. Kernels still parallelize inside each group.
+        let obs_dir = obs::default_report_dir();
+        selected
+            .iter()
+            .map(|(id, runner)| {
+                obs::reset();
+                let t = Instant::now();
+                let reports = runner();
+                let secs = t.elapsed().as_secs_f64();
+                let run_report = obs::collect(&id.to_lowercase());
+                match run_report.save(&obs_dir) {
+                    Ok(path) => eprintln!("[{id}] observability report -> {}", path.display()),
+                    Err(err) => eprintln!("[{id}] failed to write observability report: {err}"),
+                }
+                (reports, secs)
+            })
+            .collect()
+    } else {
+        // Experiment groups are independent and internally seeded, so they
+        // fan out across workers; each group runs its kernels
+        // single-threaded (avoiding oversubscription) and its reports stay
+        // bit-identical to a sequential run. Results print in suite order
+        // afterwards.
+        parallel::par_map(&selected, |_, (_, runner)| {
+            let t = Instant::now();
+            let reports = parallel::with_threads(1, runner);
+            (reports, t.elapsed().as_secs_f64())
+        })
+    };
     let ran = results.len();
     for ((id, _), (reports, secs)) in selected.iter().zip(results) {
         for report in &reports {

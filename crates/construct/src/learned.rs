@@ -21,6 +21,7 @@ use crate::similarity::Similarity;
 /// similarity as the edge weight (rather than weight 1). Returns an
 /// undirected weighted graph.
 pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Graph {
+    let _span = gnn4tdl_tensor::span!("construct.metric_graph");
     let mut edges = knn_edges(embedding, similarity, k);
     for e in &mut edges {
         let w = similarity.between(embedding, e.0, embedding, e.1);
@@ -33,26 +34,32 @@ pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Gra
             Similarity::InnerProduct => w.exp().min(1e6),
         };
     }
-    Graph::from_weighted_edges(embedding.rows(), &edges, true)
+    let graph = Graph::from_weighted_edges(embedding.rows(), &edges, true);
+    gnn4tdl_tensor::obs::counter_add("construct.edges", graph.num_edges() as u64);
+    graph
 }
 
 /// Candidate edge set for neural edge scoring: the union of kNN edges under
 /// the given similarity, symmetrized and deduplicated, as `(src, dst)` pairs
 /// (both directions present).
 pub fn candidate_edges(features: &Matrix, k: usize) -> Vec<(usize, usize)> {
+    let _span = gnn4tdl_tensor::span!("construct.candidate_edges");
     let base = knn_edges(features, Similarity::Euclidean, k);
     let mut set = std::collections::BTreeSet::new();
     for (u, v, _) in base {
         set.insert((u, v));
         set.insert((v, u));
     }
-    set.into_iter().collect()
+    let candidates: Vec<(usize, usize)> = set.into_iter().collect();
+    gnn4tdl_tensor::obs::counter_add("construct.candidates", candidates.len() as u64);
+    candidates
 }
 
 /// Converts a learned dense adjacency (e.g. a row-softmaxed parameter) into
 /// a discrete graph by keeping the top `k` entries per row (self-entries
 /// skipped). Weights are preserved.
 pub fn sparsify_dense(dense: &Matrix, k: usize) -> Graph {
+    let _span = gnn4tdl_tensor::span!("construct.sparsify_dense");
     assert_eq!(dense.rows(), dense.cols(), "adjacency must be square");
     let n = dense.rows();
     let mut edges = Vec::with_capacity(n * k);
@@ -71,7 +78,9 @@ pub fn sparsify_dense(dense: &Matrix, k: usize) -> Graph {
             }
         }
     }
-    Graph::from_weighted_edges(n, &edges, false)
+    let graph = Graph::from_weighted_edges(n, &edges, false);
+    gnn4tdl_tensor::obs::counter_add("construct.edges", graph.num_edges() as u64);
+    graph
 }
 
 /// Graph recovery quality against a planted partition: the fraction of

@@ -32,13 +32,18 @@ pub enum EdgeRule {
 /// mirroring.
 pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: EdgeRule) -> Graph {
     let n = features.rows();
-    match rule {
-        EdgeRule::FullyConnected => Graph::complete(n),
+    let graph = match rule {
+        EdgeRule::FullyConnected => {
+            let _span = gnn4tdl_tensor::span!("construct.full");
+            Graph::complete(n)
+        }
         EdgeRule::Knn { k } => {
+            let _span = gnn4tdl_tensor::span!("construct.knn");
             let edges = knn_edges(features, similarity, k);
             Graph::from_weighted_edges(n, &edges, true)
         }
         EdgeRule::Threshold { tau } => {
+            let _span = gnn4tdl_tensor::span!("construct.threshold");
             let blocks = row_blocks(n, 1 << 14);
             let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
                 let mut edges = Vec::new();
@@ -55,11 +60,14 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
             let edges: Vec<(usize, usize, f32)> = per_block.into_iter().flatten().collect();
             Graph::from_weighted_edges(n, &edges, true)
         }
-    }
+    };
+    gnn4tdl_tensor::obs::counter_add("construct.edges", graph.num_edges() as u64);
+    graph
 }
 
 /// kNN edge list `(i, neighbor, weight=1)` excluding self matches.
 pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(usize, usize, f32)> {
+    let _span = gnn4tdl_tensor::span!("construct.knn_edges");
     let n = features.rows();
     let blocks = row_blocks(n, 1 << 14);
     let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
@@ -93,6 +101,7 @@ pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(us
 /// kNN distances: for each row, the distances to its k nearest neighbors in
 /// ascending order (Euclidean). LUNAR's input representation.
 pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
+    let _span = gnn4tdl_tensor::span!("construct.knn_distances");
     let n = features.rows();
     let blocks = row_blocks(n, 1 << 14);
     let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
@@ -118,6 +127,7 @@ pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
 /// `max_group` members are skipped to avoid quadratic blowup on
 /// uninformative high-frequency values.
 pub fn same_value_graph(table: &Table, column: usize, max_group: usize) -> Graph {
+    let _span = gnn4tdl_tensor::span!("construct.same_value");
     let col = table.column(column);
     let ColumnData::Categorical { codes, cardinality } = &col.data else {
         panic!("same_value_graph requires a categorical column, got numeric {:?}", col.name);
@@ -140,7 +150,9 @@ pub fn same_value_graph(table: &Table, column: usize, max_group: usize) -> Graph
             }
         }
     }
-    Graph::from_weighted_edges(n, &edges, true)
+    let graph = Graph::from_weighted_edges(n, &edges, true);
+    gnn4tdl_tensor::obs::counter_add("construct.edges", graph.num_edges() as u64);
+    graph
 }
 
 /// TabGNN-style multiplex graph: one same-value layer per categorical column.

@@ -31,6 +31,9 @@ pub mod predictor;
 pub mod zoo;
 
 pub use encoders::{GrapeEncoder, HyperEncoder};
+/// Observability layer (tracing spans, metrics registry, training
+/// telemetry); re-exported from `gnn4tdl-tensor` for downstream users.
+pub use gnn4tdl_tensor::obs;
 
 /// One-stop imports for downstream users:
 /// `use gnn4tdl::prelude::*;`

@@ -17,7 +17,7 @@ use gnn4tdl_nn::{
     DirectGslModel, FeatureGraphModel, GatModel, GcnModel, GinModel, HeteroModel, MlpModel, NeuralGslModel,
     NodeModel, RgcnModel, SageModel,
 };
-use gnn4tdl_tensor::{Matrix, ParamStore};
+use gnn4tdl_tensor::{obs, Matrix, ParamStore};
 use gnn4tdl_train::{
     embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport, SupervisedModel,
     TrainConfig,
@@ -282,9 +282,21 @@ pub struct PipelineResult {
 /// assert_eq!(result.predictions.rows(), 60);
 /// ```
 pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> PipelineResult {
+    let _pipeline_span = obs::span("pipeline.fit");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let featurizer = Featurizer::fit(&dataset.table, &split.train);
-    let encoded = featurizer.encode(&dataset.table);
+    let t_feat = Instant::now();
+    let encoded = {
+        let _span = obs::span("pipeline.featurize");
+        let featurizer = Featurizer::fit(&dataset.table, &split.train);
+        featurizer.encode(&dataset.table)
+    };
+    if obs::enabled() {
+        obs::record_phase(
+            "pipeline.featurize",
+            t_feat.elapsed().as_secs_f64() * 1e3,
+            &[("rows", encoded.features.rows() as f64), ("feature_dim", encoded.features.cols() as f64)],
+        );
+    }
     let in_dim = encoded.features.cols();
     let out_dim = match &dataset.target {
         Target::Classification { num_classes, .. } => *num_classes,
@@ -334,6 +346,7 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
         },
     }
 
+    let construct_span = obs::span("pipeline.construct");
     let built: Built = match &cfg.graph {
         GraphSpec::None => {
             let dims = mlp_dims(in_dim, cfg.hidden, cfg.layers);
@@ -444,10 +457,19 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             )))
         }
     };
+    drop(construct_span);
     let construction_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if obs::enabled() {
+        obs::record_phase(
+            "pipeline.construct",
+            construction_ms,
+            &[("formulation_edges", graph_edges as f64), ("rows", n as f64)],
+        );
+    }
 
     // Phase 3+4: representation learning under the training plan.
     let t1 = Instant::now();
+    let train_span = obs::span("pipeline.train");
     let (predictions, strategy_report) = match built {
         Built::Node(encoder) => {
             let start = 0; // all params so far belong to the encoder
@@ -470,7 +492,17 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             &mut rng,
         ),
     };
+    drop(train_span);
     let training_ms = t1.elapsed().as_secs_f64() * 1e3;
+    if obs::enabled() {
+        obs::gauge_set("model.weights", store.num_weights() as f64);
+        let epochs_total: usize = strategy_report.phases.iter().map(|p| p.epochs_run()).sum();
+        obs::record_phase(
+            "pipeline.train",
+            training_ms,
+            &[("strategy_phases", strategy_report.phases.len() as f64), ("epochs", epochs_total as f64)],
+        );
+    }
 
     PipelineResult {
         predictions,
@@ -505,6 +537,7 @@ fn fit_metric_gsl(
     let mut model = SupervisedModel::new(store, 0, encoder, out_dim, rng);
     let mut phases = Vec::with_capacity(rounds);
     for round in 0..rounds {
+        let _span = obs::span("pipeline.metric_round");
         let inner_cfg = TrainConfig { epochs: inner_epochs, ..cfg.train.clone() };
         let report = fit(&model, store, task, &[], &inner_cfg);
         phases.push(report);

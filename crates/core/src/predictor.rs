@@ -165,6 +165,7 @@ impl Predictor for GnnPredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.gnn.fit");
         let classify = matches!(dataset.target, Target::Classification { .. });
         self.fitted = Some((fit_pipeline(dataset, split, &self.cfg), classify));
     }
@@ -207,6 +208,7 @@ impl Predictor for LogRegPredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.logreg.fit");
         let tab = featurize(dataset, split);
         let (y, num_classes) = train_labels(&dataset.target, &split.train);
         let x = tab.features.gather_rows(&split.train);
@@ -242,6 +244,7 @@ impl Predictor for KnnPredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.knn.fit");
         let tab = featurize(dataset, split);
         let x = tab.features.gather_rows(&split.train);
         let model = if tab.classify {
@@ -295,6 +298,7 @@ impl Predictor for TreePredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.tree.fit");
         let tab = featurize(dataset, split);
         let x = tab.features.gather_rows(&split.train);
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -338,6 +342,7 @@ impl Predictor for ForestPredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.forest.fit");
         let tab = featurize(dataset, split);
         let x = tab.features.gather_rows(&split.train);
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -386,6 +391,7 @@ impl Predictor for GbdtPredictor {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _span = gnn4tdl_tensor::span!("predictor.gbdt.fit");
         let tab = featurize(dataset, split);
         let x = tab.features.gather_rows(&split.train);
         let mut rng = StdRng::seed_from_u64(self.seed);

@@ -9,6 +9,7 @@
 
 pub mod init;
 pub mod matrix;
+pub mod obs;
 pub mod parallel;
 pub mod params;
 pub mod sparse;

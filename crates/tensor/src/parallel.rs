@@ -102,6 +102,9 @@ where
 {
     let chunk_len = chunk_len.max(1);
     let n_chunks = data.len().div_ceil(chunk_len);
+    // Counted before the sequential fallback so the ledger is identical at
+    // every thread count (the snapshot tests rely on this).
+    crate::obs::PAR_CHUNKS.add(n_chunks as u64);
     let workers = current_threads().min(n_chunks);
     if workers <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -135,6 +138,7 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n_parts = bounds.len().saturating_sub(1);
+    crate::obs::PAR_CHUNKS.add(n_parts as u64);
     if n_parts == 0 {
         return;
     }
@@ -181,6 +185,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    crate::obs::PAR_ITEMS.add(items.len() as u64);
     let workers = current_threads().min(items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
@@ -207,6 +212,7 @@ where
     RA: Send,
     RB: Send,
 {
+    crate::obs::PAR_JOINS.add(1);
     if current_threads() <= 1 {
         let ra = a();
         let rb = b();

@@ -77,7 +77,7 @@ impl CsrMatrix {
             }
             out_indptr[r + 1] = out_indices.len();
         }
-        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }
+        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }.account()
     }
 
     /// Builds directly from CSR components (validated).
@@ -93,7 +93,20 @@ impl CsrMatrix {
         assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminal");
         assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
         assert!(indices.iter().all(|&c| c < cols), "column index out of bounds");
-        Self { rows, cols, indptr, indices, values }
+        Self { rows, cols, indptr, indices, values }.account()
+    }
+
+    /// Bytes held by the three CSR buffers (`indptr`, `indices`, `values`).
+    pub fn heap_bytes(&self) -> usize {
+        (self.indptr.len() + self.indices.len()) * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Credits this freshly built matrix to the observability ledger.
+    fn account(self) -> Self {
+        crate::obs::CSR_ALLOCS.add(1);
+        crate::obs::CSR_BYTES.add(self.heap_bytes() as u64);
+        self
     }
 
     /// An empty matrix with no stored entries.
@@ -206,8 +219,14 @@ impl CsrMatrix {
     pub fn transpose(&self) -> CsrMatrix {
         let nnz = self.nnz();
         let nblocks = self.rows.div_ceil(TRANSPOSE_ROW_BLOCK).max(1);
-        if nblocks == 1 || parallel::current_threads() == 1 {
-            return self.transpose_sequential();
+        if nblocks == 1 {
+            return self.transpose_sequential().account();
+        }
+        if parallel::current_threads() == 1 {
+            // Keep the dispatch ledger thread-invariant: the parallel path
+            // below would submit two per-block `par_map` passes.
+            crate::obs::PAR_ITEMS.add(2 * nblocks as u64);
+            return self.transpose_sequential().account();
         }
         let block_rows = |b: usize| {
             let r0 = b * TRANSPOSE_ROW_BLOCK;
@@ -268,7 +287,7 @@ impl CsrMatrix {
                 }
             }
         });
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }.account()
     }
 
     /// Single-threaded counting-sort transpose (also the small-input path).

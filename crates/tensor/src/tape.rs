@@ -183,6 +183,7 @@ impl Tape {
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value produced by tape op");
+        crate::obs::TAPE_NODES.add(1);
         self.nodes.push(Node { value, op, needs_grad });
         Var(self.nodes.len() - 1)
     }

@@ -1,0 +1,663 @@
+//! Finite-difference gradient coverage for **every** `Op` variant on the
+//! tape, plus an enumeration guard that fails compilation-free when a new
+//! op ships without a grad check: the guard parses the `enum Op` body out
+//! of `src/tape.rs` and demands a registered check per variant.
+
+use std::rc::Rc;
+
+use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f32 = 1e-2;
+
+/// Evaluates `f` on a fresh tape at `x0` and returns the scalar loss.
+fn eval_at(x0: &Matrix, f: &impl Fn(&mut Tape, Var) -> Var) -> f32 {
+    let mut tape = Tape::new();
+    let x = tape.param(x0.clone());
+    let loss = f(&mut tape, x);
+    let value = tape.value(loss);
+    assert_eq!((value.rows(), value.cols()), (1, 1), "loss must be scalar");
+    value.get(0, 0)
+}
+
+/// Central finite-difference check of `d loss / d x` at the given base
+/// point. `tol` is relative to `1 + |fd|`.
+fn grad_check_at(x0: &Matrix, f: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
+    let mut tape = Tape::new();
+    let x = tape.param(x0.clone());
+    let loss = f(&mut tape, x);
+    let grads = tape.backward(loss);
+    let analytic = grads.get(x).expect("leaf gradient").clone();
+    for r in 0..x0.rows() {
+        for c in 0..x0.cols() {
+            let mut plus = x0.clone();
+            plus.set(r, c, x0.get(r, c) + EPS);
+            let mut minus = x0.clone();
+            minus.set(r, c, x0.get(r, c) - EPS);
+            let fd = (eval_at(&plus, &f) - eval_at(&minus, &f)) / (2.0 * EPS);
+            let got = analytic.get(r, c);
+            assert!(
+                (fd - got).abs() <= tol * (1.0 + fd.abs()),
+                "grad mismatch at ({r},{c}): analytic {got}, finite-difference {fd}"
+            );
+        }
+    }
+}
+
+/// Random base point away from the origin (keeps kinked ops like relu and
+/// the top-k routing of scatter-max off their non-differentiable sets).
+fn base(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::randn(rows, cols, 0.0, 1.0, &mut rng);
+    for v in m.data_mut() {
+        // push |v| into [0.3, inf) so +-EPS never crosses zero
+        if v.abs() < 0.3 {
+            *v = 0.3_f32.copysign(*v + 0.01);
+        }
+    }
+    m
+}
+
+fn sum_sq(t: &mut Tape, v: Var) -> Var {
+    let sq = t.square(v);
+    t.sum_all(sq)
+}
+
+// ---------------------------------------------------------------------------
+// One FD check per Op variant
+// ---------------------------------------------------------------------------
+
+#[test]
+fn grad_leaf() {
+    // A pure leaf root (via sum to make it scalar): gradient is all ones.
+    let x0 = base(3, 2, 1);
+    grad_check_at(&x0, |t, x| t.sum_all(x), 1e-3);
+}
+
+#[test]
+fn grad_add() {
+    let x0 = base(3, 4, 2);
+    let c = base(3, 4, 3);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(c.clone());
+            let z = t.add(x, k);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_sub_both_sides() {
+    let x0 = base(3, 4, 4);
+    let c = base(3, 4, 5);
+    let c2 = c.clone();
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(c.clone());
+            let z = t.sub(x, k);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(c2.clone());
+            let z = t.sub(k, x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_mul() {
+    let x0 = base(3, 4, 6);
+    let c = base(3, 4, 7);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(c.clone());
+            let z = t.mul(x, k);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_matmul_both_sides() {
+    let x0 = base(3, 4, 8);
+    let w = base(4, 2, 9);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(w.clone());
+            let z = t.matmul(x, k);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+    let a = base(2, 3, 10);
+    let x1 = base(3, 4, 11);
+    grad_check_at(
+        &x1,
+        move |t, x| {
+            let k = t.constant(a.clone());
+            let z = t.matmul(k, x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_spmm() {
+    let adj = Rc::new(SpAdj::new(CsrMatrix::from_triplets(
+        3,
+        3,
+        &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 2.0), (2, 2, 1.5)],
+    )));
+    let x0 = base(3, 2, 12);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.spmm(&adj, x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_add_row_both_sides() {
+    let x0 = base(4, 3, 13);
+    let bias = base(1, 3, 14);
+    let bias2 = bias.clone();
+    let a = x0.clone();
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let b = t.constant(bias.clone());
+            let z = t.add_row(x, b);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+    grad_check_at(
+        &bias2,
+        move |t, b| {
+            let x = t.constant(a.clone());
+            let z = t.add_row(x, b);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_mul_col_both_sides() {
+    let x0 = base(4, 3, 15);
+    let col = base(4, 1, 16);
+    let col2 = col.clone();
+    let a = x0.clone();
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let c = t.constant(col.clone());
+            let z = t.mul_col(x, c);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+    grad_check_at(
+        &col2,
+        move |t, c| {
+            let x = t.constant(a.clone());
+            let z = t.mul_col(x, c);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_scale() {
+    let x0 = base(3, 3, 17);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.scale(x, -2.5);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_add_scalar() {
+    let x0 = base(3, 3, 18);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.add_scalar(x, 1.7);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_relu() {
+    // base() keeps entries at least 0.3 from the origin, so +-EPS stays on
+    // one side of the kink.
+    let x0 = base(4, 4, 19);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.relu(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_leaky_relu() {
+    let x0 = base(4, 4, 20);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.leaky_relu(x, 0.1);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_sigmoid() {
+    let x0 = base(3, 4, 21);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.sigmoid(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_tanh() {
+    let x0 = base(3, 4, 22);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.tanh(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_exp() {
+    let x0 = base(3, 3, 23);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.exp(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_log() {
+    // strictly positive base, clear of the eps guard
+    let mut x0 = base(3, 3, 24);
+    for v in x0.data_mut() {
+        *v = v.abs() + 0.5;
+    }
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.log(x, 1e-6);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_square() {
+    let x0 = base(3, 3, 25);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.square(x);
+            t.sum_all(z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_dropout_fixed_mask() {
+    // The stored 0/2 mask is part of the op, so the same mask applies on
+    // every finite-difference evaluation.
+    let x0 = base(3, 4, 26);
+    let mask: Rc<Vec<f32>> = Rc::new((0..12).map(|i| if i % 3 == 0 { 0.0 } else { 2.0 }).collect());
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.dropout(x, Rc::clone(&mask));
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_gather_rows() {
+    let x0 = base(4, 3, 27);
+    let index: Rc<Vec<usize>> = Rc::new(vec![2, 0, 1, 0, 3, 2]);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.gather_rows(x, Rc::clone(&index));
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_scatter_add_rows() {
+    let x0 = base(5, 3, 28);
+    let index: Rc<Vec<usize>> = Rc::new(vec![1, 0, 1, 2, 0]);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.scatter_add_rows(x, Rc::clone(&index), 3);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_scatter_max_rows_argmax_routing() {
+    // Hand-picked values: within each output group and column, entries are
+    // separated by much more than 2*EPS, so the argmax never flips during
+    // the finite-difference probes and the gradient routes to one winner.
+    let x0 = Matrix::from_rows(&[
+        vec![1.0, -0.5, 0.8],
+        vec![0.2, 1.4, -1.1],
+        vec![-0.7, 0.6, 2.0],
+        vec![1.6, -1.3, 0.4],
+    ]);
+    let index: Rc<Vec<usize>> = Rc::new(vec![0, 1, 0, 1]);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.scatter_max_rows(x, Rc::clone(&index), 2);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_segment_softmax() {
+    let x0 = base(5, 2, 29);
+    let seg: Rc<Vec<usize>> = Rc::new(vec![0, 0, 1, 1, 2]);
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let z = t.segment_softmax(x, Rc::clone(&seg), 3);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_softmax_rows() {
+    let x0 = base(3, 4, 30);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.softmax_rows(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_concat_cols_both_sides() {
+    let x0 = base(3, 2, 31);
+    let c = base(3, 3, 32);
+    let c2 = c.clone();
+    let a = x0.clone();
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let k = t.constant(c.clone());
+            let z = t.concat_cols(x, k);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+    grad_check_at(
+        &c2,
+        move |t, x| {
+            let k = t.constant(a.clone());
+            let z = t.concat_cols(k, x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_transpose() {
+    let x0 = base(3, 4, 33);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.transpose(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_sum_all_as_root() {
+    let x0 = base(3, 4, 34);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let sq = t.square(x);
+            t.sum_all(sq)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_mean_all_as_root() {
+    let x0 = base(3, 4, 35);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let sq = t.square(x);
+            t.mean_all(sq)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_sum_rows() {
+    let x0 = base(4, 3, 36);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.sum_rows(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_mean_rows() {
+    let x0 = base(4, 3, 37);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.mean_rows(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_row_sum() {
+    let x0 = base(4, 3, 38);
+    grad_check_at(
+        &x0,
+        |t, x| {
+            let z = t.row_sum(x);
+            sum_sq(t, z)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_softmax_cross_entropy_masked_and_unmasked() {
+    let x0 = base(5, 3, 39);
+    let labels: Rc<Vec<usize>> = Rc::new(vec![0, 2, 1, 1, 0]);
+    let l2 = Rc::clone(&labels);
+    grad_check_at(&x0, move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), None), 2e-2);
+    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0]);
+    grad_check_at(&x0, move |t, x| t.softmax_cross_entropy(x, Rc::clone(&l2), Some(Rc::clone(&mask))), 2e-2);
+}
+
+#[test]
+fn grad_bce_with_logits_masked_and_unmasked() {
+    let x0 = base(4, 1, 40);
+    let targets = Rc::new(Matrix::from_rows(&[vec![1.0], vec![0.0], vec![1.0], vec![0.0]]));
+    let t2 = Rc::clone(&targets);
+    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Rc::clone(&targets), None), 2e-2);
+    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 1.0, 0.0, 1.0]);
+    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Rc::clone(&t2), Some(Rc::clone(&mask))), 2e-2);
+}
+
+#[test]
+fn grad_mse_loss_masked_and_unmasked() {
+    let x0 = base(4, 2, 41);
+    let target = Rc::new(base(4, 2, 42));
+    let t2 = Rc::clone(&target);
+    grad_check_at(&x0, move |t, x| t.mse_loss(x, Rc::clone(&target), None), 2e-2);
+    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+    grad_check_at(&x0, move |t, x| t.mse_loss(x, Rc::clone(&t2), Some(Rc::clone(&mask))), 2e-2);
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration guard: every Op variant must have a registered grad check
+// ---------------------------------------------------------------------------
+
+/// Registry mapping each `Op` variant to the `#[test]` that FD-checks it.
+/// Using function pointers (not strings) means a renamed or deleted test
+/// breaks this table at compile time.
+const COVERAGE: &[(&str, fn())] = &[
+    ("Leaf", grad_leaf),
+    ("Add", grad_add),
+    ("Sub", grad_sub_both_sides),
+    ("Mul", grad_mul),
+    ("MatMul", grad_matmul_both_sides),
+    ("SpMM", grad_spmm),
+    ("AddRow", grad_add_row_both_sides),
+    ("MulCol", grad_mul_col_both_sides),
+    ("Scale", grad_scale),
+    ("AddScalar", grad_add_scalar),
+    ("Relu", grad_relu),
+    ("LeakyRelu", grad_leaky_relu),
+    ("Sigmoid", grad_sigmoid),
+    ("Tanh", grad_tanh),
+    ("Exp", grad_exp),
+    ("Log", grad_log),
+    ("Square", grad_square),
+    ("Dropout", grad_dropout_fixed_mask),
+    ("GatherRows", grad_gather_rows),
+    ("ScatterAddRows", grad_scatter_add_rows),
+    ("ScatterMaxRows", grad_scatter_max_rows_argmax_routing),
+    ("SegmentSoftmax", grad_segment_softmax),
+    ("SoftmaxRows", grad_softmax_rows),
+    ("ConcatCols", grad_concat_cols_both_sides),
+    ("Transpose", grad_transpose),
+    ("SumAll", grad_sum_all_as_root),
+    ("MeanAll", grad_mean_all_as_root),
+    ("SumRows", grad_sum_rows),
+    ("MeanRows", grad_mean_rows),
+    ("RowSum", grad_row_sum),
+    ("SoftmaxCrossEntropy", grad_softmax_cross_entropy_masked_and_unmasked),
+    ("BceWithLogits", grad_bce_with_logits_masked_and_unmasked),
+    ("MseLoss", grad_mse_loss_masked_and_unmasked),
+];
+
+/// Parses the variant names out of `enum Op { ... }` in `src/tape.rs`.
+/// Variant lines are exactly-4-space-indented and start with an uppercase
+/// letter; struct-variant fields (8 spaces), doc comments, and the variant
+/// closer `},` never match.
+fn op_variants_in_source() -> Vec<String> {
+    const SRC: &str = include_str!("../src/tape.rs");
+    let start = SRC.find("enum Op {").expect("enum Op not found in src/tape.rs");
+    let mut variants = Vec::new();
+    for line in SRC[start..].lines().skip(1) {
+        let trimmed = line.trim_end();
+        if trimmed == "}" {
+            break;
+        }
+        if let Some(rest) = trimmed.strip_prefix("    ") {
+            if !rest.starts_with(' ') && rest.starts_with(|c: char| c.is_ascii_uppercase()) {
+                let name: String = rest.chars().take_while(char::is_ascii_alphanumeric).collect();
+                variants.push(name);
+            }
+        }
+    }
+    variants
+}
+
+#[test]
+fn every_op_variant_has_a_grad_check() {
+    let in_source = op_variants_in_source();
+    assert!(in_source.len() >= 33, "Op enum parse looks broken: {in_source:?}");
+    let covered: Vec<&str> = COVERAGE.iter().map(|(name, _)| *name).collect();
+    for variant in &in_source {
+        assert!(
+            covered.contains(&variant.as_str()),
+            "Op::{variant} has no registered finite-difference gradient check; \
+             add one to crates/tensor/tests/op_coverage.rs and register it in COVERAGE"
+        );
+    }
+    for name in &covered {
+        assert!(
+            in_source.iter().any(|v| v == name),
+            "COVERAGE lists {name}, which is not an Op variant (stale entry?)"
+        );
+    }
+}

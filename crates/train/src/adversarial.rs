@@ -62,6 +62,7 @@ pub fn fit_adversarial<E: NodeModel>(
     let mut best_val = f32::INFINITY;
     let mut best_epoch = 0usize;
     let mut best_snapshot = store.snapshot();
+    let mut bad_epochs = 0usize;
 
     for epoch in 0..cfg.epochs {
         // ---- discriminator step: real vs detached reconstructions
@@ -86,7 +87,7 @@ pub fn fit_adversarial<E: NodeModel>(
         }
 
         // ---- generator step: main + recon + fool-the-discriminator
-        let (train_loss, _) = {
+        let (train_loss, aux_loss) = {
             let mut s = Session::train(store, cfg.seed.wrapping_add(epoch as u64));
             let x = s.input(task.features.clone());
             let (emb, out) = model.forward(&mut s, x);
@@ -101,12 +102,13 @@ pub fn fit_adversarial<E: NodeModel>(
             let fool_scaled = s.tape.scale(fool, cfg.adv_weight);
             let sum1 = s.tape.add(main, mse_scaled);
             let total = s.tape.add(sum1, fool_scaled);
+            let main_value = s.tape.value(main).get(0, 0);
             let value = s.tape.value(total).get(0, 0);
             let mut grads = s.backward(total);
             // the generator must not move the discriminator
             grads.retain(|(id, _)| !disc_params.contains(&id.index()));
             gen_opt.step(store, &grads);
-            (value, ())
+            (value, value - main_value)
         };
 
         // ---- validation on the main task only
@@ -117,12 +119,16 @@ pub fn fit_adversarial<E: NodeModel>(
             let vl = task.val_loss(&mut s, out);
             s.tape.value(vl).get(0, 0)
         };
-        history.push(EpochStats { train_loss, val_loss });
-        if val_loss < best_val - 1e-6 {
+        let improved = val_loss < best_val - 1e-6;
+        if improved {
             best_val = val_loss;
             best_epoch = epoch;
             best_snapshot = store.snapshot();
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
         }
+        history.push(EpochStats { train_loss, aux_loss, val_loss, improved, bad_epochs });
     }
     store.restore(&best_snapshot);
     TrainReport { history, best_epoch, best_val_loss: best_val }

@@ -2,7 +2,7 @@
 //! pretrain-finetune orchestration of the fitting phases.
 
 use gnn4tdl_nn::NodeModel;
-use gnn4tdl_tensor::ParamStore;
+use gnn4tdl_tensor::{obs, ParamStore};
 
 use crate::aux::AuxTask;
 use crate::task::{NodeTask, SupervisedModel};
@@ -79,11 +79,13 @@ pub fn run<E: NodeModel>(
                 ..cfg.clone()
             };
             let snapshot = store.snapshot();
+            let _round_span = obs::span("strategy.alternating_round");
             let report = if use_aux {
                 fit_weighted(model, store, task, aux, &round_cfg, 1.0)
             } else {
                 fit_weighted(model, store, task, &[], &round_cfg, 1.0)
             };
+            drop(_round_span);
             if report.best_val_loss < best_val - 1e-6 {
                 best_val = report.best_val_loss;
             } else if use_aux {
@@ -96,22 +98,35 @@ pub fn run<E: NodeModel>(
     }
     match strategy {
         Strategy::EndToEnd => {
+            let _span = obs::span("strategy.end_to_end");
             let report = fit_weighted(model, store, task, aux, cfg, 1.0);
             StrategyReport { phases: vec![report] }
         }
         Strategy::TwoStage { pretrain_epochs } => {
             assert!(!aux.is_empty(), "two-stage training needs auxiliary tasks to pretrain on");
             let pre_cfg = TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.clone() };
-            let pre = fit_weighted(model, store, task, aux, &pre_cfg, 0.0);
+            let pre = {
+                let _span = obs::span("strategy.pretrain");
+                fit_weighted(model, store, task, aux, &pre_cfg, 0.0)
+            };
             let fine_cfg = TrainConfig { trainable: Some(model.head_params().to_vec()), ..cfg.clone() };
-            let fine = fit_weighted(model, store, task, &[], &fine_cfg, 1.0);
+            let fine = {
+                let _span = obs::span("strategy.head_finetune");
+                fit_weighted(model, store, task, &[], &fine_cfg, 1.0)
+            };
             StrategyReport { phases: vec![pre, fine] }
         }
         Strategy::PretrainFinetune { pretrain_epochs } => {
             assert!(!aux.is_empty(), "pretrain-finetune needs auxiliary tasks to pretrain on");
             let pre_cfg = TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.clone() };
-            let pre = fit_weighted(model, store, task, aux, &pre_cfg, 0.0);
-            let fine = fit_weighted(model, store, task, aux, cfg, 1.0);
+            let pre = {
+                let _span = obs::span("strategy.pretrain");
+                fit_weighted(model, store, task, aux, &pre_cfg, 0.0)
+            };
+            let fine = {
+                let _span = obs::span("strategy.finetune");
+                fit_weighted(model, store, task, aux, cfg, 1.0)
+            };
             StrategyReport { phases: vec![pre, fine] }
         }
         Strategy::Alternating { .. } => unreachable!("handled above"),

@@ -3,12 +3,13 @@
 
 use std::collections::HashSet;
 use std::rc::Rc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gnn4tdl_nn::{NodeModel, Session};
-use gnn4tdl_tensor::{ParamId, ParamStore};
+use gnn4tdl_tensor::{obs, ParamId, ParamStore};
 
 use crate::aux::AuxTask;
 use crate::optim::OptimizerKind;
@@ -45,7 +46,14 @@ impl Default for TrainConfig {
 #[derive(Clone, Copy, Debug)]
 pub struct EpochStats {
     pub train_loss: f32,
+    /// Weighted auxiliary-loss share of `train_loss` (0 with no aux tasks).
+    pub aux_loss: f32,
     pub val_loss: f32,
+    /// Whether this epoch improved the best validation loss.
+    pub improved: bool,
+    /// Early-stopping state after this epoch: consecutive non-improving
+    /// epochs so far.
+    pub bad_epochs: usize,
 }
 
 /// Outcome of one fitting phase.
@@ -81,6 +89,11 @@ pub fn fit_weighted<E: NodeModel>(
     main_weight: f32,
 ) -> TrainReport {
     assert!(main_weight > 0.0 || !aux.is_empty(), "nothing to optimize");
+    let _span = obs::span("train.fit");
+    // Nested span path (e.g. `pipeline.fit/pipeline.train/train.fit`) labels
+    // this phase's telemetry records.
+    let phase_label = obs::current_path().unwrap_or_else(|| "train.fit".to_string());
+    let started = Instant::now();
     let mut optimizer = cfg.optimizer.build(cfg.weight_decay);
     let mut corrupt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
     let features = Rc::new(task.features.clone());
@@ -104,11 +117,14 @@ pub fn fit_weighted<E: NodeModel>(
         } else {
             s.input(gnn4tdl_tensor::Matrix::zeros(1, 1))
         };
+        let main_part = s.tape.value(total).get(0, 0);
         for a in aux {
             let al = a.loss(&mut s, &model.encoder, x, &features, emb, &mut corrupt_rng);
             total = s.tape.add(total, al);
         }
         let train_loss = s.tape.value(total).get(0, 0);
+        let aux_loss = train_loss - main_part;
+        let tape_nodes = s.tape.len();
         let mut grads = s.backward(total);
         if let Some(allowed) = &allowed {
             grads.retain(|(id, _)| allowed.contains(&id.index()));
@@ -135,20 +151,46 @@ pub fn fit_weighted<E: NodeModel>(
             }
         };
 
-        history.push(EpochStats { train_loss, val_loss });
-        if val_loss < best_val - 1e-6 {
+        let improved = val_loss < best_val - 1e-6;
+        if improved {
             best_val = val_loss;
             best_epoch = epoch;
             best_snapshot = store.snapshot();
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
-            if cfg.patience > 0 && bad_epochs >= cfg.patience {
-                break;
-            }
+        }
+        history.push(EpochStats { train_loss, aux_loss, val_loss, improved, bad_epochs });
+        if obs::enabled() {
+            obs::counter_add("train.epochs", 1);
+            obs::histogram_record("train.tape_nodes", tape_nodes as f64);
+            obs::record_epoch(obs::EpochRecord {
+                phase: phase_label.clone(),
+                epoch,
+                train_loss,
+                aux_loss,
+                val_loss,
+                improved,
+                bad_epochs,
+            });
+        }
+        if !improved && cfg.patience > 0 && bad_epochs >= cfg.patience {
+            break;
         }
     }
     store.restore(&best_snapshot);
+    if obs::enabled() {
+        obs::gauge_set("train.best_val_loss", f64::from(best_val));
+        obs::record_phase(
+            &phase_label,
+            started.elapsed().as_secs_f64() * 1e3,
+            &[
+                ("epochs", history.len() as f64),
+                ("best_epoch", best_epoch as f64),
+                ("best_val_loss", f64::from(best_val)),
+            ],
+        );
+    }
     TrainReport { history, best_epoch, best_val_loss: best_val }
 }
 
