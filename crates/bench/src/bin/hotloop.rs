@@ -1,0 +1,133 @@
+//! Steady-state hot-loop benchmark: `hotloop [--min-hit-rate X] [--out DIR]`.
+//!
+//! Measures the three numbers the allocation-free training loop is
+//! accountable for — steady-state epoch time, buffer-pool hit rate, and
+//! GEMM kNN construction time — on a fixed seeded workload, and writes them
+//! to `BENCH_hotloop.json` at the repository root so regressions show up in
+//! review diffs. CI passes `--min-hit-rate` to fail the build when the pool
+//! stops absorbing the hot loop's allocations.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_construct::knn_edges;
+use gnn4tdl_data::encode_all;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_tensor::{parallel, pool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 1000;
+const K: usize = 10;
+const WARMUP_EPOCHS: usize = 3;
+const MEASURED_EPOCHS: usize = 60;
+const KNN_REPS: usize = 5;
+
+fn main() {
+    let mut min_hit_rate: Option<f64> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-hit-rate" => {
+                let v = it.next().unwrap_or_else(|| usage("--min-hit-rate needs a value"));
+                min_hit_rate = Some(v.parse().unwrap_or_else(|_| usage("--min-hit-rate must be a number")));
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    // default: the repository root, so the baseline is a tracked file
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    pool::enable();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = gaussian_clusters(
+        &ClustersConfig {
+            n: N,
+            informative: 12,
+            noise_features: 4,
+            classes: 3,
+            cluster_std: 1.0,
+            center_scale: 3.0,
+        },
+        &mut rng,
+    );
+    let split = Split::stratified(dataset.target.labels(), 0.5, 0.2, &mut rng);
+    let cfg = |epochs: usize| {
+        PipelineConfig::builder(GraphSpec::Rule {
+            similarity: Similarity::Euclidean,
+            rule: EdgeRule::Knn { k: K },
+        })
+        .hidden(32)
+        .train(TrainConfig { epochs, patience: 0, ..Default::default() })
+        .seed(7)
+        .build()
+    };
+
+    // GEMM kNN construction, standalone: best of a few reps
+    let features = encode_all(&dataset.table).features;
+    let mut knn_ms = f64::INFINITY;
+    let mut edges = 0usize;
+    for _ in 0..KNN_REPS {
+        let t = Instant::now();
+        let e = knn_edges(&features, Similarity::Euclidean, K);
+        knn_ms = knn_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        edges = e.len();
+    }
+
+    // warm the pool, then measure a steady-state fit from warm buffers
+    pool::clear_local();
+    fit_pipeline(&dataset, &split, &cfg(WARMUP_EPOCHS));
+    pool::reset_local_stats();
+    let result = fit_pipeline(&dataset, &split, &cfg(MEASURED_EPOCHS));
+    let stats = pool::local_stats();
+    let epoch_ms = result.training_ms / MEASURED_EPOCHS as f64;
+
+    let mut report = Report::new(
+        "BENCH_hotloop",
+        "Steady-state training hot loop (pooled buffers, fused kernels, GEMM kNN)",
+        &["metric", "value"],
+    );
+    report.row(vec![Cell::from("n_rows"), Cell::from(N)]);
+    report.row(vec![Cell::from("knn_k"), Cell::from(K)]);
+    report.row(vec![Cell::from("knn_edges"), Cell::from(edges)]);
+    report.row(vec![Cell::from("threads"), Cell::from(parallel::current_threads())]);
+    report.row(vec![Cell::from("measured_epochs"), Cell::from(MEASURED_EPOCHS)]);
+    report.row(vec![Cell::from("knn_construction_ms"), Cell::from(knn_ms)]);
+    report.row(vec![Cell::from("epoch_ms"), Cell::from(epoch_ms)]);
+    report.row(vec![Cell::from("training_ms"), Cell::from(result.training_ms)]);
+    report.row(vec![Cell::from("pool_hit_rate"), Cell::from(stats.hit_rate())]);
+    report.row(vec![Cell::from("pool_hits"), Cell::from(stats.hits as usize)]);
+    report.row(vec![Cell::from("pool_misses"), Cell::from(stats.misses as usize)]);
+    report.print();
+    match report.save_json(&out_dir) {
+        Ok(()) => eprintln!("wrote {}", out_dir.join("BENCH_hotloop.json").display()),
+        Err(err) => {
+            eprintln!("failed to write BENCH_hotloop.json: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(min) = min_hit_rate {
+        if stats.hit_rate() < min {
+            eprintln!(
+                "FAIL: steady-state pool hit rate {:.4} is below the required {min:.4} ({stats:?})",
+                stats.hit_rate()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("pool hit rate {:.4} >= {min:.4}", stats.hit_rate());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: hotloop [--min-hit-rate X] [--out DIR]");
+    std::process::exit(2);
+}

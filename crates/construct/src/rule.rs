@@ -2,7 +2,7 @@
 //! thresholding, fully-connected, and same-feature-value edge criteria.
 
 use gnn4tdl_graph::{Graph, MultiplexGraph};
-use gnn4tdl_tensor::{parallel, Matrix};
+use gnn4tdl_tensor::{parallel, pool, Matrix};
 
 /// Splits `0..n` into row blocks of ~`per_block` similarity evaluations,
 /// sized from `n` only so block boundaries (and with them the flattened
@@ -12,7 +12,23 @@ fn row_blocks(n: usize, per_block: usize) -> Vec<(usize, usize)> {
     (0..n).step_by(rows_per_block).map(|r0| (r0, (r0 + rows_per_block).min(n))).collect()
 }
 
-use crate::similarity::Similarity;
+/// Element budget of one kNN score panel (`block_rows x n`): bounds the
+/// working memory of the GEMM-based neighbor search at ~256 KiB per panel
+/// while keeping each matmul large enough to parallelize well. Blocks are
+/// sized from `n` only, never from the worker count.
+const KNN_PANEL_ELEMS: usize = 1 << 16;
+
+/// Copies rows `r0..r1` of `x` into a fresh (pooled) matrix — the
+/// left-hand panel of one blocked GEMM. Allocated on the coordinating
+/// thread so the buffer comes from (and returns to) the thread-local pool.
+fn row_panel(x: &Matrix, r0: usize, r1: usize) -> Matrix {
+    let w = x.cols();
+    let mut out = Matrix::zeros(r1 - r0, w);
+    out.data_mut().copy_from_slice(&x.data()[r0 * w..r1 * w]);
+    out
+}
+
+use crate::similarity::{gemm_distance, row_sq_norms, Similarity};
 use gnn4tdl_data::table::{ColumnData, Table};
 
 /// The edge-creation criterion of a rule-based constructor.
@@ -65,61 +81,177 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
     graph
 }
 
-/// kNN edge list `(i, neighbor, weight=1)` excluding self matches.
+/// kNN edge list `(i, neighbor, weight=1)` excluding self matches, with each
+/// row's neighbors emitted in ascending index order.
+///
+/// Neighbor search is GEMM-based: an outer *sequential* loop over fixed-size
+/// row panels computes each panel's score block as one parallel
+/// [`Matrix::matmul`] against `Xᵀ` (so panels and scores are allocated on
+/// the coordinating thread, from the buffer pool), then similarities are
+/// finished from the Gram identity `d² = ‖x‖² + ‖y‖² − 2·x·y` and the top-k
+/// selected per row with `select_nth_unstable_by` under a parallel map over
+/// row chunks. All blocking depends only on `n`, so edge lists are
+/// bit-identical at any thread count.
 pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(usize, usize, f32)> {
     let _span = gnn4tdl_tensor::span!("construct.knn_edges");
     let n = features.rows();
-    let blocks = row_blocks(n, 1 << 14);
-    let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
-        let mut edges = Vec::with_capacity((r1 - r0) * k);
-        let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
-        for i in r0..r1 {
-            scored.clear();
-            for j in 0..n {
-                if i != j {
-                    scored.push((j, similarity.between(features, i, features, j)));
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let xt = features.transpose();
+    let sq = row_sq_norms(features);
+    let mut edges = Vec::with_capacity(n * k);
+    for &(r0, r1) in &row_blocks(n, KNN_PANEL_ELEMS) {
+        let panel = row_panel(features, r0, r1);
+        let scores = panel.matmul(&xt);
+        let chunks = row_blocks(r1 - r0, 1 << 14);
+        let per_chunk = parallel::par_map(&chunks, |_, &(c0, c1)| {
+            let mut out = Vec::with_capacity((c1 - c0) * k);
+            let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+            for local in c0..c1 {
+                let i = r0 + local;
+                let dots = scores.row(local);
+                scored.clear();
+                for j in 0..n {
+                    if i != j {
+                        scored.push((j, similarity.finish_dot(sq[i], sq[j], dots[j])));
+                    }
+                }
+                let take = k.min(scored.len());
+                if take == 0 {
+                    continue;
+                }
+                // partial selection of the top-k by similarity
+                let pivot = take - 1;
+                scored.select_nth_unstable_by(pivot, |a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                // emit in ascending index order so the edge list depends
+                // only on the selected *set*, not on the selection
+                // algorithm's internal permutation
+                let top = &mut scored[..take];
+                top.sort_unstable_by_key(|&(j, _)| j);
+                for &(j, _) in top.iter() {
+                    out.push((i, j, 1.0));
                 }
             }
-            let take = k.min(scored.len());
-            if take == 0 {
-                continue;
-            }
-            // partial selection of the top-k by similarity
-            let pivot = take - 1;
-            scored.select_nth_unstable_by(pivot, |a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            for &(j, _) in &scored[..take] {
-                edges.push((i, j, 1.0));
-            }
-        }
-        edges
-    });
-    per_block.into_iter().flatten().collect()
+            out
+        });
+        edges.extend(per_chunk.into_iter().flatten());
+        pool::recycle_matrix(panel);
+        pool::recycle_matrix(scores);
+    }
+    pool::recycle_matrix(xt);
+    edges
 }
 
 /// kNN distances: for each row, the distances to its k nearest neighbors in
 /// ascending order (Euclidean). LUNAR's input representation.
+///
+/// Uses the same blocked-GEMM neighbor search as [`knn_edges`], and only
+/// sorts the k selected distances rather than all `n - 1` of them.
 pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
     let _span = gnn4tdl_tensor::span!("construct.knn_distances");
     let n = features.rows();
-    let blocks = row_blocks(n, 1 << 14);
-    let per_block = parallel::par_map(&blocks, |_, &(r0, r1)| {
-        let mut out = Vec::with_capacity(r1 - r0);
-        let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
-        for i in r0..r1 {
-            dists.clear();
-            for j in 0..n {
-                if i != j {
-                    dists.push(Matrix::row_distance(features, i, features, j));
+    if n == 0 {
+        return Vec::new();
+    }
+    let xt = features.transpose();
+    let sq = row_sq_norms(features);
+    let mut out = Vec::with_capacity(n);
+    for &(r0, r1) in &row_blocks(n, KNN_PANEL_ELEMS) {
+        let panel = row_panel(features, r0, r1);
+        let scores = panel.matmul(&xt);
+        let chunks = row_blocks(r1 - r0, 1 << 14);
+        let per_chunk = parallel::par_map(&chunks, |_, &(c0, c1)| {
+            let mut rows = Vec::with_capacity(c1 - c0);
+            let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
+            for local in c0..c1 {
+                let i = r0 + local;
+                let dots = scores.row(local);
+                dists.clear();
+                for j in 0..n {
+                    if i != j {
+                        dists.push(gemm_distance(sq[i], sq[j], dots[j]));
+                    }
                 }
+                let take = k.min(dists.len());
+                if take == 0 {
+                    rows.push(Vec::new());
+                    continue;
+                }
+                // partial-select the k smallest, then sort only those k
+                let pivot = take - 1;
+                dists.select_nth_unstable_by(pivot, |a, b| {
+                    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let head = &mut dists[..take];
+                head.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                rows.push(head.to_vec());
             }
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            out.push(dists.iter().copied().take(k).collect::<Vec<f32>>());
+            rows
+        });
+        out.extend(per_chunk.into_iter().flatten());
+        pool::recycle_matrix(panel);
+        pool::recycle_matrix(scores);
+    }
+    pool::recycle_matrix(xt);
+    out
+}
+
+/// The pre-GEMM scalar `knn_edges` (row-by-row [`Similarity::between`]),
+/// kept as a test oracle; emits each row's neighbors in the same ascending
+/// index order as the GEMM path.
+#[cfg(test)]
+pub(crate) fn knn_edges_scalar(
+    features: &Matrix,
+    similarity: Similarity,
+    k: usize,
+) -> Vec<(usize, usize, f32)> {
+    let n = features.rows();
+    let mut edges = Vec::with_capacity(n * k);
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        scored.clear();
+        for j in 0..n {
+            if i != j {
+                scored.push((j, similarity.between(features, i, features, j)));
+            }
         }
-        out
-    });
-    per_block.into_iter().flatten().collect()
+        let take = k.min(scored.len());
+        if take == 0 {
+            continue;
+        }
+        let pivot = take - 1;
+        scored
+            .select_nth_unstable_by(pivot, |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let top = &mut scored[..take];
+        top.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, _) in top.iter() {
+            edges.push((i, j, 1.0));
+        }
+    }
+    edges
+}
+
+/// The pre-GEMM scalar `knn_distances` ([`Matrix::row_distance`] per pair),
+/// kept as a test oracle.
+#[cfg(test)]
+pub(crate) fn knn_distances_scalar(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
+    let n = features.rows();
+    let mut out = Vec::with_capacity(n);
+    let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i != j {
+                dists.push(Matrix::row_distance(features, i, features, j));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out.push(dists.iter().copied().take(k).collect::<Vec<f32>>());
+    }
+    out
 }
 
 /// Same-feature-value construction for one categorical column: connects all
@@ -221,6 +353,74 @@ mod tests {
             assert!(row.windows(2).all(|w| w[0] <= w[1]));
         }
         assert!((d[0][0] - 0.1).abs() < 1e-5);
+    }
+
+    /// Deterministic pseudo-random features without an RNG dependency.
+    fn synthetic(n: usize, d: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, d);
+        for i in 0..n {
+            for j in 0..d {
+                m.set(i, j, ((i * 31 + j * 17 + 3) as f32 * 0.7311).sin() * 2.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn gemm_knn_edges_match_scalar_oracle() {
+        let x = synthetic(61, 7);
+        for s in [
+            Similarity::Euclidean,
+            Similarity::Cosine,
+            Similarity::Gaussian { sigma: 1.1 },
+            Similarity::InnerProduct,
+        ] {
+            for k in [1, 3, 8, 100] {
+                let gemm = knn_edges(&x, s, k);
+                let scalar = knn_edges_scalar(&x, s, k);
+                assert_eq!(gemm, scalar, "{} k={k} edge lists differ", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_knn_edges_match_oracle_across_panel_seam() {
+        // 300 rows spans multiple KNN_PANEL_ELEMS GEMM panels, exercising
+        // the blocked path's seam handling
+        let x = synthetic(300, 5);
+        let gemm = knn_edges(&x, Similarity::Euclidean, 4);
+        let scalar = knn_edges_scalar(&x, Similarity::Euclidean, 4);
+        assert_eq!(gemm, scalar);
+        assert_eq!(gemm.len(), 300 * 4);
+    }
+
+    #[test]
+    fn gemm_knn_distances_match_scalar_oracle() {
+        let x = synthetic(61, 7);
+        for k in [1, 3, 8, 100] {
+            let gemm = knn_distances(&x, k);
+            let scalar = knn_distances_scalar(&x, k);
+            assert_eq!(gemm.len(), scalar.len());
+            for (g_row, s_row) in gemm.iter().zip(&scalar) {
+                assert_eq!(g_row.len(), s_row.len());
+                for (g, s) in g_row.iter().zip(s_row) {
+                    // cancellation in ‖x‖²+‖y‖²−2·x·y costs a few ulps of
+                    // the norms, not of the (possibly tiny) distance
+                    assert!((g - s).abs() < 1e-3, "distance diverges: {g} vs {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edges_empty_and_degenerate_inputs() {
+        let empty = Matrix::zeros(0, 3);
+        assert!(knn_edges(&empty, Similarity::Euclidean, 2).is_empty());
+        assert!(knn_distances(&empty, 2).is_empty());
+        assert!(knn_edges(&features(), Similarity::Euclidean, 0).is_empty());
+        let single = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert!(knn_edges(&single, Similarity::Euclidean, 3).is_empty());
+        assert_eq!(knn_distances(&single, 3), vec![Vec::<f32>::new()]);
     }
 
     #[test]

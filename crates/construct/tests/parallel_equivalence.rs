@@ -51,6 +51,21 @@ fn knn_distances_are_thread_invariant() {
 }
 
 #[test]
+fn multi_panel_gemm_knn_is_thread_invariant() {
+    // 400 rows spans several of the GEMM path's fixed-size score panels, so
+    // this covers panel-seam rows as well as interior ones
+    let x = features(400, 5, 4);
+    let seq_edges = parallel::with_threads(1, || knn_edges(&x, Similarity::Cosine, 5));
+    let seq_dists = parallel::with_threads(1, || knn_distances(&x, 5));
+    for threads in thread_counts() {
+        let par_edges = parallel::with_threads(threads, || knn_edges(&x, Similarity::Cosine, 5));
+        let par_dists = parallel::with_threads(threads, || knn_distances(&x, 5));
+        assert_eq!(par_edges, seq_edges, "edges at {threads} threads");
+        assert_eq!(par_dists, seq_dists, "distances at {threads} threads");
+    }
+}
+
+#[test]
 fn built_graphs_are_thread_invariant() {
     let x = features(160, 8, 3);
     for rule in [EdgeRule::Knn { k: 6 }, EdgeRule::Threshold { tau: 0.2 }] {

@@ -106,13 +106,19 @@ impl NodeModel for GcnModel {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let agg = s.tape.spmm(&self.adj, h);
-            h = layer.forward(s, agg);
-            if i < last {
-                if self.pair_norm {
-                    h = pair_norm(s, h, 1.0);
-                }
-                h = s.tape.relu(h);
+            if i < last && !self.pair_norm {
+                // hidden layer without PairNorm: fused relu(agg W + b)
+                h = layer.forward_relu(s, agg);
                 h = s.dropout(h, self.dropout);
+            } else {
+                h = layer.forward(s, agg);
+                if i < last {
+                    if self.pair_norm {
+                        h = pair_norm(s, h, 1.0);
+                    }
+                    h = s.tape.relu(h);
+                    h = s.dropout(h, self.dropout);
+                }
             }
         }
         h

@@ -77,6 +77,24 @@ impl Linear {
         }
     }
 
+    /// Fused `relu(x W + b)` via [`gnn4tdl_tensor::Tape::linear_relu`] — one
+    /// tape node with a single output buffer instead of three (matmul,
+    /// bias-add, relu). Bitwise identical to the unfused chain; bias-free
+    /// layers fall back to it.
+    pub fn forward_relu(&self, s: &mut Session<'_>, x: Var) -> Var {
+        match self.b {
+            Some(b) => {
+                let w = s.p(self.w);
+                let bias = s.p(b);
+                s.tape.linear_relu(x, w, bias)
+            }
+            None => {
+                let h = self.forward(s, x);
+                s.tape.relu(h)
+            }
+        }
+    }
+
     pub fn weight_id(&self) -> ParamId {
         self.w
     }
@@ -117,9 +135,15 @@ impl Mlp {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(s, h);
+            if i < last && self.activation == Activation::Relu {
+                h = layer.forward_relu(s, h);
+            } else {
+                h = layer.forward(s, h);
+                if i < last {
+                    h = self.activation.apply(s, h);
+                }
+            }
             if i < last {
-                h = self.activation.apply(s, h);
                 h = s.dropout(h, self.dropout);
             }
         }

@@ -12,6 +12,7 @@ pub mod matrix;
 pub mod obs;
 pub mod parallel;
 pub mod params;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 

@@ -9,6 +9,7 @@
 use rand::Rng;
 
 use crate::parallel;
+use crate::pool;
 
 /// Elements per chunk for parallel elementwise loops. Chunk boundaries are
 /// fixed by this constant (never by worker count), so results are identical
@@ -41,11 +42,20 @@ fn par_reduce_sum(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
 /// assert_eq!(a.matmul(&b).data(), a.data());
 /// assert_eq!(a.transpose().get(0, 1), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    /// Copies through the buffer pool ([`crate::pool`]): the clone's storage
+    /// is a recycled buffer when one of the right size is parked, fully
+    /// overwritten with `self`'s contents either way.
+    fn clone(&self) -> Self {
+        Self { rows: self.rows, cols: self.cols, data: pool::take_copied(&self.data) }
+    }
 }
 
 impl std::fmt::Debug for Matrix {
@@ -66,14 +76,22 @@ impl std::fmt::Debug for Matrix {
 }
 
 impl Matrix {
-    /// Creates a matrix filled with zeros.
+    /// Creates a matrix filled with zeros. Storage comes from the buffer
+    /// pool ([`crate::pool`]) and is zeroed on reuse, so pooled and
+    /// non-pooled runs are bitwise identical.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: pool::take_zeroed(rows * cols) }
     }
 
-    /// Creates a matrix filled with a constant.
+    /// Explicit alias for [`Self::zeros`] that makes the pooling visible at
+    /// call sites built around take/recycle pairs.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        Self::zeros(rows, cols)
+    }
+
+    /// Creates a matrix filled with a constant (pooled storage).
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self { rows, cols, data: pool::take_filled(rows * cols, value) }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -234,12 +252,26 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `self * other` into `out` (`out += self * other`; `out`
+    /// must be `self.rows x other.cols`, typically freshly zeroed). Exists
+    /// so callers can supply a pooled output allocated on the coordinating
+    /// thread — the tape's backward pass computes both `MatMul` gradients
+    /// under `par_join` without allocating on a worker.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
         let n = other.cols;
         let (a_data, a_cols) = (&self.data, self.cols);
         let b_data = &other.data;
@@ -262,26 +294,33 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Elementwise binary map; shapes must match.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        let mut data = pool::take_unspecified(self.data.len());
+        for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Elementwise unary map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+        let mut data = pool::take_unspecified(self.data.len());
+        for (o, &a) in data.iter_mut().zip(&self.data) {
+            *o = f(a);
+        }
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Parallel elementwise binary op (the closure must be `Sync`, unlike
     /// [`Self::zip_map`] which stays sequential for arbitrary closures).
     fn par_zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
-        let mut out = Matrix::zeros(self.rows, self.cols);
+        let mut out =
+            Matrix { rows: self.rows, cols: self.cols, data: pool::take_unspecified(self.data.len()) };
         let (a, b) = (&self.data, &other.data);
         parallel::par_chunks_mut(&mut out.data, ELEM_CHUNK, |i, chunk| {
             let off = i * ELEM_CHUNK;

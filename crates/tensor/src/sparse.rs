@@ -11,6 +11,12 @@ use crate::parallel;
 /// the worker count) so entry placement is identical for any thread count.
 const TRANSPOSE_ROW_BLOCK: usize = 2048;
 
+/// Element budget of one sparse-product output block: `spmv` takes this many
+/// output rows per chunk, `spmm` divides it by the dense width. Sized from
+/// the shapes only, never from the worker count, so per-row reduction orders
+/// are thread-invariant.
+const SPARSE_PRODUCT_BLOCK: usize = 1 << 12;
+
 /// Raw pointer wrapper for scatters whose write positions are provably
 /// disjoint across workers (see [`CsrMatrix::transpose`]).
 struct SendPtr<T>(*mut T);
@@ -181,7 +187,7 @@ impl CsrMatrix {
         let mut out = Matrix::zeros(self.rows, d);
         // Output-row blocks sized from the shapes only; each row accumulates
         // its entries in CSR order exactly as the sequential loop would.
-        let block_rows = (1usize << 12).div_ceil(d.max(1)).clamp(1, self.rows.max(1));
+        let block_rows = SPARSE_PRODUCT_BLOCK.div_ceil(d.max(1)).clamp(1, self.rows.max(1));
         parallel::par_chunks_mut(out.data_mut(), block_rows * d, |blk, chunk| {
             for (local, out_row) in chunk.chunks_mut(d).enumerate() {
                 let r = blk * block_rows + local;
@@ -200,9 +206,9 @@ impl CsrMatrix {
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv shape mismatch");
         let mut out = vec![0.0f32; self.rows];
-        parallel::par_chunks_mut(&mut out, 1 << 12, |blk, chunk| {
+        parallel::par_chunks_mut(&mut out, SPARSE_PRODUCT_BLOCK, |blk, chunk| {
             for (local, o) in chunk.iter_mut().enumerate() {
-                let r = blk * (1 << 12) + local;
+                let r = blk * SPARSE_PRODUCT_BLOCK + local;
                 *o = self.row_iter(r).map(|(c, val)| val * v[c]).sum();
             }
         });

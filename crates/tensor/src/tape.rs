@@ -15,6 +15,7 @@
 use std::rc::Rc;
 
 use crate::matrix::Matrix;
+use crate::pool;
 use crate::sparse::CsrMatrix;
 
 /// A sparse adjacency packaged with its precomputed transpose.
@@ -77,6 +78,13 @@ enum Op {
     AddRow(usize, usize),
     /// `(n x d) * (n x 1)` column broadcast (per-row scaling, attention).
     MulCol(usize, usize),
+    /// Fused `relu(x @ w + bias)` — the dense-layer hot path as one node
+    /// with a single output buffer instead of three.
+    LinearRelu {
+        x: usize,
+        w: usize,
+        bias: usize,
+    },
     Scale(usize, f32),
     AddScalar(usize),
     Relu(usize),
@@ -263,6 +271,27 @@ impl Tape {
             }
         }
         self.push(value, Op::MulCol(a.0, col.0), self.needs(a) || self.needs(col))
+    }
+
+    /// Fused dense layer: `relu(x @ w + bias)` recorded as one node.
+    ///
+    /// Bitwise identical to `relu(add_row(matmul(x, w), bias))` — the same
+    /// matmul kernel runs first, then bias-add and clamp are applied in one
+    /// in-place pass — but the tape holds one buffer instead of three and
+    /// the backward pass reuses the incoming gradient buffer for the masked
+    /// delta.
+    pub fn linear_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let (xv, wv, bv) = (self.value(x), self.value(w), self.value(bias));
+        assert_eq!(bv.rows(), 1, "linear_relu bias must be 1 x d");
+        assert_eq!(bv.cols(), wv.cols(), "linear_relu bias width mismatch");
+        let mut value = xv.matmul(wv);
+        for r in 0..value.rows() {
+            for (o, &b) in value.row_mut(r).iter_mut().zip(bv.data()) {
+                *o = (*o + b).max(0.0);
+            }
+        }
+        let needs = self.needs(x) || self.needs(w) || self.needs(bias);
+        self.push(value, Op::LinearRelu { x: x.0, w: w.0, bias: bias.0 }, needs)
     }
 
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
@@ -561,8 +590,11 @@ impl Tape {
     // ---- backward ----
 
     /// Runs reverse-mode differentiation from `root` (which must be 1x1) and
-    /// returns per-node gradients. Nodes that do not require gradients have
-    /// `None` entries.
+    /// returns the retained gradients. Only **leaf** gradients (parameters
+    /// and inputs) are retained: every interior node's gradient buffer is
+    /// consumed while propagating — moved to its single consumer,
+    /// transformed in place, or recycled into the buffer pool — which is
+    /// what keeps steady-state training epochs allocation-free.
     pub fn backward(&self, root: Var) -> Gradients {
         let rv = self.value(root);
         assert_eq!(rv.shape(), (1, 1), "backward root must be a scalar (1x1), got {:?}", rv.shape());
@@ -574,117 +606,226 @@ impl Tape {
                 continue;
             }
             let Some(g) = grads[idx].take() else { continue };
-            self.accumulate_parents(idx, &g, &mut grads);
-            grads[idx] = Some(g);
+            if matches!(self.nodes[idx].op, Op::Leaf) {
+                grads[idx] = Some(g);
+                continue;
+            }
+            self.accumulate_parents(idx, g, &mut grads);
         }
         Gradients { grads }
     }
 
-    fn accumulate_parents(&self, idx: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
-        let mut acc = |parent: usize, delta: Matrix| {
-            if !self.nodes[parent].needs_grad {
-                return;
+    /// Adds `delta` into the parent's gradient slot, taking ownership: the
+    /// first contribution moves the buffer in, later ones accumulate in
+    /// place and recycle their delta. Deltas for parents that don't need a
+    /// gradient go straight back to the pool.
+    fn acc_grad(&self, parent: usize, delta: Matrix, grads: &mut [Option<Matrix>]) {
+        if !self.nodes[parent].needs_grad {
+            pool::recycle_matrix(delta);
+            return;
+        }
+        match &mut grads[parent] {
+            Some(existing) => {
+                existing.axpy(1.0, &delta);
+                pool::recycle_matrix(delta);
             }
-            match &mut grads[parent] {
-                Some(existing) => existing.axpy(1.0, &delta),
-                slot @ None => *slot = Some(delta),
-            }
-        };
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Propagates the owned gradient `g` of node `idx` to its parents.
+    /// Backward rules mutate `g` in place wherever the math allows, keeping
+    /// the exact per-element expressions and reduction orders of the
+    /// original out-of-place forms (results stay bitwise identical);
+    /// whatever remains of `g` is recycled into the buffer pool.
+    fn accumulate_parents(&self, idx: usize, mut g: Matrix, grads: &mut [Option<Matrix>]) {
         let val = |i: usize| &self.nodes[i].value;
 
         match &self.nodes[idx].op {
-            Op::Leaf => {}
+            // backward() retains leaf gradients before propagating; reaching
+            // here means nothing consumes g.
+            Op::Leaf => pool::recycle_matrix(g),
             Op::Add(a, b) => {
-                acc(*a, g.clone());
-                acc(*b, g.clone());
+                let ga = g.clone();
+                self.acc_grad(*a, ga, grads);
+                self.acc_grad(*b, g, grads);
             }
             Op::Sub(a, b) => {
-                acc(*a, g.clone());
-                acc(*b, g.scale(-1.0));
+                let ga = g.clone();
+                self.acc_grad(*a, ga, grads);
+                for v in g.data_mut() {
+                    *v = -*v;
+                }
+                self.acc_grad(*b, g, grads);
             }
             Op::Mul(a, b) => {
-                acc(*a, g.mul(val(*b)));
-                acc(*b, g.mul(val(*a)));
+                self.acc_grad(*a, g.mul(val(*b)), grads);
+                for (gg, &x) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    *gg *= x;
+                }
+                self.acc_grad(*b, g, grads);
             }
             Op::MatMul(a, b) => {
                 // The two gradient products are independent; each is itself
                 // a deterministic parallel matmul, so joining them changes
-                // nothing about the result.
-                // Borrow the operand matrices directly: closures sent to
-                // other threads must not capture the tape itself (it holds
-                // non-Sync `Rc<SpAdj>` handles).
+                // nothing about the result. Transposes and both gradient
+                // outputs are allocated here on the coordinating thread —
+                // worker threads never touch the (thread-local) buffer pool
+                // — and the products accumulate into the pre-zeroed buffers
+                // under par_join.
                 let (va, vb) = (&self.nodes[*a].value, &self.nodes[*b].value);
-                let (ga, gb) =
-                    crate::parallel::par_join(|| g.matmul(&vb.transpose()), || va.transpose().matmul(g));
-                acc(*a, ga);
-                acc(*b, gb);
+                let bt = vb.transpose();
+                let at = va.transpose();
+                let mut ga = Matrix::zeros(g.rows(), bt.cols());
+                let mut gb = Matrix::zeros(at.rows(), g.cols());
+                {
+                    let (gref, btref, atref) = (&g, &bt, &at);
+                    let (ga_mut, gb_mut) = (&mut ga, &mut gb);
+                    crate::parallel::par_join(
+                        || gref.matmul_into(btref, ga_mut),
+                        || atref.matmul_into(gref, gb_mut),
+                    );
+                }
+                pool::recycle_matrix(bt);
+                pool::recycle_matrix(at);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
+                self.acc_grad(*b, gb, grads);
             }
             Op::SpMM(adj, h) => {
-                acc(*h, adj.transpose_matrix().spmm(g));
+                let gh = adj.transpose_matrix().spmm(&g);
+                pool::recycle_matrix(g);
+                self.acc_grad(*h, gh, grads);
             }
             Op::AddRow(a, bias) => {
-                acc(*a, g.clone());
                 let mut bg = Matrix::zeros(1, g.cols());
                 for r in 0..g.rows() {
                     for (o, &x) in bg.row_mut(0).iter_mut().zip(g.row(r)) {
                         *o += x;
                     }
                 }
-                acc(*bias, bg);
+                self.acc_grad(*a, g, grads);
+                self.acc_grad(*bias, bg, grads);
             }
             Op::MulCol(a, col) => {
                 let cv = val(*col);
                 let av = val(*a);
-                let mut ga = g.clone();
-                for r in 0..ga.rows() {
-                    let s = cv.get(r, 0);
-                    for o in ga.row_mut(r) {
-                        *o *= s;
-                    }
-                }
-                acc(*a, ga);
                 let mut gc = Matrix::zeros(cv.rows(), 1);
                 for r in 0..g.rows() {
                     let dot: f32 = g.row(r).iter().zip(av.row(r)).map(|(&x, &y)| x * y).sum();
                     gc.set(r, 0, dot);
                 }
-                acc(*col, gc);
+                for r in 0..g.rows() {
+                    let s = cv.get(r, 0);
+                    for o in g.row_mut(r) {
+                        *o *= s;
+                    }
+                }
+                self.acc_grad(*a, g, grads);
+                self.acc_grad(*col, gc, grads);
             }
-            Op::Scale(a, s) => acc(*a, g.scale(*s)),
-            Op::AddScalar(a) => acc(*a, g.clone()),
+            Op::LinearRelu { x, w, bias } => {
+                // dz = g masked by the fused output (out > 0 ⟺ pre-act > 0),
+                // reusing g's buffer; bias gets dz's column sums and the two
+                // dense products mirror MatMul's coordinator-allocated
+                // par_join. Bitwise identical to the unfused
+                // Relu→AddRow→MatMul backward chain.
+                let out = &self.nodes[idx].value;
+                for (gg, &y) in g.data_mut().iter_mut().zip(out.data()) {
+                    if y <= 0.0 {
+                        *gg = 0.0;
+                    }
+                }
+                let mut gb = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &d) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += d;
+                    }
+                }
+                let (xv, wv) = (&self.nodes[*x].value, &self.nodes[*w].value);
+                let wt = wv.transpose();
+                let xt = xv.transpose();
+                let mut gx = Matrix::zeros(g.rows(), wt.cols());
+                let mut gw = Matrix::zeros(xt.rows(), g.cols());
+                {
+                    let (dref, wtref, xtref) = (&g, &wt, &xt);
+                    let (gx_mut, gw_mut) = (&mut gx, &mut gw);
+                    crate::parallel::par_join(
+                        || dref.matmul_into(wtref, gx_mut),
+                        || xtref.matmul_into(dref, gw_mut),
+                    );
+                }
+                pool::recycle_matrix(wt);
+                pool::recycle_matrix(xt);
+                pool::recycle_matrix(g);
+                self.acc_grad(*x, gx, grads);
+                self.acc_grad(*w, gw, grads);
+                self.acc_grad(*bias, gb, grads);
+            }
+            Op::Scale(a, s) => {
+                let s = *s;
+                for o in g.data_mut() {
+                    *o *= s;
+                }
+                self.acc_grad(*a, g, grads);
+            }
+            Op::AddScalar(a) => self.acc_grad(*a, g, grads),
             Op::Relu(a) => {
-                let av = val(*a);
-                acc(*a, g.zip_map(av, |gg, x| if x > 0.0 { gg } else { 0.0 }));
+                for (gg, &x) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    if x <= 0.0 {
+                        *gg = 0.0;
+                    }
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::LeakyRelu(a, slope) => {
-                let av = val(*a);
                 let s = *slope;
-                acc(*a, g.zip_map(av, move |gg, x| if x > 0.0 { gg } else { s * gg }));
+                for (gg, &x) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    if x <= 0.0 {
+                        *gg *= s;
+                    }
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Sigmoid(a) => {
                 let out = &self.nodes[idx].value;
-                acc(*a, g.zip_map(out, |gg, y| gg * y * (1.0 - y)));
+                for (gg, &y) in g.data_mut().iter_mut().zip(out.data()) {
+                    *gg = *gg * y * (1.0 - y);
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Tanh(a) => {
                 let out = &self.nodes[idx].value;
-                acc(*a, g.zip_map(out, |gg, y| gg * (1.0 - y * y)));
+                for (gg, &y) in g.data_mut().iter_mut().zip(out.data()) {
+                    *gg *= 1.0 - y * y;
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Exp(a) => {
                 let out = &self.nodes[idx].value;
-                acc(*a, g.mul(out));
+                for (gg, &y) in g.data_mut().iter_mut().zip(out.data()) {
+                    *gg *= y;
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Log(a, eps) => {
-                let av = val(*a);
                 let e = *eps;
-                acc(*a, g.zip_map(av, move |gg, x| gg / (x + e)));
+                for (gg, &x) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    *gg /= x + e;
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Square(a) => {
-                let av = val(*a);
-                acc(*a, g.zip_map(av, |gg, x| 2.0 * gg * x));
+                for (gg, &x) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    *gg = 2.0 * *gg * x;
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::Dropout(a, mask) => {
-                let data: Vec<f32> = g.data().iter().zip(mask.iter()).map(|(&gg, &m)| gg * m).collect();
-                acc(*a, Matrix::from_vec(g.rows(), g.cols(), data));
+                for (gg, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+                    *gg *= m;
+                }
+                self.acc_grad(*a, g, grads);
             }
             Op::GatherRows(a, index) => {
                 let av = val(*a);
@@ -694,14 +835,16 @@ impl Tape {
                         *o += x;
                     }
                 }
-                acc(*a, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::ScatterAddRows { src, index } => {
                 let mut gs = Matrix::zeros(index.len(), g.cols());
                 for (i, &dst) in index.iter().enumerate() {
                     gs.row_mut(i).copy_from_slice(g.row(dst));
                 }
-                acc(*src, gs);
+                pool::recycle_matrix(g);
+                self.acc_grad(*src, gs, grads);
             }
             Op::ScatterMaxRows { src, index, out_rows } => {
                 // route each output cell's gradient to the first row that
@@ -730,7 +873,8 @@ impl Tape {
                         }
                     }
                 }
-                acc(*src, gs);
+                pool::recycle_matrix(g);
+                self.acc_grad(*src, gs, grads);
             }
             Op::SegmentSoftmax { src, seg, n_seg } => {
                 // d a_i = alpha_i * (g_i - sum_{j in seg(i)} g_j alpha_j)
@@ -748,7 +892,8 @@ impl Tape {
                         ga.set(i, c, alpha.get(i, c) * (g.get(i, c) - seg_dot[s * cols + c]));
                     }
                 }
-                acc(*src, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*src, ga, grads);
             }
             Op::SoftmaxRows(a) => {
                 let y = &self.nodes[idx].value;
@@ -759,7 +904,8 @@ impl Tape {
                         ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                     }
                 }
-                acc(*a, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::ConcatCols(a, b) => {
                 let (ca, cb) = (val(*a).cols(), val(*b).cols());
@@ -769,18 +915,27 @@ impl Tape {
                     ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
                     gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
                 }
-                acc(*a, ga);
-                acc(*b, gb);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
+                self.acc_grad(*b, gb, grads);
             }
-            Op::Transpose(a) => acc(*a, g.transpose()),
+            Op::Transpose(a) => {
+                let ga = g.transpose();
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
+            }
             Op::SumAll(a) => {
                 let av = val(*a);
-                acc(*a, Matrix::full(av.rows(), av.cols(), g.get(0, 0)));
+                let ga = Matrix::full(av.rows(), av.cols(), g.get(0, 0));
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::MeanAll(a) => {
                 let av = val(*a);
                 let n = av.len().max(1) as f32;
-                acc(*a, Matrix::full(av.rows(), av.cols(), g.get(0, 0) / n));
+                let ga = Matrix::full(av.rows(), av.cols(), g.get(0, 0) / n);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::SumRows(a) => {
                 let av = val(*a);
@@ -788,7 +943,8 @@ impl Tape {
                 for r in 0..av.rows() {
                     ga.row_mut(r).copy_from_slice(g.row(0));
                 }
-                acc(*a, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::MeanRows(a) => {
                 let av = val(*a);
@@ -799,7 +955,8 @@ impl Tape {
                         *o = x * inv;
                     }
                 }
-                acc(*a, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::RowSum(a) => {
                 let av = val(*a);
@@ -810,13 +967,15 @@ impl Tape {
                         *o = gg;
                     }
                 }
-                acc(*a, ga);
+                pool::recycle_matrix(g);
+                self.acc_grad(*a, ga, grads);
             }
             Op::SoftmaxCrossEntropy { logits, labels, mask } => {
                 let lv = val(*logits);
                 let (probs, _) = row_softmax(lv);
                 let weight: f32 = mask.as_ref().map_or(labels.len() as f32, |m| m.iter().sum());
                 let scale = if weight > 0.0 { g.get(0, 0) / weight } else { 0.0 };
+                pool::recycle_matrix(g);
                 let mut gl = Matrix::zeros(lv.rows(), lv.cols());
                 for (r, &y) in labels.iter().enumerate() {
                     let w = mask.as_ref().map_or(1.0, |m| m[r]);
@@ -829,54 +988,65 @@ impl Tape {
                         gl.set(r, c, w * scale * (p - t));
                     }
                 }
-                acc(*logits, gl);
+                pool::recycle_matrix(probs);
+                self.acc_grad(*logits, gl, grads);
             }
             Op::BceWithLogits { logits, targets, mask } => {
                 let lv = val(*logits);
                 let weight: f32 = mask.as_ref().map_or(lv.len() as f32, |m| m.iter().sum());
                 let scale = if weight > 0.0 { g.get(0, 0) / weight } else { 0.0 };
-                let data: Vec<f32> = lv
-                    .data()
-                    .iter()
-                    .zip(targets.data())
-                    .enumerate()
-                    .map(|(i, (&x, &t))| {
-                        let w = mask.as_ref().map_or(1.0, |m| m[i]);
-                        let p = 1.0 / (1.0 + (-x).exp());
-                        w * scale * (p - t)
-                    })
-                    .collect();
-                acc(*logits, Matrix::from_vec(lv.rows(), lv.cols(), data));
+                pool::recycle_matrix(g);
+                let mut gl = Matrix::zeros(lv.rows(), lv.cols());
+                for (i, ((o, &x), &t)) in
+                    gl.data_mut().iter_mut().zip(lv.data()).zip(targets.data()).enumerate()
+                {
+                    let w = mask.as_ref().map_or(1.0, |m| m[i]);
+                    let p = 1.0 / (1.0 + (-x).exp());
+                    *o = w * scale * (p - t);
+                }
+                self.acc_grad(*logits, gl, grads);
             }
             Op::MseLoss { pred, target, mask } => {
                 let pv = val(*pred);
                 let weight: f32 = mask.as_ref().map_or(pv.len() as f32, |m| m.iter().sum());
                 let scale = if weight > 0.0 { g.get(0, 0) / weight } else { 0.0 };
-                let data: Vec<f32> = pv
-                    .data()
-                    .iter()
-                    .zip(target.data())
-                    .enumerate()
-                    .map(|(i, (&x, &t))| {
-                        let w = mask.as_ref().map_or(1.0, |m| m[i]);
-                        w * scale * 2.0 * (x - t)
-                    })
-                    .collect();
-                acc(*pred, Matrix::from_vec(pv.rows(), pv.cols(), data));
+                pool::recycle_matrix(g);
+                let mut gl = Matrix::zeros(pv.rows(), pv.cols());
+                for (i, ((o, &x), &t)) in
+                    gl.data_mut().iter_mut().zip(pv.data()).zip(target.data()).enumerate()
+                {
+                    let w = mask.as_ref().map_or(1.0, |m| m[i]);
+                    *o = w * scale * 2.0 * (x - t);
+                }
+                self.acc_grad(*pred, gl, grads);
             }
         }
     }
 }
 
-/// Per-node gradients produced by [`Tape::backward`].
+impl Drop for Tape {
+    /// Recycles every node value into the buffer pool — the other half of
+    /// the take/recycle cycle that keeps steady-state epochs allocation-free
+    /// (the next tape's pushes reuse these buffers).
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            pool::recycle_matrix(node.value);
+        }
+    }
+}
+
+/// Leaf gradients produced by [`Tape::backward`]. Interior-node gradients
+/// are consumed during the backward sweep (moved to their single consumer,
+/// transformed in place, or recycled), so only leaves — parameters and
+/// inputs — can have entries.
 pub struct Gradients {
     grads: Vec<Option<Matrix>>,
 }
 
 impl Gradients {
-    /// The gradient of the backward root with respect to `v`, if any was
-    /// propagated (leaves unreachable from the root, or non-trainable paths,
-    /// have no gradient).
+    /// The gradient of the backward root with respect to leaf `v`, if any
+    /// was propagated (leaves unreachable from the root, non-trainable
+    /// paths, and interior nodes have no gradient).
     pub fn get(&self, v: Var) -> Option<&Matrix> {
         self.grads.get(v.index()).and_then(|g| g.as_ref())
     }
@@ -884,6 +1054,17 @@ impl Gradients {
     /// Takes ownership of the gradient for `v`.
     pub fn take(&mut self, v: Var) -> Option<Matrix> {
         self.grads.get_mut(v.index()).and_then(|g| g.take())
+    }
+}
+
+impl Drop for Gradients {
+    /// Gradients never [taken](Self::take) go back to the buffer pool.
+    fn drop(&mut self) {
+        for slot in &mut self.grads {
+            if let Some(m) = slot.take() {
+                pool::recycle_matrix(m);
+            }
+        }
     }
 }
 

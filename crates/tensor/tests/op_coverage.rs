@@ -576,6 +576,83 @@ fn grad_mse_loss_masked_and_unmasked() {
     grad_check_at(&x0, move |t, x| t.mse_loss(x, Rc::clone(&t2), Some(Rc::clone(&mask))), 2e-2);
 }
 
+#[test]
+fn grad_linear_relu_all_three_inputs() {
+    // d(loss)/dx with w, bias constant
+    let x0 = base(3, 4, 43);
+    let w = base(4, 2, 44);
+    let b = base(1, 2, 45);
+    let (w1, b1) = (w.clone(), b.clone());
+    grad_check_at(
+        &x0,
+        move |t, x| {
+            let wv = t.constant(w1.clone());
+            let bv = t.constant(b1.clone());
+            let z = t.linear_relu(x, wv, bv);
+            sum_sq(t, z)
+        },
+        5e-2,
+    );
+    // d(loss)/dw with x, bias constant
+    let (x1, b2) = (x0.clone(), b.clone());
+    grad_check_at(
+        &w,
+        move |t, wv| {
+            let x = t.constant(x1.clone());
+            let bv = t.constant(b2.clone());
+            let z = t.linear_relu(x, wv, bv);
+            sum_sq(t, z)
+        },
+        5e-2,
+    );
+    // d(loss)/dbias with x, w constant
+    let x2 = x0.clone();
+    grad_check_at(
+        &b,
+        move |t, bv| {
+            let x = t.constant(x2.clone());
+            let wv = t.constant(w.clone());
+            let z = t.linear_relu(x, wv, bv);
+            sum_sq(t, z)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn linear_relu_fused_matches_unfused_bitwise() {
+    // The fused op must be bit-for-bit the composition it replaces, both
+    // forward and backward.
+    let x0 = base(5, 3, 46);
+    let w0 = base(3, 4, 47);
+    let b0 = base(1, 4, 48);
+
+    let mut fused = Tape::new();
+    let (fx, fw, fb) = (fused.param(x0.clone()), fused.param(w0.clone()), fused.param(b0.clone()));
+    let fz = fused.linear_relu(fx, fw, fb);
+    let floss = {
+        let sq = fused.square(fz);
+        fused.sum_all(sq)
+    };
+
+    let mut plain = Tape::new();
+    let (px, pw, pb) = (plain.param(x0), plain.param(w0), plain.param(b0));
+    let ph = plain.matmul(px, pw);
+    let pr = plain.add_row(ph, pb);
+    let pz = plain.relu(pr);
+    let ploss = {
+        let sq = plain.square(pz);
+        plain.sum_all(sq)
+    };
+
+    assert_eq!(fused.value(fz).data(), plain.value(pz).data(), "fused forward differs");
+    let fg = fused.backward(floss);
+    let pg = plain.backward(ploss);
+    for (f, p, name) in [(fx, px, "x"), (fw, pw, "w"), (fb, pb, "bias")] {
+        assert_eq!(fg.get(f).unwrap().data(), pg.get(p).unwrap().data(), "fused {name} grad differs");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Enumeration guard: every Op variant must have a registered grad check
 // ---------------------------------------------------------------------------
@@ -592,6 +669,7 @@ const COVERAGE: &[(&str, fn())] = &[
     ("SpMM", grad_spmm),
     ("AddRow", grad_add_row_both_sides),
     ("MulCol", grad_mul_col_both_sides),
+    ("LinearRelu", grad_linear_relu_all_three_inputs),
     ("Scale", grad_scale),
     ("AddScalar", grad_add_scalar),
     ("Relu", grad_relu),

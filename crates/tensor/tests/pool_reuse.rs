@@ -1,0 +1,54 @@
+//! Property test for the buffer pool's core safety claim: a reused buffer is
+//! indistinguishable from a fresh allocation. We poison buffers with NaNs
+//! before recycling them, then check every public take fully rewrites the
+//! storage it hands back.
+
+use proptest::prelude::*;
+
+use gnn4tdl_tensor::pool;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reused_buffers_are_fully_zeroed(
+        lens in proptest::collection::vec(1usize..512, 1..24),
+    ) {
+        pool::enable();
+        for &len in &lens {
+            let mut buf = pool::take_zeroed(len);
+            buf.fill(f32::NAN);
+            pool::recycle(buf);
+        }
+        for &len in &lens {
+            let buf = pool::take_zeroed(len);
+            prop_assert_eq!(buf.len(), len);
+            // +0.0 exactly — not just anything that compares equal to zero
+            prop_assert!(
+                buf.iter().all(|&x| x.to_bits() == 0),
+                "stale data survived take_zeroed at len {}", len
+            );
+            pool::recycle(buf);
+        }
+    }
+
+    #[test]
+    fn reused_buffers_are_fully_overwritten_by_fill_and_copy(
+        len in 1usize..512,
+        value in -5.0f32..5.0,
+    ) {
+        pool::enable();
+        let mut poisoned = pool::take_zeroed(len);
+        poisoned.fill(f32::NAN);
+        pool::recycle(poisoned);
+
+        let filled = pool::take_filled(len, value);
+        prop_assert!(filled.iter().all(|&x| x == value));
+        pool::recycle(filled);
+
+        let src: Vec<f32> = (0..len).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let copied = pool::take_copied(&src);
+        prop_assert_eq!(copied.as_slice(), src.as_slice());
+        pool::recycle(copied);
+    }
+}

@@ -38,16 +38,20 @@ impl Optimizer for Sgd {
             }
             let p = store.get_mut(*id);
             if self.weight_decay > 0.0 {
-                let decay = p.scale(self.weight_decay);
-                p.axpy(-self.lr, &decay);
+                // fused decoupled decay: elementwise `p += -lr * (p * wd)`,
+                // the exact expression scale-then-axpy computed, without the
+                // per-step temporary
+                let (lr, wd) = (self.lr, self.weight_decay);
+                for pp in p.data_mut() {
+                    *pp += -lr * (*pp * wd);
+                }
             }
             if self.momentum > 0.0 {
                 let v = self.velocity[idx].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
                 for (vv, &gg) in v.data_mut().iter_mut().zip(g.data()) {
                     *vv = self.momentum * *vv + gg;
                 }
-                let update = v.clone();
-                store.get_mut(*id).axpy(-self.lr, &update);
+                store.get_mut(*id).axpy(-self.lr, v);
             } else {
                 store.get_mut(*id).axpy(-self.lr, g);
             }
@@ -96,10 +100,12 @@ impl Optimizer for Adam {
             }
             let p = store.get_mut(*id);
             if self.weight_decay > 0.0 {
-                let decay = p.scale(self.weight_decay);
-                p.axpy(-self.lr, &decay);
+                // fused decoupled decay; see the SGD note
+                let (lr, wd) = (self.lr, self.weight_decay);
+                for pp in p.data_mut() {
+                    *pp += -lr * (*pp * wd);
+                }
             }
-            let p = store.get_mut(*id);
             for ((pp, &mm), &vv) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mm / bc1;
                 let v_hat = vv / bc2;

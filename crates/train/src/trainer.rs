@@ -130,6 +130,11 @@ pub fn fit_weighted<E: NodeModel>(
             grads.retain(|(id, _)| allowed.contains(&id.index()));
         }
         optimizer.step(store, &grads);
+        // Hand the gradient buffers back to the pool: the next epoch's
+        // backward pass reuses them instead of allocating.
+        for (_, g) in grads {
+            gnn4tdl_tensor::pool::recycle_matrix(g);
+        }
 
         // validation pass (clean, eval mode)
         let val_loss = {
@@ -155,7 +160,10 @@ pub fn fit_weighted<E: NodeModel>(
         if improved {
             best_val = val_loss;
             best_epoch = epoch;
-            best_snapshot = store.snapshot();
+            let stale = std::mem::replace(&mut best_snapshot, store.snapshot());
+            for m in stale {
+                gnn4tdl_tensor::pool::recycle_matrix(m);
+            }
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
@@ -179,6 +187,9 @@ pub fn fit_weighted<E: NodeModel>(
         }
     }
     store.restore(&best_snapshot);
+    for m in best_snapshot {
+        gnn4tdl_tensor::pool::recycle_matrix(m);
+    }
     if obs::enabled() {
         obs::gauge_set("train.best_val_loss", f64::from(best_val));
         obs::record_phase(
