@@ -1,0 +1,145 @@
+//! Chaos run: `chaos [--fault KIND:SEED:RATE] [--out DIR]`.
+//!
+//! Runs the full pipeline on a fixed seeded workload with deterministic
+//! fault injection armed (default `nan-grad:7:0.02`, the acceptance
+//! scenario) and observability enabled, then verifies the robustness
+//! contract: training completes, predictions stay finite, accuracy holds,
+//! and at least one divergence recovery lands on the obs ledger. The obs
+//! run report is written to `--out` (default `target/obs-reports`) so CI
+//! can upload it as an artifact; the process exits nonzero if any part of
+//! the contract is violated.
+
+use std::path::PathBuf;
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_tensor::fault::{self, FaultKind};
+use gnn4tdl_tensor::obs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 80;
+const EPOCHS: usize = 200;
+const DEFAULT_FAULT: &str = "nan-grad:7:0.02";
+
+fn main() {
+    // precedence: --fault flag > GNN4TDL_FAULT env > the default acceptance spec
+    let mut spec = std::env::var("GNN4TDL_FAULT").unwrap_or_else(|_| DEFAULT_FAULT.to_string());
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fault" => spec = it.next().unwrap_or_else(|| usage("--fault needs KIND:SEED:RATE")),
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(obs::default_report_dir);
+    let plan = fault::parse_spec(&spec).unwrap_or_else(|err| usage(&err));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = gaussian_clusters(
+        &ClustersConfig { n: N, informative: 6, classes: 3, cluster_std: 0.7, ..Default::default() },
+        &mut rng,
+    );
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    // io-fail / buffer-corrupt only have failpoints on the persistence path,
+    // so those legs turn checkpointing on to give the fault something to hit.
+    let storage_fault = matches!(plan.kind, FaultKind::IoFail | FaultKind::BufferCorrupt);
+    let ckpt_dir = std::env::temp_dir().join(format!("gnn4tdl-chaos-bin-{}", std::process::id()));
+    let mut train = TrainConfig { epochs: EPOCHS, patience: 0, ..Default::default() };
+    if storage_fault {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        train.checkpoint_every = 5;
+        train.checkpoint_dir = Some(ckpt_dir.clone());
+    }
+    let cfg = PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 5 },
+    })
+    .train(train)
+    .seed(7)
+    .build();
+
+    obs::reset();
+    obs::enable();
+    fault::arm(plan.kind, plan.seed, plan.rate);
+    let result = match try_fit_pipeline(&dataset, &split, &cfg) {
+        Ok(result) => result,
+        Err(err) => fail(&format!("pipeline failed under fault injection: {err}")),
+    };
+    fault::disarm();
+    let fired = fault::fired();
+    let run = obs::collect(&format!("chaos-{}", plan.kind.name()));
+    obs::disable();
+
+    let recoveries = run.counter("train.recoveries").unwrap_or(0);
+    let finite = result.predictions.data().iter().all(|v| v.is_finite());
+    let metrics = test_classification(&result.predictions, &dataset.target, &split);
+
+    let mut report = Report::new(
+        "BENCH_chaos",
+        "Pipeline under deterministic fault injection (divergence recovery contract)",
+        &["metric", "value"],
+    );
+    report.row(vec![Cell::from("fault_spec"), Cell::from(spec.as_str())]);
+    report.row(vec![Cell::from("n_rows"), Cell::from(N)]);
+    report.row(vec![Cell::from("epochs"), Cell::from(EPOCHS)]);
+    report.row(vec![Cell::from("faults_fired"), Cell::from(fired as usize)]);
+    report.row(vec![Cell::from("recoveries"), Cell::from(recoveries as usize)]);
+    report.row(vec![
+        Cell::from("clipped_steps"),
+        Cell::from(run.counter("train.clipped_steps").unwrap_or(0) as usize),
+    ]);
+    report.row(vec![
+        Cell::from("checkpoint_io_failures"),
+        Cell::from(run.counter("checkpoint.io_failures").unwrap_or(0) as usize),
+    ]);
+    report.row(vec![Cell::from("predictions_finite"), Cell::from(if finite { "true" } else { "false" })]);
+    report.row(vec![Cell::from("test_accuracy"), Cell::from(metrics.accuracy)]);
+    report.print();
+
+    match run.save(&out_dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => fail(&format!("failed to write obs report: {err}")),
+    }
+
+    if storage_fault {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    if fired == 0 {
+        fail("no fault fired; the chaos run exercised nothing");
+    }
+    if storage_fault {
+        // The contract for storage faults: training survives the failed or
+        // corrupted checkpoint writes instead of aborting.
+        let io_failures = run.counter("checkpoint.io_failures").unwrap_or(0);
+        if plan.kind == FaultKind::IoFail && io_failures == 0 {
+            fail("io faults fired but no checkpoint write failure was recorded");
+        }
+    } else if recoveries == 0 {
+        fail("faults fired but no recovery was recorded on the obs ledger");
+    }
+    if !finite {
+        fail("predictions went non-finite despite recovery");
+    }
+    if metrics.accuracy <= 0.5 {
+        fail(&format!("recovered run lost the task: accuracy {}", metrics.accuracy));
+    }
+    eprintln!("chaos contract held: {fired} fault(s) fired, {recoveries} recovery(ies), finite predictions");
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: chaos [--fault KIND:SEED:RATE] [--out DIR]");
+    std::process::exit(2);
+}

@@ -31,16 +31,23 @@ pub mod predictor;
 pub mod zoo;
 
 pub use encoders::{GrapeEncoder, HyperEncoder};
+/// Deterministic fault-injection harness (chaos testing); re-exported from
+/// `gnn4tdl-tensor`.
+pub use gnn4tdl_tensor::fault;
 /// Observability layer (tracing spans, metrics registry, training
 /// telemetry); re-exported from `gnn4tdl-tensor` for downstream users.
 pub use gnn4tdl_tensor::obs;
+/// Typed failure taxonomy returned by the fallible entry points
+/// ([`pipeline::try_fit_pipeline`]).
+pub use gnn4tdl_tensor::GnnError;
 
 /// One-stop imports for downstream users:
 /// `use gnn4tdl::prelude::*;`
 pub mod prelude {
     pub use crate::eval::{test_classification, test_regression, ClsMetrics, RegMetrics};
     pub use crate::pipeline::{
-        fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineConfigBuilder, PipelineResult,
+        fit_pipeline, try_fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig,
+        PipelineConfigBuilder, PipelineResult,
     };
     pub use crate::predictor::{
         ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,
@@ -48,13 +55,15 @@ pub mod prelude {
     pub use gnn4tdl_baselines::{ForestConfig, GbdtConfig, LogRegConfig, TreeConfig};
     pub use gnn4tdl_construct::{EdgeRule, Similarity};
     pub use gnn4tdl_data::{Dataset, Split, Table, Target};
+    pub use gnn4tdl_tensor::GnnError;
     pub use gnn4tdl_train::{Strategy, TrainConfig};
 }
 pub use eval::{
     classification_on, regression_on, test_classification, test_regression, ClsMetrics, RegMetrics,
 };
 pub use pipeline::{
-    fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineConfigBuilder, PipelineResult,
+    fit_pipeline, try_fit_pipeline, AuxSpec, EncoderSpec, GraphSpec, PipelineConfig, PipelineConfigBuilder,
+    PipelineResult,
 };
 pub use predictor::{
     ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,

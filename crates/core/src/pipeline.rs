@@ -17,7 +17,7 @@ use gnn4tdl_nn::{
     DirectGslModel, FeatureGraphModel, GatModel, GcnModel, GinModel, HeteroModel, MlpModel, NeuralGslModel,
     NodeModel, RgcnModel, SageModel,
 };
-use gnn4tdl_tensor::{obs, Matrix, ParamStore};
+use gnn4tdl_tensor::{obs, GnnError, Matrix, ParamStore};
 use gnn4tdl_train::{
     embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport, SupervisedModel,
     TrainConfig,
@@ -249,6 +249,7 @@ impl PipelineConfigBuilder {
 }
 
 /// Everything a fitted pipeline reports.
+#[derive(Debug)]
 pub struct PipelineResult {
     /// `n x C` logits (classification) or `n x 1` values (regression) for
     /// every row of the dataset.
@@ -281,7 +282,25 @@ pub struct PipelineResult {
 /// let result = fit_pipeline(&data, &split, &cfg);
 /// assert_eq!(result.predictions.rows(), 60);
 /// ```
+///
+/// # Panics
+/// Panics on invalid inputs or configuration; [`try_fit_pipeline`] is the
+/// fallible variant returning the same conditions as typed errors.
 pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> PipelineResult {
+    try_fit_pipeline(dataset, split, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fits the full pipeline, validating inputs first: non-finite features,
+/// out-of-range labels, malformed splits, and formulation preconditions
+/// (e.g. a multiplex graph over a table with no categorical columns) come
+/// back as [`GnnError`] values instead of panics.
+pub fn try_fit_pipeline(
+    dataset: &Dataset,
+    split: &Split,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, GnnError> {
+    dataset.validate()?;
+    split.validate(dataset.num_rows()).map_err(|detail| GnnError::InvalidSplit { detail })?;
     let _pipeline_span = obs::span("pipeline.fit");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let t_feat = Instant::now();
@@ -363,6 +382,9 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
             Built::Node(model)
         }
         GraphSpec::MetricLearned { k, similarity, rounds, inner_epochs } => {
+            if *rounds < 1 {
+                return Err(GnnError::InvalidConfig { detail: "metric GSL needs at least one round".into() });
+            }
             Built::Metric { k: *k, similarity: *similarity, rounds: *rounds, inner_epochs: *inner_epochs }
         }
         GraphSpec::NeuralGsl { k } => {
@@ -422,7 +444,11 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
         }
         GraphSpec::Multiplex { max_group } => {
             let mg = same_value_multiplex(&dataset.table, *max_group);
-            assert!(mg.num_layers() > 0, "multiplex formulation needs categorical columns");
+            if mg.num_layers() == 0 {
+                return Err(GnnError::InvalidConfig {
+                    detail: "multiplex formulation needs categorical columns".into(),
+                });
+            }
             graph_edges = mg.total_edges();
             if let Some(labels) = labels_for_homophily {
                 graph_homophily = Some(mg.flatten().edge_homophily(labels));
@@ -444,7 +470,11 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
         }
         GraphSpec::EntityHetero { rounds } => {
             let (hg, handles) = hetero_from_categorical(&dataset.table);
-            assert!(!handles.value_types.is_empty(), "entity-hetero formulation needs categorical columns");
+            if handles.value_types.is_empty() {
+                return Err(GnnError::InvalidConfig {
+                    detail: "entity-hetero formulation needs categorical columns".into(),
+                });
+            }
             graph_edges = hg.edge_type_ids().map(|e| hg.edge_count(e)).sum();
             Built::Node(Box::new(HeteroModel::new(
                 &mut store,
@@ -504,14 +534,14 @@ pub fn fit_pipeline(dataset: &Dataset, split: &Split, cfg: &PipelineConfig) -> P
         );
     }
 
-    PipelineResult {
+    Ok(PipelineResult {
         predictions,
         strategy_report,
         construction_ms,
         training_ms,
         graph_edges,
         graph_homophily,
-    }
+    })
 }
 
 /// IDGL/DGM-style iterative metric GSL: alternate training a GCN and

@@ -276,6 +276,56 @@ impl Dataset {
     pub fn num_rows(&self) -> usize {
         self.table.num_rows()
     }
+
+    /// Checks the dataset for values that would silently poison training:
+    /// non-finite observed numeric cells, categorical codes outside their
+    /// declared cardinality, classification labels outside `0..num_classes`,
+    /// and non-finite regression targets. Missing cells (masked) are exempt —
+    /// their stored values are placeholders for the imputer.
+    pub fn validate(&self) -> Result<(), gnn4tdl_tensor::GnnError> {
+        use gnn4tdl_tensor::GnnError;
+        for col in self.table.columns() {
+            match &col.data {
+                ColumnData::Numeric(values) => {
+                    for (row, (&v, &miss)) in values.iter().zip(&col.missing).enumerate() {
+                        if !miss && !v.is_finite() {
+                            return Err(GnnError::NonFiniteFeature { column: col.name.clone(), row });
+                        }
+                    }
+                }
+                ColumnData::Categorical { codes, cardinality } => {
+                    for (row, (&c, &miss)) in codes.iter().zip(&col.missing).enumerate() {
+                        if !miss && c >= *cardinality {
+                            return Err(GnnError::InvalidConfig {
+                                detail: format!(
+                                    "categorical code {c} at row {row} exceeds cardinality {cardinality} \
+                                     in column '{}'",
+                                    col.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        match &self.target {
+            Target::Classification { labels, num_classes } => {
+                for (row, &label) in labels.iter().enumerate() {
+                    if label >= *num_classes {
+                        return Err(GnnError::InvalidLabel { row, label, num_classes: *num_classes });
+                    }
+                }
+            }
+            Target::Regression(values) => {
+                for (row, &v) in values.iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(GnnError::NonFiniteTarget { row });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -363,5 +413,53 @@ mod tests {
     #[should_panic(expected = "no class labels")]
     fn regression_labels_panics() {
         Target::Regression(vec![1.0]).labels();
+    }
+
+    #[test]
+    fn validate_accepts_clean_and_masked_data() {
+        let mut t = sample_table();
+        let d = Dataset::new(
+            "ok",
+            t.clone(),
+            Target::Classification { labels: vec![0, 1, 0, 1], num_classes: 2 },
+        );
+        assert!(d.validate().is_ok());
+        // a NaN behind a missing mask is a placeholder, not an error
+        if let ColumnData::Numeric(v) = &mut t.columns_mut()[0].data {
+            v[2] = f32::NAN;
+        }
+        t.columns_mut()[0].missing[2] = true;
+        let d =
+            Dataset::new("masked", t, Target::Classification { labels: vec![0, 1, 0, 1], num_classes: 2 });
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_flags_each_failure_class() {
+        use gnn4tdl_tensor::GnnError;
+        // non-finite observed feature
+        let mut t = sample_table();
+        if let ColumnData::Numeric(v) = &mut t.columns_mut()[0].data {
+            v[1] = f32::INFINITY;
+        }
+        let d = Dataset::new("inf", t, Target::Classification { labels: vec![0, 1, 0, 1], num_classes: 2 });
+        assert_eq!(d.validate(), Err(GnnError::NonFiniteFeature { column: "age".into(), row: 1 }));
+        // out-of-range label
+        let d = Dataset::new(
+            "label",
+            sample_table(),
+            Target::Classification { labels: vec![0, 5, 0, 1], num_classes: 2 },
+        );
+        assert_eq!(d.validate(), Err(GnnError::InvalidLabel { row: 1, label: 5, num_classes: 2 }));
+        // non-finite regression target
+        let d = Dataset::new("reg", sample_table(), Target::Regression(vec![1.0, f32::NAN, 0.0, 2.0]));
+        assert_eq!(d.validate(), Err(GnnError::NonFiniteTarget { row: 1 }));
+        // categorical code past its cardinality (bypassing the constructor)
+        let mut t = sample_table();
+        if let ColumnData::Categorical { codes, .. } = &mut t.columns_mut()[1].data {
+            codes[3] = 9;
+        }
+        let d = Dataset::new("code", t, Target::Classification { labels: vec![0, 1, 0, 1], num_classes: 2 });
+        assert!(matches!(d.validate(), Err(GnnError::InvalidConfig { .. })));
     }
 }

@@ -1,0 +1,84 @@
+//! The workspace-wide typed error layer.
+//!
+//! Every recoverable failure in the pipeline — malformed inputs, invalid
+//! graph buffers, checkpoint corruption, exhausted divergence-recovery
+//! budgets — is expressed as a [`GnnError`] so callers can branch on the
+//! failure class instead of catching panics. The panicking entry points
+//! (`fit_pipeline`, `CsrMatrix::from_parts`) remain as thin wrappers over
+//! the fallible ones for existing callers.
+
+use std::fmt;
+
+/// Typed failure taxonomy for the gnn4tdl workspace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GnnError {
+    /// A feature cell is NaN/Inf where a finite value is required.
+    NonFiniteFeature { column: String, row: usize },
+    /// A classification label is outside `0..num_classes`.
+    InvalidLabel { row: usize, label: usize, num_classes: usize },
+    /// A regression target is NaN/Inf.
+    NonFiniteTarget { row: usize },
+    /// A train/val/test split is out of bounds or overlapping.
+    InvalidSplit { detail: String },
+    /// Graph buffers violate a structural invariant (CSR bounds, monotone
+    /// row pointers, length agreement, ...).
+    InvalidGraph { detail: String },
+    /// A configuration violates a formulation precondition (e.g. a
+    /// multiplex graph over a table with no categorical columns).
+    InvalidConfig { detail: String },
+    /// An underlying I/O operation failed.
+    Io { detail: String },
+    /// A checkpoint file or manifest is corrupt, truncated, or inconsistent.
+    Checkpoint { detail: String },
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::NonFiniteFeature { column, row } => {
+                write!(f, "non-finite feature value in column '{column}' at row {row}")
+            }
+            GnnError::InvalidLabel { row, label, num_classes } => {
+                write!(f, "label {label} at row {row} out of range for {num_classes} classes")
+            }
+            GnnError::NonFiniteTarget { row } => {
+                write!(f, "non-finite regression target at row {row}")
+            }
+            GnnError::InvalidSplit { detail } => write!(f, "invalid split: {detail}"),
+            GnnError::InvalidGraph { detail } => write!(f, "invalid graph: {detail}"),
+            GnnError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            GnnError::Io { detail } => write!(f, "i/o failure: {detail}"),
+            GnnError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GnnError {}
+
+impl From<std::io::Error> for GnnError {
+    fn from(e: std::io::Error) -> Self {
+        GnnError::Io { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = GnnError::NonFiniteFeature { column: "age".into(), row: 3 };
+        assert!(e.to_string().contains("age"));
+        assert!(e.to_string().contains("row 3"));
+        let e = GnnError::InvalidLabel { row: 1, label: 9, num_classes: 3 };
+        assert!(e.to_string().contains("label 9"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GnnError = io.into();
+        assert!(matches!(e, GnnError::Io { .. }));
+        assert!(e.to_string().contains("gone"));
+    }
+}

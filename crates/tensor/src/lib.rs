@@ -7,6 +7,8 @@
 //! Everything is CPU `f32`; determinism comes from explicit `rand` RNGs
 //! threaded through every stochastic routine.
 
+pub mod error;
+pub mod fault;
 pub mod init;
 pub mod matrix;
 pub mod obs;
@@ -16,7 +18,8 @@ pub mod pool;
 pub mod sparse;
 pub mod tape;
 
+pub use error::GnnError;
 pub use matrix::Matrix;
-pub use params::{ParamId, ParamStore};
+pub use params::{atomic_write, ParamId, ParamStore};
 pub use sparse::CsrMatrix;
 pub use tape::{Gradients, SpAdj, Tape, Var};

@@ -112,38 +112,62 @@ impl ParamStore {
     }
 
     /// Serializes all parameters to a self-describing little-endian binary
-    /// format (`GTDL` magic, version, then name/shape/data per parameter).
+    /// format (`GTDL` magic, version, then name/shape/data per parameter,
+    /// then a trailing FNV-1a-64 checksum of everything preceding it).
     /// Models are reconstructed by building the same architecture (which
     /// re-registers identically-shaped parameters) and calling
     /// [`ParamStore::load_bytes`].
     pub fn save_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(b"GTDL");
-        out.extend_from_slice(&1u32.to_le_bytes());
-        out.extend_from_slice(&(self.values.len() as u64).to_le_bytes());
-        for (value, name) in self.values.iter().zip(&self.names) {
-            let name_bytes = name.as_bytes();
-            out.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(name_bytes);
-            out.extend_from_slice(&(value.rows() as u64).to_le_bytes());
-            out.extend_from_slice(&(value.cols() as u64).to_le_bytes());
-            for &x in value.data() {
-                out.extend_from_slice(&x.to_le_bytes());
-            }
-        }
-        out
+        encode(&self.values, &self.names)
     }
 
-    /// Saves to a file (see [`ParamStore::save_bytes`]).
+    /// Serializes a snapshot taken from this store (see
+    /// [`ParamStore::snapshot`]) under this store's parameter names — used
+    /// by checkpointing to persist the best-so-far weights without touching
+    /// the live values.
+    pub fn snapshot_bytes(&self, snapshot: &[Matrix]) -> Vec<u8> {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot layout mismatch");
+        encode(snapshot, &self.names)
+    }
+
+    /// Saves to a file (see [`ParamStore::save_bytes`]). The write is
+    /// atomic: bytes go to `<path>.tmp` and are renamed into place, so a
+    /// crash mid-write can never leave a partial file at `path`.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.save_bytes())
+        atomic_write(path, &self.save_bytes())
     }
 
     /// Loads parameter values serialized by [`ParamStore::save_bytes`] into
     /// this store. The store must already contain the same parameters in the
     /// same order with the same names and shapes (build the model first).
+    ///
+    /// Accepts version 1 (no checksum, written by older builds) and version
+    /// 2 (trailing FNV-1a-64 checksum, verified before any value is
+    /// written — a corrupt file never mutates the store).
     pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
-        let mut cur = 0usize;
+        if bytes.len() < 8 {
+            return Err("truncated parameter file".into());
+        }
+        if &bytes[..4] != b"GTDL" {
+            return Err("bad magic; not a gnn4tdl parameter file".into());
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let bytes: &[u8] = match version {
+            1 => bytes,
+            2 => {
+                if bytes.len() < 16 {
+                    return Err("truncated parameter file".into());
+                }
+                let (payload, tail) = bytes.split_at(bytes.len() - 8);
+                let expected = u64::from_le_bytes(tail.try_into().unwrap());
+                if fnv1a64(payload) != expected {
+                    return Err("checksum mismatch: parameter file is corrupt".into());
+                }
+                payload
+            }
+            v => return Err(format!("unsupported version {v}")),
+        };
+        let mut cur = 8usize; // past magic + version
         let take = |cur: &mut usize, n: usize| -> Result<&[u8], String> {
             let end = *cur + n;
             if end > bytes.len() {
@@ -153,13 +177,6 @@ impl ParamStore {
             *cur = end;
             Ok(s)
         };
-        if take(&mut cur, 4)? != b"GTDL" {
-            return Err("bad magic; not a gnn4tdl parameter file".into());
-        }
-        let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap());
-        if version != 1 {
-            return Err(format!("unsupported version {version}"));
-        }
         let count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap()) as usize;
         if count != self.values.len() {
             return Err(format!("file has {count} parameters, store has {}", self.values.len()));
@@ -196,6 +213,64 @@ impl ParamStore {
         let bytes = std::fs::read(path).map_err(|e| format!("read failed: {e}"))?;
         self.load_bytes(&bytes)
     }
+}
+
+/// Current on-disk format: `GTDL` magic, version 2, count, per-parameter
+/// name/shape/data, trailing FNV-1a-64 checksum of everything preceding it.
+fn encode(values: &[Matrix], names: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"GTDL");
+    out.extend_from_slice(&2u32.to_le_bytes());
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for (value, name) in values.iter().zip(names) {
+        let name_bytes = name.as_bytes();
+        out.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(name_bytes);
+        out.extend_from_slice(&(value.rows() as u64).to_le_bytes());
+        out.extend_from_slice(&(value.cols() as u64).to_le_bytes());
+        for &x in value.data() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// FNV-1a 64-bit — dependency-free integrity hash for checkpoint payloads.
+/// Not cryptographic; it exists to catch truncation and bit rot, including
+/// the `buffer-corrupt` fault used in chaos tests.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `bytes` to `path` atomically: the payload goes to `<path>.tmp`
+/// first and is renamed into place, so readers either see the old file or
+/// the complete new one — never a partial write. An `io-fail` fault
+/// (see [`crate::fault`]) fires as a mid-write crash: the temp file is left
+/// truncated, an error returns, and `path` itself is untouched.
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    if crate::fault::trip(crate::fault::FaultKind::IoFail) {
+        // simulate a crash mid-write: a truncated temp file and an error,
+        // with the destination path never touched
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(std::io::Error::other(format!("injected io-fail writing {}", path.display())));
+    }
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -280,5 +355,53 @@ mod tests {
         let mut store = ParamStore::new();
         store.add("w", Matrix::full(1, 2, 3.0));
         assert_eq!(store.l2_norm_squared(), 18.0);
+    }
+
+    #[test]
+    fn interrupted_save_never_leaves_a_loadable_partial_file() {
+        let _l = crate::fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("gnn4tdl-atomic-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("model.gtdl");
+
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(2, 2, 1.0));
+        store.save(&path).unwrap();
+
+        // A mid-write crash (io-fail fault at rate 1.0) must error out and
+        // leave the previously saved file untouched and loadable.
+        store.get_mut(w).data_mut()[0] = 9.0;
+        {
+            let _g = crate::fault::arm_guard(crate::fault::FaultKind::IoFail, 1, 1.0);
+            assert!(store.save(&path).is_err());
+        }
+        let mut fresh = ParamStore::new();
+        fresh.add("w", Matrix::zeros(2, 2));
+        fresh.load(&path).unwrap();
+        assert_eq!(fresh.get(store.id_at(0)).data(), &[1.0, 1.0, 1.0, 1.0]);
+
+        // The truncated temp file left behind by the crash must never load.
+        let tmp = dir.join("model.gtdl.tmp");
+        assert!(tmp.exists(), "crash should leave a truncated temp file");
+        assert!(fresh.load(&tmp).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_catches_buffer_corruption() {
+        let _l = crate::fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let mut bytes = store.save_bytes();
+        {
+            let _g = crate::fault::arm_guard(crate::fault::FaultKind::BufferCorrupt, 3, 1.0);
+            assert!(crate::fault::corrupt_buffer(&mut bytes));
+        }
+        let mut fresh = ParamStore::new();
+        let w = fresh.add("w", Matrix::zeros(2, 2));
+        let err = fresh.load_bytes(&bytes).unwrap_err();
+        assert!(err.contains("corrupt"), "unexpected error: {err}");
+        // checksum verification happens before any value is written
+        assert_eq!(fresh.get(w).data(), &[0.0; 4]);
     }
 }

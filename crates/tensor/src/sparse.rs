@@ -4,6 +4,7 @@
 //! `H` is a dense feature matrix. Adjacencies from tabular graphs are sparse,
 //! so SpMM with a CSR layout is the hot path of the whole workspace.
 
+use crate::error::GnnError;
 use crate::matrix::Matrix;
 use crate::parallel;
 
@@ -83,10 +84,14 @@ impl CsrMatrix {
             }
             out_indptr[r + 1] = out_indices.len();
         }
-        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }.account()
+        Self::from_parts_unchecked(rows, cols, out_indptr, out_indices, out_values)
     }
 
     /// Builds directly from CSR components (validated).
+    ///
+    /// # Panics
+    /// Panics when the buffers violate a CSR invariant; see
+    /// [`CsrMatrix::try_from_parts`] for the fallible variant.
     pub fn from_parts(
         rows: usize,
         cols: usize,
@@ -94,11 +99,57 @@ impl CsrMatrix {
         indices: Vec<usize>,
         values: Vec<f32>,
     ) -> Self {
-        assert_eq!(indptr.len(), rows + 1, "indptr length");
-        assert_eq!(indices.len(), values.len(), "indices/values length");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminal");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
-        assert!(indices.iter().all(|&c| c < cols), "column index out of bounds");
+        Self::try_from_parts(rows, cols, indptr, indices, values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds from CSR components, returning [`GnnError::InvalidGraph`] when
+    /// the buffers violate a structural invariant: `indptr` must have
+    /// `rows + 1` non-decreasing entries terminating at `indices.len()`,
+    /// `indices` and `values` must agree in length, and every column index
+    /// must be `< cols`.
+    pub fn try_from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, GnnError> {
+        let fail = |detail: String| Err(GnnError::InvalidGraph { detail });
+        if indptr.len() != rows + 1 {
+            return fail(format!("indptr length {} != rows + 1 = {}", indptr.len(), rows + 1));
+        }
+        if indices.len() != values.len() {
+            return fail(format!("indices/values length mismatch: {} vs {}", indices.len(), values.len()));
+        }
+        let terminal = *indptr.last().unwrap_or(&0);
+        if terminal != indices.len() {
+            return fail(format!("indptr terminal {terminal} != nnz {}", indices.len()));
+        }
+        if let Some(w) = indptr.windows(2).position(|w| w[0] > w[1]) {
+            return fail(format!("indptr must be non-decreasing (violated at row {w})"));
+        }
+        if let Some(k) = indices.iter().position(|&c| c >= cols) {
+            return fail(format!("column index {} out of bounds for {cols} columns (entry {k})", indices[k]));
+        }
+        Ok(Self { rows, cols, indptr, indices, values }.account())
+    }
+
+    /// Builds from CSR components without validating the invariants
+    /// (debug builds still assert them). For internal hot paths that
+    /// construct the buffers themselves; external data must go through
+    /// [`CsrMatrix::try_from_parts`].
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1, "indptr length");
+        debug_assert_eq!(indices.len(), values.len(), "indices/values length");
+        debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminal");
+        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        debug_assert!(indices.iter().all(|&c| c < cols), "column index out of bounds");
         Self { rows, cols, indptr, indices, values }.account()
     }
 
@@ -501,5 +552,41 @@ mod tests {
         let m = sample();
         let again = CsrMatrix::from_triplets(3, 3, &m.to_triplets());
         assert_eq!(m, again);
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid_buffers() {
+        let m = CsrMatrix::try_from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m, CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn try_from_parts_rejects_each_invariant_violation() {
+        let err = |r| match r {
+            Err(GnnError::InvalidGraph { detail }) => detail,
+            other => panic!("expected InvalidGraph, got {other:?}"),
+        };
+        // wrong indptr length
+        let d = err(CsrMatrix::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]));
+        assert!(d.contains("indptr length"), "{d}");
+        // indices/values disagree
+        let d = err(CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]));
+        assert!(d.contains("length mismatch"), "{d}");
+        // bad terminal
+        let d = err(CsrMatrix::try_from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]));
+        assert!(d.contains("terminal"), "{d}");
+        // decreasing indptr
+        let d = err(CsrMatrix::try_from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]));
+        assert!(d.contains("non-decreasing"), "{d}");
+        // column out of bounds
+        let d = err(CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]));
+        assert!(d.contains("out of bounds"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_parts_panics_on_invalid_column() {
+        CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
     }
 }

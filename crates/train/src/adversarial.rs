@@ -128,10 +128,27 @@ pub fn fit_adversarial<E: NodeModel>(
         } else {
             bad_epochs += 1;
         }
-        history.push(EpochStats { train_loss, aux_loss, val_loss, improved, bad_epochs });
+        history.push(EpochStats {
+            train_loss,
+            aux_loss,
+            val_loss,
+            improved,
+            bad_epochs,
+            grad_norm: 0.0,
+            clipped: false,
+            recovered: false,
+        });
     }
     store.restore(&best_snapshot);
-    TrainReport { history, best_epoch, best_val_loss: best_val }
+    TrainReport {
+        history,
+        best_epoch,
+        best_val_loss: best_val,
+        recoveries: 0,
+        clipped_steps: 0,
+        diverged: false,
+        resumed_from: None,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,342 @@
+//! Atomic, resumable training checkpoints.
+//!
+//! A [`Checkpointer`] periodically persists both the live parameters and the
+//! best-so-far snapshot (the early-stopping candidate) next to a JSON
+//! manifest. All writes go through [`gnn4tdl_tensor::atomic_write`], so a
+//! crash mid-write can truncate at most a `.tmp` file — the manifest only
+//! ever names files that were fully renamed into place, and every parameter
+//! file carries the format's checksum.
+//!
+//! Resume walks the manifest newest-first, *probe-loading* each candidate:
+//! a checkpoint that is missing, truncated, or corrupt (e.g. flipped by the
+//! `buffer-corrupt` fault) is skipped and the next-oldest is tried, so a bad
+//! final checkpoint costs some epochs, never the run.
+//!
+//! Layout under the checkpoint directory:
+//!
+//! ```text
+//! manifest.json              # {"schema":"gnn4tdl.ckpt/v1","entries":[...]}
+//! ckpt-p{phase}-e{epoch}-cur.gtdl    # live parameters at end of epoch
+//! ckpt-p{phase}-e{epoch}-best.gtdl   # best-so-far snapshot at that point
+//! ```
+//!
+//! Checkpoint I/O failures are deliberately non-fatal: training must not die
+//! because the disk hiccupped. Failures are counted on the observability
+//! ledger (`checkpoint.io_failures`) instead.
+
+use std::path::{Path, PathBuf};
+
+use gnn4tdl_tensor::{atomic_write, obs, Matrix, ParamStore};
+
+const MANIFEST: &str = "manifest.json";
+const SCHEMA: &str = "gnn4tdl.ckpt/v1";
+/// Manifest entries retained per phase; older checkpoint files are pruned.
+const KEEP: usize = 3;
+
+/// One recorded checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+struct ManifestEntry {
+    phase: usize,
+    epoch: usize,
+    best_epoch: usize,
+    best_val: f32,
+    cur: String,
+    best: String,
+}
+
+/// Periodic checkpoint writer for one training phase.
+pub struct Checkpointer {
+    dir: PathBuf,
+    phase: usize,
+    every: usize,
+    entries: Vec<ManifestEntry>,
+}
+
+/// State recovered from disk by [`Checkpointer::resume`].
+pub struct ResumeState {
+    /// First epoch the resumed loop should run.
+    pub start_epoch: usize,
+    /// Epoch the checkpoint was written at (what the run resumed *from*).
+    pub checkpoint_epoch: usize,
+    pub best_epoch: usize,
+    pub best_val: f32,
+    /// The persisted best-so-far snapshot, in store layout.
+    pub best_snapshot: Vec<Matrix>,
+}
+
+impl Checkpointer {
+    /// Creates a writer for `phase`, saving every `every` epochs into `dir`.
+    /// Picks up any existing manifest so resumed runs append rather than
+    /// clobber.
+    pub fn new(dir: &Path, phase: usize, every: usize) -> Self {
+        let entries = read_manifest(dir).unwrap_or_default();
+        Self { dir: dir.to_path_buf(), phase, every, entries }
+    }
+
+    /// Is a checkpoint due at the end of `epoch`?
+    pub fn due(&self, epoch: usize) -> bool {
+        self.every > 0 && (epoch + 1).is_multiple_of(self.every)
+    }
+
+    /// Persists the live parameters and the best-so-far snapshot, then
+    /// rewrites the manifest. Never panics and never fails the caller; I/O
+    /// errors are absorbed into the `checkpoint.io_failures` counter.
+    pub fn save(
+        &mut self,
+        store: &ParamStore,
+        best_snapshot: &[Matrix],
+        epoch: usize,
+        best_epoch: usize,
+        best_val: f32,
+    ) {
+        let cur = format!("ckpt-p{}-e{}-cur.gtdl", self.phase, epoch);
+        let best = format!("ckpt-p{}-e{}-best.gtdl", self.phase, epoch);
+        let mut cur_bytes = store.save_bytes();
+        let mut best_bytes = store.snapshot_bytes(best_snapshot);
+        // The buffer-corrupt fault flips payload bytes here, after
+        // serialization and before the write — the checksum inside the
+        // format is what must catch it at resume time.
+        gnn4tdl_tensor::fault::corrupt_buffer(&mut cur_bytes);
+        gnn4tdl_tensor::fault::corrupt_buffer(&mut best_bytes);
+        let written = atomic_write(&self.dir.join(&cur), &cur_bytes)
+            .and_then(|()| atomic_write(&self.dir.join(&best), &best_bytes));
+        if written.is_err() {
+            obs::counter_add("checkpoint.io_failures", 1);
+            return;
+        }
+        self.entries.push(ManifestEntry { phase: self.phase, epoch, best_epoch, best_val, cur, best });
+        self.prune();
+        match atomic_write(&self.dir.join(MANIFEST), write_manifest(&self.entries).as_bytes()) {
+            Ok(()) => obs::counter_add("checkpoint.saved", 1),
+            Err(_) => obs::counter_add("checkpoint.io_failures", 1),
+        }
+    }
+
+    /// Drops manifest entries (and their files) beyond the last [`KEEP`] for
+    /// this phase. Entries from other phases are untouched.
+    fn prune(&mut self) {
+        let mine: Vec<usize> =
+            (0..self.entries.len()).filter(|&i| self.entries[i].phase == self.phase).collect();
+        if mine.len() <= KEEP {
+            return;
+        }
+        for &i in mine[..mine.len() - KEEP].iter().rev() {
+            let e = self.entries.remove(i);
+            let _ = std::fs::remove_file(self.dir.join(&e.cur));
+            let _ = std::fs::remove_file(self.dir.join(&e.best));
+        }
+    }
+
+    /// Restores the newest valid checkpoint for `phase` into `store`,
+    /// walking the manifest newest-first and skipping anything that fails to
+    /// load (missing file, truncation, checksum mismatch, layout mismatch).
+    /// Returns `None` when no manifest exists or no candidate survives — the
+    /// caller then trains from scratch.
+    pub fn resume(dir: &Path, phase: usize, store: &mut ParamStore) -> Option<ResumeState> {
+        let entries = read_manifest(dir)?;
+        // A failed probe may leave the store partially overwritten; keep the
+        // pre-resume values to roll back before trying the next candidate.
+        let pristine = store.snapshot();
+        for e in entries.iter().rev().filter(|e| e.phase == phase) {
+            let loaded = store
+                .load(&dir.join(&e.best))
+                .map(|()| store.snapshot())
+                .and_then(|best_snapshot| store.load(&dir.join(&e.cur)).map(|()| best_snapshot));
+            match loaded {
+                Ok(best_snapshot) => {
+                    obs::counter_add("checkpoint.resumed", 1);
+                    return Some(ResumeState {
+                        start_epoch: e.epoch + 1,
+                        checkpoint_epoch: e.epoch,
+                        best_epoch: e.best_epoch,
+                        best_val: e.best_val,
+                        best_snapshot,
+                    });
+                }
+                Err(_) => {
+                    obs::counter_add("checkpoint.skipped_corrupt", 1);
+                    store.restore(&pristine);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn write_manifest(entries: &[ManifestEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\n  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // JSON has no Infinity/NaN literal; non-finite best_val round-trips
+        // through null.
+        let best_val = if e.best_val.is_finite() { format!("{}", e.best_val) } else { "null".to_string() };
+        out.push_str(&format!(
+            "\n    {{\"phase\": {}, \"epoch\": {}, \"best_epoch\": {}, \"best_val\": {}, \
+             \"cur\": \"{}\", \"best\": \"{}\"}}",
+            e.phase, e.epoch, e.best_epoch, best_val, e.cur, e.best
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Minimal parser for the manifest this module writes: flat objects, no
+/// escaped strings (filenames are generated). Anything malformed yields
+/// `None` — a bad manifest means "no resumable checkpoints", never a panic.
+fn read_manifest(dir: &Path) -> Option<Vec<ManifestEntry>> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST)).ok()?;
+    if !text.contains(SCHEMA) {
+        return None;
+    }
+    let list_start = text.find('[')? + 1;
+    let list_end = text.rfind(']')?;
+    let mut entries = Vec::new();
+    let mut rest = &text[list_start..list_end];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}')? + open;
+        let obj = &rest[open + 1..close];
+        entries.push(ManifestEntry {
+            phase: field(obj, "phase")?.parse().ok()?,
+            epoch: field(obj, "epoch")?.parse().ok()?,
+            best_epoch: field(obj, "best_epoch")?.parse().ok()?,
+            best_val: match field(obj, "best_val")? {
+                v if v == "null" => f32::INFINITY,
+                v => v.parse().ok()?,
+            },
+            cur: field(obj, "cur")?,
+            best: field(obj, "best")?,
+        });
+        rest = &rest[close + 1..];
+    }
+    Some(entries)
+}
+
+/// Extracts the value of `"key":` from a flat JSON object body, unquoting
+/// strings. `best_epoch` would also match a greedy search for `epoch`, so the
+/// match requires a `"` immediately before the key.
+fn field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        return Some(stripped[..stripped.find('"')?].to_string());
+    }
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(vals: &[f32]) -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("w", Matrix::from_rows(&[vals.to_vec()]));
+        s
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gnn4tdl-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let entries = vec![
+            ManifestEntry {
+                phase: 0,
+                epoch: 4,
+                best_epoch: 3,
+                best_val: 0.5,
+                cur: "a.gtdl".into(),
+                best: "b.gtdl".into(),
+            },
+            ManifestEntry {
+                phase: 1,
+                epoch: 9,
+                best_epoch: 9,
+                best_val: f32::INFINITY,
+                cur: "c.gtdl".into(),
+                best: "d.gtdl".into(),
+            },
+        ];
+        let dir = tmpdir("manifest");
+        atomic_write(&dir.join(MANIFEST), write_manifest(&entries).as_bytes()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_and_resume_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut store = store_with(&[1.0, 2.0]);
+        let best = vec![Matrix::from_rows(&[vec![0.5, 0.25]])];
+        let mut ck = Checkpointer::new(&dir, 0, 1);
+        ck.save(&store, &best, 7, 5, 0.125);
+
+        store.get_mut(store.id_at(0)).data_mut().fill(0.0);
+        let rs = Checkpointer::resume(&dir, 0, &mut store).unwrap();
+        assert_eq!(rs.start_epoch, 8);
+        assert_eq!(rs.best_epoch, 5);
+        assert_eq!(rs.best_val, 0.125);
+        assert_eq!(store.get(store.id_at(0)).data(), &[1.0, 2.0]);
+        assert_eq!(rs.best_snapshot[0].data(), &[0.5, 0.25]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_corrupt_newest_and_falls_back() {
+        let dir = tmpdir("fallback");
+        let store = store_with(&[3.0]);
+        let best = store.snapshot();
+        let mut ck = Checkpointer::new(&dir, 0, 1);
+        ck.save(&store, &best, 0, 0, 1.0);
+        ck.save(&store, &best, 1, 1, 0.5);
+        // trash the newest checkpoint's files
+        std::fs::write(dir.join("ckpt-p0-e1-cur.gtdl"), b"garbage").unwrap();
+
+        let mut fresh = store_with(&[0.0]);
+        let rs = Checkpointer::resume(&dir, 0, &mut fresh).unwrap();
+        assert_eq!(rs.checkpoint_epoch, 0, "should fall back to the older checkpoint");
+        assert_eq!(fresh.get(fresh.id_at(0)).data(), &[3.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_ignores_other_phases_and_missing_manifest() {
+        let dir = tmpdir("phases");
+        let store = store_with(&[1.0]);
+        let mut ck = Checkpointer::new(&dir, 2, 1);
+        ck.save(&store, &store.snapshot(), 3, 3, 0.9);
+        let mut probe = store_with(&[0.0]);
+        assert!(Checkpointer::resume(&dir, 0, &mut probe).is_none());
+        assert!(Checkpointer::resume(&dir, 2, &mut probe).is_some());
+        let missing = dir.join("nope");
+        assert!(Checkpointer::resume(&missing, 0, &mut probe).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_a_bounded_tail() {
+        let dir = tmpdir("prune");
+        let store = store_with(&[1.0]);
+        let best = store.snapshot();
+        let mut ck = Checkpointer::new(&dir, 0, 1);
+        for e in 0..6 {
+            ck.save(&store, &best, e, e, 1.0);
+        }
+        assert_eq!(ck.entries.len(), KEEP);
+        assert!(!dir.join("ckpt-p0-e0-cur.gtdl").exists());
+        assert!(dir.join("ckpt-p0-e5-cur.gtdl").exists());
+        // the manifest on disk agrees
+        assert_eq!(read_manifest(&dir).unwrap().len(), KEEP);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod adversarial;
 pub mod aux;
+pub mod checkpoint;
 pub mod link;
 pub mod optim;
 pub mod strategy;
@@ -16,6 +17,7 @@ pub mod trainer;
 
 pub use adversarial::{fit_adversarial, AdversarialConfig};
 pub use aux::AuxTask;
+pub use checkpoint::{Checkpointer, ResumeState};
 pub use link::{fit_link_prediction, score_links, LinkConfig, LinkPredictor};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use strategy::{run as run_strategy, Strategy, StrategyReport};

@@ -134,6 +134,15 @@ impl OptimizerKind {
             OptimizerKind::Adam { lr } => Box::new(Adam::new(lr, weight_decay)),
         }
     }
+
+    /// A copy with the learning rate scaled by `factor` — divergence
+    /// recovery rebuilds the optimizer at half the rate after each rollback.
+    pub fn with_lr_factor(self, factor: f32) -> Self {
+        match self {
+            OptimizerKind::Sgd { lr, momentum } => OptimizerKind::Sgd { lr: lr * factor, momentum },
+            OptimizerKind::Adam { lr } => OptimizerKind::Adam { lr: lr * factor },
+        }
+    }
 }
 
 #[cfg(test)]

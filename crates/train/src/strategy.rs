@@ -76,7 +76,7 @@ pub fn run<E: NodeModel>(
                 epochs: epochs_per_round,
                 patience: 0,
                 seed: cfg.seed.wrapping_add(round as u64),
-                ..cfg.clone()
+                ..cfg.with_checkpoint_phase(round)
             };
             let snapshot = store.snapshot();
             let _round_span = obs::span("strategy.alternating_round");
@@ -104,12 +104,14 @@ pub fn run<E: NodeModel>(
         }
         Strategy::TwoStage { pretrain_epochs } => {
             assert!(!aux.is_empty(), "two-stage training needs auxiliary tasks to pretrain on");
-            let pre_cfg = TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.clone() };
+            let pre_cfg =
+                TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.with_checkpoint_phase(0) };
             let pre = {
                 let _span = obs::span("strategy.pretrain");
                 fit_weighted(model, store, task, aux, &pre_cfg, 0.0)
             };
-            let fine_cfg = TrainConfig { trainable: Some(model.head_params().to_vec()), ..cfg.clone() };
+            let fine_cfg =
+                TrainConfig { trainable: Some(model.head_params().to_vec()), ..cfg.with_checkpoint_phase(1) };
             let fine = {
                 let _span = obs::span("strategy.head_finetune");
                 fit_weighted(model, store, task, &[], &fine_cfg, 1.0)
@@ -118,14 +120,15 @@ pub fn run<E: NodeModel>(
         }
         Strategy::PretrainFinetune { pretrain_epochs } => {
             assert!(!aux.is_empty(), "pretrain-finetune needs auxiliary tasks to pretrain on");
-            let pre_cfg = TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.clone() };
+            let pre_cfg =
+                TrainConfig { epochs: pretrain_epochs, patience: 0, ..cfg.with_checkpoint_phase(0) };
             let pre = {
                 let _span = obs::span("strategy.pretrain");
                 fit_weighted(model, store, task, aux, &pre_cfg, 0.0)
             };
             let fine = {
                 let _span = obs::span("strategy.finetune");
-                fit_weighted(model, store, task, aux, cfg, 1.0)
+                fit_weighted(model, store, task, aux, &cfg.with_checkpoint_phase(1), 1.0)
             };
             StrategyReport { phases: vec![pre, fine] }
         }

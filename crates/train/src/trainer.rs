@@ -1,7 +1,9 @@
 //! The training loop: full-batch transductive optimization with early
-//! stopping on validation loss and best-snapshot restore.
+//! stopping on validation loss, best-snapshot restore, and fault tolerance
+//! (gradient clipping, divergence recovery, periodic checkpoints).
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -9,9 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gnn4tdl_nn::{NodeModel, Session};
-use gnn4tdl_tensor::{obs, ParamId, ParamStore};
+use gnn4tdl_tensor::{fault, obs, Matrix, ParamId, ParamStore};
 
 use crate::aux::AuxTask;
+use crate::checkpoint::Checkpointer;
 use crate::optim::OptimizerKind;
 use crate::task::{NodeTask, SupervisedModel};
 
@@ -27,6 +30,25 @@ pub struct TrainConfig {
     pub seed: u64,
     /// When set, only these parameters are updated (others are frozen).
     pub trainable: Option<Vec<ParamId>>,
+    /// Global gradient-norm clip threshold; `None` (the default) leaves
+    /// gradients untouched, keeping the update stream bitwise identical to
+    /// an unguarded run.
+    pub clip_norm: Option<f32>,
+    /// Divergence-recovery budget: how many rollbacks (best-snapshot restore
+    /// plus learning-rate halving) are attempted before the phase gives up
+    /// and returns with `TrainReport::diverged` set.
+    pub max_recoveries: usize,
+    /// Write a checkpoint every this many epochs; 0 (the default) disables
+    /// checkpointing. Requires `checkpoint_dir`.
+    pub checkpoint_every: usize,
+    /// Directory for checkpoint files and their manifest.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir` before
+    /// training (falls back to a fresh start when none loads).
+    pub resume: bool,
+    /// Which training phase this fit belongs to (strategies number their
+    /// phases so checkpoints from different phases never mix).
+    pub checkpoint_phase: usize,
 }
 
 impl Default for TrainConfig {
@@ -38,7 +60,20 @@ impl Default for TrainConfig {
             patience: 30,
             seed: 0,
             trainable: None,
+            clip_norm: None,
+            max_recoveries: 3,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
+            checkpoint_phase: 0,
         }
+    }
+}
+
+impl TrainConfig {
+    /// A copy tagged with a strategy phase index (see `checkpoint_phase`).
+    pub fn with_checkpoint_phase(&self, phase: usize) -> Self {
+        Self { checkpoint_phase: phase, ..self.clone() }
     }
 }
 
@@ -54,6 +89,13 @@ pub struct EpochStats {
     /// Early-stopping state after this epoch: consecutive non-improving
     /// epochs so far.
     pub bad_epochs: usize,
+    /// Global (pre-clip) gradient L2 norm over the trainable set.
+    pub grad_norm: f32,
+    /// Whether the gradients were rescaled by `TrainConfig::clip_norm`.
+    pub clipped: bool,
+    /// Whether this epoch tripped divergence recovery (the update was
+    /// discarded and the best snapshot restored).
+    pub recovered: bool,
 }
 
 /// Outcome of one fitting phase.
@@ -62,6 +104,15 @@ pub struct TrainReport {
     pub history: Vec<EpochStats>,
     pub best_epoch: usize,
     pub best_val_loss: f32,
+    /// Divergence recoveries performed (best-snapshot rollbacks).
+    pub recoveries: usize,
+    /// Epochs whose gradients were clipped to `TrainConfig::clip_norm`.
+    pub clipped_steps: usize,
+    /// The recovery budget ran out and the phase stopped early.
+    pub diverged: bool,
+    /// When resuming from a checkpoint: the epoch the checkpoint was
+    /// written at.
+    pub resumed_from: Option<usize>,
 }
 
 impl TrainReport {
@@ -95,6 +146,9 @@ pub fn fit_weighted<E: NodeModel>(
     let phase_label = obs::current_path().unwrap_or_else(|| "train.fit".to_string());
     let started = Instant::now();
     let mut optimizer = cfg.optimizer.build(cfg.weight_decay);
+    // Halved on every divergence recovery; the optimizer is rebuilt so its
+    // moment state does not carry the blown-up step.
+    let mut lr_factor = 1.0f32;
     let mut corrupt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
     let features = Rc::new(task.features.clone());
     let allowed: Option<HashSet<usize>> =
@@ -105,8 +159,32 @@ pub fn fit_weighted<E: NodeModel>(
     let mut best_epoch = 0usize;
     let mut best_snapshot = store.snapshot();
     let mut bad_epochs = 0usize;
+    let mut recoveries = 0usize;
+    let mut clipped_steps = 0usize;
+    let mut diverged = false;
+    let mut resumed_from = None;
+    let mut start_epoch = 0usize;
 
-    for epoch in 0..cfg.epochs {
+    let mut ckpt = match (&cfg.checkpoint_dir, cfg.checkpoint_every) {
+        (Some(dir), every) if every > 0 => Some(Checkpointer::new(dir, cfg.checkpoint_phase, every)),
+        _ => None,
+    };
+    if cfg.resume {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Some(rs) = Checkpointer::resume(dir, cfg.checkpoint_phase, store) {
+                start_epoch = rs.start_epoch;
+                best_epoch = rs.best_epoch;
+                best_val = rs.best_val;
+                resumed_from = Some(rs.checkpoint_epoch);
+                let stale = std::mem::replace(&mut best_snapshot, rs.best_snapshot);
+                for m in stale {
+                    gnn4tdl_tensor::pool::recycle_matrix(m);
+                }
+            }
+        }
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         let mut s = Session::train(store, cfg.seed.wrapping_add(epoch as u64));
         let x = s.input(task.features.clone());
         let (emb, out) = model.forward(&mut s, x);
@@ -122,22 +200,59 @@ pub fn fit_weighted<E: NodeModel>(
             let al = a.loss(&mut s, &model.encoder, x, &features, emb, &mut corrupt_rng);
             total = s.tape.add(total, al);
         }
-        let train_loss = s.tape.value(total).get(0, 0);
+        let mut train_loss = s.tape.value(total).get(0, 0);
+        if fault::trip(fault::FaultKind::InfLoss) {
+            train_loss = f32::INFINITY;
+        }
         let aux_loss = train_loss - main_part;
         let tape_nodes = s.tape.len();
         let mut grads = s.backward(total);
         if let Some(allowed) = &allowed {
             grads.retain(|(id, _)| allowed.contains(&id.index()));
         }
-        optimizer.step(store, &grads);
+        if fault::trip(fault::FaultKind::NanGrad) {
+            if let Some((_, g)) = grads.first_mut() {
+                g.data_mut()[0] = f32::NAN;
+            }
+        }
+
+        // Guards: a non-finite loss or gradient means the step would poison
+        // the parameters — skip it entirely. A finite over-norm gradient is
+        // rescaled when clipping is configured; with `clip_norm: None` the
+        // norm is only observed, so an unguarded run is bitwise unchanged.
+        let grad_norm = global_grad_norm(&grads);
+        let mut divergent = !train_loss.is_finite() || !grad_norm.is_finite();
+        let mut clipped = false;
+        if !divergent {
+            if let Some(clip) = cfg.clip_norm {
+                if grad_norm > clip {
+                    let scale = clip / grad_norm;
+                    for (_, g) in &mut grads {
+                        for v in g.data_mut() {
+                            *v *= scale;
+                        }
+                    }
+                    clipped = true;
+                    clipped_steps += 1;
+                    obs::counter_add("train.clipped_steps", 1);
+                }
+            }
+            optimizer.step(store, &grads);
+        }
         // Hand the gradient buffers back to the pool: the next epoch's
         // backward pass reuses them instead of allocating.
         for (_, g) in grads {
             gnn4tdl_tensor::pool::recycle_matrix(g);
         }
+        // Catch a genuine blowup the step itself produced.
+        if !divergent && !params_finite(store) {
+            divergent = true;
+        }
 
-        // validation pass (clean, eval mode)
-        let val_loss = {
+        // validation pass (clean, eval mode); skipped on a divergent epoch
+        let val_loss = if divergent {
+            f32::INFINITY
+        } else {
             let mut sv = Session::eval(store);
             let xv = sv.input(task.features.clone());
             let (emb_v, out_v) = model.forward(&mut sv, xv);
@@ -155,6 +270,46 @@ pub fn fit_weighted<E: NodeModel>(
                 sv.tape.value(total_v).get(0, 0)
             }
         };
+        if !divergent && !val_loss.is_finite() {
+            divergent = true;
+        }
+
+        if divergent {
+            // Recover: discard the epoch, roll back to the best snapshot,
+            // and restart the optimizer at half the learning rate.
+            recoveries += 1;
+            obs::counter_add("train.recoveries", 1);
+            store.restore(&best_snapshot);
+            lr_factor *= 0.5;
+            optimizer = cfg.optimizer.with_lr_factor(lr_factor).build(cfg.weight_decay);
+            history.push(EpochStats {
+                train_loss,
+                aux_loss,
+                val_loss: f32::INFINITY,
+                improved: false,
+                bad_epochs,
+                grad_norm,
+                clipped,
+                recovered: true,
+            });
+            if obs::enabled() {
+                obs::counter_add("train.epochs", 1);
+                obs::record_epoch(obs::EpochRecord {
+                    phase: phase_label.clone(),
+                    epoch,
+                    train_loss,
+                    aux_loss,
+                    val_loss: f32::INFINITY,
+                    improved: false,
+                    bad_epochs,
+                });
+            }
+            if recoveries > cfg.max_recoveries {
+                diverged = true;
+                break;
+            }
+            continue;
+        }
 
         let improved = val_loss < best_val - 1e-6;
         if improved {
@@ -168,7 +323,16 @@ pub fn fit_weighted<E: NodeModel>(
         } else {
             bad_epochs += 1;
         }
-        history.push(EpochStats { train_loss, aux_loss, val_loss, improved, bad_epochs });
+        history.push(EpochStats {
+            train_loss,
+            aux_loss,
+            val_loss,
+            improved,
+            bad_epochs,
+            grad_norm,
+            clipped,
+            recovered: false,
+        });
         if obs::enabled() {
             obs::counter_add("train.epochs", 1);
             obs::histogram_record("train.tape_nodes", tape_nodes as f64);
@@ -181,6 +345,11 @@ pub fn fit_weighted<E: NodeModel>(
                 improved,
                 bad_epochs,
             });
+        }
+        if let Some(ck) = &mut ckpt {
+            if ck.due(epoch) {
+                ck.save(store, &best_snapshot, epoch, best_epoch, best_val);
+            }
         }
         if !improved && cfg.patience > 0 && bad_epochs >= cfg.patience {
             break;
@@ -202,7 +371,25 @@ pub fn fit_weighted<E: NodeModel>(
             ],
         );
     }
-    TrainReport { history, best_epoch, best_val_loss: best_val }
+    TrainReport {
+        history,
+        best_epoch,
+        best_val_loss: best_val,
+        recoveries,
+        clipped_steps,
+        diverged,
+        resumed_from,
+    }
+}
+
+/// Global L2 norm across a gradient set.
+fn global_grad_norm(grads: &[(ParamId, Matrix)]) -> f32 {
+    grads.iter().map(|(_, g)| g.data().iter().map(|&x| x * x).sum::<f32>()).sum::<f32>().sqrt()
+}
+
+/// Are all parameter values finite?
+fn params_finite(store: &ParamStore) -> bool {
+    store.iter().all(|(_, _, m)| m.data().iter().all(|v| v.is_finite()))
 }
 
 /// Standard supervised fit (main loss weight 1).

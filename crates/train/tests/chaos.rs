@@ -1,0 +1,240 @@
+//! Chaos tests: the trainer under deterministic fault injection.
+//!
+//! Faults are process-global, so every test here holds
+//! `fault::TEST_MUTEX` across arm → train → disarm. The properties:
+//!
+//! * under `nan-grad` / `inf-loss` faults the run completes, records
+//!   recoveries, and produces finite predictions;
+//! * a fault-free rerun of the same seed is bitwise identical (the guards
+//!   are read-only unless a fault actually fires);
+//! * a run killed at epoch `k` and resumed from its checkpoint reaches a
+//!   best validation loss comparable to the uninterrupted run.
+
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split};
+use gnn4tdl_nn::MlpModel;
+use gnn4tdl_tensor::fault::{self, FaultKind};
+use gnn4tdl_tensor::ParamStore;
+use gnn4tdl_train::{fit, predict, NodeTask, SupervisedModel, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster_task(seed: u64) -> NodeTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = gaussian_clusters(
+        &ClustersConfig { n: 120, informative: 5, classes: 3, cluster_std: 0.6, ..Default::default() },
+        &mut rng,
+    );
+    let enc = encode_all(&data.table);
+    let split = Split::stratified(data.target.labels(), 0.5, 0.2, &mut rng);
+    NodeTask::classification(enc.features, data.target.labels().to_vec(), 3, split)
+}
+
+fn build(task: &NodeTask, seed: u64) -> (ParamStore, SupervisedModel<MlpModel>) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = store.len();
+    let enc = MlpModel::new(&mut store, &[task.features.cols(), 12], 0.0, &mut rng);
+    let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+    (store, model)
+}
+
+fn weight_bits(store: &ParamStore) -> Vec<u32> {
+    store.iter().flat_map(|(_, _, m)| m.data().iter().map(|v| v.to_bits())).collect()
+}
+
+fn predictions_finite(store: &ParamStore, model: &SupervisedModel<MlpModel>, task: &NodeTask) -> bool {
+    predict(model, store, &task.features).data().iter().all(|v| v.is_finite())
+}
+
+/// Trains fault-free and returns the final weight bits (the baseline the
+/// guarded runs must reproduce bitwise).
+fn clean_run(task: &NodeTask, model_seed: u64, cfg: &TrainConfig) -> Vec<u32> {
+    let (mut store, model) = build(task, model_seed);
+    fit(&model, &mut store, task, &[], cfg);
+    weight_bits(&store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn faulted_runs_recover_and_stay_finite(
+        fault_seed in 1u64..500,
+        kind_pick in 0usize..2,
+        rate in 0.05f64..0.3,
+    ) {
+        let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+        let kind = [FaultKind::NanGrad, FaultKind::InfLoss][kind_pick];
+        let task = cluster_task(11);
+        let cfg = TrainConfig { epochs: 40, patience: 0, max_recoveries: 1_000, ..Default::default() };
+        let clean = clean_run(&task, 13, &cfg);
+
+        let (mut store, model) = build(&task, 13);
+        let report = {
+            let _g = fault::arm_guard(kind, fault_seed, rate);
+            fit(&model, &mut store, &task, &[], &cfg)
+        };
+        // The per-epoch draw stream at these rates over 40 epochs fires with
+        // overwhelming probability; tolerate the rare all-miss case.
+        if fault::fired() > 0 || report.recoveries > 0 {
+            prop_assert!(report.recoveries >= 1, "faults fired but no recovery recorded");
+            prop_assert!(report.history.iter().any(|e| e.recovered));
+        }
+        prop_assert!(predictions_finite(&store, &model, &task), "non-finite predictions after recovery");
+
+        // Fault-free rerun with the same seed: bitwise identical to a run
+        // that never had the guards engaged.
+        let rerun = clean_run(&task, 13, &cfg);
+        prop_assert_eq!(clean, rerun, "fault-off rerun is not bitwise reproducible");
+    }
+}
+
+#[test]
+fn recovery_budget_stops_a_hopeless_run() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let task = cluster_task(21);
+    let (mut store, model) = build(&task, 22);
+    let cfg = TrainConfig { epochs: 100, patience: 0, max_recoveries: 2, ..Default::default() };
+    let report = {
+        let _g = fault::arm_guard(FaultKind::InfLoss, 3, 1.0); // every epoch diverges
+        fit(&model, &mut store, &task, &[], &cfg)
+    };
+    assert!(report.diverged, "recovery budget should be exhausted");
+    assert_eq!(report.recoveries, cfg.max_recoveries + 1);
+    assert!(report.epochs_run() < 100, "should stop early after exhausting recoveries");
+    assert!(predictions_finite(&store, &model, &task));
+}
+
+#[test]
+fn gradient_clipping_bounds_the_norm_and_is_recorded() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let task = cluster_task(31);
+    let (mut store, model) = build(&task, 32);
+    let clip = 1e-3f32; // low enough that every epoch clips
+    let cfg = TrainConfig { epochs: 10, patience: 0, clip_norm: Some(clip), ..Default::default() };
+    let report = fit(&model, &mut store, &task, &[], &cfg);
+    assert_eq!(report.clipped_steps, 10);
+    assert!(report.history.iter().all(|e| e.clipped && e.grad_norm > clip));
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_best_val() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = std::env::temp_dir().join(format!("gnn4tdl-chaos-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let task = cluster_task(41);
+    let full_cfg = TrainConfig { epochs: 60, patience: 0, ..Default::default() };
+    let full = {
+        let (mut store, model) = build(&task, 42);
+        fit(&model, &mut store, &task, &[], &full_cfg)
+    };
+
+    // "Kill" the run at epoch 30 by training a bounded first leg with
+    // checkpoints on, then resume a fresh process image from disk.
+    let leg1_cfg = TrainConfig {
+        epochs: 30,
+        patience: 0,
+        checkpoint_every: 5,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    {
+        let (mut store, model) = build(&task, 42);
+        fit(&model, &mut store, &task, &[], &leg1_cfg);
+    }
+    let leg2_cfg = TrainConfig { resume: true, ..full_cfg.clone() };
+    let (mut store, model) = build(&task, 42);
+    let resumed = {
+        let mut cfg = leg2_cfg;
+        cfg.checkpoint_dir = Some(dir.clone());
+        fit(&model, &mut store, &task, &[], &cfg)
+    };
+    assert!(resumed.resumed_from.is_some(), "run did not resume from the checkpoint");
+    // The resumed run restarts its epoch-local RNG streams, so allow a small
+    // tolerance rather than demanding bitwise equality.
+    let (a, b) = (full.best_val_loss, resumed.best_val_loss);
+    assert!(
+        (a - b).abs() / a.abs().max(1e-6) < 0.15,
+        "resumed best_val_loss {b} too far from uninterrupted {a}"
+    );
+    assert!(predictions_finite(&store, &model, &task));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_survive_io_faults_and_corruption() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = std::env::temp_dir().join(format!("gnn4tdl-chaos-io-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let task = cluster_task(51);
+    let cfg = TrainConfig {
+        epochs: 20,
+        patience: 0,
+        checkpoint_every: 2,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    // Half the checkpoint writes fail mid-stream; training must complete
+    // anyway and whatever manifest survives must resume cleanly.
+    {
+        let (mut store, model) = build(&task, 52);
+        let _g = fault::arm_guard(FaultKind::IoFail, 7, 0.5);
+        let report = fit(&model, &mut store, &task, &[], &cfg);
+        assert_eq!(report.epochs_run(), 20);
+    }
+    {
+        let (mut store, _model) = build(&task, 52);
+        // resume must either find a valid checkpoint or cleanly start fresh
+        let before = weight_bits(&store);
+        let rs = gnn4tdl_train::Checkpointer::resume(&dir, 0, &mut store);
+        if rs.is_none() {
+            assert_eq!(weight_bits(&store), before, "failed resume must not mutate the store");
+        }
+    }
+
+    // Corrupted buffers: every checkpoint write is bit-flipped; resume must
+    // reject them all via the checksum and report no resumable state.
+    let dir2 = std::env::temp_dir().join(format!("gnn4tdl-chaos-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    std::fs::create_dir_all(&dir2).unwrap();
+    {
+        let (mut store, model) = build(&task, 52);
+        let cfg2 = TrainConfig { checkpoint_dir: Some(dir2.clone()), ..cfg.clone() };
+        let _g = fault::arm_guard(FaultKind::BufferCorrupt, 9, 1.0);
+        fit(&model, &mut store, &task, &[], &cfg2);
+    }
+    {
+        let (mut store, _model) = build(&task, 52);
+        assert!(
+            gnn4tdl_train::Checkpointer::resume(&dir2, 0, &mut store).is_none(),
+            "corrupt checkpoints must not resume"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn injected_faults_count_on_the_obs_ledger() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let task = cluster_task(61);
+    let (mut store, model) = build(&task, 62);
+    let cfg = TrainConfig { epochs: 15, patience: 0, max_recoveries: 1_000, ..Default::default() };
+    gnn4tdl_tensor::obs::reset();
+    gnn4tdl_tensor::obs::enable();
+    let report = {
+        let _g = fault::arm_guard(FaultKind::NanGrad, 5, 1.0);
+        fit(&model, &mut store, &task, &[], &cfg)
+    };
+    let run = gnn4tdl_tensor::obs::collect("chaos-test");
+    gnn4tdl_tensor::obs::disable();
+    assert_eq!(run.counter("fault.injected"), Some(15));
+    assert_eq!(run.counter("train.recoveries"), Some(report.recoveries as u64));
+    assert!(report.recoveries >= 1);
+}

@@ -1,0 +1,155 @@
+//! Fault-tolerance integration tests: the typed-error validation layer of
+//! `try_fit_pipeline` and the full pipeline surviving injected faults.
+//!
+//! Fault injection is process-global, so the tests that arm it serialize on
+//! `fault::TEST_MUTEX` (the validation tests never arm anything and are free
+//! to run concurrently).
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_construct::{EdgeRule, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::table::ColumnData;
+use gnn4tdl_tensor::fault::{self, FaultKind};
+use gnn4tdl_tensor::CsrMatrix;
+use gnn4tdl_train::OptimizerKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster_dataset(seed: u64, n: usize) -> (Dataset, Split) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = gaussian_clusters(
+        &ClustersConfig { n, informative: 6, classes: 3, cluster_std: 0.7, ..Default::default() },
+        &mut rng,
+    );
+    let split = Split::stratified(data.target.labels(), 0.4, 0.2, &mut rng);
+    (data, split)
+}
+
+fn quick_cfg() -> PipelineConfig {
+    PipelineConfig {
+        graph: GraphSpec::Rule { similarity: Similarity::Euclidean, rule: EdgeRule::Knn { k: 5 } },
+        train: TrainConfig {
+            epochs: 30,
+            patience: 0,
+            optimizer: OptimizerKind::Adam { lr: 0.01 },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn nan_feature_returns_typed_error() {
+    let (mut data, split) = cluster_dataset(0, 60);
+    if let ColumnData::Numeric(v) = &mut data.table.columns_mut()[0].data {
+        v[5] = f32::NAN;
+    }
+    let err = try_fit_pipeline(&data, &split, &quick_cfg()).unwrap_err();
+    match err {
+        GnnError::NonFiniteFeature { row, .. } => assert_eq!(row, 5),
+        other => panic!("expected NonFiniteFeature, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_label_returns_typed_error() {
+    let (mut data, split) = cluster_dataset(1, 60);
+    if let Target::Classification { labels, .. } = &mut data.target {
+        labels[3] = 99;
+    }
+    let err = try_fit_pipeline(&data, &split, &quick_cfg()).unwrap_err();
+    assert!(matches!(err, GnnError::InvalidLabel { row: 3, label: 99, .. }), "got {err:?}");
+}
+
+#[test]
+fn malformed_split_returns_typed_error() {
+    let (data, mut split) = cluster_dataset(2, 60);
+    split.train.push(10_000); // out of bounds
+    let err = try_fit_pipeline(&data, &split, &quick_cfg()).unwrap_err();
+    assert!(matches!(err, GnnError::InvalidSplit { .. }), "got {err:?}");
+}
+
+#[test]
+fn formulation_preconditions_return_typed_errors() {
+    // gaussian_clusters has no categorical columns, so the categorical-only
+    // formulations must refuse with InvalidConfig instead of panicking.
+    let (data, split) = cluster_dataset(3, 60);
+    for graph in [GraphSpec::Multiplex { max_group: 16 }, GraphSpec::EntityHetero { rounds: 1 }] {
+        let cfg = PipelineConfig { graph, ..quick_cfg() };
+        let err = try_fit_pipeline(&data, &split, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, GnnError::InvalidConfig { detail } if detail.contains("categorical")),
+            "got {err:?}"
+        );
+    }
+    let cfg = PipelineConfig {
+        graph: GraphSpec::MetricLearned {
+            k: 5,
+            similarity: Similarity::Euclidean,
+            rounds: 0,
+            inner_epochs: 5,
+        },
+        ..quick_cfg()
+    };
+    let err = try_fit_pipeline(&data, &split, &cfg).unwrap_err();
+    assert!(matches!(&err, GnnError::InvalidConfig { detail } if detail.contains("round")), "got {err:?}");
+}
+
+#[test]
+fn malformed_csr_returns_typed_error() {
+    let err = CsrMatrix::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+    assert!(matches!(err, GnnError::InvalidGraph { .. }), "got {err:?}");
+}
+
+#[test]
+fn valid_inputs_fit_through_the_fallible_entry_point() {
+    let (data, split) = cluster_dataset(4, 80);
+    let result = try_fit_pipeline(&data, &split, &quick_cfg()).expect("clean fit");
+    assert_eq!(result.predictions.rows(), 80);
+    let metrics = test_classification(&result.predictions, &data.target, &split);
+    assert!(metrics.accuracy > 0.5, "accuracy collapsed: {}", metrics.accuracy);
+}
+
+/// The acceptance scenario: under `nan-grad:7:0.02` the full pipeline
+/// completes, predictions stay finite, and at least one recovery is
+/// recorded. With seed 7 at rate 0.02 the first firing draw is epoch 174,
+/// so the budget must reach past it.
+#[test]
+fn pipeline_recovers_under_nan_grad_faults() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let (data, split) = cluster_dataset(5, 80);
+    let mut cfg = quick_cfg();
+    cfg.train.epochs = 200;
+    cfg.train.patience = 0;
+
+    let result = {
+        let _g = fault::arm_guard(FaultKind::NanGrad, 7, 0.02);
+        fit_pipeline(&data, &split, &cfg)
+    };
+    let recoveries: usize = result.strategy_report.phases.iter().map(|p| p.recoveries).sum();
+    assert!(recoveries >= 1, "expected at least one divergence recovery");
+    assert!(
+        result.predictions.data().iter().all(|v| v.is_finite()),
+        "predictions must stay finite under fault injection"
+    );
+    let metrics = test_classification(&result.predictions, &data.target, &split);
+    assert!(metrics.accuracy > 0.5, "recovered run lost the task: {}", metrics.accuracy);
+}
+
+/// With injection disarmed, the guarded trainer is read-only: two runs of
+/// the same seed are bitwise identical (and identical to a never-guarded
+/// run — the guards only act on non-finite values, which a healthy run
+/// never produces).
+#[test]
+fn fault_off_runs_are_bitwise_reproducible() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    fault::disarm();
+    let (data, split) = cluster_dataset(6, 80);
+    let cfg = quick_cfg();
+    let a = fit_pipeline(&data, &split, &cfg);
+    let b = fit_pipeline(&data, &split, &cfg);
+    let bits = |m: &gnn4tdl_tensor::Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.predictions), bits(&b.predictions), "fault-off runs must be bitwise identical");
+    let recoveries: usize = a.strategy_report.phases.iter().map(|p| p.recoveries).sum();
+    assert_eq!(recoveries, 0, "a healthy run must never trip recovery");
+}
