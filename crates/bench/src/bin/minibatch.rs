@@ -1,0 +1,234 @@
+//! Minibatch scaling benchmark:
+//! `minibatch [--sizes N,N,..] [--max-accuracy-drop X] [--min-speedup X] [--out DIR]`.
+//!
+//! Trains the same semi-supervised GCN workload full-batch and with
+//! neighbor-sampled minibatches at each `n`, and writes the comparison —
+//! epoch time, peak resident block size, and test-accuracy delta — to
+//! `BENCH_minibatch.json` at the repository root. Full-batch epoch cost
+//! grows with `n` while a minibatch epoch only touches the sampled blocks,
+//! so the speedup column is the scalability claim in one number. CI runs
+//! the n=10k leg with `--max-accuracy-drop` to fail the build when the
+//! sampled path stops matching full-batch quality.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gnn4tdl::classification_on;
+use gnn4tdl::prelude::{EdgeRule, Similarity};
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_construct::build_instance_graph;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split};
+use gnn4tdl_graph::Graph;
+use gnn4tdl_nn::GcnModel;
+use gnn4tdl_tensor::{pool, Matrix, ParamStore};
+use gnn4tdl_train::{fit, fit_minibatch, predict, NeighborSampler, NodeTask, SupervisedModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPOCHS: usize = 25;
+const K: usize = 10;
+const CLASSES: usize = 3;
+const HIDDEN: usize = 32;
+/// Semi-supervised label regime: a few percent of rows carry labels, the
+/// transductive setting where sampled blocks beat full-graph epochs.
+const TRAIN_FRAC: f64 = 0.01;
+const VAL_FRAC: f64 = 0.01;
+const BATCH_SIZE: usize = 128;
+const FANOUTS: [usize; 2] = [4, 3];
+const SAMPLER_SEED: u64 = 11;
+
+struct Leg {
+    epoch_ms: f64,
+    accuracy: f64,
+}
+
+fn build_model(graph: &Graph, in_dim: usize, seed: u64) -> (ParamStore, SupervisedModel<GcnModel>) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = store.len();
+    let enc = GcnModel::new(&mut store, graph, &[in_dim, HIDDEN], 0.0, &mut rng);
+    let model = SupervisedModel::new(&mut store, start, enc, CLASSES, &mut rng);
+    (store, model)
+}
+
+fn accuracy_on_test(pred: &Matrix, labels: &[usize], split: &Split) -> f64 {
+    classification_on(pred, labels, CLASSES, &split.test).accuracy
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![1_000, 10_000, 50_000];
+    let mut max_accuracy_drop: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let v = it.next().unwrap_or_else(|| usage("--sizes needs a comma-separated list"));
+                sizes = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--sizes must be integers")))
+                    .collect();
+            }
+            "--max-accuracy-drop" => {
+                let v = it.next().unwrap_or_else(|| usage("--max-accuracy-drop needs a value"));
+                max_accuracy_drop =
+                    Some(v.parse().unwrap_or_else(|_| usage("--max-accuracy-drop must be a number")));
+            }
+            "--min-speedup" => {
+                let v = it.next().unwrap_or_else(|| usage("--min-speedup needs a value"));
+                min_speedup = Some(v.parse().unwrap_or_else(|_| usage("--min-speedup must be a number")));
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    pool::enable();
+
+    let mut report = Report::new(
+        "BENCH_minibatch",
+        "Neighbor-sampled minibatch vs full-batch training (semi-supervised GCN, kNN graph)",
+        &[
+            "n",
+            "construction_ms",
+            "full_epoch_ms",
+            "mini_epoch_ms",
+            "speedup",
+            "full_acc",
+            "mini_acc",
+            "acc_delta",
+            "peak_block_nodes",
+            "peak_block_edges",
+        ],
+    );
+    let mut worst_drop = f64::NEG_INFINITY;
+    let mut last_speedup = 0.0f64;
+
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dataset = gaussian_clusters(
+            &ClustersConfig {
+                n,
+                informative: 12,
+                noise_features: 4,
+                classes: CLASSES,
+                cluster_std: 0.8,
+                center_scale: 3.0,
+            },
+            &mut rng,
+        );
+        let labels = dataset.target.labels().to_vec();
+        let split = Split::stratified(&labels, TRAIN_FRAC, VAL_FRAC, &mut rng);
+        let features = encode_all(&dataset.table).features;
+        let in_dim = features.cols();
+
+        let t0 = Instant::now();
+        let graph = build_instance_graph(&features, Similarity::Euclidean, EdgeRule::Knn { k: K });
+        let construction_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let task = NodeTask::classification(features, labels.clone(), CLASSES, split.clone());
+        let cfg = TrainConfig { epochs: EPOCHS, patience: 0, ..Default::default() };
+
+        // Each leg starts from a cold pool: buffers parked by one leg must
+        // not skew the other (full-batch parks n-row buffers the minibatch
+        // leg can never reuse, only pay allocator pressure for).
+        pool::clear_local();
+        let full = {
+            let (mut store, model) = build_model(&graph, in_dim, 7);
+            let t = Instant::now();
+            let r = fit(&model, &mut store, &task, &[], &cfg);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            let pred = predict(&model, &store, &task.features);
+            Leg {
+                epoch_ms: ms / r.epochs_run().max(1) as f64,
+                accuracy: accuracy_on_test(&pred, &labels, &split),
+            }
+        };
+
+        let sampler = NeighborSampler::new(BATCH_SIZE, FANOUTS.to_vec(), SAMPLER_SEED);
+        pool::clear_local();
+        let mini = {
+            let (mut store, model) = build_model(&graph, in_dim, 7);
+            let t = Instant::now();
+            let r = fit_minibatch(&model, &mut store, &graph, &task, &sampler, &cfg);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            let pred = predict(&model, &store, &task.features);
+            Leg {
+                epoch_ms: ms / r.epochs_run().max(1) as f64,
+                accuracy: accuracy_on_test(&pred, &labels, &split),
+            }
+        };
+
+        // peak resident block: the sampler is a pure function of
+        // (seed, epoch, batch), so re-deriving the plan visits exactly the
+        // blocks training held in memory.
+        let (mut peak_nodes, mut peak_edges) = (0usize, 0usize);
+        for epoch in 0..EPOCHS as u64 {
+            for (b, seeds) in sampler.epoch_batches(&split.train, epoch).iter().enumerate() {
+                let block = sampler.sample_block(&graph, &task.features, seeds, epoch, b as u64);
+                peak_nodes = peak_nodes.max(block.num_nodes());
+                peak_edges = peak_edges.max(block.num_edges());
+            }
+        }
+
+        let speedup = full.epoch_ms / mini.epoch_ms;
+        let drop = full.accuracy - mini.accuracy;
+        worst_drop = worst_drop.max(drop);
+        last_speedup = speedup;
+        report.row(vec![
+            Cell::from(n),
+            Cell::from(construction_ms),
+            Cell::from(full.epoch_ms),
+            Cell::from(mini.epoch_ms),
+            Cell::from(speedup),
+            Cell::from(full.accuracy),
+            Cell::from(mini.accuracy),
+            Cell::from(drop),
+            Cell::from(peak_nodes),
+            Cell::from(peak_edges),
+        ]);
+        eprintln!(
+            "n={n}: full {:.2} ms/epoch, mini {:.2} ms/epoch ({speedup:.2}x), \
+             acc {:.3} -> {:.3}, peak block {peak_nodes} nodes",
+            full.epoch_ms, mini.epoch_ms, full.accuracy, mini.accuracy
+        );
+    }
+
+    report.print();
+    match report.save_json(&out_dir) {
+        Ok(()) => eprintln!("wrote {}", out_dir.join("BENCH_minibatch.json").display()),
+        Err(err) => {
+            eprintln!("failed to write BENCH_minibatch.json: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(max_drop) = max_accuracy_drop {
+        if worst_drop > max_drop {
+            eprintln!("FAIL: minibatch accuracy drop {worst_drop:.4} exceeds the allowed {max_drop:.4}");
+            std::process::exit(1);
+        }
+        eprintln!("accuracy drop {worst_drop:.4} <= {max_drop:.4}");
+    }
+    if let Some(min) = min_speedup {
+        if last_speedup < min {
+            eprintln!(
+                "FAIL: minibatch speedup {last_speedup:.2}x at the largest size is below the \
+                 required {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("speedup {last_speedup:.2}x >= {min:.2}x at the largest size");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: minibatch [--sizes N,N,..] [--max-accuracy-drop X] [--min-speedup X] [--out DIR]");
+    std::process::exit(2);
+}

@@ -29,9 +29,9 @@ fn tree_acc(dataset: &Dataset, split: &Split, seed: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let enc = encode_all(&dataset.table);
     let labels = dataset.target.labels();
-    let tx = enc.features.gather_rows(&split.train);
+    let tx = split.gather_train(&enc.features);
     let ty: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
-    let ex = enc.features.gather_rows(&split.test);
+    let ex = split.gather_test(&enc.features);
     let et: Vec<usize> = split.test.iter().map(|&i| labels[i]).collect();
     let k = labels.iter().copied().max().unwrap_or(0) + 1;
     let gbdt = GbdtClassifier::fit(&tx, &ty, k, &GbdtConfig::default(), &mut rng);
@@ -109,9 +109,9 @@ pub fn run_regression() -> Report {
     let split = Split::random(900, 0.5, 0.2, &mut rng);
     let enc = encode_all(&dataset.table);
     let values = dataset.target.values();
-    let tx = enc.features.gather_rows(&split.train);
+    let tx = split.gather_train(&enc.features);
     let ty: Vec<f32> = split.train.iter().map(|&i| values[i]).collect();
-    let ex = enc.features.gather_rows(&split.test);
+    let ex = split.gather_test(&enc.features);
     let et: Vec<f32> = split.test.iter().map(|&i| values[i]).collect();
 
     let gbdt = GbdtRegressor::fit(&tx, &ty, &GbdtConfig::default(), &mut rng);

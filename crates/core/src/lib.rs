@@ -56,7 +56,7 @@ pub mod prelude {
     pub use gnn4tdl_construct::{EdgeRule, Similarity};
     pub use gnn4tdl_data::{Dataset, Split, Table, Target};
     pub use gnn4tdl_tensor::GnnError;
-    pub use gnn4tdl_train::{Strategy, TrainConfig};
+    pub use gnn4tdl_train::{Batching, Strategy, TrainConfig};
 }
 pub use eval::{
     classification_on, regression_on, test_classification, test_regression, ClsMetrics, RegMetrics,

@@ -19,8 +19,8 @@ use gnn4tdl_nn::{
 };
 use gnn4tdl_tensor::{obs, GnnError, Matrix, ParamStore};
 use gnn4tdl_train::{
-    embed, fit, predict, run_strategy, AuxTask, NodeTask, Strategy, StrategyReport, SupervisedModel,
-    TrainConfig,
+    embed, fit, fit_minibatch, predict, run_strategy, AuxTask, Batching, NeighborSampler, NodeTask, Strategy,
+    StrategyReport, SupervisedModel, TrainConfig,
 };
 
 use crate::encoders::{GrapeEncoder, HyperEncoder};
@@ -141,6 +141,11 @@ pub struct PipelineConfig {
     pub aux: Vec<AuxSpec>,
     pub strategy: Strategy,
     pub train: TrainConfig,
+    /// How training feeds the graph to the model: [`Batching::Full`] (the
+    /// default — every existing config, test, and checkpoint is untouched)
+    /// or [`Batching::Neighbor`] for sampled-subgraph minibatches. Inference
+    /// always runs full-graph.
+    pub batching: Batching,
     pub seed: u64,
 }
 
@@ -157,6 +162,7 @@ impl Default for PipelineConfig {
             aux: Vec::new(),
             strategy: Strategy::EndToEnd,
             train: TrainConfig::default(),
+            batching: Batching::Full,
             seed: 0,
         }
     }
@@ -235,6 +241,15 @@ impl PipelineConfigBuilder {
 
     pub fn train(mut self, train: TrainConfig) -> Self {
         self.cfg.train = train;
+        self
+    }
+
+    /// Selects the trainer path; see [`PipelineConfig::batching`].
+    /// [`Batching::Neighbor`] is supported for [`GraphSpec::Rule`] and
+    /// [`GraphSpec::None`] under [`Strategy::EndToEnd`] with no auxiliary
+    /// tasks.
+    pub fn batching(mut self, batching: Batching) -> Self {
+        self.cfg.batching = batching;
         self
     }
 
@@ -343,6 +358,21 @@ pub fn try_fit_pipeline(
         Target::Classification { labels, .. } => Some(labels),
         Target::Regression(_) => None,
     };
+
+    if let Batching::Neighbor { batch_size, fanouts, seed } = &cfg.batching {
+        return fit_pipeline_minibatch(
+            dataset,
+            &encoded,
+            &task,
+            cfg,
+            in_dim,
+            out_dim,
+            labels_for_homophily,
+            *batch_size,
+            fanouts.clone(),
+            *seed,
+        );
+    }
 
     let mut store = ParamStore::new();
     let t0 = Instant::now();
@@ -542,6 +572,140 @@ pub fn try_fit_pipeline(
         graph_edges,
         graph_homophily,
     })
+}
+
+/// The neighbor-sampled trainer path ([`Batching::Neighbor`]): builds the
+/// instance graph, trains with [`fit_minibatch`] over sampled blocks, and
+/// predicts full-graph with the same (full-graph-bound) encoder.
+#[allow(clippy::too_many_arguments)]
+fn fit_pipeline_minibatch(
+    dataset: &Dataset,
+    encoded: &Encoded,
+    task: &NodeTask,
+    cfg: &PipelineConfig,
+    in_dim: usize,
+    out_dim: usize,
+    labels_for_homophily: Option<&[usize]>,
+    batch_size: usize,
+    fanouts: Vec<usize>,
+    sampler_seed: u64,
+) -> Result<PipelineResult, GnnError> {
+    if !cfg.aux.is_empty() {
+        return Err(GnnError::InvalidConfig {
+            detail: "minibatch training does not support auxiliary tasks".into(),
+        });
+    }
+    if cfg.strategy != Strategy::EndToEnd {
+        return Err(GnnError::InvalidConfig {
+            detail: "minibatch training requires Strategy::EndToEnd".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let n = dataset.num_rows();
+
+    let t0 = Instant::now();
+    let construct_span = obs::span("pipeline.construct");
+    let (graph, graph_edges, graph_homophily) = match &cfg.graph {
+        GraphSpec::Rule { similarity, rule } => {
+            let g = build_instance_graph(&encoded.features, *similarity, *rule);
+            let edges = g.num_edges();
+            let hom = labels_for_homophily.map(|labels| g.edge_homophily(labels));
+            (g, edges, hom)
+        }
+        GraphSpec::None => (Graph::empty(n), 0, None),
+        other => {
+            return Err(GnnError::InvalidConfig {
+                detail: format!(
+                    "minibatch training supports the 'rule' and 'none' formulations, not '{}'",
+                    other.name()
+                ),
+            });
+        }
+    };
+    drop(construct_span);
+    let construction_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if obs::enabled() {
+        obs::record_phase(
+            "pipeline.construct",
+            construction_ms,
+            &[("formulation_edges", graph_edges as f64), ("rows", n as f64)],
+        );
+    }
+
+    let t1 = Instant::now();
+    let train_span = obs::span("pipeline.train");
+    let sampler = NeighborSampler::new(batch_size, fanouts, sampler_seed);
+    let dims = gnn_dims(in_dim, cfg.hidden, cfg.layers);
+    let (predictions, strategy_report) = if matches!(cfg.graph, GraphSpec::None) {
+        let enc = MlpModel::new(&mut store, &dims, cfg.dropout, &mut rng);
+        run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+    } else {
+        match cfg.encoder {
+            EncoderSpec::Mlp => {
+                let enc = MlpModel::new(&mut store, &dims, cfg.dropout, &mut rng);
+                run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+            }
+            EncoderSpec::Gcn => {
+                let mut enc = GcnModel::new(&mut store, &graph, &dims, cfg.dropout, &mut rng);
+                if cfg.pair_norm {
+                    enc = enc.with_pair_norm();
+                }
+                run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+            }
+            EncoderSpec::Sage => {
+                let enc = SageModel::new(&mut store, &graph, &dims, cfg.dropout, &mut rng);
+                run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+            }
+            EncoderSpec::Gin => {
+                let enc = GinModel::new(&mut store, &graph, &dims, cfg.dropout, &mut rng);
+                run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+            }
+            EncoderSpec::Gat { heads } => {
+                let enc = GatModel::new(&mut store, &graph, &dims, heads, cfg.dropout, &mut rng);
+                run_minibatch(enc, &mut store, &graph, task, &sampler, cfg, out_dim, &mut rng)
+            }
+        }
+    };
+    drop(train_span);
+    let training_ms = t1.elapsed().as_secs_f64() * 1e3;
+    if obs::enabled() {
+        obs::gauge_set("model.weights", store.num_weights() as f64);
+        let epochs_total: usize = strategy_report.phases.iter().map(|p| p.epochs_run()).sum();
+        obs::record_phase(
+            "pipeline.train",
+            training_ms,
+            &[("strategy_phases", strategy_report.phases.len() as f64), ("epochs", epochs_total as f64)],
+        );
+    }
+
+    Ok(PipelineResult {
+        predictions,
+        strategy_report,
+        construction_ms,
+        training_ms,
+        graph_edges,
+        graph_homophily,
+    })
+}
+
+/// Wraps a concrete block-capable encoder into a [`SupervisedModel`], fits
+/// it with neighbor sampling, and predicts over the full graph (the encoder
+/// stays bound to it).
+#[allow(clippy::too_many_arguments)]
+fn run_minibatch<E: gnn4tdl_nn::BlockModel>(
+    encoder: E,
+    store: &mut ParamStore,
+    graph: &Graph,
+    task: &NodeTask,
+    sampler: &NeighborSampler,
+    cfg: &PipelineConfig,
+    out_dim: usize,
+    rng: &mut StdRng,
+) -> (Matrix, StrategyReport) {
+    let model = SupervisedModel::new(store, 0, encoder, out_dim, rng);
+    let report = fit_minibatch(&model, store, graph, task, sampler, &cfg.train);
+    (predict(&model, store, &task.features), StrategyReport { phases: vec![report] })
 }
 
 /// IDGL/DGM-style iterative metric GSL: alternate training a GCN and

@@ -211,7 +211,7 @@ impl Predictor for LogRegPredictor {
         let _span = gnn4tdl_tensor::span!("predictor.logreg.fit");
         let tab = featurize(dataset, split);
         let (y, num_classes) = train_labels(&dataset.target, &split.train);
-        let x = tab.features.gather_rows(&split.train);
+        let x = split.gather_train(&tab.features);
         let model = LogisticRegression::fit(&x, &y, num_classes, &self.cfg);
         self.fitted = Some((tab, model));
     }
@@ -246,7 +246,7 @@ impl Predictor for KnnPredictor {
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
         let _span = gnn4tdl_tensor::span!("predictor.knn.fit");
         let tab = featurize(dataset, split);
-        let x = tab.features.gather_rows(&split.train);
+        let x = split.gather_train(&tab.features);
         let model = if tab.classify {
             let (y, num_classes) = train_labels(&dataset.target, &split.train);
             KnnModel::classifier(x, y, num_classes, self.k)
@@ -300,7 +300,7 @@ impl Predictor for TreePredictor {
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
         let _span = gnn4tdl_tensor::span!("predictor.tree.fit");
         let tab = featurize(dataset, split);
-        let x = tab.features.gather_rows(&split.train);
+        let x = split.gather_train(&tab.features);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let model = if tab.classify {
             let (y, num_classes) = train_labels(&dataset.target, &split.train);
@@ -344,7 +344,7 @@ impl Predictor for ForestPredictor {
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
         let _span = gnn4tdl_tensor::span!("predictor.forest.fit");
         let tab = featurize(dataset, split);
-        let x = tab.features.gather_rows(&split.train);
+        let x = split.gather_train(&tab.features);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let model = if tab.classify {
             let (y, num_classes) = train_labels(&dataset.target, &split.train);
@@ -393,7 +393,7 @@ impl Predictor for GbdtPredictor {
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
         let _span = gnn4tdl_tensor::span!("predictor.gbdt.fit");
         let tab = featurize(dataset, split);
-        let x = tab.features.gather_rows(&split.train);
+        let x = split.gather_train(&tab.features);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let model = if tab.classify {
             let (y, num_classes) = train_labels(&dataset.target, &split.train);

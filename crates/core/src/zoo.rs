@@ -610,7 +610,7 @@ pub fn bgnn_classify(
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // stage 1: boost on the labeled rows only
-    let train_x = features.gather_rows(&split.train);
+    let train_x = split.gather_train(features);
     let train_y: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
     let gbdt = GbdtClassifier::fit(
         &train_x,

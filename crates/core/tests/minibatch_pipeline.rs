@@ -1,0 +1,95 @@
+//! Pipeline-level contract of `Batching::Neighbor`: the sampled path trains
+//! to a comparable test accuracy at equal epochs, refits reproducibly, works
+//! for the graph-free MLP baseline, and rejects the configurations it does
+//! not support with a typed error.
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(n: usize) -> (Dataset, Split) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let dataset = gaussian_clusters(
+        &ClustersConfig { n, informative: 6, classes: 3, cluster_std: 0.7, ..Default::default() },
+        &mut rng,
+    );
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    (dataset, split)
+}
+
+fn base_builder() -> PipelineConfigBuilder {
+    PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 6 },
+    })
+    .hidden(16)
+    .train(TrainConfig { epochs: 30, patience: 0, ..Default::default() })
+    .seed(7)
+}
+
+fn neighbor() -> Batching {
+    Batching::Neighbor { batch_size: 32, fanouts: vec![5, 3], seed: 11 }
+}
+
+#[test]
+fn neighbor_batching_matches_full_batch_accuracy() {
+    let (dataset, split) = fixture(300);
+    let full = fit_pipeline(&dataset, &split, &base_builder().build());
+    let mini = fit_pipeline(&dataset, &split, &base_builder().batching(neighbor()).build());
+
+    assert_eq!(mini.predictions.rows(), dataset.num_rows());
+    assert!(mini.predictions.data().iter().all(|v| v.is_finite()));
+    assert_eq!(mini.graph_edges, full.graph_edges, "construction must not depend on batching");
+
+    let acc_full = test_classification(&full.predictions, &dataset.target, &split).accuracy;
+    let acc_mini = test_classification(&mini.predictions, &dataset.target, &split).accuracy;
+    assert!(
+        acc_mini >= acc_full - 0.05,
+        "minibatch accuracy {acc_mini:.3} fell more than 0.05 below full-batch {acc_full:.3}"
+    );
+}
+
+#[test]
+fn neighbor_batching_refit_is_bitwise_reproducible() {
+    let (dataset, split) = fixture(200);
+    let cfg = base_builder().batching(neighbor()).build();
+    let a = fit_pipeline(&dataset, &split, &cfg);
+    let b = fit_pipeline(&dataset, &split, &cfg);
+    assert_eq!(a.predictions.data(), b.predictions.data(), "refit predictions differ");
+}
+
+#[test]
+fn neighbor_batching_supports_the_graph_free_baseline() {
+    let (dataset, split) = fixture(200);
+    let cfg = PipelineConfig::builder(GraphSpec::None)
+        .hidden(16)
+        .train(TrainConfig { epochs: 20, patience: 0, ..Default::default() })
+        .batching(neighbor())
+        .seed(3)
+        .build();
+    let out = fit_pipeline(&dataset, &split, &cfg);
+    let acc = test_classification(&out.predictions, &dataset.target, &split).accuracy;
+    assert!(acc > 0.5, "graph-free minibatch accuracy {acc:.3} not better than chance");
+}
+
+#[test]
+fn unsupported_configurations_are_typed_errors() {
+    let (dataset, split) = fixture(120);
+
+    let with_aux =
+        base_builder().batching(neighbor()).aux(AuxSpec::FeatureReconstruction { weight: 0.1 }).build();
+    assert!(matches!(try_fit_pipeline(&dataset, &split, &with_aux), Err(GnnError::InvalidConfig { .. })));
+
+    let two_stage =
+        base_builder().batching(neighbor()).strategy(Strategy::TwoStage { pretrain_epochs: 5 }).build();
+    assert!(matches!(try_fit_pipeline(&dataset, &split, &two_stage), Err(GnnError::InvalidConfig { .. })));
+
+    let feature_graph =
+        PipelineConfig::builder(GraphSpec::FeatureGraph { emb_dim: 4 }).batching(neighbor()).build();
+    assert!(matches!(
+        try_fit_pipeline(&dataset, &split, &feature_graph),
+        Err(GnnError::InvalidConfig { .. })
+    ));
+}

@@ -1,5 +1,6 @@
 //! Train/validation/test splits and semi-supervised label masks.
 
+use gnn4tdl_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -87,6 +88,22 @@ impl Split {
         index_mask(&self.test, n)
     }
 
+    /// Gathers the training rows of a feature matrix into a dense matrix,
+    /// using the parallel [`Matrix::gather_rows`] fast path.
+    pub fn gather_train(&self, features: &Matrix) -> Matrix {
+        features.gather_rows(&self.train)
+    }
+
+    /// Gathers the validation rows of a feature matrix.
+    pub fn gather_val(&self, features: &Matrix) -> Matrix {
+        features.gather_rows(&self.val)
+    }
+
+    /// Gathers the test rows of a feature matrix.
+    pub fn gather_test(&self, features: &Matrix) -> Matrix {
+        features.gather_rows(&self.test)
+    }
+
     /// Checks the three sets are disjoint and within bounds.
     pub fn validate(&self, n: usize) -> Result<(), String> {
         let mut seen = vec![false; n];
@@ -167,6 +184,15 @@ mod tests {
         assert_eq!(s.train_mask(4), vec![1.0, 0.0, 1.0, 0.0]);
         assert_eq!(s.val_mask(4), vec![0.0, 1.0, 0.0, 0.0]);
         assert_eq!(s.test_mask(4), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_helpers_select_partition_rows() {
+        let s = Split { train: vec![0, 2], val: vec![1], test: vec![3] };
+        let x = Matrix::from_vec(4, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0]);
+        assert_eq!(s.gather_train(&x).data(), &[0.0, 1.0, 20.0, 21.0]);
+        assert_eq!(s.gather_val(&x).data(), &[10.0, 11.0]);
+        assert_eq!(s.gather_test(&x).data(), &[30.0, 31.0]);
     }
 
     #[test]

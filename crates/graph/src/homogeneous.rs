@@ -111,6 +111,17 @@ impl Graph {
         self.adj.row_nnz(u)
     }
 
+    /// Out-degree of every node, delegating to [`CsrMatrix::degrees`].
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.degrees()
+    }
+
+    /// Out-neighbor ids of node `u` as a slice (no weights) — the accessor
+    /// samplers and statistics use instead of re-deriving `indptr` ranges.
+    pub fn neighbor_ids(&self, u: usize) -> &[usize] {
+        self.adj.neighbors(u)
+    }
+
     /// Mean node degree.
     pub fn mean_degree(&self) -> f64 {
         if self.num_nodes() == 0 {
@@ -238,6 +249,17 @@ impl Graph {
             }
         }
         Graph::from_weighted_edges(nodes.len(), &edges, false)
+    }
+
+    /// The induced subgraph on `nodes` via the parallel CSR fast path
+    /// ([`CsrMatrix::induced_subgraph`]), returning the subgraph and the
+    /// local→global row map. Unlike [`Graph::subgraph`], entries keep their
+    /// original relative order within each row instead of being re-sorted by
+    /// local column id — minibatch blocks use this, full-graph callers keep
+    /// the historical [`Graph::subgraph`] layout.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let (adj, map) = self.adj.induced_subgraph(nodes);
+        (Graph { adj }, map)
     }
 
     /// True if for every stored edge `(u, v)` the reverse `(v, u)` is stored.

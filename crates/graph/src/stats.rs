@@ -22,8 +22,7 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let mut max = 0usize;
     let mut total = 0usize;
     let mut isolated = 0usize;
-    for u in 0..n {
-        let d = graph.degree(u);
+    for d in graph.degrees() {
         min = min.min(d);
         max = max.max(d);
         total += d;
@@ -49,7 +48,7 @@ pub fn density(graph: &Graph) -> f64 {
 pub fn clustering_coefficient(graph: &Graph) -> f64 {
     let n = graph.num_nodes();
     let neighbor_sets: Vec<std::collections::BTreeSet<usize>> =
-        (0..n).map(|u| graph.neighbors(u).map(|(v, _)| v).filter(|&v| v != u).collect()).collect();
+        (0..n).map(|u| graph.neighbor_ids(u).iter().copied().filter(|&v| v != u).collect()).collect();
     let mut total = 0.0;
     let mut counted = 0usize;
     for u in 0..n {

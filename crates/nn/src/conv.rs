@@ -32,6 +32,40 @@ impl NodeModel for Box<dyn NodeModel> {
     }
 }
 
+/// A [`NodeModel`] that can be re-bound to a different graph while sharing
+/// its parameters — the contract minibatch training relies on: the sampler
+/// extracts an induced subgraph per block and the trainer binds the shared
+/// weights to it via [`BlockModel::bind`]. Graph-free encoders ([`MlpModel`])
+/// ignore the graph and just clone.
+pub trait BlockModel: NodeModel + Clone {
+    /// Same parameters over `graph` (no new entries in the [`ParamStore`]).
+    fn bind(&self, graph: &Graph) -> Self;
+}
+
+impl BlockModel for GcnModel {
+    fn bind(&self, graph: &Graph) -> Self {
+        self.rebind(graph)
+    }
+}
+
+impl BlockModel for SageModel {
+    fn bind(&self, graph: &Graph) -> Self {
+        self.rebind(graph)
+    }
+}
+
+impl BlockModel for GinModel {
+    fn bind(&self, graph: &Graph) -> Self {
+        self.rebind(graph)
+    }
+}
+
+impl BlockModel for MlpModel {
+    fn bind(&self, _graph: &Graph) -> Self {
+        self.clone()
+    }
+}
+
 /// Kipf-Welling graph convolution: `relu(Â X W)` stacked, with dropout and
 /// optional PairNorm between layers (Zhao & Akoglu), the oversmoothing
 /// mitigation the survey's robustness section points to.

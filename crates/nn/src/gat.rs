@@ -134,6 +134,12 @@ impl NodeModel for GatModel {
     }
 }
 
+impl crate::conv::BlockModel for GatModel {
+    fn bind(&self, graph: &Graph) -> Self {
+        self.rebind(graph)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

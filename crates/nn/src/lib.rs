@@ -26,7 +26,7 @@ pub mod rgcn;
 pub mod session;
 
 pub use bipartite::{BipartiteModel, EdgeValueDecoder};
-pub use conv::{pair_norm, GcnModel, GinModel, MlpModel, NodeModel, SageAggregator, SageModel};
+pub use conv::{pair_norm, BlockModel, GcnModel, GinModel, MlpModel, NodeModel, SageAggregator, SageModel};
 pub use feature_graph::{FeatureGraphModel, FieldAdjacency};
 pub use gat::GatModel;
 pub use ggnn::GgnnModel;

@@ -457,11 +457,22 @@ impl Matrix {
     }
 
     /// Gathers rows by index into a new matrix (rows may repeat).
+    ///
+    /// Parallel over fixed element-count chunks of the (pooled) output, so
+    /// the copy is bitwise identical at any thread count. This is the
+    /// row-gather kernel behind minibatch feature blocks and split slicing.
     pub fn gather_rows(&self, index: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(index.len(), self.cols);
-        for (o, &src) in index.iter().enumerate() {
-            out.row_mut(o).copy_from_slice(self.row(src));
+        let cols = self.cols;
+        let mut out = Matrix::zeros(index.len(), cols);
+        if cols > 0 && !index.is_empty() {
+            let rows_per = (ELEM_CHUNK / cols).max(1);
+            parallel::par_chunks_mut(out.data_mut(), rows_per * cols, |blk, chunk| {
+                for (local, dst) in chunk.chunks_mut(cols).enumerate() {
+                    dst.copy_from_slice(self.row(index[blk * rows_per + local]));
+                }
+            });
         }
+        crate::obs::GATHER_ROWS.add(index.len() as u64);
         out
     }
 

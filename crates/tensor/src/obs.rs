@@ -202,9 +202,26 @@ pub static CSR_ALLOCS: HotCounter = HotCounter::new("csr.allocs");
 pub static POOL_HITS: HotCounter = HotCounter::new("pool.hits");
 /// Buffer-pool takes that fell back to a fresh allocation.
 pub static POOL_MISSES: HotCounter = HotCounter::new("pool.misses");
+/// Rows extracted by `CsrMatrix::induced_subgraph` (`sparse.rs`).
+pub static CSR_SUBGRAPH_ROWS: HotCounter = HotCounter::new("csr.subgraph.rows");
+/// Stored entries surviving `CsrMatrix::induced_subgraph`.
+pub static CSR_SUBGRAPH_NNZ: HotCounter = HotCounter::new("csr.subgraph.nnz");
+/// Rows copied by `Matrix::gather_rows` (`matrix.rs`).
+pub static GATHER_ROWS: HotCounter = HotCounter::new("gather.rows");
 
-const HOT_COUNTERS: [&HotCounter; 8] =
-    [&TAPE_NODES, &PAR_CHUNKS, &PAR_ITEMS, &PAR_JOINS, &CSR_BYTES, &CSR_ALLOCS, &POOL_HITS, &POOL_MISSES];
+const HOT_COUNTERS: [&HotCounter; 11] = [
+    &TAPE_NODES,
+    &PAR_CHUNKS,
+    &PAR_ITEMS,
+    &PAR_JOINS,
+    &CSR_BYTES,
+    &CSR_ALLOCS,
+    &POOL_HITS,
+    &POOL_MISSES,
+    &CSR_SUBGRAPH_ROWS,
+    &CSR_SUBGRAPH_NNZ,
+    &GATHER_ROWS,
+];
 
 // ---------------------------------------------------------------------------
 // Spans

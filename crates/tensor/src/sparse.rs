@@ -7,10 +7,16 @@
 use crate::error::GnnError;
 use crate::matrix::Matrix;
 use crate::parallel;
+use crate::pool;
 
 /// Input rows per block in the parallel transpose. Fixed (never derived from
 /// the worker count) so entry placement is identical for any thread count.
 const TRANSPOSE_ROW_BLOCK: usize = 2048;
+
+/// Selected rows per block in the parallel induced-subgraph extraction.
+/// Fixed (never derived from the worker count) so entry placement is
+/// identical for any thread count.
+const SUBGRAPH_ROW_BLOCK: usize = 2048;
 
 /// Element budget of one sparse-product output block: `spmv` takes this many
 /// output rows per chunk, `spmm` divides it by the dense width. Sized from
@@ -218,6 +224,97 @@ impl CsrMatrix {
     /// Number of stored entries in row `r`.
     pub fn row_nnz(&self, r: usize) -> usize {
         self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Column indices of the stored entries in row `r` — for an adjacency
+    /// matrix, the out-neighbors of node `r`.
+    pub fn neighbors(&self, r: usize) -> &[usize] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Stored values of row `r`, aligned with [`CsrMatrix::neighbors`].
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        &self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Extracts the subgraph induced by `nodes`: a `k×k` CSR (`k =
+    /// nodes.len()`) whose entry `(i, j)` is present iff
+    /// `(nodes[i], nodes[j])` is stored in `self`. Returns the subgraph and
+    /// the local→global row map (a copy of `nodes`).
+    ///
+    /// Two passes over fixed [`SUBGRAPH_ROW_BLOCK`]-row blocks: a parallel
+    /// count of surviving entries per selected row, a sequential prefix sum
+    /// into the new `indptr`, then a parallel scatter where each row writes
+    /// exactly its own `[indptr[i], indptr[i+1])` range. Block boundaries
+    /// depend only on `k`, and entries keep their original relative order
+    /// within each row, so the result is bitwise identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when `self` is not square or a node index is out of bounds;
+    /// debug builds additionally assert `nodes` is duplicate-free.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (CsrMatrix, Vec<usize>) {
+        assert_eq!(self.rows, self.cols, "induced_subgraph requires a square matrix");
+        let k = nodes.len();
+        let mut local_of = vec![usize::MAX; self.cols];
+        for (local, &g) in nodes.iter().enumerate() {
+            assert!(g < self.rows, "node {g} out of bounds for {} rows", self.rows);
+            debug_assert_eq!(local_of[g], usize::MAX, "duplicate node {g} in induced_subgraph");
+            local_of[g] = local;
+        }
+        let nblocks = k.div_ceil(SUBGRAPH_ROW_BLOCK).max(1);
+        let blocks: Vec<usize> = (0..nblocks).collect();
+        let block_rows = |b: usize| {
+            let r0 = b * SUBGRAPH_ROW_BLOCK;
+            (r0, (r0 + SUBGRAPH_ROW_BLOCK).min(k))
+        };
+        let counts = parallel::par_map(&blocks, |_, &b| {
+            let (r0, r1) = block_rows(b);
+            nodes[r0..r1]
+                .iter()
+                .map(|&g| self.neighbors(g).iter().filter(|&&c| local_of[c] != usize::MAX).count())
+                .collect::<Vec<usize>>()
+        });
+        let mut indptr = vec![0usize; k + 1];
+        let mut at = 0usize;
+        for block in &counts {
+            for &n in block {
+                indptr[at + 1] = indptr[at] + n;
+                at += 1;
+            }
+        }
+        let nnz = indptr[k];
+        let mut indices = vec![0usize; nnz];
+        let mut values = pool::take_zeroed(nnz);
+        let idx_ptr = SendPtr(indices.as_mut_ptr());
+        let val_ptr = SendPtr(values.as_mut_ptr());
+        let indptr_ref = &indptr;
+        let local_ref = &local_of;
+        parallel::par_map(&blocks, |_, &b| {
+            // Capture the Send+Sync wrappers, not their raw-pointer fields.
+            let (idx_ptr, val_ptr) = (&idx_ptr, &val_ptr);
+            let (r0, r1) = block_rows(b);
+            for (local, &g) in nodes[r0..r1].iter().enumerate() {
+                let mut pos = indptr_ref[r0 + local];
+                for (c, v) in self.row_iter(g) {
+                    let lc = local_ref[c];
+                    if lc != usize::MAX {
+                        // SAFETY: output row `r0 + local` writes only
+                        // [indptr[r0+local], indptr[r0+local+1]); these
+                        // ranges partition [0, nnz) across rows, so no two
+                        // workers ever touch the same position.
+                        unsafe {
+                            *idx_ptr.0.add(pos) = lc;
+                            *val_ptr.0.add(pos) = v;
+                        }
+                        pos += 1;
+                    }
+                }
+            }
+        });
+        crate::obs::CSR_SUBGRAPH_ROWS.add(k as u64);
+        crate::obs::CSR_SUBGRAPH_NNZ.add(nnz as u64);
+        (Self::from_parts_unchecked(k, k, indptr, indices, values), nodes.to_vec())
     }
 
     /// Dense sparse-dense product `self * dense`.
@@ -588,5 +685,85 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn from_parts_panics_on_invalid_column() {
         CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn neighbors_and_row_values_slice_rows() {
+        let m = sample();
+        assert_eq!(m.neighbors(0), &[0, 2]);
+        assert_eq!(m.row_values(0), &[1.0, 2.0]);
+        assert_eq!(m.neighbors(1), &[] as &[usize]);
+        assert_eq!(m.row_values(1), &[] as &[f32]);
+        assert_eq!(m.neighbors(2), &[0, 1]);
+        assert_eq!(m.row_values(2), &[3.0, 4.0]);
+    }
+
+    /// Scalar oracle: dense extraction of the induced submatrix.
+    fn dense_subgraph(m: &CsrMatrix, nodes: &[usize]) -> Matrix {
+        let d = m.to_dense();
+        let mut out = Matrix::zeros(nodes.len(), nodes.len());
+        for (i, &gi) in nodes.iter().enumerate() {
+            for (j, &gj) in nodes.iter().enumerate() {
+                out.set(i, j, d.get(gi, gj));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn induced_subgraph_matches_dense_oracle() {
+        let m = sample();
+        let nodes = vec![2, 0];
+        let (sub, map) = m.induced_subgraph(&nodes);
+        assert_eq!(map, nodes);
+        assert_eq!(sub.shape(), (2, 2));
+        assert!(sub.to_dense().max_abs_diff(&dense_subgraph(&m, &nodes)) < 1e-9);
+        // Row "global 2" keeps only the edge to global 0 (local 1).
+        assert_eq!(sub.neighbors(0), &[1]);
+        assert_eq!(sub.row_values(0), &[3.0]);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_and_full_selection() {
+        let m = sample();
+        let (empty, map) = m.induced_subgraph(&[]);
+        assert_eq!(empty.shape(), (0, 0));
+        assert_eq!(empty.nnz(), 0);
+        assert!(map.is_empty());
+        let all = vec![0, 1, 2];
+        let (full, _) = m.induced_subgraph(&all);
+        assert_eq!(full, m);
+    }
+
+    #[test]
+    fn induced_subgraph_larger_random_matches_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 64;
+        let mut triplets = Vec::new();
+        for r in 0..n {
+            for _ in 0..6 {
+                triplets.push((r, rng.gen_range(0..n), rng.gen_range(-1.0f32..1.0)));
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, n, &triplets);
+        // A scrambled, non-contiguous selection.
+        let nodes: Vec<usize> = (0..n).filter(|i| i % 3 != 1).rev().collect();
+        let (sub, map) = m.induced_subgraph(&nodes);
+        assert_eq!(map, nodes);
+        assert!(sub.to_dense().max_abs_diff(&dense_subgraph(&m, &nodes)) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn induced_subgraph_rejects_out_of_bounds_node() {
+        sample().induced_subgraph(&[0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a square matrix")]
+    fn induced_subgraph_rejects_rectangular() {
+        CsrMatrix::empty(2, 3).induced_subgraph(&[0]);
     }
 }

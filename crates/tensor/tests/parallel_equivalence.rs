@@ -100,7 +100,76 @@ fn env_var_forces_thread_count() {
     std::env::remove_var("GNN4TDL_THREADS");
 }
 
+#[test]
+fn gather_rows_and_induced_subgraph_are_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let x = Matrix::randn(400, 33, 0.0, 1.0, &mut rng);
+    let index: Vec<usize> = (0..900).map(|_| rng.gen_range(0..400)).collect();
+    assert_thread_invariant(|| x.gather_rows(&index).into_vec());
+    let sp = random_csr(5000, 5000, 9, 7);
+    let nodes: Vec<usize> = (0..5000).filter(|i| i % 7 != 2).collect();
+    assert_thread_invariant(|| {
+        let (sub, map) = sp.induced_subgraph(&nodes);
+        (sub.indptr().to_vec(), sub.indices().to_vec(), sub.values().to_vec(), map)
+    });
+}
+
+/// Scalar reference for `gather_rows`: the pre-parallel per-row copy loop.
+fn gather_rows_oracle(x: &Matrix, index: &[usize]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(index.len() * x.cols());
+    for &src in index {
+        out.extend_from_slice(x.row(src));
+    }
+    out
+}
+
 proptest! {
+    #[test]
+    fn gather_rows_matches_scalar_oracle(
+        rows in 1usize..50,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+        picks in 0usize..120,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::randn(rows, cols, 0.0, 1.0, &mut rng);
+        // indices may repeat and arrive in any order
+        let index: Vec<usize> = (0..picks).map(|_| rng.gen_range(0..rows)).collect();
+        let want = gather_rows_oracle(&x, &index);
+        for threads in thread_counts() {
+            let got = parallel::with_threads(threads, || x.gather_rows(&index));
+            prop_assert_eq!(got.shape(), (index.len(), cols));
+            prop_assert_eq!(got.data(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_matches_scalar_oracle(
+        n in 1usize..40,
+        degree in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(n, n, degree, seed ^ 0x5EED);
+        let mut nodes: Vec<usize> = (0..n).filter(|_| rng.gen_range(0..3u8) > 0).collect();
+        // scramble so local order differs from global order
+        for i in (1..nodes.len()).rev() {
+            nodes.swap(i, rng.gen_range(0..=i));
+        }
+        let (sub, map) = sp.induced_subgraph(&nodes);
+        prop_assert_eq!(&map, &nodes);
+        prop_assert_eq!(sub.shape(), (nodes.len(), nodes.len()));
+        // oracle: scalar scan with the same membership rule
+        for (i, &gi) in nodes.iter().enumerate() {
+            let want: Vec<(usize, f32)> = sp
+                .row_iter(gi)
+                .filter_map(|(c, v)| nodes.iter().position(|&g| g == c).map(|j| (j, v)))
+                .collect();
+            let got: Vec<(usize, f32)> = sub.row_iter(i).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
     #[test]
     fn matmul_thread_invariant_over_random_shapes(
         m in 1usize..40,

@@ -10,6 +10,7 @@ pub mod adversarial;
 pub mod aux;
 pub mod checkpoint;
 pub mod link;
+pub mod minibatch;
 pub mod optim;
 pub mod strategy;
 pub mod task;
@@ -19,6 +20,7 @@ pub use adversarial::{fit_adversarial, AdversarialConfig};
 pub use aux::AuxTask;
 pub use checkpoint::{Checkpointer, ResumeState};
 pub use link::{fit_link_prediction, score_links, LinkConfig, LinkPredictor};
+pub use minibatch::{fit_minibatch, Batching, NeighborSampler, SampledBlock};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use strategy::{run as run_strategy, Strategy, StrategyReport};
 pub use task::{embed, predict, NodeTask, SupervisedModel, TaskTarget};

@@ -383,12 +383,12 @@ pub fn fit_weighted<E: NodeModel>(
 }
 
 /// Global L2 norm across a gradient set.
-fn global_grad_norm(grads: &[(ParamId, Matrix)]) -> f32 {
+pub(crate) fn global_grad_norm(grads: &[(ParamId, Matrix)]) -> f32 {
     grads.iter().map(|(_, g)| g.data().iter().map(|&x| x * x).sum::<f32>()).sum::<f32>().sqrt()
 }
 
 /// Are all parameter values finite?
-fn params_finite(store: &ParamStore) -> bool {
+pub(crate) fn params_finite(store: &ParamStore) -> bool {
     store.iter().all(|(_, _, m)| m.data().iter().all(|v| v.is_finite()))
 }
 
