@@ -1,47 +1,63 @@
 //! k-nearest-neighbor prediction and distance-based anomaly scores — the
 //! classical local methods LUNAR generalizes.
 
+use gnn4tdl_construct::{build_index, IndexKind, NeighborIndex, Similarity};
 use gnn4tdl_tensor::Matrix;
 
 /// k-nearest-neighbor classifier/regressor over a stored training set.
+///
+/// Neighbor search goes through the construct crate's [`NeighborIndex`]
+/// trait: exact by default, or an approximate HNSW backend via
+/// [`KnnModel::with_index`] (the index is rebuilt over the training rows
+/// per predict call, which pays off once the corpus is large).
 pub struct KnnModel {
     x: Matrix,
     labels: Option<Vec<usize>>,
     values: Option<Vec<f32>>,
     num_classes: usize,
     k: usize,
+    index: IndexKind,
 }
 
 impl KnnModel {
     pub fn classifier(x: Matrix, labels: Vec<usize>, num_classes: usize, k: usize) -> Self {
         assert_eq!(x.rows(), labels.len(), "row/label mismatch");
         assert!(k >= 1, "k must be positive");
-        Self { x, labels: Some(labels), values: None, num_classes, k }
+        Self { x, labels: Some(labels), values: None, num_classes, k, index: IndexKind::Exact }
     }
 
     pub fn regressor(x: Matrix, values: Vec<f32>, k: usize) -> Self {
         assert_eq!(x.rows(), values.len(), "row/value mismatch");
         assert!(k >= 1, "k must be positive");
-        Self { x, labels: None, values: Some(values), num_classes: 0, k }
+        Self { x, labels: None, values: Some(values), num_classes: 0, k, index: IndexKind::Exact }
     }
 
-    fn neighbors(&self, q: &Matrix, row: usize) -> Vec<usize> {
-        let mut dists: Vec<(usize, f32)> =
-            (0..self.x.rows()).map(|r| (r, Matrix::row_distance(q, row, &self.x, r))).collect();
-        let take = self.k.min(dists.len());
-        dists.select_nth_unstable_by(take - 1, |a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        dists[..take].iter().map(|&(r, _)| r).collect()
+    /// Swaps the neighbor-search backend (validated against this model's
+    /// `k`; panics on unusable HNSW parameters).
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        index.validate(self.k).unwrap_or_else(|e| panic!("{e}"));
+        self.index = index;
+        self
+    }
+
+    /// Builds the neighbor index over the training rows for one predict
+    /// call.
+    fn index(&self) -> Box<dyn NeighborIndex + '_> {
+        build_index(&self.x, Similarity::Euclidean, &self.index)
+    }
+
+    fn neighbors(&self, index: &dyn NeighborIndex, q: &Matrix, row: usize) -> Vec<usize> {
+        index.query_k(q, row, self.k, None).into_iter().map(|(r, _)| r).collect()
     }
 
     /// Majority vote among the k nearest training rows.
     pub fn predict_classes(&self, q: &Matrix) -> Vec<usize> {
         let labels = self.labels.as_ref().expect("not a classifier");
+        let index = self.index();
         (0..q.rows())
             .map(|row| {
                 let mut counts = vec![0usize; self.num_classes];
-                for r in self.neighbors(q, row) {
+                for r in self.neighbors(index.as_ref(), q, row) {
                     counts[labels[r]] += 1;
                 }
                 counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap_or(0)
@@ -52,9 +68,10 @@ impl KnnModel {
     /// Neighbor vote fractions (`q.rows() x num_classes`).
     pub fn predict_proba(&self, q: &Matrix) -> Matrix {
         let labels = self.labels.as_ref().expect("not a classifier");
+        let index = self.index();
         let mut out = Matrix::zeros(q.rows(), self.num_classes);
         for row in 0..q.rows() {
-            let neigh = self.neighbors(q, row);
+            let neigh = self.neighbors(index.as_ref(), q, row);
             let w = 1.0 / neigh.len() as f32;
             for r in neigh {
                 let c = labels[r];
@@ -67,9 +84,10 @@ impl KnnModel {
     /// Mean of the k nearest training targets.
     pub fn predict_values(&self, q: &Matrix) -> Vec<f32> {
         let values = self.values.as_ref().expect("not a regressor");
+        let index = self.index();
         (0..q.rows())
             .map(|row| {
-                let neigh = self.neighbors(q, row);
+                let neigh = self.neighbors(index.as_ref(), q, row);
                 neigh.iter().map(|&r| values[r]).sum::<f32>() / neigh.len() as f32
             })
             .collect()
@@ -130,6 +148,33 @@ mod tests {
         let model = KnnModel::classifier(x, vec![0, 0, 1, 1], 2, 2);
         let q = Matrix::from_rows(&[vec![0.05], vec![1.05]]);
         assert_eq!(model.predict_classes(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn classifier_backends_agree() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![1.0], vec![1.1]]);
+        let q = Matrix::from_rows(&[vec![0.05], vec![1.05]]);
+        let exact = KnnModel::classifier(x.clone(), vec![0, 0, 1, 1], 2, 2);
+        let hnsw = KnnModel::classifier(x, vec![0, 0, 1, 1], 2, 2).with_index(IndexKind::Hnsw {
+            m: 4,
+            ef_construction: 16,
+            ef_search: 8,
+            seed: 0,
+        });
+        assert_eq!(exact.predict_classes(&q), hnsw.predict_classes(&q));
+        assert_eq!(exact.predict_proba(&q).data(), hnsw.predict_proba(&q).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "ef_search")]
+    fn with_index_rejects_small_ef_search() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = KnnModel::classifier(x, vec![0, 1], 2, 2).with_index(IndexKind::Hnsw {
+            m: 4,
+            ef_construction: 16,
+            ef_search: 1,
+            seed: 0,
+        });
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Graph-construction scaling benchmark:
+//! `construct [--sizes N,N,..] [--k K] [--m M] [--ef-construction N]
+//!            [--ef-search N] [--seed S] [--exact-cap N]
+//!            [--min-recall X] [--min-speedup X] [--out DIR]`.
+//!
+//! Runs the kNN graph-construction step of the pipeline — build a neighbor
+//! index, self-query every row — under both [`NeighborIndex`] backends at
+//! each `n`, and writes the comparison to `BENCH_construct.json` at the
+//! repository root: wall time per backend, HNSW speedup, recall@k against
+//! the exact search, and the downstream test accuracy of a neighbor-sampled
+//! GCN trained on each backend's graph. Above `--exact-cap` the O(n²) exact
+//! leg is skipped (it would take hours) and recall is measured against a
+//! brute-force oracle over a deterministic row sample — that is the n=10⁶
+//! scalability leg: the approximate index completes it, the exact search
+//! cannot. CI runs the n=50k leg with `--min-recall`/`--min-speedup` to
+//! fail the build when the approximate index stops being both faithful and
+//! fast.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gnn4tdl::classification_on;
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_construct::{build_index, ExactIndex, IndexKind, NeighborIndex, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split};
+use gnn4tdl_graph::Graph;
+use gnn4tdl_nn::GcnModel;
+use gnn4tdl_tensor::{pool, Matrix, ParamStore};
+use gnn4tdl_train::{fit_minibatch, predict, NeighborSampler, NodeTask, SupervisedModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLASSES: usize = 3;
+const HIDDEN: usize = 32;
+const EPOCHS: usize = 15;
+const TRAIN_FRAC: f64 = 0.01;
+const VAL_FRAC: f64 = 0.01;
+const BATCH_SIZE: usize = 128;
+const FANOUTS: [usize; 2] = [4, 3];
+/// Rows in the brute-force recall oracle when the exact leg is skipped.
+const ORACLE_SAMPLE: usize = 512;
+
+struct Args {
+    sizes: Vec<usize>,
+    k: usize,
+    m: usize,
+    ef_construction: usize,
+    ef_search: usize,
+    seed: u64,
+    exact_cap: usize,
+    min_recall: Option<f64>,
+    min_speedup: Option<f64>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sizes: vec![20_000, 100_000, 1_000_000],
+        k: 10,
+        m: 11,
+        ef_construction: 44,
+        ef_search: 30,
+        seed: 42,
+        exact_cap: 200_000,
+        min_recall: None,
+        min_speedup: None,
+        out_dir: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num =
+            |name: &str| -> String { it.next().unwrap_or_else(|| usage(&format!("{name} needs a value"))) };
+        match arg.as_str() {
+            "--sizes" => {
+                args.sizes = num("--sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--sizes must be integers")))
+                    .collect();
+            }
+            "--k" => args.k = parse(&num("--k"), "--k"),
+            "--m" => args.m = parse(&num("--m"), "--m"),
+            "--ef-construction" => {
+                args.ef_construction = parse(&num("--ef-construction"), "--ef-construction")
+            }
+            "--ef-search" => args.ef_search = parse(&num("--ef-search"), "--ef-search"),
+            "--seed" => args.seed = parse(&num("--seed"), "--seed"),
+            "--exact-cap" => args.exact_cap = parse(&num("--exact-cap"), "--exact-cap"),
+            "--min-recall" => args.min_recall = Some(parse(&num("--min-recall"), "--min-recall")),
+            "--min-speedup" => args.min_speedup = Some(parse(&num("--min-speedup"), "--min-speedup")),
+            "--out" => args.out_dir = PathBuf::from(num("--out")),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
+    v.parse().unwrap_or_else(|_| usage(&format!("{name} must be a number")))
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: construct [--sizes N,N,..] [--k K] [--m M] [--ef-construction N] \
+         [--ef-search N] [--seed S] [--exact-cap N] [--min-recall X] [--min-speedup X] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+/// Fraction of true k-nearest neighbors the approximate rows recovered.
+fn recall(truth: &[Vec<(usize, f32)>], approx: &[Vec<(usize, f32)>]) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (t, a) in truth.iter().zip(approx) {
+        let set: std::collections::HashSet<usize> = t.iter().map(|&(j, _)| j).collect();
+        total += set.len();
+        hits += a.iter().filter(|&&(j, _)| set.contains(&j)).count();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Neighbor rows -> symmetric unweighted kNN graph, exactly like the
+/// pipeline's `EdgeRule::Knn` arm.
+fn graph_from_rows(n: usize, rows: &[Vec<(usize, f32)>]) -> Graph {
+    let mut edges = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+    for (i, row) in rows.iter().enumerate() {
+        let mut ids: Vec<usize> = row.iter().map(|&(j, _)| j).collect();
+        ids.sort_unstable();
+        for j in ids {
+            edges.push((i, j, 1.0));
+        }
+    }
+    Graph::from_weighted_edges(n, &edges, true)
+}
+
+/// Neighbor-sampled GCN test accuracy on the given construction.
+fn downstream_accuracy(graph: &Graph, features: &Matrix, labels: &[usize], split: &Split) -> f64 {
+    pool::clear_local();
+    let task = NodeTask::classification(features.clone(), labels.to_vec(), CLASSES, split.clone());
+    let cfg = TrainConfig { epochs: EPOCHS, patience: 0, ..Default::default() };
+    let sampler = NeighborSampler::new(BATCH_SIZE, FANOUTS.to_vec(), 11);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let start = store.len();
+    let enc = GcnModel::new(&mut store, graph, &[features.cols(), HIDDEN], 0.0, &mut rng);
+    let model = SupervisedModel::new(&mut store, start, enc, CLASSES, &mut rng);
+    fit_minibatch(&model, &mut store, graph, &task, &sampler, &cfg);
+    let pred = predict(&model, &store, &task.features);
+    classification_on(&pred, labels, CLASSES, &split.test).accuracy
+}
+
+fn main() {
+    let args = parse_args();
+    pool::enable();
+
+    let hnsw_kind = IndexKind::Hnsw {
+        m: args.m,
+        ef_construction: args.ef_construction,
+        ef_search: args.ef_search,
+        seed: args.seed,
+    };
+    hnsw_kind.validate(args.k).unwrap_or_else(|e| usage(&format!("{e}")));
+
+    let mut report = Report::new(
+        "BENCH_construct",
+        "Exact blocked-GEMM vs approximate HNSW kNN graph construction",
+        &["n", "exact_ms", "hnsw_ms", "speedup", "recall_at_k", "exact_acc", "hnsw_acc", "acc_delta"],
+    );
+    let mut worst_recall = f64::INFINITY;
+    let mut gated_speedup: Option<f64> = None;
+
+    for &n in &args.sizes {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dataset = gaussian_clusters(
+            &ClustersConfig {
+                n,
+                informative: 12,
+                noise_features: 4,
+                classes: CLASSES,
+                cluster_std: 0.8,
+                center_scale: 3.0,
+            },
+            &mut rng,
+        );
+        let labels = dataset.target.labels().to_vec();
+        let split = Split::stratified(&labels, TRAIN_FRAC, VAL_FRAC, &mut rng);
+        let features = encode_all(&dataset.table).features;
+
+        let t0 = Instant::now();
+        let hnsw_index = build_index(&features, Similarity::Euclidean, &hnsw_kind);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let hnsw_rows = hnsw_index.query_all(args.k);
+        drop(hnsw_index);
+        let hnsw_ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!("n={n}: hnsw {hnsw_ms:.0} ms (build {build_ms:.0} ms, query {:.0} ms)", hnsw_ms - build_ms);
+
+        let exact_rows = if n <= args.exact_cap {
+            let t1 = Instant::now();
+            let rows = build_index(&features, Similarity::Euclidean, &IndexKind::Exact).query_all(args.k);
+            let ms = t1.elapsed().as_secs_f64() * 1e3;
+            eprintln!("n={n}: exact {ms:.0} ms ({:.1}x)", ms / hnsw_ms);
+            Some((rows, ms))
+        } else {
+            eprintln!("n={n}: exact leg skipped (above --exact-cap {})", args.exact_cap);
+            None
+        };
+
+        let leg_recall = match &exact_rows {
+            Some((rows, _)) => recall(rows, &hnsw_rows),
+            None => {
+                // Deterministic row sample; brute-force each sampled row
+                // against the full corpus for the oracle.
+                let oracle = ExactIndex::new(&features, Similarity::Euclidean);
+                let stride = (n / ORACLE_SAMPLE.min(n)).max(1);
+                let sampled: Vec<usize> = (0..n).step_by(stride).take(ORACLE_SAMPLE).collect();
+                let truth: Vec<Vec<(usize, f32)>> =
+                    sampled.iter().map(|&i| oracle.query_k(&features, i, args.k, Some(i))).collect();
+                let approx: Vec<Vec<(usize, f32)>> = sampled.iter().map(|&i| hnsw_rows[i].clone()).collect();
+                recall(&truth, &approx)
+            }
+        };
+        worst_recall = worst_recall.min(leg_recall);
+
+        let (exact_ms, speedup, exact_acc, hnsw_acc) = match &exact_rows {
+            Some((rows, ms)) => {
+                let g_exact = graph_from_rows(n, rows);
+                let g_hnsw = graph_from_rows(n, &hnsw_rows);
+                let acc_e = downstream_accuracy(&g_exact, &features, &labels, &split);
+                let acc_h = downstream_accuracy(&g_hnsw, &features, &labels, &split);
+                let sp = ms / hnsw_ms;
+                gated_speedup = Some(sp);
+                (Some(*ms), Some(sp), Some(acc_e), Some(acc_h))
+            }
+            None => (None, None, None, None),
+        };
+
+        let opt = |v: Option<f64>| v.map_or(Cell::Float(f64::NAN), Cell::Float);
+        report.row(vec![
+            Cell::from(n),
+            opt(exact_ms),
+            Cell::from(hnsw_ms),
+            opt(speedup),
+            Cell::from(leg_recall),
+            opt(exact_acc),
+            opt(hnsw_acc),
+            opt(exact_acc.zip(hnsw_acc).map(|(e, h)| e - h)),
+        ]);
+        eprintln!("n={n}: recall@{} {leg_recall:.4}, acc exact {:?} hnsw {:?}", args.k, exact_acc, hnsw_acc);
+    }
+
+    report.print();
+    match report.save_json(&args.out_dir) {
+        Ok(()) => eprintln!("wrote {}", args.out_dir.join("BENCH_construct.json").display()),
+        Err(err) => {
+            eprintln!("failed to write BENCH_construct.json: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(min) = args.min_recall {
+        if worst_recall < min {
+            eprintln!("FAIL: recall@{} {worst_recall:.4} is below the required {min:.4}", args.k);
+            std::process::exit(1);
+        }
+        eprintln!("recall@{} {worst_recall:.4} >= {min:.4}", args.k);
+    }
+    if let Some(min) = args.min_speedup {
+        match gated_speedup {
+            Some(sp) if sp < min => {
+                eprintln!(
+                    "FAIL: hnsw speedup {sp:.2}x at the largest exact-comparable size is below \
+                     the required {min:.2}x"
+                );
+                std::process::exit(1);
+            }
+            Some(sp) => eprintln!("speedup {sp:.2}x >= {min:.2}x"),
+            None => {
+                eprintln!("FAIL: --min-speedup set but no leg ran the exact comparison");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -14,15 +14,22 @@
 use gnn4tdl_graph::Graph;
 use gnn4tdl_tensor::Matrix;
 
-use crate::rule::knn_edges;
+use crate::index::IndexKind;
+use crate::rule::knn_edges_with;
 use crate::similarity::Similarity;
 
 /// Metric-based construction: kNN in the embedding space with kernel
 /// similarity as the edge weight (rather than weight 1). Returns an
-/// undirected weighted graph.
+/// undirected weighted graph. Exact-backend wrapper of
+/// [`metric_graph_with`].
 pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Graph {
+    metric_graph_with(embedding, similarity, k, &IndexKind::Exact)
+}
+
+/// [`metric_graph`] with an explicit neighbor-search backend.
+pub fn metric_graph_with(embedding: &Matrix, similarity: Similarity, k: usize, index: &IndexKind) -> Graph {
     let _span = gnn4tdl_tensor::span!("construct.metric_graph");
-    let mut edges = knn_edges(embedding, similarity, k);
+    let mut edges = knn_edges_with(embedding, similarity, k, index);
     for e in &mut edges {
         let w = similarity.between(embedding, e.0, embedding, e.1);
         // Map similarity to a positive weight: kernels are already >= 0,
@@ -41,10 +48,16 @@ pub fn metric_graph(embedding: &Matrix, similarity: Similarity, k: usize) -> Gra
 
 /// Candidate edge set for neural edge scoring: the union of kNN edges under
 /// the given similarity, symmetrized and deduplicated, as `(src, dst)` pairs
-/// (both directions present).
+/// (both directions present). Exact-backend wrapper of
+/// [`candidate_edges_with`].
 pub fn candidate_edges(features: &Matrix, k: usize) -> Vec<(usize, usize)> {
+    candidate_edges_with(features, k, &IndexKind::Exact)
+}
+
+/// [`candidate_edges`] with an explicit neighbor-search backend.
+pub fn candidate_edges_with(features: &Matrix, k: usize, index: &IndexKind) -> Vec<(usize, usize)> {
     let _span = gnn4tdl_tensor::span!("construct.candidate_edges");
-    let base = knn_edges(features, Similarity::Euclidean, k);
+    let base = knn_edges_with(features, Similarity::Euclidean, k, index);
     let mut set = std::collections::BTreeSet::new();
     for (u, v, _) in base {
         set.insert((u, v));

@@ -6,17 +6,28 @@
 //! value) over pluggable similarity measures, and the components of
 //! learning-based graph structure learning (metric kernels, candidate edges,
 //! dense-adjacency sparsification).
+//!
+//! All kNN-shaped construction goes through the [`index::NeighborIndex`]
+//! trait, so the exact O(n²) blocked-GEMM search and the sub-quadratic
+//! approximate HNSW backend ([`IndexKind::Hnsw`]) are interchangeable at
+//! every call site.
 
+pub mod index;
 pub mod intrinsic;
 pub mod learned;
 pub mod other;
 pub mod rule;
 pub mod similarity;
 
+pub use index::{build_index, ExactIndex, HnswIndex, IndexKind, NeighborIndex};
 pub use intrinsic::{bipartite_from_table, hetero_from_categorical, hypergraph_from_table, HeteroHandles};
-pub use learned::{candidate_edges, metric_graph, planted_edge_precision, sparsify_dense};
+pub use learned::{
+    candidate_edges, candidate_edges_with, metric_graph, metric_graph_with, planted_edge_precision,
+    sparsify_dense,
+};
 pub use other::{correlation_prior, retrieval_hypergraph, FeaturePrior};
 pub use rule::{
-    build_instance_graph, knn_distances, knn_edges, same_value_graph, same_value_multiplex, EdgeRule,
+    build_instance_graph, build_instance_graph_with, index_knn_edges, knn_distances, knn_distances_with,
+    knn_edges, knn_edges_with, same_value_graph, same_value_multiplex, EdgeRule,
 };
 pub use similarity::{pearson, Similarity};

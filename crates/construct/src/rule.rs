@@ -2,33 +2,10 @@
 //! thresholding, fully-connected, and same-feature-value edge criteria.
 
 use gnn4tdl_graph::{Graph, MultiplexGraph};
-use gnn4tdl_tensor::{parallel, pool, Matrix};
+use gnn4tdl_tensor::{parallel, Matrix};
 
-/// Splits `0..n` into row blocks of ~`per_block` similarity evaluations,
-/// sized from `n` only so block boundaries (and with them the flattened
-/// edge order) never depend on the worker count.
-fn row_blocks(n: usize, per_block: usize) -> Vec<(usize, usize)> {
-    let rows_per_block = per_block.div_ceil(n.max(1)).clamp(1, n.max(1));
-    (0..n).step_by(rows_per_block).map(|r0| (r0, (r0 + rows_per_block).min(n))).collect()
-}
-
-/// Element budget of one kNN score panel (`block_rows x n`): bounds the
-/// working memory of the GEMM-based neighbor search at ~256 KiB per panel
-/// while keeping each matmul large enough to parallelize well. Blocks are
-/// sized from `n` only, never from the worker count.
-const KNN_PANEL_ELEMS: usize = 1 << 16;
-
-/// Copies rows `r0..r1` of `x` into a fresh (pooled) matrix — the
-/// left-hand panel of one blocked GEMM. Allocated on the coordinating
-/// thread so the buffer comes from (and returns to) the thread-local pool.
-fn row_panel(x: &Matrix, r0: usize, r1: usize) -> Matrix {
-    let w = x.cols();
-    let mut out = Matrix::zeros(r1 - r0, w);
-    out.data_mut().copy_from_slice(&x.data()[r0 * w..r1 * w]);
-    out
-}
-
-use crate::similarity::{gemm_distance, row_sq_norms, Similarity};
+use crate::index::{build_index, row_blocks, IndexKind, NeighborIndex};
+use crate::similarity::Similarity;
 use gnn4tdl_data::table::{ColumnData, Table};
 
 /// The edge-creation criterion of a rule-based constructor.
@@ -45,8 +22,21 @@ pub enum EdgeRule {
 
 /// Builds an instance graph from encoded features with a similarity measure
 /// and an edge rule. Edges are undirected; kNN is made symmetric by
-/// mirroring.
+/// mirroring. Equivalent to [`build_instance_graph_with`] under the exact
+/// neighbor backend.
 pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: EdgeRule) -> Graph {
+    build_instance_graph_with(features, similarity, rule, &IndexKind::Exact)
+}
+
+/// [`build_instance_graph`] with an explicit neighbor-search backend: the
+/// kNN rule queries the given [`IndexKind`] (exact blocked GEMM or
+/// approximate HNSW); the other rules ignore it.
+pub fn build_instance_graph_with(
+    features: &Matrix,
+    similarity: Similarity,
+    rule: EdgeRule,
+    index: &IndexKind,
+) -> Graph {
     let n = features.rows();
     let graph = match rule {
         EdgeRule::FullyConnected => {
@@ -55,7 +45,7 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
         }
         EdgeRule::Knn { k } => {
             let _span = gnn4tdl_tensor::span!("construct.knn");
-            let edges = knn_edges(features, similarity, k);
+            let edges = knn_edges_with(features, similarity, k, index);
             Graph::from_weighted_edges(n, &edges, true)
         }
         EdgeRule::Threshold { tau } => {
@@ -84,119 +74,64 @@ pub fn build_instance_graph(features: &Matrix, similarity: Similarity, rule: Edg
 /// kNN edge list `(i, neighbor, weight=1)` excluding self matches, with each
 /// row's neighbors emitted in ascending index order.
 ///
-/// Neighbor search is GEMM-based: an outer *sequential* loop over fixed-size
-/// row panels computes each panel's score block as one parallel
-/// [`Matrix::matmul`] against `Xᵀ` (so panels and scores are allocated on
-/// the coordinating thread, from the buffer pool), then similarities are
-/// finished from the Gram identity `d² = ‖x‖² + ‖y‖² − 2·x·y` and the top-k
-/// selected per row with `select_nth_unstable_by` under a parallel map over
-/// row chunks. All blocking depends only on `n`, so edge lists are
-/// bit-identical at any thread count.
+/// Thin wrapper over the exact [`NeighborIndex`] backend (blocked-GEMM
+/// all-pairs search, bit-identical at any thread count); see
+/// [`knn_edges_with`] to swap in the approximate HNSW index.
 pub fn knn_edges(features: &Matrix, similarity: Similarity, k: usize) -> Vec<(usize, usize, f32)> {
+    knn_edges_with(features, similarity, k, &IndexKind::Exact)
+}
+
+/// [`knn_edges`] against an explicit neighbor-search backend: builds the
+/// index, self-queries every row, and emits each row's selected neighbor
+/// set in ascending index order.
+pub fn knn_edges_with(
+    features: &Matrix,
+    similarity: Similarity,
+    k: usize,
+    index: &IndexKind,
+) -> Vec<(usize, usize, f32)> {
     let _span = gnn4tdl_tensor::span!("construct.knn_edges");
     let n = features.rows();
     if n == 0 || k == 0 {
         return Vec::new();
     }
-    let xt = features.transpose();
-    let sq = row_sq_norms(features);
+    let idx = build_index(features, similarity, index);
+    index_knn_edges(idx.as_ref(), k)
+}
+
+/// Edge list from an already-built index: one `query_all` pass, neighbors
+/// re-sorted to ascending index order so the edge list depends only on each
+/// row's selected *set*, not the backend's ranking order.
+pub fn index_knn_edges(index: &dyn NeighborIndex, k: usize) -> Vec<(usize, usize, f32)> {
+    let n = index.len();
     let mut edges = Vec::with_capacity(n * k);
-    for &(r0, r1) in &row_blocks(n, KNN_PANEL_ELEMS) {
-        let panel = row_panel(features, r0, r1);
-        let scores = panel.matmul(&xt);
-        let chunks = row_blocks(r1 - r0, 1 << 14);
-        let per_chunk = parallel::par_map(&chunks, |_, &(c0, c1)| {
-            let mut out = Vec::with_capacity((c1 - c0) * k);
-            let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n.saturating_sub(1));
-            for local in c0..c1 {
-                let i = r0 + local;
-                let dots = scores.row(local);
-                scored.clear();
-                for j in 0..n {
-                    if i != j {
-                        scored.push((j, similarity.finish_dot(sq[i], sq[j], dots[j])));
-                    }
-                }
-                let take = k.min(scored.len());
-                if take == 0 {
-                    continue;
-                }
-                // partial selection of the top-k by similarity
-                let pivot = take - 1;
-                scored.select_nth_unstable_by(pivot, |a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                // emit in ascending index order so the edge list depends
-                // only on the selected *set*, not on the selection
-                // algorithm's internal permutation
-                let top = &mut scored[..take];
-                top.sort_unstable_by_key(|&(j, _)| j);
-                for &(j, _) in top.iter() {
-                    out.push((i, j, 1.0));
-                }
-            }
-            out
-        });
-        edges.extend(per_chunk.into_iter().flatten());
-        pool::recycle_matrix(panel);
-        pool::recycle_matrix(scores);
+    for (i, mut row) in index.query_all(k).into_iter().enumerate() {
+        row.sort_unstable_by_key(|&(j, _)| j);
+        for (j, _) in row {
+            edges.push((i, j, 1.0));
+        }
     }
-    pool::recycle_matrix(xt);
     edges
 }
 
 /// kNN distances: for each row, the distances to its k nearest neighbors in
-/// ascending order (Euclidean). LUNAR's input representation.
-///
-/// Uses the same blocked-GEMM neighbor search as [`knn_edges`], and only
-/// sorts the k selected distances rather than all `n - 1` of them.
+/// ascending order (Euclidean). LUNAR's input representation. Shares the
+/// exact index query path with [`knn_edges`]; see [`knn_distances_with`].
 pub fn knn_distances(features: &Matrix, k: usize) -> Vec<Vec<f32>> {
+    knn_distances_with(features, k, &IndexKind::Exact)
+}
+
+/// [`knn_distances`] against an explicit neighbor-search backend. The index
+/// ranks by similarity (negative Euclidean distance), so each returned row
+/// is already in ascending distance order.
+pub fn knn_distances_with(features: &Matrix, k: usize, index: &IndexKind) -> Vec<Vec<f32>> {
     let _span = gnn4tdl_tensor::span!("construct.knn_distances");
     let n = features.rows();
     if n == 0 {
         return Vec::new();
     }
-    let xt = features.transpose();
-    let sq = row_sq_norms(features);
-    let mut out = Vec::with_capacity(n);
-    for &(r0, r1) in &row_blocks(n, KNN_PANEL_ELEMS) {
-        let panel = row_panel(features, r0, r1);
-        let scores = panel.matmul(&xt);
-        let chunks = row_blocks(r1 - r0, 1 << 14);
-        let per_chunk = parallel::par_map(&chunks, |_, &(c0, c1)| {
-            let mut rows = Vec::with_capacity(c1 - c0);
-            let mut dists: Vec<f32> = Vec::with_capacity(n.saturating_sub(1));
-            for local in c0..c1 {
-                let i = r0 + local;
-                let dots = scores.row(local);
-                dists.clear();
-                for j in 0..n {
-                    if i != j {
-                        dists.push(gemm_distance(sq[i], sq[j], dots[j]));
-                    }
-                }
-                let take = k.min(dists.len());
-                if take == 0 {
-                    rows.push(Vec::new());
-                    continue;
-                }
-                // partial-select the k smallest, then sort only those k
-                let pivot = take - 1;
-                dists.select_nth_unstable_by(pivot, |a, b| {
-                    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                let head = &mut dists[..take];
-                head.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                rows.push(head.to_vec());
-            }
-            rows
-        });
-        out.extend(per_chunk.into_iter().flatten());
-        pool::recycle_matrix(panel);
-        pool::recycle_matrix(scores);
-    }
-    pool::recycle_matrix(xt);
-    out
+    let idx = build_index(features, Similarity::Euclidean, index);
+    idx.query_all(k).into_iter().map(|row| row.into_iter().map(|(_, s)| -s).collect()).collect()
 }
 
 /// The pre-GEMM scalar `knn_edges` (row-by-row [`Similarity::between`]),

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use gnn4tdl_construct::{
-    build_instance_graph, candidate_edges, knn_distances, same_value_graph, EdgeRule, Similarity,
+    build_index, build_instance_graph, candidate_edges, knn_distances, same_value_graph, EdgeRule, IndexKind,
+    Similarity,
 };
 use gnn4tdl_data::table::{Column, Table};
 use gnn4tdl_tensor::Matrix;
@@ -62,6 +63,34 @@ proptest! {
         let set: std::collections::BTreeSet<_> = cands.iter().copied().collect();
         for &(u, v) in &cands {
             prop_assert!(set.contains(&(v, u)));
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_self_free_and_capped(x in features(), k in 1usize..6) {
+        // Both index backends obey the NeighborIndex contract: at most k
+        // results per row, never the query row itself, sorted by descending
+        // similarity with ascending-id tie-breaks.
+        let backends = [
+            IndexKind::Exact,
+            IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 16, seed: 0 },
+        ];
+        for kind in &backends {
+            let idx = build_index(&x, Similarity::Euclidean, kind);
+            let rows = idx.query_all(k);
+            prop_assert_eq!(rows.len(), x.rows());
+            for (i, row) in rows.iter().enumerate() {
+                prop_assert!(row.len() <= k, "{}: row {i} has {} > k results", kind.name(), row.len());
+                prop_assert!(row.iter().all(|&(j, _)| j != i), "{}: self in row {i}", kind.name());
+                prop_assert!(
+                    row.windows(2).all(|w| match w[0].1.total_cmp(&w[1].1) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => w[0].0 < w[1].0,
+                        std::cmp::Ordering::Less => false,
+                    }),
+                    "{}: row {i} unsorted", kind.name()
+                );
+            }
         }
     }
 

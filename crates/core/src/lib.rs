@@ -53,7 +53,7 @@ pub mod prelude {
         ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,
     };
     pub use gnn4tdl_baselines::{ForestConfig, GbdtConfig, LogRegConfig, TreeConfig};
-    pub use gnn4tdl_construct::{EdgeRule, Similarity};
+    pub use gnn4tdl_construct::{EdgeRule, IndexKind, Similarity};
     pub use gnn4tdl_data::{Dataset, Split, Table, Target};
     pub use gnn4tdl_tensor::GnnError;
     pub use gnn4tdl_train::{Batching, Strategy, TrainConfig};

@@ -8,8 +8,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gnn4tdl_construct::{
-    bipartite_from_table, build_instance_graph, candidate_edges, hetero_from_categorical,
-    hypergraph_from_table, metric_graph, same_value_multiplex, EdgeRule, Similarity,
+    bipartite_from_table, build_instance_graph_with, candidate_edges_with, hetero_from_categorical,
+    hypergraph_from_table, metric_graph_with, same_value_multiplex, EdgeRule, IndexKind, Similarity,
 };
 use gnn4tdl_data::{Dataset, Encoded, Featurizer, Split, Target};
 use gnn4tdl_graph::Graph;
@@ -146,6 +146,12 @@ pub struct PipelineConfig {
     /// or [`Batching::Neighbor`] for sampled-subgraph minibatches. Inference
     /// always runs full-graph.
     pub batching: Batching,
+    /// Neighbor-search backend behind every kNN-shaped construction (the
+    /// `Rule` kNN graph, metric GSL rebuilds, neural-GSL candidates, the
+    /// graph-smoothness fallback graph): [`IndexKind::Exact`] (the default —
+    /// bitwise identical to the pre-index pipeline) or [`IndexKind::Hnsw`]
+    /// for sub-quadratic approximate construction.
+    pub knn_index: IndexKind,
     pub seed: u64,
 }
 
@@ -163,6 +169,7 @@ impl Default for PipelineConfig {
             strategy: Strategy::EndToEnd,
             train: TrainConfig::default(),
             batching: Batching::Full,
+            knn_index: IndexKind::Exact,
             seed: 0,
         }
     }
@@ -253,6 +260,16 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Selects the neighbor-search backend behind kNN-shaped construction;
+    /// see [`PipelineConfig::knn_index`]. Parameters are validated against
+    /// the formulation's `k` by [`try_fit_pipeline`], which returns a typed
+    /// [`GnnError::InvalidConfig`] for unusable settings (`m = 0`,
+    /// `ef_search < k`, a zero beam width).
+    pub fn knn_index(mut self, index: IndexKind) -> Self {
+        self.cfg.knn_index = index;
+        self
+    }
+
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
         self
@@ -316,6 +333,15 @@ pub fn try_fit_pipeline(
 ) -> Result<PipelineResult, GnnError> {
     dataset.validate()?;
     split.validate(dataset.num_rows()).map_err(|detail| GnnError::InvalidSplit { detail })?;
+    // Validate the neighbor-search backend against the k this formulation
+    // will actually query with (0 for formulations that never run kNN, which
+    // still rejects structurally unusable parameters such as m = 0).
+    let knn_k = match &cfg.graph {
+        GraphSpec::Rule { rule: EdgeRule::Knn { k }, .. } => *k,
+        GraphSpec::MetricLearned { k, .. } | GraphSpec::NeuralGsl { k } => *k,
+        _ => 0,
+    };
+    cfg.knn_index.validate(knn_k)?;
     let _pipeline_span = obs::span("pipeline.fit");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let t_feat = Instant::now();
@@ -402,7 +428,7 @@ pub fn try_fit_pipeline(
             Built::Node(Box::new(MlpModel::new(&mut store, &dims, cfg.dropout, &mut rng)))
         }
         GraphSpec::Rule { similarity, rule } => {
-            let g = build_instance_graph(&encoded.features, *similarity, *rule);
+            let g = build_instance_graph_with(&encoded.features, *similarity, *rule, &cfg.knn_index);
             graph_edges = g.num_edges();
             if let Some(labels) = labels_for_homophily {
                 graph_homophily = Some(g.edge_homophily(labels));
@@ -418,7 +444,7 @@ pub fn try_fit_pipeline(
             Built::Metric { k: *k, similarity: *similarity, rounds: *rounds, inner_epochs: *inner_epochs }
         }
         GraphSpec::NeuralGsl { k } => {
-            let cands = candidate_edges(&encoded.features, *k);
+            let cands = candidate_edges_with(&encoded.features, *k, &cfg.knn_index);
             graph_edges = cands.len();
             Built::Node(Box::new(NeuralGslModel::new(
                 &mut store, n, &cands, in_dim, cfg.hidden, cfg.hidden, &mut rng,
@@ -608,7 +634,7 @@ fn fit_pipeline_minibatch(
     let construct_span = obs::span("pipeline.construct");
     let (graph, graph_edges, graph_homophily) = match &cfg.graph {
         GraphSpec::Rule { similarity, rule } => {
-            let g = build_instance_graph(&encoded.features, *similarity, *rule);
+            let g = build_instance_graph_with(&encoded.features, *similarity, *rule, &cfg.knn_index);
             let edges = g.num_edges();
             let hom = labels_for_homophily.map(|labels| g.edge_homophily(labels));
             (g, edges, hom)
@@ -726,7 +752,7 @@ fn fit_metric_gsl(
 ) -> (Matrix, StrategyReport) {
     assert!(rounds >= 1, "metric GSL needs at least one round");
     let dims = gnn_dims(in_dim, cfg.hidden, cfg.layers);
-    let g0 = metric_graph(&encoded.features, similarity, k);
+    let g0 = metric_graph_with(&encoded.features, similarity, k, &cfg.knn_index);
     let encoder = GcnModel::new(store, &g0, &dims, cfg.dropout, rng);
     let mut model = SupervisedModel::new(store, 0, encoder, out_dim, rng);
     let mut phases = Vec::with_capacity(rounds);
@@ -737,7 +763,7 @@ fn fit_metric_gsl(
         phases.push(report);
         if round + 1 < rounds {
             let emb = embed(&model, store, &task.features);
-            let g = metric_graph(&emb, similarity, k);
+            let g = metric_graph_with(&emb, similarity, k, &cfg.knn_index);
             let rebound = model.encoder.rebind(&g);
             model = model.with_encoder(rebound);
         }
@@ -793,10 +819,13 @@ fn build_aux<E: NodeModel>(
             AuxSpec::GraphSmoothness { weight } => {
                 let edges = match instance_graph {
                     Some(g) => g.edge_index(false),
-                    None => {
-                        build_instance_graph(&encoded.features, Similarity::Euclidean, EdgeRule::Knn { k: 5 })
-                            .edge_index(false)
-                    }
+                    None => build_instance_graph_with(
+                        &encoded.features,
+                        Similarity::Euclidean,
+                        EdgeRule::Knn { k: 5 },
+                        &cfg.knn_index,
+                    )
+                    .edge_index(false),
                 };
                 AuxTask::graph_smoothness(edges.src, edges.dst, weight)
             }

@@ -1,0 +1,115 @@
+//! Pipeline-level contract of `PipelineConfig::knn_index`: the default
+//! exact backend is bitwise identical to pre-index behavior, the HNSW
+//! backend trains to comparable accuracy, and invalid HNSW parameters come
+//! back as typed configuration errors before any work is done.
+
+use gnn4tdl::prelude::*;
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(n: usize) -> (Dataset, Split) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let dataset = gaussian_clusters(
+        &ClustersConfig { n, informative: 6, classes: 3, cluster_std: 0.7, ..Default::default() },
+        &mut rng,
+    );
+    let split = Split::stratified(dataset.target.labels(), 0.4, 0.2, &mut rng);
+    (dataset, split)
+}
+
+fn base_builder() -> PipelineConfigBuilder {
+    PipelineConfig::builder(GraphSpec::Rule {
+        similarity: Similarity::Euclidean,
+        rule: EdgeRule::Knn { k: 6 },
+    })
+    .hidden(16)
+    .train(TrainConfig { epochs: 30, patience: 0, ..Default::default() })
+    .seed(7)
+}
+
+fn hnsw() -> IndexKind {
+    IndexKind::Hnsw { m: 12, ef_construction: 96, ef_search: 48, seed: 5 }
+}
+
+#[test]
+fn explicit_exact_backend_is_bitwise_identical_to_default() {
+    let (dataset, split) = fixture(250);
+    let default_cfg = base_builder().build();
+    assert_eq!(default_cfg.knn_index, IndexKind::Exact, "Exact must stay the default");
+    let a = fit_pipeline(&dataset, &split, &default_cfg);
+    let b = fit_pipeline(&dataset, &split, &base_builder().knn_index(IndexKind::Exact).build());
+    assert_eq!(a.predictions.data(), b.predictions.data(), "explicit Exact diverged from default");
+    assert_eq!(a.graph_edges, b.graph_edges);
+}
+
+#[test]
+fn hnsw_backend_trains_to_comparable_accuracy() {
+    let (dataset, split) = fixture(300);
+    let exact = fit_pipeline(&dataset, &split, &base_builder().build());
+    let approx = fit_pipeline(&dataset, &split, &base_builder().knn_index(hnsw()).build());
+    let acc_exact = test_classification(&exact.predictions, &dataset.target, &split).accuracy;
+    let acc_approx = test_classification(&approx.predictions, &dataset.target, &split).accuracy;
+    assert!(approx.predictions.data().iter().all(|v| v.is_finite()));
+    assert!(approx.graph_edges > 0, "HNSW construction produced no edges");
+    assert!(
+        acc_approx >= acc_exact - 0.05,
+        "hnsw accuracy {acc_approx:.3} fell more than 0.05 below exact {acc_exact:.3}"
+    );
+}
+
+#[test]
+fn hnsw_works_for_metric_gsl_and_minibatch() {
+    let (dataset, split) = fixture(200);
+    let metric = PipelineConfig::builder(GraphSpec::MetricLearned {
+        k: 5,
+        similarity: Similarity::Gaussian { sigma: 1.0 },
+        rounds: 2,
+        inner_epochs: 10,
+    })
+    .hidden(16)
+    .knn_index(hnsw())
+    .seed(3)
+    .build();
+    let out = fit_pipeline(&dataset, &split, &metric);
+    assert!(out.predictions.data().iter().all(|v| v.is_finite()));
+
+    let mini = base_builder()
+        .knn_index(hnsw())
+        .batching(Batching::Neighbor { batch_size: 32, fanouts: vec![5, 3], seed: 11 })
+        .build();
+    let out = fit_pipeline(&dataset, &split, &mini);
+    let acc = test_classification(&out.predictions, &dataset.target, &split).accuracy;
+    assert!(acc > 0.5, "hnsw minibatch accuracy {acc:.3} not better than chance");
+}
+
+#[test]
+fn invalid_hnsw_params_are_typed_errors() {
+    let (dataset, split) = fixture(120);
+
+    let zero_m = base_builder()
+        .knn_index(IndexKind::Hnsw { m: 0, ef_construction: 32, ef_search: 32, seed: 0 })
+        .build();
+    assert!(matches!(try_fit_pipeline(&dataset, &split, &zero_m), Err(GnnError::InvalidConfig { .. })));
+
+    // ef_search below the formulation's k (= 6 here) can never return
+    // enough neighbors.
+    let small_ef = base_builder()
+        .knn_index(IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 3, seed: 0 })
+        .build();
+    match try_fit_pipeline(&dataset, &split, &small_ef) {
+        Err(GnnError::InvalidConfig { detail }) => {
+            assert!(detail.contains("ef_search"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+
+    // The same parameters are fine for a formulation that never runs kNN.
+    let no_knn = PipelineConfig::builder(GraphSpec::None)
+        .hidden(8)
+        .train(TrainConfig { epochs: 2, patience: 0, ..Default::default() })
+        .knn_index(IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 3, seed: 0 })
+        .build();
+    assert!(try_fit_pipeline(&dataset, &split, &no_knn).is_ok());
+}
