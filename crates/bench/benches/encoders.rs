@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_construct::{build_instance_graph, same_value_multiplex, EdgeRule, Similarity};
 use gnn4tdl_data::encode_all;
@@ -13,11 +13,11 @@ use gnn4tdl_tensor::{Matrix, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn step(model: &dyn NodeModel, store: &ParamStore, x: &Matrix, labels: &Rc<Vec<usize>>) {
+fn step(model: &dyn NodeModel, store: &ParamStore, x: &Matrix, labels: &Arc<Vec<usize>>) {
     let mut s = Session::train(store, 0);
     let xv = s.input(x.clone());
     let emb = model.forward(&mut s, xv);
-    let loss = s.tape.softmax_cross_entropy(emb, Rc::clone(labels), None);
+    let loss = s.tape.softmax_cross_entropy(emb, Arc::clone(labels), None);
     black_box(s.backward(loss));
 }
 
@@ -29,7 +29,7 @@ fn bench_encoders(c: &mut Criterion) {
     );
     let enc = encode_all(&data.table);
     let graph = build_instance_graph(&enc.features, Similarity::Euclidean, EdgeRule::Knn { k: 8 });
-    let labels = Rc::new(data.target.labels().to_vec());
+    let labels = Arc::new(data.target.labels().to_vec());
     let dims = [enc.features.cols(), 32, 3];
 
     let mut group = c.benchmark_group("encoder_train_step_500n");
@@ -64,7 +64,7 @@ fn bench_encoders(c: &mut Criterion) {
     let fraud = fraud_network(&FraudConfig { n: 500, ..Default::default() }, &mut rng);
     let fenc = encode_all(&fraud.dataset.table);
     let mg = same_value_multiplex(&fraud.dataset.table, 100);
-    let flabels = Rc::new(fraud.dataset.target.labels().to_vec());
+    let flabels = Arc::new(fraud.dataset.target.labels().to_vec());
     let mut store = ParamStore::new();
     let m = RgcnModel::new(&mut store, &mg, &[fenc.features.cols(), 32, 2], 0.0, &mut rng);
     c.bench_function("rgcn_train_step_500n", |b| b.iter(|| step(&m, &store, &fenc.features, &flabels)));

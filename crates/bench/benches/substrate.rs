@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_construct::{
     bipartite_from_table, build_instance_graph, hypergraph_from_table, EdgeRule, Similarity,
@@ -54,8 +54,8 @@ fn bench_autodiff_step(c: &mut Criterion) {
             triplets.push((r, rng.gen_range(0..n), 1.0f32));
         }
     }
-    let adj = Rc::new(SpAdj::new(CsrMatrix::from_triplets(n, n, &triplets).row_normalized()));
-    let labels = Rc::new((0..n).map(|i| i % 3).collect::<Vec<usize>>());
+    let adj = Arc::new(SpAdj::new(CsrMatrix::from_triplets(n, n, &triplets).row_normalized()));
+    let labels = Arc::new((0..n).map(|i| i % 3).collect::<Vec<usize>>());
     c.bench_function("gcn_forward_backward_500n", |bench| {
         bench.iter(|| {
             let mut tape = Tape::new();
@@ -67,7 +67,7 @@ fn bench_autodiff_step(c: &mut Criterion) {
             let h = tape.relu(h);
             let agg2 = tape.spmm(&adj, h);
             let logits = tape.matmul(agg2, w2v);
-            let loss = tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             black_box(tape.backward(loss));
         });
     });

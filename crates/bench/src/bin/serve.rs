@@ -1,0 +1,346 @@
+//! Serving-latency benchmark:
+//! `serve [--rows N] [--requests N] [--batch N] [--epochs N] [--workers N]
+//!        [--max-p99-ms X] [--min-rps X] [--min-speedup X] [--out DIR]`.
+//!
+//! Fits a servable GCN on `--rows` synthetic rows (≥10k by default), runs
+//! the real HTTP server in-process, and measures three legs:
+//!
+//! 1. **single** — one-row `POST /predict_proba` over a keep-alive
+//!    connection; p50/p99 request latency and requests/s.
+//! 2. **batch** — `--batch`-row requests; p50/p99 per request and rows/s
+//!    (amortized HTTP + JSON overhead).
+//! 3. **incremental_vs_full** — the engine's incremental path (HNSW
+//!    insert + query + local-subgraph forward) against a full-graph
+//!    re-inference of the same rows; the speedup column is the
+//!    O(neighborhood) vs O(corpus) claim in one number.
+//!
+//! Results land in `BENCH_serve.json` at the repo root. `--max-p99-ms` /
+//! `--min-rps` gate the single-row leg and `--min-speedup` gates leg 3, so
+//! CI fails when serving regresses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gnn4tdl::servable::{ServableConfig, ServableModel};
+use gnn4tdl::EncoderSpec;
+use gnn4tdl_bench::report::{Cell, Report};
+use gnn4tdl_construct::{IndexKind, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split};
+use gnn4tdl_serve::{http, serve, Engine, ServerConfig};
+use gnn4tdl_tensor::{obs, pool};
+use gnn4tdl_train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLASSES: usize = 3;
+const HIDDEN: usize = 16;
+const LAYERS: usize = 2;
+const K: usize = 10;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("serve bench: {msg}");
+    eprintln!(
+        "usage: serve [--rows N] [--requests N] [--batch N] [--epochs N] [--workers N] \
+         [--max-p99-ms X] [--min-rps X] [--min-speedup X] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Keep-alive HTTP client: sends `payloads` sequentially on one
+/// connection, returns per-request wall times in ms.
+fn drive(addr: std::net::SocketAddr, payloads: &[Vec<u8>]) -> Vec<f64> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut latencies = Vec::with_capacity(payloads.len());
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    for payload in payloads {
+        let t = Instant::now();
+        stream.write_all(payload).expect("write request");
+        loop {
+            match http::parse_response(&buf).expect("well-formed response") {
+                Some((resp, consumed)) => {
+                    assert_eq!(
+                        resp.status,
+                        200,
+                        "bench request failed: {}",
+                        String::from_utf8_lossy(&resp.body)
+                    );
+                    buf.drain(..consumed);
+                    break;
+                }
+                None => {
+                    let n = stream.read(&mut chunk).expect("read response");
+                    assert!(n > 0, "server closed mid-benchmark");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    latencies
+}
+
+fn encode_post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn row_json(row: &[f32]) -> String {
+    let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn main() {
+    let mut rows = 10_000usize;
+    let mut requests = 200usize;
+    let mut batch = 32usize;
+    let mut epochs = 8usize;
+    let mut workers = 2usize;
+    let mut max_p99_ms: Option<f64> = None;
+    let mut min_rps: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--rows" => rows = val("--rows").parse().unwrap_or_else(|_| usage("--rows: integer")),
+            "--requests" => {
+                requests = val("--requests").parse().unwrap_or_else(|_| usage("--requests: integer"))
+            }
+            "--batch" => batch = val("--batch").parse().unwrap_or_else(|_| usage("--batch: integer")),
+            "--epochs" => epochs = val("--epochs").parse().unwrap_or_else(|_| usage("--epochs: integer")),
+            "--workers" => workers = val("--workers").parse().unwrap_or_else(|_| usage("--workers: integer")),
+            "--max-p99-ms" => {
+                max_p99_ms =
+                    Some(val("--max-p99-ms").parse().unwrap_or_else(|_| usage("--max-p99-ms: number")))
+            }
+            "--min-rps" => {
+                min_rps = Some(val("--min-rps").parse().unwrap_or_else(|_| usage("--min-rps: number")))
+            }
+            "--min-speedup" => {
+                min_speedup =
+                    Some(val("--min-speedup").parse().unwrap_or_else(|_| usage("--min-speedup: number")))
+            }
+            "--out" => out_dir = Some(PathBuf::from(val("--out"))),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    pool::enable();
+    obs::enable();
+
+    // -- fit the servable model on a >=10k-row corpus ----------------------
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = gaussian_clusters(
+        &ClustersConfig {
+            n: rows,
+            informative: 12,
+            noise_features: 4,
+            classes: CLASSES,
+            cluster_std: 0.8,
+            center_scale: 3.0,
+        },
+        &mut rng,
+    );
+    let labels = dataset.target.labels().to_vec();
+    let split = Split::stratified(&labels, 0.05, 0.05, &mut rng);
+    let features = encode_all(&dataset.table).features;
+    let in_dim = features.cols();
+    let config = ServableConfig {
+        encoder: EncoderSpec::Gcn,
+        in_dim,
+        hidden: HIDDEN,
+        layers: LAYERS,
+        num_classes: CLASSES,
+        dropout: 0.0,
+        k: K,
+        similarity: Similarity::Euclidean,
+        index: IndexKind::Hnsw { m: 12, ef_construction: 64, ef_search: 48, seed: 17 },
+    };
+    eprintln!("fitting servable GCN on {rows} rows ({epochs} epochs) ...");
+    let t_fit = Instant::now();
+    let model = ServableModel::fit(
+        features,
+        labels,
+        &split,
+        config,
+        &TrainConfig { epochs, patience: 0, ..Default::default() },
+    )
+    .expect("servable fit");
+    eprintln!("fit in {:.1}s", t_fit.elapsed().as_secs_f64());
+
+    // -- leg 3 first: in-process incremental vs full-graph re-inference ----
+    // (Before the HTTP legs so the engine's HNSW has no benchmark-inserted
+    // rows when we compare the two paths on identical fresh requests.)
+    let engine = Arc::new(Engine::new(model).expect("engine"));
+
+    // Request rows: perturbed corpus rows, in-distribution but unseen.
+    let corpus = Arc::clone(&engine);
+    let make_row = move |i: usize| -> Vec<f32> {
+        let base = corpus.model().features.row(i * 13 % rows);
+        base.iter().enumerate().map(|(j, &v)| v + ((i + j) as f32 * 0.713).sin() * 0.05).collect()
+    };
+    let compare = 10usize.min(requests.max(1));
+    let mut inc_ms = Vec::with_capacity(compare);
+    let mut full_ms = Vec::with_capacity(compare);
+    for i in 0..compare {
+        let row = make_row(i);
+        let t = Instant::now();
+        let local = engine.predict(&row).expect("incremental predict");
+        inc_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let neighbors: Vec<usize> =
+            engine.model().exact_neighbors(&row).into_iter().map(|(n, _)| n).collect();
+        let t = Instant::now();
+        let full = engine.model().predict_full(&row, &neighbors).expect("full predict");
+        full_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(local.proba.len(), full.proba.len());
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let speedup = mean(&full_ms) / mean(&inc_ms);
+    eprintln!(
+        "incremental {:.2} ms/req vs full-graph {:.2} ms/req ({speedup:.1}x)",
+        mean(&inc_ms),
+        mean(&full_ms)
+    );
+
+    // -- HTTP legs ----------------------------------------------------------
+    let server =
+        serve(Arc::clone(&engine), ServerConfig { workers, queue_cap: 256, ..ServerConfig::default() })
+            .expect("bind");
+    let addr = server.addr();
+    eprintln!("serving on {addr} with {workers} workers");
+
+    let single_payloads: Vec<Vec<u8>> = (0..requests)
+        .map(|i| encode_post("/predict_proba", &format!("{{\"row\": {}}}", row_json(&make_row(i)))))
+        .collect();
+    let t_single = Instant::now();
+    let mut single_ms = drive(addr, &single_payloads);
+    let single_wall = t_single.elapsed().as_secs_f64();
+    single_ms.sort_by(|a, b| a.total_cmp(b));
+    let single_rps = requests as f64 / single_wall;
+
+    let n_batches = (requests / batch).max(1);
+    let batch_payloads: Vec<Vec<u8>> = (0..n_batches)
+        .map(|b| {
+            let rows_json: Vec<String> = (0..batch).map(|i| row_json(&make_row(b * batch + i))).collect();
+            encode_post("/predict_proba", &format!("{{\"rows\": [{}]}}", rows_json.join(",")))
+        })
+        .collect();
+    let t_batch = Instant::now();
+    let mut batch_ms = drive(addr, &batch_payloads);
+    let batch_wall = t_batch.elapsed().as_secs_f64();
+    batch_ms.sort_by(|a, b| a.total_cmp(b));
+    let batch_rows_ps = (n_batches * batch) as f64 / batch_wall;
+
+    server.shutdown();
+
+    // -- report -------------------------------------------------------------
+    let mut report = Report::new(
+        "BENCH_serve",
+        "Online inference: HTTP serving latency and incremental vs full-graph re-inference (GCN, HNSW kNN)",
+        &["leg", "corpus_rows", "requests", "batch", "p50_ms", "p99_ms", "rows_per_s", "speedup_vs_full"],
+    );
+    report.row(vec![
+        Cell::from("single"),
+        Cell::from(rows),
+        Cell::from(requests),
+        Cell::from(1usize),
+        Cell::from(percentile(&single_ms, 50.0)),
+        Cell::from(percentile(&single_ms, 99.0)),
+        Cell::from(single_rps),
+        Cell::from(f64::NAN),
+    ]);
+    report.row(vec![
+        Cell::from("batch"),
+        Cell::from(rows),
+        Cell::from(n_batches),
+        Cell::from(batch),
+        Cell::from(percentile(&batch_ms, 50.0)),
+        Cell::from(percentile(&batch_ms, 99.0)),
+        Cell::from(batch_rows_ps),
+        Cell::from(f64::NAN),
+    ]);
+    report.row(vec![
+        Cell::from("incremental_vs_full"),
+        Cell::from(rows),
+        Cell::from(compare),
+        Cell::from(1usize),
+        Cell::from(percentile(
+            &{
+                let mut v = inc_ms.clone();
+                v.sort_by(|a, b| a.total_cmp(b));
+                v
+            },
+            50.0,
+        )),
+        Cell::from(percentile(
+            &{
+                let mut v = inc_ms.clone();
+                v.sort_by(|a, b| a.total_cmp(b));
+                v
+            },
+            99.0,
+        )),
+        Cell::from(compare as f64 / (inc_ms.iter().sum::<f64>() / 1e3)),
+        Cell::from(speedup),
+    ]);
+    report.print();
+    match report.save_json(&out_dir) {
+        Ok(()) => eprintln!("wrote {}", out_dir.join("BENCH_serve.json").display()),
+        Err(err) => {
+            eprintln!("failed to write BENCH_serve.json: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    // Per-request spans / counters / latency histogram from the run.
+    let obs_dir = obs::default_report_dir();
+    match obs::collect("serve").save(&obs_dir) {
+        Ok(path) => eprintln!("wrote obs report {}", path.display()),
+        Err(err) => eprintln!("failed to write obs report: {err}"),
+    }
+
+    // -- gates --------------------------------------------------------------
+    let mut failed = false;
+    if let Some(limit) = max_p99_ms {
+        let p99 = percentile(&single_ms, 99.0);
+        if p99 > limit {
+            eprintln!("GATE FAILED: single-row p99 {p99:.2} ms > --max-p99-ms {limit}");
+            failed = true;
+        }
+    }
+    if let Some(floor) = min_rps {
+        if single_rps < floor {
+            eprintln!("GATE FAILED: single-row throughput {single_rps:.1} req/s < --min-rps {floor}");
+            failed = true;
+        }
+    }
+    if let Some(floor) = min_speedup {
+        if speedup < floor {
+            eprintln!("GATE FAILED: incremental speedup {speedup:.2}x < --min-speedup {floor}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

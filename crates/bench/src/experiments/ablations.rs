@@ -15,7 +15,7 @@ use gnn4tdl_tensor::{Matrix, ParamStore};
 use gnn4tdl_train::{Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::report::{Cell, Report};
 use crate::workloads::{anomalies, fraud};
@@ -72,7 +72,7 @@ fn lunar_like_raw_inputs(features: &Matrix, k: usize, epochs: usize, seed: u64) 
         }
     }
     let graph = build_instance_graph(&all, Similarity::Euclidean, EdgeRule::Knn { k });
-    let targets = Rc::new(Matrix::col_vector(
+    let targets = Arc::new(Matrix::col_vector(
         &(0..n + n_neg).map(|r| if r < n { 0.0 } else { 1.0 }).collect::<Vec<f32>>(),
     ));
     let mut store = ParamStore::new();
@@ -84,7 +84,7 @@ fn lunar_like_raw_inputs(features: &Matrix, k: usize, epochs: usize, seed: u64) 
         let x = s.input(all.clone());
         let emb = encoder.forward(&mut s, x);
         let logit = head.forward(&mut s, emb);
-        let loss = s.tape.bce_with_logits(logit, Rc::clone(&targets), None);
+        let loss = s.tape.bce_with_logits(logit, Arc::clone(&targets), None);
         let grads = s.backward(loss);
         opt.step(&mut store, &grads);
     }

@@ -415,16 +415,71 @@ impl Visited {
     }
 }
 
+/// Feature storage of an [`HnswIndex`]: either a borrowed corpus matrix
+/// (the zero-copy construction path used everywhere at build time) or an
+/// owned row-major buffer that can grow — the storage behind the public
+/// post-build [`HnswIndex::insert`]. Both variants expose the same
+/// `rows`/`cols`/`row` accessors, so every search routine is agnostic to
+/// which one backs the index.
+enum FeatStore<'a> {
+    Borrowed(&'a Matrix),
+    Owned { data: Vec<f32>, rows: usize, cols: usize },
+}
+
+impl FeatStore<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            FeatStore::Borrowed(m) => m.rows(),
+            FeatStore::Owned { rows, .. } => *rows,
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            FeatStore::Borrowed(m) => m.cols(),
+            FeatStore::Owned { cols, .. } => *cols,
+        }
+    }
+
+    fn row(&self, i: usize) -> &[f32] {
+        match self {
+            FeatStore::Borrowed(m) => m.row(i),
+            FeatStore::Owned { data, cols, .. } => &data[i * cols..(i + 1) * cols],
+        }
+    }
+
+    /// Appends one row; only the owned variant can grow.
+    fn push_row(&mut self, row: &[f32]) {
+        match self {
+            FeatStore::Borrowed(_) => unreachable!("push_row on borrowed feature storage"),
+            FeatStore::Owned { data, rows, .. } => {
+                data.extend_from_slice(row);
+                *rows += 1;
+            }
+        }
+    }
+
+    /// Squared row norms in the exact per-row reduction order of
+    /// `row_sq_norms`, so owned and borrowed builds stay bitwise equal.
+    fn sq_norms(&self) -> Vec<f32> {
+        (0..self.rows()).map(|i| self.row(i).iter().map(|&a| a * a).sum::<f32>()).collect()
+    }
+}
+
 /// From-scratch deterministic HNSW index. Construction inserts rows in
 /// ascending id order (sequential — the insertion loop mutates the layered
 /// graph); queries are read-only and parallelize over row chunks.
 pub struct HnswIndex<'a> {
-    features: &'a Matrix,
+    features: FeatStore<'a>,
     similarity: Similarity,
     sq: Vec<f32>,
     m: usize,
     /// Layer-0 link budget (`2m`, per the HNSW paper).
     m0: usize,
+    /// Beam width used at construction time; post-build [`Self::insert`]
+    /// reuses it so an incrementally grown index is indistinguishable from
+    /// one built over the full corpus.
+    ef_construction: usize,
     ef_search: usize,
     seed: u64,
     /// Per-node top layer.
@@ -444,9 +499,22 @@ pub struct HnswIndex<'a> {
 impl<'a> HnswIndex<'a> {
     /// Builds the index by inserting every row of `features` in id order.
     /// Records one `construct.hnsw.insert` count per row and the total
-    /// greedy-frontier expansions under `construct.hnsw.hops`.
+    /// greedy-frontier expansions under `construct.hnsw.hops`. The index
+    /// borrows `features`; see [`Self::build_owned`] for an index that can
+    /// grow after construction.
     pub fn build(
         features: &'a Matrix,
+        similarity: Similarity,
+        m: usize,
+        ef_construction: usize,
+        ef_search: usize,
+        seed: u64,
+    ) -> Self {
+        Self::build_impl(FeatStore::Borrowed(features), similarity, m, ef_construction, ef_search, seed)
+    }
+
+    fn build_impl(
+        features: FeatStore<'a>,
         similarity: Similarity,
         m: usize,
         ef_construction: usize,
@@ -459,13 +527,14 @@ impl<'a> HnswIndex<'a> {
         assert!(ef_search >= 1, "hnsw ef_search must be positive");
         let n = features.rows();
         let m0 = m * 2;
-        let sq = row_sq_norms(features);
+        let sq = features.sq_norms();
         let mut index = Self {
             features,
             similarity,
             sq,
             m,
             m0,
+            ef_construction,
             ef_search,
             seed,
             levels: vec![0; n],
@@ -479,11 +548,70 @@ impl<'a> HnswIndex<'a> {
         let mut scratch = SearchScratch::new(n);
         let mut hops: u64 = 0;
         for i in 0..n {
-            index.insert(i as u32, ef_construction, &mut scratch, &mut hops);
+            index.insert_node(i as u32, ef_construction, &mut scratch, &mut hops);
         }
         obs::counter_add("construct.hnsw.insert", n as u64);
         obs::counter_add("construct.hnsw.hops", hops);
         index
+    }
+
+    /// Builds an index that *owns* a copy of `features` and can therefore
+    /// keep growing after construction via [`Self::insert`] — the online
+    /// serving path, where unseen rows are folded into the proximity graph
+    /// as they arrive. Bitwise-identical to [`Self::build`] over the same
+    /// rows and parameters.
+    pub fn build_owned(
+        features: &Matrix,
+        similarity: Similarity,
+        m: usize,
+        ef_construction: usize,
+        ef_search: usize,
+        seed: u64,
+    ) -> HnswIndex<'static> {
+        let store =
+            FeatStore::Owned { data: features.data().to_vec(), rows: features.rows(), cols: features.cols() };
+        HnswIndex::build_impl(store, similarity, m, ef_construction, ef_search, seed)
+    }
+
+    /// Appends one row to the corpus and links it into the layered graph —
+    /// the incremental update behind online serving. Because construction
+    /// is itself a sequence of these inserts and level draws are keyed
+    /// `(seed, node)`, an index grown by `insert` is bitwise identical to
+    /// one built from scratch over the concatenated rows with the same
+    /// parameters. Returns the id of the new row.
+    ///
+    /// Only available on an index that owns its storage
+    /// ([`Self::build_owned`]); a borrowing index returns a typed
+    /// [`GnnError::InvalidConfig`].
+    pub fn insert(&mut self, row: &[f32]) -> Result<usize, GnnError> {
+        if matches!(self.features, FeatStore::Borrowed(_)) {
+            return Err(GnnError::InvalidConfig {
+                detail: "hnsw index borrows its corpus; build with build_owned for incremental inserts"
+                    .into(),
+            });
+        }
+        if row.len() != self.features.cols() {
+            return Err(GnnError::InvalidConfig {
+                detail: format!(
+                    "insert row has {} features, index corpus has {}",
+                    row.len(),
+                    self.features.cols()
+                ),
+            });
+        }
+        let node = self.features.rows();
+        self.features.push_row(row);
+        self.sq.push(row.iter().map(|&a| a * a).sum::<f32>());
+        self.levels.push(0);
+        self.layer0.extend(std::iter::repeat_n(u32::MAX, self.m0));
+        self.count0.push(0);
+        self.upper_ids.push(u32::MAX);
+        let mut scratch = SearchScratch::new(self.features.rows());
+        let mut hops: u64 = 0;
+        self.insert_node(node as u32, self.ef_construction, &mut scratch, &mut hops);
+        obs::counter_add("construct.hnsw.insert", 1);
+        obs::counter_add("construct.hnsw.hops", hops);
+        Ok(node)
     }
 
     /// Similarity between corpus rows `i` and `j`, through the same
@@ -743,7 +871,13 @@ impl<'a> HnswIndex<'a> {
         self.set_neighbors(v, layer, &keep);
     }
 
-    fn insert(&mut self, node: u32, ef_construction: usize, scratch: &mut SearchScratch, hops: &mut u64) {
+    fn insert_node(
+        &mut self,
+        node: u32,
+        ef_construction: usize,
+        scratch: &mut SearchScratch,
+        hops: &mut u64,
+    ) {
         let level = draw_level(self.seed, node as usize, self.m);
         self.levels[node as usize] = level as u8;
         if level > 0 {
@@ -756,11 +890,11 @@ impl<'a> HnswIndex<'a> {
             return;
         }
         let mut ep = self.entry;
-        // Hoist the inserted row once: `features` is a shared `&'a Matrix`,
-        // so the slice outlives the link mutations below without borrowing
-        // `self`. The similarity closures are rebuilt per call so their
-        // shared borrow of `self` never overlaps those mutations either.
-        let qv = self.features.row(node as usize);
+        // Copy the inserted row out: with owned storage the row borrows
+        // `self`, which the link mutations below need mutably. One d-float
+        // copy per insert is noise next to the beam search.
+        let qv = self.features.row(node as usize).to_vec();
+        let qv = qv.as_slice();
         let sq_q = self.sq[node as usize];
         // Zoom down through layers above the node's level with greedy hops.
         for l in ((level + 1)..=self.max_level).rev() {
@@ -1004,6 +1138,45 @@ mod tests {
         let idx = build_index(&single, Similarity::Euclidean, &hnsw);
         assert_eq!(idx.query_all(3), vec![Vec::<(usize, f32)>::new()]);
         assert_eq!(idx.query_k(&single, 0, 0, None), Vec::new());
+    }
+
+    #[test]
+    fn insert_then_query_matches_rebuild_from_scratch() {
+        // Construction is a sequence of inserts with (seed, node)-keyed
+        // level draws, so growing an owned index by one row must reproduce
+        // the from-scratch build over the concatenated corpus exactly.
+        let full = synthetic(201, 6);
+        let head = Matrix::from_vec(200, 6, full.data()[..200 * 6].to_vec());
+        let mut grown = HnswIndex::build_owned(&head, Similarity::Euclidean, 8, 32, 24, 42);
+        let id = grown.insert(full.row(200)).expect("insert on owned index");
+        assert_eq!(id, 200);
+        let rebuilt = HnswIndex::build(&full, Similarity::Euclidean, 8, 32, 24, 42);
+        assert_eq!(
+            grown.query_k(&full, 200, 5, Some(200)),
+            rebuilt.query_k(&full, 200, 5, Some(200)),
+            "inserted row's neighbors differ from the from-scratch build"
+        );
+        // The whole layered graph matches, not just the new row's links.
+        assert_eq!(grown.query_all(5), rebuilt.query_all(5));
+    }
+
+    #[test]
+    fn build_owned_matches_borrowed_build() {
+        let x = synthetic(120, 5);
+        let borrowed = HnswIndex::build(&x, Similarity::Cosine, 6, 24, 16, 9).query_all(4);
+        let owned = HnswIndex::build_owned(&x, Similarity::Cosine, 6, 24, 16, 9).query_all(4);
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn insert_is_rejected_on_borrowed_index_and_bad_dims() {
+        let x = synthetic(30, 4);
+        let mut borrowed = HnswIndex::build(&x, Similarity::Euclidean, 4, 16, 8, 1);
+        assert!(matches!(borrowed.insert(&[0.0; 4]), Err(GnnError::InvalidConfig { .. })));
+        let mut owned = HnswIndex::build_owned(&x, Similarity::Euclidean, 4, 16, 8, 1);
+        assert!(matches!(owned.insert(&[0.0; 3]), Err(GnnError::InvalidConfig { .. })));
+        assert_eq!(owned.insert(&[0.5, 0.25, -1.0, 2.0]).unwrap(), 30);
+        assert_eq!(owned.len(), 31);
     }
 
     #[test]

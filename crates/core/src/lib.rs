@@ -28,6 +28,7 @@ pub mod encoders;
 pub mod eval;
 pub mod pipeline;
 pub mod predictor;
+pub mod servable;
 pub mod zoo;
 
 pub use encoders::{GrapeEncoder, HyperEncoder};
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::predictor::{
         ForestPredictor, GbdtPredictor, GnnPredictor, KnnPredictor, LogRegPredictor, Predictor, TreePredictor,
     };
+    pub use crate::servable::{LocalPrediction, ServableConfig, ServableModel};
     pub use gnn4tdl_baselines::{ForestConfig, GbdtConfig, LogRegConfig, TreeConfig};
     pub use gnn4tdl_construct::{EdgeRule, IndexKind, Similarity};
     pub use gnn4tdl_data::{Dataset, Split, Table, Target};

@@ -72,8 +72,9 @@ pub trait Predictor {
     fn predict_proba(&self, rows: &[usize]) -> Matrix;
 }
 
-/// Row-wise numerically-stable softmax.
-fn softmax_rows(m: &Matrix) -> Matrix {
+/// Row-wise numerically-stable softmax. Shared with the serving path
+/// ([`crate::servable`]) so online and batch probabilities agree bitwise.
+pub(crate) fn softmax_rows(m: &Matrix) -> Matrix {
     let mut out = m.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);

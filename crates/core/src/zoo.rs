@@ -2,7 +2,7 @@
 //! detection and GRAPE-style missing-data imputation. Both are built from
 //! the workspace substrate and exercised by the Section-5 experiments.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,7 +92,7 @@ pub fn lunar_scores(features: &Matrix, cfg: &LunarConfig) -> Vec<f32> {
     let graph = build_instance_graph(&all, Similarity::Euclidean, EdgeRule::Knn { k: cfg.k });
 
     // Targets: 0 for real rows, 1 for negatives.
-    let targets = Rc::new(Matrix::col_vector(
+    let targets = Arc::new(Matrix::col_vector(
         &(0..n + n_neg).map(|r| if r < n { 0.0 } else { 1.0 }).collect::<Vec<f32>>(),
     ));
 
@@ -105,7 +105,7 @@ pub fn lunar_scores(features: &Matrix, cfg: &LunarConfig) -> Vec<f32> {
         let x = s.input(node_feat.clone());
         let emb = encoder.forward(&mut s, x);
         let logit = head.forward(&mut s, emb);
-        let loss = s.tape.bce_with_logits(logit, Rc::clone(&targets), None);
+        let loss = s.tape.bce_with_logits(logit, Arc::clone(&targets), None);
         let grads = s.backward(loss);
         opt.step(&mut store, &grads);
     }
@@ -249,8 +249,8 @@ pub fn grape_impute(table: &Table, cfg: &GrapeImputeConfig) -> Table {
     let encoder = GrapeEncoder::new(&mut store, &graph, ncols * 2, cfg.hidden, cfg.layers, 0.0, &mut rng);
     let decoder = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
     let link_scorer = EdgeValueDecoder::new(&mut store, cfg.hidden, cfg.hidden, &mut rng);
-    let target = Rc::new(Matrix::col_vector(&train_values));
-    let link_target = Rc::new(Matrix::col_vector(&link_targets));
+    let target = Arc::new(Matrix::col_vector(&train_values));
+    let link_target = Arc::new(Matrix::col_vector(&link_targets));
     let mut opt = Adam::new(cfg.lr, 1e-5);
     if !train_pairs.is_empty() || !link_pairs.is_empty() {
         for epoch in 0..cfg.epochs {
@@ -260,12 +260,12 @@ pub fn grape_impute(table: &Table, cfg: &GrapeImputeConfig) -> Table {
             let mut loss = s.input(Matrix::zeros(1, 1));
             if !train_pairs.is_empty() {
                 let pred = decoder.forward(&mut s, hi, hf, &train_pairs);
-                let mse = s.tape.mse_loss(pred, Rc::clone(&target), None);
+                let mse = s.tape.mse_loss(pred, Arc::clone(&target), None);
                 loss = s.tape.add(loss, mse);
             }
             if !link_pairs.is_empty() {
                 let logits = link_scorer.forward(&mut s, hi, hf, &link_pairs);
-                let bce = s.tape.bce_with_logits(logits, Rc::clone(&link_target), None);
+                let bce = s.tape.bce_with_logits(logits, Arc::clone(&link_target), None);
                 let scaled = s.tape.scale(bce, 0.5);
                 loss = s.tape.add(loss, scaled);
             }
@@ -430,13 +430,13 @@ pub fn reconstruction_scores(features: &Matrix, hidden: usize, epochs: usize, se
     let mut store = ParamStore::new();
     let ae =
         Mlp::new(&mut store, "ae", &[d, hidden, 2, hidden, d], gnn4tdl_nn::Activation::Relu, 0.0, &mut rng);
-    let target = Rc::new(features.clone());
+    let target = Arc::new(features.clone());
     let mut opt = Adam::new(0.01, 0.0);
     for epoch in 0..epochs {
         let mut s = Session::train(&store, seed.wrapping_add(epoch as u64));
         let x = s.input(features.clone());
         let recon = ae.forward(&mut s, x);
-        let loss = s.tape.mse_loss(recon, Rc::clone(&target), None);
+        let loss = s.tape.mse_loss(recon, Arc::clone(&target), None);
         let grads = s.backward(loss);
         opt.step(&mut store, &grads);
     }
@@ -710,11 +710,11 @@ pub fn plato_mlp(
     let mut store = ParamStore::new();
     let l1 = Linear::new(&mut store, "plato.l1", d, cfg.hidden, &mut rng);
     let l2 = Linear::new(&mut store, "plato.l2", cfg.hidden, num_classes, &mut rng);
-    let train_mask = Rc::new(split.train_mask(features.rows()));
-    let labels_rc = Rc::new(labels.to_vec());
+    let train_mask = Arc::new(split.train_mask(features.rows()));
+    let labels_rc = Arc::new(labels.to_vec());
     let (src, dst): (Vec<usize>, Vec<usize>) = prior.edges().iter().copied().unzip();
-    let src = Rc::new(src);
-    let dst = Rc::new(dst);
+    let src = Arc::new(src);
+    let dst = Arc::new(dst);
 
     let mut opt = Adam::new(cfg.lr, 1e-4);
     for epoch in 0..cfg.epochs {
@@ -724,12 +724,12 @@ pub fn plato_mlp(
         let h = s.tape.relu(h);
         let logits = l2.forward(&mut s, h);
         let mut loss =
-            s.tape.softmax_cross_entropy(logits, Rc::clone(&labels_rc), Some(Rc::clone(&train_mask)));
+            s.tape.softmax_cross_entropy(logits, Arc::clone(&labels_rc), Some(Arc::clone(&train_mask)));
         if !src.is_empty() && cfg.prior_weight > 0.0 {
             // tie first-layer rows of prior-adjacent features
             let w = s.p(l1.weight_id());
-            let wa = s.tape.gather_rows(w, Rc::clone(&src));
-            let wb = s.tape.gather_rows(w, Rc::clone(&dst));
+            let wa = s.tape.gather_rows(w, Arc::clone(&src));
+            let wb = s.tape.gather_rows(w, Arc::clone(&dst));
             let diff = s.tape.sub(wa, wb);
             let sq = s.tape.square(diff);
             let reg = s.tape.mean_all(sq);

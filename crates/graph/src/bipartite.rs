@@ -5,7 +5,7 @@
 //! edge `i -(v)- j`. Missing cells simply have no edge, which is how the
 //! survey says bipartite formulations tackle missing values natively.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, SpAdj};
 
@@ -53,26 +53,26 @@ impl BipartiteGraph {
     /// instance nodes. Normalization is by *edge count*, not weight sum:
     /// cell values can be negative (standardized numerics), so weight-sum
     /// normalization would divide by near-zero sums and explode.
-    pub fn agg_right_to_left(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(count_normalized(&self.left_to_right)))
+    pub fn agg_right_to_left(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(count_normalized(&self.left_to_right)))
     }
 
     /// Mean-normalized operator aggregating instance-node embeddings into
     /// feature nodes (count-normalized, see [`Self::agg_right_to_left`]).
-    pub fn agg_left_to_right(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(count_normalized(&self.right_to_left)))
+    pub fn agg_left_to_right(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(count_normalized(&self.right_to_left)))
     }
 
     /// Weighted (non-normalized) aggregation instances <- features, where
     /// each message is scaled by the observed cell value (GRAPE uses edge
     /// weights as features of the message).
-    pub fn weighted_right_to_left(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.left_to_right.clone()))
+    pub fn weighted_right_to_left(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.left_to_right.clone()))
     }
 
     /// Weighted aggregation features <- instances.
-    pub fn weighted_left_to_right(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.right_to_left.clone()))
+    pub fn weighted_left_to_right(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.right_to_left.clone()))
     }
 
     /// Flat edge arrays `(instance, feature, weight)`.

@@ -4,7 +4,7 @@
 //! (users/ads/brands), fraud graphs (transactions/devices/addresses), and
 //! relational databases (rows typed by table, foreign keys as relations).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, SpAdj};
 
@@ -104,15 +104,15 @@ impl HeteroGraph {
     /// Mean-normalized message operator for relation `e`, aggregating source
     /// embeddings into destination nodes (rows are destinations). Packaged
     /// with the transpose for autodiff.
-    pub fn mean_agg(&self, e: EdgeTypeId) -> Rc<SpAdj> {
+    pub fn mean_agg(&self, e: EdgeTypeId) -> Arc<SpAdj> {
         // adjacency is src x dst; messages flow src -> dst so we need the
         // dst x src view, row-normalized over each destination's sources.
-        Rc::new(SpAdj::new(self.edge_types[e.0].adj.transpose().row_normalized()))
+        Arc::new(SpAdj::new(self.edge_types[e.0].adj.transpose().row_normalized()))
     }
 
     /// Mean-normalized operator in the reverse direction (dst -> src).
-    pub fn mean_agg_reverse(&self, e: EdgeTypeId) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.edge_types[e.0].adj.row_normalized()))
+    pub fn mean_agg_reverse(&self, e: EdgeTypeId) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.edge_types[e.0].adj.row_normalized()))
     }
 
     /// Checks internal consistency (adjacency shapes match node counts).

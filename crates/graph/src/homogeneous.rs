@@ -5,7 +5,7 @@
 //! [`Graph::mean_adj`]) and the flat edge arrays attention layers consume
 //! ([`Graph::edge_index`]).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, SpAdj};
 
@@ -133,19 +133,19 @@ impl Graph {
 
     /// GCN operator: `D^-1/2 (A + I) D^-1/2`, packaged with its transpose for
     /// autodiff. This is the standard Kipf-Welling propagation matrix.
-    pub fn gcn_adj(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.adj.with_self_loops(1.0).sym_normalized()))
+    pub fn gcn_adj(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.adj.with_self_loops(1.0).sym_normalized()))
     }
 
     /// Mean-aggregation operator `D^-1 A` (no self-loops) for
     /// GraphSAGE-style layers.
-    pub fn mean_adj(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.adj.row_normalized()))
+    pub fn mean_adj(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.adj.row_normalized()))
     }
 
     /// Sum-aggregation operator `A` as-is, for GIN layers.
-    pub fn sum_adj(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.adj.clone()))
+    pub fn sum_adj(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.adj.clone()))
     }
 
     /// Flat `(src, dst, weight)` arrays, with optional self-loops appended —

@@ -5,7 +5,7 @@
 //! standard two-phase clique-expansion-free scheme: node -> hyperedge
 //! aggregation, then hyperedge -> node aggregation, each mean-normalized.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, SpAdj};
 
@@ -69,14 +69,14 @@ impl Hypergraph {
 
     /// Mean-normalized node -> hyperedge aggregation operator
     /// (`edges x nodes`, rows sum to 1).
-    pub fn agg_nodes_to_edges(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.incidence.row_normalized()))
+    pub fn agg_nodes_to_edges(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.incidence.row_normalized()))
     }
 
     /// Mean-normalized hyperedge -> node aggregation operator
     /// (`nodes x edges`, rows sum to 1).
-    pub fn agg_edges_to_nodes(&self) -> Rc<SpAdj> {
-        Rc::new(SpAdj::new(self.incidence_t.row_normalized()))
+    pub fn agg_edges_to_nodes(&self) -> Arc<SpAdj> {
+        Arc::new(SpAdj::new(self.incidence_t.row_normalized()))
     }
 
     /// Clique expansion: the homogeneous graph connecting every pair of

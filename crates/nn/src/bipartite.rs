@@ -1,7 +1,7 @@
 //! GRAPE-style bipartite message passing between instance and feature nodes,
 //! plus the edge-value decoder used for missing-data imputation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -23,8 +23,8 @@ struct BipartiteLayer {
 /// Multi-layer bipartite encoder over an instance-feature graph.
 #[derive(Clone, Debug)]
 pub struct BipartiteModel {
-    inst_from_feat: Rc<SpAdj>,
-    feat_from_inst: Rc<SpAdj>,
+    inst_from_feat: Arc<SpAdj>,
+    feat_from_inst: Arc<SpAdj>,
     layers: Vec<BipartiteLayer>,
     dropout: f32,
     out_dim: usize,
@@ -104,8 +104,8 @@ impl EdgeValueDecoder {
     /// Predicts one value per `(instance, feature)` pair; returns an
     /// `|pairs| x 1` matrix.
     pub fn forward(&self, s: &mut Session<'_>, h_inst: Var, h_feat: Var, pairs: &[(usize, usize)]) -> Var {
-        let inst_idx: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(i, _)| i).collect());
-        let feat_idx: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(_, j)| j).collect());
+        let inst_idx: Arc<Vec<usize>> = Arc::new(pairs.iter().map(|&(i, _)| i).collect());
+        let feat_idx: Arc<Vec<usize>> = Arc::new(pairs.iter().map(|&(_, j)| j).collect());
         let hi = s.tape.gather_rows(h_inst, inst_idx);
         let hf = s.tape.gather_rows(h_feat, feat_idx);
         let cat = s.tape.concat_cols(hi, hf);
@@ -160,7 +160,7 @@ mod tests {
         let edges = g.edges();
         let pairs: Vec<(usize, usize)> = edges.iter().map(|&(i, j, _)| (i, j)).collect();
         let values: Vec<f32> = edges.iter().map(|&(_, _, v)| v).collect();
-        let target = Rc::new(Matrix::col_vector(&values));
+        let target = Arc::new(Matrix::col_vector(&values));
         let hi0 = Matrix::full(3, 2, 1.0);
         let hf0 = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
 
@@ -170,7 +170,7 @@ mod tests {
             let hf = s.input(hf0.clone());
             let (oi, of) = model.forward_pair(&mut s, hi, hf);
             let pred = dec.forward(&mut s, oi, of, &pairs);
-            let loss = s.tape.mse_loss(pred, Rc::clone(&target), None);
+            let loss = s.tape.mse_loss(pred, Arc::clone(&target), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -180,7 +180,7 @@ mod tests {
             let hf = s.input(hf0.clone());
             let (oi, of) = model.forward_pair(&mut s, hi, hf);
             let pred = dec.forward(&mut s, oi, of, &pairs);
-            let loss = s.tape.mse_loss(pred, Rc::clone(&target), None);
+            let loss = s.tape.mse_loss(pred, Arc::clone(&target), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.05, &gr);
             }

@@ -2,7 +2,7 @@
 //! workhorse homogeneous GNNs of the survey's Table 5 — plus the graph-free
 //! MLP encoder they are compared against.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -71,7 +71,7 @@ impl BlockModel for MlpModel {
 /// mitigation the survey's robustness section points to.
 #[derive(Clone, Debug)]
 pub struct GcnModel {
-    adj: Rc<SpAdj>,
+    adj: Arc<SpAdj>,
     layers: Vec<Linear>,
     dropout: f32,
     pair_norm: bool,
@@ -177,9 +177,9 @@ pub enum SageAggregator {
 /// neighborhood aggregator.
 #[derive(Clone, Debug)]
 pub struct SageModel {
-    adj: Rc<SpAdj>,
-    edge_src: Rc<Vec<usize>>,
-    edge_dst: Rc<Vec<usize>>,
+    adj: Arc<SpAdj>,
+    edge_src: Arc<Vec<usize>>,
+    edge_dst: Arc<Vec<usize>>,
     n: usize,
     self_layers: Vec<Linear>,
     neigh_layers: Vec<Linear>,
@@ -224,8 +224,8 @@ impl SageModel {
         let edges = graph.edge_index(false);
         Self {
             adj: graph.mean_adj(),
-            edge_src: Rc::new(edges.src),
-            edge_dst: Rc::new(edges.dst),
+            edge_src: Arc::new(edges.src),
+            edge_dst: Arc::new(edges.dst),
             n: graph.num_nodes(),
             self_layers,
             neigh_layers,
@@ -239,8 +239,8 @@ impl SageModel {
         let edges = graph.edge_index(false);
         Self {
             adj: graph.mean_adj(),
-            edge_src: Rc::new(edges.src),
-            edge_dst: Rc::new(edges.dst),
+            edge_src: Arc::new(edges.src),
+            edge_dst: Arc::new(edges.dst),
             n: graph.num_nodes(),
             ..self.clone()
         }
@@ -263,8 +263,8 @@ impl NodeModel for SageModel {
                     // transform each neighbor, then take the element-wise max
                     let pooled = self.pool_layers[i].forward(s, h);
                     let pooled = s.tape.relu(pooled);
-                    let messages = s.tape.gather_rows(pooled, Rc::clone(&self.edge_src));
-                    s.tape.scatter_max_rows(messages, Rc::clone(&self.edge_dst), self.n)
+                    let messages = s.tape.gather_rows(pooled, Arc::clone(&self.edge_src));
+                    s.tape.scatter_max_rows(messages, Arc::clone(&self.edge_dst), self.n)
                 }
             };
             let neigh = self.neigh_layers[i].forward(s, agg);
@@ -286,7 +286,7 @@ impl NodeModel for SageModel {
 /// fixed `eps = 0`, the common simplification.
 #[derive(Clone, Debug)]
 pub struct GinModel {
-    adj: Rc<SpAdj>,
+    adj: Arc<SpAdj>,
     mlps: Vec<Mlp>,
     dropout: f32,
 }
@@ -434,12 +434,12 @@ mod tests {
         let m =
             SageModel::with_aggregator(&mut store, &g, &[2, 8, 2], 0.0, SageAggregator::MaxPool, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.1], vec![0.9, 0.0], vec![-1.0, 0.2], vec![-0.8, 0.1]]);
-        let labels = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = std::sync::Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -447,7 +447,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.3, &gr);
             }
@@ -585,12 +585,12 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)], true);
         let m = GcnModel::new(&mut store, &g, &[2, 8, 2], 0.0, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.1], vec![0.9, 0.0], vec![-1.0, 0.2], vec![-0.8, 0.1]]);
-        let labels = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = std::sync::Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -598,7 +598,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.3, &gr);
             }

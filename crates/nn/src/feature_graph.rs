@@ -3,7 +3,7 @@
 //! embedded, message passing runs on a batched block-diagonal graph, and a
 //! mean readout produces the instance representation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -36,11 +36,11 @@ pub struct FeatureGraphModel {
     /// Embedding table over all (column, value) pairs, `total_values x emb`.
     embedding: ParamId,
     /// Flat embedding row index per (instance, field) node.
-    node_value: Rc<Vec<usize>>,
+    node_value: Arc<Vec<usize>>,
     /// Block-diagonal fully-connected adjacency with self-loops, normalized.
-    adj: Rc<SpAdj>,
+    adj: Arc<SpAdj>,
     /// Instance id per node for the readout.
-    segment: Rc<Vec<usize>>,
+    segment: Arc<Vec<usize>>,
     n: usize,
     fields: usize,
     layers: Vec<Linear>,
@@ -52,10 +52,10 @@ pub struct FeatureGraphModel {
     /// [`FieldAdjacency::Learned`].
     pair_scores: Option<ParamId>,
     /// Field-pair index per batched edge (learned adjacency only).
-    edge_pair: Rc<Vec<usize>>,
+    edge_pair: Arc<Vec<usize>>,
     /// Edge endpoints for the learned-adjacency path.
-    edge_src: Rc<Vec<usize>>,
-    edge_dst: Rc<Vec<usize>>,
+    edge_src: Arc<Vec<usize>>,
+    edge_dst: Arc<Vec<usize>>,
 }
 
 impl FeatureGraphModel {
@@ -133,8 +133,9 @@ impl FeatureGraphModel {
                 }
             }
         }
-        let adj =
-            Rc::new(SpAdj::new(CsrMatrix::from_triplets(n * fields, n * fields, &triplets).row_normalized()));
+        let adj = Arc::new(SpAdj::new(
+            CsrMatrix::from_triplets(n * fields, n * fields, &triplets).row_normalized(),
+        ));
 
         let segment: Vec<usize> = (0..n * fields).map(|k| k / fields).collect();
 
@@ -169,9 +170,9 @@ impl FeatureGraphModel {
 
         Self {
             embedding,
-            node_value: Rc::new(node_value),
+            node_value: Arc::new(node_value),
             adj,
-            segment: Rc::new(segment),
+            segment: Arc::new(segment),
             n,
             fields,
             layers,
@@ -180,9 +181,9 @@ impl FeatureGraphModel {
             dropout,
             readout: Readout::Mean,
             pair_scores,
-            edge_pair: Rc::new(edge_pair),
-            edge_src: Rc::new(edge_src),
-            edge_dst: Rc::new(edge_dst),
+            edge_pair: Arc::new(edge_pair),
+            edge_src: Arc::new(edge_src),
+            edge_dst: Arc::new(edge_dst),
         }
     }
 
@@ -228,7 +229,7 @@ impl NodeModel for FeatureGraphModel {
     fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
         assert_eq!(s.tape.value(x).rows(), self.n, "row-count mismatch with construction table");
         let table = s.p(self.embedding);
-        let mut h = s.tape.gather_rows(table, Rc::clone(&self.node_value)); // (n*fields) x emb
+        let mut h = s.tape.gather_rows(table, Arc::clone(&self.node_value)); // (n*fields) x emb
         for layer in &self.layers {
             let agg = match self.pair_scores {
                 None => s.tape.spmm(&self.adj, h),
@@ -236,11 +237,11 @@ impl NodeModel for FeatureGraphModel {
                     // shared learned field adjacency: per-edge scores gathered
                     // by field-pair id, softmaxed per destination node
                     let scores = s.p(id);
-                    let raw = s.tape.gather_rows(scores, Rc::clone(&self.edge_pair));
-                    let alpha = s.tape.segment_softmax(raw, Rc::clone(&self.edge_dst), self.n * self.fields);
-                    let messages = s.tape.gather_rows(h, Rc::clone(&self.edge_src));
+                    let raw = s.tape.gather_rows(scores, Arc::clone(&self.edge_pair));
+                    let alpha = s.tape.segment_softmax(raw, Arc::clone(&self.edge_dst), self.n * self.fields);
+                    let messages = s.tape.gather_rows(h, Arc::clone(&self.edge_src));
                     let weighted = s.tape.mul_col(messages, alpha);
-                    s.tape.scatter_add_rows(weighted, Rc::clone(&self.edge_dst), self.n * self.fields)
+                    s.tape.scatter_add_rows(weighted, Arc::clone(&self.edge_dst), self.n * self.fields)
                 }
             };
             let z = layer.forward(s, agg);
@@ -294,7 +295,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = table();
         let m = FeatureGraphModel::new(&mut store, &t, 8, 2, 2, 0.0, &mut rng);
-        let labels = Rc::new(vec![0usize, 1, 1, 0]);
+        let labels = Arc::new(vec![0usize, 1, 1, 0]);
         let x0 = Matrix::zeros(4, 1);
         let eval_acc = |store: &ParamStore| {
             let mut s = Session::eval(store);
@@ -307,7 +308,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let x = s.input(x0.clone());
             let logits = m.forward(&mut s, x);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.3, &gr);
             }
@@ -335,13 +336,13 @@ mod tests {
             FieldAdjacency::Learned,
             &mut rng,
         );
-        let labels = Rc::new(vec![0usize, 1, 1, 0, 0, 1, 1, 0]);
+        let labels = Arc::new(vec![0usize, 1, 1, 0, 0, 1, 1, 0]);
         let x0 = Matrix::zeros(8, 1);
         for step in 0..300 {
             let mut s = Session::train(&store, step);
             let x = s.input(x0.clone());
             let logits = m.forward(&mut s, x);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.3, &gr);
             }

@@ -3,7 +3,7 @@
 //! segment-softmax op. Multi-head with concatenation on hidden layers and a
 //! single head on the output layer, as in the original paper.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -34,8 +34,8 @@ impl GatHead {
     fn forward(
         &self,
         s: &mut Session<'_>,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         n: usize,
         x: Var,
     ) -> Var {
@@ -44,22 +44,22 @@ impl GatHead {
         let a_dst = s.p(self.att_dst);
         let score_src = s.tape.matmul(h, a_src); // n x 1
         let score_dst = s.tape.matmul(h, a_dst); // n x 1
-        let e_src = s.tape.gather_rows(score_src, Rc::clone(src)); // E x 1
-        let e_dst = s.tape.gather_rows(score_dst, Rc::clone(dst)); // E x 1
+        let e_src = s.tape.gather_rows(score_src, Arc::clone(src)); // E x 1
+        let e_dst = s.tape.gather_rows(score_dst, Arc::clone(dst)); // E x 1
         let raw = s.tape.add(e_src, e_dst);
         let scores = s.tape.leaky_relu(raw, 0.2);
-        let alpha = s.tape.segment_softmax(scores, Rc::clone(dst), n); // E x 1
-        let messages = s.tape.gather_rows(h, Rc::clone(src)); // E x d'
+        let alpha = s.tape.segment_softmax(scores, Arc::clone(dst), n); // E x 1
+        let messages = s.tape.gather_rows(h, Arc::clone(src)); // E x d'
         let weighted = s.tape.mul_col(messages, alpha);
-        s.tape.scatter_add_rows(weighted, Rc::clone(dst), n)
+        s.tape.scatter_add_rows(weighted, Arc::clone(dst), n)
     }
 }
 
 /// Multi-layer, multi-head GAT encoder.
 #[derive(Clone, Debug)]
 pub struct GatModel {
-    src: Rc<Vec<usize>>,
-    dst: Rc<Vec<usize>>,
+    src: Arc<Vec<usize>>,
+    dst: Arc<Vec<usize>>,
     n: usize,
     /// Hidden layers: `heads` heads each, concatenated.
     hidden: Vec<Vec<GatHead>>,
@@ -107,8 +107,8 @@ impl GatModel {
     }
 }
 
-fn split_edges(edges: &EdgeIndex) -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
-    (Rc::new(edges.src.clone()), Rc::new(edges.dst.clone()))
+fn split_edges(edges: &EdgeIndex) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
+    (Arc::new(edges.src.clone()), Arc::new(edges.dst.clone()))
 }
 
 impl NodeModel for GatModel {
@@ -184,12 +184,12 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)], true);
         let m = GatModel::new(&mut store, &g, &[2, 4, 2], 2, 0.0, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.8, 0.1], vec![-1.0, 0.0], vec![-0.9, -0.1]]);
-        let labels = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = std::sync::Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -197,7 +197,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.2, &gr);
             }

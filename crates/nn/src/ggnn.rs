@@ -3,7 +3,7 @@
 //! the survey's pick when "there is a need to regulate the information flow
 //! in the graph more carefully".
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -18,7 +18,7 @@ use crate::session::Session;
 /// shared message weight (the original GGNN shares weights across steps).
 #[derive(Clone, Debug)]
 pub struct GgnnModel {
-    adj: Rc<SpAdj>,
+    adj: Arc<SpAdj>,
     proj: Linear,
     msg: Linear,
     update_z: Linear,
@@ -138,13 +138,13 @@ mod tests {
         let m = GgnnModel::new(&mut store, &g, 2, 8, 2, 0.0, &mut rng);
         let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.9, 0.1]]);
-        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let emb = m.forward(&mut s, xv);
             let logits = head.forward(&mut s, emb);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -153,7 +153,7 @@ mod tests {
             let xv = s.input(x.clone());
             let emb = m.forward(&mut s, xv);
             let logits = head.forward(&mut s, emb);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.2, &gr);
             }

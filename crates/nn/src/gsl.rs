@@ -3,7 +3,7 @@
 //! adjacency (LDS/Table2Graph family). The metric-based family is the
 //! iterative embed-and-rebuild loop composed in the core crate.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -18,8 +18,8 @@ use crate::session::Session;
 /// aggregates — the adjacency is *learned end-to-end* with the task loss.
 #[derive(Clone, Debug)]
 pub struct NeuralGslModel {
-    src: Rc<Vec<usize>>,
-    dst: Rc<Vec<usize>>,
+    src: Arc<Vec<usize>>,
+    dst: Arc<Vec<usize>>,
     n: usize,
     embed: Mlp,
     scorer: Mlp,
@@ -55,7 +55,7 @@ impl NeuralGslModel {
         let embed = Mlp::new(store, "gsl.embed", &[in_dim, hidden, hidden], Activation::Relu, 0.0, rng);
         let scorer = Mlp::new(store, "gsl.score", &[hidden * 2, hidden, 1], Activation::Relu, 0.0, rng);
         let combine = Linear::new(store, "gsl.combine", hidden * 2, out_dim, rng);
-        Self { src: Rc::new(src), dst: Rc::new(dst), n, embed, scorer, combine, out_dim }
+        Self { src: Arc::new(src), dst: Arc::new(dst), n, embed, scorer, combine, out_dim }
     }
 
     /// The learned edge weights (post-softmax) for inspection/sparsification;
@@ -70,11 +70,11 @@ impl NeuralGslModel {
 
     fn attention(&self, s: &mut Session<'_>, x: Var) -> (Var, Var) {
         let z = self.embed.forward(s, x);
-        let zu = s.tape.gather_rows(z, Rc::clone(&self.src));
-        let zv = s.tape.gather_rows(z, Rc::clone(&self.dst));
+        let zu = s.tape.gather_rows(z, Arc::clone(&self.src));
+        let zv = s.tape.gather_rows(z, Arc::clone(&self.dst));
         let cat = s.tape.concat_cols(zu, zv);
         let raw = self.scorer.forward(s, cat);
-        let alpha = s.tape.segment_softmax(raw, Rc::clone(&self.dst), self.n);
+        let alpha = s.tape.segment_softmax(raw, Arc::clone(&self.dst), self.n);
         (z, alpha)
     }
 }
@@ -82,9 +82,9 @@ impl NeuralGslModel {
 impl NodeModel for NeuralGslModel {
     fn forward(&self, s: &mut Session<'_>, x: Var) -> Var {
         let (z, alpha) = self.attention(s, x);
-        let messages = s.tape.gather_rows(z, Rc::clone(&self.src));
+        let messages = s.tape.gather_rows(z, Arc::clone(&self.src));
         let weighted = s.tape.mul_col(messages, alpha);
-        let agg = s.tape.scatter_add_rows(weighted, Rc::clone(&self.dst), self.n);
+        let agg = s.tape.scatter_add_rows(weighted, Arc::clone(&self.dst), self.n);
         let cat = s.tape.concat_cols(z, agg);
         self.combine.forward(s, cat)
     }
@@ -190,12 +190,12 @@ mod tests {
         let cands = vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (2, 1)];
         let m = NeuralGslModel::new(&mut store, 4, &cands, 2, 8, 2, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.9, -0.1]]);
-        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -203,7 +203,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.1, &gr);
             }
@@ -231,12 +231,12 @@ mod tests {
         let m = DirectGslModel::new(&mut store, 4, 2, 8, 2, &mut rng);
         let before_adj = m.learned_adjacency(&store);
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.9, -0.1]]);
-        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = Arc::new(vec![0usize, 0, 1, 1]);
         for step in 0..40 {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.2, &gr);
             }

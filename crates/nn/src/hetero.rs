@@ -5,7 +5,7 @@
 //! attention degenerates to a mean because each relation's neighborhood is
 //! single-typed here).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -18,9 +18,9 @@ use crate::session::Session;
 
 struct RelationBlock {
     /// entity <- instance aggregation.
-    ent_from_inst: Rc<SpAdj>,
+    ent_from_inst: Arc<SpAdj>,
     /// instance <- entity aggregation.
-    inst_from_ent: Rc<SpAdj>,
+    inst_from_ent: Arc<SpAdj>,
     /// Updates entity state from aggregated instance state.
     ent_lin: Linear,
     /// Maps aggregated entity state into an instance message.
@@ -138,7 +138,7 @@ impl HeteroModel {
             for (r, &msg) in messages.iter().enumerate() {
                 // broadcast beta_r to a column: ones(n x 1) * beta[0, r]
                 let beta_t = s.tape.transpose(beta); // R x 1
-                let idx = Rc::new(vec![r]);
+                let idx = Arc::new(vec![r]);
                 let beta_r = s.tape.gather_rows(beta_t, idx); // 1 x 1
                 let col = s.tape.matmul(ones, beta_r); // n x 1
                 let weighted = s.tape.mul_col(msg, col);
@@ -204,14 +204,14 @@ mod tests {
         let m = HeteroModel::new(&mut store, &g, inst, 2, 8, 2, &mut rng);
         let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
         let x = Matrix::full(4, 2, 1.0); // features carry nothing
-        let labels = Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = Arc::new(vec![0usize, 0, 1, 1]);
         let mut opt_losses = Vec::new();
         for step in 0..150 {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let emb = m.forward(&mut s, xv);
             let logits = head.forward(&mut s, emb);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             opt_losses.push(s.tape.value(loss).get(0, 0));
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.1, &gr);

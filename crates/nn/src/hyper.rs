@@ -1,7 +1,7 @@
 //! Hypergraph convolution (HCL/HyTrel-style two-phase message passing):
 //! nodes -> hyperedges -> nodes, each phase a linear map + ReLU.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -22,8 +22,8 @@ struct HyperLayer {
 /// rows are hyperedges.
 #[derive(Clone, Debug)]
 pub struct HyperModel {
-    nodes_to_edges: Rc<SpAdj>,
-    edges_to_nodes: Rc<SpAdj>,
+    nodes_to_edges: Arc<SpAdj>,
+    edges_to_nodes: Arc<SpAdj>,
     layers: Vec<HyperLayer>,
     dropout: f32,
     out_dim: usize,
@@ -128,13 +128,13 @@ mod tests {
         let m = HyperModel::new(&mut store, &hypergraph(), &[2, 6], 0.0, &mut rng);
         let head = Linear::new(&mut store, "head", 6, 2, &mut rng);
         let x0 = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![-1.0, 0.5]]);
-        let labels = Rc::new(vec![0usize, 1, 0]);
+        let labels = Arc::new(vec![0usize, 1, 0]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let x = s.input(x0.clone());
             let (_, edges) = m.forward_pair(&mut s, x);
             let logits = head.forward(&mut s, edges);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -143,7 +143,7 @@ mod tests {
             let x = s.input(x0.clone());
             let (_, edges) = m.forward_pair(&mut s, x);
             let logits = head.forward(&mut s, edges);
-            let loss = s.tape.softmax_cross_entropy(logits, Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.2, &gr);
             }

@@ -199,13 +199,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mlp = Mlp::new(&mut store, "mlp", &[2, 8, 2], Activation::Relu, 0.0, &mut rng);
         let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0]]);
-        let labels = std::rc::Rc::new(vec![0usize, 1, 0, 1]);
+        let labels = std::sync::Arc::new(vec![0usize, 1, 0, 1]);
 
         let loss_value = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = mlp.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = loss_value(&store);
@@ -213,7 +213,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = mlp.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             let grads = s.backward(loss);
             for (id, g) in grads {
                 store.get_mut(id).axpy(-0.5, &g);

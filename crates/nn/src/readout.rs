@@ -3,7 +3,7 @@
 //! what feature-graph models use to turn per-field embeddings into one
 //! instance vector.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{Matrix, Var};
 
@@ -35,15 +35,15 @@ impl Readout {
 pub fn segment_readout(
     s: &mut Session<'_>,
     h: Var,
-    segment: &Rc<Vec<usize>>,
+    segment: &Arc<Vec<usize>>,
     n_segments: usize,
     readout: Readout,
 ) -> Var {
     match readout {
-        Readout::Sum => s.tape.scatter_add_rows(h, Rc::clone(segment), n_segments),
-        Readout::Max => s.tape.scatter_max_rows(h, Rc::clone(segment), n_segments),
+        Readout::Sum => s.tape.scatter_add_rows(h, Arc::clone(segment), n_segments),
+        Readout::Max => s.tape.scatter_max_rows(h, Arc::clone(segment), n_segments),
         Readout::Mean => {
-            let summed = s.tape.scatter_add_rows(h, Rc::clone(segment), n_segments);
+            let summed = s.tape.scatter_add_rows(h, Arc::clone(segment), n_segments);
             let mut counts = vec![0f32; n_segments];
             for &g in segment.iter() {
                 counts[g] += 1.0;
@@ -60,10 +60,10 @@ mod tests {
     use super::*;
     use gnn4tdl_tensor::ParamStore;
 
-    fn setup() -> (ParamStore, Matrix, Rc<Vec<usize>>) {
+    fn setup() -> (ParamStore, Matrix, Arc<Vec<usize>>) {
         let store = ParamStore::new();
         let h = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, -6.0]]);
-        let segment = Rc::new(vec![0usize, 0, 1]);
+        let segment = Arc::new(vec![0usize, 0, 1]);
         (store, h, segment)
     }
 
@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn empty_segment_is_zero_for_all_readouts() {
         let (store, h, _) = setup();
-        let seg = Rc::new(vec![0usize, 0, 0]); // segment 1 empty
+        let seg = Arc::new(vec![0usize, 0, 0]); // segment 1 empty
         for r in [Readout::Mean, Readout::Sum, Readout::Max] {
             let mut s = Session::eval(&store);
             let hv = s.input(h.clone());
@@ -116,7 +116,7 @@ mod tests {
     fn readout_is_permutation_invariant() {
         // permuting members within a segment leaves the pooled value alone
         let (store, _, _) = setup();
-        let seg = Rc::new(vec![0usize, 0, 0]);
+        let seg = Arc::new(vec![0usize, 0, 0]);
         let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
         let b = Matrix::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]);
         for r in [Readout::Mean, Readout::Sum, Readout::Max] {

@@ -2,7 +2,7 @@
 //! matrix per relation layer plus a self-connection, averaged across
 //! relations.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -23,7 +23,7 @@ struct RgcnLayer {
 /// Multi-layer relational GCN bound to a multiplex graph.
 #[derive(Clone, Debug)]
 pub struct RgcnModel {
-    adjs: Vec<Rc<SpAdj>>,
+    adjs: Vec<Arc<SpAdj>>,
     layers: Vec<RgcnLayer>,
     dropout: f32,
     out_dim: usize,
@@ -42,7 +42,7 @@ impl RgcnModel {
     ) -> Self {
         assert!(dims.len() >= 2, "RGCN needs at least one layer");
         assert!(graph.num_layers() >= 1, "multiplex graph has no relations");
-        let adjs: Vec<Rc<SpAdj>> = (0..graph.num_layers()).map(|i| graph.layer(i).gcn_adj()).collect();
+        let adjs: Vec<Arc<SpAdj>> = (0..graph.num_layers()).map(|i| graph.layer(i).gcn_adj()).collect();
         let mut layers = Vec::new();
         for (l, w) in dims.windows(2).enumerate() {
             let self_lin = Linear::new(store, &format!("rgcn.l{l}.self"), w[0], w[1], rng);
@@ -138,12 +138,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = RgcnModel::new(&mut store, &multiplex(), &[2, 4, 2], 0.0, &mut rng);
         let x = Matrix::from_rows(&[vec![0.5, 0.1], vec![0.4, 0.0], vec![-0.5, 0.1], vec![-0.4, 0.2]]);
-        let labels = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
+        let labels = std::sync::Arc::new(vec![0usize, 0, 1, 1]);
         let eval = |store: &ParamStore| {
             let mut s = Session::eval(store);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             s.tape.value(loss).get(0, 0)
         };
         let before = eval(&store);
@@ -151,7 +151,7 @@ mod tests {
             let mut s = Session::train(&store, step);
             let xv = s.input(x.clone());
             let logits = m.forward(&mut s, xv);
-            let loss = s.tape.softmax_cross_entropy(logits, std::rc::Rc::clone(&labels), None);
+            let loss = s.tape.softmax_cross_entropy(logits, std::sync::Arc::clone(&labels), None);
             for (id, gr) in s.backward(loss) {
                 store.get_mut(id).axpy(-0.3, &gr);
             }

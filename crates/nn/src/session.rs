@@ -5,7 +5,7 @@
 //! value as a trainable tape leaf (or a constant in evaluation mode, saving
 //! backward work). Dropout is a no-op outside training.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,7 +72,7 @@ impl<'s> Session<'s> {
             return x;
         }
         let len = self.tape.value(x).len();
-        let mask = Rc::new(init::dropout_mask(len, p, &mut self.rng));
+        let mask = Arc::new(init::dropout_mask(len, p, &mut self.rng));
         self.tape.dropout(x, mask)
     }
 

@@ -103,12 +103,12 @@ proptest! {
 
     #[test]
     fn one_train_step_keeps_params_finite(c in case()) {
-        use std::rc::Rc;
+        use std::sync::Arc;
         let graph = Graph::from_edges(c.n, &c.edges, true);
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
         let model = GcnModel::new(&mut store, &graph, &[c.d, 4, 2], 0.0, &mut rng);
-        let labels = Rc::new((0..c.n).map(|i| i % 2).collect::<Vec<usize>>());
+        let labels = Arc::new((0..c.n).map(|i| i % 2).collect::<Vec<usize>>());
         let mut s = Session::train(&store, 0);
         let x = s.input(Matrix::from_vec(c.n, c.d, c.features.clone()));
         let y = model.forward(&mut s, x);

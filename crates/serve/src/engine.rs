@@ -1,0 +1,220 @@
+//! The inference engine: a [`ServableModel`] plus the neighbor path the
+//! snapshot's `IndexKind` selects.
+//!
+//! * `IndexKind::Exact` — read-only exact search over the frozen corpus.
+//!   Requests share the engine with no locking and the output is a pure
+//!   function of (snapshot, request row): bitwise repeatable across
+//!   reruns, thread counts, and request order.
+//! * `IndexKind::Hnsw` — an owned-storage HNSW rebuilt deterministically
+//!   from the snapshot corpus. Each request *inserts* its row (incremental
+//!   update, the online path ISSUE 7 is about) and queries the updated
+//!   index, filtering the result back to corpus ids so the prediction
+//!   still conditions on the frozen training graph. Recall is bounded by
+//!   `ef_search`, and because inserts mutate the link graph, neighbor sets
+//!   are a function of the *request history* — the determinism contract
+//!   for this path is "same snapshot + same request sequence → same
+//!   responses", which the chaos suite exercises.
+//!
+//! Either way the prediction itself is `predict_local`: a
+//! `(layers + 1)`-hop ball around the attachment neighbors, so per-request
+//! cost is O(neighborhood), not O(corpus).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gnn4tdl::servable::{LocalPrediction, ServableModel};
+use gnn4tdl_construct::{HnswIndex, IndexKind, NeighborIndex};
+use gnn4tdl_tensor::{fault, obs, GnnError, Matrix};
+
+pub struct Engine {
+    model: ServableModel,
+    /// Present only under `IndexKind::Hnsw`; the mutex serializes inserts
+    /// (queries ride along — neighbor search is microseconds against the
+    /// forward pass, so a finer lock would buy nothing).
+    hnsw: Option<Mutex<HnswIndex<'static>>>,
+    corpus_len: usize,
+    /// Requests answered (monotone; mirrors the `serve.requests` counter
+    /// but survives `obs::reset`).
+    served: AtomicU64,
+}
+
+impl Engine {
+    /// Builds the engine, reconstructing the approximate index from the
+    /// snapshot corpus when the config asks for one. The rebuild is
+    /// deterministic (seeded level draws), so two engines from the same
+    /// snapshot start bitwise-identical.
+    pub fn new(model: ServableModel) -> Result<Self, GnnError> {
+        model.config.validate()?;
+        let corpus_len = model.corpus_len();
+        let hnsw = match model.config.index {
+            IndexKind::Exact => None,
+            IndexKind::Hnsw { m, ef_construction, ef_search, seed } => {
+                Some(Mutex::new(HnswIndex::build_owned(
+                    &model.features,
+                    model.config.similarity,
+                    m,
+                    ef_construction,
+                    ef_search,
+                    seed,
+                )))
+            }
+        };
+        Ok(Engine { model, hnsw, corpus_len, served: AtomicU64::new(0) })
+    }
+
+    pub fn model(&self) -> &ServableModel {
+        &self.model
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.model.config.in_dim
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.model.config.num_classes
+    }
+
+    pub fn corpus_len(&self) -> usize {
+        self.corpus_len
+    }
+
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Corpus neighbor ids for a request row. Exact path: read-only query.
+    /// Hnsw path: insert-then-query with the just-inserted id excluded and
+    /// earlier inserted rows filtered out (they are requests, not corpus).
+    pub fn neighbors(&self, row: &[f32]) -> Result<Vec<usize>, GnnError> {
+        let k = self.model.config.k;
+        match &self.hnsw {
+            None => Ok(self.model.exact_neighbors(row).into_iter().map(|(i, _)| i).collect()),
+            Some(index) => {
+                // A poisoned mutex means another request panicked mid-insert;
+                // the link graph is still structurally valid (links are
+                // appended monotonically), so serving continues.
+                let mut index = index.lock().unwrap_or_else(|p| p.into_inner());
+                let id = index.insert(row)?;
+                let inserted = id + 1 - self.corpus_len;
+                // Widen the beam so earlier request rows occupying the top
+                // of the result list cannot starve the corpus ids; capped at
+                // k extra — recall under Hnsw is ef-bounded anyway.
+                let k_eff = k + inserted.min(k);
+                let q = Matrix::from_vec(1, row.len(), row.to_vec());
+                let hits = index.query_k(&q, 0, k_eff, Some(id));
+                Ok(hits.into_iter().map(|(i, _)| i).filter(|&i| i < self.corpus_len).take(k).collect())
+            }
+        }
+    }
+
+    /// One request row → local-subgraph prediction. The per-request fault
+    /// site lets the chaos suite fail individual requests without touching
+    /// the model; the server maps the error to a typed 503.
+    pub fn predict(&self, row: &[f32]) -> Result<LocalPrediction, GnnError> {
+        fault::io_failpoint("serve.request")
+            .map_err(|e| GnnError::Io { detail: format!("injected request fault: {e}") })?;
+        let neighbors = self.neighbors(row)?;
+        let prediction = self.model.predict_local(row, &neighbors)?;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.predictions", 1);
+        Ok(prediction)
+    }
+
+    /// Batch request: rows are independent (each attaches to the corpus on
+    /// its own; batch rows never edge to each other), so this is just the
+    /// single-row path in sequence — kept sequential per connection, with
+    /// parallelism coming from the worker pool across connections.
+    pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Result<Vec<LocalPrediction>, GnnError> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4tdl::servable::{ServableConfig, ServableModel};
+    use gnn4tdl::EncoderSpec;
+    use gnn4tdl_construct::Similarity;
+    use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+    use gnn4tdl_data::{encode_all, Split, Target};
+    use gnn4tdl_train::TrainConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn fitted(index: IndexKind) -> ServableModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = gaussian_clusters(
+            &ClustersConfig {
+                n: 80,
+                informative: 6,
+                noise_features: 2,
+                classes: 3,
+                cluster_std: 0.7,
+                ..ClustersConfig::default()
+            },
+            &mut rng,
+        );
+        let labels = match &ds.target {
+            Target::Classification { labels, .. } => labels.clone(),
+            _ => unreachable!(),
+        };
+        let features = encode_all(&ds.table).features;
+        let split = Split::stratified(&labels, 0.6, 0.2, &mut rng);
+        let config = ServableConfig {
+            encoder: EncoderSpec::Gcn,
+            in_dim: features.cols(),
+            hidden: 8,
+            layers: 2,
+            num_classes: 3,
+            dropout: 0.0,
+            k: 5,
+            similarity: Similarity::Euclidean,
+            index,
+        };
+        ServableModel::fit(
+            features,
+            labels,
+            &split,
+            config,
+            &TrainConfig { epochs: 10, ..TrainConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_engine_is_stateless_and_repeatable() {
+        let engine = Engine::new(fitted(IndexKind::Exact)).unwrap();
+        let row: Vec<f32> = (0..engine.in_dim()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let a = engine.predict(&row).unwrap();
+        let b = engine.predict(&row).unwrap();
+        assert_eq!(a, b, "exact path must be bitwise repeatable");
+        assert_eq!(a.proba.len(), 3);
+        assert!((a.proba.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(engine.served(), 2);
+    }
+
+    #[test]
+    fn hnsw_engine_inserts_and_filters_to_corpus_ids() {
+        let index = IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 24, seed: 7 };
+        let engine = Engine::new(fitted(index)).unwrap();
+        let corpus = engine.corpus_len();
+        for step in 0..4 {
+            let row: Vec<f32> = (0..engine.in_dim()).map(|i| ((i + step) as f32 * 0.21).cos()).collect();
+            let neighbors = engine.neighbors(&row).unwrap();
+            assert!(!neighbors.is_empty());
+            assert!(neighbors.iter().all(|&i| i < corpus), "request rows must never become neighbors");
+            engine.model().predict_local(&row, &neighbors).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let engine = Engine::new(fitted(IndexKind::Exact)).unwrap();
+        let rows: Vec<Vec<f32>> = (0..3)
+            .map(|r| (0..engine.in_dim()).map(|i| ((i * (r + 2)) as f32 * 0.11).sin()).collect())
+            .collect();
+        let batch = engine.predict_batch(&rows).unwrap();
+        for (row, out) in rows.iter().zip(&batch) {
+            assert_eq!(&engine.predict(row).unwrap(), out);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Pure HTTP/1.1 framing: request parsing and response encoding with no I/O.
+//!
+//! Keeping the parser a pure function over byte slices is what makes the
+//! proptest sweep meaningful — the fuzzers drive `parse_request` directly
+//! with truncated, oversized, interleaved, and malformed inputs and assert
+//! the three-way contract: `Complete` (with the exact consumed offset, so
+//! pipelined requests resume at the right byte), `Incomplete` (need more
+//! bytes), or a typed `Error` carrying the 4xx/5xx status the connection
+//! loop must answer with. The parser never panics on any input.
+
+use std::collections::BTreeMap;
+
+/// Size bounds; exceeding them is a typed error, never an allocation blowup.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Max bytes for the request line + headers (431 beyond this).
+    pub max_head: usize,
+    /// Max Content-Length we are willing to buffer (413 beyond this).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head: 16 * 1024, max_body: 8 * 1024 * 1024 }
+    }
+}
+
+/// A parsed request. Header names are lower-cased at parse time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+    /// False when the client asked for `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// A typed protocol error: the status line the server must answer with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    pub status: u16,
+    pub reason: &'static str,
+    pub detail: String,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: &'static str, detail: impl Into<String>) -> Self {
+        HttpError { status, reason, detail: detail.into() }
+    }
+}
+
+/// Result of feeding a buffer to the parser.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseOutcome {
+    /// A full request plus the number of bytes it consumed (the connection
+    /// loop drains `consumed` and re-parses for pipelined requests).
+    Complete(Request, usize),
+    /// Not enough bytes yet; read more and retry with the longer buffer.
+    Incomplete,
+    /// Protocol violation; answer with `HttpError::status` and close.
+    Error(HttpError),
+}
+
+/// Parses one request from the front of `buf`.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
+    // Locate the end of the head (CRLFCRLF). Bounded scan: if the head
+    // already exceeds max_head without terminating, fail fast — a client
+    // streaming an unbounded header section must not grow our buffer.
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_head {
+                return ParseOutcome::Error(HttpError::new(
+                    431,
+                    "Request Header Fields Too Large",
+                    format!("head exceeds {} bytes without terminating", limits.max_head),
+                ));
+            }
+            return ParseOutcome::Incomplete;
+        }
+    };
+    if head_end + 4 > limits.max_head {
+        return ParseOutcome::Error(HttpError::new(
+            431,
+            "Request Header Fields Too Large",
+            format!("head is {} bytes, limit {}", head_end + 4, limits.max_head),
+        ));
+    }
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(s) => s,
+        Err(_) => return ParseOutcome::Error(HttpError::new(400, "Bad Request", "non-utf8 request head")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return ParseOutcome::Error(HttpError::new(
+                400,
+                "Bad Request",
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseOutcome::Error(HttpError::new(400, "Bad Request", format!("invalid method {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return ParseOutcome::Error(HttpError::new(400, "Bad Request", format!("invalid path {path:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ParseOutcome::Error(HttpError::new(
+            505,
+            "HTTP Version Not Supported",
+            format!("unsupported version {version:?}"),
+        ));
+    }
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Error(HttpError::new(
+                400,
+                "Bad Request",
+                format!("malformed header {line:?}"),
+            ));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return ParseOutcome::Error(HttpError::new(
+                400,
+                "Bad Request",
+                format!("invalid header name {name:?}"),
+            ));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.contains_key("transfer-encoding") {
+        // Chunked bodies are out of scope for the inference protocol;
+        // rejecting (rather than ignoring) avoids request-smuggling shapes.
+        return ParseOutcome::Error(HttpError::new(
+            501,
+            "Not Implemented",
+            "transfer-encoding is not supported",
+        ));
+    }
+
+    let body_len = match headers.get("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ParseOutcome::Error(HttpError::new(
+                    400,
+                    "Bad Request",
+                    format!("invalid content-length {v:?}"),
+                ))
+            }
+        },
+    };
+    if body_len > limits.max_body {
+        return ParseOutcome::Error(HttpError::new(
+            413,
+            "Payload Too Large",
+            format!("content-length {body_len} exceeds limit {}", limits.max_body),
+        ));
+    }
+
+    let body_start = head_end + 4;
+    if buf.len() < body_start + body_len {
+        return ParseOutcome::Incomplete;
+    }
+
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let conn = headers.get("connection").map(|v| v.to_ascii_lowercase());
+    let keep_alive = match conn.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: buf[body_start..body_start + body_len].to_vec(),
+        keep_alive,
+    };
+    ParseOutcome::Complete(request, body_start + body_len)
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Encodes a response with a JSON body. `keep_alive` mirrors the request's
+/// connection state so the encoder and parser agree on the state machine.
+pub fn encode_response(status: u16, reason: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// A parsed response (for tests and the double-round-trip property).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub reason: String,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+/// Parses one response from the front of `buf`; same three-way contract as
+/// `parse_request`. Used by the proptest double-round-trip (encode then
+/// re-parse) and by the in-process test client.
+pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, String> {
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => return Ok(None),
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-utf8 response head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let rest =
+        status_line.strip_prefix("HTTP/1.1 ").ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let (code, reason) = rest.split_once(' ').ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let status: u16 = code.parse().map_err(|_| format!("bad status code {code:?}"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| format!("malformed header {line:?}"))?;
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+    let body_len: usize = headers
+        .get("content-length")
+        .ok_or_else(|| "missing content-length".to_string())?
+        .parse()
+        .map_err(|_| "invalid content-length".to_string())?;
+    let body_start = head_end + 4;
+    if buf.len() < body_start + body_len {
+        return Ok(None);
+    }
+    let response = Response {
+        status,
+        reason: reason.to_string(),
+        headers,
+        body: buf[body_start..body_start + body_len].to_vec(),
+    };
+    Ok(Some((response, body_start + body_len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(buf: &[u8]) -> ParseOutcome {
+        parse_request(buf, &Limits::default())
+    }
+
+    #[test]
+    fn parses_post_with_body_and_reports_consumed() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n[[]]extra";
+        match parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/predict");
+                assert_eq!(req.body, b"[[]]");
+                assert!(req.keep_alive);
+                assert_eq!(consumed, raw.len() - 5);
+                assert_eq!(&raw[consumed..], b"extra");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_incomplete_never_an_error() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+        for cut in 0..raw.len() {
+            match parse(&raw[..cut]) {
+                ParseOutcome::Incomplete => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        assert_eq!(parse(raw), ParseOutcome::Incomplete); // body still short
+    }
+
+    #[test]
+    fn typed_errors_for_protocol_violations() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"GARBAGE\r\n\r\n", 400),
+            (b"GET /x HTTP/9.9\r\n\r\n", 505),
+            (b"get /x HTTP/1.1\r\n\r\n", 400),
+            (b"GET x HTTP/1.1\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+        ];
+        for (raw, want) in cases {
+            match parse(raw) {
+                ParseOutcome::Error(e) => assert_eq!(e.status, *want, "{raw:?}"),
+                other => panic!("{raw:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let limits = Limits { max_head: 64, max_body: 16 };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        match parse_request(long_head.as_bytes(), &limits) {
+            ParseOutcome::Error(e) => assert_eq!(e.status, 431),
+            other => panic!("{other:?}"),
+        }
+        // Unterminated head past the limit also errors (no unbounded buffer).
+        let unterminated = vec![b'A'; 100];
+        match parse_request(&unterminated, &limits) {
+            ParseOutcome::Error(e) => assert_eq!(e.status, 431),
+            other => panic!("{other:?}"),
+        }
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        match parse_request(big_body, &limits) {
+            ParseOutcome::Error(e) => assert_eq!(e.status, 413),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse(close) {
+            ParseOutcome::Complete(req, _) => assert!(!req.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let old = b"GET /healthz HTTP/1.0\r\n\r\n";
+        match parse(old) {
+            ParseOutcome::Complete(req, _) => assert!(!req.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let old_ka = b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match parse(old_ka) {
+            ParseOutcome::Complete(req, _) => assert!(req.keep_alive),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let body = r#"{"status": "ok"}"#;
+        let encoded = encode_response(200, "OK", body, true);
+        let (resp, consumed) = parse_response(&encoded).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, body.as_bytes());
+        assert_eq!(resp.headers.get("connection").map(String::as_str), Some("keep-alive"));
+        assert_eq!(consumed, encoded.len());
+    }
+}

@@ -1,0 +1,92 @@
+//! # gnn4tdl-serve
+//!
+//! Online inference for gnn4tdl servable models: a dependency-free
+//! threaded HTTP/1.1 + JSON server, hand-rolled the way `shims/`
+//! hand-rolled rand and proptest — no tokio, no axum, no serde.
+//!
+//! ## Request lifecycle
+//!
+//! 1. The acceptor thread takes the TCP connection and pushes it onto a
+//!    **bounded** queue; a full queue is answered `503` immediately
+//!    (typed backpressure, bounded memory).
+//! 2. A worker pops the connection and owns it for its keep-alive
+//!    lifetime. [`http::parse_request`] frames each request (typed 4xx on
+//!    protocol violations; `consumed` offsets make pipelining exact).
+//! 3. `POST /predict` / `POST /predict_proba` bodies are parsed by the
+//!    in-crate JSON parser, then each feature row goes through
+//!    [`engine::Engine::predict`]: neighbor lookup (exact, or HNSW
+//!    insert-then-query under `IndexKind::Hnsw`) followed by a
+//!    local-subgraph forward pass — O(neighborhood) per request, never
+//!    O(corpus).
+//! 4. `GET /healthz` reports model shape and served count; `GET /metrics`
+//!    dumps the obs `RunReport` (per-request spans, latency histogram,
+//!    request/error counters).
+//!
+//! ## Determinism contract
+//!
+//! Under `IndexKind::Exact` serving is stateless: responses are a pure
+//! function of (snapshot, request row) and bitwise-identical across
+//! reruns and thread counts. Under `IndexKind::Hnsw` each request inserts
+//! its row, so responses are a pure function of (snapshot, request
+//! *sequence*); the index rebuild from a snapshot is itself deterministic
+//! (seeded level draws), so replaying the same sequence reproduces the
+//! same responses.
+//!
+//! The fault sites `servable.load` (checkpoint load) and `serve.request`
+//! (per-request) honor the `GNN4TDL_FAULT` chaos harness; see
+//! `tests/chaos.rs`.
+
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use engine::Engine;
+pub use http::{HttpError, Limits, ParseOutcome, Request, Response};
+pub use json::Json;
+pub use server::{serve, Server, ServerConfig};
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Blocking one-shot HTTP client for tests and the bench harness: writes
+/// `raw` to `addr`, reads until the response is complete (or the peer
+/// closes), and returns the parsed response.
+pub fn send_raw(addr: SocketAddr, raw: &[u8]) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(raw)?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match http::parse_response(&buf) {
+            Ok(Some((response, _))) => return Ok(response),
+            Ok(None) => {}
+            Err(detail) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, detail)),
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Convenience wrapper: one POST with a JSON body, fresh connection.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: gnn4tdl\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+/// Convenience wrapper: one GET, fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: gnn4tdl\r\nConnection: close\r\n\r\n");
+    send_raw(addr, raw.as_bytes())
+}

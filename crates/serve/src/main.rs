@@ -1,0 +1,144 @@
+//! `gnn4tdl-serve` — serve a `.gsrv` snapshot over HTTP.
+//!
+//! ```text
+//! gnn4tdl-serve --snapshot model.gsrv --addr 127.0.0.1:7878 --workers 4
+//! gnn4tdl-serve --demo --addr 127.0.0.1:7878     # synthetic model, no snapshot needed
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gnn4tdl::servable::{ServableConfig, ServableModel};
+use gnn4tdl::EncoderSpec;
+use gnn4tdl_construct::{IndexKind, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split, Target};
+use gnn4tdl_serve::{serve, Engine, ServerConfig};
+use gnn4tdl_tensor::obs;
+use gnn4tdl_train::TrainConfig;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gnn4tdl-serve (--snapshot <model.gsrv> | --demo) [--addr HOST:PORT] \
+         [--workers N] [--queue-cap N] [--demo-rows N] [--obs]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut snapshot: Option<String> = None;
+    let mut demo = false;
+    let mut demo_rows = 2_000usize;
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() };
+    let mut enable_obs = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--snapshot" => snapshot = Some(value("--snapshot")),
+            "--demo" => demo = true,
+            "--demo-rows" => demo_rows = value("--demo-rows").parse().expect("--demo-rows: integer"),
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse().expect("--workers: integer"),
+            "--queue-cap" => config.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer"),
+            "--obs" => enable_obs = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    if enable_obs {
+        obs::enable();
+    }
+
+    let model = match (snapshot, demo) {
+        (Some(path), false) => match ServableModel::load(std::path::Path::new(&path)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("failed to load snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, true) => demo_model(demo_rows),
+        _ => usage(),
+    };
+
+    eprintln!(
+        "model: encoder={} corpus={} in_dim={} classes={} k={} index={}",
+        model.config.encoder.name(),
+        model.corpus_len(),
+        model.config.in_dim,
+        model.config.num_classes,
+        model.config.k,
+        model.config.index.name(),
+    );
+
+    let engine = match Engine::new(model) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("failed to build engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match serve(engine, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.addr());
+    println!("  curl http://{}/healthz", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// A small synthetic classifier so the quickstart works without artifacts:
+/// 3 gaussian clusters, GCN encoder, HNSW index (the incremental path).
+fn demo_model(rows: usize) -> ServableModel {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ds = gaussian_clusters(
+        &ClustersConfig {
+            n: rows.max(100),
+            informative: 8,
+            noise_features: 4,
+            classes: 3,
+            cluster_std: 0.8,
+            ..ClustersConfig::default()
+        },
+        &mut rng,
+    );
+    let labels = match &ds.target {
+        Target::Classification { labels, .. } => labels.clone(),
+        _ => unreachable!("gaussian_clusters yields classification targets"),
+    };
+    let features = encode_all(&ds.table).features;
+    let split = Split::stratified(&labels, 0.7, 0.15, &mut rng);
+    let config = ServableConfig {
+        encoder: EncoderSpec::Gcn,
+        in_dim: features.cols(),
+        hidden: 16,
+        layers: 2,
+        num_classes: 3,
+        dropout: 0.0,
+        k: 8,
+        similarity: Similarity::Euclidean,
+        index: IndexKind::Hnsw { m: 12, ef_construction: 64, ef_search: 32, seed: 7 },
+    };
+    eprintln!("fitting demo model on {} synthetic rows ...", features.rows());
+    ServableModel::fit(
+        features,
+        labels,
+        &split,
+        config,
+        &TrainConfig { epochs: 30, ..TrainConfig::default() },
+    )
+    .expect("demo model fits")
+}

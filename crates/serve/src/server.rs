@@ -1,0 +1,334 @@
+//! The threaded server: a TCP acceptor feeding a bounded connection queue
+//! drained by a fixed worker pool.
+//!
+//! Backpressure is explicit and typed: when the queue is full the acceptor
+//! answers `503 Service Unavailable` *immediately* and drops the
+//! connection — memory is bounded by `queue_cap` parked sockets plus one
+//! in-flight request per worker, never by client count. Workers own whole
+//! keep-alive connections (requests on one connection are sequential, as
+//! HTTP/1.1 pipelining semantics require); parallelism comes from
+//! connections, not from splitting a connection.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gnn4tdl_tensor::{obs, GnnError};
+
+use crate::engine::Engine;
+use crate::http::{self, Limits, ParseOutcome, Request};
+use crate::json;
+
+/// Server tunables. `addr` with port 0 binds an ephemeral port (tests);
+/// `queue_cap` is the backpressure knob.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    pub addr: String,
+    pub workers: usize,
+    pub queue_cap: usize,
+    pub limits: Limits,
+    /// Idle keep-alive connections are dropped after this long without a
+    /// complete request, so a stalled client can never wedge a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bounded MPMC connection queue (mutex + condvar — parking-free in the
+/// sense of no spin loops; waiters sleep on the condvar).
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), cap }
+    }
+
+    /// Non-blocking: a full queue returns the stream to the caller so the
+    /// acceptor can answer 503 instead of parking unbounded sockets.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() >= self.cap {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection or shutdown. The periodic timeout guards
+    /// against a missed notify during shutdown, not normal operation.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait_timeout(q, Duration::from_millis(50)).unwrap_or_else(|p| p.into_inner()).0;
+        }
+    }
+}
+
+/// A running server. Dropping without `shutdown()` detaches the threads;
+/// call `shutdown()` for a clean join (tests always should).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every thread and joins them. In-flight requests finish;
+    /// parked connections are answered before workers exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds, spawns the acceptor + workers, and returns the handle.
+pub fn serve(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_cap.max(1)));
+    let mut threads = Vec::with_capacity(config.workers + 1);
+
+    for _ in 0..config.workers.max(1) {
+        let engine = Arc::clone(&engine);
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&shutdown);
+        let cfg = config.clone();
+        threads.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop(&stop) {
+                serve_connection(&engine, stream, &cfg);
+            }
+        }));
+    }
+
+    {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Err(mut rejected) = queue.push(stream) {
+                        obs::counter_add("serve.requests", 1);
+                        obs::counter_add("serve.errors", 1);
+                        obs::counter_add("serve.rejected", 1);
+                        let body = json::error_body("overloaded", "connection queue is full; retry later");
+                        let _ = rejected.write_all(&http::encode_response(
+                            503,
+                            "Service Unavailable",
+                            &body,
+                            false,
+                        ));
+                    }
+                }
+                Err(_) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    Ok(Server { addr, shutdown, threads })
+}
+
+/// Runs one connection to completion: parse → route → respond, repeating
+/// while keep-alive holds. Protocol errors answer with their typed status
+/// and close; the parser's `consumed` offset makes pipelining work.
+fn serve_connection(engine: &Engine, mut stream: TcpStream, cfg: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match http::parse_request(&buf, &cfg.limits) {
+            ParseOutcome::Complete(request, consumed) => {
+                buf.drain(..consumed);
+                let started = Instant::now();
+                let _span = gnn4tdl_tensor::span!("serve.request");
+                obs::counter_add("serve.requests", 1);
+                let keep_alive = request.keep_alive;
+                let (status, reason, body) = route(engine, &request);
+                if status >= 400 {
+                    obs::counter_add("serve.errors", 1);
+                }
+                obs::histogram_record("serve.latency_ms", started.elapsed().as_secs_f64() * 1e3);
+                if stream.write_all(&http::encode_response(status, reason, &body, keep_alive)).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            ParseOutcome::Incomplete => match stream.read(&mut chunk) {
+                Ok(0) => return, // client closed
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return, // timeout / reset
+            },
+            ParseOutcome::Error(e) => {
+                obs::counter_add("serve.requests", 1);
+                obs::counter_add("serve.errors", 1);
+                let body = json::error_body("protocol", &e.detail);
+                let _ = stream.write_all(&http::encode_response(e.status, e.reason, &body, false));
+                return;
+            }
+        }
+    }
+}
+
+fn route(engine: &Engine, request: &Request) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\": \"ok\", \"corpus_rows\": {}, \"in_dim\": {}, \"classes\": {}, \"served\": {}}}",
+                engine.corpus_len(),
+                engine.in_dim(),
+                engine.num_classes(),
+                engine.served()
+            );
+            (200, "OK", body)
+        }
+        ("GET", "/metrics") => (200, "OK", obs::collect("serve").to_json()),
+        ("POST", "/predict") => predict_route(engine, &request.body, false),
+        ("POST", "/predict_proba") => predict_route(engine, &request.body, true),
+        ("GET" | "POST", _) => (404, "Not Found", json::error_body("not_found", &request.path)),
+        _ => (405, "Method Not Allowed", json::error_body("method_not_allowed", &request.method)),
+    }
+}
+
+/// Shared handler for the two predict endpoints; `proba` selects which
+/// vector the response carries.
+fn predict_route(engine: &Engine, body: &[u8], proba: bool) -> (u16, &'static str, String) {
+    let (rows, single) = match parse_body(body, engine.in_dim()) {
+        Ok(parsed) => parsed,
+        Err(detail) => return (400, "Bad Request", json::error_body("bad_request", &detail)),
+    };
+    match engine.predict_batch(&rows) {
+        Ok(predictions) => {
+            let mut out = String::with_capacity(64 * predictions.len());
+            let vector = |p: &gnn4tdl::servable::LocalPrediction| {
+                if proba {
+                    p.proba.clone()
+                } else {
+                    p.logits.clone()
+                }
+            };
+            let field = if proba { "proba" } else { "logits" };
+            if single {
+                let p = &predictions[0];
+                out.push_str("{\"pred\": ");
+                out.push_str(&argmax(&p.proba).to_string());
+                out.push_str(&format!(", \"{field}\": "));
+                json::write_f32_array(&mut out, &vector(p));
+                out.push('}');
+            } else {
+                out.push_str("{\"preds\": [");
+                for (i, p) in predictions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&argmax(&p.proba).to_string());
+                }
+                out.push_str(&format!("], \"{field}s\": ["));
+                for (i, p) in predictions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_f32_array(&mut out, &vector(p));
+                }
+                out.push_str("]}");
+            }
+            (200, "OK", out)
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Request body → feature rows. Accepts `{"row": [..]}` (single) or
+/// `{"rows": [[..], ..]}` (batch); anything else is a typed 400.
+fn parse_body(body: &[u8], in_dim: usize) -> Result<(Vec<Vec<f32>>, bool), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("invalid json: {e}"))?;
+    if let Some(row) = doc.get("row") {
+        return Ok((vec![parse_row(row, in_dim)?], true));
+    }
+    if let Some(rows) = doc.get("rows") {
+        let items = rows.as_array().ok_or_else(|| "'rows' must be an array of arrays".to_string())?;
+        if items.is_empty() {
+            return Err("'rows' is empty".into());
+        }
+        let rows = items.iter().map(|r| parse_row(r, in_dim)).collect::<Result<Vec<_>, _>>()?;
+        return Ok((rows, false));
+    }
+    Err("body must be an object with 'row' or 'rows'".into())
+}
+
+fn parse_row(value: &json::Json, in_dim: usize) -> Result<Vec<f32>, String> {
+    let items = value.as_array().ok_or_else(|| "row must be an array of numbers".to_string())?;
+    if items.len() != in_dim {
+        return Err(format!("row has {} features, model expects {in_dim}", items.len()));
+    }
+    items
+        .iter()
+        .map(|v| v.as_f64().map(|x| x as f32).ok_or_else(|| "row entries must be numbers".to_string()))
+        .collect()
+}
+
+fn argmax(proba: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &p) in proba.iter().enumerate() {
+        if p > proba[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Maps engine errors to HTTP statuses: injected/transient I/O faults are
+/// 503 (retryable), request-shape problems are 400, anything else is 500.
+fn error_response(e: &GnnError) -> (u16, &'static str, String) {
+    match e {
+        GnnError::Io { detail } => (503, "Service Unavailable", json::error_body("unavailable", detail)),
+        GnnError::InvalidConfig { detail } => (400, "Bad Request", json::error_body("bad_request", detail)),
+        GnnError::NonFiniteFeature { .. } => {
+            (400, "Bad Request", json::error_body("bad_request", &e.to_string()))
+        }
+        other => (500, "Internal Server Error", json::error_body("internal", &other.to_string())),
+    }
+}

@@ -1,0 +1,234 @@
+//! Chaos suite for the serving path (ISSUE 7 satellite). Every test takes
+//! `fault::TEST_MUTEX` across arm → act → disarm because the fault
+//! injector and the obs registry are process-global. The properties:
+//!
+//! * io-fail during snapshot load is a typed refusal with no partial
+//!   state — the same bytes load fine once the fault is disarmed.
+//! * io-fail mid-traffic: in-flight predicts answer a typed 503, the
+//!   `serve.errors` counter increments, `/healthz` stays up, and requests
+//!   after disarm succeed — the server never wedges.
+//! * queue overflow: with one busy worker and a full queue, the next
+//!   connection is answered 503 *immediately* (bounded memory, typed
+//!   backpressure), and the server recovers once the queue drains.
+//! * fault-off determinism: the same request sequence against two
+//!   independently-started servers (different worker counts) yields
+//!   byte-identical response bodies.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gnn4tdl::servable::{ServableConfig, ServableModel};
+use gnn4tdl::EncoderSpec;
+use gnn4tdl_construct::{IndexKind, Similarity};
+use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
+use gnn4tdl_data::{encode_all, Split, Target};
+use gnn4tdl_serve::{get, post_json, serve, Engine, Server, ServerConfig};
+use gnn4tdl_tensor::fault::{self, FaultKind};
+use gnn4tdl_tensor::obs;
+use gnn4tdl_train::TrainConfig;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn fitted() -> ServableModel {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = gaussian_clusters(
+        &ClustersConfig {
+            n: 80,
+            informative: 6,
+            noise_features: 2,
+            classes: 3,
+            cluster_std: 0.7,
+            ..ClustersConfig::default()
+        },
+        &mut rng,
+    );
+    let labels = match &ds.target {
+        Target::Classification { labels, .. } => labels.clone(),
+        _ => unreachable!(),
+    };
+    let features = encode_all(&ds.table).features;
+    let split = Split::stratified(&labels, 0.6, 0.2, &mut rng);
+    let config = ServableConfig {
+        encoder: EncoderSpec::Gcn,
+        in_dim: features.cols(),
+        hidden: 8,
+        layers: 2,
+        num_classes: 3,
+        dropout: 0.0,
+        k: 5,
+        similarity: Similarity::Euclidean,
+        index: IndexKind::Exact,
+    };
+    ServableModel::fit(
+        features,
+        labels,
+        &split,
+        config,
+        &TrainConfig { epochs: 10, ..TrainConfig::default() },
+    )
+    .unwrap()
+}
+
+fn start(model: ServableModel, workers: usize, queue_cap: usize) -> Server {
+    let engine = Arc::new(Engine::new(model).unwrap());
+    serve(
+        engine,
+        ServerConfig { workers, queue_cap, read_timeout: Duration::from_secs(2), ..ServerConfig::default() },
+    )
+    .unwrap()
+}
+
+fn request_body(model: &ServableModel, phase: usize) -> String {
+    let row: Vec<String> =
+        (0..model.config.in_dim).map(|i| format!("{:.4}", ((i + phase) as f32 * 0.37).sin())).collect();
+    format!("{{\"row\": [{}]}}", row.join(","))
+}
+
+#[test]
+fn io_fail_at_snapshot_load_is_a_typed_refusal_with_no_partial_state() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let model = fitted();
+    let dir = std::env::temp_dir().join(format!("gnn4tdl-serve-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.gsrv");
+    model.save(&path).unwrap();
+
+    {
+        let _g = fault::arm_guard(FaultKind::IoFail, 11, 1.0);
+        match ServableModel::load(&path) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    matches!(
+                        e,
+                        gnn4tdl_tensor::GnnError::Io { .. } | gnn4tdl_tensor::GnnError::Checkpoint { .. }
+                    ),
+                    "typed error expected, got {msg}"
+                );
+            }
+            Ok(_) => panic!("load must refuse under io-fail"),
+        }
+    }
+
+    // Same bytes, fault disarmed: loads clean and serves — the refusal
+    // left nothing half-initialized on disk or in the process.
+    let reloaded = ServableModel::load(&path).unwrap();
+    let server = start(reloaded, 2, 16);
+    let resp = get(server.addr(), "/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_fail_mid_traffic_returns_503_and_recovers() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    obs::enable();
+    obs::reset();
+    let model = fitted();
+    let body = request_body(&model, 0);
+    let server = start(model, 2, 16);
+
+    // Healthy baseline.
+    let ok = post_json(server.addr(), "/predict_proba", &body).unwrap();
+    assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+
+    {
+        let _g = fault::arm_guard(FaultKind::IoFail, 13, 1.0);
+        for _ in 0..3 {
+            let resp = post_json(server.addr(), "/predict", &body).unwrap();
+            assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+            let text = String::from_utf8_lossy(&resp.body).to_string();
+            assert!(text.contains("unavailable"), "typed 503 body, got {text}");
+        }
+        // The control plane stays up while the data plane is failing.
+        assert_eq!(get(server.addr(), "/healthz").unwrap().status, 200);
+    }
+
+    let report = obs::collect("chaos");
+    assert!(
+        report.counter("serve.errors").unwrap_or(0) >= 3,
+        "serve.errors must count the injected failures"
+    );
+
+    // Fault disarmed: the same request now succeeds — no wedged workers,
+    // no poisoned state.
+    let after = post_json(server.addr(), "/predict", &body).unwrap();
+    assert_eq!(after.status, 200, "{}", String::from_utf8_lossy(&after.body));
+    let metrics = get(server.addr(), "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    server.shutdown();
+    obs::reset();
+}
+
+#[test]
+fn queue_overflow_is_immediate_typed_503_with_bounded_memory() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let model = fitted();
+    let body = request_body(&model, 1);
+    // One worker, one queue slot: the third concurrent connection must be
+    // rejected at the accept loop, not parked.
+    let server = start(model, 1, 1);
+
+    // Occupy the worker: a connection with a half-sent request pins it in
+    // the read loop until the 2s idle timeout.
+    let mut busy = TcpStream::connect(server.addr()).unwrap();
+    busy.write_all(b"POST /predict HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Fill the single queue slot the same way.
+    let mut parked = TcpStream::connect(server.addr()).unwrap();
+    parked.write_all(b"POST /predict HTTP/1.1\r\nContent-Le").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection cannot be buffered — typed 503, right away.
+    let overflow = post_json(server.addr(), "/predict", &body).unwrap();
+    assert_eq!(overflow.status, 503);
+    let text = String::from_utf8_lossy(&overflow.body).to_string();
+    assert!(text.contains("overloaded"), "backpressure body is typed, got {text}");
+
+    // Release the pinned connections; the server drains and recovers.
+    drop(busy);
+    drop(parked);
+    let mut recovered = Err(String::new());
+    for _ in 0..40 {
+        match post_json(server.addr(), "/predict", &body) {
+            Ok(resp) if resp.status == 200 => {
+                recovered = Ok(());
+                break;
+            }
+            Ok(resp) => recovered = Err(format!("status {}", resp.status)),
+            Err(e) => recovered = Err(e.to_string()),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    recovered.expect("server must recover after the queue drains");
+    server.shutdown();
+}
+
+#[test]
+fn fault_off_serving_is_byte_identical_across_servers_and_thread_counts() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let model = fitted();
+    let bytes = model.to_bytes();
+    let requests: Vec<String> = (0..6).map(|p| request_body(&model, p)).collect();
+
+    let mut transcripts = Vec::new();
+    for workers in [1usize, 4] {
+        let replica = ServableModel::from_bytes(&bytes).unwrap();
+        let server = start(replica, workers, 16);
+        let mut transcript: Vec<Vec<u8>> = Vec::new();
+        for req in &requests {
+            let resp = post_json(server.addr(), "/predict_proba", req).unwrap();
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            transcript.push(resp.body);
+        }
+        server.shutdown();
+        transcripts.push(transcript);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "same snapshot + same request sequence must serve byte-identical bodies regardless of worker count"
+    );
+}

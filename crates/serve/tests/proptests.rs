@@ -1,0 +1,215 @@
+//! Property tests for the HTTP/1.1 framing layer (ISSUE 7 satellite):
+//! fuzzed request lines, headers, Content-Length mismatches, truncated /
+//! oversized / interleaved bodies, and malformed JSON. The contract under
+//! test: the parser never panics on any input, protocol violations map to
+//! *typed* 4xx/5xx errors, truncation is always `Incomplete` (never a
+//! spurious error), and the response encoder round-trips through the
+//! response parser (the "double round trip" — what the server writes, a
+//! correct client can always read back).
+
+use gnn4tdl_serve::http::{encode_response, parse_request, parse_response, Limits, ParseOutcome};
+use gnn4tdl_serve::json;
+use proptest::prelude::*;
+
+/// ASCII-token strategy (path / header-value material).
+fn token(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    collection::vec(0u8..62, len).prop_map(|digits| {
+        digits
+            .into_iter()
+            .map(|d| {
+                let c = match d {
+                    0..=25 => b'a' + d,
+                    26..=51 => b'A' + d - 26,
+                    _ => b'0' + d - 52,
+                };
+                c as char
+            })
+            .collect()
+    })
+}
+
+/// A well-formed POST with the given body; returns the raw bytes.
+fn well_formed(path: &str, extra_header: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let mut raw = format!(
+        "POST /{path} HTTP/1.1\r\nHost: fuzz\r\nX-Extra: {extra_header}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the parser must return one of its three outcomes
+    /// without panicking, and `Complete.consumed` must stay in bounds.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(0u8..=255u8, 0..256)) {
+        match parse_request(&bytes, &Limits::default()) {
+            ParseOutcome::Complete(req, consumed) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(req.body.len() <= consumed);
+            }
+            ParseOutcome::Incomplete => {}
+            ParseOutcome::Error(e) => {
+                prop_assert!((400..600).contains(&e.status), "typed status, got {}", e.status);
+                prop_assert!(!e.detail.is_empty());
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid request is `Incomplete` — truncation
+    /// must never be misread as a protocol error — and the full buffer
+    /// parses with `consumed` == its exact length.
+    #[test]
+    fn truncation_is_always_incomplete(
+        path in token(1..12),
+        header in token(0..20),
+        body in collection::vec(0u8..=255u8, 0..64),
+        keep_alive in 0u8..2,
+    ) {
+        let raw = well_formed(&path, &header, &body, keep_alive == 1);
+        for cut in (0..raw.len()).step_by(7) {
+            prop_assert_eq!(parse_request(&raw[..cut], &Limits::default()), ParseOutcome::Incomplete);
+        }
+        match parse_request(&raw, &Limits::default()) {
+            ParseOutcome::Complete(req, consumed) => {
+                prop_assert_eq!(consumed, raw.len());
+                prop_assert_eq!(req.body, body);
+                prop_assert_eq!(req.path, format!("/{path}"));
+                prop_assert_eq!(req.keep_alive, keep_alive == 1);
+            }
+            other => prop_assert!(false, "valid request gave {other:?}"),
+        }
+    }
+
+    /// Two pipelined requests plus trailing garbage: the `consumed` offset
+    /// must frame each request exactly, with the second request's body
+    /// intact (interleaved-body safety).
+    #[test]
+    fn pipelined_requests_frame_exactly(
+        body_a in collection::vec(0u8..=255u8, 0..48),
+        body_b in collection::vec(0u8..=255u8, 1..48),
+        garbage in collection::vec(0u8..=255u8, 0..16),
+    ) {
+        let mut raw = well_formed("a", "", &body_a, true);
+        let first_len = raw.len();
+        raw.extend_from_slice(&well_formed("b", "", &body_b, false));
+        raw.extend_from_slice(&garbage);
+
+        let (req_a, consumed_a) = match parse_request(&raw, &Limits::default()) {
+            ParseOutcome::Complete(r, c) => (r, c),
+            other => { prop_assert!(false, "{other:?}"); unreachable!() }
+        };
+        prop_assert_eq!(consumed_a, first_len);
+        prop_assert_eq!(req_a.body, body_a);
+
+        match parse_request(&raw[consumed_a..], &Limits::default()) {
+            ParseOutcome::Complete(req_b, _) => {
+                prop_assert_eq!(req_b.body, body_b);
+                prop_assert_eq!(req_b.path, "/b");
+            }
+            other => prop_assert!(false, "second request gave {other:?}"),
+        }
+    }
+
+    /// Content-Length mismatches: a declared length longer than the sent
+    /// body is `Incomplete` (the parser waits); beyond `max_body` it is a
+    /// typed 413 regardless of how many bytes actually arrived.
+    #[test]
+    fn content_length_mismatch_is_typed(
+        declared in 1usize..200,
+        sent in 0usize..100,
+    ) {
+        let limits = Limits { max_head: 1024, max_body: 128 };
+        let mut raw = format!("POST /p HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n").into_bytes();
+        raw.extend(std::iter::repeat_n(b'x', sent.min(declared.saturating_sub(1))));
+        match parse_request(&raw, &limits) {
+            ParseOutcome::Incomplete => prop_assert!(declared <= limits.max_body),
+            ParseOutcome::Error(e) => {
+                prop_assert_eq!(e.status, 413);
+                prop_assert!(declared > limits.max_body);
+            }
+            ParseOutcome::Complete(..) => prop_assert!(false, "short body cannot complete"),
+        }
+    }
+
+    /// Oversized heads: any request whose header section exceeds
+    /// `max_head` is a typed 431, terminated or not.
+    #[test]
+    fn oversized_heads_are_431(pad in 0usize..64, terminated in 0u8..2) {
+        let limits = Limits { max_head: 96, ..Limits::default() };
+        let mut raw = format!("GET /long HTTP/1.1\r\nX-Pad: {}\r\n", "p".repeat(limits.max_head + pad)).into_bytes();
+        if terminated == 1 {
+            raw.extend_from_slice(b"\r\n");
+        }
+        match parse_request(&raw, &limits) {
+            ParseOutcome::Error(e) => prop_assert_eq!(e.status, 431),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// The response encoder double round trip: whatever the server
+    /// encodes, the response parser reads back verbatim — status, body
+    /// bytes, and the connection header that drives the keep-alive state
+    /// machine. Two concatenated responses frame exactly.
+    #[test]
+    fn response_encoder_round_trips(
+        status_ix in 0usize..6,
+        body_a in token(0..64),
+        body_b in token(1..64),
+        keep_alive in 0u8..2,
+    ) {
+        let (status, reason) = [
+            (200u16, "OK"), (400, "Bad Request"), (404, "Not Found"),
+            (413, "Payload Too Large"), (503, "Service Unavailable"), (500, "Internal Server Error"),
+        ][status_ix];
+        let keep = keep_alive == 1;
+        let mut raw = encode_response(status, reason, &body_a, keep);
+        let first_len = raw.len();
+        raw.extend_from_slice(&encode_response(503, "Service Unavailable", &body_b, false));
+
+        let (resp_a, consumed) = parse_response(&raw).unwrap().expect("first response complete");
+        prop_assert_eq!(consumed, first_len);
+        prop_assert_eq!(resp_a.status, status);
+        prop_assert_eq!(resp_a.reason, reason);
+        prop_assert_eq!(resp_a.body, body_a.as_bytes());
+        let want_conn = if keep { "keep-alive" } else { "close" };
+        prop_assert_eq!(resp_a.headers.get("connection").map(String::as_str), Some(want_conn));
+
+        let (resp_b, _) = parse_response(&raw[consumed..]).unwrap().expect("second response complete");
+        prop_assert_eq!(resp_b.status, 503);
+        prop_assert_eq!(resp_b.body, body_b.as_bytes());
+
+        // Truncations of a response are "need more", never garbage.
+        for cut in (0..first_len).step_by(11) {
+            prop_assert_eq!(parse_response(&raw[..cut]).unwrap(), None);
+        }
+    }
+
+    /// Malformed JSON bodies: the parser returns `Err`, or `Ok` for the
+    /// rare accidentally-valid document — it never panics and never loops.
+    #[test]
+    fn json_parser_never_panics(bytes in collection::vec(0u8..=255u8, 0..200)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = json::parse(text);
+        }
+    }
+
+    /// Structured-but-wrong JSON (valid syntax, wrong shape for the
+    /// predict protocol) parses fine and fails shape extraction with a
+    /// message, exercising the 400 path end to end.
+    #[test]
+    fn json_f32_arrays_round_trip(values in collection::vec(-1e6f32..1e6f32, 0..32)) {
+        let mut out = String::new();
+        json::write_f32_array(&mut out, &values);
+        let doc = json::parse(&out).unwrap();
+        let arr = doc.as_array().unwrap();
+        prop_assert_eq!(arr.len(), values.len());
+        for (v, j) in values.iter().zip(arr) {
+            prop_assert_eq!(*v, j.as_f64().unwrap() as f32);
+        }
+    }
+}

@@ -20,6 +20,6 @@ pub mod tape;
 
 pub use error::GnnError;
 pub use matrix::Matrix;
-pub use params::{atomic_write, ParamId, ParamStore};
+pub use params::{atomic_write, fnv1a64, ParamId, ParamStore};
 pub use sparse::CsrMatrix;
 pub use tape::{Gradients, SpAdj, Tape, Var};

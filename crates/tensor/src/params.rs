@@ -239,8 +239,10 @@ fn encode(values: &[Matrix], names: &[String]) -> Vec<u8> {
 
 /// FNV-1a 64-bit — dependency-free integrity hash for checkpoint payloads.
 /// Not cryptographic; it exists to catch truncation and bit rot, including
-/// the `buffer-corrupt` fault used in chaos tests.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// the `buffer-corrupt` fault used in chaos tests. Public so other
+/// checksummed containers (the servable-model snapshot) share the same
+/// integrity discipline.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

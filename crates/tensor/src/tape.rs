@@ -12,7 +12,7 @@
 //! stored mask, broadcasts, reductions, and fused classification/regression
 //! losses with optional per-row masks for semi-supervised training.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::pool;
@@ -73,7 +73,7 @@ enum Op {
     Mul(usize, usize),
     MatMul(usize, usize),
     /// Fixed sparse adjacency times dense: `A * H`.
-    SpMM(Rc<SpAdj>, usize),
+    SpMM(Arc<SpAdj>, usize),
     /// `(n x d) + (1 x d)` row broadcast (bias add).
     AddRow(usize, usize),
     /// `(n x d) * (n x 1)` column broadcast (per-row scaling, attention).
@@ -96,26 +96,26 @@ enum Op {
     Log(usize, f32),
     Square(usize),
     /// Dropout with a fixed 0/scale mask sampled outside the tape.
-    Dropout(usize, Rc<Vec<f32>>),
+    Dropout(usize, Arc<Vec<f32>>),
     /// Row gather: `out[i] = in[index[i]]`.
-    GatherRows(usize, Rc<Vec<usize>>),
+    GatherRows(usize, Arc<Vec<usize>>),
     /// Row scatter-add: `out[index[i]] += in[i]`.
     ScatterAddRows {
         src: usize,
-        index: Rc<Vec<usize>>,
+        index: Arc<Vec<usize>>,
     },
     /// Row scatter-max: `out[index[i]] = max(out[index[i]], in[i])` per
     /// column; rows receiving nothing are 0. Gradients route to the argmax.
     ScatterMaxRows {
         src: usize,
-        index: Rc<Vec<usize>>,
+        index: Arc<Vec<usize>>,
         out_rows: usize,
     },
     /// Per-column softmax within segments: entries sharing `seg[i]` form one
     /// softmax group (GAT attention over edges grouped by destination).
     SegmentSoftmax {
         src: usize,
-        seg: Rc<Vec<usize>>,
+        seg: Arc<Vec<usize>>,
         n_seg: usize,
     },
     /// Row-wise softmax (dense attention / direct graph structure learning).
@@ -135,20 +135,20 @@ enum Op {
     /// Mean softmax cross-entropy over (optionally masked) rows.
     SoftmaxCrossEntropy {
         logits: usize,
-        labels: Rc<Vec<usize>>,
-        mask: Option<Rc<Vec<f32>>>,
+        labels: Arc<Vec<usize>>,
+        mask: Option<Arc<Vec<f32>>>,
     },
     /// Mean binary cross-entropy with logits over (optionally masked) entries.
     BceWithLogits {
         logits: usize,
-        targets: Rc<Matrix>,
-        mask: Option<Rc<Vec<f32>>>,
+        targets: Arc<Matrix>,
+        mask: Option<Arc<Vec<f32>>>,
     },
     /// Mean squared error over (optionally masked) entries.
     MseLoss {
         pred: usize,
-        target: Rc<Matrix>,
-        mask: Option<Rc<Vec<f32>>>,
+        target: Arc<Matrix>,
+        mask: Option<Arc<Vec<f32>>>,
     },
 }
 
@@ -238,9 +238,9 @@ impl Tape {
     }
 
     /// Sparse adjacency times dense features.
-    pub fn spmm(&mut self, adj: &Rc<SpAdj>, h: Var) -> Var {
+    pub fn spmm(&mut self, adj: &Arc<SpAdj>, h: Var) -> Var {
         let value = adj.matrix().spmm(self.value(h));
-        self.push(value, Op::SpMM(Rc::clone(adj), h.0), self.needs(h))
+        self.push(value, Op::SpMM(Arc::clone(adj), h.0), self.needs(h))
     }
 
     /// Adds a `1 x d` row vector to every row of an `n x d` matrix.
@@ -349,7 +349,7 @@ impl Tape {
     /// Applies a fixed dropout mask. The mask entries should be `0` or
     /// `1/(1-p)` (inverted dropout); sample it with
     /// [`crate::init::dropout_mask`].
-    pub fn dropout(&mut self, a: Var, mask: Rc<Vec<f32>>) -> Var {
+    pub fn dropout(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
         let av = self.value(a);
         assert_eq!(av.len(), mask.len(), "dropout mask size mismatch");
         let data = av.data().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
@@ -360,13 +360,13 @@ impl Tape {
     // ---- message passing primitives ----
 
     /// `out[i] = in[index[i]]`; the core "node features to edges" move.
-    pub fn gather_rows(&mut self, a: Var, index: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<usize>>) -> Var {
         let value = self.value(a).gather_rows(&index);
         self.push(value, Op::GatherRows(a.0, index), self.needs(a))
     }
 
     /// `out[index[i]] += in[i]`; the core "edge messages to nodes" move.
-    pub fn scatter_add_rows(&mut self, a: Var, index: Rc<Vec<usize>>, out_rows: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
         let av = self.value(a);
         assert_eq!(av.rows(), index.len(), "scatter index length mismatch");
         let mut value = Matrix::zeros(out_rows, av.cols());
@@ -382,7 +382,7 @@ impl Tape {
     /// `out[index[i]] = elementwise-max over the rows scattered to it`;
     /// destinations receiving no rows stay 0 (matching max-pool GraphSAGE,
     /// where isolated nodes contribute a zero neighborhood).
-    pub fn scatter_max_rows(&mut self, a: Var, index: Rc<Vec<usize>>, out_rows: usize) -> Var {
+    pub fn scatter_max_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
         let av = self.value(a);
         assert_eq!(av.rows(), index.len(), "scatter index length mismatch");
         let cols = av.cols();
@@ -405,7 +405,7 @@ impl Tape {
     /// Softmax over entries sharing a segment id, independently per column.
     /// Used for attention coefficients over edges grouped by destination
     /// node. Numerically stabilized with a per-segment max.
-    pub fn segment_softmax(&mut self, a: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
+    pub fn segment_softmax(&mut self, a: Var, seg: Arc<Vec<usize>>, n_seg: usize) -> Var {
         let av = self.value(a);
         assert_eq!(av.rows(), seg.len(), "segment id length mismatch");
         let cols = av.cols();
@@ -517,8 +517,8 @@ impl Tape {
     pub fn softmax_cross_entropy(
         &mut self,
         logits: Var,
-        labels: Rc<Vec<usize>>,
-        mask: Option<Rc<Vec<f32>>>,
+        labels: Arc<Vec<usize>>,
+        mask: Option<Arc<Vec<f32>>>,
     ) -> Var {
         let lv = self.value(logits);
         assert_eq!(lv.rows(), labels.len(), "label count mismatch");
@@ -543,7 +543,7 @@ impl Tape {
 
     /// Mean binary cross-entropy with logits against a dense target matrix
     /// (entries in `[0,1]`), optionally masked per entry.
-    pub fn bce_with_logits(&mut self, logits: Var, targets: Rc<Matrix>, mask: Option<Rc<Vec<f32>>>) -> Var {
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Arc<Matrix>, mask: Option<Arc<Vec<f32>>>) -> Var {
         let lv = self.value(logits);
         assert_eq!(lv.shape(), targets.shape(), "bce target shape mismatch");
         if let Some(m) = &mask {
@@ -566,7 +566,7 @@ impl Tape {
 
     /// Mean squared error against a dense target matrix, optionally masked
     /// per entry (feature reconstruction with missing values uses the mask).
-    pub fn mse_loss(&mut self, pred: Var, target: Rc<Matrix>, mask: Option<Rc<Vec<f32>>>) -> Var {
+    pub fn mse_loss(&mut self, pred: Var, target: Arc<Matrix>, mask: Option<Arc<Vec<f32>>>) -> Var {
         let pv = self.value(pred);
         assert_eq!(pv.shape(), target.shape(), "mse target shape mismatch");
         if let Some(m) = &mask {
@@ -1178,7 +1178,7 @@ mod tests {
 
     #[test]
     fn grad_spmm() {
-        let adj = Rc::new(SpAdj::new(CsrMatrix::from_triplets(
+        let adj = Arc::new(SpAdj::new(CsrMatrix::from_triplets(
             3,
             3,
             &[(0, 1, 0.5), (1, 0, 0.5), (1, 2, 1.5), (2, 2, 1.0)],
@@ -1265,14 +1265,14 @@ mod tests {
 
     #[test]
     fn grad_gather_scatter() {
-        let index = Rc::new(vec![0usize, 2, 2, 1]);
+        let index = Arc::new(vec![0usize, 2, 2, 1]);
         grad_check(
             (3, 2),
             10,
             {
-                let index = Rc::clone(&index);
+                let index = Arc::clone(&index);
                 move |t, x| {
-                    let g = t.gather_rows(x, Rc::clone(&index));
+                    let g = t.gather_rows(x, Arc::clone(&index));
                     let s = t.square(g);
                     t.sum_all(s)
                 }
@@ -1283,7 +1283,7 @@ mod tests {
             (4, 2),
             11,
             move |t, x| {
-                let s = t.scatter_add_rows(x, Rc::clone(&index), 3);
+                let s = t.scatter_add_rows(x, Arc::clone(&index), 3);
                 let q = t.square(s);
                 t.sum_all(q)
             },
@@ -1293,7 +1293,7 @@ mod tests {
 
     #[test]
     fn grad_scatter_max() {
-        let index = Rc::new(vec![0usize, 0, 1, 1]);
+        let index = Arc::new(vec![0usize, 0, 1, 1]);
         // offset inputs so maxima are unambiguous (finite differences near
         // ties are meaningless)
         let mut rng = StdRng::seed_from_u64(77);
@@ -1304,7 +1304,7 @@ mod tests {
         }
         let mut tape = Tape::new();
         let x = tape.param(x0.clone());
-        let m = tape.scatter_max_rows(x, Rc::clone(&index), 2);
+        let m = tape.scatter_max_rows(x, Arc::clone(&index), 2);
         let sq = tape.square(m);
         let loss = tape.sum_all(sq);
         let grads = tape.backward(loss);
@@ -1318,7 +1318,7 @@ mod tests {
             let f = |m0: Matrix| -> f32 {
                 let mut t = Tape::new();
                 let xv = t.param(m0);
-                let mm = t.scatter_max_rows(xv, Rc::clone(&index), 2);
+                let mm = t.scatter_max_rows(xv, Arc::clone(&index), 2);
                 let ss = t.square(mm);
                 let ll = t.sum_all(ss);
                 t.value(ll).get(0, 0)
@@ -1336,7 +1336,7 @@ mod tests {
     fn scatter_max_empty_destination_is_zero() {
         let mut tape = Tape::new();
         let x = tape.constant(Matrix::from_rows(&[vec![-5.0, 3.0]]));
-        let m = tape.scatter_max_rows(x, Rc::new(vec![1]), 3);
+        let m = tape.scatter_max_rows(x, Arc::new(vec![1]), 3);
         let v = tape.value(m);
         assert_eq!(v.row(0), &[0.0, 0.0]);
         assert_eq!(v.row(1), &[-5.0, 3.0]);
@@ -1345,12 +1345,12 @@ mod tests {
 
     #[test]
     fn grad_segment_softmax() {
-        let seg = Rc::new(vec![0usize, 0, 1, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 1, 1, 1]);
         grad_check(
             (5, 1),
             12,
             move |t, x| {
-                let a = t.segment_softmax(x, Rc::clone(&seg), 2);
+                let a = t.segment_softmax(x, Arc::clone(&seg), 2);
                 let s = t.square(a);
                 t.sum_all(s)
             },
@@ -1424,45 +1424,45 @@ mod tests {
 
     #[test]
     fn grad_softmax_cross_entropy() {
-        let labels = Rc::new(vec![0usize, 2, 1]);
+        let labels = Arc::new(vec![0usize, 2, 1]);
         grad_check(
             (3, 3),
             18,
             {
-                let labels = Rc::clone(&labels);
-                move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), None)
+                let labels = Arc::clone(&labels);
+                move |t, x| t.softmax_cross_entropy(x, Arc::clone(&labels), None)
             },
             2e-2,
         );
         // masked variant: only rows 0 and 2 count
-        let mask = Rc::new(vec![1.0f32, 0.0, 1.0]);
+        let mask = Arc::new(vec![1.0f32, 0.0, 1.0]);
         grad_check(
             (3, 3),
             19,
-            move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), Some(Rc::clone(&mask))),
+            move |t, x| t.softmax_cross_entropy(x, Arc::clone(&labels), Some(Arc::clone(&mask))),
             2e-2,
         );
     }
 
     #[test]
     fn grad_bce_and_mse() {
-        let targets = Rc::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]));
+        let targets = Arc::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]));
         grad_check(
             (2, 2),
             20,
             {
-                let targets = Rc::clone(&targets);
-                move |t, x| t.bce_with_logits(x, Rc::clone(&targets), None)
+                let targets = Arc::clone(&targets);
+                move |t, x| t.bce_with_logits(x, Arc::clone(&targets), None)
             },
             2e-2,
         );
-        grad_check((2, 2), 21, move |t, x| t.mse_loss(x, Rc::clone(&targets), None), 1e-2);
+        grad_check((2, 2), 21, move |t, x| t.mse_loss(x, Arc::clone(&targets), None), 1e-2);
     }
 
     #[test]
     fn grad_mse_masked_ignores_masked_entries() {
-        let target = Rc::new(Matrix::from_rows(&[vec![0.0, 0.0]]));
-        let mask = Rc::new(vec![0.0f32, 1.0]);
+        let target = Arc::new(Matrix::from_rows(&[vec![0.0, 0.0]]));
+        let mask = Arc::new(vec![0.0f32, 1.0]);
         let mut tape = Tape::new();
         let x = tape.param(Matrix::from_rows(&[vec![5.0, 3.0]]));
         let loss = tape.mse_loss(x, target, Some(mask));
@@ -1475,10 +1475,10 @@ mod tests {
 
     #[test]
     fn grad_dropout_respects_mask() {
-        let mask = Rc::new(vec![0.0f32, 2.0, 2.0, 0.0]);
+        let mask = Arc::new(vec![0.0f32, 2.0, 2.0, 0.0]);
         let mut tape = Tape::new();
         let x = tape.param(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
-        let d = tape.dropout(x, Rc::clone(&mask));
+        let d = tape.dropout(x, Arc::clone(&mask));
         assert_eq!(tape.value(d).data(), &[0.0, 4.0, 6.0, 0.0]);
         let s = tape.sum_all(d);
         let grads = tape.backward(s);
@@ -1520,7 +1520,7 @@ mod tests {
     fn segment_softmax_sums_to_one_per_segment() {
         let mut tape = Tape::new();
         let x = tape.constant(Matrix::from_rows(&[vec![1.0], vec![2.0], vec![0.5], vec![-1.0]]));
-        let seg = Rc::new(vec![0usize, 0, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 1, 1]);
         let a = tape.segment_softmax(x, seg, 2);
         let v = tape.value(a);
         assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-6);

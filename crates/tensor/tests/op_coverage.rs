@@ -3,7 +3,7 @@
 //! op ships without a grad check: the guard parses the `enum Op` body out
 //! of `src/tape.rs` and demands a registered check per variant.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape, Var};
 use rand::rngs::StdRng;
@@ -158,7 +158,7 @@ fn grad_matmul_both_sides() {
 
 #[test]
 fn grad_spmm() {
-    let adj = Rc::new(SpAdj::new(CsrMatrix::from_triplets(
+    let adj = Arc::new(SpAdj::new(CsrMatrix::from_triplets(
         3,
         3,
         &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 2.0), (2, 2, 1.5)],
@@ -354,11 +354,11 @@ fn grad_dropout_fixed_mask() {
     // The stored 0/2 mask is part of the op, so the same mask applies on
     // every finite-difference evaluation.
     let x0 = base(3, 4, 26);
-    let mask: Rc<Vec<f32>> = Rc::new((0..12).map(|i| if i % 3 == 0 { 0.0 } else { 2.0 }).collect());
+    let mask: Arc<Vec<f32>> = Arc::new((0..12).map(|i| if i % 3 == 0 { 0.0 } else { 2.0 }).collect());
     grad_check_at(
         &x0,
         move |t, x| {
-            let z = t.dropout(x, Rc::clone(&mask));
+            let z = t.dropout(x, Arc::clone(&mask));
             sum_sq(t, z)
         },
         2e-2,
@@ -368,11 +368,11 @@ fn grad_dropout_fixed_mask() {
 #[test]
 fn grad_gather_rows() {
     let x0 = base(4, 3, 27);
-    let index: Rc<Vec<usize>> = Rc::new(vec![2, 0, 1, 0, 3, 2]);
+    let index: Arc<Vec<usize>> = Arc::new(vec![2, 0, 1, 0, 3, 2]);
     grad_check_at(
         &x0,
         move |t, x| {
-            let z = t.gather_rows(x, Rc::clone(&index));
+            let z = t.gather_rows(x, Arc::clone(&index));
             sum_sq(t, z)
         },
         2e-2,
@@ -382,11 +382,11 @@ fn grad_gather_rows() {
 #[test]
 fn grad_scatter_add_rows() {
     let x0 = base(5, 3, 28);
-    let index: Rc<Vec<usize>> = Rc::new(vec![1, 0, 1, 2, 0]);
+    let index: Arc<Vec<usize>> = Arc::new(vec![1, 0, 1, 2, 0]);
     grad_check_at(
         &x0,
         move |t, x| {
-            let z = t.scatter_add_rows(x, Rc::clone(&index), 3);
+            let z = t.scatter_add_rows(x, Arc::clone(&index), 3);
             sum_sq(t, z)
         },
         2e-2,
@@ -404,11 +404,11 @@ fn grad_scatter_max_rows_argmax_routing() {
         vec![-0.7, 0.6, 2.0],
         vec![1.6, -1.3, 0.4],
     ]);
-    let index: Rc<Vec<usize>> = Rc::new(vec![0, 1, 0, 1]);
+    let index: Arc<Vec<usize>> = Arc::new(vec![0, 1, 0, 1]);
     grad_check_at(
         &x0,
         move |t, x| {
-            let z = t.scatter_max_rows(x, Rc::clone(&index), 2);
+            let z = t.scatter_max_rows(x, Arc::clone(&index), 2);
             sum_sq(t, z)
         },
         2e-2,
@@ -418,11 +418,11 @@ fn grad_scatter_max_rows_argmax_routing() {
 #[test]
 fn grad_segment_softmax() {
     let x0 = base(5, 2, 29);
-    let seg: Rc<Vec<usize>> = Rc::new(vec![0, 0, 1, 1, 2]);
+    let seg: Arc<Vec<usize>> = Arc::new(vec![0, 0, 1, 1, 2]);
     grad_check_at(
         &x0,
         move |t, x| {
-            let z = t.segment_softmax(x, Rc::clone(&seg), 3);
+            let z = t.segment_softmax(x, Arc::clone(&seg), 3);
             sum_sq(t, z)
         },
         2e-2,
@@ -549,31 +549,35 @@ fn grad_row_sum() {
 #[test]
 fn grad_softmax_cross_entropy_masked_and_unmasked() {
     let x0 = base(5, 3, 39);
-    let labels: Rc<Vec<usize>> = Rc::new(vec![0, 2, 1, 1, 0]);
-    let l2 = Rc::clone(&labels);
-    grad_check_at(&x0, move |t, x| t.softmax_cross_entropy(x, Rc::clone(&labels), None), 2e-2);
-    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0]);
-    grad_check_at(&x0, move |t, x| t.softmax_cross_entropy(x, Rc::clone(&l2), Some(Rc::clone(&mask))), 2e-2);
+    let labels: Arc<Vec<usize>> = Arc::new(vec![0, 2, 1, 1, 0]);
+    let l2 = Arc::clone(&labels);
+    grad_check_at(&x0, move |t, x| t.softmax_cross_entropy(x, Arc::clone(&labels), None), 2e-2);
+    let mask: Arc<Vec<f32>> = Arc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0]);
+    grad_check_at(
+        &x0,
+        move |t, x| t.softmax_cross_entropy(x, Arc::clone(&l2), Some(Arc::clone(&mask))),
+        2e-2,
+    );
 }
 
 #[test]
 fn grad_bce_with_logits_masked_and_unmasked() {
     let x0 = base(4, 1, 40);
-    let targets = Rc::new(Matrix::from_rows(&[vec![1.0], vec![0.0], vec![1.0], vec![0.0]]));
-    let t2 = Rc::clone(&targets);
-    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Rc::clone(&targets), None), 2e-2);
-    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 1.0, 0.0, 1.0]);
-    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Rc::clone(&t2), Some(Rc::clone(&mask))), 2e-2);
+    let targets = Arc::new(Matrix::from_rows(&[vec![1.0], vec![0.0], vec![1.0], vec![0.0]]));
+    let t2 = Arc::clone(&targets);
+    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Arc::clone(&targets), None), 2e-2);
+    let mask: Arc<Vec<f32>> = Arc::new(vec![1.0, 1.0, 0.0, 1.0]);
+    grad_check_at(&x0, move |t, x| t.bce_with_logits(x, Arc::clone(&t2), Some(Arc::clone(&mask))), 2e-2);
 }
 
 #[test]
 fn grad_mse_loss_masked_and_unmasked() {
     let x0 = base(4, 2, 41);
-    let target = Rc::new(base(4, 2, 42));
-    let t2 = Rc::clone(&target);
-    grad_check_at(&x0, move |t, x| t.mse_loss(x, Rc::clone(&target), None), 2e-2);
-    let mask: Rc<Vec<f32>> = Rc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
-    grad_check_at(&x0, move |t, x| t.mse_loss(x, Rc::clone(&t2), Some(Rc::clone(&mask))), 2e-2);
+    let target = Arc::new(base(4, 2, 42));
+    let t2 = Arc::clone(&target);
+    grad_check_at(&x0, move |t, x| t.mse_loss(x, Arc::clone(&target), None), 2e-2);
+    let mask: Arc<Vec<f32>> = Arc::new(vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+    grad_check_at(&x0, move |t, x| t.mse_loss(x, Arc::clone(&t2), Some(Arc::clone(&mask))), 2e-2);
 }
 
 #[test]

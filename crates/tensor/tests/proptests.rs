@@ -3,7 +3,7 @@
 //! checks on randomly-shaped composite functions.
 
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gnn4tdl_tensor::{CsrMatrix, Matrix, SpAdj, Tape};
 
@@ -128,7 +128,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
         let csr = CsrMatrix::from_triplets(4, 4, &t);
-        let adj = Rc::new(SpAdj::new(csr.clone()));
+        let adj = Arc::new(SpAdj::new(csr.clone()));
 
         // sparse path
         let mut tape_s = Tape::new();

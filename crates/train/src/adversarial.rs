@@ -5,7 +5,7 @@
 //! data distribution rather than a blurry MSE optimum.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,7 +55,7 @@ pub fn fit_adversarial<E: NodeModel>(
     let disc = Mlp::new(store, "adv.disc", &[d, cfg.disc_hidden, 1], Activation::LeakyRelu, 0.0, &mut rng);
     let disc_params: HashSet<usize> = store.ids_since(disc_start).iter().map(|id| id.index()).collect();
 
-    let features = Rc::new(task.features.clone());
+    let features = Arc::new(task.features.clone());
     let mut gen_opt = Adam::new(cfg.lr, 1e-5);
     let mut disc_opt = Adam::new(cfg.lr, 1e-5);
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -79,7 +79,7 @@ pub fn fit_adversarial<E: NodeModel>(
             let logits = disc.forward(&mut s, both);
             let n = task.features.rows();
             let targets: Vec<f32> = (0..2 * n).map(|i| if i < n { 1.0 } else { 0.0 }).collect();
-            let target = Rc::new(Matrix::col_vector(&targets));
+            let target = Arc::new(Matrix::col_vector(&targets));
             let loss = s.tape.bce_with_logits(logits, target, None);
             let mut grads = s.backward(loss);
             grads.retain(|(id, _)| disc_params.contains(&id.index()));
@@ -93,11 +93,11 @@ pub fn fit_adversarial<E: NodeModel>(
             let (emb, out) = model.forward(&mut s, x);
             let main = task.train_loss(&mut s, out);
             let recon = decoder.forward(&mut s, emb);
-            let mse = s.tape.mse_loss(recon, Rc::clone(&features), None);
+            let mse = s.tape.mse_loss(recon, Arc::clone(&features), None);
             let mse_scaled = s.tape.scale(mse, cfg.recon_weight);
             // fool: discriminator should call reconstructions real (1)
             let d_logits = disc.forward(&mut s, recon);
-            let ones = Rc::new(Matrix::full(task.features.rows(), 1, 1.0));
+            let ones = Arc::new(Matrix::full(task.features.rows(), 1, 1.0));
             let fool = s.tape.bce_with_logits(d_logits, ones, None);
             let fool_scaled = s.tape.scale(fool, cfg.adv_weight);
             let sum1 = s.tape.add(main, mse_scaled);

@@ -3,7 +3,7 @@
 //! regularization. Each contributes a weighted loss term alongside the main
 //! task; the trainer sums them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -24,7 +24,7 @@ pub enum AuxTask {
     Contrastive { projector: Linear, weight: f32, temperature: f32, corrupt_p: f32 },
     /// Laplacian smoothness over a fixed edge set (IDGL/MST-GRA): penalizes
     /// embedding distance across edges.
-    GraphSmoothness { src: Rc<Vec<usize>>, dst: Rc<Vec<usize>>, weight: f32 },
+    GraphSmoothness { src: Arc<Vec<usize>>, dst: Arc<Vec<usize>>, weight: f32 },
 }
 
 impl AuxTask {
@@ -65,7 +65,7 @@ impl AuxTask {
 
     pub fn graph_smoothness(src: Vec<usize>, dst: Vec<usize>, weight: f32) -> Self {
         assert_eq!(src.len(), dst.len(), "edge endpoint mismatch");
-        AuxTask::GraphSmoothness { src: Rc::new(src), dst: Rc::new(dst), weight }
+        AuxTask::GraphSmoothness { src: Arc::new(src), dst: Arc::new(dst), weight }
     }
 
     /// A short label for reports.
@@ -108,14 +108,14 @@ impl AuxTask {
         s: &mut Session<'_>,
         encoder: &E,
         x: Var,
-        features: &Rc<Matrix>,
+        features: &Arc<Matrix>,
         emb: Var,
         rng: &mut StdRng,
     ) -> Var {
         match self {
             AuxTask::FeatureReconstruction { decoder, weight } => {
                 let recon = decoder.forward(s, emb);
-                let loss = s.tape.mse_loss(recon, Rc::clone(features), None);
+                let loss = s.tape.mse_loss(recon, Arc::clone(features), None);
                 s.tape.scale(loss, *weight)
             }
             AuxTask::DenoisingAutoencoder { decoder, weight, corrupt_p } => {
@@ -123,7 +123,7 @@ impl AuxTask {
                 let corrupted = s.tape.dropout(x, mask);
                 let emb_c = encoder.forward(s, corrupted);
                 let recon = decoder.forward(s, emb_c);
-                let loss = s.tape.mse_loss(recon, Rc::clone(features), None);
+                let loss = s.tape.mse_loss(recon, Arc::clone(features), None);
                 s.tape.scale(loss, *weight)
             }
             AuxTask::Contrastive { projector, weight, temperature, corrupt_p } => {
@@ -136,7 +136,7 @@ impl AuxTask {
                 let z2t = s.tape.transpose(z2);
                 let sims = s.tape.matmul(z1, z2t); // n x n
                 let logits = s.tape.scale(sims, 1.0 / temperature.max(1e-6));
-                let labels: Rc<Vec<usize>> = Rc::new((0..n).collect());
+                let labels: Arc<Vec<usize>> = Arc::new((0..n).collect());
                 let loss = s.tape.softmax_cross_entropy(logits, labels, None);
                 s.tape.scale(loss, *weight)
             }
@@ -145,8 +145,8 @@ impl AuxTask {
                     let zero = s.input(Matrix::zeros(1, 1));
                     return zero;
                 }
-                let hu = s.tape.gather_rows(emb, Rc::clone(src));
-                let hv = s.tape.gather_rows(emb, Rc::clone(dst));
+                let hu = s.tape.gather_rows(emb, Arc::clone(src));
+                let hv = s.tape.gather_rows(emb, Arc::clone(dst));
                 let diff = s.tape.sub(hu, hv);
                 let sq = s.tape.square(diff);
                 let loss = s.tape.mean_all(sq);
@@ -158,8 +158,8 @@ impl AuxTask {
 
 /// A 0/1 keep-mask (no inverted-dropout rescaling: corruption should look
 /// like genuinely missing data, not a scaled activation).
-fn corruption_mask(len: usize, p: f32, rng: &mut StdRng) -> Rc<Vec<f32>> {
-    Rc::new((0..len).map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 }).collect())
+fn corruption_mask(len: usize, p: f32, rng: &mut StdRng) -> Arc<Vec<f32>> {
+    Arc::new((0..len).map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 }).collect())
 }
 
 #[cfg(test)]
@@ -168,16 +168,16 @@ mod tests {
     use gnn4tdl_nn::MlpModel;
     use rand::SeedableRng;
 
-    fn setup() -> (ParamStore, MlpModel, Rc<Matrix>) {
+    fn setup() -> (ParamStore, MlpModel, Arc<Matrix>) {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let enc = MlpModel::new(&mut store, &[3, 6, 4], 0.0, &mut rng);
         let features =
-            Rc::new(Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.0, 1.0, -0.5], vec![0.5, 0.5, 0.0]]));
+            Arc::new(Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.0, 1.0, -0.5], vec![0.5, 0.5, 0.0]]));
         (store, enc, features)
     }
 
-    fn loss_value(task: &AuxTask, store: &ParamStore, enc: &MlpModel, features: &Rc<Matrix>) -> f32 {
+    fn loss_value(task: &AuxTask, store: &ParamStore, enc: &MlpModel, features: &Arc<Matrix>) -> f32 {
         let mut s = Session::eval(store);
         let x = s.input(features.as_ref().clone());
         let emb = enc.forward(&mut s, x);
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn smoothness_zero_for_identical_embeddings() {
         let (store, enc, _) = setup();
-        let features = Rc::new(Matrix::from_rows(&[vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]));
+        let features = Arc::new(Matrix::from_rows(&[vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]));
         let t = AuxTask::graph_smoothness(vec![0], vec![1], 1.0);
         let l = loss_value(&t, &store, &enc, &features);
         assert!(l.abs() < 1e-10, "identical rows must have zero smoothness, got {l}");

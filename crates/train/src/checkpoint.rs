@@ -163,6 +163,21 @@ impl Checkpointer {
     }
 }
 
+/// Serving-side manifest discovery: paths of the best-snapshot parameter
+/// files recorded for `phase`, newest-first, without loading anything. A
+/// server probe-loads these in order — exactly like [`Checkpointer::resume`]
+/// — and refuses to start only when every candidate fails its checksum.
+/// Returns an empty list when the directory has no (parseable) manifest.
+pub fn discover_best_checkpoints(dir: &Path, phase: usize) -> Vec<PathBuf> {
+    read_manifest(dir)
+        .unwrap_or_default()
+        .iter()
+        .rev()
+        .filter(|e| e.phase == phase)
+        .map(|e| dir.join(&e.best))
+        .collect()
+}
+
 fn write_manifest(entries: &[ManifestEntry]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"");
@@ -245,6 +260,22 @@ mod tests {
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
+    }
+
+    #[test]
+    fn discovery_lists_best_files_newest_first() {
+        let dir = tmpdir("discover");
+        let store = store_with(&[1.0, 2.0]);
+        let snap = store.snapshot();
+        let mut ck = Checkpointer::new(&dir, 0, 1);
+        ck.save(&store, &snap, 0, 0, 0.5);
+        ck.save(&store, &snap, 1, 1, 0.4);
+        let found = discover_best_checkpoints(&dir, 0);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].ends_with("ckpt-p0-e1-best.gtdl"), "newest first: {found:?}");
+        assert!(discover_best_checkpoints(&dir, 3).is_empty());
+        assert!(discover_best_checkpoints(&dir.join("missing"), 0).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

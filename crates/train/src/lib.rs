@@ -18,7 +18,7 @@ pub mod trainer;
 
 pub use adversarial::{fit_adversarial, AdversarialConfig};
 pub use aux::AuxTask;
-pub use checkpoint::{Checkpointer, ResumeState};
+pub use checkpoint::{discover_best_checkpoints, Checkpointer, ResumeState};
 pub use link::{fit_link_prediction, score_links, LinkConfig, LinkPredictor};
 pub use minibatch::{fit_minibatch, Batching, NeighborSampler, SampledBlock};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};

@@ -3,7 +3,7 @@
 //! missing-value imputation ("predict whether an instance-feature link
 //! should exist") and the graph-completion self-supervised task.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,8 +27,8 @@ impl LinkPredictor {
 
     /// Logits for each `(u, v)` pair given node embeddings on the tape.
     pub fn forward(&self, s: &mut Session<'_>, emb: Var, pairs: &[(usize, usize)]) -> Var {
-        let us: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(u, _)| u).collect());
-        let vs: Rc<Vec<usize>> = Rc::new(pairs.iter().map(|&(_, v)| v).collect());
+        let us: Arc<Vec<usize>> = Arc::new(pairs.iter().map(|&(u, _)| u).collect());
+        let vs: Arc<Vec<usize>> = Arc::new(pairs.iter().map(|&(_, v)| v).collect());
         let hu = s.tape.gather_rows(emb, us);
         let hv = s.tape.gather_rows(emb, vs);
         let cat = s.tape.concat_cols(hu, hv);
@@ -84,7 +84,7 @@ pub fn fit_link_prediction<E: NodeModel>(
                 targets.push(0.0);
             }
         }
-        let target = Rc::new(Matrix::col_vector(&targets));
+        let target = Arc::new(Matrix::col_vector(&targets));
         let mut s = Session::train(store, cfg.seed.wrapping_add(epoch as u64));
         let x = s.input(features.clone());
         let emb = encoder.forward(&mut s, x);

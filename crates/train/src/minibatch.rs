@@ -20,7 +20,7 @@
 //! an identical refit at any `GNN4TDL_THREADS` setting.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gnn4tdl_graph::Graph;
@@ -232,11 +232,11 @@ fn block_loss<E: BlockModel>(
     let loss = match &task.target {
         TaskTarget::Classification { labels, .. } => {
             let local: Vec<usize> = block.nodes.iter().map(|&g| labels[g]).collect();
-            s.tape.softmax_cross_entropy(out, Rc::new(local), Some(Rc::new(mask)))
+            s.tape.softmax_cross_entropy(out, Arc::new(local), Some(Arc::new(mask)))
         }
         TaskTarget::Regression { values } => {
             let local = values.gather_rows(&block.nodes);
-            s.tape.mse_loss(out, Rc::new(local), Some(Rc::new(mask)))
+            s.tape.mse_loss(out, Arc::new(local), Some(Arc::new(mask)))
         }
     };
     (loss, mask_weight)

@@ -1,6 +1,6 @@
 //! Supervised node-level tasks and the encoder+head model wrapper.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -12,12 +12,12 @@ use gnn4tdl_tensor::{Matrix, ParamId, ParamStore, Var};
 #[derive(Clone)]
 pub enum TaskTarget {
     Classification {
-        labels: Rc<Vec<usize>>,
+        labels: Arc<Vec<usize>>,
         num_classes: usize,
     },
     /// `n x 1` regression values.
     Regression {
-        values: Rc<Matrix>,
+        values: Arc<Matrix>,
     },
 }
 
@@ -49,7 +49,7 @@ impl NodeTask {
         split.validate(features.rows()).expect("invalid split");
         Self {
             features,
-            target: TaskTarget::Classification { labels: Rc::new(labels), num_classes },
+            target: TaskTarget::Classification { labels: Arc::new(labels), num_classes },
             split,
             row_weights: None,
         }
@@ -80,7 +80,7 @@ impl NodeTask {
         split.validate(features.rows()).expect("invalid split");
         Self {
             features,
-            target: TaskTarget::Regression { values: Rc::new(Matrix::col_vector(&values)) },
+            target: TaskTarget::Regression { values: Arc::new(Matrix::col_vector(&values)) },
             split,
             row_weights: None,
         }
@@ -100,10 +100,10 @@ impl NodeTask {
         }
         match &self.target {
             TaskTarget::Classification { labels, .. } => {
-                s.tape.softmax_cross_entropy(output, Rc::clone(labels), Some(Rc::new(mask)))
+                s.tape.softmax_cross_entropy(output, Arc::clone(labels), Some(Arc::new(mask)))
             }
             TaskTarget::Regression { values } => {
-                s.tape.mse_loss(output, Rc::clone(values), Some(Rc::new(mask)))
+                s.tape.mse_loss(output, Arc::clone(values), Some(Arc::new(mask)))
             }
         }
     }

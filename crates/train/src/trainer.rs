@@ -4,7 +4,7 @@
 
 use std::collections::HashSet;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -150,7 +150,7 @@ pub fn fit_weighted<E: NodeModel>(
     // moment state does not carry the blown-up step.
     let mut lr_factor = 1.0f32;
     let mut corrupt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
-    let features = Rc::new(task.features.clone());
+    let features = Arc::new(task.features.clone());
     let allowed: Option<HashSet<usize>> =
         cfg.trainable.as_ref().map(|ids| ids.iter().map(|id| id.index()).collect());
 

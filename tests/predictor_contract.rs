@@ -2,6 +2,12 @@
 //! form a distribution, hard predictions agree with `argmax(predict_proba)`
 //! (including on exact ties), and refitting with the same seed reproduces
 //! bit-identical predictions.
+//!
+//! The serving contract rides along (ISSUE 7): the online local-subgraph
+//! prediction must match a full-graph batch recompute within 1e-4 on
+//! probabilities under `IndexKind::Exact` (recall-bounded under Hnsw), and
+//! repeated identical requests must be bitwise-identical across
+//! `GNN4TDL_THREADS` ∈ {1, 2, available}.
 
 use gnn4tdl::prelude::*;
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
@@ -101,6 +107,119 @@ fn constant_feature_dataset() -> (Dataset, Split) {
     let dataset = Dataset::new("ties", table, Target::Classification { labels, num_classes: 2 });
     let split = Split { train: (0..8).collect(), val: vec![8, 9], test: vec![10, 11] };
     (dataset, split)
+}
+
+// -- serving contract -------------------------------------------------------
+
+fn servable(index: IndexKind) -> ServableModel {
+    let (dataset, split) = dataset_and_split();
+    let features = gnn4tdl_data::encode_all(&dataset.table).features;
+    let labels = dataset.target.labels().to_vec();
+    let config = ServableConfig {
+        encoder: EncoderSpec::Gcn,
+        in_dim: features.cols(),
+        hidden: 8,
+        layers: 2,
+        num_classes: 3,
+        dropout: 0.0,
+        k: 5,
+        similarity: Similarity::Euclidean,
+        index,
+    };
+    ServableModel::fit(features, labels, &split, config, &TrainConfig { epochs: 12, ..Default::default() })
+        .unwrap()
+}
+
+fn request_rows(model: &ServableModel, count: usize) -> Vec<Vec<f32>> {
+    // Perturbed copies of corpus rows: in-distribution but unseen.
+    (0..count)
+        .map(|r| {
+            let base = model.features.row(r * 7 % model.corpus_len());
+            base.iter().enumerate().map(|(i, &v)| v + ((i + r) as f32 * 0.713).sin() * 0.05).collect()
+        })
+        .collect()
+}
+
+/// Under `IndexKind::Exact`, the O(neighborhood) local-subgraph prediction
+/// must agree with the O(n) full-graph recompute within 1e-4 — serving an
+/// unseen row online and batch-recomputing the extended graph are the same
+/// function.
+#[test]
+fn serving_local_prediction_matches_full_graph_recompute() {
+    let model = servable(IndexKind::Exact);
+    for row in request_rows(&model, 6) {
+        let neighbors: Vec<usize> = model.exact_neighbors(&row).into_iter().map(|(i, _)| i).collect();
+        let local = model.predict_local(&row, &neighbors).unwrap();
+        let full = model.predict_full(&row, &neighbors).unwrap();
+        assert!((local.proba.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        for (c, (l, f)) in local.proba.iter().zip(&full.proba).enumerate() {
+            assert!(
+                (l - f).abs() < 1e-4,
+                "class {c}: local proba {l} vs full-graph {f} (subgraph {} of {} nodes)",
+                local.subgraph_nodes,
+                model.corpus_len() + 1
+            );
+        }
+    }
+}
+
+/// Under `IndexKind::Hnsw` the incremental insert-then-query path is
+/// approximate: the attachment neighborhood is recall-bounded against the
+/// exact oracle rather than equal, and the prediction it conditions on is
+/// still a valid distribution computed by the same local-subgraph rule.
+#[test]
+fn serving_incremental_insert_is_recall_bounded_under_hnsw() {
+    let model = servable(IndexKind::Hnsw { m: 12, ef_construction: 64, ef_search: 48, seed: 9 });
+    let engine = gnn4tdl_serve::Engine::new(model).unwrap();
+    let rows = request_rows(engine.model(), 8);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for row in &rows {
+        let exact: std::collections::HashSet<usize> =
+            engine.model().exact_neighbors(row).into_iter().map(|(i, _)| i).collect();
+        let approx = engine.neighbors(row).unwrap();
+        assert!(!approx.is_empty());
+        assert!(
+            approx.iter().all(|&i| i < engine.corpus_len()),
+            "inserted request rows must not become neighbors"
+        );
+        hits += approx.iter().filter(|i| exact.contains(i)).count();
+        total += exact.len();
+        let prediction = engine.model().predict_local(row, &approx).unwrap();
+        assert!((prediction.proba.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.6, "hnsw serving recall {recall:.3} collapsed below the usable bound");
+}
+
+/// Repeated identical requests are bitwise-identical, and stay so whether
+/// the kernels run on 1, 2, or all available threads — the serving path
+/// inherits the workspace's thread-count determinism contract.
+#[test]
+fn serving_repeats_are_bitwise_identical_across_thread_counts() {
+    use gnn4tdl_tensor::parallel;
+    let model = servable(IndexKind::Exact);
+    let rows = request_rows(&model, 4);
+    let serve_all = |model: &ServableModel| -> Vec<Vec<u32>> {
+        rows.iter()
+            .map(|row| {
+                let neighbors: Vec<usize> = model.exact_neighbors(row).into_iter().map(|(i, _)| i).collect();
+                let p = model.predict_local(row, &neighbors).unwrap();
+                p.logits.iter().chain(&p.proba).map(|v| v.to_bits()).collect()
+            })
+            .collect()
+    };
+    let baseline = parallel::with_threads(1, || serve_all(&model));
+    // A second pass at the same thread count: repeats are bitwise stable.
+    assert_eq!(baseline, parallel::with_threads(1, || serve_all(&model)));
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [2, avail] {
+        assert_eq!(
+            baseline,
+            parallel::with_threads(threads, || serve_all(&model)),
+            "serving output diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
