@@ -381,6 +381,21 @@ impl SearchScratch {
             sims: Vec::new(),
         }
     }
+
+    /// Grows the visited set to cover `n` nodes. New stamps start at 0,
+    /// which can never equal a live epoch (epochs are bumped to >= 1 before
+    /// any lookup), so growing mid-life preserves query semantics.
+    fn ensure(&mut self, n: usize) {
+        if self.visited.stamp.len() < n {
+            self.visited.stamp.resize(n, 0);
+        }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 /// Epoch-stamped visited set: clearing is one counter bump, not an O(n)
@@ -494,6 +509,10 @@ pub struct HnswIndex<'a> {
     upper: Vec<Vec<Vec<u32>>>,
     entry: u32,
     max_level: usize,
+    /// Reused by [`Self::insert`] so a long-lived owned index pays no
+    /// per-insert allocation for the beam-search state (the visited stamps
+    /// alone are O(corpus + inserted)).
+    insert_scratch: SearchScratch,
 }
 
 impl<'a> HnswIndex<'a> {
@@ -544,6 +563,7 @@ impl<'a> HnswIndex<'a> {
             upper: Vec::new(),
             entry: 0,
             max_level: 0,
+            insert_scratch: SearchScratch::default(),
         };
         let mut scratch = SearchScratch::new(n);
         let mut hops: u64 = 0;
@@ -552,6 +572,8 @@ impl<'a> HnswIndex<'a> {
         }
         obs::counter_add("construct.hnsw.insert", n as u64);
         obs::counter_add("construct.hnsw.hops", hops);
+        // Hand the warmed-up scratch to post-build inserts.
+        index.insert_scratch = scratch;
         index
     }
 
@@ -606,9 +628,13 @@ impl<'a> HnswIndex<'a> {
         self.layer0.extend(std::iter::repeat_n(u32::MAX, self.m0));
         self.count0.push(0);
         self.upper_ids.push(u32::MAX);
-        let mut scratch = SearchScratch::new(self.features.rows());
+        // Reuse the persistent scratch (taken out to satisfy the borrow
+        // checker — `insert_node` needs `&mut self` alongside it).
+        let mut scratch = std::mem::take(&mut self.insert_scratch);
+        scratch.ensure(self.features.rows());
         let mut hops: u64 = 0;
         self.insert_node(node as u32, self.ef_construction, &mut scratch, &mut hops);
+        self.insert_scratch = scratch;
         obs::counter_add("construct.hnsw.insert", 1);
         obs::counter_add("construct.hnsw.hops", hops);
         Ok(node)

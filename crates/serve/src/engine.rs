@@ -13,7 +13,12 @@
 //!   `ef_search`, and because inserts mutate the link graph, neighbor sets
 //!   are a function of the *request history* — the determinism contract
 //!   for this path is "same snapshot + same request sequence → same
-//!   responses", which the chaos suite exercises.
+//!   responses", which the chaos suite exercises. Retained request rows
+//!   are bounded: at [`DEFAULT_REQUEST_CAP`] (configurable via
+//!   [`Engine::with_request_cap`]) the index is rebuilt from the frozen
+//!   corpus snapshot, so memory and per-insert cost stay flat under
+//!   sustained traffic — and the rebuild point is itself a deterministic
+//!   function of the request sequence.
 //!
 //! Either way the prediction itself is `predict_local`: a
 //! `(layers + 1)`-hop ball around the attachment neighbors, so per-request
@@ -26,6 +31,12 @@ use gnn4tdl::servable::{LocalPrediction, ServableModel};
 use gnn4tdl_construct::{HnswIndex, IndexKind, NeighborIndex};
 use gnn4tdl_tensor::{fault, obs, GnnError, Matrix};
 
+/// Default for [`Engine::with_request_cap`]: how many request rows the
+/// Hnsw index retains before it is rebuilt from the frozen corpus
+/// snapshot. Bounds server memory under sustained traffic — without a cap
+/// every `/predict` permanently grows the index.
+pub const DEFAULT_REQUEST_CAP: usize = 4096;
+
 pub struct Engine {
     model: ServableModel,
     /// Present only under `IndexKind::Hnsw`; the mutex serializes inserts
@@ -33,6 +44,9 @@ pub struct Engine {
     /// forward pass, so a finer lock would buy nothing).
     hnsw: Option<Mutex<HnswIndex<'static>>>,
     corpus_len: usize,
+    /// Hnsw only: retained request rows trigger a corpus-snapshot rebuild
+    /// once they reach this bound (`serve.index_rebuilds` counts them).
+    request_cap: usize,
     /// Requests answered (monotone; mirrors the `serve.requests` counter
     /// but survives `obs::reset`).
     served: AtomicU64,
@@ -44,22 +58,37 @@ impl Engine {
     /// deterministic (seeded level draws), so two engines from the same
     /// snapshot start bitwise-identical.
     pub fn new(model: ServableModel) -> Result<Self, GnnError> {
+        Self::with_request_cap(model, DEFAULT_REQUEST_CAP)
+    }
+
+    /// [`Self::new`] with an explicit bound on retained request rows. When
+    /// the Hnsw index has accumulated `request_cap` request rows it is
+    /// rebuilt from the frozen corpus snapshot before the next insert, so
+    /// index memory is O(corpus + request_cap) and per-insert cost stays
+    /// flat instead of growing with server uptime. The rebuild point is a
+    /// deterministic function of the request sequence, preserving the
+    /// "same snapshot + same request sequence → same responses" contract.
+    pub fn with_request_cap(model: ServableModel, request_cap: usize) -> Result<Self, GnnError> {
         model.config.validate()?;
         let corpus_len = model.corpus_len();
-        let hnsw = match model.config.index {
+        let hnsw = Self::build_hnsw(&model).map(Mutex::new);
+        Ok(Engine { model, hnsw, corpus_len, request_cap: request_cap.max(1), served: AtomicU64::new(0) })
+    }
+
+    /// The owned-storage approximate index over the snapshot corpus, or
+    /// `None` under `IndexKind::Exact`.
+    fn build_hnsw(model: &ServableModel) -> Option<HnswIndex<'static>> {
+        match model.config.index {
             IndexKind::Exact => None,
-            IndexKind::Hnsw { m, ef_construction, ef_search, seed } => {
-                Some(Mutex::new(HnswIndex::build_owned(
-                    &model.features,
-                    model.config.similarity,
-                    m,
-                    ef_construction,
-                    ef_search,
-                    seed,
-                )))
-            }
-        };
-        Ok(Engine { model, hnsw, corpus_len, served: AtomicU64::new(0) })
+            IndexKind::Hnsw { m, ef_construction, ef_search, seed } => Some(HnswIndex::build_owned(
+                &model.features,
+                model.config.similarity,
+                m,
+                ef_construction,
+                ef_search,
+                seed,
+            )),
+        }
     }
 
     pub fn model(&self) -> &ServableModel {
@@ -82,10 +111,38 @@ impl Engine {
         self.served.load(Ordering::Relaxed)
     }
 
+    /// Request rows currently retained in the Hnsw index (always 0 under
+    /// `IndexKind::Exact`); bounded by the request cap.
+    pub fn retained_requests(&self) -> usize {
+        self.hnsw.as_ref().map_or(0, |m| m.lock().unwrap_or_else(|p| p.into_inner()).len() - self.corpus_len)
+    }
+
+    /// Rejects a request row before it can touch any engine state: wrong
+    /// arity and non-finite values (a finite JSON number like 1e300 casts
+    /// to `f32::INFINITY`) must never reach the index — an inserted
+    /// non-finite row would poison link-graph pruning for every later
+    /// request on this long-lived index.
+    fn check_row(&self, row: &[f32]) -> Result<(), GnnError> {
+        if row.len() != self.model.config.in_dim {
+            return Err(GnnError::InvalidConfig {
+                detail: format!(
+                    "request row has {} features, model expects {}",
+                    row.len(),
+                    self.model.config.in_dim
+                ),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(GnnError::NonFiniteFeature { column: "<request>".into(), row: 0 });
+        }
+        Ok(())
+    }
+
     /// Corpus neighbor ids for a request row. Exact path: read-only query.
     /// Hnsw path: insert-then-query with the just-inserted id excluded and
     /// earlier inserted rows filtered out (they are requests, not corpus).
     pub fn neighbors(&self, row: &[f32]) -> Result<Vec<usize>, GnnError> {
+        self.check_row(row)?;
         let k = self.model.config.k;
         match &self.hnsw {
             None => Ok(self.model.exact_neighbors(row).into_iter().map(|(i, _)| i).collect()),
@@ -94,17 +151,46 @@ impl Engine {
                 // the link graph is still structurally valid (links are
                 // appended monotonically), so serving continues.
                 let mut index = index.lock().unwrap_or_else(|p| p.into_inner());
+                if index.len() - self.corpus_len >= self.request_cap {
+                    // Memory bound: shed the accumulated request rows by
+                    // rebuilding from the frozen corpus snapshot. Seeded
+                    // level draws make the rebuilt index identical to the
+                    // engine's starting one.
+                    obs::counter_add("serve.index_rebuilds", 1);
+                    *index = Self::build_hnsw(&self.model).expect("hnsw engine has an Hnsw config");
+                }
                 let id = index.insert(row)?;
                 let inserted = id + 1 - self.corpus_len;
+                let q = Matrix::from_vec(1, row.len(), row.to_vec());
                 // Widen the beam so earlier request rows occupying the top
                 // of the result list cannot starve the corpus ids; capped at
-                // k extra — recall under Hnsw is ef-bounded anyway.
+                // k extra for the common case.
                 let k_eff = k + inserted.min(k);
-                let q = Matrix::from_vec(1, row.len(), row.to_vec());
                 let hits = index.query_k(&q, 0, k_eff, Some(id));
-                Ok(hits.into_iter().map(|(i, _)| i).filter(|&i| i < self.corpus_len).take(k).collect())
+                let mut ids = Self::corpus_hits(hits, self.corpus_len, k);
+                if ids.len() < k && k + inserted > k_eff {
+                    // More retained request rows than the widened beam can
+                    // absorb (e.g. a flood of near-duplicates): retry with
+                    // room for *all* of them, so k corpus ids must survive
+                    // the filter whenever the beam finds that many nodes.
+                    obs::counter_add("serve.neighbor_retries", 1);
+                    let hits = index.query_k(&q, 0, k + inserted, Some(id));
+                    ids = Self::corpus_hits(hits, self.corpus_len, k);
+                }
+                if ids.is_empty() {
+                    obs::counter_add("serve.neighbors_empty", 1);
+                    return Err(GnnError::Io {
+                        detail: "no corpus neighbors survived the request-row filter; retry".into(),
+                    });
+                }
+                Ok(ids)
             }
         }
+    }
+
+    /// Hnsw hits → at most `k` corpus ids (request rows filtered out).
+    fn corpus_hits(hits: Vec<(usize, f32)>, corpus_len: usize, k: usize) -> Vec<usize> {
+        hits.into_iter().map(|(i, _)| i).filter(|&i| i < corpus_len).take(k).collect()
     }
 
     /// One request row → local-subgraph prediction. The per-request fault
@@ -203,6 +289,47 @@ mod tests {
             assert!(!neighbors.is_empty());
             assert!(neighbors.iter().all(|&i| i < corpus), "request rows must never become neighbors");
             engine.model().predict_local(&row, &neighbors).unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_before_index_mutation() {
+        let index = IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 24, seed: 7 };
+        let engine = Engine::new(fitted(index)).unwrap();
+        let mut row = vec![0.5f32; engine.in_dim()];
+        row[1] = f32::INFINITY; // what a finite JSON 1e300 becomes after the f32 cast
+        assert!(engine.predict(&row).is_err());
+        row[1] = f32::NAN;
+        assert!(engine.predict(&row).is_err());
+        assert!(engine.predict(&vec![0.0f32; engine.in_dim() + 1]).is_err());
+        assert_eq!(engine.retained_requests(), 0, "rejected rows must never enter the index");
+    }
+
+    #[test]
+    fn request_cap_bounds_retained_rows_via_rebuild() {
+        let index = IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 24, seed: 7 };
+        let engine = Engine::with_request_cap(fitted(index), 8).unwrap();
+        for step in 0..30 {
+            let row: Vec<f32> = (0..engine.in_dim()).map(|i| ((i + step) as f32 * 0.23).sin()).collect();
+            let p = engine.predict(&row).unwrap();
+            assert_eq!(p.proba.len(), 3);
+            assert!(engine.retained_requests() <= 8, "memory bound must hold under sustained traffic");
+        }
+    }
+
+    #[test]
+    fn near_duplicate_floods_still_yield_corpus_neighbors() {
+        let index = IndexKind::Hnsw { m: 8, ef_construction: 32, ef_search: 24, seed: 7 };
+        // Cap far above the flood so the retry path (not the rebuild) is
+        // what keeps corpus ids in the result.
+        let engine = Engine::with_request_cap(fitted(index), 256).unwrap();
+        let base: Vec<f32> = (0..engine.in_dim()).map(|i| (i as f32 * 0.31).cos()).collect();
+        for step in 0..40 {
+            let mut row = base.clone();
+            row[0] += step as f32 * 1e-4;
+            let neighbors = engine.neighbors(&row).unwrap();
+            assert!(!neighbors.is_empty(), "request rows crowding the beam must not empty the result");
+            assert!(neighbors.iter().all(|&i| i < engine.corpus_len()));
         }
     }
 

@@ -135,7 +135,22 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
                 format!("invalid header name {name:?}"),
             ));
         }
-        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        // RFC 9112 requires conflicting Content-Length values to be
+        // rejected (request smuggling); this protocol has no list-valued
+        // headers worth merging, so *any* conflicting repeat is a 400
+        // rather than a silent last-wins. Identical repeats are harmless.
+        if let Some(prev) = headers.get(&name) {
+            if *prev != value {
+                return ParseOutcome::Error(HttpError::new(
+                    400,
+                    "Bad Request",
+                    format!("conflicting values for repeated header {name:?}"),
+                ));
+            }
+        }
+        headers.insert(name, value);
     }
 
     if headers.contains_key("transfer-encoding") {
@@ -312,6 +327,28 @@ mod tests {
                 other => panic!("{raw:?} gave {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn conflicting_duplicate_headers_are_rejected() {
+        // The classic smuggling shape: two Content-Length values.
+        let smuggle = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nbody";
+        match parse(smuggle) {
+            ParseOutcome::Error(e) => {
+                assert_eq!(e.status, 400);
+                assert!(e.detail.contains("content-length"), "{}", e.detail);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Any other conflicting repeat is rejected the same way...
+        let conflicting = b"GET /x HTTP/1.1\r\nX-Tag: a\r\nX-Tag: b\r\n\r\n";
+        match parse(conflicting) {
+            ParseOutcome::Error(e) => assert_eq!(e.status, 400),
+            other => panic!("{other:?}"),
+        }
+        // ...while identical repeats still parse.
+        let dup = b"GET /x HTTP/1.1\r\nAccept: */*\r\nAccept: */*\r\n\r\n";
+        assert!(matches!(parse(dup), ParseOutcome::Complete(..)));
     }
 
     #[test]

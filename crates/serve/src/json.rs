@@ -152,12 +152,21 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
             Some(&c) if c < 0x20 => return Err("control character in string".into()),
             Some(_) => {
-                // Consume one UTF-8 scalar (body was validated as UTF-8
-                // upstream for object keys; raw bytes are still re-checked).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-utf8 string".to_string())?;
-                let ch = rest.chars().next().ok_or_else(|| "unterminated string".to_string())?;
-                out.push(ch);
-                *pos += ch.len_utf8();
+                // Bulk-consume the run of ordinary bytes up to the next
+                // quote, escape, or control byte: one UTF-8 validation per
+                // run keeps string parsing O(n), where re-validating the
+                // whole remaining input per character would be O(n²) — an
+                // 8MB string body could pin a worker for minutes.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run =
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-utf8 string".to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -308,6 +317,17 @@ mod tests {
         // Hostile nesting is bounded, not stack-overflowed.
         let deep = "[".repeat(100_000) + &"]".repeat(100_000);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // ~768KB of mixed ASCII + multi-byte scalars. The pre-fix
+        // quadratic path took minutes on this input, so completing inside
+        // the test budget *is* the regression gate.
+        let payload = "abcé漢🦀".repeat(64 * 1024);
+        let doc = format!("{{\"s\": \"{payload}\"}}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(payload.as_str()));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use rand::{rngs::StdRng, SeedableRng};
 fn usage() -> ! {
     eprintln!(
         "usage: gnn4tdl-serve (--snapshot <model.gsrv> | --demo) [--addr HOST:PORT] \
-         [--workers N] [--queue-cap N] [--demo-rows N] [--obs]"
+         [--workers N] [--queue-cap N] [--request-cap N] [--demo-rows N] [--obs]"
     );
     std::process::exit(2);
 }
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let mut demo = false;
     let mut demo_rows = 2_000usize;
     let mut config = ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() };
+    let mut request_cap = gnn4tdl_serve::engine::DEFAULT_REQUEST_CAP;
     let mut enable_obs = false;
 
     let mut args = std::env::args().skip(1);
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
             "--addr" => config.addr = value("--addr"),
             "--workers" => config.workers = value("--workers").parse().expect("--workers: integer"),
             "--queue-cap" => config.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer"),
+            "--request-cap" => request_cap = value("--request-cap").parse().expect("--request-cap: integer"),
             "--obs" => enable_obs = true,
             "--help" | "-h" => usage(),
             other => {
@@ -79,7 +81,7 @@ fn main() -> ExitCode {
         model.config.index.name(),
     );
 
-    let engine = match Engine::new(model) {
+    let engine = match Engine::with_request_cap(model, request_cap) {
         Ok(e) => Arc::new(e),
         Err(e) => {
             eprintln!("failed to build engine: {e}");

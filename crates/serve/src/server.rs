@@ -216,11 +216,12 @@ fn route(engine: &Engine, request: &Request) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let body = format!(
-                "{{\"status\": \"ok\", \"corpus_rows\": {}, \"in_dim\": {}, \"classes\": {}, \"served\": {}}}",
+                "{{\"status\": \"ok\", \"corpus_rows\": {}, \"in_dim\": {}, \"classes\": {}, \"served\": {}, \"retained_requests\": {}}}",
                 engine.corpus_len(),
                 engine.in_dim(),
                 engine.num_classes(),
-                engine.served()
+                engine.served(),
+                engine.retained_requests()
             );
             (200, "OK", body)
         }
@@ -306,7 +307,18 @@ fn parse_row(value: &json::Json, in_dim: usize) -> Result<Vec<f32>, String> {
     }
     items
         .iter()
-        .map(|v| v.as_f64().map(|x| x as f32).ok_or_else(|| "row entries must be numbers".to_string()))
+        .map(|v| {
+            let x = v.as_f64().ok_or_else(|| "row entries must be numbers".to_string())?;
+            // The JSON layer only guarantees a finite f64; a value like
+            // 1e300 overflows the f32 cast, and a non-finite feature must
+            // be a typed 400 before it can reach the engine (or, worse,
+            // the incremental index).
+            let f = x as f32;
+            if !f.is_finite() {
+                return Err(format!("row entry {x:e} is not a finite f32"));
+            }
+            Ok(f)
+        })
         .collect()
 }
 
