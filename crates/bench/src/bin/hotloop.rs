@@ -1,11 +1,15 @@
-//! Steady-state hot-loop benchmark: `hotloop [--min-hit-rate X] [--out DIR]`.
+//! Steady-state hot-loop benchmark:
+//! `hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--out DIR]`.
 //!
-//! Measures the three numbers the allocation-free training loop is
-//! accountable for — steady-state epoch time, buffer-pool hit rate, and
-//! GEMM kNN construction time — on a fixed seeded workload, and writes them
-//! to `BENCH_hotloop.json` at the repository root so regressions show up in
+//! Measures the numbers the allocation-free training loop is accountable
+//! for — steady-state epoch time, buffer-pool hit rate, GEMM kNN
+//! construction time, and micro-kernel GEMM throughput against the scalar
+//! oracle — on a fixed seeded workload, and writes them to
+//! `BENCH_hotloop.json` at the repository root so regressions show up in
 //! review diffs. CI passes `--min-hit-rate` to fail the build when the pool
-//! stops absorbing the hot loop's allocations.
+//! stops absorbing the hot loop's allocations, and `--min-gemm-speedup` to
+//! fail it when the tiled kernel stops beating the scalar oracle on the
+//! dominant training shape.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -15,7 +19,7 @@ use gnn4tdl_bench::report::{Cell, Report};
 use gnn4tdl_construct::knn_edges;
 use gnn4tdl_data::encode_all;
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
-use gnn4tdl_tensor::{parallel, pool};
+use gnn4tdl_tensor::{kernel, parallel, pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,8 +29,42 @@ const WARMUP_EPOCHS: usize = 3;
 const MEASURED_EPOCHS: usize = 60;
 const KNN_REPS: usize = 5;
 
+/// GEMM shapes the workload actually runs: the hidden-layer product of the
+/// n=1000 fit (the dominant shape, first — the `--min-gemm-speedup` gate
+/// applies to it), the input and output layers, and a kNN panel product.
+const GEMM_SHAPES: [(usize, usize, usize); 4] = [(N, 32, 32), (N, 16, 32), (N, 32, 3), (256, 16, N)];
+
+/// Best-of-reps single-shape GEMM throughput (GFLOP/s) under `kern`.
+fn gemm_gflops(m: usize, k: usize, n: usize, kern: kernel::Kernel) -> f64 {
+    let mut s = 0x9e3779b97f4a7c15u64;
+    let mut fill = |len: usize| -> Vec<f32> {
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 1000) as f32 / 997.0
+            })
+            .collect()
+    };
+    let a = fill(m * k);
+    let b = fill(k * n);
+    let mut out = vec![0.0f32; m * n];
+    let flops = 2.0 * (m * k * n) as f64;
+    let reps = ((2e8 / flops).ceil() as usize).clamp(3, 2000);
+    let mut best = f64::INFINITY;
+    kernel::with_kernel(kern, || {
+        for _ in 0..reps {
+            out.fill(0.0);
+            let t = Instant::now();
+            kernel::gemm_into(m, k, n, &a, &b, &mut out, kernel::Epilogue::None);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+    });
+    flops / best / 1e9
+}
+
 fn main() {
     let mut min_hit_rate: Option<f64> = None;
+    let mut min_gemm_speedup: Option<f64> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -34,6 +72,11 @@ fn main() {
             "--min-hit-rate" => {
                 let v = it.next().unwrap_or_else(|| usage("--min-hit-rate needs a value"));
                 min_hit_rate = Some(v.parse().unwrap_or_else(|_| usage("--min-hit-rate must be a number")));
+            }
+            "--min-gemm-speedup" => {
+                let v = it.next().unwrap_or_else(|| usage("--min-gemm-speedup needs a value"));
+                min_gemm_speedup =
+                    Some(v.parse().unwrap_or_else(|_| usage("--min-gemm-speedup must be a number")));
             }
             "--out" => {
                 out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
@@ -105,6 +148,25 @@ fn main() {
     report.row(vec![Cell::from("pool_hit_rate"), Cell::from(stats.hit_rate())]);
     report.row(vec![Cell::from("pool_hits"), Cell::from(stats.hits as usize)]);
     report.row(vec![Cell::from("pool_misses"), Cell::from(stats.misses as usize)]);
+
+    // kernel throughput: the selected tiled implementation vs the scalar
+    // oracle, per workload shape (first shape = the dominant one the
+    // --min-gemm-speedup gate checks)
+    let selected = kernel::select();
+    report.row(vec![Cell::from("gemm_kernel"), Cell::from(format!("{selected:?}").to_lowercase())]);
+    let mut dominant_speedup = f64::NAN;
+    for (i, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        let scalar = gemm_gflops(m, k, n, kernel::Kernel::Scalar);
+        let tiled = gemm_gflops(m, k, n, selected);
+        let speedup = tiled / scalar;
+        if i == 0 {
+            dominant_speedup = speedup;
+        }
+        let shape = format!("gemm_{m}x{k}x{n}");
+        report.row(vec![Cell::from(format!("{shape}_scalar_gflops")), Cell::from(scalar)]);
+        report.row(vec![Cell::from(format!("{shape}_tiled_gflops")), Cell::from(tiled)]);
+        report.row(vec![Cell::from(format!("{shape}_speedup")), Cell::from(speedup)]);
+    }
     report.print();
     match report.save_json(&out_dir) {
         Ok(()) => eprintln!("wrote {}", out_dir.join("BENCH_hotloop.json").display()),
@@ -124,10 +186,23 @@ fn main() {
         }
         eprintln!("pool hit rate {:.4} >= {min:.4}", stats.hit_rate());
     }
+    if let Some(min) = min_gemm_speedup {
+        let (m, k, n) = GEMM_SHAPES[0];
+        if selected == kernel::Kernel::Scalar {
+            eprintln!("skipping --min-gemm-speedup: GNN4TDL_KERNEL=scalar run has nothing to beat");
+        } else if dominant_speedup.is_nan() || dominant_speedup < min {
+            eprintln!(
+                "FAIL: tiled GEMM speedup {dominant_speedup:.2}x on {m}x{k}x{n} is below the required {min:.2}x"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("tiled GEMM speedup {dominant_speedup:.2}x >= {min:.2}x on {m}x{k}x{n}");
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: hotloop [--min-hit-rate X] [--out DIR]");
+    eprintln!("usage: hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--out DIR]");
     std::process::exit(2);
 }

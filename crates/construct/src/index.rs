@@ -30,7 +30,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use gnn4tdl_tensor::{obs, parallel, pool, GnnError, Matrix};
+use gnn4tdl_tensor::{kernel, obs, parallel, pool, GnnError, Matrix};
 
 use crate::similarity::{row_sq_norms, Similarity};
 
@@ -228,7 +228,21 @@ impl NeighborIndex for ExactIndex<'_> {
         // matmul reduction so self-similarity is exact.
         let sq_q = qv.iter().map(|&a| a * a).sum::<f32>();
         let mut scored: Vec<(usize, f32)> = Vec::with_capacity(n);
-        for j in 0..n {
+        // Four rows per step: `dot4` interleaves four independent
+        // ascending-k chains, so each dot is bitwise identical to the plain
+        // sequential sum while the adds overlap.
+        let mut j = 0;
+        while j + 4 <= n {
+            let f = self.features;
+            let dots = kernel::dot4(qv, f.row(j), f.row(j + 1), f.row(j + 2), f.row(j + 3));
+            for (off, &dot) in dots.iter().enumerate() {
+                if exclude != Some(j + off) {
+                    scored.push((j + off, self.similarity.finish_dot(sq_q, self.sq[j + off], dot)));
+                }
+            }
+            j += 4;
+        }
+        for j in j..n {
             if exclude == Some(j) {
                 continue;
             }
@@ -691,16 +705,12 @@ impl<'a> HnswIndex<'a> {
         }
         scratch.acc.clear();
         scratch.acc.resize(b, 0.0);
-        // k-outer accumulation over contiguous lanes: each lane `acc[t]`
-        // still sums in ascending-k order (bitwise identical to the scalar
-        // dot and the blocked GEMM), but the inner loop is a contiguous
-        // saxpy the compiler vectorizes across the batch, instead of one
+        // k-outer accumulation over contiguous lanes through the selected
+        // micro-kernel: each lane `acc[t]` still sums in ascending-k order
+        // (bitwise identical to the scalar dot and the blocked GEMM), but
+        // the inner loop runs 8 lanes per vector instead of one
         // accumulator's add-latency chain.
-        for (k, &q) in qv.iter().enumerate() {
-            for (a, &x) in scratch.acc.iter_mut().zip(&scratch.panel[k * b..k * b + b]) {
-                *a += q * x;
-            }
-        }
+        kernel::dot_kmajor(kernel::select(), qv, &scratch.panel[..d * b], b, &mut scratch.acc);
         scratch.sims.clear();
         for (t, &j) in scratch.batch.iter().enumerate() {
             scratch.sims.push(self.similarity.finish_dot(sq_q, self.sq[j as usize], scratch.acc[t]));

@@ -7,9 +7,11 @@
 //! Everything is CPU `f32`; determinism comes from explicit `rand` RNGs
 //! threaded through every stochastic routine.
 
+pub mod buf;
 pub mod error;
 pub mod fault;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod obs;
 pub mod parallel;
@@ -18,6 +20,7 @@ pub mod pool;
 pub mod sparse;
 pub mod tape;
 
+pub use buf::Buf;
 pub use error::GnnError;
 pub use matrix::Matrix;
 pub use params::{atomic_write, fnv1a64, ParamId, ParamStore};

@@ -8,6 +8,8 @@
 
 use rand::Rng;
 
+use crate::buf::Buf;
+use crate::kernel;
 use crate::parallel;
 use crate::pool;
 
@@ -46,7 +48,7 @@ fn par_reduce_sum(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Buf,
 }
 
 impl Clone for Matrix {
@@ -108,7 +110,7 @@ impl Matrix {
             rows * cols,
             data.len()
         );
-        Self { rows, cols, data }
+        Self { rows, cols, data: Buf::from_vec(data) }
     }
 
     /// Creates a matrix from nested rows (convenient in tests).
@@ -123,17 +125,17 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self { rows: r, cols: c, data: Buf::from_vec(data) }
     }
 
     /// A 1xN row vector.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self { rows: 1, cols: values.len(), data: pool::take_copied(values) }
     }
 
     /// An Nx1 column vector.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self { rows: values.len(), cols: 1, data: pool::take_copied(values) }
     }
 
     /// The identity matrix of size `n`.
@@ -147,8 +149,8 @@ impl Matrix {
 
     /// Samples every entry i.i.d. uniform in `[lo, hi)`.
     pub fn uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { rows, cols, data }
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { rows, cols, data: Buf::from_vec(data) }
     }
 
     /// Samples every entry i.i.d. from a normal distribution via Box-Muller.
@@ -165,7 +167,7 @@ impl Matrix {
                 data.push(mean + std * r * theta.sin());
             }
         }
-        Self { rows, cols, data }
+        Self { rows, cols, data: Buf::from_vec(data) }
     }
 
     pub fn rows(&self) -> usize {
@@ -198,7 +200,15 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Extracts the storage as a plain `Vec` (copies when the storage is a
+    /// pool-aligned allocation; cold paths only — hot recycling goes through
+    /// [`Self::into_buf`]).
     pub fn into_vec(self) -> Vec<f32> {
+        self.data.into_vec()
+    }
+
+    /// The backing buffer, for recycling via [`crate::pool::recycle`].
+    pub fn into_buf(self) -> Buf {
         self.data
     }
 
@@ -244,10 +254,10 @@ impl Matrix {
         out
     }
 
-    /// Dense matrix multiply `self * other`.
-    ///
-    /// Loop order (i, k, j) makes the inner loop a streaming saxpy over the
-    /// output row, which vectorizes well.
+    /// Dense matrix multiply `self * other`, through the packed register-
+    /// tiled micro-kernel in [`crate::kernel`]. Bitwise equal to the scalar
+    /// (i, k, j) saxpy loop at any thread count and for every kernel
+    /// implementation.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -272,28 +282,49 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
-        let n = other.cols;
-        let (a_data, a_cols) = (&self.data, self.cols);
-        let b_data = &other.data;
-        // Row blocks sized from the shapes only (~32k flops per block), so
-        // chunking — and with it every per-row reduction order — is
-        // independent of the worker count.
-        let block_rows = (1usize << 15).div_ceil((self.cols * n).max(1)).clamp(1, self.rows.max(1));
-        parallel::par_chunks_mut(&mut out.data, block_rows * n, |blk, chunk| {
-            for (local, out_row) in chunk.chunks_mut(n).enumerate() {
-                let i = blk * block_rows + local;
-                let a_row = &a_data[i * a_cols..(i + 1) * a_cols];
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        // Unconditional multiply-accumulate: the old `a == 0.0` skip
+        // mispredicted on dense data and, because adding `±0·b` to a running
+        // sum never changes it for finite `b` (round-to-nearest addition
+        // keeps the accumulator's sign class), removing it is bitwise
+        // identical on finite inputs. Non-finite `b` under a zero `a` now
+        // propagates NaN, the IEEE-correct result.
+        kernel::gemm_into(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            kernel::Epilogue::None,
+        );
+    }
+
+    /// Fused dense layer `relu(self * other + bias)` (`bias` has
+    /// `other.cols` entries, broadcast over rows). The bias-add and clamp
+    /// run as the GEMM epilogue on each output tile's final k-block —
+    /// bitwise identical to `matmul` followed by a separate bias/relu pass,
+    /// without re-streaming the output.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or bias-width mismatch.
+    pub fn matmul_bias_relu(&self, other: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernel::gemm_into(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            kernel::Epilogue::BiasRelu(bias),
+        );
+        out
     }
 
     /// Elementwise binary map; shapes must match.
@@ -421,7 +452,7 @@ impl Matrix {
                 *o *= inv;
             }
         }
-        Matrix { rows: 1, cols: self.cols, data: sums }
+        Matrix { rows: 1, cols: self.cols, data: Buf::from_vec(sums) }
     }
 
     /// Per-column (population) standard deviation as a 1xC matrix.
@@ -439,7 +470,7 @@ impl Matrix {
                 *o = (*o * inv).sqrt();
             }
         }
-        Matrix { rows: 1, cols: self.cols, data: sq }
+        Matrix { rows: 1, cols: self.cols, data: Buf::from_vec(sq) }
     }
 
     /// Index of the maximum value in each row.
@@ -493,7 +524,7 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data: Buf::from_vec(data) }
     }
 
     /// Euclidean distance between two rows of (possibly different) matrices.

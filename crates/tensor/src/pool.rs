@@ -3,10 +3,17 @@
 //! Every steady-state epoch rebuilds a tape whose node values and gradients
 //! have the same handful of shapes as the epoch before. Instead of paying a
 //! fresh heap allocation (and a free) for each of them, the pool keeps
-//! per-thread free lists of `Vec<f32>` buffers keyed by element count:
+//! per-thread free lists of [`Buf`] buffers keyed by element count:
 //! [`take_zeroed`]/[`take_filled`]/[`take_copied`] pop a buffer when one of
 //! the right size is available, and [`recycle`] returns buffers when a tape
 //! or gradient set is dropped.
+//!
+//! # Alignment
+//!
+//! Every buffer the pool hands out is 64-byte aligned ([`crate::buf::ALIGN`]
+//! — fresh allocations are aligned, and only aligned buffers are parked on
+//! recycle), so SIMD loads in the [`crate::kernel`] micro-kernels never
+//! straddle a cache line. Alignment holds whether pooling is on or off.
 //!
 //! # Determinism
 //!
@@ -26,9 +33,10 @@
 //! # Switching it off
 //!
 //! Set `GNN4TDL_POOL=0` (or `false`/`off`) to bypass the pool entirely:
-//! every take becomes a plain allocation and recycles drop their buffer.
-//! Results are bitwise identical either way; the escape hatch exists for
-//! memory-profiling and for the equivalence tests that prove that claim.
+//! every take becomes a plain (still aligned) allocation and recycles drop
+//! their buffer. Results are bitwise identical either way; the escape hatch
+//! exists for memory-profiling and for the equivalence tests that prove
+//! that claim.
 //!
 //! # Observability
 //!
@@ -43,6 +51,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::buf::Buf;
 use crate::obs;
 
 /// Buffers kept per element-count bucket; beyond this, recycled buffers are
@@ -111,7 +120,7 @@ impl PoolStats {
 }
 
 struct LocalPool {
-    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    buckets: HashMap<usize, Vec<Buf>>,
     stats: PoolStats,
 }
 
@@ -122,16 +131,19 @@ thread_local! {
 
 /// Raw take: a buffer of length `len` with *unspecified contents*. Callers
 /// must fully overwrite it before exposing it, which is why this stays
-/// private — the public takes below each guarantee that.
-fn take_raw(len: usize) -> Vec<f32> {
+/// private — the public takes below each guarantee that. Fresh allocations
+/// are zero-filled (so the contents are always initialised memory) and
+/// 64-byte aligned; recycled buffers were aligned when parked.
+fn take_raw(len: usize) -> Buf {
     if len == 0 || !enabled() {
-        return vec![0.0; len];
+        return Buf::zeroed(len);
     }
     POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         match pool.buckets.get_mut(&len).and_then(Vec::pop) {
             Some(buf) => {
                 debug_assert_eq!(buf.len(), len);
+                debug_assert!(buf.is_lane_aligned());
                 pool.stats.hits += 1;
                 obs::POOL_HITS.add(1);
                 buf
@@ -139,7 +151,7 @@ fn take_raw(len: usize) -> Vec<f32> {
             None => {
                 pool.stats.misses += 1;
                 obs::POOL_MISSES.add(1);
-                vec![0.0; len]
+                Buf::zeroed(len)
             }
         }
     })
@@ -147,42 +159,47 @@ fn take_raw(len: usize) -> Vec<f32> {
 
 /// Crate-internal take with unspecified (stale but valid `f32`) contents,
 /// for kernels that provably overwrite every element before the buffer is
-/// readable — e.g. elementwise maps and full-copy constructors.
-pub(crate) fn take_unspecified(len: usize) -> Vec<f32> {
+/// readable — e.g. elementwise maps, full-copy constructors and the GEMM
+/// B-panel packer.
+pub(crate) fn take_unspecified(len: usize) -> Buf {
     take_raw(len)
 }
 
 /// A buffer of `len` zeros, reusing a recycled buffer when one fits.
-pub fn take_zeroed(len: usize) -> Vec<f32> {
+pub fn take_zeroed(len: usize) -> Buf {
     let mut buf = take_raw(len);
     buf.fill(0.0);
     buf
 }
 
 /// A buffer of `len` copies of `value`.
-pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+pub fn take_filled(len: usize, value: f32) -> Buf {
     let mut buf = take_raw(len);
     buf.fill(value);
     buf
 }
 
 /// A buffer holding a copy of `src`.
-pub fn take_copied(src: &[f32]) -> Vec<f32> {
+pub fn take_copied(src: &[f32]) -> Buf {
     let mut buf = take_raw(src.len());
     buf.copy_from_slice(src);
     buf
 }
 
-/// Returns a buffer to the calling thread's free list. Over-full buckets
-/// (and empty buffers) just drop; with pooling disabled this is a plain
-/// drop.
-pub fn recycle(buf: Vec<f32>) {
+/// Returns a buffer to the calling thread's free list. Over-full buckets,
+/// empty buffers, and buffers that are not lane-aligned (adopted `Vec`
+/// storage) just drop, so takes only ever serve aligned storage; with
+/// pooling disabled this is a plain drop.
+pub fn recycle(buf: Buf) {
     if buf.is_empty() || !enabled() {
         return;
     }
     POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         pool.stats.recycles += 1;
+        if !buf.is_lane_aligned() {
+            return;
+        }
         let bucket = pool.buckets.entry(buf.len()).or_default();
         if bucket.len() < MAX_PER_BUCKET {
             bucket.push(buf);
@@ -192,7 +209,7 @@ pub fn recycle(buf: Vec<f32>) {
 
 /// Recycles the backing storage of a matrix.
 pub fn recycle_matrix(m: crate::Matrix) {
-    recycle(m.into_vec());
+    recycle(m.into_buf());
 }
 
 /// Snapshot of the calling thread's tallies.
@@ -238,6 +255,57 @@ mod tests {
     }
 
     #[test]
+    fn spmv_output_is_served_from_the_pool() {
+        enable();
+        clear_local();
+        let m = crate::sparse::CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, -4.0)],
+        );
+        let v = [1.0, -2.0, 0.5];
+        let first = m.spmv(&v);
+        assert_eq!(local_stats(), PoolStats { hits: 0, misses: 1, recycles: 0 });
+        recycle(first);
+        // Same row count → same bucket: the second product's output take
+        // must be a hit, and a recycled buffer must not perturb the result.
+        let second = m.spmv(&v);
+        assert_eq!(&second[..], &[2.0, -2.0, -1.0]);
+        assert_eq!(local_stats(), PoolStats { hits: 1, misses: 1, recycles: 1 });
+        recycle(second);
+        clear_local();
+    }
+
+    #[test]
+    fn takes_are_lane_aligned_and_alignment_survives_recycling() {
+        enable();
+        clear_local();
+        // Fresh allocations (misses) are aligned, for every take flavour and
+        // for sizes that are not multiples of the cache line.
+        let a = take_zeroed(33);
+        let u = take_unspecified(7);
+        assert!(a.is_lane_aligned(), "fresh take_zeroed not 64-byte aligned");
+        assert!(u.is_lane_aligned(), "fresh take_unspecified not 64-byte aligned");
+        recycle(a);
+        recycle(u);
+        // Hits hand back the parked (aligned) storage.
+        let b = take_filled(33, 1.5);
+        assert!(b.is_lane_aligned(), "alignment lost across recycle");
+        assert_eq!(local_stats().hits, 1);
+        // Unaligned adopted-Vec storage is never parked: the next take of
+        // that size must miss and allocate aligned.
+        let adopted = Buf::from_vec(vec![0.0; 19]);
+        let adopted_was_aligned = adopted.is_lane_aligned();
+        recycle(adopted);
+        let c = take_zeroed(19);
+        assert!(c.is_lane_aligned());
+        if !adopted_was_aligned {
+            assert_eq!(local_stats().hits, 1, "unaligned buffer was served from the pool");
+        }
+        clear_local();
+    }
+
+    #[test]
     fn reused_buffers_are_rewritten() {
         enable();
         clear_local();
@@ -253,7 +321,7 @@ mod tests {
         c.fill(9.0);
         recycle(c);
         let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
-        assert_eq!(take_copied(&src), src);
+        assert_eq!(&take_copied(&src)[..], &src[..]);
         clear_local();
     }
 
@@ -273,7 +341,7 @@ mod tests {
         enable();
         clear_local();
         for _ in 0..(MAX_PER_BUCKET + 10) {
-            recycle(vec![0.0; 3]);
+            recycle(Buf::zeroed(3));
         }
         let parked = POOL.with(|p| p.borrow().buckets.get(&3).map_or(0, Vec::len));
         assert_eq!(parked, MAX_PER_BUCKET);
@@ -289,7 +357,7 @@ mod tests {
         recycle(empty);
         assert_eq!(local_stats(), PoolStats::default());
         disable();
-        recycle(vec![0.0; 9]);
+        recycle(Buf::zeroed(9));
         let _ = take_zeroed(9);
         assert_eq!(local_stats(), PoolStats::default());
         enable();

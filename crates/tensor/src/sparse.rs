@@ -4,7 +4,9 @@
 //! `H` is a dense feature matrix. Adjacencies from tabular graphs are sparse,
 //! so SpMM with a CSR layout is the hot path of the whole workspace.
 
+use crate::buf::Buf;
 use crate::error::GnnError;
+use crate::kernel;
 use crate::matrix::Matrix;
 use crate::parallel;
 use crate::pool;
@@ -41,7 +43,7 @@ pub struct CsrMatrix {
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<usize>,
-    values: Vec<f32>,
+    values: Buf,
 }
 
 impl CsrMatrix {
@@ -137,7 +139,7 @@ impl CsrMatrix {
         if let Some(k) = indices.iter().position(|&c| c >= cols) {
             return fail(format!("column index {} out of bounds for {cols} columns (entry {k})", indices[k]));
         }
-        Ok(Self { rows, cols, indptr, indices, values }.account())
+        Ok(Self { rows, cols, indptr, indices, values: Buf::from_vec(values) }.account())
     }
 
     /// Builds from CSR components without validating the invariants
@@ -150,6 +152,18 @@ impl CsrMatrix {
         indptr: Vec<usize>,
         indices: Vec<usize>,
         values: Vec<f32>,
+    ) -> Self {
+        Self::from_parts_buf(rows, cols, indptr, indices, Buf::from_vec(values))
+    }
+
+    /// [`Self::from_parts_unchecked`] over an already-owned [`Buf`], so
+    /// internal builders can keep pooled value storage without a copy.
+    fn from_parts_buf(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Buf,
     ) -> Self {
         debug_assert_eq!(indptr.len(), rows + 1, "indptr length");
         debug_assert_eq!(indices.len(), values.len(), "indices/values length");
@@ -174,12 +188,18 @@ impl CsrMatrix {
 
     /// An empty matrix with no stored entries.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Buf::default() }
     }
 
     /// The identity as CSR.
     pub fn identity(n: usize) -> Self {
-        Self { rows: n, cols: n, indptr: (0..=n).collect(), indices: (0..n).collect(), values: vec![1.0; n] }
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: Buf::from_vec(vec![1.0; n]),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -314,7 +334,7 @@ impl CsrMatrix {
         });
         crate::obs::CSR_SUBGRAPH_ROWS.add(k as u64);
         crate::obs::CSR_SUBGRAPH_NNZ.add(nnz as u64);
-        (Self::from_parts_unchecked(k, k, indptr, indices, values), nodes.to_vec())
+        (Self::from_parts_buf(k, k, indptr, indices, values), nodes.to_vec())
     }
 
     /// Dense sparse-dense product `self * dense`.
@@ -333,28 +353,30 @@ impl CsrMatrix {
         );
         let d = dense.cols();
         let mut out = Matrix::zeros(self.rows, d);
-        // Output-row blocks sized from the shapes only; each row accumulates
-        // its entries in CSR order exactly as the sequential loop would.
+        // Resolve the kernel implementation on the coordinating thread so a
+        // `with_kernel` override covers the parallel region.
+        let kern = kernel::select();
+        // Output-row blocks sized from the shapes only; each output element
+        // accumulates its row's entries in CSR order exactly as the
+        // sequential scalar loop would, for every kernel implementation.
         let block_rows = SPARSE_PRODUCT_BLOCK.div_ceil(d.max(1)).clamp(1, self.rows.max(1));
         parallel::par_chunks_mut(out.data_mut(), block_rows * d, |blk, chunk| {
             for (local, out_row) in chunk.chunks_mut(d).enumerate() {
                 let r = blk * block_rows + local;
-                for (c, v) in self.row_iter(r) {
-                    let src = dense.row(c);
-                    for (o, &s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
-                    }
-                }
+                kernel::spmm_row(kern, self.neighbors(r), self.row_values(r), dense.data(), d, out_row);
             }
         });
         out
     }
 
-    /// Sparse-vector product `self * v` for a dense vector.
-    pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
+    /// Sparse-vector product `self * v` for a dense vector. The output
+    /// buffer comes from the buffer pool ([`crate::pool`]) — the last dense
+    /// allocation on the sparse hot path — and can be recycled by the
+    /// caller.
+    pub fn spmv(&self, v: &[f32]) -> Buf {
         assert_eq!(self.cols, v.len(), "spmv shape mismatch");
-        let mut out = vec![0.0f32; self.rows];
-        parallel::par_chunks_mut(&mut out, SPARSE_PRODUCT_BLOCK, |blk, chunk| {
+        let mut out = pool::take_zeroed(self.rows);
+        parallel::par_chunks_mut(&mut out[..], SPARSE_PRODUCT_BLOCK, |blk, chunk| {
             for (local, o) in chunk.iter_mut().enumerate() {
                 let r = blk * SPARSE_PRODUCT_BLOCK + local;
                 *o = self.row_iter(r).map(|(c, val)| val * v[c]).sum();
@@ -441,7 +463,8 @@ impl CsrMatrix {
                 }
             }
         });
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }.account()
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values: Buf::from_vec(values) }
+            .account()
     }
 
     /// Single-threaded counting-sort transpose (also the small-input path).
@@ -465,7 +488,7 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values: Buf::from_vec(values) }
     }
 
     /// Materializes as dense (tests & tiny graphs only).
@@ -599,7 +622,7 @@ mod tests {
         let m = sample();
         let v = vec![1.0, -2.0, 0.5];
         let got = m.spmv(&v);
-        assert_eq!(got, vec![2.0, 0.0, -5.0]);
+        assert_eq!(&got[..], &[2.0, 0.0, -5.0]);
     }
 
     #[test]

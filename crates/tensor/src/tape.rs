@@ -276,20 +276,16 @@ impl Tape {
     /// Fused dense layer: `relu(x @ w + bias)` recorded as one node.
     ///
     /// Bitwise identical to `relu(add_row(matmul(x, w), bias))` — the same
-    /// matmul kernel runs first, then bias-add and clamp are applied in one
-    /// in-place pass — but the tape holds one buffer instead of three and
-    /// the backward pass reuses the incoming gradient buffer for the masked
-    /// delta.
+    /// GEMM micro-kernel runs with bias-add and clamp fused in as its output
+    /// epilogue ([`crate::Matrix::matmul_bias_relu`]) — but the tape holds
+    /// one buffer instead of three, the output is streamed once instead of
+    /// twice, and the backward pass reuses the incoming gradient buffer for
+    /// the masked delta.
     pub fn linear_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
         let (xv, wv, bv) = (self.value(x), self.value(w), self.value(bias));
         assert_eq!(bv.rows(), 1, "linear_relu bias must be 1 x d");
         assert_eq!(bv.cols(), wv.cols(), "linear_relu bias width mismatch");
-        let mut value = xv.matmul(wv);
-        for r in 0..value.rows() {
-            for (o, &b) in value.row_mut(r).iter_mut().zip(bv.data()) {
-                *o = (*o + b).max(0.0);
-            }
-        }
+        let value = xv.matmul_bias_relu(wv, bv.data());
         let needs = self.needs(x) || self.needs(w) || self.needs(bias);
         self.push(value, Op::LinearRelu { x: x.0, w: w.0, bias: bias.0 }, needs)
     }

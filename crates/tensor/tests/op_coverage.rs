@@ -624,6 +624,41 @@ fn grad_linear_relu_all_three_inputs() {
 }
 
 #[test]
+fn grad_linear_relu_tiled_tail_shapes() {
+    // Shapes off every tiling boundary: rows not a multiple of MR=4,
+    // output widths straddling NR=16 (one full panel plus a tail, and a
+    // single ragged panel), so the backward's matmuls run the tail paths
+    // of the register-tiled kernel.
+    for &(rows, k, n, seed) in &[(5usize, 7usize, 17usize, 60u64), (3, 2, 33, 63), (6, 19, 15, 66)] {
+        let x0 = base(rows, k, seed);
+        let w = base(k, n, seed + 1);
+        let b = base(1, n, seed + 2);
+        let (w1, b1) = (w.clone(), b.clone());
+        grad_check_at(
+            &x0,
+            move |t, x| {
+                let wv = t.constant(w1.clone());
+                let bv = t.constant(b1.clone());
+                let z = t.linear_relu(x, wv, bv);
+                sum_sq(t, z)
+            },
+            5e-2,
+        );
+        let x1 = x0.clone();
+        grad_check_at(
+            &w,
+            move |t, wv| {
+                let x = t.constant(x1.clone());
+                let bv = t.constant(b.clone());
+                let z = t.linear_relu(x, wv, bv);
+                sum_sq(t, z)
+            },
+            5e-2,
+        );
+    }
+}
+
+#[test]
 fn linear_relu_fused_matches_unfused_bitwise() {
     // The fused op must be bit-for-bit the composition it replaces, both
     // forward and backward.

@@ -4,7 +4,7 @@
 //! input sizes, and every chunk runs the same reduction order as the
 //! original sequential loops.
 
-use gnn4tdl_tensor::{parallel, CsrMatrix, Matrix};
+use gnn4tdl_tensor::{kernel, parallel, CsrMatrix, Matrix, Tape};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +87,59 @@ fn spmm_spmv_and_csr_transpose_are_thread_invariant() {
     assert_thread_invariant(|| {
         let t = sp.transpose();
         (t.indptr().to_vec(), t.indices().to_vec(), t.values().to_vec())
+    });
+}
+
+/// Every implementation runnable on this host (AVX only when detected).
+fn kernels() -> Vec<kernel::Kernel> {
+    let mut ks = vec![kernel::Kernel::Scalar, kernel::Kernel::Portable];
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        ks.push(kernel::Kernel::Avx);
+    }
+    ks
+}
+
+#[test]
+fn tiled_kernels_are_thread_invariant_under_every_implementation() {
+    let mut rng = StdRng::seed_from_u64(9);
+    // odd shapes: MR/NR tails in both tile dimensions, k past one KC block
+    let a = Matrix::randn(37, 300, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(300, 43, 0.0, 1.0, &mut rng);
+    let bias: Vec<f32> = (0..43).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let sp = random_csr(200, 150, 5, 11);
+    let x = Matrix::randn(150, 19, 0.0, 1.0, &mut rng);
+    for kern in kernels() {
+        kernel::with_kernel(kern, || {
+            assert_thread_invariant(|| a.matmul(&b).into_vec());
+            assert_thread_invariant(|| a.matmul_bias_relu(&b, &bias).into_vec());
+            assert_thread_invariant(|| sp.spmm(&x).into_vec());
+        });
+    }
+}
+
+#[test]
+fn fused_linear_relu_forward_and_backward_are_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let x0 = Matrix::randn(23, 17, 0.0, 1.0, &mut rng);
+    let w0 = Matrix::randn(17, 21, 0.0, 1.0, &mut rng);
+    let b0 = Matrix::randn(1, 21, 0.0, 1.0, &mut rng);
+    assert_thread_invariant(|| {
+        let mut tape = Tape::new();
+        let (x, w, b) = (tape.param(x0.clone()), tape.param(w0.clone()), tape.param(b0.clone()));
+        let z = tape.linear_relu(x, w, b);
+        let loss = {
+            let sq = tape.square(z);
+            tape.sum_all(sq)
+        };
+        let forward = tape.value(z).clone();
+        let grads = tape.backward(loss);
+        (
+            forward.into_vec(),
+            grads.get(x).unwrap().clone().into_vec(),
+            grads.get(w).unwrap().clone().into_vec(),
+            grads.get(b).unwrap().clone().into_vec(),
+        )
     });
 }
 

@@ -48,7 +48,7 @@ proptest! {
 
         let src: Vec<f32> = (0..len).map(|i| i as f32 * 0.25 - 3.0).collect();
         let copied = pool::take_copied(&src);
-        prop_assert_eq!(copied.as_slice(), src.as_slice());
+        prop_assert_eq!(&copied[..], &src[..]);
         pool::recycle(copied);
     }
 }
