@@ -30,7 +30,7 @@ use gnn4tdl_bench::report::{Cell, Report};
 use gnn4tdl_construct::{IndexKind, Similarity};
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
 use gnn4tdl_data::{encode_all, Split};
-use gnn4tdl_serve::{http, serve, Engine, ServerConfig};
+use gnn4tdl_serve::{http, serve, Engine, EngineSlot, ServerConfig};
 use gnn4tdl_tensor::{obs, pool};
 use gnn4tdl_train::TrainConfig;
 use rand::rngs::StdRng;
@@ -191,7 +191,8 @@ fn main() {
     // -- leg 3 first: in-process incremental vs full-graph re-inference ----
     // (Before the HTTP legs so the engine's HNSW has no benchmark-inserted
     // rows when we compare the two paths on identical fresh requests.)
-    let engine = Arc::new(Engine::new(model).expect("engine"));
+    let slot = EngineSlot::new(Engine::new(model).expect("engine"));
+    let engine = slot.current();
 
     // Request rows: perturbed corpus rows, in-distribution but unseen.
     let corpus = Arc::clone(&engine);
@@ -224,7 +225,7 @@ fn main() {
 
     // -- HTTP legs ----------------------------------------------------------
     let server =
-        serve(Arc::clone(&engine), ServerConfig { workers, queue_cap: 256, ..ServerConfig::default() })
+        serve(Arc::clone(&slot), ServerConfig { workers, queue_cap: 256, ..ServerConfig::default() })
             .expect("bind");
     let addr = server.addr();
     eprintln!("serving on {addr} with {workers} workers");

@@ -56,9 +56,11 @@ use gnn4tdl_train::{discover_best_checkpoints, fit, NodeTask, SupervisedModel, T
 use crate::pipeline::EncoderSpec;
 use crate::predictor::softmax_rows;
 
-/// Magic + version of the servable snapshot container.
+/// Magic + version of the servable snapshot container. Version 2 added a
+/// `generation: u64` right after the version word (durable-serving
+/// lineage); version-1 snapshots still load, as generation 0.
 const MAGIC: &[u8; 4] = b"GSRV";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// Schema tag inside the embedded config JSON.
 const SCHEMA: &str = "gnn4tdl.servable/v1";
 
@@ -279,6 +281,9 @@ pub struct ServableModel {
     pub features: Matrix,
     /// Corpus instance graph (symmetric unit-weight kNN).
     pub graph: Graph,
+    /// Snapshot lineage: 0 for a freshly fitted model, bumped by each
+    /// serving-side compaction or reload that produces a new snapshot.
+    pub generation: u64,
     model: SupervisedModel<ServeEncoder>,
 }
 
@@ -315,7 +320,7 @@ impl ServableModel {
         let model = SupervisedModel::new(&mut store, 0, encoder, config.num_classes, &mut rng);
         let task = NodeTask::classification(features.clone(), labels, config.num_classes, split.clone());
         fit(&model, &mut store, &task, &[], train);
-        Ok(Self { config, store, features, graph, model })
+        Ok(Self { config, store, features, graph, generation: 0, model })
     }
 
     /// Number of corpus rows.
@@ -357,6 +362,83 @@ impl ServableModel {
         ExactIndex::new(&self.features, self.config.similarity).query_k(&q, 0, self.config.k, None)
     }
 
+    /// [`Self::exact_neighbors`] for a whole batch: one [`ExactIndex`]
+    /// (corpus square norms computed once, not once per row) queried per
+    /// row. Each row's result is identical to its single-row call —
+    /// `query_k` scores one query row at a time against the same index.
+    pub fn exact_neighbors_batch(&self, rows: &[Vec<f32>]) -> Vec<Vec<(usize, f32)>> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let mut data = Vec::with_capacity(rows.len() * self.config.in_dim);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        let q = Matrix::from_vec(rows.len(), self.config.in_dim, data);
+        let index = ExactIndex::new(&self.features, self.config.similarity);
+        (0..rows.len()).map(|i| index.query_k(&q, i, self.config.k, None)).collect()
+    }
+
+    /// Folds retained request rows into the corpus, producing the
+    /// next-generation servable bundle (serving-side snapshot compaction).
+    ///
+    /// Each folded row keeps exactly the attachment it had while being
+    /// served: symmetric unit edges to its recorded corpus neighbors, and
+    /// the same node id (`corpus_len + i`) it held in the live index —
+    /// which is what makes a deterministic HNSW rebuild over the compacted
+    /// corpus bitwise-identical to the live index it replaces (`build` is
+    /// sequential `insert` in id order with seeded level draws). Weights
+    /// are carried over unchanged; only features and graph grow.
+    pub fn compacted(&self, rows: &[Vec<f32>], neighbors: &[Vec<usize>]) -> Result<Self, GnnError> {
+        if rows.is_empty() || rows.len() != neighbors.len() {
+            return Err(GnnError::InvalidConfig {
+                detail: format!(
+                    "compaction needs matching non-empty rows/neighbors, got {}/{}",
+                    rows.len(),
+                    neighbors.len()
+                ),
+            });
+        }
+        for (row, nbrs) in rows.iter().zip(neighbors) {
+            self.check_request(row, nbrs)?;
+        }
+        let n = self.corpus_len();
+        let mut triples = self.graph.adjacency().to_triplets();
+        for (i, nbrs) in neighbors.iter().enumerate() {
+            for &j in nbrs {
+                triples.push((n + i, j, 1.0));
+                triples.push((j, n + i, 1.0));
+            }
+        }
+        let total = n + rows.len();
+        let graph = Graph::from_weighted_edges(total, &triples, false);
+        let mut data = self.features.data().to_vec();
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        let features = Matrix::from_vec(total, self.config.in_dim, data);
+        // Same reconstruction discipline as `from_bytes`: rebuild the
+        // architecture (deterministic registration order), then overwrite
+        // the fresh init with the trained weights.
+        let params = self.store.save_bytes();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let encoder = ServeEncoder::build(&self.config, &mut store, &graph, &mut rng)?;
+        let model = SupervisedModel::new(&mut store, 0, encoder, self.config.num_classes, &mut rng);
+        store
+            .load_bytes(&params)
+            .map_err(|e| GnnError::Checkpoint { detail: format!("compaction parameter carry: {e}") })?;
+        obs::counter_add("servable.compacted_rows", rows.len() as u64);
+        Ok(Self {
+            config: self.config.clone(),
+            store,
+            features,
+            graph,
+            generation: self.generation + 1,
+            model,
+        })
+    }
+
     /// Local-subgraph prediction for one request row given its corpus
     /// neighbor ids — the serving hot path. See the module docs for why the
     /// `(layers + 1)`-hop ball makes this exact.
@@ -389,6 +471,86 @@ impl ServableModel {
         let logits_m = self.forward(&lg, xs);
         obs::counter_add("servable.local_nodes", (bn + 1) as u64);
         Ok(self.center_prediction(&logits_m, bn))
+    }
+
+    /// [`Self::predict_local`] for a whole batch in **one** forward pass:
+    /// the per-row local subgraphs are composed block-diagonally (each
+    /// block is one row's ball plus its center, with no cross-block edges,
+    /// mirroring "batch rows never edge to each other") and the stacked
+    /// features go through a single bound encoder.
+    ///
+    /// Bitwise-identical to mapping `predict_local` row by row: every
+    /// kernel output element is one ascending-k accumulator chain over
+    /// that row's inputs alone (the PR 8 contract), and a block's rows see
+    /// exactly the entries — in the same column order — that its
+    /// standalone subgraph produces, so per-center logits match to the
+    /// bit. What changes is cost: one GEMM/SpMM sweep over `Σ ball_i`
+    /// rows, which the batched kernels tile, instead of `B` tiny
+    /// dispatches.
+    pub fn predict_local_batch(
+        &self,
+        rows: &[Vec<f32>],
+        neighbors: &[Vec<usize>],
+    ) -> Result<Vec<LocalPrediction>, GnnError> {
+        debug_assert_eq!(rows.len(), neighbors.len());
+        if rows.len() <= 1 {
+            return rows.iter().zip(neighbors).map(|(r, n)| self.predict_local(r, n)).collect();
+        }
+        let _span = gnn4tdl_tensor::span!("servable.predict_local_batch");
+        for (row, nbrs) in rows.iter().zip(neighbors) {
+            self.check_request(row, nbrs)?;
+        }
+        let _assembly = gnn4tdl_tensor::span!("servable.batch.assembly");
+        let mut triples: Vec<(usize, usize, f32)> = Vec::new();
+        let mut data: Vec<f32> = Vec::new();
+        let mut centers = Vec::with_capacity(rows.len());
+        let mut sizes = Vec::with_capacity(rows.len());
+        let mut offset = 0usize;
+        let mut local: HashMap<usize, usize> = HashMap::new();
+        for (row, nbrs) in rows.iter().zip(neighbors) {
+            let ball = self.ball(nbrs);
+            let bn = ball.len();
+            local.clear();
+            for (li, &g) in ball.iter().enumerate() {
+                local.insert(g, offset + li);
+            }
+            for (li, &g) in ball.iter().enumerate() {
+                for (v, w) in self.graph.neighbors(g) {
+                    if let Some(&lv) = local.get(&v) {
+                        triples.push((offset + li, lv, w));
+                    }
+                }
+            }
+            let center = offset + bn;
+            for &j in nbrs {
+                let lj = local[&j];
+                triples.push((center, lj, 1.0));
+                triples.push((lj, center, 1.0));
+            }
+            data.extend_from_slice(self.features.gather_rows(&ball).data());
+            data.extend_from_slice(row);
+            centers.push(center);
+            sizes.push(bn + 1);
+            offset += bn + 1;
+        }
+        drop(_assembly);
+        let _build = gnn4tdl_tensor::span!("servable.batch.graph_build");
+        let lg = Graph::from_weighted_edges(offset, &triples, false);
+        let xs = Matrix::from_vec(offset, self.config.in_dim, data);
+        drop(_build);
+        let _fwd = gnn4tdl_tensor::span!("servable.batch.forward");
+        let logits_m = self.forward(&lg, xs);
+        drop(_fwd);
+        obs::counter_add("servable.local_nodes", offset as u64);
+        Ok(centers
+            .iter()
+            .zip(&sizes)
+            .map(|(&c, &sz)| {
+                let mut p = self.center_prediction(&logits_m, c);
+                p.subgraph_nodes = sz;
+                p
+            })
+            .collect())
     }
 
     /// Full extended-graph prediction for the same request — materializes
@@ -492,6 +654,7 @@ impl ServableModel {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
         let config = self.config.to_json().into_bytes();
         out.extend_from_slice(&(config.len() as u64).to_le_bytes());
         out.extend_from_slice(&config);
@@ -548,7 +711,7 @@ impl ServableModel {
             return Err(corrupt("bad magic; not a servable snapshot"));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
         let (payload, tail) = bytes.split_at(bytes.len() - 8);
@@ -557,6 +720,16 @@ impl ServableModel {
             return Err(corrupt("checksum mismatch"));
         }
         let mut cur = 8usize;
+        // v1 predates the generation word; such snapshots load as gen 0.
+        let generation = if version >= 2 {
+            if payload.len() < 16 {
+                return Err(corrupt("truncated"));
+            }
+            cur = 16;
+            u64::from_le_bytes(payload[8..16].try_into().unwrap())
+        } else {
+            0
+        };
         let take = |cur: &mut usize, n: usize| -> Result<&[u8], GnnError> {
             let end =
                 cur.checked_add(n).filter(|&e| e <= payload.len()).ok_or_else(|| corrupt("truncated"))?;
@@ -612,7 +785,7 @@ impl ServableModel {
         let encoder = ServeEncoder::build(&config, &mut store, &graph, &mut rng)?;
         let model = SupervisedModel::new(&mut store, 0, encoder, config.num_classes, &mut rng);
         store.load_bytes(&params).map_err(|e| corrupt(&format!("parameter payload: {e}")))?;
-        Ok(Self { config, store, features, graph, model })
+        Ok(Self { config, store, features, graph, generation, model })
     }
 }
 
@@ -702,6 +875,81 @@ mod tests {
         // Truncation is also typed, not a panic.
         let short = &m.to_bytes()[..40];
         assert!(ServableModel::from_bytes(short).is_err());
+    }
+
+    #[test]
+    fn batched_local_prediction_is_bitwise_equal_to_singles() {
+        for encoder in [EncoderSpec::Gcn, EncoderSpec::Sage, EncoderSpec::Gin, EncoderSpec::Mlp] {
+            let m = tiny_model(encoder);
+            let rows: Vec<Vec<f32>> = (0..5)
+                .map(|r| (0..m.config.in_dim).map(|j| ((j + r) as f32 * 0.29).sin()).collect())
+                .collect();
+            let nbrs: Vec<Vec<usize>> = m
+                .exact_neighbors_batch(&rows)
+                .into_iter()
+                .map(|hits| hits.into_iter().map(|(j, _)| j).collect())
+                .collect();
+            let batch = m.predict_local_batch(&rows, &nbrs).unwrap();
+            for ((row, n), got) in rows.iter().zip(&nbrs).zip(&batch) {
+                assert_eq!(&m.predict_local(row, n).unwrap(), got, "{encoder:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_neighbors_batch_matches_singles() {
+        let m = tiny_model(EncoderSpec::Gcn);
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..m.config.in_dim).map(|j| ((j * (r + 1)) as f32 * 0.13).cos()).collect())
+            .collect();
+        let batch = m.exact_neighbors_batch(&rows);
+        for (row, hits) in rows.iter().zip(&batch) {
+            assert_eq!(&m.exact_neighbors(row), hits);
+        }
+    }
+
+    #[test]
+    fn generation_survives_the_snapshot_round_trip() {
+        let mut m = tiny_model(EncoderSpec::Gcn);
+        assert_eq!(m.generation, 0);
+        m.generation = 7;
+        let loaded = ServableModel::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(loaded.generation, 7);
+    }
+
+    #[test]
+    fn compaction_folds_rows_and_preserves_predictions() {
+        let m = tiny_model(EncoderSpec::Gcn);
+        let rows: Vec<Vec<f32>> =
+            (0..3).map(|r| (0..m.config.in_dim).map(|j| ((j + r) as f32 * 0.41).sin()).collect()).collect();
+        let nbrs: Vec<Vec<usize>> =
+            rows.iter().map(|row| m.exact_neighbors(row).into_iter().map(|(j, _)| j).collect()).collect();
+        let folded = m.compacted(&rows, &nbrs).unwrap();
+        assert_eq!(folded.generation, m.generation + 1);
+        assert_eq!(folded.corpus_len(), m.corpus_len() + 3);
+        // Folded rows carry their features and serving-time attachment.
+        for (i, (row, n)) in rows.iter().zip(&nbrs).enumerate() {
+            let id = m.corpus_len() + i;
+            assert_eq!(folded.features.row(id), &row[..]);
+            let mut adj: Vec<usize> = folded.graph.neighbor_ids(id).to_vec();
+            adj.sort_unstable();
+            let mut want = n.clone();
+            want.sort_unstable();
+            assert_eq!(adj, want);
+        }
+        // The folded bundle is a *valid* servable model: the local path
+        // still matches the full extended-graph oracle (degrees of nodes
+        // that gained fold edges shifted, consistently on both paths).
+        let probe: Vec<f32> = (0..m.config.in_dim).map(|j| (j as f32 * 0.23).cos()).collect();
+        let pn: Vec<usize> = folded.exact_neighbors(&probe).into_iter().map(|(j, _)| j).collect();
+        let local = folded.predict_local(&probe, &pn).unwrap();
+        let full = folded.predict_full(&probe, &pn).unwrap();
+        for (a, b) in local.proba.iter().zip(&full.proba) {
+            assert!((a - b).abs() < 1e-4, "folded local {a} vs full {b}");
+        }
+        // Mismatched shapes are typed errors.
+        assert!(m.compacted(&[], &[]).is_err());
+        assert!(m.compacted(&rows, &nbrs[..2]).is_err());
     }
 
     #[test]

@@ -214,15 +214,31 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 /// Encodes a response with a JSON body. `keep_alive` mirrors the request's
 /// connection state so the encoder and parser agree on the state machine.
 pub fn encode_response(status: u16, reason: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    encode_response_with(status, reason, body, keep_alive, &[])
+}
+
+/// [`encode_response`] plus extra headers (name, value) — the server uses
+/// this to stamp every response with `X-Snapshot-Generation`.
+pub fn encode_response_with(
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> Vec<u8> {
     let conn = if keep_alive { "keep-alive" } else { "close" };
-    let mut out = Vec::with_capacity(body.len() + 128);
+    let mut out = Vec::with_capacity(body.len() + 160);
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n",
+            "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n",
             body.len()
         )
         .as_bytes(),
     );
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body.as_bytes());
     out
 }

@@ -32,19 +32,35 @@
 //! (seeded level draws), so replaying the same sequence reproduces the
 //! same responses.
 //!
-//! The fault sites `servable.load` (checkpoint load) and `serve.request`
-//! (per-request) honor the `GNN4TDL_FAULT` chaos harness; see
-//! `tests/chaos.rs`.
+//! ## Durable serving state
+//!
+//! With a state directory ([`engine::Engine::durable`], CLI
+//! `--state-dir`), every accepted incremental row is appended to a
+//! checksummed, fsync'd write-ahead log *before* it enters the index
+//! ([`wal`]); a restarted server replays the WAL and resumes
+//! bitwise-identically (torn tails are truncated and counted, never
+//! fatal). At the request cap the retained rows are folded into a new
+//! `.gsrv` snapshot generation instead of thrown away, and
+//! `POST /admin/reload` hot-swaps a new snapshot behind the
+//! [`engine::EngineSlot`] handle with zero dropped requests.
+//! [`server::Server::shutdown`] drains: in-flight and queued connections
+//! finish (bounded by a deadline) before workers exit.
+//!
+//! The fault sites `servable.load` (snapshot load), `serve.request`
+//! (per-request), and `wal.append` (durability) honor the `GNN4TDL_FAULT`
+//! chaos harness; see `tests/chaos.rs` and `tests/recovery.rs`.
 
 pub mod engine;
 pub mod http;
 pub mod json;
 pub mod server;
+pub mod wal;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineSlot, RecoveryStats};
 pub use http::{HttpError, Limits, ParseOutcome, Request, Response};
 pub use json::Json;
 pub use server::{serve, Server, ServerConfig};
+pub use wal::{StateDir, Wal};
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};

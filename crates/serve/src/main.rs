@@ -3,10 +3,15 @@
 //! ```text
 //! gnn4tdl-serve --snapshot model.gsrv --addr 127.0.0.1:7878 --workers 4
 //! gnn4tdl-serve --demo --addr 127.0.0.1:7878     # synthetic model, no snapshot needed
+//! gnn4tdl-serve --demo --state-dir ./state       # durable: WAL + snapshot generations
 //! ```
+//!
+//! With `--state-dir`, accepted incremental rows are WAL-logged and the
+//! server recovers its state after a crash: on startup it loads the newest
+//! snapshot generation from the directory and replays the WAL. A first run
+//! bootstraps the directory from `--snapshot` or `--demo`.
 
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Duration;
 
 use gnn4tdl::servable::{ServableConfig, ServableModel};
@@ -14,21 +19,22 @@ use gnn4tdl::EncoderSpec;
 use gnn4tdl_construct::{IndexKind, Similarity};
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
 use gnn4tdl_data::{encode_all, Split, Target};
-use gnn4tdl_serve::{serve, Engine, ServerConfig};
+use gnn4tdl_serve::{serve, Engine, EngineSlot, ServerConfig, StateDir};
 use gnn4tdl_tensor::obs;
 use gnn4tdl_train::TrainConfig;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gnn4tdl-serve (--snapshot <model.gsrv> | --demo) [--addr HOST:PORT] \
-         [--workers N] [--queue-cap N] [--request-cap N] [--demo-rows N] [--obs]"
+        "usage: gnn4tdl-serve (--snapshot <model.gsrv> | --demo) [--state-dir DIR] [--addr HOST:PORT] \
+         [--workers N] [--queue-cap N] [--request-cap N] [--demo-rows N] [--drain-secs N] [--obs]"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut snapshot: Option<String> = None;
+    let mut state_dir: Option<String> = None;
     let mut demo = false;
     let mut demo_rows = 2_000usize;
     let mut config = ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() };
@@ -40,12 +46,17 @@ fn main() -> ExitCode {
         let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match arg.as_str() {
             "--snapshot" => snapshot = Some(value("--snapshot")),
+            "--state-dir" => state_dir = Some(value("--state-dir")),
             "--demo" => demo = true,
             "--demo-rows" => demo_rows = value("--demo-rows").parse().expect("--demo-rows: integer"),
             "--addr" => config.addr = value("--addr"),
             "--workers" => config.workers = value("--workers").parse().expect("--workers: integer"),
             "--queue-cap" => config.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer"),
             "--request-cap" => request_cap = value("--request-cap").parse().expect("--request-cap: integer"),
+            "--drain-secs" => {
+                config.drain_deadline =
+                    Duration::from_secs(value("--drain-secs").parse().expect("--drain-secs: integer"))
+            }
             "--obs" => enable_obs = true,
             "--help" | "-h" => usage(),
             other => {
@@ -59,36 +70,32 @@ fn main() -> ExitCode {
         obs::enable();
     }
 
-    let model = match (snapshot, demo) {
-        (Some(path), false) => match ServableModel::load(std::path::Path::new(&path)) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("failed to load snapshot {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        (None, true) => demo_model(demo_rows),
-        _ => usage(),
+    let engine = match build_engine(snapshot, demo, demo_rows, state_dir, request_cap) {
+        Ok(e) => e,
+        Err(detail) => {
+            eprintln!("{detail}");
+            return ExitCode::FAILURE;
+        }
     };
-
+    let model = engine.model();
     eprintln!(
-        "model: encoder={} corpus={} in_dim={} classes={} k={} index={}",
+        "model: encoder={} corpus={} in_dim={} classes={} k={} index={} generation={}",
         model.config.encoder.name(),
         model.corpus_len(),
         model.config.in_dim,
         model.config.num_classes,
         model.config.k,
         model.config.index.name(),
+        engine.generation(),
     );
 
-    let engine = match Engine::with_request_cap(model, request_cap) {
-        Ok(e) => Arc::new(e),
-        Err(e) => {
-            eprintln!("failed to build engine: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let server = match serve(engine, config) {
+    let slot = EngineSlot::new(engine);
+    // A restarted server may recover already at its cap; fold before the
+    // first request rather than after it.
+    if let Err(e) = slot.compact_if_needed() {
+        eprintln!("startup compaction failed (serving continues): {e}");
+    }
+    let server = match serve(slot, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind: {e}");
@@ -99,6 +106,57 @@ fn main() -> ExitCode {
     println!("  curl http://{}/healthz", server.addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Resolves the CLI flags into a serving engine. With `--state-dir` the
+/// directory is authoritative once populated: `--snapshot`/`--demo` only
+/// bootstrap an empty one, after which recovery (newest generation + WAL
+/// replay) takes over.
+fn build_engine(
+    snapshot: Option<String>,
+    demo: bool,
+    demo_rows: usize,
+    state_dir: Option<String>,
+    request_cap: usize,
+) -> Result<Engine, String> {
+    let load = |path: &str| {
+        ServableModel::load(std::path::Path::new(path))
+            .map_err(|e| format!("failed to load snapshot {path}: {e}"))
+    };
+    match state_dir {
+        None => {
+            let model = match (snapshot, demo) {
+                (Some(path), false) => load(&path)?,
+                (None, true) => demo_model(demo_rows),
+                _ => usage(),
+            };
+            Engine::with_request_cap(model, request_cap).map_err(|e| format!("failed to build engine: {e}"))
+        }
+        Some(dir) => {
+            let state = StateDir::new(std::path::Path::new(&dir))
+                .map_err(|e| format!("failed to open state dir: {e}"))?;
+            if state.generations().is_empty() {
+                let model = match (snapshot, demo) {
+                    (Some(path), false) => load(&path)?,
+                    (None, true) => demo_model(demo_rows),
+                    _ => {
+                        return Err(format!(
+                            "state dir {dir} is empty; bootstrap it with --snapshot or --demo"
+                        ))
+                    }
+                };
+                state.install(&model).map_err(|e| format!("failed to bootstrap state dir {dir}: {e}"))?;
+                eprintln!("bootstrapped {dir} at generation {}", model.generation);
+            }
+            let (engine, stats) =
+                Engine::durable(state, request_cap).map_err(|e| format!("recovery failed: {e}"))?;
+            eprintln!(
+                "recovered: generation={} wal_replayed={} wal_torn={} stale_wal={} snapshots_skipped={}",
+                stats.generation, stats.replayed, stats.torn, stats.stale, stats.snapshots_skipped,
+            );
+            Ok(engine)
+        }
     }
 }
 

@@ -8,9 +8,23 @@
 //! keep-alive connections (requests on one connection are sequential, as
 //! HTTP/1.1 pipelining semantics require); parallelism comes from
 //! connections, not from splitting a connection.
+//!
+//! # Lifecycle
+//!
+//! Requests are routed against the [`EngineSlot`]'s *current* engine,
+//! fetched per request — so a hot reload or compaction is visible to the
+//! very next request, even on a kept-alive connection, while the request
+//! that is mid-flight finishes on the engine it started with.
+//!
+//! [`Server::shutdown`] drains instead of abandoning: the acceptor stops
+//! taking connections (late arrivals get a typed 503), queued and
+//! in-flight connections finish their buffered requests (answered with
+//! `Connection: close`) up to `ServerConfig::drain_deadline`, and only
+//! then do the workers exit and join. The queue wakes its waiters with an
+//! explicit `notify_all` — drain latency is bounded by work, not polling.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -19,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use gnn4tdl_tensor::{obs, GnnError};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineSlot};
 use crate::http::{self, Limits, ParseOutcome, Request};
 use crate::json;
 
@@ -34,6 +48,9 @@ pub struct ServerConfig {
     /// Idle keep-alive connections are dropped after this long without a
     /// complete request, so a stalled client can never wedge a worker.
     pub read_timeout: Duration,
+    /// How long [`Server::shutdown`] lets in-flight and queued work finish
+    /// before closing connections mid-request.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -44,57 +61,107 @@ impl Default for ServerConfig {
             queue_cap: 64,
             limits: Limits::default(),
             read_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
 
-/// Bounded MPMC connection queue (mutex + condvar — parking-free in the
-/// sense of no spin loops; waiters sleep on the condvar).
+/// Bounded MPMC connection queue. `close()` wakes every waiter with
+/// `notify_all` — no timed polling anywhere in the wait loop.
 struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<QueueState>,
     ready: Condvar,
     cap: usize,
 }
 
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
 impl ConnQueue {
     fn new(cap: usize) -> Self {
-        ConnQueue { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), cap }
+        ConnQueue {
+            inner: Mutex::new(QueueState { conns: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap,
+        }
     }
 
-    /// Non-blocking: a full queue returns the stream to the caller so the
-    /// acceptor can answer 503 instead of parking unbounded sockets.
+    /// Non-blocking: a full (or closed) queue returns the stream to the
+    /// caller so the acceptor can answer 503 instead of parking unbounded
+    /// sockets.
     fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
         let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        if q.len() >= self.cap {
+        if q.closed || q.conns.len() >= self.cap {
             return Err(stream);
         }
-        q.push_back(stream);
+        q.conns.push_back(stream);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks until a connection or shutdown. The periodic timeout guards
-    /// against a missed notify during shutdown, not normal operation.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+    /// Blocks until a connection arrives or the queue is closed *and*
+    /// empty — queued connections are always served before workers exit.
+    fn pop(&self) -> Option<TcpStream> {
         let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(s) = q.pop_front() {
+            if let Some(s) = q.conns.pop_front() {
                 return Some(s);
             }
-            if shutdown.load(Ordering::SeqCst) {
+            if q.closed {
                 return None;
             }
-            q = self.ready.wait_timeout(q, Duration::from_millis(50)).unwrap_or_else(|p| p.into_inner()).0;
+            q = self.ready.wait(q).unwrap_or_else(|p| p.into_inner());
         }
+    }
+
+    /// Stops accepting pushes and wakes every parked worker. The flag is
+    /// set under the same mutex the waiters hold, so no wakeup can be
+    /// missed.
+    fn close(&self) {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        q.closed = true;
+        drop(q);
+        self.ready.notify_all();
+    }
+}
+
+/// Drain coordination shared by the acceptor and the workers: the flag
+/// flips when `shutdown()` is called, and the deadline bounds how long
+/// partially-read requests may keep a worker alive.
+struct DrainState {
+    draining: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl DrainState {
+    fn begin(&self, grace: Duration) {
+        *self.deadline.lock().unwrap_or_else(|p| p.into_inner()) = Some(Instant::now() + grace);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn active(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some_and(|deadline| Instant::now() >= deadline)
     }
 }
 
 /// A running server. Dropping without `shutdown()` detaches the threads;
-/// call `shutdown()` for a clean join (tests always should).
+/// call `shutdown()` for a graceful drain + join (tests always should).
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    drain: Arc<DrainState>,
+    drain_deadline: Duration,
+    queue: Arc<ConnQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -102,45 +169,62 @@ impl Server {
         self.addr
     }
 
-    /// Signals every thread and joins them. In-flight requests finish;
-    /// parked connections are answered before workers exit.
+    /// Graceful drain: stop accepting, let workers finish in-flight and
+    /// queued connections up to the drain deadline, then join everything.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.drain.begin(self.drain_deadline);
         // Unblock the acceptor's blocking accept() with a throwaway connect.
         let _ = TcpStream::connect(self.addr);
-        for handle in self.threads.drain(..) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // With the acceptor joined nothing pushes anymore; closing wakes
+        // every parked worker, and pop() drains the queue before None.
+        self.queue.close();
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Binds, spawns the acceptor + workers, and returns the handle.
-pub fn serve(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Server> {
+/// Binds, spawns the acceptor + workers, and returns the handle. Requests
+/// route against `slot.current()`, so swaps (compaction, `/admin/reload`)
+/// take effect per request with zero downtime.
+pub fn serve(slot: Arc<EngineSlot>, config: ServerConfig) -> std::io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(DrainState { draining: AtomicBool::new(false), deadline: Mutex::new(None) });
     let queue = Arc::new(ConnQueue::new(config.queue_cap.max(1)));
-    let mut threads = Vec::with_capacity(config.workers + 1);
+    let drain_deadline = config.drain_deadline;
 
+    let mut workers = Vec::with_capacity(config.workers.max(1));
     for _ in 0..config.workers.max(1) {
-        let engine = Arc::clone(&engine);
+        let slot = Arc::clone(&slot);
         let queue = Arc::clone(&queue);
-        let stop = Arc::clone(&shutdown);
+        let drain = Arc::clone(&drain);
         let cfg = config.clone();
-        threads.push(std::thread::spawn(move || {
-            while let Some(stream) = queue.pop(&stop) {
-                serve_connection(&engine, stream, &cfg);
+        workers.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                serve_connection(&slot, stream, &cfg, &drain);
+                if drain.active() {
+                    obs::counter_add("serve.drained", 1);
+                }
             }
         }));
     }
 
-    {
+    let acceptor = {
+        let slot = Arc::clone(&slot);
         let queue = Arc::clone(&queue);
-        let stop = Arc::clone(&shutdown);
-        threads.push(std::thread::spawn(move || loop {
+        let drain = Arc::clone(&drain);
+        std::thread::spawn(move || loop {
             match listener.accept() {
-                Ok((stream, _)) => {
-                    if stop.load(Ordering::SeqCst) {
+                Ok((mut stream, _)) => {
+                    if drain.active() {
+                        // Late arrival during drain: typed, retryable, and
+                        // never queued (the queue is about to close).
+                        let body = json::error_body("draining", "server is draining; retry elsewhere");
+                        let _ = stream.write_all(&respond(&slot, 503, "Service Unavailable", &body, false));
                         return;
                     }
                     if let Err(mut rejected) = queue.push(stream) {
@@ -148,88 +232,181 @@ pub fn serve(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<Serve
                         obs::counter_add("serve.errors", 1);
                         obs::counter_add("serve.rejected", 1);
                         let body = json::error_body("overloaded", "connection queue is full; retry later");
-                        let _ = rejected.write_all(&http::encode_response(
-                            503,
-                            "Service Unavailable",
-                            &body,
-                            false,
-                        ));
+                        let _ = rejected.write_all(&respond(&slot, 503, "Service Unavailable", &body, false));
                     }
                 }
                 Err(_) => {
-                    if stop.load(Ordering::SeqCst) {
+                    if drain.active() {
                         return;
                     }
                 }
             }
-        }));
-    }
+        })
+    };
 
-    Ok(Server { addr, shutdown, threads })
+    Ok(Server { addr, drain, drain_deadline, queue, acceptor: Some(acceptor), workers })
 }
+
+/// Encodes a response stamped with the serving snapshot generation, so
+/// clients can detect mid-session reloads on any endpoint.
+fn respond(slot: &EngineSlot, status: u16, reason: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let generation = slot.current().generation().to_string();
+    http::encode_response_with(status, reason, body, keep_alive, &[("X-Snapshot-Generation", generation)])
+}
+
+/// Read slice length: short enough that a drain request is noticed
+/// promptly, long enough to stay out of the way of normal keep-alive
+/// waits (idle time still accumulates against `read_timeout`).
+const READ_SLICE: Duration = Duration::from_millis(100);
 
 /// Runs one connection to completion: parse → route → respond, repeating
 /// while keep-alive holds. Protocol errors answer with their typed status
 /// and close; the parser's `consumed` offset makes pipelining work.
-fn serve_connection(engine: &Engine, mut stream: TcpStream, cfg: &ServerConfig) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+///
+/// During a drain, buffered complete requests are still answered (with
+/// `Connection: close`), an idle connection closes immediately, and a
+/// partially-read request gets until the drain deadline to finish
+/// arriving.
+fn serve_connection(slot: &Arc<EngineSlot>, mut stream: TcpStream, cfg: &ServerConfig, drain: &DrainState) {
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 8192];
+    let mut idle = Duration::ZERO;
     loop {
         match http::parse_request(&buf, &cfg.limits) {
             ParseOutcome::Complete(request, consumed) => {
                 buf.drain(..consumed);
+                idle = Duration::ZERO;
                 let started = Instant::now();
                 let _span = gnn4tdl_tensor::span!("serve.request");
                 obs::counter_add("serve.requests", 1);
-                let keep_alive = request.keep_alive;
-                let (status, reason, body) = route(engine, &request);
+                // An engine per request (not per connection): a reload or
+                // compaction swap is visible to the next request.
+                let engine = slot.current();
+                let draining = drain.active();
+                let keep_alive = request.keep_alive && !draining;
+                let (status, reason, body) = route(slot, &engine, &request);
                 if status >= 400 {
                     obs::counter_add("serve.errors", 1);
                 }
                 obs::histogram_record("serve.latency_ms", started.elapsed().as_secs_f64() * 1e3);
-                if stream.write_all(&http::encode_response(status, reason, &body, keep_alive)).is_err() {
+                if stream.write_all(&respond(slot, status, reason, &body, keep_alive)).is_err() {
                     return;
+                }
+                // Durable engines fold retained rows into a new snapshot
+                // generation once the cap is reached; a failure (e.g. an
+                // injected install fault) leaves the old generation
+                // serving and is retried after a later request.
+                if let Err(e) = slot.compact_if_needed() {
+                    obs::counter_add("serve.compaction_failures", 1);
+                    let _ = e;
                 }
                 if !keep_alive {
                     return;
                 }
             }
-            ParseOutcome::Incomplete => match stream.read(&mut chunk) {
-                Ok(0) => return, // client closed
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                Err(_) => return, // timeout / reset
-            },
+            ParseOutcome::Incomplete => {
+                if drain.active() && (buf.is_empty() || drain.expired()) {
+                    // Idle connections close as soon as the drain starts;
+                    // half-received requests get until the deadline.
+                    return;
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => return, // client closed
+                    Ok(n) => {
+                        buf.extend_from_slice(&chunk[..n]);
+                        idle = Duration::ZERO;
+                    }
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        // One quiet read slice; only cumulative quiet time
+                        // counts against the keep-alive timeout.
+                        idle += READ_SLICE;
+                        if idle >= cfg.read_timeout {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // reset
+                }
+            }
             ParseOutcome::Error(e) => {
                 obs::counter_add("serve.requests", 1);
                 obs::counter_add("serve.errors", 1);
                 let body = json::error_body("protocol", &e.detail);
-                let _ = stream.write_all(&http::encode_response(e.status, e.reason, &body, false));
+                let _ = stream.write_all(&respond(slot, e.status, e.reason, &body, false));
                 return;
             }
         }
     }
 }
 
-fn route(engine: &Engine, request: &Request) -> (u16, &'static str, String) {
+fn route(slot: &Arc<EngineSlot>, engine: &Engine, request: &Request) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let body = format!(
-                "{{\"status\": \"ok\", \"corpus_rows\": {}, \"in_dim\": {}, \"classes\": {}, \"served\": {}, \"retained_requests\": {}}}",
+                "{{\"status\": \"ok\", \"corpus_rows\": {}, \"in_dim\": {}, \"classes\": {}, \"served\": {}, \
+                 \"retained_requests\": {}, \"snapshot_generation\": {}, \"wal_records\": {}, \
+                 \"last_compaction\": {}, \"durable\": {}}}",
                 engine.corpus_len(),
                 engine.in_dim(),
                 engine.num_classes(),
                 engine.served(),
-                engine.retained_requests()
+                engine.retained_requests(),
+                engine.generation(),
+                engine.wal_records(),
+                engine.last_compaction(),
+                engine.is_durable(),
             );
             (200, "OK", body)
         }
         ("GET", "/metrics") => (200, "OK", obs::collect("serve").to_json()),
         ("POST", "/predict") => predict_route(engine, &request.body, false),
         ("POST", "/predict_proba") => predict_route(engine, &request.body, true),
+        ("POST", "/admin/reload") => reload_route(slot, &request.body),
         ("GET" | "POST", _) => (404, "Not Found", json::error_body("not_found", &request.path)),
         _ => (405, "Method Not Allowed", json::error_body("method_not_allowed", &request.method)),
+    }
+}
+
+/// `POST /admin/reload` — body `{}` (or empty) rescans the state dir for a
+/// newer generation; `{"snapshot": "/path/to/model.gsrv"}` loads that
+/// file. Either way validation happens before the swap: a bad snapshot is
+/// a typed error and the old generation keeps serving.
+fn reload_route(slot: &Arc<EngineSlot>, body: &[u8]) -> (u16, &'static str, String) {
+    let snapshot = if body.is_empty() {
+        None
+    } else {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return (400, "Bad Request", json::error_body("bad_request", "body is not utf-8")),
+        };
+        match json::parse(text) {
+            Ok(doc) => match doc.get("snapshot") {
+                Some(v) => match v.as_str() {
+                    Some(path) => Some(path.to_string()),
+                    None => {
+                        return (
+                            400,
+                            "Bad Request",
+                            json::error_body("bad_request", "'snapshot' must be a string path"),
+                        )
+                    }
+                },
+                None => None,
+            },
+            Err(e) => {
+                return (400, "Bad Request", json::error_body("bad_request", &format!("invalid json: {e}")))
+            }
+        }
+    };
+    match slot.reload(snapshot.as_deref().map(std::path::Path::new)) {
+        Ok(generation) => {
+            (200, "OK", format!("{{\"status\": \"reloaded\", \"snapshot_generation\": {generation}}}"))
+        }
+        Err(e) => {
+            obs::counter_add("serve.reload_failures", 1);
+            error_response(&e)
+        }
     }
 }
 
@@ -333,7 +510,9 @@ fn argmax(proba: &[f32]) -> usize {
 }
 
 /// Maps engine errors to HTTP statuses: injected/transient I/O faults are
-/// 503 (retryable), request-shape problems are 400, anything else is 500.
+/// 503 (retryable), request-shape problems are 400, snapshot/WAL
+/// integrity failures are 409 (the reload/compaction was refused, state
+/// unchanged), anything else is 500.
 fn error_response(e: &GnnError) -> (u16, &'static str, String) {
     match e {
         GnnError::Io { detail } => (503, "Service Unavailable", json::error_body("unavailable", detail)),
@@ -341,6 +520,7 @@ fn error_response(e: &GnnError) -> (u16, &'static str, String) {
         GnnError::NonFiniteFeature { .. } => {
             (400, "Bad Request", json::error_body("bad_request", &e.to_string()))
         }
+        GnnError::Checkpoint { detail } => (409, "Conflict", json::error_body("snapshot_rejected", detail)),
         other => (500, "Internal Server Error", json::error_body("internal", &other.to_string())),
     }
 }

@@ -16,7 +16,6 @@
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::Arc;
 use std::time::Duration;
 
 use gnn4tdl::servable::{ServableConfig, ServableModel};
@@ -24,7 +23,7 @@ use gnn4tdl::EncoderSpec;
 use gnn4tdl_construct::{IndexKind, Similarity};
 use gnn4tdl_data::synth::{gaussian_clusters, ClustersConfig};
 use gnn4tdl_data::{encode_all, Split, Target};
-use gnn4tdl_serve::{get, post_json, serve, Engine, Server, ServerConfig};
+use gnn4tdl_serve::{get, post_json, serve, Engine, EngineSlot, Server, ServerConfig};
 use gnn4tdl_tensor::fault::{self, FaultKind};
 use gnn4tdl_tensor::obs;
 use gnn4tdl_train::TrainConfig;
@@ -71,9 +70,9 @@ fn fitted() -> ServableModel {
 }
 
 fn start(model: ServableModel, workers: usize, queue_cap: usize) -> Server {
-    let engine = Arc::new(Engine::new(model).unwrap());
+    let slot = EngineSlot::new(Engine::new(model).unwrap());
     serve(
-        engine,
+        slot,
         ServerConfig { workers, queue_cap, read_timeout: Duration::from_secs(2), ..ServerConfig::default() },
     )
     .unwrap()
