@@ -1,15 +1,19 @@
 //! Steady-state hot-loop benchmark:
-//! `hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--out DIR]`.
+//! `hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--min-dispatch-speedup X] [--out DIR]`.
 //!
 //! Measures the numbers the allocation-free training loop is accountable
-//! for — steady-state epoch time, buffer-pool hit rate, GEMM kNN
-//! construction time, and micro-kernel GEMM throughput against the scalar
-//! oracle — on a fixed seeded workload, and writes them to
+//! for — steady-state epoch time, buffer-pool hit rate (local and
+//! all-thread, the latter covering the persistent `parallel` workers), GEMM
+//! kNN construction time, parallel-region dispatch latency against a
+//! scoped-spawn baseline, and micro-kernel GEMM throughput against the
+//! scalar oracle — on a fixed seeded workload, and writes them to
 //! `BENCH_hotloop.json` at the repository root so regressions show up in
 //! review diffs. CI passes `--min-hit-rate` to fail the build when the pool
-//! stops absorbing the hot loop's allocations, and `--min-gemm-speedup` to
-//! fail it when the tiled kernel stops beating the scalar oracle on the
-//! dominant training shape.
+//! stops absorbing the hot loop's allocations (worker threads included),
+//! `--min-gemm-speedup` to fail it when the tiled kernel stops beating the
+//! scalar oracle on the dominant training shape, and
+//! `--min-dispatch-speedup` to fail it when broadcasting a region to the
+//! persistent pool stops beating a per-region `std::thread::scope` spawn.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,6 +37,59 @@ const KNN_REPS: usize = 5;
 /// n=1000 fit (the dominant shape, first — the `--min-gemm-speedup` gate
 /// applies to it), the input and output layers, and a kNN panel product.
 const GEMM_SHAPES: [(usize, usize, usize); 4] = [(N, 32, 32), (N, 16, 32), (N, 32, 3), (256, 16, N)];
+
+/// Work per chunk in the dispatch benchmark: two 1 KiB chunks, so the region
+/// body is trivial and per-region latency is dominated by the handoff
+/// (pool broadcast vs thread spawn), which is what the gate compares.
+const DISPATCH_ELEMS: usize = 2048;
+const DISPATCH_REPS: usize = 2000;
+
+/// Best-of-3 mean per-region latency (µs) of `f` over `DISPATCH_REPS` runs.
+fn dispatch_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..DISPATCH_REPS {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best / DISPATCH_REPS as f64 * 1e6
+}
+
+/// Per-region latency of a two-chunk `par_chunks_mut` on the persistent
+/// pool (one helper broadcast + join barrier per call).
+fn dispatch_pooled_us() -> f64 {
+    let mut buf = vec![0.0f32; DISPATCH_ELEMS];
+    parallel::with_threads(2, || {
+        dispatch_us(|| {
+            parallel::par_chunks_mut(&mut buf, DISPATCH_ELEMS / 2, |_, chunk| {
+                for v in chunk {
+                    *v += 1.0;
+                }
+            });
+        })
+    })
+}
+
+/// The same two-chunk region under the pre-pool strategy: spawn a scoped
+/// helper thread per region and join it.
+fn dispatch_scoped_us() -> f64 {
+    let mut buf = vec![0.0f32; DISPATCH_ELEMS];
+    dispatch_us(|| {
+        let (head, tail) = buf.split_at_mut(DISPATCH_ELEMS / 2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for v in tail.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+            for v in head.iter_mut() {
+                *v += 1.0;
+            }
+        });
+    })
+}
 
 /// Best-of-reps single-shape GEMM throughput (GFLOP/s) under `kern`.
 fn gemm_gflops(m: usize, k: usize, n: usize, kern: kernel::Kernel) -> f64 {
@@ -65,6 +122,7 @@ fn gemm_gflops(m: usize, k: usize, n: usize, kern: kernel::Kernel) -> f64 {
 fn main() {
     let mut min_hit_rate: Option<f64> = None;
     let mut min_gemm_speedup: Option<f64> = None;
+    let mut min_dispatch_speedup: Option<f64> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -77,6 +135,11 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage("--min-gemm-speedup needs a value"));
                 min_gemm_speedup =
                     Some(v.parse().unwrap_or_else(|_| usage("--min-gemm-speedup must be a number")));
+            }
+            "--min-dispatch-speedup" => {
+                let v = it.next().unwrap_or_else(|| usage("--min-dispatch-speedup needs a value"));
+                min_dispatch_speedup =
+                    Some(v.parse().unwrap_or_else(|_| usage("--min-dispatch-speedup must be a number")));
             }
             "--out" => {
                 out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
@@ -124,12 +187,23 @@ fn main() {
         edges = e.len();
     }
 
-    // warm the pool, then measure a steady-state fit from warm buffers
+    // dispatch latency: pooled broadcast vs a per-region scoped spawn, on
+    // an identical trivial two-chunk region
+    let pooled_us = dispatch_pooled_us();
+    let scoped_us = dispatch_scoped_us();
+    let dispatch_speedup = scoped_us / pooled_us;
+
+    // warm the pool, then measure a steady-state fit from warm buffers;
+    // global (all-thread) stats cover the persistent parallel workers
     pool::clear_local();
     fit_pipeline(&dataset, &split, &cfg(WARMUP_EPOCHS));
     pool::reset_local_stats();
+    pool::reset_global_stats();
+    kernel::reset_pack_stats();
     let result = fit_pipeline(&dataset, &split, &cfg(MEASURED_EPOCHS));
     let stats = pool::local_stats();
+    let global = pool::global_stats();
+    let pack = kernel::pack_stats();
     let epoch_ms = result.training_ms / MEASURED_EPOCHS as f64;
 
     let mut report = Report::new(
@@ -148,6 +222,15 @@ fn main() {
     report.row(vec![Cell::from("pool_hit_rate"), Cell::from(stats.hit_rate())]);
     report.row(vec![Cell::from("pool_hits"), Cell::from(stats.hits as usize)]);
     report.row(vec![Cell::from("pool_misses"), Cell::from(stats.misses as usize)]);
+    report.row(vec![Cell::from("pool_global_hit_rate"), Cell::from(global.hit_rate())]);
+    report.row(vec![Cell::from("pool_global_hits"), Cell::from(global.hits as usize)]);
+    report.row(vec![Cell::from("pool_global_misses"), Cell::from(global.misses as usize)]);
+    report.row(vec![Cell::from("pack_hit_rate"), Cell::from(pack.hit_rate())]);
+    report.row(vec![Cell::from("pack_hits"), Cell::from(pack.hits as usize)]);
+    report.row(vec![Cell::from("pack_misses"), Cell::from(pack.misses as usize)]);
+    report.row(vec![Cell::from("dispatch_pooled_us"), Cell::from(pooled_us)]);
+    report.row(vec![Cell::from("dispatch_scoped_us"), Cell::from(scoped_us)]);
+    report.row(vec![Cell::from("dispatch_speedup"), Cell::from(dispatch_speedup)]);
 
     // kernel throughput: the selected tiled implementation vs the scalar
     // oracle, per workload shape (first shape = the dominant one the
@@ -177,14 +260,30 @@ fn main() {
     }
 
     if let Some(min) = min_hit_rate {
-        if stats.hit_rate() < min {
+        // Gate on the all-thread rate: a regression that only pushes the
+        // persistent workers onto the allocator must still fail the build.
+        if global.hit_rate() < min {
             eprintln!(
-                "FAIL: steady-state pool hit rate {:.4} is below the required {min:.4} ({stats:?})",
-                stats.hit_rate()
+                "FAIL: steady-state all-thread pool hit rate {:.4} is below the required {min:.4} \
+                 (global {global:?}, local {stats:?})",
+                global.hit_rate()
             );
             std::process::exit(1);
         }
-        eprintln!("pool hit rate {:.4} >= {min:.4}", stats.hit_rate());
+        eprintln!("all-thread pool hit rate {:.4} >= {min:.4}", global.hit_rate());
+    }
+    if let Some(min) = min_dispatch_speedup {
+        if !dispatch_speedup.is_finite() || dispatch_speedup < min {
+            eprintln!(
+                "FAIL: pooled dispatch is only {dispatch_speedup:.2}x the scoped-spawn baseline \
+                 ({pooled_us:.2}us vs {scoped_us:.2}us per region), below the required {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "pooled dispatch {dispatch_speedup:.2}x >= {min:.2}x vs scoped spawn \
+             ({pooled_us:.2}us vs {scoped_us:.2}us per region)"
+        );
     }
     if let Some(min) = min_gemm_speedup {
         let (m, k, n) = GEMM_SHAPES[0];
@@ -203,6 +302,8 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--out DIR]");
+    eprintln!(
+        "usage: hotloop [--min-hit-rate X] [--min-gemm-speedup X] [--min-dispatch-speedup X] [--out DIR]"
+    );
     std::process::exit(2);
 }

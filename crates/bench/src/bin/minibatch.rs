@@ -9,6 +9,11 @@
 //! so the speedup column is the scalability claim in one number. CI runs
 //! the n=10k leg with `--max-accuracy-drop` to fail the build when the
 //! sampled path stops matching full-batch quality.
+//!
+//! The minibatch leg runs twice — sampling inline and with the prefetch
+//! pipeline (`TrainConfig::prefetch`) — and the run **hard-fails** if the
+//! two produce different prediction bits: the pipelined sampler must be a
+//! pure latency optimization, never a semantic change.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -41,6 +46,8 @@ const SAMPLER_SEED: u64 = 11;
 struct Leg {
     epoch_ms: f64,
     accuracy: f64,
+    /// Prediction matrix bit pattern, for exact equality checks across legs.
+    pred_bits: Vec<u32>,
 }
 
 fn build_model(graph: &Graph, in_dim: usize, seed: u64) -> (ParamStore, SupervisedModel<GcnModel>) {
@@ -97,11 +104,14 @@ fn main() {
             "n",
             "construction_ms",
             "full_epoch_ms",
-            "mini_epoch_ms",
+            "mini_inline_epoch_ms",
+            "mini_prefetch_epoch_ms",
+            "prefetch_speedup",
             "speedup",
             "full_acc",
             "mini_acc",
             "acc_delta",
+            "prefetch_acc_delta",
             "peak_block_nodes",
             "peak_block_edges",
         ],
@@ -147,22 +157,31 @@ fn main() {
             Leg {
                 epoch_ms: ms / r.epochs_run().max(1) as f64,
                 accuracy: accuracy_on_test(&pred, &labels, &split),
+                pred_bits: pred.data().iter().map(|v| v.to_bits()).collect(),
             }
         };
 
         let sampler = NeighborSampler::new(BATCH_SIZE, FANOUTS.to_vec(), SAMPLER_SEED);
-        pool::clear_local();
-        let mini = {
+        let mini_leg = |prefetch: bool| {
+            pool::clear_local();
+            let leg_cfg = TrainConfig { prefetch, ..cfg.clone() };
             let (mut store, model) = build_model(&graph, in_dim, 7);
             let t = Instant::now();
-            let r = fit_minibatch(&model, &mut store, &graph, &task, &sampler, &cfg);
+            let r = fit_minibatch(&model, &mut store, &graph, &task, &sampler, &leg_cfg);
             let ms = t.elapsed().as_secs_f64() * 1e3;
             let pred = predict(&model, &store, &task.features);
             Leg {
                 epoch_ms: ms / r.epochs_run().max(1) as f64,
                 accuracy: accuracy_on_test(&pred, &labels, &split),
+                pred_bits: pred.data().iter().map(|v| v.to_bits()).collect(),
             }
         };
+        let inline = mini_leg(false);
+        let mini = mini_leg(true);
+        if mini.pred_bits != inline.pred_bits {
+            eprintln!("FAIL: n={n}: prefetched minibatch predictions differ bitwise from inline sampling");
+            std::process::exit(1);
+        }
 
         // peak resident block: the sampler is a pure function of
         // (seed, epoch, batch), so re-deriving the plan visits exactly the
@@ -177,25 +196,33 @@ fn main() {
         }
 
         let speedup = full.epoch_ms / mini.epoch_ms;
+        let prefetch_speedup = inline.epoch_ms / mini.epoch_ms;
         let drop = full.accuracy - mini.accuracy;
+        // bitwise-equal predictions make this exactly zero; keep the column
+        // so a regression is visible in the tracked JSON, not just the gate
+        let prefetch_drop = inline.accuracy - mini.accuracy;
         worst_drop = worst_drop.max(drop);
         last_speedup = speedup;
         report.row(vec![
             Cell::from(n),
             Cell::from(construction_ms),
             Cell::from(full.epoch_ms),
+            Cell::from(inline.epoch_ms),
             Cell::from(mini.epoch_ms),
+            Cell::from(prefetch_speedup),
             Cell::from(speedup),
             Cell::from(full.accuracy),
             Cell::from(mini.accuracy),
             Cell::from(drop),
+            Cell::from(prefetch_drop),
             Cell::from(peak_nodes),
             Cell::from(peak_edges),
         ]);
         eprintln!(
-            "n={n}: full {:.2} ms/epoch, mini {:.2} ms/epoch ({speedup:.2}x), \
+            "n={n}: full {:.2} ms/epoch, mini inline {:.2} / prefetch {:.2} ms/epoch \
+             ({speedup:.2}x vs full, {prefetch_speedup:.2}x vs inline), \
              acc {:.3} -> {:.3}, peak block {peak_nodes} nodes",
-            full.epoch_ms, mini.epoch_ms, full.accuracy, mini.accuracy
+            full.epoch_ms, inline.epoch_ms, mini.epoch_ms, full.accuracy, mini.accuracy
         );
     }
 

@@ -9,6 +9,13 @@
 //! HTTP/1.1 pipelining semantics require); parallelism comes from
 //! connections, not from splitting a connection.
 //!
+//! Request handlers may freely call into `tensor`'s parallel kernels: the
+//! persistent `tensor::parallel` pool lets at most one broadcast through at
+//! a time and every other caller (including these request workers, which
+//! race each other and any concurrent training) runs its region inline on
+//! its own thread — same bits either way, and no pool-related deadlock or
+//! cross-request stall is possible by construction.
+//!
 //! # Lifecycle
 //!
 //! Requests are routed against the [`EngineSlot`]'s *current* engine,

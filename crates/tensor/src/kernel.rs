@@ -12,7 +12,9 @@
 //! # Tiling and packing layout
 //!
 //! GEMM computes `out += A (m×k) · B (k×n)` as [`MR`]×[`NR`] register tiles.
-//! B is packed **once per product, on the coordinating thread** into
+//! B is packed **once per product, on the calling thread** — into a
+//! grow-only per-thread scratch that stays warm on the persistent
+//! `parallel` workers (see [`pack_stats`]) — as
 //! `NR`-column panels: within one `k`-block of at most [`KC`] rows, panel
 //! `p` stores rows `k0..k0+kc` of columns `p·NR..p·NR+NR` contiguously as
 //! `panel[kk·NR + lane]`, zero-padding the right-edge lanes (padded lanes
@@ -49,8 +51,8 @@
 //! tests and benches. Because results are bitwise identical across
 //! implementations, the selection is a pure throughput knob.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crate::buf::Buf;
 use crate::parallel;
@@ -176,17 +178,33 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
         gemm_scalar_par(m, k, n, a, b, out, epi);
         return;
     }
-    let packed = pack_b(b, k, n);
-    // Rows per chunk, a multiple of MR sized to ~128k flops from the shapes
-    // only — chunk boundaries (and so the whole computation) are identical
-    // at any worker count.
-    let block_rows = (1usize << 17).div_ceil((k * n).max(1)).next_multiple_of(MR);
-    parallel::par_chunks_mut(out, block_rows * n, |blk, chunk| {
-        let i0 = blk * block_rows;
-        let rows = chunk.len() / n;
-        gemm_chunk(kern, &a[i0 * k..(i0 + rows) * k], rows, k, n, &packed, chunk, epi);
+    // Rows per chunk, a multiple of MR sized to [`GEMM_TILED_CHUNK_FLOPS`]
+    // from the shapes only — chunk boundaries (and so the whole
+    // computation) are identical at any worker count.
+    let block_rows = GEMM_TILED_CHUNK_FLOPS.div_ceil((k * n).max(1)).next_multiple_of(MR);
+    with_packed_b(b, k, n, |packed| {
+        parallel::par_chunks_mut(out, block_rows * n, |blk, chunk| {
+            let i0 = blk * block_rows;
+            let rows = chunk.len() / n;
+            gemm_chunk(kern, &a[i0 * k..(i0 + rows) * k], rows, k, n, packed, chunk, epi);
+        });
     });
 }
+
+/// Flop budget (MACs) per tiled-GEMM row chunk: the sequential cutoff and
+/// the parallel grain in one constant. Halved from the scoped-spawn era's
+/// `1 << 17`: a pooled dispatch costs ~1µs instead of ~10µs per helper, so
+/// products half the old size now amortize fanning out, and the smaller
+/// grain load-balances better. Chunks are whole rows, so the per-element
+/// ascending-k reduction chains — and therefore every output bit — are
+/// unchanged by this value.
+const GEMM_TILED_CHUNK_FLOPS: usize = 1 << 16;
+
+/// Same budget for the scalar escape hatch (`GNN4TDL_KERNEL=scalar`), kept
+/// 4× smaller than the tiled grain because the scalar inner loop is ~4-8×
+/// slower per element; halved from `1 << 15` with the same pooled-dispatch
+/// rationale. Bitwise-safe for the same whole-rows reason.
+const GEMM_SCALAR_CHUNK_FLOPS: usize = 1 << 14;
 
 /// The retained scalar oracle: the straightforward (i, k, j) triple loop
 /// every tiled implementation must match bit for bit. Sequential; tests and
@@ -208,7 +226,7 @@ pub fn gemm_oracle(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut
 /// `GNN4TDL_KERNEL=scalar` so the escape hatch keeps the thread-invariance
 /// contract of the tiled paths.
 fn gemm_scalar_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], epi: Epilogue) {
-    let block_rows = (1usize << 15).div_ceil((k * n).max(1)).clamp(1, m.max(1));
+    let block_rows = GEMM_SCALAR_CHUNK_FLOPS.div_ceil((k * n).max(1)).clamp(1, m.max(1));
     parallel::par_chunks_mut(out, block_rows * n, |blk, chunk| {
         let i0 = blk * block_rows;
         let rows = chunk.len() / n;
@@ -225,13 +243,68 @@ fn apply_epilogue(row: &mut [f32], j0: usize, epi: Epilogue) {
     }
 }
 
+thread_local! {
+    /// Grow-only per-thread scratch for the packed B panels. GEMMs run on
+    /// whichever thread calls them — the coordinator or a persistent
+    /// `parallel` pool worker (e.g. a `par_join` branch of the LinearRelu
+    /// backward) — and because pool workers never die, the scratch stays
+    /// warm: after the first product of a given size, packing allocates
+    /// nothing. Deliberately NOT the shape-keyed `crate::pool`: which
+    /// thread runs a product is scheduling-dependent, so pool traffic here
+    /// would make the obs hit/miss ledger racy and thread-count-dependent.
+    /// Instead the ledger gets the logical `pack.takes` count (one per
+    /// product) and the physical reuse tallies live in [`pack_stats`].
+    static PACK_SCRATCH: RefCell<Buf> = RefCell::new(Buf::zeroed(0));
+}
+
+/// Process-wide physical pack-scratch tallies across every thread: `hits`
+/// are packs served by an already-large-enough warm scratch, `misses` are
+/// packs that had to (re)allocate it. (`recycles` is unused here.)
+static PACK_HITS: AtomicU64 = AtomicU64::new(0);
+static PACK_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pack-scratch reuse tallies since the last
+/// [`reset_pack_stats`] — the bench's warm-worker evidence.
+pub fn pack_stats() -> crate::pool::PoolStats {
+    crate::pool::PoolStats {
+        hits: PACK_HITS.load(Ordering::Relaxed),
+        misses: PACK_MISSES.load(Ordering::Relaxed),
+        recycles: 0,
+    }
+}
+
+/// Zeroes the pack-scratch tallies (warm scratches stay warm).
+pub fn reset_pack_stats() {
+    PACK_HITS.store(0, Ordering::Relaxed);
+    PACK_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Packs `b` (k×n row-major) into the calling thread's panel scratch (see
+/// [`PACK_SCRATCH`]) and hands the packed slice to `f`.
+fn with_packed_b<R>(b: &[f32], k: usize, n: usize, f: impl FnOnce(&[f32]) -> R) -> R {
+    let need = n.div_ceil(NR) * NR * k;
+    crate::obs::PACK_TAKES.add(1);
+    PACK_SCRATCH.with(|cell| {
+        let mut packed = cell.replace(Buf::zeroed(0));
+        if packed.len() < need {
+            PACK_MISSES.fetch_add(1, Ordering::Relaxed);
+            packed = Buf::zeroed(need);
+        } else {
+            PACK_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        pack_b_into(&mut packed[..need], b, k, n);
+        let result = f(&packed[..need]);
+        cell.replace(packed);
+        result
+    })
+}
+
 /// Packs `b` (k×n row-major) into the panel layout described in the module
-/// docs. Deliberately NOT pooled: GEMMs run from `par_join` worker threads
-/// (e.g. the LinearRelu backward), and thread-local pool traffic there would
-/// make the hit/miss ledger depend on the worker count.
-fn pack_b(b: &[f32], k: usize, n: usize) -> Buf {
+/// docs, overwriting every element of `packed` (so stale scratch contents
+/// are unobservable).
+fn pack_b_into(packed: &mut [f32], b: &[f32], k: usize, n: usize) {
     let npanels = n.div_ceil(NR);
-    let mut packed = Buf::zeroed(npanels * NR * k);
+    debug_assert_eq!(packed.len(), npanels * NR * k);
     let mut off = 0;
     let mut k0 = 0;
     while k0 < k {
@@ -248,7 +321,6 @@ fn pack_b(b: &[f32], k: usize, n: usize) -> Buf {
         }
         k0 += kc;
     }
-    packed
 }
 
 /// Computes `rows` output rows (one parallel chunk) through the tiled

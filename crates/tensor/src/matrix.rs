@@ -16,7 +16,13 @@ use crate::pool;
 /// Elements per chunk for parallel elementwise loops. Chunk boundaries are
 /// fixed by this constant (never by worker count), so results are identical
 /// for any thread count; inputs smaller than one chunk stay sequential.
-const ELEM_CHUNK: usize = 1 << 14;
+/// Halved from the scoped-spawn era's `1 << 14`: a persistent-pool dispatch
+/// costs ~1µs instead of ~10µs per helper, so an 8k-element map (~a few µs
+/// of work) now amortizes fanning out. Every use is elementwise or pure row
+/// copy, so the value never touches a reduction order — bitwise-safe to
+/// tune. (Reduction grains [`REDUCE_CHUNK`]/[`COL_ROW_CHUNK`] below fix the
+/// combine tree itself and deliberately stay untouched.)
+const ELEM_CHUNK: usize = 1 << 13;
 
 /// Elements per partial in parallel reductions. Partials are combined in
 /// chunk order, fixing the reduction tree independent of worker count.
@@ -241,8 +247,11 @@ impl Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         let (rows, cols) = (self.rows, self.cols);
         let src = &self.data;
-        // Output rows per block, sized so a block is ~16k element copies.
-        let block = (1usize << 14).div_ceil(rows.max(1)).max(1);
+        // Output rows per block, sized so a block is ~[`ELEM_CHUNK`]
+        // element copies — a pure transposition scatter, so the block size
+        // (like every elementwise grain) is bitwise-safe to tune with the
+        // dispatch cost.
+        let block = ELEM_CHUNK.div_ceil(rows.max(1)).max(1);
         parallel::par_chunks_mut(&mut out.data, block * rows, |blk, chunk| {
             for (local, out_row) in chunk.chunks_mut(rows).enumerate() {
                 let c = blk * block + local;

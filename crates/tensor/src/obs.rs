@@ -208,8 +208,13 @@ pub static CSR_SUBGRAPH_ROWS: HotCounter = HotCounter::new("csr.subgraph.rows");
 pub static CSR_SUBGRAPH_NNZ: HotCounter = HotCounter::new("csr.subgraph.nnz");
 /// Rows copied by `Matrix::gather_rows` (`matrix.rs`).
 pub static GATHER_ROWS: HotCounter = HotCounter::new("gather.rows");
+/// GEMM B-panel pack-scratch takes (`kernel.rs`) — one per tiled product.
+/// Logical work, not physical reuse (the per-thread hit/miss split depends
+/// on which persistent worker ran the product; see `kernel::pack_stats` for
+/// the physical tallies), so masked reports stay thread-count-invariant.
+pub static PACK_TAKES: HotCounter = HotCounter::new("pack.takes");
 
-const HOT_COUNTERS: [&HotCounter; 11] = [
+const HOT_COUNTERS: [&HotCounter; 12] = [
     &TAPE_NODES,
     &PAR_CHUNKS,
     &PAR_ITEMS,
@@ -221,6 +226,7 @@ const HOT_COUNTERS: [&HotCounter; 11] = [
     &CSR_SUBGRAPH_ROWS,
     &CSR_SUBGRAPH_NNZ,
     &GATHER_ROWS,
+    &PACK_TAKES,
 ];
 
 // ---------------------------------------------------------------------------

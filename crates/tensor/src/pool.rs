@@ -28,7 +28,10 @@
 //!   all run on the coordinating thread (`parallel` workers hand out
 //!   `&mut` chunks of coordinator-owned buffers instead of allocating), so
 //!   the hit/miss sequence — and therefore the obs ledger — is identical at
-//!   any `GNN4TDL_THREADS` setting.
+//!   any `GNN4TDL_THREADS` setting. With the persistent worker pool those
+//!   threads never die, so any buffers a worker does park (and the GEMM
+//!   pack scratch in [`crate::kernel`]) stay warm across parallel regions
+//!   instead of dying with a scoped thread.
 //!
 //! # Switching it off
 //!
@@ -43,13 +46,15 @@
 //! When tracing is on, takes are counted into the `pool.hits`/`pool.misses`
 //! hot counters ([`crate::obs`]). Independent of tracing, cheap thread-local
 //! [`PoolStats`] are always maintained so benches and tests can compute hit
-//! rates without enabling the full obs ledger. [`crate::obs::reset`] clears
-//! the calling thread's free lists and stats, so back-to-back measured runs
-//! start from the same cold state.
+//! rates without enabling the full obs ledger, and [`global_stats`] sums the
+//! same tallies over *every* thread — the number benches gate on, since
+//! persistent pool workers take and recycle too. [`crate::obs::reset`]
+//! clears the calling thread's free lists and stats, so back-to-back
+//! measured runs start from the same cold state.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crate::buf::Buf;
 use crate::obs;
@@ -129,6 +134,32 @@ thread_local! {
         RefCell::new(LocalPool { buckets: HashMap::new(), stats: PoolStats::default() });
 }
 
+// Process-wide tallies summed over every thread's takes and recycles.
+// Free lists stay thread-local (the determinism rules above), but with the
+// persistent `parallel` worker pool a take can happen on a long-lived
+// worker thread (e.g. a `par_join` branch), so a coordinator-only snapshot
+// under-reports reuse. Benches gate on these instead of `local_stats`.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RECYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide tallies: every thread's takes and recycles
+/// since the last [`reset_global_stats`], persistent pool workers included.
+pub fn global_stats() -> PoolStats {
+    PoolStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        recycles: GLOBAL_RECYCLES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the process-wide tallies (parked buffers are untouched).
+pub fn reset_global_stats() {
+    GLOBAL_HITS.store(0, Ordering::Relaxed);
+    GLOBAL_MISSES.store(0, Ordering::Relaxed);
+    GLOBAL_RECYCLES.store(0, Ordering::Relaxed);
+}
+
 /// Raw take: a buffer of length `len` with *unspecified contents*. Callers
 /// must fully overwrite it before exposing it, which is why this stays
 /// private — the public takes below each guarantee that. Fresh allocations
@@ -145,11 +176,13 @@ fn take_raw(len: usize) -> Buf {
                 debug_assert_eq!(buf.len(), len);
                 debug_assert!(buf.is_lane_aligned());
                 pool.stats.hits += 1;
+                GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
                 obs::POOL_HITS.add(1);
                 buf
             }
             None => {
                 pool.stats.misses += 1;
+                GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
                 obs::POOL_MISSES.add(1);
                 Buf::zeroed(len)
             }
@@ -197,6 +230,7 @@ pub fn recycle(buf: Buf) {
     POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         pool.stats.recycles += 1;
+        GLOBAL_RECYCLES.fetch_add(1, Ordering::Relaxed);
         if !buf.is_lane_aligned() {
             return;
         }

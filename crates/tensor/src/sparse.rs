@@ -23,8 +23,13 @@ const SUBGRAPH_ROW_BLOCK: usize = 2048;
 /// Element budget of one sparse-product output block: `spmv` takes this many
 /// output rows per chunk, `spmm` divides it by the dense width. Sized from
 /// the shapes only, never from the worker count, so per-row reduction orders
-/// are thread-invariant.
-const SPARSE_PRODUCT_BLOCK: usize = 1 << 12;
+/// are thread-invariant. Halved from the scoped-spawn era's `1 << 12` now
+/// that a persistent-pool dispatch costs ~1µs rather than ~10µs per helper:
+/// mid-sized minibatch blocks (a few thousand output elements) fan out
+/// where they used to run sequentially. Blocks are whole output rows and
+/// each row sums its non-zeros in CSR order regardless of blocking, so the
+/// value is bitwise-safe to tune.
+const SPARSE_PRODUCT_BLOCK: usize = 1 << 11;
 
 /// Raw pointer wrapper for scatters whose write positions are provably
 /// disjoint across workers (see [`CsrMatrix::transpose`]).

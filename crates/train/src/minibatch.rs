@@ -18,9 +18,24 @@
 //! [`gnn4tdl_tensor::Matrix::gather_rows`] — are bitwise thread-invariant, so
 //! an identical `(seed, epoch, batch)` produces a bitwise-identical block and
 //! an identical refit at any `GNN4TDL_THREADS` setting.
+//!
+//! # Prefetch pipeline
+//!
+//! Because a block is a pure function of its `(seed, epoch, batch)` key,
+//! sampling can run *ahead* of training without touching the determinism
+//! contract: when [`TrainConfig::prefetch`] is set (and obs tracing is off — a
+//! speculatively sampled block discarded by divergence recovery would
+//! otherwise count ledger work the inline path never does), `fit_minibatch`
+//! spawns one scoped sampler thread that produces block `t+1` while block `t`
+//! trains, bounded to [`PREFETCH_DEPTH`] blocks of lookahead. Divergence
+//! recovery cancels the in-flight epoch's queue; early stop or an unwind on
+//! the training thread closes it, so the scope join can never deadlock.
+//! Results are bitwise identical to inline sampling — fault-injection draws
+//! (`tensor::fault`) happen only on the training thread, so even chaos
+//! schedules replay unchanged.
 
-use std::collections::HashSet;
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use gnn4tdl_graph::Graph;
@@ -214,6 +229,149 @@ impl NeighborSampler {
     }
 }
 
+/// Bounded lookahead for the prefetch pipeline: the sampler thread keeps at
+/// most this many blocks queued ahead of the training thread. Two is double
+/// buffering — block `t+1` is produced while block `t` trains, with one slot
+/// of slack so the producer is never stalled on the exact handoff instant.
+const PREFETCH_DEPTH: usize = 2;
+
+/// Queue state shared between the training thread and the sampler thread.
+/// Requests and blocks are keyed by `(epoch, batch)` — the same key
+/// [`NeighborSampler::sample_block`] derives its draw streams from — so a
+/// prefetched block is bitwise identical to one sampled inline.
+struct PrefetchState {
+    /// Sampling requests the producer has not picked up yet, in epoch order:
+    /// `(epoch, batch, seed nodes)`.
+    pending: VecDeque<(u64, u64, Vec<usize>)>,
+    /// Produced blocks awaiting consumption, tagged with their request key.
+    ready: VecDeque<(u64, u64, SampledBlock)>,
+    /// Bumped by [`Prefetcher::cancel`]: a block produced under an older
+    /// generation is discarded on arrival instead of queued.
+    cancel_gen: u64,
+    /// Set on shutdown (normal return or a training-thread unwind) so the
+    /// sampler exits and the scope join cannot deadlock.
+    closed: bool,
+}
+
+/// Handoff channel for the double-buffered sampler thread (see the module
+/// docs). Plain `Mutex` + two `Condvar`s: `work` wakes the producer (new
+/// requests, a freed lookahead slot, cancel, close), `done` wakes the
+/// consumer (a block landed in `ready`).
+struct Prefetcher {
+    state: Mutex<PrefetchState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Marks the prefetch queue closed when dropped, including during unwinding:
+/// held on the training thread so a panic mid-epoch releases the sampler, and
+/// inside [`Prefetcher::run`] so a sampler panic fails `take` fast instead of
+/// leaving the training thread parked forever.
+struct CloseOnDrop<'a>(&'a Prefetcher);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl Prefetcher {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(PrefetchState {
+                pending: VecDeque::new(),
+                ready: VecDeque::new(),
+                cancel_gen: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Locks the shared state, shrugging off poison: both sides already
+    /// fail-fast through `closed`, so a panicking peer must not also wedge
+    /// this thread on the lock.
+    fn lock(&self) -> MutexGuard<'_, PrefetchState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queues one epoch's batches for production, in training order.
+    fn schedule(&self, epoch: u64, batches: &[Vec<usize>]) {
+        let mut st = self.lock();
+        for (batch, seeds) in batches.iter().enumerate() {
+            st.pending.push_back((epoch, batch as u64, seeds.clone()));
+        }
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Blocks until the sampler has produced the block for `(epoch, batch)`.
+    fn take(&self, epoch: u64, batch: u64) -> SampledBlock {
+        let mut st = self.lock();
+        loop {
+            if let Some(pos) = st.ready.iter().position(|entry| entry.0 == epoch && entry.1 == batch) {
+                let (_, _, block) = st.ready.remove(pos).expect("scanned position exists");
+                drop(st);
+                // a lookahead slot just opened up
+                self.work.notify_all();
+                return block;
+            }
+            assert!(!st.closed, "prefetch sampler exited before producing block ({epoch}, {batch})");
+            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Divergence recovery skipped the rest of the epoch: drop every queued
+    /// request and block. A block already in flight is discarded on arrival
+    /// (its generation no longer matches). The next epoch re-schedules.
+    fn cancel(&self) {
+        let mut st = self.lock();
+        st.pending.clear();
+        st.ready.clear();
+        st.cancel_gen += 1;
+        drop(st);
+        self.work.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Sampler-thread loop: produce pending requests in order, staying at
+    /// most [`PREFETCH_DEPTH`] blocks ahead of consumption.
+    fn run(&self, sampler: &NeighborSampler, graph: &Graph, features: &Matrix) {
+        let _close = CloseOnDrop(self);
+        loop {
+            let (epoch, batch, seeds, generation) = {
+                let mut st = self.lock();
+                loop {
+                    if st.closed {
+                        return;
+                    }
+                    if st.ready.len() < PREFETCH_DEPTH {
+                        if let Some((epoch, batch, seeds)) = st.pending.pop_front() {
+                            break (epoch, batch, seeds, st.cancel_gen);
+                        }
+                    }
+                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let block = sampler.sample_block(graph, features, &seeds, epoch, batch);
+            let mut st = self.lock();
+            if st.cancel_gen == generation {
+                st.ready.push_back((epoch, batch, block));
+                drop(st);
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
 /// Per-block loss: the task objective over the block's local rows, masked to
 /// the seed nodes. The tape losses normalize by the mask-weight sum, so a
 /// block loss is on the same scale as the full-batch loss.
@@ -332,174 +490,207 @@ pub fn fit_minibatch<E: BlockModel>(
         }
     }
 
-    'epochs: for epoch in start_epoch..cfg.epochs {
-        let batches = sampler.epoch_batches(&task.split.train, epoch as u64);
-        let mut epoch_loss = 0.0f64;
-        let mut epoch_weight = 0.0f64;
-        let mut epoch_grad_norm = 0.0f32;
-        let mut epoch_clipped = false;
-        for (batch, seeds) in batches.iter().enumerate() {
-            let block = sampler.sample_block(graph, &task.features, seeds, epoch as u64, batch as u64);
-            let bound = model.encoder.bind(&block.graph);
-            let dropout_seed = mix(&[cfg.seed, TAG_DROPOUT, epoch as u64, batch as u64]);
-            let mut s = Session::train(store, dropout_seed);
-            let (loss, mask_weight) = block_loss(model, &mut s, &block, task, &bound);
-            let mut train_loss = s.tape.value(loss).get(0, 0);
-            if fault::trip(fault::FaultKind::InfLoss) {
-                train_loss = f32::INFINITY;
+    // Sampling overlap: only when requested and obs tracing is off — a
+    // speculative block discarded by divergence recovery would otherwise
+    // count ledger work the inline path never does (see the module docs).
+    let use_prefetch = cfg.prefetch && !obs::enabled();
+
+    let mut run_epochs = |prefetch: Option<&Prefetcher>| {
+        'epochs: for epoch in start_epoch..cfg.epochs {
+            let batches = sampler.epoch_batches(&task.split.train, epoch as u64);
+            if let Some(p) = prefetch {
+                p.schedule(epoch as u64, &batches);
             }
-            let mut grads = s.backward(loss);
-            if let Some(allowed) = &allowed {
-                grads.retain(|(id, _)| allowed.contains(&id.index()));
-            }
-            if fault::trip(fault::FaultKind::NanGrad) {
-                if let Some((_, g)) = grads.first_mut() {
-                    g.data_mut()[0] = f32::NAN;
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_weight = 0.0f64;
+            let mut epoch_grad_norm = 0.0f32;
+            let mut epoch_clipped = false;
+            for (batch, seeds) in batches.iter().enumerate() {
+                let block = match prefetch {
+                    Some(p) => p.take(epoch as u64, batch as u64),
+                    None => sampler.sample_block(graph, &task.features, seeds, epoch as u64, batch as u64),
+                };
+                let bound = model.encoder.bind(&block.graph);
+                let dropout_seed = mix(&[cfg.seed, TAG_DROPOUT, epoch as u64, batch as u64]);
+                let mut s = Session::train(store, dropout_seed);
+                let (loss, mask_weight) = block_loss(model, &mut s, &block, task, &bound);
+                let mut train_loss = s.tape.value(loss).get(0, 0);
+                if fault::trip(fault::FaultKind::InfLoss) {
+                    train_loss = f32::INFINITY;
                 }
-            }
-            let grad_norm = global_grad_norm(&grads);
-            epoch_grad_norm = epoch_grad_norm.max(grad_norm);
-            let mut divergent = !train_loss.is_finite() || !grad_norm.is_finite();
-            if !divergent {
-                if let Some(clip) = cfg.clip_norm {
-                    if grad_norm > clip {
-                        let scale = clip / grad_norm;
-                        for (_, g) in &mut grads {
-                            for v in g.data_mut() {
-                                *v *= scale;
-                            }
-                        }
-                        epoch_clipped = true;
-                        clipped_steps += 1;
-                        obs::counter_add("train.clipped_steps", 1);
+                let mut grads = s.backward(loss);
+                if let Some(allowed) = &allowed {
+                    grads.retain(|(id, _)| allowed.contains(&id.index()));
+                }
+                if fault::trip(fault::FaultKind::NanGrad) {
+                    if let Some((_, g)) = grads.first_mut() {
+                        g.data_mut()[0] = f32::NAN;
                     }
                 }
-                optimizer.step(store, &grads);
-            }
-            for (_, g) in grads {
-                gnn4tdl_tensor::pool::recycle_matrix(g);
-            }
-            if !divergent && !params_finite(store) {
-                divergent = true;
-            }
-            obs::counter_add("train.batches", 1);
-            if divergent {
-                // Per-block recovery: discard the poisoned step, roll back
-                // to the best snapshot, and restart the optimizer at half
-                // the learning rate. The rest of the epoch is skipped so
-                // no further step builds on discarded state.
-                recoveries += 1;
-                obs::counter_add("train.recoveries", 1);
-                store.restore(&best_snapshot);
-                lr_factor *= 0.5;
-                optimizer = cfg.optimizer.with_lr_factor(lr_factor).build(cfg.weight_decay);
-                history.push(EpochStats {
-                    train_loss,
-                    aux_loss: 0.0,
-                    val_loss: f32::INFINITY,
-                    improved: false,
-                    bad_epochs,
-                    grad_norm,
-                    clipped: epoch_clipped,
-                    recovered: true,
-                });
-                if obs::enabled() {
-                    obs::counter_add("train.epochs", 1);
-                    obs::record_epoch(obs::EpochRecord {
-                        phase: phase_label.clone(),
-                        epoch,
+                let grad_norm = global_grad_norm(&grads);
+                epoch_grad_norm = epoch_grad_norm.max(grad_norm);
+                let mut divergent = !train_loss.is_finite() || !grad_norm.is_finite();
+                if !divergent {
+                    if let Some(clip) = cfg.clip_norm {
+                        if grad_norm > clip {
+                            let scale = clip / grad_norm;
+                            for (_, g) in &mut grads {
+                                for v in g.data_mut() {
+                                    *v *= scale;
+                                }
+                            }
+                            epoch_clipped = true;
+                            clipped_steps += 1;
+                            obs::counter_add("train.clipped_steps", 1);
+                        }
+                    }
+                    optimizer.step(store, &grads);
+                }
+                for (_, g) in grads {
+                    gnn4tdl_tensor::pool::recycle_matrix(g);
+                }
+                if !divergent && !params_finite(store) {
+                    divergent = true;
+                }
+                obs::counter_add("train.batches", 1);
+                if divergent {
+                    // Per-block recovery: discard the poisoned step, roll back
+                    // to the best snapshot, and restart the optimizer at half
+                    // the learning rate. The rest of the epoch is skipped so
+                    // no further step builds on discarded state.
+                    recoveries += 1;
+                    obs::counter_add("train.recoveries", 1);
+                    if let Some(p) = prefetch {
+                        // The rest of this epoch's requests (and any block
+                        // already produced for them) are dead: the retry epoch
+                        // re-schedules from scratch.
+                        p.cancel();
+                    }
+                    store.restore(&best_snapshot);
+                    lr_factor *= 0.5;
+                    optimizer = cfg.optimizer.with_lr_factor(lr_factor).build(cfg.weight_decay);
+                    history.push(EpochStats {
                         train_loss,
                         aux_loss: 0.0,
                         val_loss: f32::INFINITY,
                         improved: false,
                         bad_epochs,
+                        grad_norm,
+                        clipped: epoch_clipped,
+                        recovered: true,
                     });
+                    if obs::enabled() {
+                        obs::counter_add("train.epochs", 1);
+                        obs::record_epoch(obs::EpochRecord {
+                            phase: phase_label.clone(),
+                            epoch,
+                            train_loss,
+                            aux_loss: 0.0,
+                            val_loss: f32::INFINITY,
+                            improved: false,
+                            bad_epochs,
+                        });
+                    }
+                    if recoveries > cfg.max_recoveries {
+                        diverged = true;
+                        break 'epochs;
+                    }
+                    continue 'epochs;
                 }
+                epoch_loss += f64::from(train_loss) * f64::from(mask_weight);
+                epoch_weight += f64::from(mask_weight);
+            }
+            let train_loss =
+                if epoch_weight > 0.0 { (epoch_loss / epoch_weight) as f32 } else { f32::INFINITY };
+
+            let mut val_loss = if val_blocks.is_empty() {
+                // no validation split: track the training objective
+                train_loss
+            } else {
+                eval_blocks(model, store, task, &val_blocks)
+            };
+            if !val_loss.is_finite() {
+                // A finite training epoch with a blown-up validation loss still
+                // counts against the recovery budget (mirrors `fit_weighted`).
+                recoveries += 1;
+                obs::counter_add("train.recoveries", 1);
+                store.restore(&best_snapshot);
+                lr_factor *= 0.5;
+                optimizer = cfg.optimizer.with_lr_factor(lr_factor).build(cfg.weight_decay);
+                val_loss = f32::INFINITY;
+                history.push(EpochStats {
+                    train_loss,
+                    aux_loss: 0.0,
+                    val_loss,
+                    improved: false,
+                    bad_epochs,
+                    grad_norm: epoch_grad_norm,
+                    clipped: epoch_clipped,
+                    recovered: true,
+                });
                 if recoveries > cfg.max_recoveries {
                     diverged = true;
-                    break 'epochs;
+                    break;
                 }
-                continue 'epochs;
+                continue;
             }
-            epoch_loss += f64::from(train_loss) * f64::from(mask_weight);
-            epoch_weight += f64::from(mask_weight);
-        }
-        let train_loss = if epoch_weight > 0.0 { (epoch_loss / epoch_weight) as f32 } else { f32::INFINITY };
 
-        let mut val_loss = if val_blocks.is_empty() {
-            // no validation split: track the training objective
-            train_loss
-        } else {
-            eval_blocks(model, store, task, &val_blocks)
-        };
-        if !val_loss.is_finite() {
-            // A finite training epoch with a blown-up validation loss still
-            // counts against the recovery budget (mirrors `fit_weighted`).
-            recoveries += 1;
-            obs::counter_add("train.recoveries", 1);
-            store.restore(&best_snapshot);
-            lr_factor *= 0.5;
-            optimizer = cfg.optimizer.with_lr_factor(lr_factor).build(cfg.weight_decay);
-            val_loss = f32::INFINITY;
+            let improved = val_loss < best_val - 1e-6;
+            if improved {
+                best_val = val_loss;
+                best_epoch = epoch;
+                let stale = std::mem::replace(&mut best_snapshot, store.snapshot());
+                for m in stale {
+                    gnn4tdl_tensor::pool::recycle_matrix(m);
+                }
+                bad_epochs = 0;
+            } else {
+                bad_epochs += 1;
+            }
             history.push(EpochStats {
-                train_loss,
-                aux_loss: 0.0,
-                val_loss,
-                improved: false,
-                bad_epochs,
-                grad_norm: epoch_grad_norm,
-                clipped: epoch_clipped,
-                recovered: true,
-            });
-            if recoveries > cfg.max_recoveries {
-                diverged = true;
-                break;
-            }
-            continue;
-        }
-
-        let improved = val_loss < best_val - 1e-6;
-        if improved {
-            best_val = val_loss;
-            best_epoch = epoch;
-            let stale = std::mem::replace(&mut best_snapshot, store.snapshot());
-            for m in stale {
-                gnn4tdl_tensor::pool::recycle_matrix(m);
-            }
-            bad_epochs = 0;
-        } else {
-            bad_epochs += 1;
-        }
-        history.push(EpochStats {
-            train_loss,
-            aux_loss: 0.0,
-            val_loss,
-            improved,
-            bad_epochs,
-            grad_norm: epoch_grad_norm,
-            clipped: epoch_clipped,
-            recovered: false,
-        });
-        if obs::enabled() {
-            obs::counter_add("train.epochs", 1);
-            obs::record_epoch(obs::EpochRecord {
-                phase: phase_label.clone(),
-                epoch,
                 train_loss,
                 aux_loss: 0.0,
                 val_loss,
                 improved,
                 bad_epochs,
+                grad_norm: epoch_grad_norm,
+                clipped: epoch_clipped,
+                recovered: false,
             });
-        }
-        if let Some(ck) = &mut ckpt {
-            if ck.due(epoch) {
-                ck.save(store, &best_snapshot, epoch, best_epoch, best_val);
+            if obs::enabled() {
+                obs::counter_add("train.epochs", 1);
+                obs::record_epoch(obs::EpochRecord {
+                    phase: phase_label.clone(),
+                    epoch,
+                    train_loss,
+                    aux_loss: 0.0,
+                    val_loss,
+                    improved,
+                    bad_epochs,
+                });
+            }
+            if let Some(ck) = &mut ckpt {
+                if ck.due(epoch) {
+                    ck.save(store, &best_snapshot, epoch, best_epoch, best_val);
+                }
+            }
+            if !improved && cfg.patience > 0 && bad_epochs >= cfg.patience {
+                break;
             }
         }
-        if !improved && cfg.patience > 0 && bad_epochs >= cfg.patience {
-            break;
-        }
+    };
+
+    if use_prefetch {
+        let prefetcher = Prefetcher::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| prefetcher.run(sampler, graph, &task.features));
+            // Closes the queue even if the training loop unwinds, so the
+            // scope join below can never hang on a parked sampler.
+            let _close = CloseOnDrop(&prefetcher);
+            run_epochs(Some(&prefetcher));
+        });
+    } else {
+        run_epochs(None);
     }
     store.restore(&best_snapshot);
     for m in best_snapshot {

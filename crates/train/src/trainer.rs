@@ -49,6 +49,14 @@ pub struct TrainConfig {
     /// Which training phase this fit belongs to (strategies number their
     /// phases so checkpoints from different phases never mix).
     pub checkpoint_phase: usize,
+    /// Overlap neighbor sampling with training compute on the minibatch
+    /// path: a dedicated sampler thread produces the next block (bounded
+    /// lookahead) while the current one trains. Blocks are pure functions
+    /// of `(seed, epoch, batch)`, so results are bitwise identical to
+    /// inline sampling. Ignored while obs tracing is enabled — divergence
+    /// recovery can discard a speculatively sampled block, and the traced
+    /// logical-work ledger must not count work the inline path never does.
+    pub prefetch: bool,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +74,7 @@ impl Default for TrainConfig {
             checkpoint_dir: None,
             resume: false,
             checkpoint_phase: 0,
+            prefetch: true,
         }
     }
 }

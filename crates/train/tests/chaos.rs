@@ -260,6 +260,41 @@ fn minibatch_nan_grad_recovers_per_block() {
 }
 
 #[test]
+fn minibatch_prefetch_matches_inline_under_nan_grad_recovery() {
+    let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
+    let task = cluster_task(73);
+    let edges: Vec<(usize, usize)> =
+        (0..120usize).flat_map(|u| (1..=3usize).map(move |d| (u, (u + d) % 120))).collect();
+    let graph = Graph::from_edges(120, &edges, true);
+    let sampler = NeighborSampler::new(16, vec![4, 3], 7);
+    let base = TrainConfig { epochs: 30, patience: 0, max_recoveries: 1_000, ..Default::default() };
+
+    // Identical fault arming for both legs: nan-grad draws happen only on
+    // the training thread, so the prefetch sampler thread must not shift the
+    // fire schedule — recoveries (and thus the cancel/re-schedule path in
+    // the prefetch queue) replay identically and the weights stay bitwise
+    // equal to inline sampling.
+    let run = |prefetch: bool| {
+        let cfg = TrainConfig { prefetch, ..base.clone() };
+        let (mut store, model) = build(&task, 74);
+        let report = {
+            let _g = fault::arm_guard(FaultKind::NanGrad, 99, 0.15);
+            fit_minibatch(&model, &mut store, &graph, &task, &sampler, &cfg)
+        };
+        (weight_bits(&store), report)
+    };
+    let (inline_bits, inline_report) = run(false);
+    let (prefetch_bits, prefetch_report) = run(true);
+    assert!(inline_report.recoveries >= 1, "fault schedule never tripped a recovery");
+    assert_eq!(
+        prefetch_report.recoveries, inline_report.recoveries,
+        "prefetch shifted the fault-recovery schedule"
+    );
+    assert_eq!(prefetch_report.best_epoch, inline_report.best_epoch);
+    assert_eq!(prefetch_bits, inline_bits, "prefetched weights diverge from inline under recovery");
+}
+
+#[test]
 fn injected_faults_count_on_the_obs_ledger() {
     let _l = fault::TEST_MUTEX.lock().unwrap_or_else(|p| p.into_inner());
     let task = cluster_task(61);

@@ -147,6 +147,35 @@ fn seeded_refit_is_bitwise_reproducible_at_any_thread_count() {
 }
 
 #[test]
+fn prefetched_sampling_is_bitwise_identical_to_inline() {
+    // `train_once` uses the default config, so it exercises the prefetch
+    // pipeline; pinning `prefetch: false` must reproduce the exact bits —
+    // the sampler thread is a pure latency optimization.
+    let task = cluster_task(160, 3);
+    let g = circulant(160, 4);
+    let train_with = |prefetch: bool| {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let start = store.len();
+        let enc = GcnModel::new(&mut store, &g, &[task.features.cols(), 16], 0.0, &mut rng);
+        let model = SupervisedModel::new(&mut store, start, enc, 3, &mut rng);
+        let sampler = NeighborSampler::new(16, vec![5, 3], 23);
+        let cfg = TrainConfig { epochs: 12, patience: 0, seed: 41, prefetch, ..Default::default() };
+        let report = fit_minibatch(&model, &mut store, &g, &task, &sampler, &cfg);
+        let weights: Vec<u32> =
+            store.iter().flat_map(|(_, _, m)| m.data().iter().map(|v| v.to_bits())).collect();
+        let preds: Vec<u32> =
+            predict(&model, &store, &task.features).data().iter().map(|v| v.to_bits()).collect();
+        (weights, preds, report.best_epoch)
+    };
+    let inline = train_with(false);
+    for t in thread_counts() {
+        let prefetched = parallel::with_threads(t, || train_with(true));
+        assert_eq!(prefetched, inline, "prefetch diverges from inline at {t} threads");
+    }
+}
+
+#[test]
 fn training_loss_decreases_and_predictions_are_useful() {
     let task = cluster_task(200, 8);
     let g = knn_graph(&task.features, 6);
